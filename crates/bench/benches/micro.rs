@@ -1,0 +1,177 @@
+//! Criterion micro-benchmarks over the core data structures: the
+//! per-tuple costs that bound the optimizer's own overhead (§8 notes the
+//! framework's statistics/caching overhead as its main cost).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use jl_cache::{LfuDa, SizeMode, TieredCache};
+use jl_core::{Batcher, OptimizerConfig, Strategy};
+use jl_costmodel::{rent_buy_costs, NodeCosts, SizeProfile};
+use jl_freq::{FrequencyEstimator, LossyCounter, SpaceSaving};
+use jl_loadbalance::{solve_exact, solve_gradient, ComputeLoadStats, DataLoadStats, LoadModel};
+use jl_simkit::prelude::*;
+use jl_simkit::rng::stream_rng;
+use jl_skirental::RecurringSkiRental;
+use jl_workloads::Zipf;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_skirental(c: &mut Criterion) {
+    let policy = RecurringSkiRental::new(0.01, 0.05, 0.002);
+    c.bench_function("skirental_decide", |b| {
+        let mut count = 0u64;
+        b.iter(|| {
+            count += 1;
+            black_box(policy.decide(black_box(count % 100)))
+        })
+    });
+}
+
+fn bench_freq(c: &mut Criterion) {
+    let zipf = Zipf::new(100_000, 1.0);
+    let mut rng = stream_rng(1, "bench");
+    let keys: Vec<u64> = (0..10_000).map(|_| zipf.sample(&mut rng) as u64).collect();
+    c.bench_function("lossy_counter_observe", |b| {
+        let mut lc = LossyCounter::new(1e-4);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(lc.observe(keys[i]))
+        })
+    });
+    c.bench_function("spacesaving_observe", |b| {
+        let mut ss = SpaceSaving::new(10_000);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            black_box(ss.observe(keys[i]))
+        })
+    });
+}
+
+fn bench_cache(c: &mut Criterion) {
+    let zipf = Zipf::new(10_000, 1.0);
+    let mut rng = stream_rng(2, "bench");
+    let keys: Vec<u64> = (0..10_000).map(|_| zipf.sample(&mut rng) as u64).collect();
+    c.bench_function("tiered_cache_touch_lookup", |b| {
+        let mut cache: TieredCache<u64, u64, LfuDa<u64>> =
+            TieredCache::new(64 * 1024, u64::MAX, LfuDa::new(), SizeMode::Variable);
+        let mut i = 0;
+        b.iter(|| {
+            i = (i + 1) % keys.len();
+            let k = keys[i];
+            cache.touch(&k, 1.0);
+            if cache.lookup(&k) == jl_cache::Lookup::Miss {
+                cache.insert(k, k, 64);
+            }
+        })
+    });
+}
+
+fn bench_loadbalance(c: &mut Criterion) {
+    let cs = ComputeLoadStats {
+        local_pending: 12,
+        pending_elsewhere: 40,
+        computed_elsewhere: 30,
+        cpu_secs: 0.01,
+        net_bw: 125e6,
+        ..Default::default()
+    };
+    let ds = DataLoadStats {
+        compute_reqs_pending: 50,
+        to_compute_here: 30,
+        cpu_secs: 0.01,
+        net_bw: 125e6,
+        ..Default::default()
+    };
+    let sizes = SizeProfile {
+        key: 16,
+        params: 200,
+        value: 100_000,
+        computed: 256,
+    };
+    let model = LoadModel::new(&cs, &ds, &sizes, 64);
+    c.bench_function("lb_solve_exact", |b| b.iter(|| black_box(solve_exact(&model))));
+    c.bench_function("lb_solve_gradient", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| black_box(solve_gradient(&model, &mut rng, 60)))
+    });
+}
+
+fn bench_costmodel(c: &mut Criterion) {
+    let sizes = SizeProfile {
+        key: 16,
+        params: 200,
+        value: 100_000,
+        computed: 256,
+    };
+    let n = NodeCosts {
+        t_disk: 0.0003,
+        t_cpu: 0.01,
+        net_bw: 125e6,
+    };
+    c.bench_function("rent_buy_costs", |b| {
+        b.iter(|| black_box(rent_buy_costs(black_box(&sizes), &n, &n)))
+    });
+}
+
+fn bench_batcher(c: &mut Criterion) {
+    c.bench_function("batcher_push", |b| {
+        let mut batcher: Batcher<u64> = Batcher::new(64, SimDuration::from_millis(5));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            black_box(batcher.push(SimTime(t), t))
+        })
+    });
+}
+
+fn bench_zipf(c: &mut Criterion) {
+    let zipf = Zipf::new(1_000_000, 1.0);
+    let mut rng = stream_rng(4, "bench");
+    c.bench_function("zipf_sample_1m_keys", |b| b.iter(|| black_box(zipf.sample(&mut rng))));
+}
+
+fn bench_simkit(c: &mut Criterion) {
+    struct Relay {
+        peer: usize,
+        left: u64,
+    }
+    impl Node for Relay {
+        type Msg = u64;
+        fn on_message(&mut self, _f: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+            if self.left > 0 {
+                self.left -= 1;
+                ctx.send(self.peer, msg, 64);
+            }
+        }
+    }
+    c.bench_function("simkit_10k_messages", |b| {
+        b.iter(|| {
+            let mut sim: Sim<Relay> = Sim::new(1, NetConfig::default());
+            sim.add_node(Relay { peer: 1, left: 5_000 }, NodeSpec::default());
+            sim.add_node(Relay { peer: 0, left: 5_000 }, NodeSpec::default());
+            sim.post(SimTime::ZERO, 0, 1, 64);
+            black_box(sim.run())
+        })
+    });
+}
+
+fn bench_strategy_config(c: &mut Criterion) {
+    c.bench_function("optimizer_config_build", |b| {
+        b.iter(|| black_box(OptimizerConfig::for_strategy(black_box(Strategy::Full))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_skirental,
+    bench_freq,
+    bench_cache,
+    bench_loadbalance,
+    bench_costmodel,
+    bench_batcher,
+    bench_zipf,
+    bench_simkit,
+    bench_strategy_config,
+);
+criterion_main!(benches);

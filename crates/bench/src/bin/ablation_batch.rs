@@ -1,0 +1,62 @@
+//! Ablation: batch size × max-wait sweep (the paper's §7.2 future work on
+//! dynamic batch sizing).
+
+use jl_bench::output::FigTable;
+use jl_bench::parse_args;
+use jl_core::{OptimizerConfig, Strategy};
+use jl_engine::plan::{JobPlan, JobTuple};
+use jl_engine::{build_store, run_job, ClusterSpec, FeedMode, JobSpec};
+use jl_simkit::rng::stream_rng;
+use jl_simkit::time::{SimDuration, SimTime};
+use jl_store::{DigestUdf, RowKey, UdfRegistry};
+use jl_workloads::SyntheticSpec;
+use std::sync::Arc;
+
+fn main() {
+    let (scale, seed) = parse_args(1.0);
+    let mut spec = SyntheticSpec::dh();
+    spec.n_tuples = ((spec.n_tuples as f64 * scale) as u64).max(1000);
+    let cluster = ClusterSpec::default();
+    let mut rows = Vec::new();
+    for batch in [1usize, 8, 32, 64, 128, 256] {
+        let mut vals = Vec::new();
+        for wait_ms in [1u64, 5, 50] {
+            let store = build_store(&cluster, vec![("t".into(), spec.rows(1).collect())]);
+            let mut rng = stream_rng(seed, "tuples");
+            let tuples: Vec<JobTuple> = spec
+                .tuples(0.5, 1, &mut rng, seed)
+                .into_iter()
+                .map(|t| JobTuple {
+                    seq: t.seq,
+                    keys: vec![RowKey::from_u64(t.key)],
+                    params_size: t.params_size,
+                    arrival: SimTime::ZERO,
+                })
+                .collect();
+            let mut optimizer = OptimizerConfig::for_strategy(Strategy::Full);
+            optimizer.batch_size = batch;
+            optimizer.batch_max_wait = SimDuration::from_millis(wait_ms);
+            optimizer.mem_cache_bytes = 32 << 20;
+            let mut udfs = UdfRegistry::new();
+            udfs.register(0, Arc::new(DigestUdf { out_bytes: 256 }));
+            let job = JobSpec {
+                cluster: cluster.clone(),
+                optimizer,
+                feed: FeedMode::Batch { window: 256 },
+                plan: JobPlan::single(0, 0),
+                seed,
+                udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+            };
+            let r = run_job(&job, store, udfs, tuples, vec![]);
+            vals.push(r.duration.as_secs_f64());
+        }
+        rows.push((format!("batch {batch}"), vals));
+    }
+    let t = FigTable {
+        title: "Ablation — batch size × max wait (DH, z=0.5), time (s)".into(),
+        row_label: "".into(),
+        columns: vec!["1 ms".into(), "5 ms".into(), "50 ms".into()],
+        rows,
+    };
+    println!("{}", t.render());
+}

@@ -1,0 +1,66 @@
+//! Ablation: frequency-estimator accuracy and space on a Zipf stream —
+//! Lossy Counting (the paper's choice) vs Space-Saving vs exact counts.
+
+use jl_bench::output::FigTable;
+use jl_bench::parse_args;
+use jl_freq::{ExactCounter, FrequencyEstimator, LossyCounter, SpaceSaving};
+use jl_simkit::rng::stream_rng;
+use jl_workloads::Zipf;
+use std::collections::HashMap;
+
+fn evaluate<E: FrequencyEstimator<u64>>(
+    mut est: E,
+    stream: &[u64],
+    truth: &HashMap<u64, u64>,
+) -> (usize, f64, f64) {
+    for &k in stream {
+        est.observe(k);
+    }
+    // Error over the true top-100 keys.
+    let mut top: Vec<(&u64, &u64)> = truth.iter().collect();
+    top.sort_by(|a, b| b.1.cmp(a.1));
+    let mut err = 0.0;
+    for (k, &t) in top.iter().take(100) {
+        err += (est.estimate(k) as f64 - t as f64).abs() / t as f64;
+    }
+    // Heavy-hitter recall at 0.5% support.
+    let hh: Vec<u64> = est.heavy_hitters(0.005).into_iter().map(|(k, _)| k).collect();
+    let support = (0.005 * stream.len() as f64) as u64;
+    let should: Vec<&u64> = truth.iter().filter(|(_, &c)| c >= support).map(|(k, _)| k).collect();
+    let recall = if should.is_empty() {
+        1.0
+    } else {
+        should.iter().filter(|k| hh.contains(k)).count() as f64 / should.len() as f64
+    };
+    (est.tracked(), err / 100.0, recall)
+}
+
+fn main() {
+    let (scale, seed) = parse_args(1.0);
+    let n = (1_000_000.0 * scale) as usize;
+    let zipf = Zipf::new(100_000, 1.1);
+    let mut rng = stream_rng(seed, "freq");
+    let stream: Vec<u64> = (0..n).map(|_| zipf.sample(&mut rng) as u64).collect();
+    let mut truth: HashMap<u64, u64> = HashMap::new();
+    for &k in &stream {
+        *truth.entry(k).or_insert(0) += 1;
+    }
+    let mut rows = Vec::new();
+    let (space, err, recall) = evaluate(ExactCounter::new(), &stream, &truth);
+    rows.push(("exact".to_string(), vec![space as f64, err, recall]));
+    for eps in [1e-3, 1e-4] {
+        let (space, err, recall) = evaluate(LossyCounter::new(eps), &stream, &truth);
+        rows.push((format!("lossy eps={eps}"), vec![space as f64, err, recall]));
+    }
+    for cap in [1_000, 10_000] {
+        let (space, err, recall) = evaluate(SpaceSaving::new(cap), &stream, &truth);
+        rows.push((format!("spacesaving k={cap}"), vec![space as f64, err, recall]));
+    }
+    let t = FigTable {
+        title: format!("Ablation — frequency estimators on a Zipf(1.1) stream of {n} tuples"),
+        row_label: "estimator".into(),
+        columns: vec!["entries".into(), "top-100 rel err".into(), "HH recall".into()],
+        rows,
+    };
+    println!("{}", t.render());
+}

@@ -1,0 +1,67 @@
+//! Ablation: sensitivity to the ski-rental buy threshold.
+//!
+//! Scales the paper's `b/(r − br)` threshold by ×0.25…×4; the optimum
+//! should sit near ×1 (buying too early wastes fetches, too late wastes
+//! rents).
+
+use jl_bench::output::FigTable;
+use jl_bench::parse_args;
+use jl_core::{OptimizerConfig, Strategy};
+use jl_engine::plan::{JobPlan, JobTuple};
+use jl_engine::{build_store, run_job, ClusterSpec, FeedMode, JobSpec};
+use jl_simkit::rng::stream_rng;
+use jl_simkit::time::SimTime;
+use jl_store::{DigestUdf, RowKey, UdfRegistry};
+use jl_workloads::SyntheticSpec;
+use std::sync::Arc;
+
+fn main() {
+    let (scale, seed) = parse_args(1.0);
+    let mut spec = SyntheticSpec::dch();
+    spec.n_tuples = ((spec.n_tuples as f64 * scale) as u64).max(1000);
+    let cluster = ClusterSpec::default();
+    let mut rows = Vec::new();
+    for ski_scale in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let store = build_store(&cluster, vec![("t".into(), spec.rows(1).collect())]);
+        let mut rng = stream_rng(seed, "tuples");
+        let tuples: Vec<JobTuple> = spec
+            .tuples(1.0, 1, &mut rng, seed)
+            .into_iter()
+            .map(|t| JobTuple {
+                seq: t.seq,
+                keys: vec![RowKey::from_u64(t.key)],
+                params_size: t.params_size,
+                arrival: SimTime::ZERO,
+            })
+            .collect();
+        let mut optimizer = OptimizerConfig::for_strategy(Strategy::Full);
+        optimizer.ski_threshold_scale = ski_scale;
+        optimizer.mem_cache_bytes = 32 << 20;
+        let mut udfs = UdfRegistry::new();
+        udfs.register(0, Arc::new(DigestUdf { out_bytes: 256 }));
+        let job = JobSpec {
+            cluster: cluster.clone(),
+            optimizer,
+            feed: FeedMode::Batch { window: 256 },
+            plan: JobPlan::single(0, 0),
+            seed,
+            udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+        };
+        let r = run_job(&job, store, udfs, tuples, vec![]);
+        rows.push((
+            format!("x{ski_scale}"),
+            vec![
+                r.duration.as_secs_f64(),
+                r.decisions.data_requests as f64,
+                r.decisions.mem_hits as f64 + r.decisions.disk_hits as f64,
+            ],
+        ));
+    }
+    let t = FigTable {
+        title: "Ablation — ski-rental threshold scale (DCH, z=1)".into(),
+        row_label: "scale".into(),
+        columns: vec!["time (s)".into(), "buys".into(), "cache hits".into()],
+        rows,
+    };
+    println!("{}", t.render());
+}

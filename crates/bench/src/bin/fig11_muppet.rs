@@ -1,0 +1,20 @@
+//! Regenerates Figure 11 (a/b/c): streaming-engine synthetic workloads.
+//!
+//! Usage: `fig11_muppet [dh|ch|dch|all] [--scale F] [--seed N]`
+
+use jl_bench::{fig11, parse_args};
+use jl_workloads::SyntheticSpec;
+
+fn main() {
+    let (scale, seed) = parse_args(1.0);
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let specs = match which.as_str() {
+        "dh" => vec![SyntheticSpec::dh()],
+        "ch" => vec![SyntheticSpec::ch()],
+        "dch" => vec![SyntheticSpec::dch()],
+        _ => SyntheticSpec::all().to_vec(),
+    };
+    for spec in specs {
+        println!("{}", fig11(&spec, scale, seed).render());
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 5: ClueWeb-shaped entity annotation, all systems.
+
+use jl_bench::{fig5, parse_args};
+
+fn main() {
+    let (scale, seed) = parse_args(1.0);
+    println!("{}", fig5(scale, seed).render());
+}

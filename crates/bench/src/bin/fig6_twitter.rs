@@ -1,0 +1,8 @@
+//! Regenerates Figure 6: Twitter-stream entity annotation throughput.
+
+use jl_bench::{fig6, parse_args};
+
+fn main() {
+    let (scale, seed) = parse_args(1.0);
+    println!("{}", fig6(scale, seed).render());
+}

@@ -1,0 +1,8 @@
+//! Regenerates Figure 7: TPC-DS multi-join, shuffle baseline vs framework.
+
+use jl_bench::{fig7, parse_args};
+
+fn main() {
+    let (scale, seed) = parse_args(1.0);
+    println!("{}", fig7(scale, seed).render());
+}

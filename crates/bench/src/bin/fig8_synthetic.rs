@@ -1,0 +1,20 @@
+//! Regenerates Figure 8 (a/b/c): Hadoop-mode synthetic workloads.
+//!
+//! Usage: `fig8_synthetic [dh|ch|dch|all] [--scale F] [--seed N]`
+
+use jl_bench::{fig8, parse_args};
+use jl_workloads::SyntheticSpec;
+
+fn main() {
+    let (scale, seed) = parse_args(1.0);
+    let which = std::env::args().nth(1).unwrap_or_else(|| "all".into());
+    let specs = match which.as_str() {
+        "dh" => vec![SyntheticSpec::dh()],
+        "ch" => vec![SyntheticSpec::ch()],
+        "dch" => vec![SyntheticSpec::dch()],
+        _ => SyntheticSpec::all().to_vec(),
+    };
+    for spec in specs {
+        println!("{}", fig8(&spec, scale, seed).render());
+    }
+}

@@ -1,0 +1,9 @@
+//! Regenerates Figure 9: adaptive vs non-adaptive optimization under a
+//! dynamically shifting key distribution.
+
+use jl_bench::{fig9, parse_args};
+
+fn main() {
+    let (scale, seed) = parse_args(1.0);
+    println!("{}", fig9(scale, seed).render());
+}

@@ -1,0 +1,18 @@
+//! Regenerates every figure of the paper in one run.
+
+use jl_bench::{fig11, fig5, fig6, fig7, fig8, fig9, parse_args};
+use jl_workloads::SyntheticSpec;
+
+fn main() {
+    let (scale, seed) = parse_args(1.0);
+    println!("{}", fig5(scale, seed).render());
+    println!("{}", fig6(scale, seed).render());
+    println!("{}", fig7(scale, seed).render());
+    for spec in SyntheticSpec::all() {
+        println!("{}", fig8(&spec, scale, seed).render());
+    }
+    println!("{}", fig9(scale, seed).render());
+    for spec in SyntheticSpec::all() {
+        println!("{}", fig11(&spec, scale, seed).render());
+    }
+}

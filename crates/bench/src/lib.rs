@@ -1,0 +1,37 @@
+//! # jl-bench — figure regeneration and ablations
+//!
+//! One binary per figure of the paper's evaluation (`fig5_clueweb`,
+//! `fig6_twitter`, `fig7_tpcds`, `fig8_synthetic`, `fig9_adaptive`,
+//! `fig11_muppet`, plus `figs_all`), ablation binaries, and Criterion
+//! micro-benchmarks over the core data structures. See EXPERIMENTS.md for
+//! paper-vs-measured tables.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod output;
+
+pub use experiments::{fig11, fig5, fig6, fig7, fig8, fig9, SKEWS};
+pub use output::FigTable;
+
+/// Parse a `--scale X` style argument list: returns (scale, seed).
+pub fn parse_args(default_scale: f64) -> (f64, u64) {
+    let mut scale = default_scale;
+    let mut seed = 42u64;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" if i + 1 < args.len() => {
+                scale = args[i + 1].parse().unwrap_or(default_scale);
+                i += 2;
+            }
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().unwrap_or(42);
+                i += 2;
+            }
+            _ => i += 1,
+        }
+    }
+    (scale, seed)
+}

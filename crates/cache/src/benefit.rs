@@ -1,0 +1,191 @@
+//! Benefit (priority) policies for cache admission and eviction.
+//!
+//! The paper uses the *weighted LFU-DA* algorithm of Arlitt et al.
+//! ("Evaluating content management techniques for web proxy caches"): each
+//! access sets the item's benefit to `weight · frequency + L`, where `L` is
+//! an aging factor equal to the benefit of the most recently evicted item.
+//! Recent and frequent accesses therefore earn more benefit, and long-idle
+//! items age out as `L` rises.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Computes a scalar benefit per key on each access, and learns from
+/// evictions (for dynamic-aging policies).
+pub trait BenefitPolicy<K> {
+    /// Record an access to `key` with cost weight `weight` (e.g. the
+    /// per-access saving from having the item cached); returns the new
+    /// benefit.
+    fn on_access(&mut self, key: &K, weight: f64) -> f64;
+
+    /// Tell the policy the benefit of an item that was just evicted.
+    fn on_evict(&mut self, evicted_benefit: f64);
+
+    /// Forget a key (invalidation).
+    fn forget(&mut self, key: &K);
+}
+
+/// Weighted LFU with dynamic aging (the paper's policy).
+#[derive(Debug, Clone, Default)]
+pub struct LfuDa<K: Hash + Eq + Clone> {
+    freq: HashMap<K, u64>,
+    /// Aging factor: benefit of the last evicted item.
+    age: f64,
+}
+
+impl<K: Hash + Eq + Clone> LfuDa<K> {
+    /// New policy with aging factor 0.
+    pub fn new() -> Self {
+        LfuDa {
+            freq: HashMap::new(),
+            age: 0.0,
+        }
+    }
+
+    /// Current aging factor `L`.
+    pub fn age(&self) -> f64 {
+        self.age
+    }
+}
+
+impl<K: Hash + Eq + Clone> BenefitPolicy<K> for LfuDa<K> {
+    fn on_access(&mut self, key: &K, weight: f64) -> f64 {
+        let f = self.freq.entry(key.clone()).or_insert(0);
+        *f += 1;
+        weight * (*f as f64) + self.age
+    }
+
+    fn on_evict(&mut self, evicted_benefit: f64) {
+        if evicted_benefit > self.age {
+            self.age = evicted_benefit;
+        }
+    }
+
+    fn forget(&mut self, key: &K) {
+        self.freq.remove(key);
+    }
+}
+
+/// Plain LFU (no aging): benefit = weight × frequency. Ablation baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Lfu<K: Hash + Eq + Clone> {
+    freq: HashMap<K, u64>,
+}
+
+impl<K: Hash + Eq + Clone> Lfu<K> {
+    /// New policy.
+    pub fn new() -> Self {
+        Lfu {
+            freq: HashMap::new(),
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone> BenefitPolicy<K> for Lfu<K> {
+    fn on_access(&mut self, key: &K, weight: f64) -> f64 {
+        let f = self.freq.entry(key.clone()).or_insert(0);
+        *f += 1;
+        weight * (*f as f64)
+    }
+
+    fn on_evict(&mut self, _evicted_benefit: f64) {}
+
+    fn forget(&mut self, key: &K) {
+        self.freq.remove(key);
+    }
+}
+
+/// LRU expressed as a benefit: benefit = access tick. Ablation baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Lru {
+    tick: u64,
+}
+
+impl Lru {
+    /// New policy.
+    pub fn new() -> Self {
+        Lru { tick: 0 }
+    }
+}
+
+impl<K> BenefitPolicy<K> for Lru {
+    fn on_access(&mut self, _key: &K, _weight: f64) -> f64 {
+        self.tick += 1;
+        self.tick as f64
+    }
+
+    fn on_evict(&mut self, _evicted_benefit: f64) {}
+
+    fn forget(&mut self, _key: &K) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lfuda_benefit_grows_with_frequency() {
+        let mut p = LfuDa::new();
+        let b1 = p.on_access(&"k", 2.0);
+        let b2 = p.on_access(&"k", 2.0);
+        assert_eq!(b1, 2.0);
+        assert_eq!(b2, 4.0);
+    }
+
+    #[test]
+    fn lfuda_aging_lifts_new_items() {
+        let mut p = LfuDa::new();
+        for _ in 0..10 {
+            p.on_access(&"old", 1.0);
+        }
+        p.on_evict(7.0);
+        // A brand-new key starts at freq 1 but inherits the age floor.
+        let b = p.on_access(&"new", 1.0);
+        assert_eq!(b, 8.0);
+        assert_eq!(p.age(), 7.0);
+    }
+
+    #[test]
+    fn lfuda_age_is_monotone() {
+        let mut p: LfuDa<u8> = LfuDa::new();
+        p.on_evict(5.0);
+        p.on_evict(3.0); // lower than current age: ignored
+        assert_eq!(p.age(), 5.0);
+    }
+
+    #[test]
+    fn lfuda_forget_resets_frequency() {
+        let mut p = LfuDa::new();
+        p.on_access(&1u8, 1.0);
+        p.on_access(&1u8, 1.0);
+        p.forget(&1u8);
+        assert_eq!(p.on_access(&1u8, 1.0), 1.0);
+    }
+
+    #[test]
+    fn weight_scales_benefit() {
+        let mut p = LfuDa::new();
+        // Expensive items (high weight) earn benefit faster.
+        let cheap = p.on_access(&"cheap", 1.0);
+        let dear = p.on_access(&"dear", 100.0);
+        assert!(dear > cheap * 50.0);
+    }
+
+    #[test]
+    fn lru_orders_by_recency() {
+        let mut p = Lru::new();
+        let a = p.on_access(&"a", 1.0);
+        let b = p.on_access(&"b", 1.0);
+        let a2 = p.on_access(&"a", 1.0);
+        assert!(b > a);
+        assert!(a2 > b);
+    }
+
+    #[test]
+    fn lfu_ignores_evictions() {
+        let mut p = Lfu::new();
+        p.on_access(&"x", 1.0);
+        p.on_evict(1000.0);
+        assert_eq!(p.on_access(&"y", 1.0), 1.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! # jl-cache — two-tier benefit-driven cache
+//!
+//! The cache behind the "buy" branch of the ski-rental decision: fetched
+//! values live in a small memory tier (`mCache`) or a large disk tier
+//! (`dCache`). Admission and demotion follow the paper's
+//! `condCacheInMemory` (Appendix B, Algorithms 2 and 3) under a pluggable
+//! [`benefit::BenefitPolicy`]; the paper's choice is weighted LFU with
+//! dynamic aging ([`benefit::LfuDa`]).
+//!
+//! ```
+//! use jl_cache::{TieredCache, SizeMode, LfuDa, Placed, Lookup};
+//!
+//! let mut cache: TieredCache<&str, Vec<u8>, _> =
+//!     TieredCache::new(1024, u64::MAX, LfuDa::new(), SizeMode::Variable);
+//! cache.touch(&"model-42", 1.0);
+//! assert_eq!(cache.lookup(&"model-42"), Lookup::Miss);
+//! assert_eq!(cache.insert("model-42", vec![0; 512], 512), Placed::Memory);
+//! assert_eq!(cache.lookup(&"model-42"), Lookup::MemHit);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod benefit;
+pub mod ordf64;
+pub mod tier;
+pub mod tiered;
+
+pub use benefit::{BenefitPolicy, Lfu, LfuDa, Lru};
+pub use ordf64::OrdF64;
+pub use tier::Tier;
+pub use tiered::{CacheStats, Lookup, Placed, SizeMode, TieredCache};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Touch(u8, u8),
+        Insert(u8, u16),
+        Lookup(u8),
+        Promote(u8),
+        Invalidate(u8),
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (any::<u8>(), 1u8..10).prop_map(|(k, w)| Op::Touch(k, w)),
+            (any::<u8>(), 1u16..300).prop_map(|(k, s)| Op::Insert(k, s)),
+            any::<u8>().prop_map(Op::Lookup),
+            any::<u8>().prop_map(Op::Promote),
+            any::<u8>().prop_map(Op::Invalidate),
+        ]
+    }
+
+    proptest! {
+        /// Under any operation sequence, the memory tier never exceeds its
+        /// byte budget, each key exists in at most one tier, and stats stay
+        /// consistent.
+        #[test]
+        fn invariants_hold_under_arbitrary_ops(
+            ops in proptest::collection::vec(op_strategy(), 1..300),
+            mem_cap in 64u64..1024,
+            mode in prop_oneof![Just(SizeMode::Uniform), Just(SizeMode::Variable)],
+        ) {
+            let mut c: TieredCache<u8, u64, LfuDa<u8>> =
+                TieredCache::new(mem_cap, 4096, LfuDa::new(), mode);
+            for op in ops {
+                match op {
+                    Op::Touch(k, w) => {
+                        let b = c.touch(&k, f64::from(w));
+                        prop_assert!(b.is_finite() && b > 0.0);
+                    }
+                    Op::Insert(k, s) => {
+                        c.insert(k, u64::from(k), u64::from(s));
+                    }
+                    Op::Lookup(k) => {
+                        let l = c.lookup(&k);
+                        if l == Lookup::MemHit {
+                            prop_assert!(c.in_memory(&k));
+                        }
+                    }
+                    Op::Promote(k) => {
+                        c.maybe_promote(&k);
+                    }
+                    Op::Invalidate(k) => {
+                        c.invalidate(&k);
+                        prop_assert!(!c.contains(&k));
+                    }
+                }
+                prop_assert!(c.mem_used() <= mem_cap, "memory over budget");
+                prop_assert!(c.disk_used() <= 4096, "disk over budget");
+            }
+        }
+
+        /// Cached values are never corrupted: a get after insert returns the
+        /// inserted value until invalidated or dropped.
+        #[test]
+        fn values_survive_tier_moves(
+            keys in proptest::collection::vec(0u8..16, 1..100),
+        ) {
+            let mut c: TieredCache<u8, u64, LfuDa<u8>> =
+                TieredCache::new(256, u64::MAX, LfuDa::new(), SizeMode::Variable);
+            for &k in &keys {
+                c.touch(&k, 1.0);
+                c.insert(k, u64::from(k) * 1000, 64);
+            }
+            for &k in &keys {
+                // Disk is unbounded so every inserted key must still exist.
+                prop_assert_eq!(c.get(&k).copied(), Some(u64::from(k) * 1000));
+            }
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Totally-ordered `f64` wrapper for benefit-ordered indexes.
+
+use std::cmp::Ordering;
+
+/// An `f64` with `Ord` via IEEE 754 `total_cmp`, so benefits can key a
+/// `BTreeMap`. NaN sorts deterministically (after +inf), but callers should
+/// never produce NaN benefits.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_like_f64() {
+        assert!(OrdF64(1.0) < OrdF64(2.0));
+        assert!(OrdF64(-1.0) < OrdF64(0.0));
+        assert_eq!(OrdF64(3.5), OrdF64(3.5));
+    }
+
+    #[test]
+    fn total_order_handles_special_values() {
+        assert!(OrdF64(f64::NEG_INFINITY) < OrdF64(f64::MIN));
+        assert!(OrdF64(f64::MAX) < OrdF64(f64::INFINITY));
+        assert!(OrdF64(f64::INFINITY) < OrdF64(f64::NAN));
+        // -0.0 < +0.0 under total_cmp: fine for tie-breaking.
+        assert!(OrdF64(-0.0) < OrdF64(0.0));
+    }
+}

@@ -1,0 +1,244 @@
+//! A single cache tier with byte-capacity accounting and a benefit-ordered
+//! index for min-benefit eviction.
+
+use std::collections::{BTreeMap, HashMap};
+use std::hash::Hash;
+
+use crate::ordf64::OrdF64;
+
+#[derive(Debug, Clone)]
+struct Slot<V> {
+    value: V,
+    size: u64,
+    benefit: f64,
+    seq: u64,
+}
+
+/// One cache tier (memory or disk): a keyed store with a byte budget and a
+/// secondary index ordered by `(benefit, insertion seq)`.
+#[derive(Debug, Clone)]
+pub struct Tier<K: Hash + Eq + Clone, V> {
+    slots: HashMap<K, Slot<V>>,
+    by_benefit: BTreeMap<(OrdF64, u64), K>,
+    capacity: u64,
+    used: u64,
+    seq: u64,
+}
+
+impl<K: Hash + Eq + Clone, V> Tier<K, V> {
+    /// Create a tier with a byte budget; `u64::MAX` means unbounded
+    /// (the paper assumes the disk cache fits everything).
+    pub fn new(capacity: u64) -> Self {
+        Tier {
+            slots: HashMap::new(),
+            by_benefit: BTreeMap::new(),
+            capacity,
+            used: 0,
+            seq: 0,
+        }
+    }
+
+    /// Byte budget.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently occupied.
+    pub fn used(&self) -> u64 {
+        self.used
+    }
+
+    /// Bytes still free.
+    pub fn free(&self) -> u64 {
+        self.capacity.saturating_sub(self.used)
+    }
+
+    /// Number of cached items.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the tier holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// True if `key` is present.
+    pub fn contains(&self, key: &K) -> bool {
+        self.slots.contains_key(key)
+    }
+
+    /// Look up a value without touching benefits.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.slots.get(key).map(|s| &s.value)
+    }
+
+    /// The stored size of `key`, if present.
+    pub fn size_of(&self, key: &K) -> Option<u64> {
+        self.slots.get(key).map(|s| s.size)
+    }
+
+    /// The current benefit of `key`, if present.
+    pub fn benefit_of(&self, key: &K) -> Option<f64> {
+        self.slots.get(key).map(|s| s.benefit)
+    }
+
+    /// Insert (or replace) `key`. Does **not** enforce capacity — callers
+    /// decide eviction policy first. Returns `true` if the tier is now over
+    /// budget.
+    pub fn insert(&mut self, key: K, value: V, size: u64, benefit: f64) -> bool {
+        self.remove(&key);
+        let seq = self.seq;
+        self.seq += 1;
+        self.by_benefit.insert((OrdF64(benefit), seq), key.clone());
+        self.slots.insert(
+            key,
+            Slot {
+                value,
+                size,
+                benefit,
+                seq,
+            },
+        );
+        self.used += size;
+        self.used > self.capacity
+    }
+
+    /// Remove `key`, returning its value and size.
+    pub fn remove(&mut self, key: &K) -> Option<(V, u64)> {
+        let slot = self.slots.remove(key)?;
+        self.by_benefit.remove(&(OrdF64(slot.benefit), slot.seq));
+        self.used -= slot.size;
+        Some((slot.value, slot.size))
+    }
+
+    /// Update the benefit of an existing entry (no-op if absent).
+    pub fn update_benefit(&mut self, key: &K, benefit: f64) {
+        if let Some(slot) = self.slots.get_mut(key) {
+            self.by_benefit.remove(&(OrdF64(slot.benefit), slot.seq));
+            slot.benefit = benefit;
+            let seq = self.seq;
+            self.seq += 1;
+            slot.seq = seq;
+            self.by_benefit.insert((OrdF64(benefit), seq), key.clone());
+        }
+    }
+
+    /// The entry with the lowest benefit (ties: oldest), if any.
+    pub fn min_benefit_entry(&self) -> Option<(&K, f64, u64)> {
+        self.by_benefit.iter().next().map(|((b, _), k)| {
+            let size = self.slots[k].size;
+            (k, b.0, size)
+        })
+    }
+
+    /// The lowest benefit in the tier, or `+∞` when empty (so that
+    /// "benefit > min" admission tests fail against an empty full tier
+    /// only when capacity truly is zero).
+    pub fn min_benefit(&self) -> f64 {
+        self.min_benefit_entry().map(|(_, b, _)| b).unwrap_or(f64::INFINITY)
+    }
+
+    /// Pop the minimum-benefit entry.
+    pub fn pop_min(&mut self) -> Option<(K, V, u64, f64)> {
+        let key = self.by_benefit.iter().next().map(|(_, k)| k.clone())?;
+        let benefit = self.slots[&key].benefit;
+        let (value, size) = self.remove(&key).expect("indexed key present");
+        Some((key, value, size, benefit))
+    }
+
+    /// Iterate entries in ascending benefit order.
+    pub fn iter_by_benefit(&self) -> impl Iterator<Item = (&K, f64, u64)> {
+        self.by_benefit.iter().map(move |((b, _), k)| {
+            let size = self.slots[k].size;
+            (k, b.0, size)
+        })
+    }
+
+    /// Iterate all keys (arbitrary order).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.slots.keys()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_get_remove_roundtrip() {
+        let mut t: Tier<&str, u32> = Tier::new(100);
+        assert!(!t.insert("a", 1, 40, 5.0));
+        assert_eq!(t.get(&"a"), Some(&1));
+        assert_eq!(t.used(), 40);
+        assert_eq!(t.free(), 60);
+        let (v, s) = t.remove(&"a").unwrap();
+        assert_eq!((v, s), (1, 40));
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn insert_reports_over_budget() {
+        let mut t: Tier<u8, ()> = Tier::new(10);
+        assert!(!t.insert(1, (), 6, 1.0));
+        assert!(t.insert(2, (), 6, 1.0));
+        assert_eq!(t.used(), 12);
+    }
+
+    #[test]
+    fn replace_frees_old_size() {
+        let mut t: Tier<u8, u8> = Tier::new(100);
+        t.insert(1, 10, 60, 1.0);
+        t.insert(1, 20, 30, 2.0);
+        assert_eq!(t.used(), 30);
+        assert_eq!(t.get(&1), Some(&20));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn min_benefit_tracks_order() {
+        let mut t: Tier<&str, ()> = Tier::new(1000);
+        t.insert("low", (), 1, 1.0);
+        t.insert("mid", (), 1, 5.0);
+        t.insert("high", (), 1, 9.0);
+        assert_eq!(t.min_benefit_entry().unwrap().0, &"low");
+        t.update_benefit(&"low", 20.0);
+        assert_eq!(t.min_benefit_entry().unwrap().0, &"mid");
+        let (k, _, _, b) = t.pop_min().unwrap();
+        assert_eq!((k, b), ("mid", 5.0));
+    }
+
+    #[test]
+    fn ties_pop_oldest_first() {
+        let mut t: Tier<u8, ()> = Tier::new(1000);
+        t.insert(1, (), 1, 3.0);
+        t.insert(2, (), 1, 3.0);
+        assert_eq!(t.pop_min().unwrap().0, 1);
+        assert_eq!(t.pop_min().unwrap().0, 2);
+    }
+
+    #[test]
+    fn empty_tier_min_benefit_is_infinite() {
+        let t: Tier<u8, ()> = Tier::new(10);
+        assert_eq!(t.min_benefit(), f64::INFINITY);
+        assert!(t.min_benefit_entry().is_none());
+    }
+
+    #[test]
+    fn iter_by_benefit_ascending() {
+        let mut t: Tier<u8, ()> = Tier::new(1000);
+        t.insert(3, (), 1, 30.0);
+        t.insert(1, (), 1, 10.0);
+        t.insert(2, (), 1, 20.0);
+        let order: Vec<u8> = t.iter_by_benefit().map(|(k, _, _)| *k).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unbounded_tier_never_over_budget() {
+        let mut t: Tier<u64, ()> = Tier::new(u64::MAX);
+        for i in 0..1000 {
+            assert!(!t.insert(i, (), u64::from(u32::MAX), 1.0));
+        }
+    }
+}

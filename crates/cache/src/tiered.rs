@@ -1,0 +1,571 @@
+//! The two-tier cache of §4.2.2 and Appendix B: a small, fast memory cache
+//! (`mCache`) backed by a large disk cache (`dCache`), with benefit-driven
+//! admission and demotion.
+//!
+//! `condCacheInMemory` decides whether an item belongs in memory, either
+//! using free space or by demoting lower-benefit residents to disk. Both the
+//! uniform-size variant (Algorithm 2) and the variable-size variant
+//! (Algorithm 3) are implemented; the dry-run form (the paper's `φ` second
+//! argument) answers the question without mutating state, which Algorithm 1
+//! uses before issuing a data request.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::benefit::BenefitPolicy;
+use crate::tier::Tier;
+
+/// Where a lookup found the key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lookup {
+    /// Present in the memory tier.
+    MemHit,
+    /// Present in the disk tier.
+    DiskHit,
+    /// Not cached.
+    Miss,
+}
+
+/// Where an insert finally placed the value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Placed {
+    /// Admitted to the memory tier.
+    Memory,
+    /// Admitted to the disk tier.
+    Disk,
+}
+
+/// Size handling mode for memory admission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SizeMode {
+    /// All items the same size: Algorithm 2 (evicting one resident always
+    /// frees enough room).
+    Uniform,
+    /// Variable sizes: Algorithm 3 (evict a least-benefit *set*).
+    Variable,
+}
+
+/// Hit/miss/eviction accounting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Memory-tier hits.
+    pub mem_hits: u64,
+    /// Disk-tier hits.
+    pub disk_hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Inserts admitted straight to memory.
+    pub inserts_mem: u64,
+    /// Inserts that landed on disk.
+    pub inserts_disk: u64,
+    /// Demotions from memory to disk.
+    pub demotions: u64,
+    /// Items dropped from a bounded disk tier.
+    pub disk_drops: u64,
+    /// Invalidations due to updates.
+    pub invalidations: u64,
+    /// Disk-to-memory promotions.
+    pub promotions: u64,
+}
+
+/// The paper's two-tier cache.
+#[derive(Debug)]
+pub struct TieredCache<K: Hash + Eq + Clone, V, P: BenefitPolicy<K>> {
+    mem: Tier<K, V>,
+    disk: Tier<K, V>,
+    policy: P,
+    /// Latest benefit per key, cached or not; Algorithm 1 updates benefits
+    /// for every request, so admission decisions can be made before the
+    /// value exists locally.
+    benefits: HashMap<K, f64>,
+    mode: SizeMode,
+    stats: CacheStats,
+}
+
+impl<K: Hash + Eq + Clone, V, P: BenefitPolicy<K>> TieredCache<K, V, P> {
+    /// Create a cache with the given byte budgets. Use `u64::MAX` for an
+    /// unbounded disk tier (the paper's default assumption).
+    pub fn new(mem_capacity: u64, disk_capacity: u64, policy: P, mode: SizeMode) -> Self {
+        TieredCache {
+            mem: Tier::new(mem_capacity),
+            disk: Tier::new(disk_capacity),
+            policy,
+            benefits: HashMap::new(),
+            mode,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of items in the memory tier.
+    pub fn mem_len(&self) -> usize {
+        self.mem.len()
+    }
+
+    /// Number of items in the disk tier.
+    pub fn disk_len(&self) -> usize {
+        self.disk.len()
+    }
+
+    /// Bytes used in the memory tier.
+    pub fn mem_used(&self) -> u64 {
+        self.mem.used()
+    }
+
+    /// Bytes used in the disk tier.
+    pub fn disk_used(&self) -> u64 {
+        self.disk.used()
+    }
+
+    /// Record an access to `key` with cost weight `weight`, refreshing its
+    /// benefit (Algorithm 1's `updateBenefit`). Returns the new benefit.
+    pub fn touch(&mut self, key: &K, weight: f64) -> f64 {
+        let b = self.policy.on_access(key, weight);
+        self.benefits.insert(key.clone(), b);
+        if self.mem.contains(key) {
+            self.mem.update_benefit(key, b);
+        } else if self.disk.contains(key) {
+            self.disk.update_benefit(key, b);
+        }
+        b
+    }
+
+    /// The current benefit of `key` (0 if never touched).
+    pub fn benefit(&self, key: &K) -> f64 {
+        self.benefits.get(key).copied().unwrap_or(0.0)
+    }
+
+    /// Which tier holds `key`, recording hit/miss statistics.
+    pub fn lookup(&mut self, key: &K) -> Lookup {
+        if self.mem.contains(key) {
+            self.stats.mem_hits += 1;
+            Lookup::MemHit
+        } else if self.disk.contains(key) {
+            self.stats.disk_hits += 1;
+            Lookup::DiskHit
+        } else {
+            self.stats.misses += 1;
+            Lookup::Miss
+        }
+    }
+
+    /// Read a cached value from whichever tier holds it.
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.mem.get(key).or_else(|| self.disk.get(key))
+    }
+
+    /// True if `key` is in the memory tier.
+    pub fn in_memory(&self, key: &K) -> bool {
+        self.mem.contains(key)
+    }
+
+    /// True if `key` is cached in either tier.
+    pub fn contains(&self, key: &K) -> bool {
+        self.mem.contains(key) || self.disk.contains(key)
+    }
+
+    /// Dry-run `condCacheInMemory(k, φ, size)`: would `key` (at its current
+    /// benefit) be admitted to memory? Mutates nothing.
+    pub fn would_cache_in_memory(&self, key: &K, size: u64) -> bool {
+        let benefit = self.benefit(key);
+        match self.mode {
+            SizeMode::Uniform => self.check_uniform(size, benefit),
+            SizeMode::Variable => self.check_varsize(size, benefit).is_some(),
+        }
+    }
+
+    fn check_uniform(&self, size: u64, benefit: f64) -> bool {
+        self.mem.free() >= size
+            || (benefit > self.mem.min_benefit() && self.mem.capacity() >= size)
+    }
+
+    /// For the variable-size check, returns the keys that would need to be
+    /// demoted (empty when free space suffices), or `None` if not admitted.
+    fn check_varsize(&self, size: u64, benefit: f64) -> Option<Vec<K>> {
+        if self.mem.free() >= size {
+            return Some(Vec::new());
+        }
+        if size > self.mem.capacity() {
+            return None;
+        }
+        // prelimList: least-benefit items until enough space would free up.
+        let mut freed = self.mem.free();
+        let mut prelim: Vec<(K, f64, u64)> = Vec::new();
+        for (k, b, s) in self.mem.iter_by_benefit() {
+            if freed >= size {
+                break;
+            }
+            prelim.push((k.clone(), b, s));
+            freed += s;
+        }
+        if freed < size {
+            return None;
+        }
+        let sum_benefit: f64 = prelim.iter().map(|(_, b, _)| *b).sum();
+        if benefit < sum_benefit {
+            return None;
+        }
+        // keepList: retain the highest-benefit prelim items that still leave
+        // room for the new item; the rest are demoted.
+        let keep_budget = freed - size;
+        let mut kept = 0u64;
+        let mut demote: Vec<K> = Vec::new();
+        for (k, _, s) in prelim.iter().rev() {
+            if kept + s <= keep_budget {
+                kept += s;
+            } else {
+                demote.push(k.clone());
+            }
+        }
+        Some(demote)
+    }
+
+    fn demote(&mut self, key: &K) {
+        if let Some((v, s)) = self.mem.remove(key) {
+            let b = self.benefit(key);
+            self.policy.on_evict(b);
+            self.stats.demotions += 1;
+            let over = self.disk.insert(key.clone(), v, s, b);
+            if over {
+                self.shrink_disk();
+            }
+        }
+    }
+
+    fn shrink_disk(&mut self) {
+        while self.disk.used() > self.disk.capacity() {
+            if self.disk.pop_min().is_none() {
+                break;
+            }
+            self.stats.disk_drops += 1;
+        }
+    }
+
+    /// Insert a fetched value, running `condCacheInMemory`; falls back to
+    /// the disk tier when memory admission fails. This is the "bought"
+    /// path of the ski-rental decision.
+    pub fn insert(&mut self, key: K, value: V, size: u64) -> Placed {
+        let benefit = self.benefit(&key);
+        let admitted = match self.mode {
+            SizeMode::Uniform => {
+                if self.check_uniform(size, benefit) {
+                    if self.mem.free() < size {
+                        // Evict minimum-benefit residents until it fits
+                        // (one suffices for truly uniform sizes).
+                        while self.mem.free() < size {
+                            let Some((victim, _, _)) =
+                                self.mem.min_benefit_entry().map(|(k, b, s)| (k.clone(), b, s))
+                            else {
+                                break;
+                            };
+                            self.demote(&victim);
+                        }
+                    }
+                    self.mem.free() >= size
+                } else {
+                    false
+                }
+            }
+            SizeMode::Variable => match self.check_varsize(size, benefit) {
+                Some(demotions) => {
+                    for k in &demotions {
+                        self.demote(k);
+                    }
+                    true
+                }
+                None => false,
+            },
+        };
+        if admitted {
+            // Single-copy invariant: drop any stale disk copy.
+            self.disk.remove(&key);
+            self.mem.insert(key, value, size, benefit);
+            self.stats.inserts_mem += 1;
+            Placed::Memory
+        } else {
+            let over = self.disk.insert(key, value, size, benefit);
+            if over {
+                self.shrink_disk();
+            }
+            self.stats.inserts_disk += 1;
+            Placed::Disk
+        }
+    }
+
+    /// Insert a fetched value directly into the disk tier, bypassing memory
+    /// admission — Algorithm 1's `dataQueue.add(dCache, …)` path, taken when
+    /// the disk-tier ski-rental condition fired but memory admission failed.
+    pub fn insert_to_disk(&mut self, key: K, value: V, size: u64) -> Placed {
+        let benefit = self.benefit(&key);
+        self.mem.remove(&key);
+        let over = self.disk.insert(key, value, size, benefit);
+        if over {
+            self.shrink_disk();
+        }
+        self.stats.inserts_disk += 1;
+        Placed::Disk
+    }
+
+    /// Try to promote a disk-resident value to memory after a disk hit
+    /// (Algorithm 1 line 9). Returns `true` if promoted.
+    pub fn maybe_promote(&mut self, key: &K) -> bool {
+        let Some(size) = self.disk.size_of(key) else {
+            return false;
+        };
+        let benefit = self.benefit(key);
+        let admit = match self.mode {
+            SizeMode::Uniform => self.check_uniform(size, benefit),
+            SizeMode::Variable => self.check_varsize(size, benefit).is_some(),
+        };
+        if !admit {
+            return false;
+        }
+        let (value, size) = self.disk.remove(key).expect("checked above");
+        match self.insert(key.clone(), value, size) {
+            Placed::Memory => {
+                self.stats.promotions += 1;
+                // `insert` counted this as a fresh memory insert; promotion
+                // is tracked separately, so undo the double count.
+                self.stats.inserts_mem -= 1;
+                true
+            }
+            Placed::Disk => {
+                self.stats.inserts_disk -= 1;
+                false
+            }
+        }
+    }
+
+    /// Drop `key` from both tiers (update invalidation, §4.2.3).
+    pub fn invalidate(&mut self, key: &K) {
+        let was_cached = self.mem.remove(key).is_some() | self.disk.remove(key).is_some();
+        if was_cached {
+            self.stats.invalidations += 1;
+        }
+        self.benefits.remove(key);
+        self.policy.forget(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benefit::{LfuDa, Lru};
+
+    fn cache(mem: u64, mode: SizeMode) -> TieredCache<&'static str, u32, LfuDa<&'static str>> {
+        TieredCache::new(mem, u64::MAX, LfuDa::new(), mode)
+    }
+
+    #[test]
+    fn miss_then_insert_then_mem_hit() {
+        let mut c = cache(100, SizeMode::Variable);
+        c.touch(&"a", 1.0);
+        assert_eq!(c.lookup(&"a"), Lookup::Miss);
+        assert_eq!(c.insert("a", 1, 10), Placed::Memory);
+        assert_eq!(c.lookup(&"a"), Lookup::MemHit);
+        assert_eq!(c.get(&"a"), Some(&1));
+        let s = c.stats();
+        assert_eq!((s.misses, s.mem_hits, s.inserts_mem), (1, 1, 1));
+    }
+
+    #[test]
+    fn low_benefit_item_lands_on_disk_when_memory_full() {
+        let mut c = cache(100, SizeMode::Variable);
+        for _ in 0..10 {
+            c.touch(&"hot", 1.0);
+        }
+        c.insert("hot", 1, 100);
+        c.touch(&"cold", 1.0); // benefit 1 < hot's 10
+        assert_eq!(c.insert("cold", 2, 100), Placed::Disk);
+        assert_eq!(c.lookup(&"cold"), Lookup::DiskHit);
+        assert!(c.in_memory(&"hot"));
+    }
+
+    #[test]
+    fn high_benefit_item_demotes_resident() {
+        let mut c = cache(100, SizeMode::Variable);
+        c.touch(&"cold", 1.0);
+        c.insert("cold", 1, 100);
+        for _ in 0..5 {
+            c.touch(&"hot", 1.0);
+        }
+        assert_eq!(c.insert("hot", 2, 100), Placed::Memory);
+        assert!(c.in_memory(&"hot"));
+        assert_eq!(c.lookup(&"cold"), Lookup::DiskHit);
+        assert_eq!(c.stats().demotions, 1);
+    }
+
+    #[test]
+    fn uniform_mode_matches_algorithm_2() {
+        let mut c = cache(20, SizeMode::Uniform);
+        c.touch(&"a", 1.0);
+        c.insert("a", 1, 10);
+        c.touch(&"b", 1.0);
+        c.insert("b", 2, 10);
+        // Memory is full; new key with equal benefit (1) is NOT admitted
+        // (strict > in Algorithm 2).
+        c.touch(&"c", 1.0);
+        assert!(!c.would_cache_in_memory(&"c", 10));
+        assert_eq!(c.insert("c", 3, 10), Placed::Disk);
+        // Raise c's benefit above the min: admitted, demoting a resident.
+        c.touch(&"c", 1.0);
+        c.invalidate(&"c");
+        c.touch(&"c", 1.0);
+        c.touch(&"c", 1.0);
+        assert!(c.would_cache_in_memory(&"c", 10));
+        assert_eq!(c.insert("c", 3, 10), Placed::Memory);
+        assert_eq!(c.mem_len(), 2);
+        assert_eq!(c.disk_len(), 1);
+    }
+
+    #[test]
+    fn varsize_demotes_a_set_of_small_items() {
+        let mut c = cache(100, SizeMode::Variable);
+        for k in ["a", "b", "c", "d"] {
+            c.touch(&k, 1.0);
+            c.insert(k, 0, 25);
+        }
+        // Big item with benefit exceeding the sum of the evicted set.
+        for _ in 0..10 {
+            c.touch(&"big", 1.0);
+        }
+        assert_eq!(c.insert("big", 9, 75), Placed::Memory);
+        // 75 bytes needed: three of the four 25-byte items demoted, one kept.
+        assert_eq!(c.mem_len(), 2);
+        assert_eq!(c.stats().demotions, 3);
+        assert_eq!(c.mem_used(), 100);
+    }
+
+    #[test]
+    fn varsize_rejects_when_benefit_below_sum() {
+        let mut c = cache(100, SizeMode::Variable);
+        for k in ["a", "b", "c", "d"] {
+            c.touch(&k, 1.0);
+            c.touch(&k, 1.0); // benefit 2 each
+            c.insert(k, 0, 25);
+        }
+        // New item needs 3 demotions (sum benefit 6) but only has 3.
+        c.touch(&"big", 3.0);
+        assert!(!c.would_cache_in_memory(&"big", 75));
+        assert_eq!(c.insert("big", 9, 75), Placed::Disk);
+        assert_eq!(c.mem_len(), 4);
+    }
+
+    #[test]
+    fn item_larger_than_memory_goes_to_disk() {
+        let mut c = cache(100, SizeMode::Variable);
+        c.touch(&"huge", 1e9);
+        assert!(!c.would_cache_in_memory(&"huge", 101));
+        assert_eq!(c.insert("huge", 1, 101), Placed::Disk);
+    }
+
+    #[test]
+    fn promotion_after_disk_hits() {
+        let mut c = cache(100, SizeMode::Variable);
+        for _ in 0..5 {
+            c.touch(&"m", 1.0);
+        }
+        c.insert("m", 1, 100); // fills memory
+        c.touch(&"d", 1.0);
+        c.insert("d", 2, 50); // disk
+        assert_eq!(c.lookup(&"d"), Lookup::DiskHit);
+        // Heat d up beyond m.
+        for _ in 0..9 {
+            c.touch(&"d", 1.0);
+        }
+        assert!(c.maybe_promote(&"d"));
+        assert!(c.in_memory(&"d"));
+        assert_eq!(c.lookup(&"m"), Lookup::DiskHit);
+        assert_eq!(c.stats().promotions, 1);
+    }
+
+    #[test]
+    fn promote_declines_when_benefit_insufficient() {
+        let mut c = cache(100, SizeMode::Variable);
+        for _ in 0..5 {
+            c.touch(&"m", 1.0);
+        }
+        c.insert("m", 1, 100);
+        c.touch(&"d", 1.0);
+        c.insert("d", 2, 100);
+        assert!(!c.maybe_promote(&"d"));
+        assert!(!c.in_memory(&"d"));
+    }
+
+    #[test]
+    fn invalidate_clears_both_tiers_and_benefit() {
+        let mut c = cache(100, SizeMode::Variable);
+        c.touch(&"a", 5.0);
+        c.insert("a", 1, 10);
+        c.invalidate(&"a");
+        assert_eq!(c.lookup(&"a"), Lookup::Miss);
+        assert_eq!(c.benefit(&"a"), 0.0);
+        assert_eq!(c.stats().invalidations, 1);
+        // Frequency also reset: next touch earns base benefit again.
+        let b = c.touch(&"a", 5.0);
+        assert_eq!(b, 5.0);
+    }
+
+    #[test]
+    fn bounded_disk_drops_lowest_benefit() {
+        let mut c: TieredCache<u32, (), Lru> =
+            TieredCache::new(0, 100, Lru::new(), SizeMode::Variable);
+        for k in 0..3u32 {
+            c.touch(&k, 1.0);
+            assert_eq!(c.insert(k, (), 50), Placed::Disk);
+        }
+        assert!(c.disk_used() <= 100);
+        assert_eq!(c.stats().disk_drops, 1);
+        // LRU benefit: key 0 (oldest) was dropped.
+        assert!(!c.contains(&0));
+        assert!(c.contains(&1) && c.contains(&2));
+    }
+
+    #[test]
+    fn single_copy_invariant_on_memory_insert() {
+        let mut c = cache(100, SizeMode::Variable);
+        c.touch(&"a", 1.0);
+        // First lands on disk because memory is packed by a hotter key.
+        for _ in 0..5 {
+            c.touch(&"hot", 1.0);
+        }
+        c.insert("hot", 0, 100);
+        c.insert("a", 1, 10);
+        assert_eq!(c.lookup(&"a"), Lookup::DiskHit);
+        // Re-fetch and insert after it got hotter: memory now, disk copy gone.
+        for _ in 0..20 {
+            c.touch(&"a", 1.0);
+        }
+        c.insert("a", 1, 10);
+        assert!(c.in_memory(&"a"));
+        assert_eq!(c.disk_len(), 1); // only the demoted "hot"
+    }
+
+    #[test]
+    fn aging_allows_newly_hot_keys_to_displace_stale_ones() {
+        // LFU-DA property: after an eviction raises the age factor, a new
+        // key needs fewer accesses to displace a resident than its raw
+        // frequency alone would allow.
+        let mut c = cache(10, SizeMode::Variable);
+        for _ in 0..100 {
+            c.touch(&"stale", 1.0);
+        }
+        c.insert("stale", 0, 10); // resident at benefit 100
+        for _ in 0..150 {
+            c.touch(&"hot", 1.0);
+        }
+        c.insert("hot", 0, 10); // demotes stale -> age factor becomes 100
+        assert_eq!(c.stats().demotions, 1);
+        // 60 accesses alone (benefit 60) would lose to hot's 150, but with
+        // the age floor of 100 the fresh key reaches 160 and wins.
+        for _ in 0..60 {
+            c.touch(&"fresh", 1.0);
+        }
+        assert!(c.benefit(&"fresh") > 150.0);
+        assert!(c.would_cache_in_memory(&"fresh", 10));
+    }
+}

@@ -1,0 +1,227 @@
+//! Time- and size-bounded request batching (§7.2).
+//!
+//! Requests to one data node accumulate until the batch is full or the
+//! oldest enqueued request has waited `max_wait` — whichever comes first —
+//! bounding both per-request overhead and latency.
+
+use std::collections::VecDeque;
+
+use jl_simkit::time::{SimDuration, SimTime};
+
+/// A batch accumulator for one destination.
+///
+/// In *dynamic* mode (the paper's §10 future work) the target size adapts
+/// AIMD-style to the observed flush pattern: flushing full grows the target
+/// (throughput headroom), flushing half-empty on timeout shrinks it
+/// (the pipeline cannot fill batches this large within the latency bound).
+#[derive(Debug, Clone)]
+pub struct Batcher<T> {
+    queue: VecDeque<(SimTime, T)>,
+    batch_size: usize,
+    max_wait: SimDuration,
+    dynamic: Option<(usize, usize)>,
+}
+
+impl<T> Batcher<T> {
+    /// Create with the given size and wait bounds.
+    ///
+    /// # Panics
+    /// Panics if `batch_size == 0`.
+    pub fn new(batch_size: usize, max_wait: SimDuration) -> Self {
+        assert!(batch_size > 0, "batch size must be positive");
+        Batcher {
+            queue: VecDeque::with_capacity(batch_size),
+            batch_size,
+            max_wait,
+            dynamic: None,
+        }
+    }
+
+    /// Create a dynamically-sized batcher: the target starts at `min` and
+    /// adapts within `[min, max]`.
+    ///
+    /// # Panics
+    /// Panics if `min == 0` or `min > max`.
+    pub fn dynamic(min: usize, max: usize, max_wait: SimDuration) -> Self {
+        assert!(min > 0 && min <= max, "need 0 < min <= max");
+        let mut b = Self::new(min, max_wait);
+        b.dynamic = Some((min, max));
+        b
+    }
+
+    /// Current target batch size.
+    pub fn target_size(&self) -> usize {
+        self.batch_size
+    }
+
+    fn adapt(&mut self, flushed: usize, by_timeout: bool) {
+        let Some((min, max)) = self.dynamic else { return };
+        if by_timeout && flushed < self.batch_size / 2 {
+            // Halve: the latency bound fires before batches half-fill.
+            self.batch_size = (self.batch_size / 2).max(min);
+        } else if !by_timeout {
+            // Grow additively: demand fills batches at this size.
+            self.batch_size = (self.batch_size + (self.batch_size / 4).max(1)).min(max);
+        }
+    }
+
+    /// Enqueue an item at `now`. Returns a full batch if this push filled it.
+    pub fn push(&mut self, now: SimTime, item: T) -> Option<Vec<T>> {
+        self.queue.push_back((now, item));
+        if self.queue.len() >= self.batch_size {
+            let out = self.drain(self.batch_size);
+            self.adapt(out.len(), false);
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Flush a batch whose oldest item has exceeded the wait bound.
+    pub fn poll(&mut self, now: SimTime) -> Option<Vec<T>> {
+        let (oldest, _) = self.queue.front()?;
+        if now.since(*oldest) >= self.max_wait {
+            let out = self.drain(self.batch_size);
+            self.adapt(out.len(), true);
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// Flush everything regardless of size or age (end of input).
+    pub fn flush(&mut self) -> Option<Vec<T>> {
+        if self.queue.is_empty() {
+            None
+        } else {
+            Some(self.drain(self.queue.len()))
+        }
+    }
+
+    /// When the oldest pending item will trip the wait bound, if any.
+    pub fn deadline(&self) -> Option<SimTime> {
+        self.queue.front().map(|(t, _)| *t + self.max_wait)
+    }
+
+    /// Items currently queued.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    fn drain(&mut self, n: usize) -> Vec<T> {
+        self.queue.drain(..n.min(self.queue.len())).map(|(_, t)| t).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    #[test]
+    fn fills_then_flushes() {
+        let mut b = Batcher::new(3, SimDuration::from_millis(100));
+        assert!(b.push(t(0), 1).is_none());
+        assert!(b.push(t(1), 2).is_none());
+        let batch = b.push(t(2), 3).expect("full");
+        assert_eq!(batch, vec![1, 2, 3]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn poll_respects_max_wait() {
+        let mut b = Batcher::new(10, SimDuration::from_millis(100));
+        b.push(t(0), 1);
+        b.push(t(50), 2);
+        assert!(b.poll(t(99)).is_none());
+        assert_eq!(b.poll(t(100)), Some(vec![1, 2]));
+        assert!(b.poll(t(300)).is_none(), "empty after flush");
+    }
+
+    #[test]
+    fn deadline_tracks_oldest() {
+        let mut b = Batcher::new(10, SimDuration::from_millis(100));
+        assert_eq!(b.deadline(), None);
+        b.push(t(20), 1);
+        b.push(t(70), 2);
+        assert_eq!(b.deadline(), Some(t(120)));
+    }
+
+    #[test]
+    fn partial_drain_keeps_remainder() {
+        let mut b = Batcher::new(2, SimDuration::from_millis(100));
+        b.push(t(0), 1);
+        let full = b.push(t(1), 2).unwrap();
+        assert_eq!(full, vec![1, 2]);
+        b.push(t(2), 3);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.flush(), Some(vec![3]));
+        assert_eq!(b.flush(), None);
+    }
+
+    #[test]
+    fn oversized_flush_returns_all() {
+        let mut b = Batcher::new(100, SimDuration::from_millis(5));
+        for i in 0..7 {
+            b.push(t(i), i);
+        }
+        assert_eq!(b.flush().unwrap().len(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "batch size must be positive")]
+    fn zero_batch_rejected() {
+        let _: Batcher<u8> = Batcher::new(0, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn dynamic_grows_under_demand() {
+        let mut b: Batcher<u32> = Batcher::dynamic(4, 64, SimDuration::from_millis(10));
+        assert_eq!(b.target_size(), 4);
+        let mut pushed = 0u64;
+        for round in 0..20 {
+            let _ = round;
+            while b.push(t(pushed), 0).is_none() {
+                pushed += 1;
+            }
+            pushed += 1;
+        }
+        assert!(b.target_size() > 16, "never grew: {}", b.target_size());
+        assert!(b.target_size() <= 64);
+    }
+
+    #[test]
+    fn dynamic_shrinks_on_sparse_timeouts() {
+        let mut b: Batcher<u32> = Batcher::dynamic(4, 64, SimDuration::from_millis(10));
+        // Grow it first.
+        let mut clock = 0u64;
+        for _ in 0..200 {
+            clock += 1;
+            b.push(t(clock), 0);
+        }
+        let grown = b.target_size();
+        assert!(grown > 4);
+        // Now a trickle: one item per 100 ms, flushed by timeout each time.
+        for _ in 0..20 {
+            clock += 100;
+            b.push(t(clock), 0);
+            clock += 11;
+            assert!(b.poll(t(clock)).is_some());
+        }
+        assert_eq!(b.target_size(), 4, "never shrank back");
+    }
+
+    #[test]
+    #[should_panic(expected = "need 0 < min <= max")]
+    fn dynamic_rejects_bad_bounds() {
+        let _: Batcher<u8> = Batcher::dynamic(8, 4, SimDuration::ZERO);
+    }
+}

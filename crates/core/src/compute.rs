@@ -1,0 +1,1026 @@
+//! The per-compute-node runtime: Algorithm 1 (`skiRentalCaching`) plus
+//! batching, prefetch bookkeeping, runtime cost measurement, and the load
+//! statistics of Appendix C.
+//!
+//! The runtime is a passive state machine: the driver (simulation actor or
+//! thread pool) feeds it input tuples and responses, and it returns
+//! [`Action`]s — local UDF executions to run and batches to transmit. It
+//! never blocks and holds no engine state, which is what makes compute
+//! nodes stateless (beyond the cache) and elastically addable/removable.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use jl_cache::{LfuDa, Lookup, TieredCache};
+use jl_costmodel::{rent_buy_costs, ExpSmoothed, NodeCosts, PerKeyCosts, SizeProfile};
+use jl_freq::{FrequencyEstimator, LossyCounter};
+use jl_loadbalance::ComputeLoadStats;
+use jl_simkit::time::SimTime;
+use jl_skirental::{Decision, RecurringSkiRental};
+
+use crate::config::{OptimizerConfig, Strategy};
+use crate::types::{
+    Action, BatchRequest, CacheValue, ReqKind, RequestItem, ResponseItem, ResponsePayload,
+    ValueSource,
+};
+use crate::batcher::Batcher;
+
+/// Why the runtime routed a tuple the way it did (statistics).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DecisionStats {
+    /// Served from the memory cache.
+    pub mem_hits: u64,
+    /// Served from the disk cache.
+    pub disk_hits: u64,
+    /// Sent as compute requests (rent).
+    pub compute_requests: u64,
+    /// Sent as data requests (buy).
+    pub data_requests: u64,
+    /// Compute requests bounced back by load balancing and run locally.
+    pub bounced_local: u64,
+    /// Cache-hit tuples deliberately offloaded to data nodes under local
+    /// CPU pressure (the §5-footnote-4 extension; 0 unless enabled).
+    pub offloaded_hits: u64,
+    /// Tuples whose key had no stored row.
+    pub missing: u64,
+    /// Outputs produced (local + remote).
+    pub completed: u64,
+}
+
+/// Caching intent recorded when a data request is issued, applied when the
+/// value arrives (Algorithm 1 lines 15 vs 19).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FetchIntent {
+    Memory,
+    Disk,
+    /// Strategy without caching: use once and drop.
+    NoCache,
+}
+
+#[derive(Debug)]
+struct InFlight<P> {
+    params: P,
+    kind: ReqKind,
+    intent: FetchIntent,
+}
+
+/// Per-data-node view the compute node maintains.
+struct DestState<K, P> {
+    batcher: Batcher<RequestItem<K, P>>,
+    /// `ndc`/`ncc` components: queued-but-unsent items by kind.
+    queued_data: u64,
+    queued_compute: u64,
+    /// `nrd_ij` — compute requests in flight to this destination.
+    inflight_compute: u64,
+    /// In-flight data requests to this destination.
+    inflight_data: u64,
+    /// Smoothed fraction of compute requests this destination executed
+    /// itself (history for `rd_ij`/`rc_ij`).
+    computed_frac: ExpSmoothed,
+    /// Smoothed remote cost parameters.
+    t_disk: ExpSmoothed,
+    /// Effective (latency-inclusive) per-UDF seconds at the destination.
+    t_cpu: ExpSmoothed,
+    /// Service-only per-UDF seconds at the destination.
+    t_cpu_svc: ExpSmoothed,
+}
+
+/// The compute-side runtime.
+pub struct ComputeRuntime<K, P, V>
+where
+    K: Hash + Eq + Clone + Ord,
+    V: CacheValue,
+{
+    cfg: OptimizerConfig,
+    cache: TieredCache<K, V, LfuDa<K>>,
+    freq: LossyCounter<K>,
+    perkey: PerKeyCosts<K>,
+    versions: HashMap<K, u64>,
+    dests: Vec<DestState<K, P>>,
+    inflight: HashMap<u64, InFlight<P>>,
+    /// Keys with a data request (purchase) already in flight. Further
+    /// accesses rent until the value lands — without this, every access of
+    /// a hot key during its (possibly large) fetch issues another full
+    /// fetch, and the fetch storm congests the owning data node's NIC,
+    /// which delays the fetches, which admits more accesses: a positive
+    /// feedback loop that can melt a node over a single key.
+    fetching: std::collections::HashSet<K>,
+    next_req: u64,
+    /// `lcc_i` — local executions issued but not yet completed.
+    local_pending: u64,
+    my: NodeCosts,
+    my_cpu: ExpSmoothed,
+    scv_est: ExpSmoothed,
+    rng: StdRng,
+    tuples_seen: u64,
+    stats: DecisionStats,
+    frozen: bool,
+}
+
+impl<K, P, V> ComputeRuntime<K, P, V>
+where
+    K: Hash + Eq + Clone + Ord,
+    P: Clone,
+    V: CacheValue,
+{
+    /// Create a runtime for a compute node talking to `n_data_nodes` data
+    /// nodes. `my` holds this node's initial hardware parameters; remote
+    /// parameters start at `remote_default` and are learned from responses.
+    pub fn new(
+        cfg: OptimizerConfig,
+        n_data_nodes: usize,
+        my: NodeCosts,
+        remote_default: NodeCosts,
+        seed: u64,
+    ) -> Self {
+        assert!(n_data_nodes > 0, "need at least one data node");
+        let batch_size = if cfg.strategy.batches() { cfg.batch_size } else { 1 };
+        let dyn_max = cfg.dynamic_batch_max.filter(|_| cfg.strategy.batches());
+        let alpha = cfg.smoothing_alpha;
+        let dests = (0..n_data_nodes)
+            .map(|_| {
+                let mut t_disk = ExpSmoothed::new(alpha);
+                let mut t_cpu = ExpSmoothed::new(alpha);
+                let mut t_cpu_svc = ExpSmoothed::new(alpha);
+                t_disk.update(remote_default.t_disk);
+                t_cpu.update(remote_default.t_cpu);
+                t_cpu_svc.update(remote_default.t_cpu);
+                DestState {
+                    batcher: match dyn_max {
+                        Some(max) => Batcher::dynamic(batch_size.min(max), max, cfg.batch_max_wait),
+                        None => Batcher::new(batch_size, cfg.batch_max_wait),
+                    },
+                    queued_data: 0,
+                    queued_compute: 0,
+                    inflight_compute: 0,
+                    inflight_data: 0,
+                    computed_frac: ExpSmoothed::new(alpha),
+                    t_disk,
+                    t_cpu,
+                    t_cpu_svc,
+                }
+            })
+            .collect();
+        let cache = TieredCache::new(
+            cfg.mem_cache_bytes,
+            cfg.disk_cache_bytes,
+            LfuDa::new(),
+            cfg.size_mode,
+        );
+        ComputeRuntime {
+            freq: LossyCounter::new(cfg.lossy_epsilon),
+            perkey: PerKeyCosts::new(cfg.perkey_capacity, alpha),
+            versions: HashMap::new(),
+            dests,
+            inflight: HashMap::new(),
+            fetching: std::collections::HashSet::new(),
+            next_req: 0,
+            local_pending: 0,
+            my,
+            my_cpu: ExpSmoothed::new(alpha),
+            scv_est: ExpSmoothed::new(alpha),
+            rng: StdRng::seed_from_u64(seed),
+            tuples_seen: 0,
+            stats: DecisionStats::default(),
+            frozen: false,
+            cache,
+            cfg,
+        }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &OptimizerConfig {
+        &self.cfg
+    }
+
+    /// Decision statistics so far.
+    pub fn stats(&self) -> DecisionStats {
+        self.stats
+    }
+
+    /// Cache statistics so far.
+    pub fn cache_stats(&self) -> jl_cache::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Input tuples processed.
+    pub fn tuples_seen(&self) -> u64 {
+        self.tuples_seen
+    }
+
+    /// Requests currently in flight (for drain checks).
+    pub fn inflight_count(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// Local executions issued but not completed.
+    pub fn local_pending(&self) -> u64 {
+        self.local_pending
+    }
+
+    fn fresh_req(&mut self) -> u64 {
+        let id = self.next_req;
+        self.next_req += 1;
+        id
+    }
+
+    /// The current size profile for a key destined to `dest`.
+    fn size_profile(&self, key_size: u64, params_size: u64, value_size: f64) -> SizeProfile {
+        SizeProfile {
+            key: key_size,
+            params: params_size,
+            value: value_size.max(0.0) as u64,
+            computed: self.scv_est.get_or(params_size as f64).max(0.0) as u64,
+        }
+    }
+
+    /// The destination's cost parameters *for one specific key*: its disk
+    /// time, and the key's own UDF service time scaled by the node's
+    /// measured congestion (effective ÷ service CPU time). Using the node's
+    /// average CPU time instead would make every expensive-UDF key look
+    /// cheaper to rent than to run locally — with per-model classification
+    /// costs spanning four orders of magnitude, per-key costs are the whole
+    /// point (§4.3: "the costs are key specific").
+    fn remote_costs(&self, dest: usize, key_cpu: f64) -> NodeCosts {
+        let d = &self.dests[dest];
+        let svc = d.t_cpu_svc.get_or(self.my.t_cpu).max(1e-12);
+        let inflation = (d.t_cpu.get_or(svc) / svc).max(1.0);
+        NodeCosts {
+            t_disk: d.t_disk.get_or(self.my.t_disk),
+            t_cpu: (key_cpu * inflation).max(0.0),
+            net_bw: self.my.net_bw,
+        }
+    }
+
+    fn my_costs(&self, key_cpu: f64) -> NodeCosts {
+        NodeCosts {
+            t_disk: self.my.t_disk,
+            t_cpu: key_cpu.max(0.0),
+            net_bw: self.my.net_bw,
+        }
+    }
+
+    /// Process one input tuple: decide placement (Algorithm 1) and return
+    /// the resulting actions.
+    pub fn on_input(
+        &mut self,
+        now: SimTime,
+        key: K,
+        params: P,
+        key_size: u64,
+        params_size: u64,
+        dest: usize,
+    ) -> Vec<Action<K, P, V>> {
+        self.tuples_seen += 1;
+        if let Some(limit) = self.cfg.freeze_cache_after {
+            if !self.frozen && self.tuples_seen > limit {
+                self.frozen = true;
+            }
+        }
+        let caching = self.cfg.strategy.caches();
+
+        // Cache lookup (Algorithm 1 lines 3–9) — only caching strategies.
+        if caching {
+            if !self.frozen {
+                // updateBenefit: weight ≈ per-access saving of having the
+                // value local (rent − recurring), floored at a small epsilon.
+                let kc = self.perkey.get(&key, 1024.0, self.my.t_cpu);
+                let sizes = self.size_profile(key_size, params_size, kc.value_size);
+                let rb = rent_buy_costs(
+                    &sizes,
+                    &self.my_costs(kc.cpu_secs),
+                    &self.remote_costs(dest, kc.cpu_secs),
+                );
+                // Benefit weight = per-access saving of holding the value
+                // locally, under the realized (bounce-aware) rent.
+                let frac = self.dests[dest].computed_frac.get_or(1.0).clamp(0.0, 1.0);
+                let rent_eff = frac * rb.rent + (1.0 - frac) * (rb.buy + rb.rec_mem);
+                let weight = (rent_eff - rb.rec_mem).max(1e-9);
+                self.cache.touch(&key, weight);
+            }
+            // §5 footnote 4 extension: under extreme local CPU pressure,
+            // spill even cache-hit work back to an uncongested data node.
+            let offload = self.cfg.offload_cached_above.is_some_and(|thr| {
+                let d = &self.dests[dest];
+                let svc = d.t_cpu_svc.get_or(self.my.t_cpu).max(1e-12);
+                let remote_idle = d.t_cpu.get_or(svc) / svc < 1.5;
+                self.local_pending > thr && remote_idle
+            });
+            if !offload {
+                match self.cache.lookup(&key) {
+                    Lookup::MemHit => {
+                        let value = self.cache.get(&key).expect("mem hit").clone();
+                        self.stats.mem_hits += 1;
+                        if !self.frozen {
+                            let _ = self.freq.observe(key.clone());
+                        }
+                        return vec![self.run_local(key, params, value, ValueSource::MemCache)];
+                    }
+                    Lookup::DiskHit => {
+                        let value = self.cache.get(&key).expect("disk hit").clone();
+                        self.stats.disk_hits += 1;
+                        if !self.frozen {
+                            let _ = self.freq.observe(key.clone());
+                            self.cache.maybe_promote(&key);
+                        }
+                        return vec![self.run_local(key, params, value, ValueSource::DiskCache)];
+                    }
+                    Lookup::Miss => {}
+                }
+            } else {
+                self.stats.offloaded_hits += 1;
+            }
+        }
+
+        // Miss (or non-caching strategy): choose the request kind.
+        let (kind, intent) = self.choose_request(&key, key_size, params_size, dest);
+        match kind {
+            ReqKind::Compute => self.stats.compute_requests += 1,
+            ReqKind::Data => self.stats.data_requests += 1,
+        }
+        if kind == ReqKind::Data && intent != FetchIntent::NoCache {
+            self.fetching.insert(key.clone());
+        }
+        let req_id = self.fresh_req();
+        // Keep a local copy of the params: load balancing may bounce a
+        // compute request back as a raw value, and the response does not
+        // re-ship the params (§Appendix C counts only `sv` for uncomputed
+        // responses — the compute node correlates by request id).
+        self.inflight.insert(
+            req_id,
+            InFlight {
+                params: params.clone(),
+                kind,
+                intent,
+            },
+        );
+        let item = RequestItem {
+            req_id,
+            key,
+            params,
+            kind,
+        };
+        match kind {
+            ReqKind::Data => self.dests[dest].queued_data += 1,
+            ReqKind::Compute => self.dests[dest].queued_compute += 1,
+        }
+        let mut out = Vec::new();
+        if let Some(items) = self.dests[dest].batcher.push(now, item) {
+            out.push(self.make_send(dest, items));
+        }
+        out
+    }
+
+    /// Flush batches whose oldest item exceeded the wait bound. Drivers call
+    /// this when a batch deadline timer fires.
+    pub fn poll(&mut self, now: SimTime) -> Vec<Action<K, P, V>> {
+        let mut out = Vec::new();
+        for dest in 0..self.dests.len() {
+            if let Some(items) = self.dests[dest].batcher.poll(now) {
+                out.push(self.make_send(dest, items));
+            }
+        }
+        out
+    }
+
+    /// Flush every pending batch regardless of age (end of input).
+    pub fn flush_all(&mut self) -> Vec<Action<K, P, V>> {
+        let mut out = Vec::new();
+        for dest in 0..self.dests.len() {
+            while let Some(items) = self.dests[dest].batcher.flush() {
+                out.push(self.make_send(dest, items));
+            }
+        }
+        out
+    }
+
+    /// The earliest batch-flush deadline across destinations, if any.
+    pub fn next_deadline(&self) -> Option<SimTime> {
+        self.dests
+            .iter()
+            .filter_map(|d| d.batcher.deadline())
+            .min()
+    }
+
+    fn make_send(&mut self, dest: usize, items: Vec<RequestItem<K, P>>) -> Action<K, P, V> {
+        for it in &items {
+            match it.kind {
+                ReqKind::Compute => {
+                    self.dests[dest].inflight_compute += 1;
+                    self.dests[dest].queued_compute =
+                        self.dests[dest].queued_compute.saturating_sub(1);
+                }
+                ReqKind::Data => {
+                    self.dests[dest].inflight_data += 1;
+                    self.dests[dest].queued_data =
+                        self.dests[dest].queued_data.saturating_sub(1);
+                }
+            }
+        }
+        let stats = self.load_stats(dest);
+        Action::Send {
+            dest,
+            batch: BatchRequest { items, stats },
+        }
+    }
+
+    /// Build the Appendix C compute-side load snapshot for a batch to `dest`.
+    fn load_stats(&self, dest: usize) -> ComputeLoadStats {
+        let mut ndc = 0u64; // data requests still queued in batchers
+        let mut ncc = 0u64; // compute requests still queued in batchers
+        for d in &self.dests {
+            ndc += d.queued_data;
+            ncc += d.queued_compute;
+        }
+        let mut pending_elsewhere = 0u64;
+        let mut computed_elsewhere = 0f64;
+        let mut ndrc = 0u64;
+        for (j, d) in self.dests.iter().enumerate() {
+            ndrc += d.inflight_data;
+            if j != dest {
+                pending_elsewhere += d.inflight_compute;
+                computed_elsewhere +=
+                    d.computed_frac.get_or(1.0) * d.inflight_compute as f64;
+            }
+        }
+        let at_target = &self.dests[dest];
+        let computed_at_target =
+            (at_target.computed_frac.get_or(1.0) * at_target.inflight_compute as f64) as u64;
+        ComputeLoadStats {
+            local_pending: self.local_pending,
+            data_reqs_outbound: ndc,
+            compute_reqs_outbound: ncc,
+            data_resps_inbound: ndrc,
+            pending_elsewhere,
+            computed_elsewhere: (computed_elsewhere as u64).min(pending_elsewhere),
+            pending_at_target: at_target.inflight_compute,
+            computed_at_target: computed_at_target.min(at_target.inflight_compute),
+            cpu_secs: self.my_cpu.get_or(self.my.t_cpu),
+            net_bw: self.my.net_bw,
+        }
+    }
+
+    /// Handle a batched response from data node `dest`. Returns follow-up
+    /// actions (local executions for returned values). Remotely-computed
+    /// outputs are already in the driver's hands; this records their
+    /// completion and cost feedback.
+    pub fn on_batch_response(
+        &mut self,
+        dest: usize,
+        items: Vec<ResponseItem<K, V>>,
+    ) -> Vec<Action<K, P, V>> {
+        let mut out = Vec::new();
+        let mut computed = 0u64;
+        let mut bounced = 0u64;
+        for item in items {
+            let Some(inflight) = self.inflight.remove(&item.req_id) else {
+                continue; // duplicate or cancelled
+            };
+            match inflight.kind {
+                ReqKind::Compute => {
+                    self.dests[dest].inflight_compute =
+                        self.dests[dest].inflight_compute.saturating_sub(1);
+                }
+                ReqKind::Data => {
+                    self.dests[dest].inflight_data =
+                        self.dests[dest].inflight_data.saturating_sub(1);
+                }
+            }
+            if let Some(cost) = item.cost {
+                self.absorb_cost_info(&item.key, dest, &cost);
+            }
+            match item.payload {
+                ResponsePayload::Computed { output_size } => {
+                    computed += 1;
+                    self.scv_est_update(output_size);
+                    self.stats.completed += 1;
+                }
+                ResponsePayload::Value { value, bounced: b } => {
+                    if !b {
+                        self.fetching.remove(&item.key);
+                    }
+                    if b {
+                        bounced += 1;
+                        self.stats.bounced_local += 1;
+                    }
+                    let caching = self.cfg.strategy.caches() && !self.frozen;
+                    if caching && !b && inflight.intent != FetchIntent::NoCache {
+                        let size = value.size();
+                        match inflight.intent {
+                            FetchIntent::Memory => {
+                                self.cache.insert(item.key.clone(), value.clone(), size);
+                            }
+                            FetchIntent::Disk => {
+                                self.cache.insert_to_disk(item.key.clone(), value.clone(), size);
+                            }
+                            FetchIntent::NoCache => unreachable!("guarded above"),
+                        }
+                    }
+                    let source = if b { ValueSource::Bounced } else { ValueSource::Fetched };
+                    out.push(self.run_local(item.key, inflight.params, value, source));
+                }
+                ResponsePayload::Missing => {
+                    self.fetching.remove(&item.key);
+                    self.stats.missing += 1;
+                    self.stats.completed += 1;
+                }
+            }
+        }
+        // Update the history of how much this destination computes itself.
+        let answered = computed + bounced;
+        if answered > 0 {
+            self.dests[dest]
+                .computed_frac
+                .update(computed as f64 / answered as f64);
+        }
+        out
+    }
+
+    fn scv_est_update(&mut self, output_size: u64) {
+        self.scv_est.update(output_size as f64);
+    }
+
+    fn absorb_cost_info(&mut self, key: &K, dest: usize, cost: &crate::types::CostInfo) {
+        self.perkey
+            .record(key.clone(), cost.value_size, cost.udf_cpu_secs);
+        self.dests[dest].t_disk.update(cost.data_t_disk);
+        self.dests[dest].t_cpu.update(cost.data_t_cpu);
+        self.dests[dest].t_cpu_svc.update(cost.data_t_cpu_service);
+        // §4.2.3: if the item's version moved since we last saw it, reset
+        // its access count and invalidate any cached copy.
+        let seen = self.versions.entry(key.clone()).or_insert(cost.version);
+        if cost.version > *seen {
+            *seen = cost.version;
+            self.freq.reset(key);
+            self.cache.invalidate(key);
+        }
+        if self.versions.len() > self.cfg.perkey_capacity * 2 {
+            self.versions.clear(); // coarse bound; versions re-learn lazily
+        }
+    }
+
+    /// A local UDF execution finished: record its measured CPU seconds.
+    pub fn on_local_done(&mut self, _req_id: u64, cpu_secs: f64) {
+        self.local_pending = self.local_pending.saturating_sub(1);
+        self.my_cpu.update(cpu_secs);
+        self.stats.completed += 1;
+    }
+
+    /// Targeted update notification from a data node (§4.2.3): invalidate
+    /// the cached copy and restart the access count.
+    pub fn on_update_notice(&mut self, key: &K) {
+        self.cache.invalidate(key);
+        self.freq.reset(key);
+        self.versions.remove(key);
+        self.perkey.forget(key);
+    }
+
+    fn run_local(&mut self, key: K, params: P, value: V, source: ValueSource) -> Action<K, P, V> {
+        let req_id = self.fresh_req();
+        self.local_pending += 1;
+        Action::RunLocal {
+            req_id,
+            key,
+            params,
+            value,
+            source,
+        }
+    }
+
+    /// The ski-rental / strategy decision for a cache miss.
+    fn choose_request(
+        &mut self,
+        key: &K,
+        key_size: u64,
+        params_size: u64,
+        dest: usize,
+    ) -> (ReqKind, FetchIntent) {
+        match self.cfg.strategy {
+            Strategy::NoOpt | Strategy::ComputeSide => (ReqKind::Data, FetchIntent::NoCache),
+            Strategy::DataSide | Strategy::BalanceOnly => (ReqKind::Compute, FetchIntent::NoCache),
+            Strategy::Random => {
+                if self.rng.gen_bool(0.5) {
+                    (ReqKind::Data, FetchIntent::NoCache)
+                } else {
+                    (ReqKind::Compute, FetchIntent::NoCache)
+                }
+            }
+            Strategy::CacheOnly | Strategy::Full => {
+                if self.frozen {
+                    return (ReqKind::Compute, FetchIntent::NoCache);
+                }
+                let count = self.freq.observe(key.clone());
+                let kc = self.perkey.get(key, 0.0, 0.0);
+                if !kc.observed {
+                    // First request for a key is always a compute request:
+                    // costs are unknown until the data node reports them.
+                    return (ReqKind::Compute, FetchIntent::NoCache);
+                }
+                if self.fetching.contains(key) {
+                    // Purchase already in flight: rent until it lands.
+                    return (ReqKind::Compute, FetchIntent::NoCache);
+                }
+                let sizes = self.size_profile(key_size, params_size, kc.value_size);
+                let rb = rent_buy_costs(
+                    &sizes,
+                    &self.my_costs(kc.cpu_secs),
+                    &self.remote_costs(dest, kc.cpu_secs),
+                );
+                // Realized rent: a compute request is only as cheap as
+                // `tCompute` when the data node actually executes it. Under
+                // load balancing a fraction of compute requests bounce back
+                // as raw values (§5), costing a fetch *plus* the local
+                // execution — so the expected rent blends the two by the
+                // observed computed fraction. Without this, a saturated data
+                // node that bounces a heavy hitter's requests ships its
+                // value over and over while ski-rental still believes
+                // renting is cheap and never buys.
+                let frac = self.dests[dest].computed_frac.get_or(1.0).clamp(0.0, 1.0);
+                let rent_eff = frac * rb.rent + (1.0 - frac) * (rb.buy + rb.rec_mem);
+                let scale = self.cfg.ski_threshold_scale;
+                let mem_policy = RecurringSkiRental::new(
+                    rent_eff.max(1e-12),
+                    rb.buy * scale,
+                    rb.rec_mem,
+                );
+
+                if mem_policy.decide(count) == Decision::Rent {
+                    return (ReqKind::Compute, FetchIntent::NoCache);
+                }
+                if self.cache.would_cache_in_memory(key, sizes.value) {
+                    return (ReqKind::Data, FetchIntent::Memory);
+                }
+                let disk_policy = RecurringSkiRental::new(
+                    rent_eff.max(1e-12),
+                    rb.buy * scale,
+                    rb.rec_disk,
+                );
+                if disk_policy.decide(count) == Decision::Rent {
+                    (ReqKind::Compute, FetchIntent::NoCache)
+                } else {
+                    (ReqKind::Data, FetchIntent::Disk)
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::CostInfo;
+    use jl_simkit::time::SimDuration;
+
+    /// A minimal cacheable value for tests.
+    #[derive(Debug, Clone, PartialEq)]
+    struct TV {
+        size: u64,
+        cpu_ms: u64,
+        version: u64,
+    }
+
+    impl CacheValue for TV {
+        fn size(&self) -> u64 {
+            self.size
+        }
+        fn udf_cpu(&self) -> SimDuration {
+            SimDuration::from_millis(self.cpu_ms)
+        }
+        fn version(&self) -> u64 {
+            self.version
+        }
+    }
+
+    type Rt = ComputeRuntime<u64, u32, TV>;
+
+    fn node() -> NodeCosts {
+        NodeCosts {
+            t_disk: 0.001,
+            t_cpu: 0.01,
+            net_bw: 125e6,
+        }
+    }
+
+    fn rt(strategy: Strategy) -> Rt {
+        let mut cfg = OptimizerConfig::for_strategy(strategy);
+        cfg.batch_size = 4;
+        ComputeRuntime::new(cfg, 2, node(), node(), 7)
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    fn feed(r: &mut Rt, now: SimTime, key: u64, dest: usize) -> Vec<Action<u64, u32, TV>> {
+        r.on_input(now, key, 0u32, 8, 64, dest)
+    }
+
+    /// Cost feedback from a *loaded* data node: its effective per-UDF time
+    /// (0.02 s, queueing included) exceeds the local recurring cost
+    /// (0.01 s), so renting costs more than computing on a cached copy and
+    /// ski-rental has something to buy for. With equal costs on both sides
+    /// the policy would correctly rent forever.
+    fn cost_info(value_size: u64, version: u64) -> CostInfo {
+        CostInfo {
+            value_size,
+            udf_cpu_secs: 0.01,
+            version,
+            data_t_disk: 0.001,
+            data_t_cpu: 0.02,
+            data_t_cpu_service: 0.01,
+        }
+    }
+
+    /// Drive one key through: compute request -> response -> repeated use.
+    fn respond_computed(r: &mut Rt, dest: usize, req_id: u64, key: u64) {
+        r.on_batch_response(
+            dest,
+            vec![ResponseItem {
+                req_id,
+                key,
+                payload: ResponsePayload::Computed { output_size: 100 },
+                cost: Some(cost_info(1000, 1)),
+            }],
+        );
+    }
+
+    fn sent_items(actions: &[Action<u64, u32, TV>]) -> Vec<RequestItem<u64, u32>>
+    {
+        actions
+            .iter()
+            .filter_map(|a| match a {
+                Action::Send { batch, .. } => Some(batch.items.clone()),
+                _ => None,
+            })
+            .flatten()
+            .collect()
+    }
+
+    #[test]
+    fn batches_fill_at_configured_size() {
+        let mut r = rt(Strategy::ComputeSide);
+        for k in 0..3u64 {
+            assert!(feed(&mut r, t(k), k, 0).is_empty());
+        }
+        let acts = feed(&mut r, t(3), 3, 0);
+        let items = sent_items(&acts);
+        assert_eq!(items.len(), 4);
+        assert!(items.iter().all(|i| i.kind == ReqKind::Data));
+    }
+
+    #[test]
+    fn no_opt_sends_immediately_without_batching() {
+        let mut r = rt(Strategy::NoOpt);
+        let acts = feed(&mut r, t(0), 1, 0);
+        assert_eq!(sent_items(&acts).len(), 1);
+    }
+
+    #[test]
+    fn data_side_sends_compute_requests() {
+        let mut r = rt(Strategy::DataSide);
+        let mut all = Vec::new();
+        for k in 0..4u64 {
+            all.extend(feed(&mut r, t(k), k, 1));
+        }
+        let items = sent_items(&all);
+        assert_eq!(items.len(), 4);
+        assert!(items.iter().all(|i| i.kind == ReqKind::Compute));
+        assert_eq!(r.stats().compute_requests, 4);
+    }
+
+    #[test]
+    fn random_mixes_both_kinds() {
+        let mut r = rt(Strategy::Random);
+        let mut all = Vec::new();
+        for k in 0..200u64 {
+            all.extend(feed(&mut r, t(k), k, 0));
+        }
+        all.extend(r.flush_all());
+        let items = sent_items(&all);
+        let data = items.iter().filter(|i| i.kind == ReqKind::Data).count();
+        assert!(data > 50 && data < 150, "data = {data} of {}", items.len());
+    }
+
+    #[test]
+    fn first_request_for_key_is_compute() {
+        let mut r = rt(Strategy::Full);
+        let mut all = feed(&mut r, t(0), 42, 0);
+        all.extend(r.flush_all());
+        let items = sent_items(&all);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].kind, ReqKind::Compute);
+    }
+
+    #[test]
+    fn hot_key_transitions_to_data_request_then_cache_hits() {
+        let mut r = rt(Strategy::Full);
+        let mut fetched = None;
+        // Hammer one key; answer every compute request so costs are learned.
+        for i in 0..200u64 {
+            let mut acts = feed(&mut r, t(i), 42, 0);
+            acts.extend(r.flush_all());
+            for item in sent_items(&acts) {
+                match item.kind {
+                    ReqKind::Compute => respond_computed(&mut r, 0, item.req_id, 42),
+                    ReqKind::Data => {
+                        fetched = Some(item.req_id);
+                        let follow = r.on_batch_response(
+                            0,
+                            vec![ResponseItem {
+                                req_id: item.req_id,
+                                key: 42,
+                                payload: ResponsePayload::Value {
+                                    value: TV { size: 1000, cpu_ms: 10, version: 1 },
+                                    bounced: false,
+                                },
+                                cost: Some(cost_info(1000, 1)),
+                            }],
+                        );
+                        assert!(matches!(follow[0], Action::RunLocal { .. }));
+                        if let Action::RunLocal { req_id, .. } = follow[0] {
+                            r.on_local_done(req_id, 0.01);
+                        }
+                    }
+                }
+            }
+            if fetched.is_some() {
+                break;
+            }
+        }
+        assert!(fetched.is_some(), "ski-rental never bought the hot key");
+        // Subsequent accesses are cache hits served locally.
+        let acts = feed(&mut r, t(1000), 42, 0);
+        assert!(
+            matches!(acts[0], Action::RunLocal { source: ValueSource::MemCache, .. }),
+            "expected mem hit, got {acts:?}"
+        );
+        assert!(r.stats().mem_hits >= 1);
+    }
+
+    #[test]
+    fn cold_keys_keep_renting() {
+        let mut r = rt(Strategy::Full);
+        let mut all = Vec::new();
+        for k in 0..100u64 {
+            all.extend(feed(&mut r, t(k), k, 0));
+        }
+        all.extend(r.flush_all());
+        let items = sent_items(&all);
+        assert!(items.iter().all(|i| i.kind == ReqKind::Compute));
+        assert_eq!(r.stats().data_requests, 0);
+    }
+
+    #[test]
+    fn bounced_value_runs_locally_without_caching() {
+        let mut r = rt(Strategy::BalanceOnly);
+        let mut all = feed(&mut r, t(0), 7, 0);
+        all.extend(r.flush_all());
+        let item = &sent_items(&all)[0];
+        let follow = r.on_batch_response(
+            0,
+            vec![ResponseItem {
+                req_id: item.req_id,
+                key: 7,
+                payload: ResponsePayload::Value {
+                    value: TV { size: 500, cpu_ms: 5, version: 1 },
+                    bounced: true,
+                },
+                cost: Some(cost_info(500, 1)),
+            }],
+        );
+        assert!(
+            matches!(follow[0], Action::RunLocal { source: ValueSource::Bounced, .. })
+        );
+        assert_eq!(r.stats().bounced_local, 1);
+        // Not cached: next access is not a hit.
+        let acts = feed(&mut r, t(10), 7, 0);
+        assert!(sent_items(&acts).is_empty() || !matches!(acts[0], Action::RunLocal { .. }));
+        assert_eq!(r.cache_stats().inserts_mem + r.cache_stats().inserts_disk, 0);
+    }
+
+    #[test]
+    fn version_bump_invalidates_and_recounts() {
+        let mut r = rt(Strategy::Full);
+        // Learn the key at version 1.
+        let mut all = feed(&mut r, t(0), 9, 0);
+        all.extend(r.flush_all());
+        let item = &sent_items(&all)[0];
+        respond_computed(&mut r, 0, item.req_id, 9);
+        // Another access; respond with a newer version.
+        let mut all = feed(&mut r, t(1), 9, 0);
+        all.extend(r.flush_all());
+        let item = &sent_items(&all)[0];
+        r.on_batch_response(
+            0,
+            vec![ResponseItem {
+                req_id: item.req_id,
+                key: 9,
+                payload: ResponsePayload::Computed { output_size: 10 },
+                cost: Some(cost_info(1000, 5)),
+            }],
+        );
+        // Explicit notice also works.
+        r.on_update_notice(&9);
+        assert_eq!(r.cache_stats().invalidations, 0); // nothing was cached
+    }
+
+    #[test]
+    fn poll_flushes_aged_batches() {
+        let mut r = rt(Strategy::ComputeSide);
+        feed(&mut r, t(0), 1, 0);
+        assert!(r.poll(t(10)).is_empty());
+        let deadline = r.next_deadline().expect("pending batch");
+        let acts = r.poll(deadline);
+        assert_eq!(sent_items(&acts).len(), 1);
+        assert_eq!(r.next_deadline(), None);
+    }
+
+    #[test]
+    fn frozen_runtime_stops_caching_but_serves_hits() {
+        let mut cfg = OptimizerConfig::for_strategy(Strategy::Full);
+        cfg.batch_size = 1;
+        cfg.freeze_cache_after = Some(2);
+        let mut r: Rt = ComputeRuntime::new(cfg, 1, node(), node(), 3);
+        // Tuples 1 and 2: normal operation (may rent or buy).
+        for i in 0..2u64 {
+            let acts = feed(&mut r, t(i), 1, 0);
+            for it in sent_items(&acts) {
+                match it.kind {
+                    ReqKind::Compute => respond_computed(&mut r, 0, it.req_id, 1),
+                    ReqKind::Data => {
+                        // Deliberately drop the fetched value so nothing is
+                        // cached — we want to observe the frozen miss path.
+                        r.on_batch_response(
+                            0,
+                            vec![ResponseItem {
+                                req_id: it.req_id,
+                                key: 1,
+                                payload: ResponsePayload::Missing,
+                                cost: Some(cost_info(1000, 1)),
+                            }],
+                        );
+                    }
+                }
+            }
+        }
+        let buys_before_freeze = r.stats().data_requests;
+        // From tuple 3 on, frozen: misses always rent, never buy.
+        for i in 2..300u64 {
+            let acts = feed(&mut r, t(i), 1, 0);
+            let items = sent_items(&acts);
+            assert_eq!(items.len(), 1);
+            assert_eq!(items[0].kind, ReqKind::Compute, "bought while frozen");
+            respond_computed(&mut r, 0, items[0].req_id, 1);
+        }
+        assert_eq!(r.stats().data_requests, buys_before_freeze);
+    }
+
+    #[test]
+    fn load_stats_reflect_inflight_requests() {
+        let mut r = rt(Strategy::DataSide);
+        let mut all = Vec::new();
+        for k in 0..8u64 {
+            all.extend(feed(&mut r, t(k), k, 0)); // dest 0
+        }
+        // Two batches of 4 went to dest 0. Send one more to dest 1 and
+        // inspect its stats snapshot.
+        for k in 8..12u64 {
+            all.extend(feed(&mut r, t(k), k, 1));
+        }
+        let send_to_1 = all
+            .iter()
+            .find_map(|a| match a {
+                Action::Send { dest: 1, batch } => Some(batch.clone()),
+                _ => None,
+            })
+            .expect("batch to dest 1");
+        assert_eq!(send_to_1.stats.pending_elsewhere, 8);
+        assert!(send_to_1.stats.is_consistent());
+    }
+
+    #[test]
+    fn missing_rows_complete_without_output() {
+        let mut r = rt(Strategy::ComputeSide);
+        let mut all = Vec::new();
+        for k in 0..4u64 {
+            all.extend(feed(&mut r, t(k), k, 0));
+        }
+        let items = sent_items(&all);
+        let resp: Vec<ResponseItem<u64, TV>> = items
+            .iter()
+            .map(|i| ResponseItem {
+                req_id: i.req_id,
+                key: i.key,
+                payload: ResponsePayload::Missing,
+                cost: None,
+            })
+            .collect();
+        let follow = r.on_batch_response(0, resp);
+        assert!(follow.is_empty());
+        assert_eq!(r.stats().missing, 4);
+        assert_eq!(r.inflight_count(), 0);
+    }
+}

@@ -1,0 +1,331 @@
+//! The data-node-side runtime: batch-split load balancing (§5) and the
+//! local queue bookkeeping behind [`DataLoadStats`].
+//!
+//! On each arriving batch the data node estimates its own and the sender's
+//! CPU/network load as linear functions of `d` — the number of compute
+//! requests from the batch it will execute itself — and picks the `d`
+//! minimizing the completion-time bottleneck. Decisions are pairwise and
+//! decentralised; no node ever sees global state.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use jl_costmodel::{ExpSmoothed, SizeProfile};
+use jl_loadbalance::{solve_exact, solve_gradient, ComputeLoadStats, DataLoadStats, LoadModel};
+use jl_simkit::time::SimDuration;
+
+use crate::config::{LbSolver, OptimizerConfig};
+
+/// Counters and smoothed parameters one data node maintains.
+pub struct DataRuntime {
+    cfg: OptimizerConfig,
+    rng: StdRng,
+    /// Smoothed per-UDF CPU *service* seconds (used by the load model,
+    /// whose intercepts already account for queued work).
+    t_cpu: ExpSmoothed,
+    /// Smoothed per-record disk *service* seconds.
+    t_disk: ExpSmoothed,
+    /// Smoothed *effective* per-UDF seconds — waiting + service, as a
+    /// client experiences it. This is what gets piggybacked to compute
+    /// nodes: on a saturated data node it rises above the compute node's
+    /// local recurring cost, which is exactly the signal that makes
+    /// ski-rental start buying hot keys (§4.3 measures costs at runtime).
+    t_cpu_eff: ExpSmoothed,
+    /// Smoothed effective per-record disk seconds.
+    t_disk_eff: ExpSmoothed,
+    net_bw: f64,
+    /// `ndc_j` — data requests queued (arrived, not yet served).
+    pending_data: u64,
+    /// `nrd_j` — compute requests queued.
+    pending_compute: u64,
+    /// `rd_j` — of those, chosen for local execution.
+    to_compute_here: u64,
+    /// `ndrd_j` — responses scheduled but not yet on the wire.
+    pending_responses: u64,
+    stats: DataNodeStats,
+}
+
+/// Aggregate accounting for one data node.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DataNodeStats {
+    /// Batches received.
+    pub batches: u64,
+    /// Compute requests received.
+    pub compute_requests: u64,
+    /// Data requests received.
+    pub data_requests: u64,
+    /// Compute requests executed locally.
+    pub executed_here: u64,
+    /// Compute requests bounced back to compute nodes.
+    pub bounced: u64,
+}
+
+impl DataRuntime {
+    /// Create a data-node runtime. `t_disk`/`t_cpu` seed the smoothed local
+    /// cost estimates; `net_bw` is this node's effective bandwidth.
+    pub fn new(cfg: OptimizerConfig, t_disk: f64, t_cpu: f64, net_bw: f64, seed: u64) -> Self {
+        let alpha = cfg.smoothing_alpha;
+        let mut td = ExpSmoothed::new(alpha);
+        td.update(t_disk);
+        let mut tc = ExpSmoothed::new(alpha);
+        tc.update(t_cpu);
+        let mut td_eff = ExpSmoothed::new(alpha);
+        td_eff.update(t_disk);
+        let mut tc_eff = ExpSmoothed::new(alpha);
+        tc_eff.update(t_cpu);
+        DataRuntime {
+            cfg,
+            rng: StdRng::seed_from_u64(seed),
+            t_cpu: tc,
+            t_disk: td,
+            t_cpu_eff: tc_eff,
+            t_disk_eff: td_eff,
+            net_bw,
+            pending_data: 0,
+            pending_compute: 0,
+            to_compute_here: 0,
+            pending_responses: 0,
+            stats: DataNodeStats::default(),
+        }
+    }
+
+    /// Smoothed per-record disk seconds (piggybacked on responses).
+    pub fn t_disk(&self) -> f64 {
+        self.t_disk.get_or(0.001)
+    }
+
+    /// Smoothed per-UDF CPU seconds (piggybacked on responses).
+    pub fn t_cpu(&self) -> f64 {
+        self.t_cpu.get_or(0.01)
+    }
+
+    /// Effective (latency-inclusive) per-UDF seconds, for piggybacking.
+    pub fn t_cpu_effective(&self) -> f64 {
+        self.t_cpu_eff.get_or(self.t_cpu())
+    }
+
+    /// Effective (latency-inclusive) per-record disk seconds.
+    pub fn t_disk_effective(&self) -> f64 {
+        self.t_disk_eff.get_or(self.t_disk())
+    }
+
+    /// Fold in a measured UDF execution *service* time.
+    pub fn observe_cpu(&mut self, secs: f64) {
+        self.t_cpu.update(secs);
+    }
+
+    /// Fold in a measured per-record disk *service* time.
+    pub fn observe_disk(&mut self, secs: f64) {
+        self.t_disk.update(secs);
+    }
+
+    /// Fold in an *effective* UDF latency (waiting + service).
+    pub fn observe_cpu_effective(&mut self, secs: f64) {
+        self.t_cpu_eff.update(secs);
+    }
+
+    /// Fold in an *effective* disk latency (waiting + service).
+    pub fn observe_disk_effective(&mut self, secs: f64) {
+        self.t_disk_eff.update(secs);
+    }
+
+    /// Accounting so far.
+    pub fn stats(&self) -> DataNodeStats {
+        self.stats
+    }
+
+    /// Current local load snapshot (Appendix C's superscript-d parameters).
+    pub fn load_stats(&self) -> DataLoadStats {
+        DataLoadStats {
+            data_reqs_pending: self.pending_data,
+            data_resps_outbound: self.pending_responses,
+            compute_reqs_pending: self.pending_compute,
+            to_compute_here: self.to_compute_here,
+            cpu_secs: self.t_cpu(),
+            net_bw: self.net_bw,
+        }
+    }
+
+    /// Decide how many of the `n_compute` compute requests in an arriving
+    /// batch to execute locally, given the sender's load snapshot and the
+    /// batch's actual size profile. Also updates the local queue counters
+    /// for the batch's arrival.
+    pub fn accept_batch(
+        &mut self,
+        n_data: u64,
+        n_compute: u64,
+        sender: &ComputeLoadStats,
+        sizes: &SizeProfile,
+    ) -> u64 {
+        self.stats.batches += 1;
+        self.stats.data_requests += n_data;
+        self.stats.compute_requests += n_compute;
+        self.pending_data += n_data;
+        self.pending_compute += n_compute;
+
+        let d = if n_compute == 0 {
+            0
+        } else if !self.cfg.strategy.balances() {
+            // FD / CO / FR without balancing: the data node computes every
+            // compute request it receives.
+            n_compute
+        } else {
+            let model = LoadModel::new(sender, &self.load_stats(), sizes, n_compute);
+            let split = match self.cfg.lb_solver {
+                LbSolver::Exact => solve_exact(&model),
+                LbSolver::GradientDescent => solve_gradient(&model, &mut self.rng, 60),
+            };
+            split.d
+        };
+        self.to_compute_here += d;
+        self.stats.executed_here += d;
+        self.stats.bounced += n_compute - d;
+        // Every request in the batch will produce one response message.
+        self.pending_responses += n_data + n_compute;
+        d
+    }
+
+    /// `n` locally-executed compute requests finished.
+    pub fn on_computed(&mut self, n: u64) {
+        self.to_compute_here = self.to_compute_here.saturating_sub(n);
+        self.pending_compute = self.pending_compute.saturating_sub(n);
+    }
+
+    /// `n` compute requests were bounced back (responses handed to the NIC).
+    pub fn on_bounced(&mut self, n: u64) {
+        self.pending_compute = self.pending_compute.saturating_sub(n);
+    }
+
+    /// `n` data requests were served.
+    pub fn on_data_served(&mut self, n: u64) {
+        self.pending_data = self.pending_data.saturating_sub(n);
+    }
+
+    /// `n` response messages left this node.
+    pub fn on_responses_sent(&mut self, n: u64) {
+        self.pending_responses = self.pending_responses.saturating_sub(n);
+    }
+
+    /// Estimated service time for fetching `rows` records from disk.
+    pub fn disk_time(&self, rows: u64) -> SimDuration {
+        SimDuration::from_secs_f64(self.t_disk() * rows as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{OptimizerConfig, Strategy};
+
+    fn sender_idle() -> ComputeLoadStats {
+        ComputeLoadStats {
+            cpu_secs: 0.05,
+            net_bw: 125e6,
+            ..Default::default()
+        }
+    }
+
+    fn sizes_cpu_bound() -> SizeProfile {
+        SizeProfile {
+            key: 16,
+            params: 200,
+            value: 1_000,
+            computed: 100,
+        }
+    }
+
+    fn rt(strategy: Strategy) -> DataRuntime {
+        DataRuntime::new(OptimizerConfig::for_strategy(strategy), 0.001, 0.05, 125e6, 5)
+    }
+
+    #[test]
+    fn non_balancing_strategy_computes_everything() {
+        let mut r = rt(Strategy::DataSide);
+        let d = r.accept_batch(2, 10, &sender_idle(), &sizes_cpu_bound());
+        assert_eq!(d, 10);
+        assert_eq!(r.stats().bounced, 0);
+        assert_eq!(r.load_stats().compute_reqs_pending, 10);
+        assert_eq!(r.load_stats().data_reqs_pending, 2);
+    }
+
+    #[test]
+    fn balancing_splits_cpu_bound_batches() {
+        let mut r = rt(Strategy::Full);
+        let d = r.accept_batch(0, 100, &sender_idle(), &sizes_cpu_bound());
+        assert!(d > 20 && d < 80, "d = {d}");
+        assert_eq!(r.stats().executed_here + r.stats().bounced, 100);
+    }
+
+    #[test]
+    fn busy_data_node_bounces_more() {
+        let mut r = rt(Strategy::Full);
+        // Pile on local work first.
+        for _ in 0..5 {
+            r.accept_batch(0, 100, &sender_idle(), &sizes_cpu_bound());
+        }
+        let before = r.load_stats().to_compute_here;
+        let d = r.accept_batch(0, 100, &sender_idle(), &sizes_cpu_bound());
+        assert!(before > 0);
+        assert!(d < 50, "expected most work bounced, got d = {d}");
+    }
+
+    #[test]
+    fn counters_drain_correctly() {
+        let mut r = rt(Strategy::Full);
+        let d = r.accept_batch(3, 10, &sender_idle(), &sizes_cpu_bound());
+        r.on_computed(d);
+        r.on_bounced(10 - d);
+        r.on_data_served(3);
+        r.on_responses_sent(13);
+        let s = r.load_stats();
+        assert_eq!(s.compute_reqs_pending, 0);
+        assert_eq!(s.data_reqs_pending, 0);
+        assert_eq!(s.to_compute_here, 0);
+        assert_eq!(s.data_resps_outbound, 0);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop_split() {
+        let mut r = rt(Strategy::Full);
+        assert_eq!(r.accept_batch(5, 0, &sender_idle(), &sizes_cpu_bound()), 0);
+    }
+
+    #[test]
+    fn smoothed_costs_update() {
+        let mut r = rt(Strategy::Full);
+        let before = r.t_cpu();
+        r.observe_cpu(before * 3.0);
+        assert!(r.t_cpu() > before);
+        let bd = r.t_disk();
+        r.observe_disk(bd * 2.0);
+        assert!(r.t_disk() > bd);
+        assert_eq!(r.disk_time(0), SimDuration::ZERO);
+        assert!(r.disk_time(10) > SimDuration::ZERO);
+    }
+
+    #[test]
+    fn exact_solver_configurable() {
+        let mut cfg = OptimizerConfig::for_strategy(Strategy::Full);
+        cfg.lb_solver = crate::config::LbSolver::Exact;
+        let mut r = DataRuntime::new(cfg, 0.001, 0.05, 125e6, 5);
+        let d = r.accept_batch(0, 100, &sender_idle(), &sizes_cpu_bound());
+        assert!(d > 20 && d < 80, "d = {d}");
+    }
+
+    #[test]
+    fn effective_estimates_track_latency_separately() {
+        let mut r = rt(Strategy::Full);
+        let svc = r.t_cpu();
+        // Effective latency on a saturated node far exceeds service time.
+        for _ in 0..50 {
+            r.observe_cpu_effective(svc * 10.0);
+        }
+        assert!(r.t_cpu_effective() > svc * 5.0);
+        // Service estimate untouched.
+        assert!((r.t_cpu() - svc).abs() < 1e-12);
+        for _ in 0..50 {
+            r.observe_disk_effective(r.t_disk() * 4.0);
+        }
+        assert!(r.t_disk_effective() > r.t_disk());
+    }
+}

@@ -1,0 +1,42 @@
+//! # jl-core — runtime optimization of join location
+//!
+//! The paper's primary contribution: for each incoming tuple with join key
+//! `k`, decide **at runtime, per key** whether to
+//!
+//! * send `(k, p)` to the data node holding `k` and execute the UDF there
+//!   (*compute request* — reduce-side flavour, "rent"), or
+//! * fetch the stored value to the compute node, cache it, and execute
+//!   locally (*data request* — map-side flavour, "buy"),
+//!
+//! using an extended ski-rental policy with per-key observed costs, a
+//! two-tier cache, and no precomputed statistics; and let each data node
+//! rebalance arriving compute batches against the sender's load (§5).
+//!
+//! The two runtimes are passive state machines driven by an engine:
+//!
+//! * [`compute::ComputeRuntime`] — Algorithm 1, batching, cost learning,
+//!   and the Appendix C compute-side load snapshot;
+//! * [`data::DataRuntime`] — the batch-split decision and data-side
+//!   counters.
+//!
+//! [`premap::PreMapPool`] is the real-thread `preMap`/`map` prefetching API
+//! of §7 for applications outside the simulator.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod compute;
+pub mod config;
+pub mod data;
+pub mod premap;
+pub mod types;
+
+pub use batcher::Batcher;
+pub use compute::{ComputeRuntime, DecisionStats};
+pub use config::{LbSolver, OptimizerConfig, Strategy};
+pub use data::{DataNodeStats, DataRuntime};
+pub use premap::{pre_post_map, BatchFunction, PreMapConfig, PreMapPool, Ticket};
+pub use types::{
+    Action, BatchRequest, CacheValue, CostInfo, ReqKind, RequestItem, ResponseItem,
+    ResponsePayload, ValueSource,
+};

@@ -1,0 +1,357 @@
+//! The `preMap`/`map` prefetching API (§7, Appendix D.2).
+//!
+//! Frameworks that process one tuple (or one batch) at a time block on every
+//! remote access. The paper's fix: a `preMap` pass submits *prefetch*
+//! requests (`submitComp`) that return immediately; worker threads batch
+//! them into remote calls; the `map` pass later collects results with a
+//! blocking `fetchComp` that is almost always already satisfied.
+//!
+//! This module is the real-thread embodiment for applications and examples
+//! (the simulator models the same pipeline analytically). It mirrors the
+//! Hadoop/Spark/Muppet driver modifications of Appendix D.2: a hidden
+//! prefetch thread pool, a result map keyed by ticket, and size/time-bounded
+//! batching.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
+use parking_lot::{Condvar, Mutex};
+
+/// The batched remote operation behind the pool: one call may serve many
+/// tuples (a coprocessor batch, a multi-get, …).
+pub trait BatchFunction<K, P, R>: Send + Sync + 'static {
+    /// Execute a batch; must return exactly one result per item, in order.
+    fn exec_batch(&self, items: &[(K, P)]) -> Vec<R>;
+}
+
+impl<K, P, R, F> BatchFunction<K, P, R> for F
+where
+    F: Fn(&[(K, P)]) -> Vec<R> + Send + Sync + 'static,
+{
+    fn exec_batch(&self, items: &[(K, P)]) -> Vec<R> {
+        self(items)
+    }
+}
+
+/// Pool configuration.
+#[derive(Debug, Clone)]
+pub struct PreMapConfig {
+    /// Worker threads issuing batched calls.
+    pub workers: usize,
+    /// Max requests per batched call.
+    pub batch_size: usize,
+    /// Flush a non-full batch after this long (latency bound, §7.2).
+    pub max_wait: Duration,
+    /// Channel capacity (backpressure bound on outstanding prefetches).
+    pub queue_depth: usize,
+}
+
+impl Default for PreMapConfig {
+    fn default() -> Self {
+        PreMapConfig {
+            workers: 4,
+            batch_size: 32,
+            max_wait: Duration::from_millis(10),
+            queue_depth: 4096,
+        }
+    }
+}
+
+/// Handle for one submitted prefetch (returned by `submit`, consumed by
+/// `fetch`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+struct Job<K, P> {
+    ticket: u64,
+    key: K,
+    params: P,
+}
+
+struct ResultMap<R> {
+    map: Mutex<HashMap<u64, R>>,
+    cv: Condvar,
+}
+
+/// The prefetch pool: `submit` from `preMap`, `fetch` from `map`.
+pub struct PreMapPool<K, P, R> {
+    tx: Option<Sender<Job<K, P>>>,
+    results: Arc<ResultMap<R>>,
+    next: AtomicU64,
+    handles: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl<K, P, R> PreMapPool<K, P, R>
+where
+    K: Send + 'static,
+    P: Send + 'static,
+    R: Send + 'static,
+{
+    /// Start a pool over the batched function `f`.
+    pub fn new(f: Arc<dyn BatchFunction<K, P, R>>, cfg: PreMapConfig) -> Self {
+        assert!(cfg.workers > 0 && cfg.batch_size > 0);
+        let (tx, rx) = bounded::<Job<K, P>>(cfg.queue_depth);
+        let results = Arc::new(ResultMap {
+            map: Mutex::new(HashMap::new()),
+            cv: Condvar::new(),
+        });
+        let handles = (0..cfg.workers)
+            .map(|_| {
+                let rx = rx.clone();
+                let f = Arc::clone(&f);
+                let results = Arc::clone(&results);
+                let batch_size = cfg.batch_size;
+                let max_wait = cfg.max_wait;
+                std::thread::spawn(move || worker(rx, f, results, batch_size, max_wait))
+            })
+            .collect();
+        PreMapPool {
+            tx: Some(tx),
+            results,
+            next: AtomicU64::new(0),
+            handles,
+        }
+    }
+
+    /// `submitComp`: register a prefetch and return immediately.
+    pub fn submit(&self, key: K, params: P) -> Ticket {
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.tx
+            .as_ref()
+            .expect("pool alive")
+            .send(Job {
+                ticket: id,
+                key,
+                params,
+            })
+            .expect("workers alive");
+        Ticket(id)
+    }
+
+    /// `fetchComp`: block until the result for `ticket` is available.
+    pub fn fetch(&self, ticket: Ticket) -> R {
+        let mut guard = self.results.map.lock();
+        loop {
+            if let Some(r) = guard.remove(&ticket.0) {
+                return r;
+            }
+            self.results.cv.wait(&mut guard);
+        }
+    }
+
+    /// Non-blocking probe for a result.
+    pub fn try_fetch(&self, ticket: Ticket) -> Option<R> {
+        self.results.map.lock().remove(&ticket.0)
+    }
+
+    /// Stop accepting work and join the workers (in-flight batches finish).
+    pub fn shutdown(mut self) {
+        self.tx.take(); // close the channel
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker<K: Send + 'static, P: Send + 'static, R: Send + 'static>(
+    rx: Receiver<Job<K, P>>,
+    f: Arc<dyn BatchFunction<K, P, R>>,
+    results: Arc<ResultMap<R>>,
+    batch_size: usize,
+    max_wait: Duration,
+) {
+    loop {
+        // Block for the first job of a batch.
+        let first = match rx.recv() {
+            Ok(j) => j,
+            Err(_) => return, // channel closed: drain done
+        };
+        let mut jobs = vec![first];
+        let deadline = std::time::Instant::now() + max_wait;
+        while jobs.len() < batch_size {
+            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
+            match rx.recv_timeout(remaining) {
+                Ok(j) => jobs.push(j),
+                Err(RecvTimeoutError::Timeout) => break,
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        // Move keys/params out while remembering tickets.
+        let mut tickets = Vec::with_capacity(jobs.len());
+        let mut kps = Vec::with_capacity(jobs.len());
+        for j in jobs {
+            tickets.push(j.ticket);
+            kps.push((j.key, j.params));
+        }
+        let outs = f.exec_batch(&kps);
+        assert_eq!(
+            outs.len(),
+            tickets.len(),
+            "BatchFunction must return one result per item"
+        );
+        let mut guard = results.map.lock();
+        for (t, r) in tickets.into_iter().zip(outs) {
+            guard.insert(t, r);
+        }
+        drop(guard);
+        results.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn pool(batch_size: usize) -> (PreMapPool<u64, u64, u64>, Arc<AtomicUsize>) {
+        let calls = Arc::new(AtomicUsize::new(0));
+        let c2 = Arc::clone(&calls);
+        let f = move |items: &[(u64, u64)]| {
+            c2.fetch_add(1, Ordering::SeqCst);
+            items.iter().map(|(k, p)| k * 1000 + p).collect()
+        };
+        let cfg = PreMapConfig {
+            workers: 2,
+            batch_size,
+            max_wait: Duration::from_millis(5),
+            queue_depth: 128,
+        };
+        (PreMapPool::new(Arc::new(f), cfg), calls)
+    }
+
+    #[test]
+    fn submit_then_fetch_roundtrip() {
+        let (p, _) = pool(8);
+        let t1 = p.submit(7, 1);
+        let t2 = p.submit(9, 2);
+        assert_eq!(p.fetch(t2), 9002);
+        assert_eq!(p.fetch(t1), 7001);
+        p.shutdown();
+    }
+
+    #[test]
+    fn batching_reduces_calls() {
+        let (p, calls) = pool(64);
+        let tickets: Vec<Ticket> = (0..64).map(|i| p.submit(i, 0)).collect();
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(p.fetch(t), i as u64 * 1000);
+        }
+        p.shutdown();
+        // 64 submissions should take far fewer than 64 calls.
+        let n = calls.load(Ordering::SeqCst);
+        assert!(n <= 16, "expected batched calls, got {n}");
+    }
+
+    #[test]
+    fn try_fetch_eventually_succeeds() {
+        let (p, _) = pool(4);
+        let t = p.submit(1, 1);
+        let mut got = None;
+        for _ in 0..1000 {
+            if let Some(r) = p.try_fetch(t) {
+                got = Some(r);
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(got, Some(1001));
+        p.shutdown();
+    }
+
+    #[test]
+    fn many_concurrent_submitters() {
+        let (p, _) = pool(16);
+        let p = Arc::new(p);
+        let mut handles = Vec::new();
+        for w in 0..4u64 {
+            let p = Arc::clone(&p);
+            handles.push(std::thread::spawn(move || {
+                let tickets: Vec<(u64, Ticket)> =
+                    (0..100).map(|i| (w * 100 + i, p.submit(w * 100 + i, 5))).collect();
+                for (k, t) in tickets {
+                    assert_eq!(p.fetch(t), k * 1000 + 5);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        Arc::try_unwrap(p).ok().expect("sole owner").shutdown();
+    }
+}
+
+/// The `postMap` variant (Appendix D.2): the preMap pass extracts work
+/// items from each input *once*, submits their prefetches, and the postMap
+/// consumes the preprocessed items together with their results — instead of
+/// re-running the extraction in the map pass (in entity annotation,
+/// `document.getSpots()` would otherwise run twice).
+///
+/// Returns `post(input, extracted_items, results)` for every input, in
+/// order.
+pub fn pre_post_map<D, K, P, R, O>(
+    pool: &PreMapPool<K, P, R>,
+    inputs: Vec<D>,
+    extract: impl Fn(&D) -> Vec<(K, P)>,
+    post: impl Fn(D, Vec<(K, P)>, Vec<R>) -> O,
+) -> Vec<O>
+where
+    K: Clone + Send + 'static,
+    P: Clone + Send + 'static,
+    R: Send + 'static,
+{
+    // preMap pass: extract once, prefetch everything.
+    let prepared: Vec<(D, Vec<(K, P)>, Vec<Ticket>)> = inputs
+        .into_iter()
+        .map(|input| {
+            let items = extract(&input);
+            let tickets = items
+                .iter()
+                .map(|(k, p)| pool.submit(k.clone(), p.clone()))
+                .collect();
+            (input, items, tickets)
+        })
+        .collect();
+    // postMap pass: consume preprocessed items + results.
+    prepared
+        .into_iter()
+        .map(|(input, items, tickets)| {
+            let results = tickets.into_iter().map(|t| pool.fetch(t)).collect();
+            post(input, items, results)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod postmap_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn postmap_reuses_extraction_and_orders_results() {
+        let extractions = Arc::new(AtomicUsize::new(0));
+        let f = |items: &[(u64, u64)]| items.iter().map(|(k, p)| k * 10 + p).collect::<Vec<_>>();
+        let pool = PreMapPool::new(Arc::new(f), PreMapConfig::default());
+        let docs: Vec<u64> = (0..50).collect();
+        let ext = Arc::clone(&extractions);
+        let outs = pre_post_map(
+            &pool,
+            docs,
+            |&d| {
+                ext.fetch_add(1, Ordering::SeqCst);
+                vec![(d, 1u64), (d, 2u64)]
+            },
+            |d, items, results| {
+                assert_eq!(items.len(), 2);
+                assert_eq!(results, vec![d * 10 + 1, d * 10 + 2]);
+                d
+            },
+        );
+        assert_eq!(outs, (0..50).collect::<Vec<_>>());
+        // Extraction ran exactly once per document.
+        assert_eq!(extractions.load(Ordering::SeqCst), 50);
+        pool.shutdown();
+    }
+}

@@ -1,0 +1,176 @@
+//! Request/response types exchanged between the compute-side and data-side
+//! runtimes. These are *logical* messages; the engine wraps them in its
+//! simulation message enum and sizes them with the cost model.
+
+use jl_loadbalance::ComputeLoadStats;
+use jl_simkit::time::SimDuration;
+
+/// Values the optimizer can cache must expose their size and per-invocation
+/// UDF cost.
+pub trait CacheValue: Clone {
+    /// Serialized size in bytes (the `sv` of the cost model).
+    fn size(&self) -> u64;
+    /// CPU time one UDF invocation on this value costs.
+    fn udf_cpu(&self) -> SimDuration;
+    /// Last-update version (for §4.2.3 invalidation).
+    fn version(&self) -> u64;
+}
+
+/// What a request asks the data node to do.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReqKind {
+    /// Return the stored value (buy).
+    Data,
+    /// Execute the UDF at the data node, subject to load balancing (rent).
+    Compute,
+}
+
+/// One item of a batched request.
+#[derive(Debug, Clone)]
+pub struct RequestItem<K, P> {
+    /// Correlates the response with the originating tuple.
+    pub req_id: u64,
+    /// Join key.
+    pub key: K,
+    /// UDF parameters (e.g. the spot context in entity annotation).
+    pub params: P,
+    /// Data or compute request.
+    pub kind: ReqKind,
+}
+
+/// A batch of requests from one compute node to one data node, carrying the
+/// sender's load snapshot (§5).
+#[derive(Debug, Clone)]
+pub struct BatchRequest<K, P> {
+    /// The batched items.
+    pub items: Vec<RequestItem<K, P>>,
+    /// Piggybacked compute-node load statistics.
+    pub stats: ComputeLoadStats,
+}
+
+impl<K, P> BatchRequest<K, P> {
+    /// Number of compute requests in the batch (the `b` of Appendix C).
+    pub fn compute_count(&self) -> usize {
+        self.items.iter().filter(|i| i.kind == ReqKind::Compute).count()
+    }
+
+    /// Number of data requests in the batch.
+    pub fn data_count(&self) -> usize {
+        self.items.len() - self.compute_count()
+    }
+}
+
+/// Cost parameters piggybacked on every response item, which is how the
+/// compute node learns per-key and per-data-node costs without precomputed
+/// statistics (§4.3: "it sends the parameters for cost computation back").
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CostInfo {
+    /// Stored value size in bytes.
+    pub value_size: u64,
+    /// UDF CPU seconds for this key.
+    pub udf_cpu_secs: f64,
+    /// Last-update timestamp of the stored item.
+    pub version: u64,
+    /// The data node's smoothed per-record disk time, seconds.
+    pub data_t_disk: f64,
+    /// The data node's smoothed *effective* per-UDF CPU time (waiting +
+    /// service), seconds.
+    pub data_t_cpu: f64,
+    /// The data node's smoothed per-UDF CPU *service* time, seconds. The
+    /// ratio effective/service measures that node's congestion and scales
+    /// per-key CPU costs in the rent estimate.
+    pub data_t_cpu_service: f64,
+}
+
+/// Response payload for one item.
+#[derive(Debug, Clone)]
+pub enum ResponsePayload<V> {
+    /// The data node executed the UDF; the engine carries the output.
+    Computed {
+        /// Size of the computed output in bytes (`scv`).
+        output_size: u64,
+    },
+    /// The stored value itself — either a data-request result or a compute
+    /// request bounced back by load balancing.
+    Value {
+        /// The stored value.
+        value: V,
+        /// True when this was a compute request the data node chose not to
+        /// execute (bounced); false for an explicit data request.
+        bounced: bool,
+    },
+    /// No row for this key (the tuple joins to nothing).
+    Missing,
+}
+
+/// One item of a batched response.
+#[derive(Debug, Clone)]
+pub struct ResponseItem<K, V> {
+    /// Correlates with the request.
+    pub req_id: u64,
+    /// Join key.
+    pub key: K,
+    /// Result.
+    pub payload: ResponsePayload<V>,
+    /// Piggybacked cost parameters (present unless the row was missing).
+    pub cost: Option<CostInfo>,
+}
+
+/// Where the value used by a local UDF execution came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ValueSource {
+    /// Memory-cache hit.
+    MemCache,
+    /// Disk-cache hit.
+    DiskCache,
+    /// Freshly fetched by a data request.
+    Fetched,
+    /// A compute request bounced back by load balancing.
+    Bounced,
+}
+
+/// Instructions the compute runtime hands back to its driver (the engine or
+/// a thread pool).
+#[derive(Debug, Clone)]
+pub enum Action<K, P, V> {
+    /// Execute the UDF locally: charge `value.udf_cpu()` of CPU, produce the
+    /// output, then call `on_local_done(req_id)`.
+    RunLocal {
+        /// Request id to acknowledge on completion.
+        req_id: u64,
+        /// Join key.
+        key: K,
+        /// UDF parameters.
+        params: P,
+        /// The joined value.
+        value: V,
+        /// Provenance (for statistics).
+        source: ValueSource,
+    },
+    /// Transmit a batch to data node `dest`.
+    Send {
+        /// Destination data-node index (0-based among data nodes).
+        dest: usize,
+        /// The batch.
+        batch: BatchRequest<K, P>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_counts() {
+        let b = BatchRequest {
+            items: vec![
+                RequestItem { req_id: 0, key: 1u64, params: (), kind: ReqKind::Data },
+                RequestItem { req_id: 1, key: 2, params: (), kind: ReqKind::Compute },
+                RequestItem { req_id: 2, key: 3, params: (), kind: ReqKind::Compute },
+            ],
+            stats: ComputeLoadStats::default(),
+        };
+        assert_eq!(b.compute_count(), 2);
+        assert_eq!(b.data_count(), 1);
+    }
+}

@@ -1,0 +1,152 @@
+//! Property tests over the compute runtime: under arbitrary interleavings
+//! of inputs and (complete, valid) responses, bookkeeping never desyncs.
+
+use bytes::Bytes;
+use jl_core::compute::ComputeRuntime;
+use jl_core::types::{
+    Action, CacheValue, CostInfo, ReqKind, RequestItem, ResponseItem, ResponsePayload,
+};
+use jl_core::{OptimizerConfig, Strategy};
+use jl_costmodel::NodeCosts;
+use jl_simkit::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, PartialEq)]
+struct TV(u64);
+
+impl CacheValue for TV {
+    fn size(&self) -> u64 {
+        256
+    }
+    fn udf_cpu(&self) -> SimDuration {
+        SimDuration::from_millis(1)
+    }
+    fn version(&self) -> u64 {
+        1
+    }
+}
+
+fn node() -> NodeCosts {
+    NodeCosts {
+        t_disk: 0.0005,
+        t_cpu: 0.001,
+        net_bw: 125e6,
+    }
+}
+
+fn respond(items: &[RequestItem<u64, Bytes>], bounce_every: u64) -> Vec<ResponseItem<u64, TV>> {
+    items
+        .iter()
+        .map(|it| {
+            let payload = match it.kind {
+                ReqKind::Data => ResponsePayload::Value {
+                    value: TV(it.key),
+                    bounced: false,
+                },
+                ReqKind::Compute if bounce_every > 0 && it.req_id % bounce_every == 0 => {
+                    ResponsePayload::Value {
+                        value: TV(it.key),
+                        bounced: true,
+                    }
+                }
+                ReqKind::Compute => ResponsePayload::Computed { output_size: 64 },
+            };
+            ResponseItem {
+                req_id: it.req_id,
+                key: it.key,
+                payload,
+                cost: Some(CostInfo {
+                    value_size: 256,
+                    udf_cpu_secs: 0.001,
+                    version: 1,
+                    data_t_disk: 0.0005,
+                    data_t_cpu: 0.002,
+                    data_t_cpu_service: 0.001,
+                }),
+            }
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Feed random keys under every strategy; answer every sent batch;
+    /// drain. Then: nothing in flight, every tuple completed exactly once.
+    #[test]
+    fn every_input_completes_exactly_once(
+        keys in proptest::collection::vec(0u64..40, 1..400),
+        strategy_idx in 0usize..7,
+        bounce_every in 0u64..5,
+        batch_size in 1usize..32,
+    ) {
+        let strategy = Strategy::all()[strategy_idx];
+        let mut cfg = OptimizerConfig::for_strategy(strategy);
+        cfg.batch_size = batch_size;
+        cfg.mem_cache_bytes = 16 * 256; // 16 values
+        let mut rt: ComputeRuntime<u64, Bytes, TV> =
+            ComputeRuntime::new(cfg, 3, node(), node(), 1);
+
+        let mut now = SimTime::ZERO;
+        let mut pending_local: Vec<u64> = Vec::new();
+        let mut actions: Vec<Action<u64, Bytes, TV>> = Vec::new();
+        let total = keys.len() as u64;
+        for (i, &k) in keys.iter().enumerate() {
+            now += SimDuration::from_micros(50);
+            let dest = (k % 3) as usize;
+            actions.extend(rt.on_input(now, k, Bytes::from(vec![i as u8; 16]), 8, 16, dest));
+        }
+        actions.extend(rt.flush_all());
+        // Process actions to quiescence: respond to sends, ack local runs.
+        let mut guard = 0;
+        while !actions.is_empty() {
+            guard += 1;
+            prop_assert!(guard < 10_000, "runtime never quiesced");
+            let mut next: Vec<Action<u64, Bytes, TV>> = Vec::new();
+            for a in actions.drain(..) {
+                match a {
+                    Action::RunLocal { req_id, .. } => pending_local.push(req_id),
+                    Action::Send { dest, batch } => {
+                        let resp = respond(&batch.items, bounce_every);
+                        next.extend(rt.on_batch_response(dest, resp));
+                    }
+                }
+            }
+            for req in pending_local.drain(..) {
+                rt.on_local_done(req, 0.001);
+            }
+            next.extend(rt.flush_all());
+            actions = next;
+        }
+        prop_assert_eq!(rt.inflight_count(), 0, "requests left in flight");
+        prop_assert_eq!(rt.local_pending(), 0, "local runs unacknowledged");
+        let s = rt.stats();
+        prop_assert_eq!(s.completed, total, "stats: {:?}", s);
+        // Every tuple took exactly one of the paths.
+        prop_assert_eq!(
+            s.mem_hits + s.disk_hits + s.compute_requests + s.data_requests,
+            total
+        );
+    }
+
+    /// Load-stat snapshots remain internally consistent at every send.
+    #[test]
+    fn load_stats_always_consistent(
+        keys in proptest::collection::vec(0u64..20, 1..200),
+    ) {
+        let mut cfg = OptimizerConfig::for_strategy(Strategy::Full);
+        cfg.batch_size = 8;
+        let mut rt: ComputeRuntime<u64, Bytes, TV> =
+            ComputeRuntime::new(cfg, 2, node(), node(), 2);
+        let mut now = SimTime::ZERO;
+        for (i, &k) in keys.iter().enumerate() {
+            now += SimDuration::from_micros(20);
+            let acts = rt.on_input(now, k, Bytes::from(vec![i as u8; 8]), 8, 8, (k % 2) as usize);
+            for a in acts {
+                if let Action::Send { batch, .. } = a {
+                    prop_assert!(batch.stats.is_consistent(), "{:?}", batch.stats);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Effective bandwidth estimation (Appendix D.4).
+//!
+//! Before execution, probe transfers are sent between every compute node and
+//! every data node under load; the effective bandwidth of a node is the
+//! average across all its destinations (reflecting that traffic spreads over
+//! all of them, including slower inter-rack paths). Estimates can optionally
+//! be refreshed at runtime at the cost of perturbing the measured system.
+
+use std::collections::HashMap;
+
+use crate::smoothing::ExpSmoothed;
+
+/// Collects probe measurements and answers per-node and per-pair effective
+/// bandwidth queries (bytes/second).
+#[derive(Debug, Clone)]
+pub struct BandwidthEstimator {
+    pairs: HashMap<(usize, usize), ExpSmoothed>,
+    alpha: f64,
+    default_bps: f64,
+}
+
+impl BandwidthEstimator {
+    /// Create an estimator that reports `default_bps` for unprobed paths and
+    /// smooths repeated probes with factor `alpha`.
+    pub fn new(default_bps: f64, alpha: f64) -> Self {
+        assert!(default_bps > 0.0, "default bandwidth must be positive");
+        BandwidthEstimator {
+            pairs: HashMap::new(),
+            alpha,
+            default_bps,
+        }
+    }
+
+    /// Record a probe: `bytes` moved from `src` to `dst` in `seconds`.
+    /// Zero-duration probes are ignored.
+    pub fn record_probe(&mut self, src: usize, dst: usize, bytes: u64, seconds: f64) {
+        if seconds <= 0.0 || !seconds.is_finite() {
+            return;
+        }
+        let bps = bytes as f64 / seconds;
+        let alpha = self.alpha;
+        self.pairs
+            .entry((src, dst))
+            .or_insert_with(|| ExpSmoothed::new(alpha))
+            .update(bps);
+    }
+
+    /// Effective bandwidth on the directed path `src → dst`.
+    pub fn pair_bw(&self, src: usize, dst: usize) -> f64 {
+        self.pairs
+            .get(&(src, dst))
+            .and_then(|s| s.get())
+            .unwrap_or(self.default_bps)
+    }
+
+    /// `netBw_i`: a node's aggregate effective bandwidth — the average over
+    /// every destination it has been probed against (both directions), or
+    /// the default when unprobed.
+    pub fn node_bw(&self, node: usize) -> f64 {
+        let mut sum = 0.0;
+        let mut n = 0u32;
+        for (&(s, d), est) in &self.pairs {
+            if s == node || d == node {
+                if let Some(v) = est.get() {
+                    sum += v;
+                    n += 1;
+                }
+            }
+        }
+        if n == 0 {
+            self.default_bps
+        } else {
+            sum / f64::from(n)
+        }
+    }
+
+    /// Number of probed directed pairs.
+    pub fn probed_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unprobed_paths_use_default() {
+        let e = BandwidthEstimator::new(125e6, 0.3);
+        assert_eq!(e.pair_bw(0, 1), 125e6);
+        assert_eq!(e.node_bw(7), 125e6);
+    }
+
+    #[test]
+    fn probe_sets_pair_bandwidth() {
+        let mut e = BandwidthEstimator::new(125e6, 1.0);
+        e.record_probe(0, 1, 10_000_000, 0.1); // 100 MB/s
+        assert!((e.pair_bw(0, 1) - 100e6).abs() < 1.0);
+        assert_eq!(e.pair_bw(1, 0), 125e6); // directed
+    }
+
+    #[test]
+    fn node_bw_averages_destinations() {
+        let mut e = BandwidthEstimator::new(125e6, 1.0);
+        e.record_probe(0, 1, 100_000_000, 1.0); // 100 MB/s intra-rack
+        e.record_probe(0, 2, 20_000_000, 1.0); // 20 MB/s inter-rack
+        assert!((e.node_bw(0) - 60e6).abs() < 1.0);
+    }
+
+    #[test]
+    fn repeated_probes_are_smoothed() {
+        let mut e = BandwidthEstimator::new(125e6, 0.5);
+        e.record_probe(0, 1, 100, 1.0); // 100 B/s
+        e.record_probe(0, 1, 200, 1.0); // 200 B/s, α = 0.5 → 150
+        assert!((e.pair_bw(0, 1) - 150.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bogus_probes_ignored() {
+        let mut e = BandwidthEstimator::new(125e6, 0.5);
+        e.record_probe(0, 1, 100, 0.0);
+        e.record_probe(0, 1, 100, f64::NAN);
+        assert_eq!(e.probed_pairs(), 0);
+    }
+}

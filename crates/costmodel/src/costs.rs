@@ -1,0 +1,234 @@
+//! The cost formulas of §4.3.
+//!
+//! Requests overlap disk, network and CPU through asynchronous batched
+//! calls, so the *bottleneck* — the maximum of the per-resource costs — is
+//! what a request effectively costs:
+//!
+//! ```text
+//! tCompute = max(tDisk_j, (sk + sp + scv)/netBw_ij, tc_j)   (rent)
+//! tFetch   = max(tDisk_j, (sk + sv)/netBw_ij)               (buy)
+//! tRecMem  = tc_i                                           (recurring, RAM)
+//! tRecDisk = max(tc_i, tDisk_i)                             (recurring, disk)
+//! ```
+//!
+//! All costs are in seconds; sizes in bytes; bandwidth in bytes/second.
+
+/// Byte sizes involved in one function invocation (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeProfile {
+    /// `sk` — size of the key.
+    pub key: u64,
+    /// `sp` — average size of the parameter list.
+    pub params: u64,
+    /// `sv` — size of the stored value.
+    pub value: u64,
+    /// `scv` — average size of the computed (UDF output) value.
+    pub computed: u64,
+}
+
+impl SizeProfile {
+    /// Bytes crossing the network for a compute request and its reply.
+    pub fn compute_request_bytes(&self) -> u64 {
+        self.key + self.params + self.computed
+    }
+
+    /// Bytes crossing the network for a data request and its reply.
+    pub fn data_request_bytes(&self) -> u64 {
+        self.key + self.value
+    }
+}
+
+/// Per-node cost parameters (Table 1), measured and smoothed at runtime.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NodeCosts {
+    /// `tDisk_i` — time to fetch one record from disk, seconds.
+    pub t_disk: f64,
+    /// `tc_i` — CPU time to compute the UDF once, seconds.
+    pub t_cpu: f64,
+    /// `netBw_i` — effective network bandwidth, bytes/second.
+    pub net_bw: f64,
+}
+
+impl NodeCosts {
+    /// Validate that all parameters are usable.
+    pub fn is_valid(&self) -> bool {
+        self.t_disk >= 0.0
+            && self.t_cpu >= 0.0
+            && self.net_bw > 0.0
+            && self.t_disk.is_finite()
+            && self.t_cpu.is_finite()
+            && self.net_bw.is_finite()
+    }
+}
+
+/// Effective bandwidth between two nodes: the tighter of the two NICs.
+pub fn pair_bandwidth(a: &NodeCosts, b: &NodeCosts) -> f64 {
+    a.net_bw.min(b.net_bw)
+}
+
+/// `tCompute`: cost of a compute request from compute node `i`
+/// to data node `j` (rent).
+pub fn t_compute(sizes: &SizeProfile, i: &NodeCosts, j: &NodeCosts) -> f64 {
+    let bw = pair_bandwidth(i, j);
+    let net = sizes.compute_request_bytes() as f64 / bw;
+    j.t_disk.max(net).max(j.t_cpu)
+}
+
+/// `tFetch`: cost of a data request (buy).
+pub fn t_fetch(sizes: &SizeProfile, i: &NodeCosts, j: &NodeCosts) -> f64 {
+    let bw = pair_bandwidth(i, j);
+    let net = sizes.data_request_bytes() as f64 / bw;
+    j.t_disk.max(net)
+}
+
+/// `tRecMem`: recurring cost per use once the value is in the memory cache.
+pub fn t_rec_mem(i: &NodeCosts) -> f64 {
+    i.t_cpu
+}
+
+/// `tRecDisk`: recurring cost per use once the value is in the disk cache.
+pub fn t_rec_disk(i: &NodeCosts) -> f64 {
+    i.t_cpu.max(i.t_disk)
+}
+
+/// The full rent/buy cost bundle for one key, ready to parameterise the
+/// extended ski-rental policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RentBuyCosts {
+    /// Rent: `tCompute`.
+    pub rent: f64,
+    /// Buy: `tFetch`.
+    pub buy: f64,
+    /// Recurring after buying into memory: `tRecMem`.
+    pub rec_mem: f64,
+    /// Recurring after buying onto disk: `tRecDisk`.
+    pub rec_disk: f64,
+}
+
+/// Compute all four costs for a key served by data node `j` from compute
+/// node `i`.
+pub fn rent_buy_costs(sizes: &SizeProfile, i: &NodeCosts, j: &NodeCosts) -> RentBuyCosts {
+    RentBuyCosts {
+        rent: t_compute(sizes, i, j),
+        buy: t_fetch(sizes, i, j),
+        rec_mem: t_rec_mem(i),
+        rec_disk: t_rec_disk(i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sizes() -> SizeProfile {
+        SizeProfile {
+            key: 16,
+            params: 1_000,
+            value: 100_000,
+            computed: 200,
+        }
+    }
+
+    fn node(t_disk: f64, t_cpu: f64, bw: f64) -> NodeCosts {
+        NodeCosts {
+            t_disk,
+            t_cpu,
+            net_bw: bw,
+        }
+    }
+
+    #[test]
+    fn compute_cost_bottlenecked_by_cpu_for_heavy_udf() {
+        let i = node(0.001, 0.1, 125e6);
+        let j = node(0.001, 0.1, 125e6);
+        // Net: 1216/125e6 ≈ 10 µs, disk 1 ms, cpu 100 ms → cpu wins.
+        assert_eq!(t_compute(&sizes(), &i, &j), 0.1);
+    }
+
+    #[test]
+    fn fetch_cost_bottlenecked_by_network_for_big_values() {
+        let i = node(0.0001, 0.0, 125e6);
+        let j = node(0.0001, 0.0, 125e6);
+        // 100 KB value at 125 MB/s ≈ 800 µs > 100 µs disk.
+        let t = t_fetch(&sizes(), &i, &j);
+        assert!((t - 100_016.0 / 125e6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fetch_ignores_udf_cpu_cost() {
+        let i = node(0.001, 5.0, 125e6);
+        let j = node(0.001, 5.0, 125e6);
+        assert!(t_fetch(&sizes(), &i, &j) < 1.0);
+    }
+
+    #[test]
+    fn recurring_costs() {
+        let i = node(0.004, 0.002, 125e6);
+        assert_eq!(t_rec_mem(&i), 0.002);
+        assert_eq!(t_rec_disk(&i), 0.004); // disk dominates
+        let fast_disk = node(0.0001, 0.002, 125e6);
+        assert_eq!(t_rec_disk(&fast_disk), 0.002); // cpu dominates
+    }
+
+    #[test]
+    fn pair_bandwidth_is_the_min() {
+        let a = node(0.0, 0.0, 10e6);
+        let b = node(0.0, 0.0, 125e6);
+        assert_eq!(pair_bandwidth(&a, &b), 10e6);
+    }
+
+    #[test]
+    fn data_heavy_prefers_rent_compute_heavy_prefers_buy() {
+        // Data-heavy: big value, trivial UDF → tFetch >> tCompute.
+        let s_data = SizeProfile {
+            key: 16,
+            params: 100,
+            value: 1_000_000,
+            computed: 100,
+        };
+        let i = node(0.0005, 0.00001, 125e6);
+        let j = node(0.0005, 0.00001, 125e6);
+        assert!(t_fetch(&s_data, &i, &j) > t_compute(&s_data, &i, &j));
+
+        // Compute-heavy: small value, 100 ms UDF → tCompute >> tFetch.
+        let s_cpu = SizeProfile {
+            key: 16,
+            params: 100,
+            value: 1_000,
+            computed: 100,
+        };
+        let i2 = node(0.0005, 0.1, 125e6);
+        let j2 = node(0.0005, 0.1, 125e6);
+        assert!(t_compute(&s_cpu, &i2, &j2) > t_fetch(&s_cpu, &i2, &j2));
+    }
+
+    #[test]
+    fn validity_check() {
+        assert!(node(0.0, 0.0, 1.0).is_valid());
+        assert!(!node(-1.0, 0.0, 1.0).is_valid());
+        assert!(!node(0.0, 0.0, 0.0).is_valid());
+        assert!(!node(f64::NAN, 0.0, 1.0).is_valid());
+    }
+
+    proptest! {
+        #[test]
+        fn costs_are_nonnegative_and_finite(
+            td in 0.0f64..1.0, tc in 0.0f64..10.0, bw in 1e3f64..1e10,
+            sk in 1u64..1024, sp in 0u64..1_000_000,
+            sv in 0u64..100_000_000, scv in 0u64..1_000_000,
+        ) {
+            let s = SizeProfile { key: sk, params: sp, value: sv, computed: scv };
+            let n = node(td, tc, bw);
+            let rb = rent_buy_costs(&s, &n, &n);
+            for c in [rb.rent, rb.buy, rb.rec_mem, rb.rec_disk] {
+                prop_assert!(c.is_finite() && c >= 0.0);
+            }
+            // Bottleneck property: each cost ≥ every component it maxes.
+            prop_assert!(rb.rent >= n.t_cpu);
+            prop_assert!(rb.rent >= n.t_disk);
+            prop_assert!(rb.buy >= n.t_disk);
+            prop_assert!(rb.rec_disk >= rb.rec_mem);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! # jl-costmodel — runtime cost measurement and prediction
+//!
+//! Everything the optimizer knows about how expensive things are, learned
+//! online (the paper uses *no* precomputed statistics):
+//!
+//! * [`costs`] — the §4.3 bottleneck formulas turning sizes + node
+//!   parameters into `tCompute`/`tFetch`/`tRecMem`/`tRecDisk`.
+//! * [`smoothing`] — exponential smoothing of every measured parameter
+//!   (§3.2), guarding against transient spikes.
+//! * [`perkey`] — bounded per-key size/CPU estimates with global fallbacks.
+//! * [`bandwidth`] — setup-time effective-bandwidth probing (Appendix D.4).
+
+#![warn(missing_docs)]
+
+pub mod bandwidth;
+pub mod costs;
+pub mod perkey;
+pub mod smoothing;
+
+pub use bandwidth::BandwidthEstimator;
+pub use costs::{
+    pair_bandwidth, rent_buy_costs, t_compute, t_fetch, t_rec_disk, t_rec_mem, NodeCosts,
+    RentBuyCosts, SizeProfile,
+};
+pub use perkey::{KeyCosts, PerKeyCosts};
+pub use smoothing::ExpSmoothed;

@@ -1,0 +1,142 @@
+//! Exponential smoothing of runtime measurements (§3.2).
+//!
+//! Disk, CPU and network costs drift over time and spike under transient
+//! load; the paper smooths every measured parameter with
+//! `value_{t+1} = α·measured + (1 − α)·value_t`.
+
+/// An exponentially-smoothed scalar estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpSmoothed {
+    alpha: f64,
+    value: Option<f64>,
+    samples: u64,
+}
+
+impl ExpSmoothed {
+    /// Create with smoothing factor `alpha ∈ (0, 1]`. Larger α reacts faster
+    /// but passes more noise.
+    ///
+    /// # Panics
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        ExpSmoothed {
+            alpha,
+            value: None,
+            samples: 0,
+        }
+    }
+
+    /// Record a measurement; the first sample initialises the estimate.
+    /// Returns the updated estimate.
+    pub fn update(&mut self, measured: f64) -> f64 {
+        self.samples += 1;
+        let v = match self.value {
+            None => measured,
+            Some(v) => self.alpha * measured + (1.0 - self.alpha) * v,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current estimate, or `default` before any sample.
+    pub fn get_or(&self, default: f64) -> f64 {
+        self.value.unwrap_or(default)
+    }
+
+    /// Current estimate, if any sample has been recorded.
+    pub fn get(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Number of samples folded in.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn first_sample_initialises() {
+        let mut s = ExpSmoothed::new(0.2);
+        assert_eq!(s.get(), None);
+        assert_eq!(s.update(10.0), 10.0);
+        assert_eq!(s.get(), Some(10.0));
+    }
+
+    #[test]
+    fn follows_the_formula() {
+        let mut s = ExpSmoothed::new(0.25);
+        s.update(8.0);
+        let v = s.update(16.0);
+        assert!((v - (0.25 * 16.0 + 0.75 * 8.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn converges_to_constant_input() {
+        let mut s = ExpSmoothed::new(0.3);
+        s.update(100.0);
+        for _ in 0..200 {
+            s.update(5.0);
+        }
+        assert!((s.get().unwrap() - 5.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn damps_single_spike() {
+        let mut s = ExpSmoothed::new(0.1);
+        for _ in 0..50 {
+            s.update(10.0);
+        }
+        s.update(1000.0); // transient spike
+        let v = s.get().unwrap();
+        assert!(v < 110.0, "spike passed through: {v}");
+        assert!(v > 10.0);
+    }
+
+    #[test]
+    fn alpha_one_tracks_exactly() {
+        let mut s = ExpSmoothed::new(1.0);
+        s.update(3.0);
+        s.update(7.0);
+        assert_eq!(s.get(), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in (0, 1]")]
+    fn zero_alpha_rejected() {
+        let _ = ExpSmoothed::new(0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn estimate_stays_within_sample_hull(
+            samples in proptest::collection::vec(0.0f64..1e6, 1..100),
+            alpha_pct in 1u32..=100,
+        ) {
+            let mut s = ExpSmoothed::new(f64::from(alpha_pct) / 100.0);
+            let mut lo = f64::INFINITY;
+            let mut hi = f64::NEG_INFINITY;
+            for &x in &samples {
+                s.update(x);
+                lo = lo.min(x);
+                hi = hi.max(x);
+                let v = s.get().unwrap();
+                prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9,
+                    "estimate {v} outside hull [{lo}, {hi}]");
+            }
+        }
+    }
+}

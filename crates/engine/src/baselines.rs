@@ -1,0 +1,373 @@
+//! The paper's comparison systems, modelled analytically on the same
+//! hardware model as the framework runs.
+//!
+//! * **Naive reduce-side MapReduce** ("Hadoop" in Fig. 5): map extracts
+//!   `(key, params)`, hash-shuffles to reducers, each reducer loads the
+//!   model for each of its keys once and runs the UDF per tuple. Skewed
+//!   keys pile their *entire* UDF load on one reducer — the straggler the
+//!   paper observes.
+//! * **CSAW** (Gupta et al. \[12\]): with full precomputed statistics,
+//!   tuples of keys whose total work exceeds a threshold are spread
+//!   uniformly across all reducers (the model is replicated); light keys
+//!   hash-route as usual. Mitigates skew by both frequency *and* UDF cost.
+//! * **FlowJoinLB** (Rödiger et al. \[23\], lower bound): heavy hitters by
+//!   *frequency* (exact statistics — a lower bound on real Flow-Join, which
+//!   samples) are processed at their mapper with the model broadcast to
+//!   every node; light keys hash-route.
+//!
+//! These run on [`NodeResources`] directly (no event loop — reduce-side
+//! jobs have phase barriers, so analytic FIFO charging is exact enough) and
+//! produce the *same output fingerprints* as the framework, so tests can
+//! verify they compute the identical join.
+
+use std::collections::HashMap;
+
+use jl_simkit::prelude::*;
+use jl_store::{RowKey, StoredValue, UdfRegistry};
+
+use crate::config::ClusterSpec;
+use crate::plan::{encode_params, output_fingerprint, JobPlan, JobTuple};
+
+/// Which reduce-side baseline to run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ReduceSideKind {
+    /// Plain hash partitioning, no skew mitigation.
+    Naive,
+    /// CSAW: replicate keys whose total work exceeds
+    /// `threshold × (total work / reducers)`.
+    Csaw {
+        /// Replication threshold as a fraction of the mean per-reducer work.
+        threshold: f64,
+    },
+    /// Flow-Join lower bound: broadcast keys whose tuple count exceeds
+    /// `threshold × total tuples`.
+    FlowJoinLb {
+        /// Heavy-hitter frequency threshold (fraction of the input).
+        threshold: f64,
+    },
+}
+
+impl ReduceSideKind {
+    /// Label used in figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReduceSideKind::Naive => "Hadoop",
+            ReduceSideKind::Csaw { .. } => "CSAW",
+            ReduceSideKind::FlowJoinLb { .. } => "FlowJoinLB",
+        }
+    }
+}
+
+/// Result of a baseline run.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineReport {
+    /// Job duration.
+    pub duration: SimDuration,
+    /// Tuples processed.
+    pub completed: u64,
+    /// Output fingerprint (must match the framework's).
+    pub fingerprint: u64,
+    /// Max/mean reducer CPU busy ratio (straggler indicator).
+    pub cpu_skew: f64,
+}
+
+/// CPU cost of the map-side extraction per tuple.
+const MAP_CPU: SimDuration = SimDuration(10_000); // 10 µs
+/// CPU to serialize/sort one map-output record (and merge it reduce-side).
+const SORT_CPU: SimDuration = SimDuration(3_000); // 3 µs
+
+/// Run a reduce-side join baseline over all `spec.n_compute + spec.n_data`
+/// nodes (the paper gives reduce-side systems the full 20-node cluster).
+pub fn run_reduce_side(
+    kind: ReduceSideKind,
+    spec: &ClusterSpec,
+    rows: &HashMap<RowKey, StoredValue>,
+    udfs: &UdfRegistry,
+    plan: &JobPlan,
+    tuples: &[JobTuple],
+) -> BaselineReport {
+    assert_eq!(plan.stages.len(), 1, "reduce-side baselines model one join");
+    let stage = &plan.stages[0];
+    let udf = udfs.get(stage.udf).expect("udf registered");
+    let n = spec.n_compute + spec.n_data;
+    let now = SimTime::ZERO;
+    let mut nodes: Vec<NodeResources> = (0..n)
+        .map(|_| {
+            NodeResources::new(
+                spec.node.cores,
+                spec.node.disk_channels,
+                spec.node.net_bw_bps,
+                now,
+            )
+        })
+        .collect();
+
+    // --- Statistics (CSAW / FlowJoinLB get exact precomputed stats). ---
+    let mut freq: HashMap<&RowKey, u64> = HashMap::new();
+    for t in tuples {
+        *freq.entry(&t.keys[0]).or_insert(0) += 1;
+    }
+    let total_tuples = tuples.len() as u64;
+    let work_of = |key: &RowKey, f: u64| -> f64 {
+        let Some(v) = rows.get(key) else { return 0.0 };
+        f as f64 * v.udf_cpu().as_secs_f64() + spec.disk_service(v.size()).as_secs_f64()
+    };
+    let total_work: f64 = freq.iter().map(|(k, &f)| work_of(k, f)).sum();
+    let reducers = n as f64;
+
+    let replicated: std::collections::HashSet<RowKey> = match kind {
+        ReduceSideKind::Naive => Default::default(),
+        ReduceSideKind::Csaw { threshold } => freq
+            .iter()
+            .filter(|(k, &f)| work_of(k, f) > threshold * total_work / reducers)
+            .map(|(k, _)| (*k).clone())
+            .collect(),
+        ReduceSideKind::FlowJoinLb { threshold } => freq
+            .iter()
+            .filter(|(_, &f)| f as f64 > threshold * total_tuples as f64)
+            .map(|(k, _)| (*k).clone())
+            .collect(),
+    };
+
+    // --- Map phase: extraction CPU + shuffle emission. ---
+    // Tuple t maps at node (seq % n); routes to `partition(key)` unless the
+    // key is replicated, in which case it spreads (CSAW) or stays local
+    // (FlowJoinLB broadcast).
+    let mut shuffle_out = vec![0u64; n]; // bytes leaving each mapper
+    let mut shuffle_in = vec![0u64; n]; // bytes entering each reducer
+    let mut reducer_tuples: Vec<Vec<&JobTuple>> = vec![Vec::new(); n];
+    let partition = |key: &RowKey| (key.stable_hash() % n as u64) as usize;
+    let broadcast_local = matches!(kind, ReduceSideKind::FlowJoinLb { .. });
+    for t in tuples {
+        let mapper = (t.seq % n as u64) as usize;
+        nodes[mapper].cpu.submit(now, MAP_CPU);
+        let key = &t.keys[0];
+        let dest = if replicated.contains(key) {
+            if broadcast_local {
+                mapper // model is everywhere; process where mapped
+            } else {
+                // CSAW: spread deterministically across reducers.
+                let mut s = t.seq ^ key.stable_hash();
+                (jl_simkit::rng::splitmix64(&mut s) % n as u64) as usize
+            }
+        } else {
+            partition(key)
+        };
+        let bytes = key.len() as u64 + t.params_size as u64 + 32;
+        if dest != mapper {
+            shuffle_out[mapper] += bytes;
+            shuffle_in[dest] += bytes;
+        }
+        reducer_tuples[dest].push(t);
+    }
+    for (i, node) in nodes.iter_mut().enumerate() {
+        let out = SimDuration::from_secs_f64(shuffle_out[i] as f64 / spec.node.net_bw_bps);
+        let inn = SimDuration::from_secs_f64(shuffle_in[i] as f64 / spec.node.net_bw_bps);
+        node.nic_out.submit(now, out);
+        node.nic_in.submit(now, inn);
+        // MapReduce materializes map output on local disk and the reducer
+        // spills/merges its fetched partitions — both charged to disk —
+        // plus per-record sort/merge CPU on both sides.
+        node.disk.submit(
+            now,
+            SimDuration::from_secs_f64(
+                (shuffle_out[i] + shuffle_in[i]) as f64 / spec.disk_bw_bps,
+            ),
+        );
+        let recs_out = reducer_tuples[i].len() as u64;
+        node.cpu.submit(now, SORT_CPU.saturating_mul(recs_out));
+    }
+    // Replicated models are copied to every node that will host them.
+    for key in &replicated {
+        if let Some(v) = rows.get(key) {
+            let bytes = SimDuration::from_secs_f64(v.size() as f64 / spec.node.net_bw_bps);
+            for node in nodes.iter_mut() {
+                node.nic_in.submit(now, bytes);
+            }
+        }
+    }
+
+    // --- Barrier: reducers start after every map/shuffle is done. ---
+    let map_end = nodes
+        .iter()
+        .map(NodeResources::drained_at)
+        .fold(SimTime::ZERO, SimTime::max);
+
+    // --- Reduce phase: one model load per (reducer, key); all UDF
+    // invocations for one key run inside a single reduce task, i.e. on ONE
+    // core — this serialization is precisely what turns a heavy hitter
+    // into a straggling reducer. ---
+    let mut fingerprint = 0u64;
+    let mut completed = 0u64;
+    for (r, tuples_here) in reducer_tuples.iter().enumerate() {
+        let mut key_cpu: HashMap<&RowKey, SimDuration> = HashMap::new();
+        for t in tuples_here {
+            let key = &t.keys[0];
+            let Some(v) = rows.get(key) else {
+                completed += 1;
+                continue;
+            };
+            let acc = key_cpu.entry(key).or_insert(SimDuration::ZERO);
+            *acc += v.udf_cpu();
+            let params = encode_params(t.seq, 0, t.params_size);
+            let out = udf.apply(key, &params, v);
+            fingerprint ^= output_fingerprint(t.seq, 0, &out);
+            completed += 1;
+        }
+        let mut per_key: Vec<(&RowKey, SimDuration)> = key_cpu.into_iter().collect();
+        per_key.sort_unstable_by(|a, b| a.0.cmp(b.0)); // deterministic order
+        for (key, cpu) in per_key {
+            let v = &rows[key];
+            nodes[r].disk.submit(map_end, spec.disk_service(v.size()));
+            nodes[r].cpu.submit(map_end, cpu);
+        }
+    }
+
+    let end = nodes
+        .iter()
+        .map(NodeResources::drained_at)
+        .fold(SimTime::ZERO, SimTime::max);
+    let utils: Vec<f64> = nodes.iter().map(|nr| nr.cpu.utilization(end)).collect();
+    let max_u = utils.iter().cloned().fold(0.0f64, f64::max);
+    let mean_u = utils.iter().sum::<f64>() / utils.len() as f64;
+    BaselineReport {
+        duration: end.since(SimTime::ZERO),
+        completed,
+        fingerprint,
+        cpu_skew: if mean_u > 0.0 { max_u / mean_u } else { 1.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::JobPlan;
+    use jl_store::DigestUdf;
+    use jl_workloads::zipf::KeyStream;
+    use std::sync::Arc;
+
+    fn setup(
+        z: f64,
+        n_keys: u64,
+        n_tuples: u64,
+        udf_ms: u64,
+    ) -> (
+        ClusterSpec,
+        HashMap<RowKey, StoredValue>,
+        UdfRegistry,
+        Arc<JobPlan>,
+        Vec<JobTuple>,
+    ) {
+        let spec = ClusterSpec::default();
+        let rows: HashMap<RowKey, StoredValue> = (0..n_keys)
+            .map(|k| {
+                (
+                    RowKey::from_u64(k),
+                    StoredValue::new(
+                        k.to_le_bytes().to_vec(),
+                        1,
+                        SimDuration::from_millis(udf_ms),
+                    ),
+                )
+            })
+            .collect();
+        let mut udfs = UdfRegistry::new();
+        udfs.register(0, Arc::new(DigestUdf { out_bytes: 64 }));
+        let plan = JobPlan::single(0, 0);
+        let mut ks = KeyStream::new(n_keys as usize, z, 3);
+        let mut rng = jl_simkit::rng::stream_rng(3, "bl");
+        let tuples: Vec<JobTuple> = (0..n_tuples)
+            .map(|seq| JobTuple {
+                seq,
+                keys: vec![RowKey::from_u64(ks.next_key(&mut rng))],
+                params_size: 64,
+                arrival: SimTime::ZERO,
+            })
+            .collect();
+        (spec, rows, udfs, plan, tuples)
+    }
+
+    #[test]
+    fn all_baselines_compute_the_same_join() {
+        let (spec, rows, udfs, plan, tuples) = setup(1.0, 500, 3000, 2);
+        let naive = run_reduce_side(ReduceSideKind::Naive, &spec, &rows, &udfs, &plan, &tuples);
+        let csaw = run_reduce_side(
+            ReduceSideKind::Csaw { threshold: 0.2 },
+            &spec,
+            &rows,
+            &udfs,
+            &plan,
+            &tuples,
+        );
+        let fj = run_reduce_side(
+            ReduceSideKind::FlowJoinLb { threshold: 0.01 },
+            &spec,
+            &rows,
+            &udfs,
+            &plan,
+            &tuples,
+        );
+        assert_eq!(naive.completed, 3000);
+        assert_eq!(naive.fingerprint, csaw.fingerprint);
+        assert_eq!(naive.fingerprint, fj.fingerprint);
+    }
+
+    #[test]
+    fn skew_mitigation_beats_naive_under_heavy_skew() {
+        let (spec, rows, udfs, plan, tuples) = setup(1.5, 2000, 10_000, 5);
+        let naive = run_reduce_side(ReduceSideKind::Naive, &spec, &rows, &udfs, &plan, &tuples);
+        let csaw = run_reduce_side(
+            ReduceSideKind::Csaw { threshold: 0.2 },
+            &spec,
+            &rows,
+            &udfs,
+            &plan,
+            &tuples,
+        );
+        let fj = run_reduce_side(
+            ReduceSideKind::FlowJoinLb { threshold: 0.005 },
+            &spec,
+            &rows,
+            &udfs,
+            &plan,
+            &tuples,
+        );
+        assert!(
+            csaw.duration < naive.duration,
+            "CSAW {} !< naive {}",
+            csaw.duration,
+            naive.duration
+        );
+        assert!(
+            fj.duration < naive.duration,
+            "FlowJoinLB {} !< naive {}",
+            fj.duration,
+            naive.duration
+        );
+        assert!(naive.cpu_skew > csaw.cpu_skew, "naive should straggle");
+    }
+
+    #[test]
+    fn no_skew_means_little_mitigation_benefit() {
+        let (spec, rows, udfs, plan, tuples) = setup(0.0, 2000, 10_000, 5);
+        let naive = run_reduce_side(ReduceSideKind::Naive, &spec, &rows, &udfs, &plan, &tuples);
+        let csaw = run_reduce_side(
+            ReduceSideKind::Csaw { threshold: 0.2 },
+            &spec,
+            &rows,
+            &udfs,
+            &plan,
+            &tuples,
+        );
+        let ratio = csaw.duration.as_secs_f64() / naive.duration.as_secs_f64();
+        assert!((0.8..1.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn missing_rows_counted_but_unjoined() {
+        let (spec, mut rows, udfs, plan, tuples) = setup(0.5, 100, 500, 1);
+        rows.remove(&RowKey::from_u64(0));
+        let r = run_reduce_side(ReduceSideKind::Naive, &spec, &rows, &udfs, &plan, &tuples);
+        assert_eq!(r.completed, 500);
+    }
+}

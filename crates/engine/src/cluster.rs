@@ -1,0 +1,146 @@
+//! The simulated cluster: message type, cacheable value wrapper, and the
+//! role-dispatching node enum.
+
+use bytes::Bytes;
+
+use jl_core::types::{BatchRequest, CacheValue, ResponseItem};
+use jl_simkit::prelude::*;
+use jl_store::{RowKey, StoredValue, TableId};
+
+use crate::compute_node::ComputeNode;
+use crate::controller::Controller;
+use crate::data_node::DataNode;
+use crate::plan::JobTuple;
+
+/// Composite key: `(table, row key)` — the optimizer's cache and counters
+/// must not conflate equal row keys of different tables (multi-join plans).
+pub type EKey = (TableId, RowKey);
+
+/// Approximate wire overhead per request/response item (framing, ids).
+pub const ITEM_OVERHEAD: u64 = 48;
+/// Approximate wire overhead per batch (header + load statistics).
+pub const BATCH_OVERHEAD: u64 = 160;
+
+/// [`StoredValue`] wrapped for the optimizer's cache.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Val(pub StoredValue);
+
+impl CacheValue for Val {
+    fn size(&self) -> u64 {
+        self.0.size()
+    }
+    fn udf_cpu(&self) -> SimDuration {
+        self.0.udf_cpu()
+    }
+    fn version(&self) -> u64 {
+        self.0.version
+    }
+}
+
+/// Messages exchanged in the simulated cluster.
+#[derive(Debug, Clone)]
+pub enum Msg {
+    /// A streaming input tuple arriving at a compute node.
+    Tuple(JobTuple),
+    /// A batched request from a compute node to a data node.
+    Request {
+        /// Index of the sending compute node.
+        from_compute: usize,
+        /// The batch.
+        batch: BatchRequest<EKey, Bytes>,
+    },
+    /// A batched response from a data node.
+    Reply {
+        /// Index of the responding data node.
+        from_data: usize,
+        /// Per-item responses (values, bounces, cost info).
+        items: Vec<ResponseItem<EKey, Val>>,
+        /// Outputs of UDFs the data node executed, by request id.
+        outputs: Vec<(u64, Bytes)>,
+    },
+    /// Targeted cache-invalidation notice (§4.2.3).
+    Invalidate {
+        /// The updated key.
+        key: EKey,
+    },
+    /// An external row update applied at a data node.
+    Put {
+        /// Table.
+        table: TableId,
+        /// Row key.
+        key: RowKey,
+        /// New value.
+        value: StoredValue,
+    },
+    /// A compute node reporting completion to the controller (batch jobs).
+    Done {
+        /// Tuples fully processed by that node.
+        completed: u64,
+        /// XOR of its output fingerprints.
+        fingerprint: u64,
+    },
+}
+
+/// A node of the simulated cluster.
+#[allow(clippy::large_enum_variant)]
+pub enum ClusterNode {
+    /// Runs the application + the compute-side optimizer.
+    Compute(ComputeNode),
+    /// Hosts a region-server shard + the data-side optimizer.
+    Data(DataNode),
+    /// Detects job completion and stops the simulation.
+    Controller(Controller),
+}
+
+impl Node for ClusterNode {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        match self {
+            ClusterNode::Compute(n) => n.on_start(ctx),
+            ClusterNode::Data(_) | ClusterNode::Controller(_) => {}
+        }
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        match self {
+            ClusterNode::Compute(n) => n.on_message(from, msg, ctx),
+            ClusterNode::Data(n) => n.on_message(from, msg, ctx),
+            ClusterNode::Controller(n) => n.on_message(from, msg, ctx),
+        }
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
+        match self {
+            ClusterNode::Compute(n) => n.on_timer(tag, ctx),
+            ClusterNode::Data(n) => n.on_timer(tag, ctx),
+            ClusterNode::Controller(_) => {}
+        }
+    }
+}
+
+impl ClusterNode {
+    /// The compute node inside, if any.
+    pub fn as_compute(&self) -> Option<&ComputeNode> {
+        match self {
+            ClusterNode::Compute(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The data node inside, if any.
+    pub fn as_data(&self) -> Option<&DataNode> {
+        match self {
+            ClusterNode::Data(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The controller inside, if any.
+    pub fn as_controller(&self) -> Option<&Controller> {
+        match self {
+            ClusterNode::Controller(n) => Some(n),
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,375 @@
+//! The compute-node actor: feeds input tuples through the optimizer,
+//! executes local UDFs against its simulated CPU/disk, transmits batches,
+//! and walks multi-stage plans.
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use jl_core::compute::ComputeRuntime;
+use jl_core::types::{Action, ResponseItem, ValueSource};
+use jl_costmodel::NodeCosts;
+use jl_simkit::prelude::*;
+use jl_simkit::sim::NodeId;
+use jl_store::{Catalog, UdfRegistry};
+
+use crate::cluster::{EKey, Msg, Val, BATCH_OVERHEAD, ITEM_OVERHEAD};
+use crate::config::{ClusterSpec, FeedMode};
+use crate::plan::{decode_params, encode_params, output_fingerprint, survives, JobPlan, JobTuple};
+
+/// Timer tag reserved for batch-deadline polling.
+const DEADLINE_TAG: u64 = u64::MAX;
+
+struct PendingLocal {
+    key: EKey,
+    params: Bytes,
+    value: Val,
+}
+
+/// Per-run counters a compute node reports.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ComputeNodeReport {
+    /// Tuples fully processed (all stages).
+    pub completed: u64,
+    /// Tuples ingested.
+    pub ingested: u64,
+    /// XOR fingerprint over all stage outputs.
+    pub fingerprint: u64,
+}
+
+/// The compute-node actor state.
+pub struct ComputeNode {
+    idx: usize,
+    rt: ComputeRuntime<EKey, Bytes, Val>,
+    catalog: Arc<Catalog>,
+    udfs: UdfRegistry,
+    plan: Arc<JobPlan>,
+    spec: ClusterSpec,
+    feed: FeedMode,
+    input: VecDeque<JobTuple>,
+    /// Tuples currently somewhere in the pipeline, by seq (needed to reach
+    /// later-stage keys).
+    live: HashMap<u64, JobTuple>,
+    /// Local executions awaiting their CPU-completion timer.
+    pending_local: HashMap<u64, PendingLocal>,
+    /// `(seq, stage)` of every request sent to a data node, by request id.
+    sent: HashMap<u64, (u64, u16)>,
+    report: ComputeNodeReport,
+    done_sent: bool,
+    flushed_input: bool,
+    /// Ingest→completion latency per tuple (streaming diagnosis).
+    latency: jl_simkit::stats::DurationHistogram,
+    started_at: HashMap<u64, SimTime>,
+    /// Request-send→reply latency per remote item.
+    remote_lat: jl_simkit::stats::DurationHistogram,
+    /// RunLocal issue→completion latency.
+    local_lat: jl_simkit::stats::DurationHistogram,
+    /// Send timestamps per remote item, for the remote-latency histogram.
+    sent_at: HashMap<u64, SimTime>,
+}
+
+impl ComputeNode {
+    /// Build a compute node.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        idx: usize,
+        cfg: jl_core::OptimizerConfig,
+        spec: ClusterSpec,
+        feed: FeedMode,
+        catalog: Arc<Catalog>,
+        udfs: UdfRegistry,
+        plan: Arc<JobPlan>,
+        input: Vec<JobTuple>,
+        udf_cpu_hint: f64,
+        seed: u64,
+    ) -> Self {
+        let my = NodeCosts {
+            t_disk: spec.disk_service(64 * 1024).as_secs_f64(),
+            t_cpu: udf_cpu_hint,
+            net_bw: spec.node.net_bw_bps,
+        };
+        let rt = ComputeRuntime::new(cfg, spec.n_data, my, my, seed);
+        ComputeNode {
+            idx,
+            rt,
+            catalog,
+            udfs,
+            plan,
+            spec,
+            feed,
+            input: input.into(),
+            live: HashMap::new(),
+            pending_local: HashMap::new(),
+            sent: HashMap::new(),
+            report: ComputeNodeReport::default(),
+            done_sent: false,
+            flushed_input: false,
+            latency: jl_simkit::stats::DurationHistogram::new(),
+            started_at: HashMap::new(),
+            remote_lat: jl_simkit::stats::DurationHistogram::new(),
+            local_lat: jl_simkit::stats::DurationHistogram::new(),
+            sent_at: HashMap::new(),
+        }
+    }
+
+    /// Remote request→reply latency distribution.
+    pub fn remote_latency(&self) -> &jl_simkit::stats::DurationHistogram {
+        &self.remote_lat
+    }
+
+    /// Local execution latency distribution.
+    pub fn local_latency(&self) -> &jl_simkit::stats::DurationHistogram {
+        &self.local_lat
+    }
+
+    /// Ingest→completion latency distribution.
+    pub fn latency(&self) -> &jl_simkit::stats::DurationHistogram {
+        &self.latency
+    }
+
+    /// Final counters.
+    pub fn report(&self) -> ComputeNodeReport {
+        self.report
+    }
+
+    /// Optimizer decision statistics.
+    pub fn decision_stats(&self) -> jl_core::DecisionStats {
+        self.rt.stats()
+    }
+
+    /// Cache statistics.
+    pub fn cache_stats(&self) -> jl_cache::CacheStats {
+        self.rt.cache_stats()
+    }
+
+    fn window(&self) -> usize {
+        match self.feed {
+            FeedMode::Batch { window } | FeedMode::Stream { window, .. } => window,
+        }
+    }
+
+    fn outstanding(&self) -> u64 {
+        self.report.ingested - self.report.completed
+    }
+
+    /// Called by the kernel at simulation start.
+    pub fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if matches!(self.feed, FeedMode::Batch { .. }) {
+            self.refill(ctx);
+        }
+    }
+
+    fn is_batch(&self) -> bool {
+        matches!(self.feed, FeedMode::Batch { .. })
+    }
+
+    fn refill(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        while (self.outstanding() as usize) < self.window() {
+            let Some(tuple) = self.input.pop_front() else {
+                // Batch jobs flush residual batches once the input is
+                // exhausted; streams rely on the max-wait timer because
+                // more input may still arrive.
+                if self.is_batch() && !self.flushed_input {
+                    self.flushed_input = true;
+                    let actions = self.rt.flush_all();
+                    self.handle_actions(actions, ctx);
+                }
+                break;
+            };
+            self.start_tuple(tuple, ctx);
+        }
+        self.maybe_done(ctx);
+    }
+
+    fn start_tuple(&mut self, tuple: JobTuple, ctx: &mut Ctx<'_, Msg>) {
+        self.report.ingested += 1;
+        let seq = tuple.seq;
+        self.started_at.insert(seq, ctx.now());
+        self.live.insert(seq, tuple);
+        self.issue_stage(seq, 0, ctx);
+    }
+
+    fn issue_stage(&mut self, seq: u64, stage: u16, ctx: &mut Ctx<'_, Msg>) {
+        let tuple = &self.live[&seq];
+        let spec = &self.plan.stages[stage as usize];
+        let row = tuple.keys[stage as usize].clone();
+        let params = encode_params(seq, stage, tuple.params_size);
+        let key: EKey = (spec.table, row.clone());
+        let (_, server) = self.catalog.locate(spec.table, &row);
+        let key_size = row.len() as u64 + 8;
+        let params_size = params.len() as u64;
+        let actions = self
+            .rt
+            .on_input(ctx.now(), key, params, key_size, params_size, server);
+        self.handle_actions(actions, ctx);
+    }
+
+    fn handle_actions(&mut self, actions: Vec<Action<EKey, Bytes, Val>>, ctx: &mut Ctx<'_, Msg>) {
+        for action in actions {
+            match action {
+                Action::RunLocal {
+                    req_id,
+                    key,
+                    params,
+                    value,
+                    source,
+                } => {
+                    // Disk-cache reads pay the local disk before the CPU.
+                    let ready = if source == ValueSource::DiskCache {
+                        let svc = self.spec.disk_service(value.0.size());
+                        ctx.use_resource(ResourceKind::Disk, ctx.now(), svc).done
+                    } else {
+                        ctx.now()
+                    };
+                    let grant = ctx.use_resource(ResourceKind::Cpu, ready, value.0.udf_cpu());
+                    self.local_lat.record(grant.done.since(ctx.now()));
+                    self.pending_local.insert(
+                        req_id,
+                        PendingLocal { key, params, value },
+                    );
+                    ctx.set_timer(grant.done, req_id);
+                }
+                Action::Send { dest, batch } => {
+                    let mut bytes = BATCH_OVERHEAD;
+                    for item in &batch.items {
+                        let (seq, stage) = decode_params(&item.params);
+                        self.sent.insert(item.req_id, (seq, stage));
+                        self.sent_at.insert(item.req_id, ctx.now());
+                        bytes += item.key.1.len() as u64
+                            + item.params.len() as u64
+                            + ITEM_OVERHEAD;
+                    }
+                    let to = self.spec.data_id(dest);
+                    ctx.send(
+                        to,
+                        Msg::Request {
+                            from_compute: self.idx,
+                            batch,
+                        },
+                        bytes,
+                    );
+                }
+            }
+        }
+        if let Some(deadline) = self.rt.next_deadline() {
+            ctx.set_timer(deadline, DEADLINE_TAG);
+        }
+    }
+
+    /// A stage of a tuple produced `output` (or was filtered/missing when
+    /// `None`): fingerprint it, advance the pipeline or finish the tuple.
+    fn stage_finished(
+        &mut self,
+        seq: u64,
+        stage: u16,
+        output: Option<&[u8]>,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
+        let mut advance = false;
+        if let Some(out) = output {
+            self.report.fingerprint ^= output_fingerprint(seq, stage, out);
+            let spec = &self.plan.stages[stage as usize];
+            advance = survives(seq, stage, spec.selectivity)
+                && (stage as usize + 1) < self.plan.stages.len();
+        }
+        if advance {
+            self.issue_stage(seq, stage + 1, ctx);
+        } else {
+            self.live.remove(&seq);
+            if let Some(t0) = self.started_at.remove(&seq) {
+                self.latency.record(ctx.now().since(t0));
+            }
+            self.report.completed += 1;
+            self.refill(ctx);
+        }
+    }
+
+    fn maybe_done(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        if self.done_sent || !matches!(self.feed, FeedMode::Batch { .. }) {
+            return;
+        }
+        if self.input.is_empty() && self.outstanding() == 0 {
+            self.done_sent = true;
+            ctx.send(
+                self.spec.controller_id(),
+                Msg::Done {
+                    completed: self.report.completed,
+                    fingerprint: self.report.fingerprint,
+                },
+                64,
+            );
+        }
+    }
+
+    /// Kernel message dispatch.
+    pub fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        match msg {
+            Msg::Tuple(tuple) => {
+                // Streaming arrival: queue it; process under the window.
+                self.input.push_back(tuple);
+                self.refill(ctx);
+            }
+            Msg::Reply {
+                from_data,
+                items,
+                outputs,
+            } => {
+                for item in &items {
+                    if let Some(t0) = self.sent_at.remove(&item.req_id) {
+                        self.remote_lat.record(ctx.now().since(t0));
+                    }
+                }
+                // Outputs computed at the data node complete their stage.
+                for item in &items {
+                    if matches!(item.payload, jl_core::types::ResponsePayload::Missing) {
+                        if let Some((seq, stage)) = self.sent.remove(&item.req_id) {
+                            self.stage_finished(seq, stage, None, ctx);
+                        }
+                    }
+                }
+                for (req_id, out) in &outputs {
+                    if let Some((seq, stage)) = self.sent.remove(req_id) {
+                        self.stage_finished(seq, stage, Some(out), ctx);
+                    }
+                }
+                // Returned values (data requests and bounces) run locally.
+                let value_items: Vec<ResponseItem<EKey, Val>> = items;
+                for it in &value_items {
+                    if matches!(it.payload, jl_core::types::ResponsePayload::Value { .. }) {
+                        self.sent.remove(&it.req_id);
+                    }
+                }
+                let actions = self.rt.on_batch_response(from_data, value_items);
+                self.handle_actions(actions, ctx);
+            }
+            Msg::Invalidate { key } => {
+                self.rt.on_update_notice(&key);
+            }
+            _ => {}
+        }
+    }
+
+    /// Kernel timer dispatch: local UDF completions and batch deadlines.
+    pub fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
+        if tag == DEADLINE_TAG {
+            let actions = self.rt.poll(ctx.now());
+            self.handle_actions(actions, ctx);
+            return;
+        }
+        let Some(p) = self.pending_local.remove(&tag) else {
+            return;
+        };
+        let (seq, stage) = decode_params(&p.params);
+        let spec = &self.plan.stages[stage as usize];
+        let udf = self
+            .udfs
+            .get(spec.udf)
+            .expect("udf registered")
+            .clone();
+        let out = udf.apply(&p.key.1, &p.params, &p.value.0);
+        self.rt
+            .on_local_done(tag, p.value.0.udf_cpu().as_secs_f64());
+        self.stage_finished(seq, stage, Some(&out), ctx);
+    }
+}

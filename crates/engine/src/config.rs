@@ -1,0 +1,150 @@
+//! Cluster and run configuration.
+
+use jl_simkit::sim::{NetConfig, NodeSpec};
+use jl_simkit::time::SimDuration;
+
+/// Hardware and topology of the simulated cluster, defaulting to the
+/// paper's testbed: 20 nodes, two quad-core Xeons each, GbE, with 10
+/// compute + 10 data nodes for the framework runs (§9).
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// Compute nodes.
+    pub n_compute: usize,
+    /// Data nodes (region servers).
+    pub n_data: usize,
+    /// Per-node hardware.
+    pub node: NodeSpec,
+    /// Network latency/bandwidth model.
+    pub net: NetConfig,
+    /// Disk seek/setup time per record fetch.
+    pub disk_seek: SimDuration,
+    /// Disk streaming bandwidth, bytes/second (a record fetch costs
+    /// `disk_seek + size / disk_bw`). Defaults to SSD-like numbers: the
+    /// paper notes its disk-cache reads behave like SSD reads because of
+    /// the file-system buffer.
+    pub disk_bw_bps: f64,
+    /// Regions per data node (HBase default layout granularity).
+    pub regions_per_node: usize,
+    /// Region-server block cache per data node, bytes. Sized so the ratio
+    /// of block cache to per-node stored data resembles the paper's 16 GB
+    /// RAM vs ~20 GB/node store.
+    pub block_cache_bytes: u64,
+    /// Update-notification scheme.
+    pub notify: NotifyMode,
+    /// Per-item CPU at a region server (read path + per-row share of the
+    /// batched RPC/coprocessor dispatch). This is an irreducible cost of
+    /// *renting*: a node receiving a heavy hitter's entire request stream
+    /// burns cores on it even when the row is block-cached and the UDF is
+    /// cheap.
+    pub rpc_cpu: SimDuration,
+}
+
+impl Default for ClusterSpec {
+    fn default() -> Self {
+        ClusterSpec {
+            n_compute: 10,
+            n_data: 10,
+            node: NodeSpec {
+                cores: 8,
+                disk_channels: 4,
+                net_bw_bps: 125_000_000.0,
+            },
+            net: NetConfig::default(),
+            disk_seek: SimDuration::from_micros(120),
+            disk_bw_bps: 500e6,
+            regions_per_node: 4,
+            block_cache_bytes: 96 << 20,
+            notify: NotifyMode::Targeted,
+            rpc_cpu: SimDuration::from_micros(50),
+        }
+    }
+}
+
+impl ClusterSpec {
+    /// Simulated disk service time for one record of `bytes`.
+    pub fn disk_service(&self, bytes: u64) -> SimDuration {
+        self.disk_seek + SimDuration::from_secs_f64(bytes as f64 / self.disk_bw_bps)
+    }
+
+    /// Sim node id of compute node `i`.
+    pub fn compute_id(&self, i: usize) -> usize {
+        debug_assert!(i < self.n_compute);
+        i
+    }
+
+    /// Sim node id of data node `j`.
+    pub fn data_id(&self, j: usize) -> usize {
+        debug_assert!(j < self.n_data);
+        self.n_compute + j
+    }
+
+    /// Sim node id of the controller.
+    pub fn controller_id(&self) -> usize {
+        self.n_compute + self.n_data
+    }
+
+    /// Total sim nodes (compute + data + controller).
+    pub fn total_nodes(&self) -> usize {
+        self.n_compute + self.n_data + 1
+    }
+}
+
+/// How data nodes notify compute nodes about row updates (§4.2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NotifyMode {
+    /// Notify only the compute nodes recorded as having cached the key
+    /// (the paper's preferred scheme; stragglers are caught by the
+    /// piggybacked last-update timestamp).
+    #[default]
+    Targeted,
+    /// Broadcast every update to every compute node — simple, but "frequent
+    /// updates may flood the nodes of the system".
+    Broadcast,
+}
+
+/// How input is fed to compute nodes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FeedMode {
+    /// Batch job: each compute node pulls from its input list, keeping at
+    /// most `window` tuples outstanding; the run ends when all complete.
+    Batch {
+        /// Outstanding-tuple window per compute node.
+        window: usize,
+    },
+    /// Streaming job: tuples arrive at their timestamps regardless of
+    /// backlog (the ingest queue grows unboundedly under overload, as in
+    /// Muppet's MapUpdatePool), but at most `window` tuples are being
+    /// *processed* concurrently. The run ends at the horizon (or when the
+    /// stream drains) and reports throughput.
+    Stream {
+        /// When to stop measuring.
+        horizon: SimDuration,
+        /// Concurrent-processing window per compute node.
+        window: usize,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_testbed() {
+        let c = ClusterSpec::default();
+        assert_eq!(c.n_compute + c.n_data, 20);
+        assert_eq!(c.node.cores, 8);
+        assert_eq!(c.total_nodes(), 21);
+        assert_eq!(c.compute_id(3), 3);
+        assert_eq!(c.data_id(0), 10);
+        assert_eq!(c.controller_id(), 20);
+    }
+
+    #[test]
+    fn disk_service_scales_with_size() {
+        let c = ClusterSpec::default();
+        let small = c.disk_service(1_000);
+        let big = c.disk_service(1_000_000);
+        assert!(big > small);
+        assert!(small >= c.disk_seek);
+    }
+}

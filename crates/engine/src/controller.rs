@@ -1,0 +1,61 @@
+//! The run controller: aggregates per-node completion reports and stops the
+//! simulation when every compute node is done (batch jobs).
+
+use jl_simkit::prelude::*;
+use jl_simkit::sim::NodeId;
+
+use crate::cluster::Msg;
+
+/// Aggregates `Done` messages.
+pub struct Controller {
+    expected: usize,
+    reported: usize,
+    completed: u64,
+    fingerprint: u64,
+    finished_at: Option<SimTime>,
+}
+
+impl Controller {
+    /// Expect reports from `expected` compute nodes.
+    pub fn new(expected: usize) -> Self {
+        Controller {
+            expected,
+            reported: 0,
+            completed: 0,
+            fingerprint: 0,
+            finished_at: None,
+        }
+    }
+
+    /// Handle a message.
+    pub fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        if let Msg::Done {
+            completed,
+            fingerprint,
+        } = msg
+        {
+            self.reported += 1;
+            self.completed += completed;
+            self.fingerprint ^= fingerprint;
+            if self.reported == self.expected {
+                self.finished_at = Some(ctx.now());
+                ctx.stop();
+            }
+        }
+    }
+
+    /// Total tuples completed across the cluster.
+    pub fn completed(&self) -> u64 {
+        self.completed
+    }
+
+    /// XOR of all output fingerprints.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// When the last node reported, if the job finished.
+    pub fn finished_at(&self) -> Option<SimTime> {
+        self.finished_at
+    }
+}

@@ -1,0 +1,421 @@
+//! The data-node actor: a region-server shard plus the data-side
+//! optimizer. Serves batched requests — fetching rows from its simulated
+//! disk, executing its load-balanced share of the UDFs on its simulated
+//! CPU, and bouncing the rest back as raw values.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use jl_core::data::DataRuntime;
+use jl_core::types::{BatchRequest, CostInfo, ReqKind, ResponseItem, ResponsePayload};
+use jl_costmodel::{ExpSmoothed, SizeProfile};
+use jl_simkit::prelude::*;
+use jl_simkit::sim::NodeId;
+use jl_store::{BlockCache, Catalog, InterestTracker, RegionServer, StoredValue, UdfRegistry};
+
+use crate::cluster::{EKey, Msg, Val, BATCH_OVERHEAD, ITEM_OVERHEAD};
+
+/// One reply wave: ready time, items, computed outputs, wire bytes.
+type ReplyWave = (SimTime, Vec<ResponseItem<EKey, Val>>, Vec<(u64, Bytes)>, u64);
+/// A computed item pending wave assembly: done time, item, output, bytes.
+type PendingComputed = (SimTime, ResponseItem<EKey, Val>, (u64, Bytes), u64);
+use crate::config::ClusterSpec;
+use crate::plan::{decode_params, JobPlan};
+
+/// Queue-counter decrements scheduled for a batch's completion time.
+struct PendingDrain {
+    computed: u64,
+    bounced: u64,
+    data_served: u64,
+    responses: u64,
+}
+
+/// The data-node actor state.
+pub struct DataNode {
+    idx: usize,
+    rt: DataRuntime,
+    server: RegionServer,
+    catalog: Arc<Catalog>,
+    udfs: UdfRegistry,
+    plan: Arc<JobPlan>,
+    spec: ClusterSpec,
+    interest: InterestTracker,
+    block_cache: BlockCache<EKey>,
+    scv_est: ExpSmoothed,
+    drains: std::collections::HashMap<u64, PendingDrain>,
+    next_drain: u64,
+    version_clock: u64,
+    udf_execs: u64,
+}
+
+impl DataNode {
+    /// Build a data node hosting `server`'s regions.
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        idx: usize,
+        cfg: jl_core::OptimizerConfig,
+        spec: ClusterSpec,
+        catalog: Arc<Catalog>,
+        udfs: UdfRegistry,
+        plan: Arc<JobPlan>,
+        server: RegionServer,
+        udf_cpu_hint: f64,
+        seed: u64,
+    ) -> Self {
+        let alpha = cfg.smoothing_alpha;
+        let rt = DataRuntime::new(
+            cfg,
+            spec.disk_service(64 * 1024).as_secs_f64(),
+            udf_cpu_hint,
+            spec.node.net_bw_bps,
+            seed,
+        );
+        let block_cache = BlockCache::new(spec.block_cache_bytes);
+        DataNode {
+            idx,
+            rt,
+            server,
+            catalog,
+            udfs,
+            plan,
+            spec,
+            interest: InterestTracker::new(),
+            block_cache,
+            scv_est: ExpSmoothed::new(alpha),
+            drains: std::collections::HashMap::new(),
+            next_drain: 0,
+            version_clock: 1,
+            udf_execs: 0,
+        }
+    }
+
+    /// Data-side optimizer statistics.
+    pub fn stats(&self) -> jl_core::DataNodeStats {
+        self.rt.stats()
+    }
+
+    /// Store-access statistics.
+    pub fn server_stats(&self) -> jl_store::ServerStats {
+        self.server.stats()
+    }
+
+    /// UDF executions performed at this node.
+    pub fn udf_execs(&self) -> u64 {
+        self.udf_execs
+    }
+
+    /// Block-cache hit ratio.
+    pub fn block_cache_hit_ratio(&self) -> f64 {
+        self.block_cache.hit_ratio()
+    }
+
+    fn cost_info(&self, v: &StoredValue) -> CostInfo {
+        CostInfo {
+            value_size: v.size(),
+            udf_cpu_secs: v.udf_cpu().as_secs_f64(),
+            version: v.version,
+            // Disk is reported as *service* time: it is a stable hardware
+            // parameter (Table 1's tDisk). CPU is reported *effective*
+            // (waiting + service): on a saturated data node this is the
+            // real marginal cost of renting, and it is what lets ski-rental
+            // start buying hot keys when a node melts down.
+            data_t_disk: self.rt.t_disk(),
+            data_t_cpu: self.rt.t_cpu_effective(),
+            data_t_cpu_service: self.rt.t_cpu(),
+        }
+    }
+
+    fn handle_batch(
+        &mut self,
+        from_compute: usize,
+        batch: BatchRequest<EKey, Bytes>,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
+        let now = ctx.now();
+        let n_items = batch.items.len();
+
+        // 1. Fetch every requested row from the simulated disk (real bytes
+        //    from the region shard, simulated service time per record).
+        let mut fetched: Vec<Option<(StoredValue, SimTime)>> = Vec::with_capacity(n_items);
+        let mut found_sizes: Vec<u64> = Vec::new();
+        let mut key_bytes = 0u64;
+        let mut params_bytes = 0u64;
+        for item in &batch.items {
+            let (table, row) = &item.key;
+            key_bytes += row.len() as u64;
+            params_bytes += item.params.len() as u64;
+            let (region, server) = self.catalog.locate(*table, row);
+            debug_assert_eq!(server, self.idx, "request routed to wrong server");
+            match self.server.get(*table, region, row) {
+                Some(v) => {
+                    // HBase block cache: hot rows are served from RAM.
+                    let hit = self.block_cache.access(item.key.clone(), v.size());
+                    let done = if hit {
+                        self.rt.observe_disk(0.0);
+                        now
+                    } else {
+                        let svc = self.spec.disk_service(v.size());
+                        let grant = ctx.use_resource(ResourceKind::Disk, now, svc);
+                        self.rt.observe_disk(svc.as_secs_f64());
+                        self.rt
+                            .observe_disk_effective(grant.done.since(now).as_secs_f64());
+                        grant.done
+                    };
+                    found_sizes.push(v.size());
+                    fetched.push(Some((v, done)));
+                }
+                None => fetched.push(None),
+            }
+        }
+
+        // 2. Build the batch's size profile from what it actually contains.
+        let n = n_items.max(1) as u64;
+        let mean_value = if found_sizes.is_empty() {
+            1024
+        } else {
+            found_sizes.iter().sum::<u64>() / found_sizes.len() as u64
+        };
+        let sizes = SizeProfile {
+            key: key_bytes / n,
+            params: params_bytes / n,
+            value: mean_value,
+            computed: self.scv_est.get_or(256.0).max(1.0) as u64,
+        };
+
+        // 3. Load-balance: how many compute requests to run here.
+        let n_compute = batch.compute_count() as u64;
+        let n_data = batch.data_count() as u64;
+        let d = self.rt.accept_batch(n_data, n_compute, &batch.stats, &sizes);
+
+        // 4. Serve every item. Which `d` compute requests run here matters:
+        //    bouncing an item ships its stored value, so the data node
+        //    executes the *largest-valued* items locally and bounces the
+        //    cheapest-to-ship ones (shipping a 28 MB model to save 56 ms of
+        //    CPU would be a net loss on every axis).
+        let mut compute_sizes: Vec<(u64, u64)> = batch
+            .items
+            .iter()
+            .zip(fetched.iter())
+            .filter_map(|(item, slot)| match (item.kind, slot) {
+                (ReqKind::Compute, Some((v, _))) => Some((item.req_id, v.size())),
+                _ => None,
+            })
+            .collect();
+        // Largest first; req_id tie-break keeps runs deterministic.
+        compute_sizes.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let execute_here: std::collections::HashSet<u64> = compute_sizes
+            .iter()
+            .take(d as usize)
+            .map(|(id, _)| *id)
+            .collect();
+        let mut executed = 0u64;
+        let mut item_parts: Vec<(ResponseItem<EKey, Val>, SimTime, u64)> =
+            Vec::with_capacity(n_items);
+        let mut outputs_by_id: std::collections::HashMap<u64, (u64, Bytes)> =
+            std::collections::HashMap::new();
+        let mut ready = now;
+        for (item, slot) in batch.items.iter().zip(fetched) {
+            // Every served item costs RPC/read-path CPU at this node.
+            let rpc = ctx.use_resource(ResourceKind::Cpu, now, self.spec.rpc_cpu);
+            let rpc_done = rpc.done;
+            let Some((value, disk_done)) = slot else {
+                item_parts.push((
+                    ResponseItem {
+                        req_id: item.req_id,
+                        key: item.key.clone(),
+                        payload: ResponsePayload::Missing,
+                        cost: None,
+                    },
+                    now,
+                    ITEM_OVERHEAD,
+                ));
+                continue;
+            };
+            let cost = Some(self.cost_info(&value));
+            match item.kind {
+                ReqKind::Compute if execute_here.contains(&item.req_id) => {
+                    executed += 1;
+                    let ready_in = disk_done.max(rpc_done);
+                    let grant = ctx.use_resource(ResourceKind::Cpu, ready_in, value.udf_cpu());
+                    self.rt.observe_cpu(value.udf_cpu().as_secs_f64());
+                    // Effective cost is measured from when the item's data
+                    // was ready (disk), NOT from after its RPC slot cleared
+                    // the CPU queue — the queue wait *is* the congestion
+                    // signal that tells compute nodes this node is melting.
+                    self.rt
+                        .observe_cpu_effective(grant.done.since(disk_done).as_secs_f64());
+                    let (_, stage) = decode_params(&item.params);
+                    let udf = self
+                        .udfs
+                        .get(self.plan.stages[stage as usize].udf)
+                        .expect("udf registered")
+                        .clone();
+                    let out = udf.apply(&item.key.1, &item.params, &value);
+                    self.udf_execs += 1;
+                    self.scv_est.update(out.len() as f64);
+                    ready = ready.max(grant.done);
+                    let bytes = out.len() as u64 + ITEM_OVERHEAD;
+                    outputs_by_id.insert(item.req_id, (item.req_id, out));
+                    item_parts.push((
+                        ResponseItem {
+                            req_id: item.req_id,
+                            key: item.key.clone(),
+                            payload: ResponsePayload::Computed {
+                                output_size: bytes - ITEM_OVERHEAD,
+                            },
+                            cost,
+                        },
+                        grant.done,
+                        bytes,
+                    ));
+                }
+                kind => {
+                    // Data request, or a bounced compute request: ship the
+                    // stored value back (its *logical* size on the wire).
+                    let bounced = kind == ReqKind::Compute;
+                    if !bounced {
+                        // The compute node will cache this value: register
+                        // interest for targeted update notification.
+                        self.interest
+                            .record_cached(item.key.0, item.key.1.clone(), from_compute);
+                    }
+                    ready = ready.max(disk_done).max(rpc_done);
+                    let bytes = value.size() + ITEM_OVERHEAD;
+                    item_parts.push((
+                        ResponseItem {
+                            req_id: item.req_id,
+                            key: item.key.clone(),
+                            payload: ResponsePayload::Value {
+                                value: Val(value),
+                                bounced,
+                            },
+                            cost,
+                        },
+                        disk_done,
+                        bytes,
+                    ));
+                }
+            }
+        }
+
+        // 5. Reply in waves rather than one message gated on the slowest
+        //    item: values, bounces and misses are ready at disk speed, and
+        //    computed outputs return in chunks as their CPU work finishes.
+        //    A single all-or-nothing reply would serialize cheap fetches
+        //    behind heavy UDF stragglers queued on this node's CPU.
+        let reply_to = self.spec.compute_id(from_compute);
+        let mut waves: Vec<ReplyWave> = Vec::new();
+        {
+            // Wave 0: everything that needs no CPU here.
+            let mut value_items = Vec::new();
+            let mut value_bytes = BATCH_OVERHEAD;
+            let mut value_ready = now;
+            let mut computed: Vec<PendingComputed> = Vec::new();
+            for (item, done_at, bytes) in item_parts {
+                match &item.payload {
+                    ResponsePayload::Computed { .. } => {
+                        let out = outputs_by_id
+                            .remove(&item.req_id)
+                            .expect("output recorded");
+                        computed.push((done_at, item, out, bytes));
+                    }
+                    _ => {
+                        value_ready = value_ready.max(done_at);
+                        value_bytes += bytes;
+                        value_items.push(item);
+                    }
+                }
+            }
+            if !value_items.is_empty() {
+                waves.push((value_ready, value_items, Vec::new(), value_bytes));
+            }
+            // Computed waves: chunks of 8 in completion order.
+            computed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.req_id.cmp(&b.1.req_id)));
+            for chunk in computed.chunks(8) {
+                let ready = chunk.iter().map(|(t, _, _, _)| *t).fold(now, SimTime::max);
+                let bytes = BATCH_OVERHEAD + chunk.iter().map(|(_, _, _, b)| *b).sum::<u64>();
+                waves.push((
+                    ready,
+                    chunk.iter().map(|(_, i, _, _)| i.clone()).collect(),
+                    chunk.iter().map(|(_, _, o, _)| o.clone()).collect(),
+                    bytes,
+                ));
+            }
+        }
+        for (wave_ready, items, outputs, bytes) in waves {
+            ctx.send_ready_at(
+                wave_ready,
+                reply_to,
+                Msg::Reply {
+                    from_data: self.idx,
+                    items,
+                    outputs,
+                },
+                bytes,
+            );
+        }
+
+        // 6. Drain the queue counters when the batch completes.
+        let drain = PendingDrain {
+            computed: executed,
+            bounced: n_compute - executed,
+            data_served: n_data,
+            responses: n_data + n_compute,
+        };
+        let tag = self.next_drain;
+        self.next_drain += 1;
+        self.drains.insert(tag, drain);
+        ctx.set_timer(ready, tag);
+    }
+
+    fn handle_put(&mut self, table: jl_store::TableId, key: jl_store::RowKey, mut value: StoredValue, ctx: &mut Ctx<'_, Msg>) {
+        self.version_clock += 1;
+        value.version = self.version_clock;
+        let (region, server) = self.catalog.locate(table, &key);
+        debug_assert_eq!(server, self.idx, "put routed to wrong server");
+        // Charge a disk write.
+        let svc = self.spec.disk_service(value.size());
+        ctx.use_resource(ResourceKind::Disk, ctx.now(), svc);
+        self.block_cache.invalidate(&(table, key.clone()));
+        self.server.put(table, region, key.clone(), value);
+        // Invalidate cached copies at compute nodes (§4.2.3): either only
+        // the registered holders, or a broadcast.
+        let recipients: Vec<usize> = match self.spec.notify {
+            crate::config::NotifyMode::Targeted => self.interest.take_interested(table, &key),
+            crate::config::NotifyMode::Broadcast => (0..self.spec.n_compute).collect(),
+        };
+        for compute in recipients {
+            let to = self.spec.compute_id(compute);
+            ctx.send(
+                to,
+                Msg::Invalidate {
+                    key: (table, key.clone()),
+                },
+                key.len() as u64 + 32,
+            );
+        }
+    }
+
+    /// Kernel message dispatch.
+    pub fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        match msg {
+            Msg::Request {
+                from_compute,
+                batch,
+            } => self.handle_batch(from_compute, batch, ctx),
+            Msg::Put { table, key, value } => self.handle_put(table, key, value, ctx),
+            _ => {}
+        }
+    }
+
+    /// Kernel timer dispatch: batch-completion queue drains.
+    pub fn on_timer(&mut self, tag: u64, _ctx: &mut Ctx<'_, Msg>) {
+        if let Some(d) = self.drains.remove(&tag) {
+            self.rt.on_computed(d.computed);
+            self.rt.on_bounced(d.bounced);
+            self.rt.on_data_served(d.data_served);
+            self.rt.on_responses_sent(d.responses);
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # jl-engine — simulated execution frameworks
+//!
+//! Drives the `jl-core` optimizer over the `jl-simkit` cluster with the
+//! `jl-store` data store: compute-node and data-node actors, batch and
+//! streaming feeds, pipelined multi-join plans (§6), and the paper's
+//! reduce-side baselines (naive Hadoop, CSAW, FlowJoinLB) plus a
+//! shuffle-hash-join baseline for the Spark comparison.
+//!
+//! The data plane is real — every strategy must reproduce the reference
+//! join fingerprint ([`verify::reference_run`]) — while time is simulated.
+
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod cluster;
+pub mod compute_node;
+pub mod config;
+pub mod controller;
+pub mod data_node;
+pub mod plan;
+pub mod runner;
+pub mod shuffle;
+pub mod verify;
+
+pub use cluster::{ClusterNode, EKey, Msg, Val};
+pub use config::{ClusterSpec, FeedMode, NotifyMode};
+pub use plan::{JobPlan, JobTuple, StageSpec};
+pub use shuffle::run_shuffle_multijoin;
+pub use baselines::{run_reduce_side, BaselineReport, ReduceSideKind};
+pub use runner::{build_store, run_job, JobSpec, RunReport};
+pub use verify::{reference_run, Reference};

@@ -1,0 +1,164 @@
+//! Job plans: what a run executes.
+//!
+//! A job is a sequence of join *stages* — one for a single stream-relation
+//! join, several for the pipelined multi-join of §6. Each input tuple
+//! carries one join key per stage; a deterministic per-stage predicate
+//! (selectivity) decides whether the tuple survives into the next stage, so
+//! every strategy filters identically and outputs are comparable.
+
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use jl_simkit::time::SimTime;
+use jl_store::{RowKey, TableId, UdfId};
+
+/// One join stage of a plan.
+#[derive(Debug, Clone)]
+pub struct StageSpec {
+    /// Table to join against.
+    pub table: TableId,
+    /// UDF to run on the joined tuple.
+    pub udf: UdfId,
+    /// Fraction of joined tuples surviving this stage's predicate.
+    pub selectivity: f64,
+}
+
+/// The job plan shared by all compute nodes.
+#[derive(Debug, Clone)]
+pub struct JobPlan {
+    /// The pipelined stages (length 1 for a plain join).
+    pub stages: Vec<StageSpec>,
+}
+
+impl JobPlan {
+    /// A single-stage plan.
+    pub fn single(table: TableId, udf: UdfId) -> Arc<JobPlan> {
+        Arc::new(JobPlan {
+            stages: vec![StageSpec {
+                table,
+                udf,
+                selectivity: 1.0,
+            }],
+        })
+    }
+}
+
+/// One input tuple: a key per stage plus a parameter payload.
+#[derive(Debug, Clone)]
+pub struct JobTuple {
+    /// Global sequence number (unique per run).
+    pub seq: u64,
+    /// The join key for each stage of the plan.
+    pub keys: Vec<RowKey>,
+    /// Size of the parameter payload, bytes.
+    pub params_size: u32,
+    /// Arrival time (streaming jobs; `SimTime::ZERO` for batch).
+    pub arrival: SimTime,
+}
+
+/// Deterministic parameter payload for `(seq, stage)` — carries the tuple
+/// identity in its first bytes so responses can be re-associated and
+/// outputs fingerprinted without side tables on the data node.
+pub fn encode_params(seq: u64, stage: u16, size: u32) -> Bytes {
+    let size = (size as usize).max(10);
+    let mut v = Vec::with_capacity(size);
+    v.extend_from_slice(&seq.to_le_bytes());
+    v.extend_from_slice(&stage.to_le_bytes());
+    let mut state = seq ^ (u64::from(stage) << 48) ^ 0x5851_F42D_4C95_7F2D;
+    while v.len() < size {
+        state = jl_simkit::rng::splitmix64(&mut state);
+        v.extend_from_slice(&state.to_le_bytes());
+    }
+    v.truncate(size);
+    Bytes::from(v)
+}
+
+/// Recover `(seq, stage)` from a parameter payload.
+pub fn decode_params(params: &[u8]) -> (u64, u16) {
+    let seq = u64::from_le_bytes(params[..8].try_into().expect("params >= 10 bytes"));
+    let stage = u16::from_le_bytes(params[8..10].try_into().expect("params >= 10 bytes"));
+    (seq, stage)
+}
+
+/// Deterministic survive decision for a tuple at a stage — identical
+/// whichever node evaluates it.
+pub fn survives(seq: u64, stage: u16, selectivity: f64) -> bool {
+    if selectivity >= 1.0 {
+        return true;
+    }
+    let mut state = seq
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(u64::from(stage).wrapping_mul(0xD6E8_FEB8_6659_FD93));
+    let r = jl_simkit::rng::splitmix64(&mut state);
+    ((r >> 11) as f64 / (1u64 << 53) as f64) < selectivity
+}
+
+/// Order-independent output fingerprint contribution for one completed
+/// tuple-stage: XOR-combining these across all outputs gives a value every
+/// correct execution must reproduce exactly.
+pub fn output_fingerprint(seq: u64, stage: u16, output: &[u8]) -> u64 {
+    let mut h = seq ^ (u64::from(stage) << 40) ^ 0x8442_2325_CBF2_9CE4;
+    for &b in output {
+        h ^= u64::from(b);
+        h = h.rotate_left(9).wrapping_mul(0x100_0000_01b3);
+    }
+    // Avalanche so XOR-combining stays collision-resistant in practice.
+    let mut s = h;
+    jl_simkit::rng::splitmix64(&mut s)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn params_roundtrip() {
+        let p = encode_params(123_456, 3, 200);
+        assert_eq!(p.len(), 200);
+        assert_eq!(decode_params(&p), (123_456, 3));
+        // Minimum size still carries the header.
+        let tiny = encode_params(9, 1, 4);
+        assert_eq!(tiny.len(), 10);
+        assert_eq!(decode_params(&tiny), (9, 1));
+    }
+
+    #[test]
+    fn params_differ_by_seq_and_stage() {
+        assert_ne!(encode_params(1, 0, 64), encode_params(2, 0, 64));
+        assert_ne!(encode_params(1, 0, 64), encode_params(1, 1, 64));
+    }
+
+    #[test]
+    fn survives_matches_selectivity() {
+        let n = 100_000u64;
+        for sel in [0.0, 0.1, 0.5, 1.0] {
+            let hits = (0..n).filter(|&s| survives(s, 2, sel)).count() as f64;
+            let frac = hits / n as f64;
+            assert!(
+                (frac - sel).abs() < 0.01,
+                "sel {sel}: observed {frac}"
+            );
+        }
+    }
+
+    #[test]
+    fn survives_is_deterministic_and_stage_dependent() {
+        for s in 0..100u64 {
+            assert_eq!(survives(s, 1, 0.3), survives(s, 1, 0.3));
+        }
+        let differs = (0..1000u64)
+            .filter(|&s| survives(s, 1, 0.5) != survives(s, 2, 0.5))
+            .count();
+        assert!(differs > 300, "stage not mixed into decision");
+    }
+
+    #[test]
+    fn fingerprints_are_input_sensitive() {
+        let a = output_fingerprint(1, 0, b"out");
+        assert_eq!(a, output_fingerprint(1, 0, b"out"));
+        assert_ne!(a, output_fingerprint(2, 0, b"out"));
+        assert_ne!(a, output_fingerprint(1, 1, b"out"));
+        assert_ne!(a, output_fingerprint(1, 0, b"tuo"));
+    }
+}

@@ -1,0 +1,444 @@
+//! Building and running a simulated job end-to-end.
+
+use std::sync::Arc;
+
+use jl_core::OptimizerConfig;
+use jl_simkit::prelude::*;
+use jl_store::{Partitioning, RegionMap, RowKey, StoreCluster, StoredValue, UdfRegistry};
+
+use crate::cluster::{ClusterNode, Msg};
+use crate::compute_node::ComputeNode;
+use crate::config::{ClusterSpec, FeedMode};
+use crate::controller::Controller;
+use crate::data_node::DataNode;
+use crate::plan::{JobPlan, JobTuple};
+
+/// Everything needed to launch one run.
+pub struct JobSpec {
+    /// Cluster topology and hardware.
+    pub cluster: ClusterSpec,
+    /// Optimizer configuration (strategy + tunables).
+    pub optimizer: OptimizerConfig,
+    /// Batch or streaming feed.
+    pub feed: FeedMode,
+    /// The join pipeline.
+    pub plan: Arc<JobPlan>,
+    /// Root seed for the run.
+    pub seed: u64,
+    /// Initial guess for per-UDF CPU seconds (refined at runtime).
+    pub udf_cpu_hint: f64,
+}
+
+/// Aggregate results of a run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Wall-clock (simulated) duration of the job.
+    pub duration: SimDuration,
+    /// Tuples fully processed.
+    pub completed: u64,
+    /// XOR fingerprint over every stage output — identical across correct
+    /// strategies.
+    pub fingerprint: u64,
+    /// Sum of compute-side decision statistics.
+    pub decisions: jl_core::DecisionStats,
+    /// Sum of cache statistics.
+    pub cache: jl_cache::CacheStats,
+    /// Sum of data-side statistics.
+    pub data: jl_core::DataNodeStats,
+    /// Bytes moved over the network.
+    pub net_bytes: u64,
+    /// Messages delivered.
+    pub net_messages: u64,
+    /// Highest per-data-node CPU utilization (skew indicator).
+    pub max_data_cpu_util: f64,
+    /// Mean per-data-node CPU utilization.
+    pub mean_data_cpu_util: f64,
+}
+
+impl RunReport {
+    /// Tuples per simulated second.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.duration.as_secs_f64();
+        if secs <= 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Skew ratio: max over mean data-node CPU utilization (1.0 = balanced).
+    pub fn data_cpu_skew(&self) -> f64 {
+        if self.mean_data_cpu_util <= 0.0 {
+            1.0
+        } else {
+            self.max_data_cpu_util / self.mean_data_cpu_util
+        }
+    }
+}
+
+fn sum_decisions(a: jl_core::DecisionStats, b: jl_core::DecisionStats) -> jl_core::DecisionStats {
+    jl_core::DecisionStats {
+        mem_hits: a.mem_hits + b.mem_hits,
+        disk_hits: a.disk_hits + b.disk_hits,
+        compute_requests: a.compute_requests + b.compute_requests,
+        data_requests: a.data_requests + b.data_requests,
+        bounced_local: a.bounced_local + b.bounced_local,
+        offloaded_hits: a.offloaded_hits + b.offloaded_hits,
+        missing: a.missing + b.missing,
+        completed: a.completed + b.completed,
+    }
+}
+
+fn sum_cache(a: jl_cache::CacheStats, b: jl_cache::CacheStats) -> jl_cache::CacheStats {
+    jl_cache::CacheStats {
+        mem_hits: a.mem_hits + b.mem_hits,
+        disk_hits: a.disk_hits + b.disk_hits,
+        misses: a.misses + b.misses,
+        inserts_mem: a.inserts_mem + b.inserts_mem,
+        inserts_disk: a.inserts_disk + b.inserts_disk,
+        demotions: a.demotions + b.demotions,
+        disk_drops: a.disk_drops + b.disk_drops,
+        invalidations: a.invalidations + b.invalidations,
+        promotions: a.promotions + b.promotions,
+    }
+}
+
+fn sum_data(a: jl_core::DataNodeStats, b: jl_core::DataNodeStats) -> jl_core::DataNodeStats {
+    jl_core::DataNodeStats {
+        batches: a.batches + b.batches,
+        compute_requests: a.compute_requests + b.compute_requests,
+        data_requests: a.data_requests + b.data_requests,
+        executed_here: a.executed_here + b.executed_here,
+        bounced: a.bounced + b.bounced,
+    }
+}
+
+/// Build a [`StoreCluster`] for `spec`, loading each `(name, rows)` table
+/// hash-partitioned across the data nodes.
+pub fn build_store(
+    spec: &ClusterSpec,
+    tables: Vec<(String, Vec<(RowKey, StoredValue)>)>,
+) -> StoreCluster {
+    let mut store = StoreCluster::new(spec.n_data);
+    for (name, rows) in tables {
+        let regions = spec.n_data * spec.regions_per_node;
+        let table = store.add_table(name, RegionMap::round_robin(Partitioning::Hash { regions }, spec.n_data));
+        store.bulk_load(table, rows);
+    }
+    store
+}
+
+/// A job that also carries mid-run store updates (for §4.2.3 experiments):
+/// `(time, table, key, value)` applied at the owning data node.
+pub type UpdateEvent = (SimTime, jl_store::TableId, RowKey, StoredValue);
+
+/// Run a job to completion (batch) or to the horizon (stream).
+pub fn run_job(
+    spec: &JobSpec,
+    store: StoreCluster,
+    udfs: UdfRegistry,
+    tuples: Vec<JobTuple>,
+    updates: Vec<UpdateEvent>,
+) -> RunReport {
+    let cluster = &spec.cluster;
+    let (catalog, servers) = store.into_parts();
+    let mut sim: Sim<ClusterNode> = Sim::new(spec.seed, cluster.net);
+
+    // Round-robin the input across compute nodes (§3.1: the framework
+    // assumes balanced input distribution).
+    let mut per_node: Vec<Vec<JobTuple>> = (0..cluster.n_compute).map(|_| Vec::new()).collect();
+    let streaming = matches!(spec.feed, FeedMode::Stream { .. });
+    let mut stream_feed: Vec<(SimTime, usize, JobTuple)> = Vec::new();
+    for (i, t) in tuples.into_iter().enumerate() {
+        let node = i % cluster.n_compute;
+        if streaming {
+            stream_feed.push((t.arrival, node, t));
+        } else {
+            per_node[node].push(t);
+        }
+    }
+
+    for (i, input) in per_node.iter_mut().enumerate() {
+        let node = ComputeNode::new(
+            i,
+            spec.optimizer.clone(),
+            cluster.clone(),
+            spec.feed,
+            Arc::clone(&catalog),
+            udfs.clone(),
+            Arc::clone(&spec.plan),
+            std::mem::take(input),
+            spec.udf_cpu_hint,
+            jl_simkit::rng::derive_seed(spec.seed, "compute") ^ i as u64,
+        );
+        sim.add_node(ClusterNode::Compute(node), cluster.node);
+    }
+    for (j, server) in servers.into_iter().enumerate() {
+        let node = DataNode::new(
+            j,
+            spec.optimizer.clone(),
+            cluster.clone(),
+            Arc::clone(&catalog),
+            udfs.clone(),
+            Arc::clone(&spec.plan),
+            server,
+            spec.udf_cpu_hint,
+            jl_simkit::rng::derive_seed(spec.seed, "data") ^ j as u64,
+        );
+        sim.add_node(ClusterNode::Data(node), cluster.node);
+    }
+    sim.add_node(
+        ClusterNode::Controller(Controller::new(cluster.n_compute)),
+        cluster.node,
+    );
+
+    // Streaming arrivals.
+    for (at, node, t) in stream_feed {
+        let bytes = t.params_size as u64 + 64;
+        sim.post(at, cluster.compute_id(node), Msg::Tuple(t), bytes);
+    }
+    // Store updates.
+    for (at, table, key, value) in updates {
+        let (_, server) = catalog.locate(table, &key);
+        let bytes = value.size() + 64;
+        sim.post(at, cluster.data_id(server), Msg::Put { table, key, value }, bytes);
+    }
+
+    let end = match spec.feed {
+        FeedMode::Batch { .. } => sim.run(),
+        FeedMode::Stream { horizon, .. } => sim.run_until(SimTime::ZERO + horizon),
+    };
+
+    // Gather.
+    let mut decisions = jl_core::DecisionStats::default();
+    let mut cache = jl_cache::CacheStats::default();
+    let mut data = jl_core::DataNodeStats::default();
+    let mut completed = 0u64;
+    let mut fingerprint = 0u64;
+    let mut data_utils: Vec<f64> = Vec::new();
+    for i in 0..cluster.n_compute {
+        let n = sim.node(cluster.compute_id(i)).as_compute().expect("compute role");
+        decisions = sum_decisions(decisions, n.decision_stats());
+        cache = sum_cache(cache, n.cache_stats());
+        completed += n.report().completed;
+        fingerprint ^= n.report().fingerprint;
+    }
+    for j in 0..cluster.n_data {
+        let id = cluster.data_id(j);
+        let n = sim.node(id).as_data().expect("data role");
+        data = sum_data(data, n.stats());
+        data_utils.push(sim.resources(id).cpu.utilization(end));
+    }
+    let max_u = data_utils.iter().cloned().fold(0.0f64, f64::max);
+    let mean_u = data_utils.iter().sum::<f64>() / data_utils.len().max(1) as f64;
+    if std::env::var("JL_UTIL").is_ok() {
+        let n0 = sim.node(cluster.compute_id(0)).as_compute().expect("compute");
+        let h = n0.latency();
+        eprintln!(
+            "  C0 latency: p50={} p90={} p99={} max={} n={}",
+            h.quantile(0.5), h.quantile(0.9), h.quantile(0.99), h.max(), h.count()
+        );
+        let r = n0.remote_latency();
+        eprintln!(
+            "  C0 remote:  p50={} p90={} p99={} max={} n={}",
+            r.quantile(0.5), r.quantile(0.9), r.quantile(0.99), r.max(), r.count()
+        );
+        let l = n0.local_latency();
+        eprintln!(
+            "  C0 local:   p50={} p90={} p99={} max={} n={}",
+            l.quantile(0.5), l.quantile(0.9), l.quantile(0.99), l.max(), l.count()
+        );
+        for i in 0..cluster.n_compute {
+            let r = sim.resources(cluster.compute_id(i));
+            eprintln!(
+                "  C{i}: cpu={:.2} disk={:.2} in={:.2} out={:.2}",
+                r.cpu.utilization(end),
+                r.disk.utilization(end),
+                r.nic_in.utilization(end),
+                r.nic_out.utilization(end)
+            );
+        }
+        for j in 0..cluster.n_data {
+            let r = sim.resources(cluster.data_id(j));
+            eprintln!(
+                "  D{j}: cpu={:.2} disk={:.2} in={:.2} out={:.2}",
+                r.cpu.utilization(end),
+                r.disk.utilization(end),
+                r.nic_in.utilization(end),
+                r.nic_out.utilization(end)
+            );
+        }
+    }
+    let totals = sim.net_totals();
+    RunReport {
+        duration: end.since(SimTime::ZERO),
+        completed,
+        fingerprint,
+        decisions,
+        cache,
+        data,
+        net_bytes: totals.bytes,
+        net_messages: totals.messages,
+        max_data_cpu_util: max_u,
+        mean_data_cpu_util: mean_u,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verify::reference_run;
+    use jl_core::Strategy;
+    use jl_simkit::time::SimDuration;
+    use jl_store::{DigestUdf, RowKey, StoredValue, UdfRegistry};
+    use jl_workloads::SyntheticSpec;
+    use jl_workloads::zipf::KeyStream;
+
+    fn tiny_spec() -> SyntheticSpec {
+        SyntheticSpec {
+            name: "tiny",
+            n_keys: 500,
+            value_size: 4096,
+            value_prefix: 32,
+            udf_cpu: SimDuration::from_millis(2),
+            n_tuples: 2_000,
+            params_size: 64,
+            output_size: 64,
+        }
+    }
+
+    fn setup(
+        strategy: Strategy,
+        z: f64,
+    ) -> (JobSpec, StoreCluster, UdfRegistry, Vec<JobTuple>) {
+        let spec = tiny_spec();
+        let cluster = ClusterSpec {
+            n_compute: 3,
+            n_data: 3,
+            ..ClusterSpec::default()
+        };
+        let mut optimizer = OptimizerConfig::for_strategy(strategy);
+        optimizer.batch_size = 16;
+        optimizer.mem_cache_bytes = 64 * 4096; // 64 values
+        let store = build_store(
+            &cluster,
+            vec![("t".into(), spec.rows(1).collect())],
+        );
+        let mut udfs = UdfRegistry::new();
+        udfs.register(0, std::sync::Arc::new(DigestUdf { out_bytes: 64 }));
+        let plan = JobPlan::single(0, 0);
+        let mut rng = jl_simkit::rng::stream_rng(9, "tiny");
+        let mut ks = KeyStream::new(spec.n_keys as usize, z, 9);
+        let tuples: Vec<JobTuple> = (0..spec.n_tuples)
+            .map(|seq| JobTuple {
+                seq,
+                keys: vec![RowKey::from_u64(ks.next_key(&mut rng))],
+                params_size: spec.params_size,
+                arrival: jl_simkit::time::SimTime::ZERO,
+            })
+            .collect();
+        let job = JobSpec {
+            cluster,
+            optimizer,
+            feed: FeedMode::Batch { window: 64 },
+            plan,
+            seed: 11,
+            udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+        };
+        (job, store, udfs, tuples)
+    }
+
+    #[test]
+    fn every_strategy_reproduces_the_reference_join() {
+        let (job0, store0, udfs0, tuples) = setup(Strategy::Full, 1.0);
+        let reference = reference_run(&store0, &udfs0, &job0.plan, &tuples);
+        assert!(reference.outputs > 0);
+        for strategy in Strategy::all() {
+            let (job, store, udfs, tuples) = setup(strategy, 1.0);
+            let report = run_job(&job, store, udfs, tuples, vec![]);
+            assert_eq!(
+                report.completed,
+                job0_completed_expect(&reference),
+                "{} lost tuples",
+                strategy.label()
+            );
+            assert_eq!(
+                report.fingerprint,
+                reference.fingerprint,
+                "{} produced wrong join output",
+                strategy.label()
+            );
+            assert!(report.duration > SimDuration::ZERO, "{}", strategy.label());
+        }
+    }
+
+    fn job0_completed_expect(r: &crate::verify::Reference) -> u64 {
+        r.completed
+    }
+
+    #[test]
+    fn full_optimizer_beats_no_opt_under_skew() {
+        let (job_no, store, udfs, tuples) = setup(Strategy::NoOpt, 1.2);
+        let t_no = run_job(&job_no, store, udfs, tuples, vec![]).duration;
+        let (job_fo, store, udfs, tuples) = setup(Strategy::Full, 1.2);
+        let t_fo = run_job(&job_fo, store, udfs, tuples, vec![]).duration;
+        assert!(
+            t_fo < t_no,
+            "FO {t_fo} not faster than NO {t_no}"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let (job, store, udfs, tuples) = setup(Strategy::Full, 1.0);
+        let a = run_job(&job, store, udfs, tuples, vec![]);
+        let (job, store, udfs, tuples) = setup(Strategy::Full, 1.0);
+        let b = run_job(&job, store, udfs, tuples, vec![]);
+        assert_eq!(a.duration, b.duration);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.net_bytes, b.net_bytes);
+    }
+
+    #[test]
+    fn streaming_mode_reports_throughput() {
+        let (mut job, store, udfs, mut tuples) = setup(Strategy::Full, 1.0);
+        // Spread arrivals over 2 simulated seconds.
+        let gap = SimDuration::from_micros(1000);
+        let mut at = jl_simkit::time::SimTime::ZERO;
+        for t in &mut tuples {
+            at += gap;
+            t.arrival = at;
+        }
+        job.feed = FeedMode::Stream {
+            horizon: SimDuration::from_secs(5),
+            window: 64,
+        };
+        let report = run_job(&job, store, udfs, tuples, vec![]);
+        assert_eq!(report.completed, 2_000, "stream did not drain");
+        assert!(report.throughput() > 0.0);
+        // The stream drained before the horizon; duration is the busy span.
+        assert!(report.duration <= SimDuration::from_secs(5));
+        assert!(report.duration >= SimDuration::from_secs(2), "arrivals span 2s");
+    }
+
+    #[test]
+    fn updates_invalidate_caches_mid_run() {
+        let (job, store, udfs, tuples) = setup(Strategy::Full, 1.5);
+        // Update the hottest keys mid-stream.
+        let spec = tiny_spec();
+        let updates: Vec<UpdateEvent> = (0..10u64)
+            .map(|k| {
+                (
+                    jl_simkit::time::SimTime(1_000_000 * (k + 1)),
+                    0,
+                    RowKey::from_u64(k),
+                    StoredValue::new(vec![7u8; 32], 0, spec.udf_cpu),
+                )
+            })
+            .collect();
+        let report = run_job(&job, store, udfs, tuples, updates);
+        // The run still completes every tuple; fingerprint may differ from
+        // the static reference because values legitimately changed.
+        assert_eq!(report.completed, 2_000);
+    }
+}

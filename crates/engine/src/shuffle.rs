@@ -1,0 +1,240 @@
+//! Shuffle-hash multi-join baseline — the "Spark SQL" side of Figure 7.
+//!
+//! Each join stage repartitions *both* sides: the dimension table is
+//! scanned and hash-shuffled to build per-node hash tables, and the
+//! surviving fact tuples are hash-shuffled on the stage's join key and
+//! probed where they land. Stages are barriers (Spark's shuffle boundary).
+//! Our framework's advantage in the paper — no shuffling of intermediate
+//! results, indexed access to dimensions — is exactly what this model
+//! charges for.
+
+use std::collections::HashMap;
+
+use jl_simkit::prelude::*;
+use jl_store::{RowKey, StoredValue, UdfRegistry};
+
+use crate::baselines::BaselineReport;
+use crate::config::ClusterSpec;
+use crate::plan::{encode_params, output_fingerprint, survives, JobPlan, JobTuple};
+
+/// CPU per hash-table build row (deserialize + insert).
+const BUILD_CPU: SimDuration = SimDuration(8_000); // 8 µs
+/// CPU per probe (hash lookup + tuple assembly), excluding the stage UDF.
+/// Calibrated to paper-era (2016, pre-whole-stage-codegen) Spark SQL
+/// operators, which processed on the order of 10^5 rows/s/core.
+const PROBE_CPU: SimDuration = SimDuration(12_000); // 12 µs
+/// CPU to serialize + spill-write (sender) or read + deserialize
+/// (receiver) one shuffled row.
+const SHUFFLE_SER_CPU: SimDuration = SimDuration(6_000); // 6 µs
+
+/// Run the shuffle-hash-join pipeline over all cluster nodes.
+///
+/// `dims[s]` is the dimension table joined at stage `s`;
+/// `fact_row_bytes` is the width of a fact/intermediate tuple on the wire.
+pub fn run_shuffle_multijoin(
+    spec: &ClusterSpec,
+    dims: &[&HashMap<RowKey, StoredValue>],
+    udfs: &UdfRegistry,
+    plan: &JobPlan,
+    tuples: &[JobTuple],
+    fact_row_bytes: u64,
+) -> BaselineReport {
+    assert_eq!(dims.len(), plan.stages.len());
+    let n = spec.n_compute + spec.n_data;
+    let mut nodes: Vec<NodeResources> = (0..n)
+        .map(|_| {
+            NodeResources::new(
+                spec.node.cores,
+                spec.node.disk_channels,
+                spec.node.net_bw_bps,
+                SimTime::ZERO,
+            )
+        })
+        .collect();
+
+    // Initial fact scan from local storage (sequential).
+    let fact_bytes_per_node = tuples.len() as u64 * fact_row_bytes / n as u64;
+    for node in nodes.iter_mut() {
+        node.disk.submit(
+            SimTime::ZERO,
+            SimDuration::from_secs_f64(fact_bytes_per_node as f64 / spec.disk_bw_bps),
+        );
+    }
+
+    let mut fingerprint = 0u64;
+    let mut live: Vec<&JobTuple> = tuples.iter().collect();
+    let mut start = SimTime::ZERO;
+    for (stage_idx, stage) in plan.stages.iter().enumerate() {
+        let stage_u16 = stage_idx as u16;
+        let dim = dims[stage_idx];
+        let udf = udfs.get(stage.udf).expect("udf registered");
+
+        // Build side: scan + shuffle + hash-build the dimension.
+        let dim_bytes: u64 = dim.values().map(StoredValue::size).sum();
+        let per_node_bytes = dim_bytes / n as u64;
+        let per_node_rows = dim.len() as u64 / n as u64;
+        for node in nodes.iter_mut() {
+            node.disk.submit(
+                start,
+                SimDuration::from_secs_f64(per_node_bytes as f64 / spec.disk_bw_bps),
+            );
+            let wire = SimDuration::from_secs_f64(per_node_bytes as f64 / spec.node.net_bw_bps);
+            node.nic_out.submit(start, wire);
+            node.nic_in.submit(start, wire);
+            node.cpu
+                .submit(start, BUILD_CPU.saturating_mul(per_node_rows));
+        }
+
+        // Probe side: shuffle surviving tuples on the stage key.
+        let mut out_bytes = vec![0u64; n];
+        let mut in_bytes = vec![0u64; n];
+        let mut cpu_jobs: Vec<Vec<SimDuration>> = vec![Vec::new(); n];
+        let mut next_live: Vec<&JobTuple> = Vec::new();
+        let mut ser_rows = vec![0u64; n];
+        for t in &live {
+            let src = (t.seq % n as u64) as usize;
+            let key = &t.keys[stage_idx];
+            let dest = (key.stable_hash() % n as u64) as usize;
+            ser_rows[src] += 1;
+            ser_rows[dest] += 1;
+            if src != dest {
+                out_bytes[src] += fact_row_bytes;
+                in_bytes[dest] += fact_row_bytes;
+            }
+            let Some(v) = dim.get(key) else { continue };
+            cpu_jobs[dest].push(PROBE_CPU + v.udf_cpu());
+            let params = encode_params(t.seq, stage_u16, t.params_size);
+            let out = udf.apply(key, &params, v);
+            fingerprint ^= output_fingerprint(t.seq, stage_u16, &out);
+            if survives(t.seq, stage_u16, stage.selectivity) {
+                next_live.push(t);
+            }
+        }
+        for (i, node) in nodes.iter_mut().enumerate() {
+            node.nic_out.submit(
+                start,
+                SimDuration::from_secs_f64(out_bytes[i] as f64 / spec.node.net_bw_bps),
+            );
+            node.nic_in.submit(
+                start,
+                SimDuration::from_secs_f64(in_bytes[i] as f64 / spec.node.net_bw_bps),
+            );
+            // Sort-based shuffle spills: map outputs are written to local
+            // disk, then read back when fetched (Spark's shuffle files).
+            node.disk.submit(
+                start,
+                SimDuration::from_secs_f64(
+                    (out_bytes[i] + in_bytes[i]) as f64 / spec.disk_bw_bps,
+                ),
+            );
+            node.cpu
+                .submit(start, SHUFFLE_SER_CPU.saturating_mul(ser_rows[i]));
+            for job in cpu_jobs[i].drain(..) {
+                node.cpu.submit(start, job);
+            }
+        }
+
+        // Shuffle boundary: next stage starts when everything drains.
+        start = nodes
+            .iter()
+            .map(NodeResources::drained_at)
+            .fold(SimTime::ZERO, SimTime::max);
+        live = next_live;
+    }
+
+    let end = start;
+    let utils: Vec<f64> = nodes.iter().map(|nr| nr.cpu.utilization(end)).collect();
+    let max_u = utils.iter().cloned().fold(0.0f64, f64::max);
+    let mean_u = utils.iter().sum::<f64>() / utils.len() as f64;
+    BaselineReport {
+        duration: end.since(SimTime::ZERO),
+        completed: tuples.len() as u64,
+        fingerprint,
+        cpu_skew: if mean_u > 0.0 { max_u / mean_u } else { 1.0 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::StageSpec;
+    use jl_store::DigestUdf;
+    use std::sync::Arc;
+
+    fn dim_table(n: u64, width: usize) -> HashMap<RowKey, StoredValue> {
+        (0..n)
+            .map(|k| {
+                (
+                    RowKey::from_u64(k),
+                    StoredValue::new(vec![k as u8; width], 1, SimDuration::from_micros(3)),
+                )
+            })
+            .collect()
+    }
+
+    fn plan2() -> Arc<JobPlan> {
+        Arc::new(JobPlan {
+            stages: vec![
+                StageSpec {
+                    table: 0,
+                    udf: 0,
+                    selectivity: 0.5,
+                },
+                StageSpec {
+                    table: 1,
+                    udf: 0,
+                    selectivity: 1.0,
+                },
+            ],
+        })
+    }
+
+    #[test]
+    fn two_stage_shuffle_join_runs() {
+        let spec = ClusterSpec::default();
+        let d0 = dim_table(1000, 140);
+        let d1 = dim_table(500, 280);
+        let mut udfs = UdfRegistry::new();
+        udfs.register(0, Arc::new(DigestUdf { out_bytes: 32 }));
+        let plan = plan2();
+        let tuples: Vec<JobTuple> = (0..5000u64)
+            .map(|seq| JobTuple {
+                seq,
+                keys: vec![RowKey::from_u64(seq % 1000), RowKey::from_u64(seq % 500)],
+                params_size: 32,
+                arrival: SimTime::ZERO,
+            })
+            .collect();
+        let r = run_shuffle_multijoin(&spec, &[&d0, &d1], &udfs, &plan, &tuples, 64);
+        assert_eq!(r.completed, 5000);
+        assert!(r.duration > SimDuration::ZERO);
+        assert_ne!(r.fingerprint, 0);
+    }
+
+    #[test]
+    fn more_stages_cost_more() {
+        let spec = ClusterSpec::default();
+        let d0 = dim_table(1000, 140);
+        let d1 = dim_table(500, 280);
+        let mut udfs = UdfRegistry::new();
+        udfs.register(0, Arc::new(DigestUdf { out_bytes: 32 }));
+        let tuples: Vec<JobTuple> = (0..5000u64)
+            .map(|seq| JobTuple {
+                seq,
+                keys: vec![RowKey::from_u64(seq % 1000), RowKey::from_u64(seq % 500)],
+                params_size: 32,
+                arrival: SimTime::ZERO,
+            })
+            .collect();
+        let one = Arc::new(JobPlan {
+            stages: vec![StageSpec {
+                table: 0,
+                udf: 0,
+                selectivity: 1.0,
+            }],
+        });
+        let r1 = run_shuffle_multijoin(&spec, &[&d0], &udfs, &one, &tuples, 64);
+        let r2 = run_shuffle_multijoin(&spec, &[&d0, &d1], &udfs, &plan2(), &tuples, 64);
+        assert!(r2.duration > r1.duration);
+    }
+}

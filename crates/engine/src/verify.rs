@@ -1,0 +1,57 @@
+//! Reference execution: the join every strategy must reproduce.
+//!
+//! Runs the plan sequentially against the store's reference lookup path —
+//! no simulation, no optimizer — and produces the same order-independent
+//! output fingerprint the cluster computes. Any divergence in a run means
+//! a tuple was joined to the wrong value, lost, duplicated, or its params
+//! were corrupted in flight.
+
+use std::sync::Arc;
+
+use jl_store::{StoreCluster, UdfRegistry};
+
+use crate::plan::{encode_params, output_fingerprint, survives, JobPlan, JobTuple};
+
+/// Result of a reference execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reference {
+    /// XOR fingerprint over all stage outputs.
+    pub fingerprint: u64,
+    /// Tuples fully processed.
+    pub completed: u64,
+    /// Total stage outputs produced.
+    pub outputs: u64,
+}
+
+/// Execute `plan` over `tuples` directly against the store.
+pub fn reference_run(
+    store: &StoreCluster,
+    udfs: &UdfRegistry,
+    plan: &Arc<JobPlan>,
+    tuples: &[JobTuple],
+) -> Reference {
+    let mut fingerprint = 0u64;
+    let mut outputs = 0u64;
+    for t in tuples {
+        for (stage_idx, stage) in plan.stages.iter().enumerate() {
+            let stage_u16 = stage_idx as u16;
+            let row = &t.keys[stage_idx];
+            let Some(value) = store.reference_get(stage.table, row) else {
+                break; // tuple joins to nothing: dies here
+            };
+            let params = encode_params(t.seq, stage_u16, t.params_size);
+            let udf = udfs.get(stage.udf).expect("udf registered");
+            let out = udf.apply(row, &params, value);
+            fingerprint ^= output_fingerprint(t.seq, stage_u16, &out);
+            outputs += 1;
+            if !survives(t.seq, stage_u16, stage.selectivity) {
+                break;
+            }
+        }
+    }
+    Reference {
+        fingerprint,
+        completed: tuples.len() as u64,
+        outputs,
+    }
+}

@@ -1,0 +1,112 @@
+//! Exact counting — the accuracy baseline. Space grows with the number of
+//! distinct keys, which is what the approximate algorithms exist to avoid.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::FrequencyEstimator;
+
+/// Exact per-key counts in a hash map.
+#[derive(Debug, Clone, Default)]
+pub struct ExactCounter<K: Hash + Eq + Clone> {
+    counts: HashMap<K, u64>,
+    total: u64,
+}
+
+impl<K: Hash + Eq + Clone> ExactCounter<K> {
+    /// New, empty counter.
+    pub fn new() -> Self {
+        ExactCounter {
+            counts: HashMap::new(),
+            total: 0,
+        }
+    }
+}
+
+impl<K: Hash + Eq + Clone> FrequencyEstimator<K> for ExactCounter<K> {
+    fn observe(&mut self, key: K) -> u64 {
+        self.total += 1;
+        let c = self.counts.entry(key).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    fn estimate(&self, key: &K) -> u64 {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    fn reset(&mut self, key: &K) {
+        self.counts.remove(key);
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.total
+    }
+
+    fn tracked(&self) -> usize {
+        self.counts.len()
+    }
+
+    fn heavy_hitters(&self, support: f64) -> Vec<(K, u64)> {
+        let threshold = (support * self.total as f64).ceil() as u64;
+        let mut out: Vec<(K, u64)> = self
+            .counts
+            .iter()
+            .filter(|(_, &c)| c >= threshold.max(1))
+            .map(|(k, &c)| (k.clone(), c))
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.1));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_exactly() {
+        let mut c = ExactCounter::new();
+        assert_eq!(c.observe("a"), 1);
+        assert_eq!(c.observe("a"), 2);
+        assert_eq!(c.observe("b"), 1);
+        assert_eq!(c.estimate(&"a"), 2);
+        assert_eq!(c.estimate(&"missing"), 0);
+        assert_eq!(c.stream_len(), 3);
+        assert_eq!(c.tracked(), 2);
+    }
+
+    #[test]
+    fn reset_forgets_key_but_not_stream() {
+        let mut c = ExactCounter::new();
+        c.observe(1u32);
+        c.observe(1);
+        c.reset(&1);
+        assert_eq!(c.estimate(&1), 0);
+        assert_eq!(c.stream_len(), 2);
+        // Counting restarts from scratch.
+        assert_eq!(c.observe(1), 1);
+    }
+
+    #[test]
+    fn heavy_hitters_sorted_desc() {
+        let mut c = ExactCounter::new();
+        for _ in 0..5 {
+            c.observe('x');
+        }
+        for _ in 0..3 {
+            c.observe('y');
+        }
+        c.observe('z');
+        let hh = c.heavy_hitters(0.3);
+        assert_eq!(hh, vec![('x', 5), ('y', 3)]);
+    }
+
+    #[test]
+    fn zero_support_returns_everything() {
+        let mut c = ExactCounter::new();
+        c.observe(1u8);
+        c.observe(2);
+        assert_eq!(c.heavy_hitters(0.0).len(), 2);
+    }
+}

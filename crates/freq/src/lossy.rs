@@ -1,0 +1,248 @@
+//! Lossy Counting (Manku & Motwani, VLDB 2002) — the frequency sketch the
+//! paper uses to track hot keys "in buckets of hashmap" (§4.3).
+//!
+//! The stream is divided into buckets of width `w = ⌈1/ε⌉`. Each tracked key
+//! holds `(f, Δ)`: observed count since tracking began and the maximum
+//! possible undercount (the bucket id when it was inserted). At every bucket
+//! boundary, entries with `f + Δ ≤ b` (the current bucket id) are pruned.
+//!
+//! Guarantees, with `N` the stream length:
+//! * no key is undercounted by more than `εN`;
+//! * every key with true count ≥ `εN` is tracked;
+//! * at most `(1/ε)·log(εN)` entries are retained.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::FrequencyEstimator;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    /// Count observed since this key entered the sketch.
+    freq: u64,
+    /// Maximum undercount: the bucket id minus one at insertion time.
+    delta: u64,
+}
+
+/// The Lossy Counting sketch.
+#[derive(Debug, Clone)]
+pub struct LossyCounter<K: Hash + Eq + Clone> {
+    entries: HashMap<K, Entry>,
+    /// Bucket width `w = ⌈1/ε⌉`.
+    width: u64,
+    /// Stream length so far.
+    n: u64,
+    /// Current bucket id `b = ⌈N/w⌉` (1-based).
+    bucket: u64,
+    epsilon: f64,
+}
+
+impl<K: Hash + Eq + Clone> LossyCounter<K> {
+    /// Create a sketch with error bound `epsilon` (e.g. `1e-3` undercounts
+    /// by at most `0.001·N`).
+    ///
+    /// # Panics
+    /// Panics unless `0 < epsilon < 1`.
+    pub fn new(epsilon: f64) -> Self {
+        assert!(
+            epsilon > 0.0 && epsilon < 1.0,
+            "epsilon must be in (0, 1), got {epsilon}"
+        );
+        LossyCounter {
+            entries: HashMap::new(),
+            width: (1.0 / epsilon).ceil() as u64,
+            n: 0,
+            bucket: 1,
+            epsilon,
+        }
+    }
+
+    /// The configured error bound.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
+    /// Bucket width `w`.
+    pub fn bucket_width(&self) -> u64 {
+        self.width
+    }
+
+    fn prune(&mut self) {
+        let b = self.bucket;
+        self.entries.retain(|_, e| e.freq + e.delta > b);
+    }
+
+    /// Upper bound on the true count of `key` (`f + Δ`), 0 if untracked.
+    pub fn estimate_upper(&self, key: &K) -> u64 {
+        self.entries
+            .get(key)
+            .map(|e| e.freq + e.delta)
+            .unwrap_or(0)
+    }
+}
+
+impl<K: Hash + Eq + Clone> FrequencyEstimator<K> for LossyCounter<K> {
+    fn observe(&mut self, key: K) -> u64 {
+        self.n += 1;
+        let bucket = self.bucket;
+        let freq = match self.entries.get_mut(&key) {
+            Some(e) => {
+                e.freq += 1;
+                e.freq
+            }
+            None => {
+                self.entries.insert(
+                    key,
+                    Entry {
+                        freq: 1,
+                        delta: bucket - 1,
+                    },
+                );
+                1
+            }
+        };
+        if self.n.is_multiple_of(self.width) {
+            self.prune();
+            self.bucket += 1;
+        }
+        freq
+    }
+
+    fn estimate(&self, key: &K) -> u64 {
+        self.entries.get(key).map(|e| e.freq).unwrap_or(0)
+    }
+
+    fn reset(&mut self, key: &K) {
+        self.entries.remove(key);
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.n
+    }
+
+    fn tracked(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn heavy_hitters(&self, support: f64) -> Vec<(K, u64)> {
+        // Standard output rule: report keys with f ≥ (s − ε)·N, which is
+        // guaranteed to include every key with true count ≥ s·N.
+        let threshold = ((support - self.epsilon) * self.n as f64).ceil().max(1.0) as u64;
+        let mut out: Vec<(K, u64)> = self
+            .entries
+            .iter()
+            .filter(|(_, e)| e.freq >= threshold)
+            .map(|(k, e)| (k.clone(), e.freq))
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.1));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn tracks_frequent_keys() {
+        let mut lc = LossyCounter::new(0.01);
+        for i in 0..10_000u64 {
+            lc.observe(i % 100); // each key appears 100 times = 1% of stream
+            lc.observe(0); // key 0 dominates
+        }
+        assert!(lc.estimate(&0) > 9_000);
+        let hh = lc.heavy_hitters(0.3);
+        assert_eq!(hh[0].0, 0);
+    }
+
+    #[test]
+    fn prunes_infrequent_keys() {
+        let mut lc = LossyCounter::new(0.1); // w = 10
+        for i in 0..1000u64 {
+            lc.observe(i); // all distinct
+        }
+        // Every key appears once; all but the current bucket's get pruned.
+        assert!(lc.tracked() <= 20, "tracked {}", lc.tracked());
+    }
+
+    #[test]
+    fn undercount_bounded_by_epsilon_n() {
+        let epsilon = 0.005;
+        let mut lc = LossyCounter::new(epsilon);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        // Zipf-ish synthetic stream without rand: key = trailing zeros.
+        for i in 1..=50_000u64 {
+            let key = u64::from(i.trailing_zeros());
+            *truth.entry(key).or_insert(0) += 1;
+            lc.observe(key);
+        }
+        let bound = (epsilon * lc.stream_len() as f64).ceil() as u64;
+        for (k, &t) in &truth {
+            let est = lc.estimate(k);
+            assert!(est <= t, "overcount on {k}: est {est} > true {t}");
+            assert!(
+                t - est <= bound,
+                "undercount on {k}: true {t} est {est} bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn space_stays_bounded() {
+        let epsilon = 0.001;
+        let mut lc = LossyCounter::new(epsilon);
+        for i in 0..200_000u64 {
+            lc.observe(i % 50_000);
+        }
+        let n = lc.stream_len() as f64;
+        let limit = (1.0 / epsilon) * (epsilon * n).log2().max(1.0) * 2.0;
+        assert!(
+            (lc.tracked() as f64) < limit,
+            "tracked {} exceeds bound {limit}",
+            lc.tracked()
+        );
+    }
+
+    #[test]
+    fn upper_estimate_at_least_lower() {
+        let mut lc = LossyCounter::new(0.01);
+        for i in 0..5000u64 {
+            lc.observe(i % 7);
+        }
+        for k in 0..7u64 {
+            assert!(lc.estimate_upper(&k) >= lc.estimate(&k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon must be in (0, 1)")]
+    fn invalid_epsilon_rejected() {
+        let _ = LossyCounter::<u64>::new(1.5);
+    }
+
+    proptest! {
+        #[test]
+        fn no_false_negatives_for_heavy_hitters(
+            seed_keys in proptest::collection::vec(0u8..20, 200..2000),
+            eps_mill in 1u32..100,
+        ) {
+            let epsilon = eps_mill as f64 / 1000.0;
+            let support = 0.2;
+            let mut lc = LossyCounter::new(epsilon);
+            let mut truth: HashMap<u8, u64> = HashMap::new();
+            for &k in &seed_keys {
+                lc.observe(k);
+                *truth.entry(k).or_insert(0) += 1;
+            }
+            let n = seed_keys.len() as u64;
+            let hh: Vec<u8> = lc.heavy_hitters(support).into_iter().map(|(k, _)| k).collect();
+            for (k, &t) in &truth {
+                if t as f64 >= support * n as f64 {
+                    prop_assert!(hh.contains(k), "missed heavy hitter {k} with count {t}/{n}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! Space-Saving (Metwally, Agrawal & El Abbadi, ICDT 2005).
+//!
+//! Keeps a hard budget of `k` counters. An untracked key evicts the
+//! minimum-count entry and inherits its count + 1, recording that count as
+//! the potential overestimate. Estimates never undercount a tracked key and
+//! overcount by at most `N/k`.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::FrequencyEstimator;
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    count: u64,
+    /// Count inherited from the evicted entry (error bound for this key).
+    error: u64,
+}
+
+/// The Space-Saving summary with a fixed counter budget.
+#[derive(Debug, Clone)]
+pub struct SpaceSaving<K: Hash + Eq + Clone> {
+    slots: HashMap<K, Slot>,
+    capacity: usize,
+    n: u64,
+}
+
+impl<K: Hash + Eq + Clone> SpaceSaving<K> {
+    /// Create a summary holding at most `capacity` keys.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        SpaceSaving {
+            slots: HashMap::with_capacity(capacity),
+            capacity,
+            n: 0,
+        }
+    }
+
+    /// The configured counter budget.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Guaranteed lower bound on the true count (`count − error`).
+    pub fn guaranteed(&self, key: &K) -> u64 {
+        self.slots
+            .get(key)
+            .map(|s| s.count - s.error)
+            .unwrap_or(0)
+    }
+
+    fn min_entry(&self) -> Option<(K, Slot)> {
+        self.slots
+            .iter()
+            .min_by_key(|(_, s)| s.count)
+            .map(|(k, s)| (k.clone(), *s))
+    }
+}
+
+impl<K: Hash + Eq + Clone> FrequencyEstimator<K> for SpaceSaving<K> {
+    fn observe(&mut self, key: K) -> u64 {
+        self.n += 1;
+        if let Some(s) = self.slots.get_mut(&key) {
+            s.count += 1;
+            return s.count;
+        }
+        if self.slots.len() < self.capacity {
+            self.slots.insert(key, Slot { count: 1, error: 0 });
+            return 1;
+        }
+        let (victim, min) = self.min_entry().expect("capacity > 0");
+        self.slots.remove(&victim);
+        let slot = Slot {
+            count: min.count + 1,
+            error: min.count,
+        };
+        self.slots.insert(key, slot);
+        slot.count
+    }
+
+    fn estimate(&self, key: &K) -> u64 {
+        self.slots.get(key).map(|s| s.count).unwrap_or(0)
+    }
+
+    fn reset(&mut self, key: &K) {
+        self.slots.remove(key);
+    }
+
+    fn stream_len(&self) -> u64 {
+        self.n
+    }
+
+    fn tracked(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn heavy_hitters(&self, support: f64) -> Vec<(K, u64)> {
+        let threshold = (support * self.n as f64).ceil().max(1.0) as u64;
+        let mut out: Vec<(K, u64)> = self
+            .slots
+            .iter()
+            .filter(|(_, s)| s.count >= threshold)
+            .map(|(k, s)| (k.clone(), s.count))
+            .collect();
+        out.sort_by_key(|e| std::cmp::Reverse(e.1));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn respects_capacity() {
+        let mut ss = SpaceSaving::new(4);
+        for i in 0..1000u64 {
+            ss.observe(i);
+        }
+        assert_eq!(ss.tracked(), 4);
+    }
+
+    #[test]
+    fn never_undercounts_tracked_keys() {
+        let mut ss = SpaceSaving::new(8);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..10_000u64 {
+            let key = if i % 3 == 0 { 7 } else { i % 100 };
+            ss.observe(key);
+            *truth.entry(key).or_insert(0) += 1;
+        }
+        // Key 7 is heavy and certainly tracked.
+        assert!(ss.estimate(&7) >= truth[&7]);
+    }
+
+    #[test]
+    fn overcount_bounded_by_n_over_k() {
+        let k = 16;
+        let mut ss = SpaceSaving::new(k);
+        let mut truth: HashMap<u64, u64> = HashMap::new();
+        for i in 0..20_000u64 {
+            let key = u64::from(i.trailing_zeros());
+            ss.observe(key);
+            *truth.entry(key).or_insert(0) += 1;
+        }
+        let bound = ss.stream_len() / k as u64;
+        for (k, s) in ss.heavy_hitters(0.0) {
+            let t = truth.get(&k).copied().unwrap_or(0);
+            assert!(s <= t + bound, "key {k}: est {s} true {t} bound {bound}");
+        }
+    }
+
+    #[test]
+    fn guaranteed_is_a_true_lower_bound() {
+        let mut ss = SpaceSaving::new(4);
+        let mut truth: HashMap<u32, u64> = HashMap::new();
+        for i in 0..5000u32 {
+            let key = i % 9;
+            ss.observe(key);
+            *truth.entry(key).or_insert(0) += 1;
+        }
+        for key in 0..9u32 {
+            let g = ss.guaranteed(&key);
+            assert!(
+                g <= truth[&key],
+                "guaranteed {g} exceeds true {}",
+                truth[&key]
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = SpaceSaving::<u8>::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn heavy_hitters_above_n_over_k_always_tracked(
+            stream in proptest::collection::vec(0u8..30, 100..3000),
+        ) {
+            let k = 32usize;
+            let mut ss = SpaceSaving::new(k);
+            let mut truth: HashMap<u8, u64> = HashMap::new();
+            for &x in &stream {
+                ss.observe(x);
+                *truth.entry(x).or_insert(0) += 1;
+            }
+            let n = stream.len() as u64;
+            for (key, &t) in &truth {
+                if t > n / k as u64 {
+                    prop_assert!(ss.estimate(key) > 0, "lost key {key} with count {t}");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # jl-loadbalance — compute↔data node load balancing
+//!
+//! Implements §5 / Appendix C of the paper: on receiving a batch of `b`
+//! compute requests, the data node chooses how many (`d`) to execute itself
+//! and how many to bounce back (as raw stored values) for the compute node
+//! to execute — minimizing the batch's completion time
+//! `max(compCPU(d), compNet(d), dataCPU(d), dataNet(d))`, all four of which
+//! are linear in `d`.
+//!
+//! The decision is local to one (compute node, data node) pair but the
+//! statistics fold in load *from every other node*, so the per-pair choices
+//! compose into cluster-wide balance without central coordination.
+//!
+//! ```
+//! use jl_loadbalance::{ComputeLoadStats, DataLoadStats, LoadModel, solve_exact};
+//! use jl_costmodel::SizeProfile;
+//!
+//! let c = ComputeLoadStats { cpu_secs: 0.1, net_bw: 125e6, ..Default::default() };
+//! let d = DataLoadStats { cpu_secs: 0.1, net_bw: 125e6, ..Default::default() };
+//! let s = SizeProfile { key: 16, params: 200, value: 1_000, computed: 100 };
+//! let model = LoadModel::new(&c, &d, &s, 100);
+//! let split = solve_exact(&model);
+//! // Symmetric idle nodes split a CPU-bound batch roughly in half.
+//! assert!((40..=60).contains(&split.d));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod solve;
+pub mod stats;
+
+pub use model::{Linear, LoadModel};
+pub use solve::{solve_brute, solve_exact, solve_gradient, Split};
+pub use stats::{ComputeLoadStats, DataLoadStats};

@@ -1,0 +1,273 @@
+//! The four load functions of Appendix C, each linear in `d` — the number
+//! of requests (out of a batch of `b`) the data node computes itself.
+//!
+//! Completion time for the batch is `max(compCPU, compNet, dataCPU,
+//! dataNet)`; CPU work on both sides and network transfer all proceed
+//! concurrently, so the slowest component gates throughput.
+
+use jl_costmodel::SizeProfile;
+
+use crate::stats::{ComputeLoadStats, DataLoadStats};
+
+/// A linear function `a + m·d` of the split point `d`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Linear {
+    /// Intercept (`d = 0`).
+    pub intercept: f64,
+    /// Slope per request moved to the data node.
+    pub slope: f64,
+}
+
+impl Linear {
+    /// Evaluate at `d`.
+    pub fn eval(&self, d: f64) -> f64 {
+        self.intercept + self.slope * d
+    }
+
+    /// Where two lines cross, if they do.
+    pub fn intersect(&self, other: &Linear) -> Option<f64> {
+        let dm = self.slope - other.slope;
+        if dm.abs() < f64::EPSILON {
+            return None;
+        }
+        Some((other.intercept - self.intercept) / dm)
+    }
+}
+
+/// The per-batch load model: four linear components plus the batch size.
+#[derive(Debug, Clone, Copy)]
+pub struct LoadModel {
+    /// CPU load (seconds of queued work) at the compute node.
+    pub comp_cpu: Linear,
+    /// Network load (seconds of transfer) at the compute node.
+    pub comp_net: Linear,
+    /// CPU load at the data node.
+    pub data_cpu: Linear,
+    /// Network load at the data node.
+    pub data_net: Linear,
+    /// Batch size `b`; valid splits are `0 ≤ d ≤ b`.
+    pub batch: u64,
+}
+
+impl LoadModel {
+    /// Build the model for a batch of `b` requests sent from the compute
+    /// node described by `c` to the data node described by `dn`, with the
+    /// current size profile `s`.
+    pub fn new(c: &ComputeLoadStats, dn: &DataLoadStats, s: &SizeProfile, b: u64) -> Self {
+        debug_assert!(c.is_consistent(), "compute stats inconsistent: {c:?}");
+        debug_assert!(dn.is_consistent(), "data stats inconsistent: {dn:?}");
+        let (sk, sp, sv, scv) = (
+            s.key as f64,
+            s.params as f64,
+            s.value as f64,
+            s.computed as f64,
+        );
+        let bf = b as f64;
+        let tcc = c.cpu_secs;
+        let tcd = dn.cpu_secs;
+
+        // compCPU(d): work the compute node will execute.
+        //  (1) computations already pending locally;
+        //  (2) requests bounced back uncomputed from other data nodes;
+        //  (3) requests bounced back uncomputed from j's earlier batches;
+        //  (4) the (b − d) of this batch bounced back.
+        // Appendix C prints `tcd` for (2)–(4); these executions happen at
+        // the *compute* node, so we charge the compute node's `tcc`
+        // (with tcc == tcd on homogeneous clusters the two coincide).
+        let bounced_elsewhere = (c.pending_elsewhere - c.computed_elsewhere) as f64;
+        let bounced_from_j = (c.pending_at_target - c.computed_at_target) as f64;
+        let comp_cpu = Linear {
+            intercept: tcc * c.local_pending as f64
+                + tcc * bounced_elsewhere
+                + tcc * bounced_from_j
+                + tcc * bf,
+            slope: -tcc,
+        };
+
+        // compNet(d): bytes the compute node's NIC still has to move.
+        let comp_net_bytes_const = c.data_reqs_outbound as f64 * (sk + sv)
+            + c.compute_reqs_outbound as f64 * (sk + sp)
+            + c.data_resps_inbound as f64 * sv
+            + bounced_elsewhere * sv
+            + c.computed_elsewhere as f64 * scv
+            + bounced_from_j * sv
+            + c.computed_at_target as f64 * scv
+            + bf * sv; // (b − d) uncomputed at d = 0
+        let comp_net = Linear {
+            intercept: comp_net_bytes_const / c.net_bw,
+            slope: (scv - sv) / c.net_bw,
+        };
+
+        // dataCPU(d): UDF work at the data node.
+        let data_cpu = Linear {
+            intercept: tcd * dn.to_compute_here as f64,
+            slope: tcd,
+        };
+
+        // dataNet(d): bytes the data node's NIC still has to move.
+        let bounced_at_j = (dn.compute_reqs_pending - dn.to_compute_here) as f64;
+        let data_net_bytes_const = dn.data_reqs_pending as f64 * (sk + sv)
+            + dn.data_resps_outbound as f64 * sv
+            + dn.compute_reqs_pending as f64 * (sk + sp)
+            + bounced_at_j * sv
+            + dn.to_compute_here as f64 * scv
+            + bf * sv;
+        let data_net = Linear {
+            intercept: data_net_bytes_const / dn.net_bw,
+            slope: (scv - sv) / dn.net_bw,
+        };
+
+        LoadModel {
+            comp_cpu,
+            comp_net,
+            data_cpu,
+            data_net,
+            batch: b,
+        }
+    }
+
+    /// The completion-time objective `max` of the four components at `d`.
+    pub fn objective(&self, d: f64) -> f64 {
+        self.comp_cpu
+            .eval(d)
+            .max(self.comp_net.eval(d))
+            .max(self.data_cpu.eval(d))
+            .max(self.data_net.eval(d))
+    }
+
+    /// The four lines, for solvers to iterate over.
+    pub fn lines(&self) -> [Linear; 4] {
+        [self.comp_cpu, self.comp_net, self.data_cpu, self.data_net]
+    }
+
+    /// Which component attains the max at `d` (0 = compCPU, 1 = compNet,
+    /// 2 = dataCPU, 3 = dataNet; ties pick the lowest index).
+    pub fn argmax(&self, d: f64) -> usize {
+        let vals = [
+            self.comp_cpu.eval(d),
+            self.comp_net.eval(d),
+            self.data_cpu.eval(d),
+            self.data_net.eval(d),
+        ];
+        let mut best = 0;
+        for (i, v) in vals.iter().enumerate() {
+            if *v > vals[best] {
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sizes() -> SizeProfile {
+        SizeProfile {
+            key: 16,
+            params: 1000,
+            value: 100_000,
+            computed: 200,
+        }
+    }
+
+    fn idle_compute() -> ComputeLoadStats {
+        ComputeLoadStats {
+            cpu_secs: 0.01,
+            net_bw: 125e6,
+            ..Default::default()
+        }
+    }
+
+    fn idle_data() -> DataLoadStats {
+        DataLoadStats {
+            cpu_secs: 0.01,
+            net_bw: 125e6,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn linear_eval_and_intersection() {
+        let a = Linear {
+            intercept: 0.0,
+            slope: 1.0,
+        };
+        let b = Linear {
+            intercept: 10.0,
+            slope: -1.0,
+        };
+        assert_eq!(a.eval(3.0), 3.0);
+        assert_eq!(a.intersect(&b), Some(5.0));
+        assert_eq!(a.intersect(&a), None);
+    }
+
+    #[test]
+    fn data_cpu_grows_with_d_comp_cpu_shrinks() {
+        let m = LoadModel::new(&idle_compute(), &idle_data(), &sizes(), 100);
+        assert!(m.data_cpu.slope > 0.0);
+        assert!(m.comp_cpu.slope < 0.0);
+    }
+
+    #[test]
+    fn net_slope_negative_when_computed_smaller_than_value() {
+        // scv << sv: pushing computation to the data node reduces bytes.
+        let m = LoadModel::new(&idle_compute(), &idle_data(), &sizes(), 100);
+        assert!(m.comp_net.slope < 0.0);
+        assert!(m.data_net.slope < 0.0);
+    }
+
+    #[test]
+    fn net_slope_positive_when_udf_inflates_output() {
+        let s = SizeProfile {
+            key: 16,
+            params: 100,
+            value: 1_000,
+            computed: 50_000,
+        };
+        let m = LoadModel::new(&idle_compute(), &idle_data(), &s, 10);
+        assert!(m.comp_net.slope > 0.0);
+    }
+
+    #[test]
+    fn existing_backlog_raises_intercepts() {
+        let mut c = idle_compute();
+        c.local_pending = 50;
+        let m_busy = LoadModel::new(&c, &idle_data(), &sizes(), 10);
+        let m_idle = LoadModel::new(&idle_compute(), &idle_data(), &sizes(), 10);
+        assert!(m_busy.comp_cpu.intercept > m_idle.comp_cpu.intercept);
+    }
+
+    #[test]
+    fn objective_is_max_of_components() {
+        let m = LoadModel::new(&idle_compute(), &idle_data(), &sizes(), 100);
+        for d in [0.0, 25.0, 50.0, 100.0] {
+            let o = m.objective(d);
+            for l in m.lines() {
+                assert!(o >= l.eval(d) - 1e-12);
+            }
+            let am = m.argmax(d);
+            assert!((m.lines()[am].eval(d) - o).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn balanced_split_beats_extremes_for_cpu_bound_batch() {
+        // CPU-heavy UDF on both sides: the optimum splits the work.
+        let s = SizeProfile {
+            key: 16,
+            params: 100,
+            value: 1_000,
+            computed: 100,
+        };
+        let mut c = idle_compute();
+        c.cpu_secs = 0.1;
+        let mut dn = idle_data();
+        dn.cpu_secs = 0.1;
+        let m = LoadModel::new(&c, &dn, &s, 100);
+        let mid = m.objective(50.0);
+        assert!(mid < m.objective(0.0));
+        assert!(mid < m.objective(100.0));
+    }
+}

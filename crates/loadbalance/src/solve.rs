@@ -1,0 +1,249 @@
+//! Minimizing `max` of the four linear load components over `d ∈ [0, b]`.
+//!
+//! The paper uses gradient descent from a random start as a cheap per-batch
+//! heuristic (Appendix C). Because the objective is the max of linear
+//! functions it is convex and piecewise linear, so an *exact* minimizer is
+//! also cheap: the optimum lies at an endpoint or at an intersection of two
+//! component lines. Both are provided; `ablation_lb` compares them.
+
+use rand::Rng;
+
+use crate::model::LoadModel;
+
+/// Result of a solve: the chosen integer split and its objective value.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Split {
+    /// Requests the data node should compute itself.
+    pub d: u64,
+    /// Estimated batch completion time at that split.
+    pub objective: f64,
+}
+
+fn best_integer_near(model: &LoadModel, d: f64) -> Split {
+    let b = model.batch;
+    let lo = d.floor().clamp(0.0, b as f64) as u64;
+    let hi = d.ceil().clamp(0.0, b as f64) as u64;
+    let (ol, oh) = (model.objective(lo as f64), model.objective(hi as f64));
+    if ol <= oh {
+        Split {
+            d: lo,
+            objective: ol,
+        }
+    } else {
+        Split {
+            d: hi,
+            objective: oh,
+        }
+    }
+}
+
+/// Exact minimizer: evaluates the endpoints and every pairwise intersection
+/// of the component lines (the convex objective's only candidate minima).
+pub fn solve_exact(model: &LoadModel) -> Split {
+    let b = model.batch as f64;
+    let lines = model.lines();
+    let mut candidates = vec![0.0, b];
+    for i in 0..lines.len() {
+        for j in (i + 1)..lines.len() {
+            if let Some(x) = lines[i].intersect(&lines[j]) {
+                if x > 0.0 && x < b {
+                    candidates.push(x);
+                }
+            }
+        }
+    }
+    let mut best = Split {
+        d: 0,
+        objective: f64::INFINITY,
+    };
+    for c in candidates {
+        let s = best_integer_near(model, c);
+        if s.objective < best.objective {
+            best = s;
+        }
+    }
+    best
+}
+
+/// The paper's heuristic: gradient descent from a random start, following
+/// the decreasing slope of the current argmax line with a decaying step.
+/// Convexity means it converges to (near) the optimum; it is not guaranteed
+/// to land exactly on it.
+pub fn solve_gradient<R: Rng>(model: &LoadModel, rng: &mut R, iterations: u32) -> Split {
+    let b = model.batch as f64;
+    if model.batch == 0 {
+        return Split {
+            d: 0,
+            objective: model.objective(0.0),
+        };
+    }
+    let mut d = rng.gen_range(0.0..=b);
+    let mut step = b / 2.0;
+    let mut best = best_integer_near(model, d);
+    for _ in 0..iterations {
+        let lines = model.lines();
+        let slope = lines[model.argmax(d)].slope;
+        if slope.abs() < f64::EPSILON {
+            break;
+        }
+        d = (d - step * slope.signum()).clamp(0.0, b);
+        let here = best_integer_near(model, d);
+        if here.objective < best.objective {
+            best = here;
+        }
+        step *= 0.7;
+        if step < 0.5 {
+            break;
+        }
+    }
+    best
+}
+
+/// Brute force over every integer `d` — test oracle only.
+pub fn solve_brute(model: &LoadModel) -> Split {
+    let mut best = Split {
+        d: 0,
+        objective: f64::INFINITY,
+    };
+    for d in 0..=model.batch {
+        let o = model.objective(d as f64);
+        if o < best.objective {
+            best = Split { d, objective: o };
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::{ComputeLoadStats, DataLoadStats};
+    use jl_costmodel::SizeProfile;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn model(
+        tcc: f64,
+        tcd: f64,
+        sv: u64,
+        scv: u64,
+        local_pending: u64,
+        data_pending: u64,
+        b: u64,
+    ) -> LoadModel {
+        let c = ComputeLoadStats {
+            local_pending,
+            cpu_secs: tcc,
+            net_bw: 125e6,
+            ..Default::default()
+        };
+        let d = DataLoadStats {
+            to_compute_here: data_pending,
+            compute_reqs_pending: data_pending,
+            cpu_secs: tcd,
+            net_bw: 125e6,
+            ..Default::default()
+        };
+        let s = SizeProfile {
+            key: 16,
+            params: 200,
+            value: sv,
+            computed: scv,
+        };
+        LoadModel::new(&c, &d, &s, b)
+    }
+
+    #[test]
+    fn exact_matches_brute_force() {
+        let m = model(0.05, 0.05, 10_000, 100, 10, 5, 64);
+        let e = solve_exact(&m);
+        let bf = solve_brute(&m);
+        assert!((e.objective - bf.objective).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_symmetric_idle_nodes_split_roughly_in_half() {
+        let m = model(0.1, 0.1, 1_000, 100, 0, 0, 100);
+        let e = solve_exact(&m);
+        assert!((45..=55).contains(&e.d), "d = {}", e.d);
+    }
+
+    #[test]
+    fn busy_data_node_gets_less_work() {
+        let idle = solve_exact(&model(0.1, 0.1, 1_000, 100, 0, 0, 100));
+        let busy = solve_exact(&model(0.1, 0.1, 1_000, 100, 0, 200, 100));
+        assert!(busy.d < idle.d, "busy {} !< idle {}", busy.d, idle.d);
+    }
+
+    #[test]
+    fn busy_compute_node_pushes_more_work_out() {
+        let idle = solve_exact(&model(0.1, 0.1, 1_000, 100, 0, 0, 100));
+        let busy = solve_exact(&model(0.1, 0.1, 1_000, 100, 200, 0, 100));
+        assert!(busy.d > idle.d, "busy {} !> idle {}", busy.d, idle.d);
+    }
+
+    #[test]
+    fn data_heavy_batch_prefers_data_side_execution() {
+        // Huge stored values, tiny computed results, negligible CPU:
+        // shipping values back costs network, so compute at the data node.
+        let m = model(1e-5, 1e-5, 1_000_000, 100, 0, 0, 50);
+        let e = solve_exact(&m);
+        assert!(e.d >= 45, "d = {}", e.d);
+    }
+
+    #[test]
+    fn gradient_descent_close_to_exact() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for sv in [1_000u64, 100_000] {
+            for tc in [0.001, 0.1] {
+                let m = model(tc, tc, sv, 100, 3, 8, 100);
+                let e = solve_exact(&m);
+                let g = solve_gradient(&m, &mut rng, 60);
+                assert!(
+                    g.objective <= e.objective * 1.15 + 1e-9,
+                    "gradient {:?} vs exact {:?}",
+                    g,
+                    e
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_batch_is_handled() {
+        let m = model(0.1, 0.1, 1_000, 100, 0, 0, 0);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(solve_exact(&m).d, 0);
+        assert_eq!(solve_gradient(&m, &mut rng, 10).d, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn exact_is_optimal_over_integers(
+            tcc_ms in 1u64..200, tcd_ms in 1u64..200,
+            sv in 100u64..1_000_000, scv in 10u64..10_000,
+            lp in 0u64..100, dp in 0u64..100, b in 1u64..200,
+        ) {
+            let m = model(tcc_ms as f64 / 1000.0, tcd_ms as f64 / 1000.0, sv, scv, lp, dp, b);
+            let e = solve_exact(&m);
+            let bf = solve_brute(&m);
+            prop_assert!(e.objective <= bf.objective + 1e-9,
+                "exact {e:?} worse than brute {bf:?}");
+            prop_assert!(e.d <= b);
+        }
+
+        #[test]
+        fn gradient_never_worse_than_worst_endpoint(
+            tcc_ms in 1u64..200, tcd_ms in 1u64..200,
+            sv in 100u64..1_000_000, b in 1u64..200, seed in 0u64..1000,
+        ) {
+            let m = model(tcc_ms as f64 / 1000.0, tcd_ms as f64 / 1000.0, sv, 100, 0, 0, b);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = solve_gradient(&m, &mut rng, 60);
+            let worst = m.objective(0.0).max(m.objective(b as f64));
+            prop_assert!(g.objective <= worst + 1e-9);
+            prop_assert!(g.d <= b);
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The load statistics exchanged between compute and data nodes
+//! (§5, Appendix C).
+//!
+//! With every batch of requests, the compute node piggybacks a snapshot of
+//! its own queues; the data node combines it with its local queues to
+//! estimate both sides' CPU and network load as a function of `d`, the
+//! number of requests from the batch it will execute itself. No global
+//! coordination is involved — this is what lets the scheme scale.
+
+/// Queue snapshot sent by compute node `i` with a batch destined for data
+/// node `j`. Field names follow Appendix C (superscript-c parameters).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ComputeLoadStats {
+    /// `lcc_i` — computations pending locally at `i` (values already fetched
+    /// or cached, waiting for CPU).
+    pub local_pending: u64,
+    /// `ndc_i` — data requests pending to be *sent* from `i`.
+    pub data_reqs_outbound: u64,
+    /// `ncc_i` — compute requests pending to be *sent* from `i`.
+    pub compute_reqs_outbound: u64,
+    /// `ndrc_i` — responses to data requests of `i` still in flight.
+    pub data_resps_inbound: u64,
+    /// `nrc_ij` — compute requests of `i` pending at data nodes *other
+    /// than* `j`.
+    pub pending_elsewhere: u64,
+    /// `rc_ij` — of [`Self::pending_elsewhere`], how many are expected to be
+    /// computed *at* those data nodes (estimated from recent history).
+    pub computed_elsewhere: u64,
+    /// `nrd_ij` — compute requests of `i` already pending at `j` from
+    /// previous batches.
+    pub pending_at_target: u64,
+    /// `rd_ij` — of [`Self::pending_at_target`], how many `j` will compute
+    /// itself.
+    pub computed_at_target: u64,
+    /// `tcc` — smoothed CPU seconds per UDF execution at `i`.
+    pub cpu_secs: f64,
+    /// `netBw_i` — effective bandwidth of `i`, bytes/second.
+    pub net_bw: f64,
+}
+
+/// Local queue snapshot at data node `j` (superscript-d parameters).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DataLoadStats {
+    /// `ndc_j` — data requests pending at `j` from all compute nodes.
+    pub data_reqs_pending: u64,
+    /// `ndrd_j` — data-request responses pending to be sent from `j`.
+    pub data_resps_outbound: u64,
+    /// `nrd_j` — compute requests pending at `j` from all compute nodes
+    /// (some of which may be bounced back uncomputed).
+    pub compute_reqs_pending: u64,
+    /// `rd_j` — of [`Self::compute_reqs_pending`], how many `j` has decided
+    /// to compute itself.
+    pub to_compute_here: u64,
+    /// `tcd` — smoothed CPU seconds per UDF execution at `j`.
+    pub cpu_secs: f64,
+    /// `netBw_j` — effective bandwidth of `j`, bytes/second.
+    pub net_bw: f64,
+}
+
+impl ComputeLoadStats {
+    /// Sanity check used in debug assertions.
+    pub fn is_consistent(&self) -> bool {
+        self.computed_elsewhere <= self.pending_elsewhere
+            && self.computed_at_target <= self.pending_at_target
+            && self.cpu_secs >= 0.0
+            && self.net_bw > 0.0
+    }
+}
+
+impl DataLoadStats {
+    /// Sanity check used in debug assertions.
+    pub fn is_consistent(&self) -> bool {
+        self.to_compute_here <= self.compute_reqs_pending
+            && self.cpu_secs >= 0.0
+            && self.net_bw > 0.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn consistency_checks() {
+        let mut c = ComputeLoadStats {
+            cpu_secs: 0.01,
+            net_bw: 1e8,
+            pending_elsewhere: 5,
+            computed_elsewhere: 3,
+            ..Default::default()
+        };
+        assert!(c.is_consistent());
+        c.computed_elsewhere = 9;
+        assert!(!c.is_consistent());
+
+        let mut d = DataLoadStats {
+            cpu_secs: 0.01,
+            net_bw: 1e8,
+            compute_reqs_pending: 4,
+            to_compute_here: 4,
+            ..Default::default()
+        };
+        assert!(d.is_consistent());
+        d.net_bw = 0.0;
+        assert!(!d.is_consistent());
+    }
+}

@@ -1,0 +1,363 @@
+//! Analytic FIFO resources.
+//!
+//! A [`FifoResource`] models a work-conserving, non-preemptive station with
+//! `k` identical servers (CPU cores, a disk, a NIC direction). Because
+//! service is FIFO and non-preemptive, the completion time of a job is fully
+//! determined at submission: the job starts on the earliest-free server, no
+//! earlier than its ready time, and runs for its service demand. This lets
+//! the simulation charge resource usage *synchronously* — a node computes
+//! when its disk reads and UDF executions will finish and schedules events at
+//! those instants — while still capturing queueing and contention exactly.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::stats::DurationHistogram;
+use crate::time::{SimDuration, SimTime};
+
+/// A multi-server FIFO queueing resource with analytic completion times.
+#[derive(Debug, Clone)]
+pub struct FifoResource {
+    /// Earliest-available time per server (min-heap).
+    free_at: BinaryHeap<Reverse<SimTime>>,
+    servers: usize,
+    busy: SimDuration,
+    jobs: u64,
+    waits: DurationHistogram,
+    created: SimTime,
+    last_done: SimTime,
+}
+
+/// Outcome of submitting a job to a [`FifoResource`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grant {
+    /// When the job begins service.
+    pub start: SimTime,
+    /// When the job completes.
+    pub done: SimTime,
+}
+
+impl FifoResource {
+    /// Create a resource with `servers` identical servers, all free at `now`.
+    ///
+    /// # Panics
+    /// Panics if `servers == 0`.
+    pub fn new(servers: usize, now: SimTime) -> Self {
+        assert!(servers > 0, "a resource needs at least one server");
+        let mut free_at = BinaryHeap::with_capacity(servers);
+        for _ in 0..servers {
+            free_at.push(Reverse(now));
+        }
+        FifoResource {
+            free_at,
+            servers,
+            busy: SimDuration::ZERO,
+            jobs: 0,
+            waits: DurationHistogram::new(),
+            created: now,
+            last_done: now,
+        }
+    }
+
+    /// Number of servers.
+    pub fn servers(&self) -> usize {
+        self.servers
+    }
+
+    /// Submit a job that becomes ready at `ready` and needs `service` time.
+    /// Returns when it starts and completes. Zero-service jobs pass through
+    /// without occupying a server.
+    pub fn submit(&mut self, ready: SimTime, service: SimDuration) -> Grant {
+        if service == SimDuration::ZERO {
+            return Grant {
+                start: ready,
+                done: ready,
+            };
+        }
+        let Reverse(free) = self.free_at.pop().expect("heap holds `servers` entries");
+        let start = free.max(ready);
+        let done = start + service;
+        self.free_at.push(Reverse(done));
+        self.busy += service;
+        self.jobs += 1;
+        self.waits.record(start.since(ready));
+        if done > self.last_done {
+            self.last_done = done;
+        }
+        Grant { start, done }
+    }
+
+    /// When the next server becomes free (lower bound on a new job's start).
+    pub fn earliest_free(&self) -> SimTime {
+        self.free_at.peek().map(|Reverse(t)| *t).unwrap_or(SimTime::ZERO)
+    }
+
+    /// The instant the last accepted job completes.
+    pub fn drained_at(&self) -> SimTime {
+        self.last_done
+    }
+
+    /// Total service time accepted so far.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Number of jobs accepted (zero-service jobs excluded).
+    pub fn jobs(&self) -> u64 {
+        self.jobs
+    }
+
+    /// Utilization over `[creation, horizon]`: busy time / (servers × span).
+    pub fn utilization(&self, horizon: SimTime) -> f64 {
+        let span = horizon.since(self.created).as_secs_f64();
+        if span <= 0.0 {
+            return 0.0;
+        }
+        self.busy.as_secs_f64() / (span * self.servers as f64)
+    }
+
+    /// Distribution of queueing delays (time between ready and start).
+    pub fn wait_histogram(&self) -> &DurationHistogram {
+        &self.waits
+    }
+
+    /// Backlog from the perspective of a job ready `now`: how long it would
+    /// wait before starting service.
+    pub fn backlog(&self, now: SimTime) -> SimDuration {
+        self.earliest_free().since(now)
+    }
+}
+
+/// The resource kinds every simulated node owns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResourceKind {
+    /// CPU cores (multi-server).
+    Cpu,
+    /// Disk (single- or few-server; random-read dominated).
+    Disk,
+    /// Outbound NIC direction.
+    NicOut,
+    /// Inbound NIC direction.
+    NicIn,
+}
+
+/// Per-node bundle of the four standard resources.
+#[derive(Debug, Clone)]
+pub struct NodeResources {
+    /// CPU cores.
+    pub cpu: FifoResource,
+    /// Disk.
+    pub disk: FifoResource,
+    /// Outbound NIC.
+    pub nic_out: FifoResource,
+    /// Inbound NIC.
+    pub nic_in: FifoResource,
+    /// Effective NIC bandwidth, bytes per second (same both directions).
+    pub net_bw_bps: f64,
+}
+
+impl NodeResources {
+    /// Create the standard bundle: `cores` CPU servers, `disk_channels` disk
+    /// servers, one server per NIC direction, `net_bw_bps` bytes/second.
+    pub fn new(cores: usize, disk_channels: usize, net_bw_bps: f64, now: SimTime) -> Self {
+        NodeResources {
+            cpu: FifoResource::new(cores, now),
+            disk: FifoResource::new(disk_channels, now),
+            nic_out: FifoResource::new(1, now),
+            nic_in: FifoResource::new(1, now),
+            net_bw_bps,
+        }
+    }
+
+    /// Access a resource by kind.
+    pub fn get_mut(&mut self, kind: ResourceKind) -> &mut FifoResource {
+        match kind {
+            ResourceKind::Cpu => &mut self.cpu,
+            ResourceKind::Disk => &mut self.disk,
+            ResourceKind::NicOut => &mut self.nic_out,
+            ResourceKind::NicIn => &mut self.nic_in,
+        }
+    }
+
+    /// Access a resource by kind (shared).
+    pub fn get(&self, kind: ResourceKind) -> &FifoResource {
+        match kind {
+            ResourceKind::Cpu => &self.cpu,
+            ResourceKind::Disk => &self.disk,
+            ResourceKind::NicOut => &self.nic_out,
+            ResourceKind::NicIn => &self.nic_in,
+        }
+    }
+
+    /// Time to push `bytes` through one NIC direction at this node's
+    /// bandwidth (pure transmission time, no queueing).
+    pub fn wire_time(&self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs_f64(bytes as f64 / self.net_bw_bps)
+    }
+
+    /// The latest completion instant across all four resources.
+    pub fn drained_at(&self) -> SimTime {
+        self.cpu
+            .drained_at()
+            .max(self.disk.drained_at())
+            .max(self.nic_out.drained_at())
+            .max(self.nic_in.drained_at())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: u64) -> SimDuration {
+        SimDuration::from_millis(x)
+    }
+
+    #[test]
+    fn single_server_serializes() {
+        let mut r = FifoResource::new(1, SimTime::ZERO);
+        let a = r.submit(SimTime::ZERO, ms(10));
+        let b = r.submit(SimTime::ZERO, ms(10));
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(a.done, SimTime::ZERO + ms(10));
+        assert_eq!(b.start, a.done);
+        assert_eq!(b.done, SimTime::ZERO + ms(20));
+    }
+
+    #[test]
+    fn multi_server_runs_in_parallel() {
+        let mut r = FifoResource::new(2, SimTime::ZERO);
+        let a = r.submit(SimTime::ZERO, ms(10));
+        let b = r.submit(SimTime::ZERO, ms(10));
+        let c = r.submit(SimTime::ZERO, ms(10));
+        assert_eq!(a.start, SimTime::ZERO);
+        assert_eq!(b.start, SimTime::ZERO);
+        assert_eq!(c.start, a.done.min(b.done));
+        assert_eq!(r.drained_at(), SimTime::ZERO + ms(20));
+    }
+
+    #[test]
+    fn ready_time_is_respected() {
+        let mut r = FifoResource::new(1, SimTime::ZERO);
+        let g = r.submit(SimTime::ZERO + ms(50), ms(5));
+        assert_eq!(g.start, SimTime::ZERO + ms(50));
+        assert_eq!(g.done, SimTime::ZERO + ms(55));
+    }
+
+    #[test]
+    fn idle_gap_then_work() {
+        let mut r = FifoResource::new(1, SimTime::ZERO);
+        r.submit(SimTime::ZERO, ms(10));
+        // Arrives after the server went idle: starts immediately.
+        let g = r.submit(SimTime::ZERO + ms(100), ms(10));
+        assert_eq!(g.start, SimTime::ZERO + ms(100));
+    }
+
+    #[test]
+    fn zero_service_passthrough() {
+        let mut r = FifoResource::new(1, SimTime::ZERO);
+        r.submit(SimTime::ZERO, ms(10));
+        let g = r.submit(SimTime::ZERO, SimDuration::ZERO);
+        assert_eq!(g.start, SimTime::ZERO);
+        assert_eq!(g.done, SimTime::ZERO);
+        assert_eq!(r.jobs(), 1);
+    }
+
+    #[test]
+    fn utilization_and_busy_time() {
+        let mut r = FifoResource::new(2, SimTime::ZERO);
+        r.submit(SimTime::ZERO, ms(10));
+        r.submit(SimTime::ZERO, ms(30));
+        assert_eq!(r.busy_time(), ms(40));
+        let u = r.utilization(SimTime::ZERO + ms(40));
+        assert!((u - 0.5).abs() < 1e-9, "u={u}");
+    }
+
+    #[test]
+    fn backlog_reports_queueing_delay() {
+        let mut r = FifoResource::new(1, SimTime::ZERO);
+        r.submit(SimTime::ZERO, ms(100));
+        assert_eq!(r.backlog(SimTime::ZERO + ms(30)), ms(70));
+        assert_eq!(r.backlog(SimTime::ZERO + ms(200)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn wait_histogram_counts_delays() {
+        let mut r = FifoResource::new(1, SimTime::ZERO);
+        r.submit(SimTime::ZERO, ms(10));
+        r.submit(SimTime::ZERO, ms(10)); // waits 10ms
+        assert_eq!(r.wait_histogram().count(), 2);
+        assert_eq!(r.wait_histogram().max(), ms(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one server")]
+    fn zero_servers_rejected() {
+        let _ = FifoResource::new(0, SimTime::ZERO);
+    }
+
+    #[test]
+    fn node_resources_wire_time() {
+        let n = NodeResources::new(8, 1, 1e9, SimTime::ZERO);
+        // 1 GB/s -> 1 MB takes 1 ms.
+        assert_eq!(n.wire_time(1_000_000), ms(1));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// FIFO discipline: with non-decreasing ready times, start times are
+        /// non-decreasing per server count 1, completion = start + service,
+        /// and total busy time equals the sum of services.
+        #[test]
+        fn fifo_invariants(
+            services in proptest::collection::vec(1u64..1_000_000, 1..200),
+            gaps in proptest::collection::vec(0u64..1_000_000, 1..200),
+            servers in 1usize..8,
+        ) {
+            let mut r = FifoResource::new(servers, SimTime::ZERO);
+            let mut ready = SimTime::ZERO;
+            let mut last_start = SimTime::ZERO;
+            let mut total = 0u64;
+            for (s, g) in services.iter().zip(gaps.iter().cycle()) {
+                ready += SimDuration(*g);
+                let grant = r.submit(ready, SimDuration(*s));
+                prop_assert!(grant.start >= ready);
+                prop_assert_eq!(grant.done, grant.start + SimDuration(*s));
+                if servers == 1 {
+                    prop_assert!(grant.start >= last_start, "FIFO start order violated");
+                }
+                last_start = grant.start;
+                total += s;
+            }
+            prop_assert_eq!(r.busy_time(), SimDuration(total));
+            let u = r.utilization(r.drained_at());
+            prop_assert!(u <= 1.0 + 1e-9, "utilization {u} > 1");
+        }
+
+        /// A k-server resource is never worse than 1-server and never better
+        /// than perfect speedup.
+        #[test]
+        fn more_servers_never_hurt(
+            services in proptest::collection::vec(1u64..100_000, 1..100),
+            servers in 2usize..8,
+        ) {
+            let drain = |k: usize| {
+                let mut r = FifoResource::new(k, SimTime::ZERO);
+                for s in &services {
+                    r.submit(SimTime::ZERO, SimDuration(*s));
+                }
+                r.drained_at()
+            };
+            let one = drain(1);
+            let many = drain(servers);
+            prop_assert!(many <= one);
+            let total: u64 = services.iter().sum();
+            prop_assert!(many.nanos() >= total / servers as u64);
+        }
+    }
+}

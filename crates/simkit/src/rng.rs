@@ -1,0 +1,97 @@
+//! Deterministic random-number utilities.
+//!
+//! Every stochastic component of an experiment derives its generator from a
+//! single root seed, so that an entire run is reproducible from one `u64`.
+//! Streams are derived by hashing the root seed with a stream label, which
+//! keeps the streams statistically independent and insensitive to the order
+//! in which components are constructed.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// SplitMix64 step; used to expand and mix seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Mix a root seed with a stream label into an independent sub-seed.
+pub fn derive_seed(root: u64, label: &str) -> u64 {
+    let mut state = root ^ 0xD6E8_FEB8_6659_FD93;
+    let mut out = splitmix64(&mut state);
+    for b in label.as_bytes() {
+        state ^= u64::from(*b).wrapping_mul(0x100_0000_01B3);
+        out ^= splitmix64(&mut state);
+    }
+    // One extra round so that short labels still diffuse fully.
+    state ^= out;
+    splitmix64(&mut state)
+}
+
+/// Construct a seeded [`StdRng`] for the stream `label` under `root`.
+pub fn stream_rng(root: u64, label: &str) -> StdRng {
+    StdRng::seed_from_u64(derive_seed(root, label))
+}
+
+/// Construct a seeded [`StdRng`] for a numbered stream (e.g. per node).
+pub fn indexed_rng(root: u64, label: &str, index: u64) -> StdRng {
+    let mut state = derive_seed(root, label) ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    StdRng::seed_from_u64(splitmix64(&mut state))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn derive_seed_is_deterministic() {
+        assert_eq!(derive_seed(42, "zipf"), derive_seed(42, "zipf"));
+    }
+
+    #[test]
+    fn different_labels_differ() {
+        assert_ne!(derive_seed(42, "zipf"), derive_seed(42, "uniform"));
+        assert_ne!(derive_seed(42, "a"), derive_seed(42, "b"));
+    }
+
+    #[test]
+    fn different_roots_differ() {
+        assert_ne!(derive_seed(1, "zipf"), derive_seed(2, "zipf"));
+    }
+
+    #[test]
+    fn indexed_streams_differ() {
+        let a: u64 = indexed_rng(7, "node", 0).gen();
+        let b: u64 = indexed_rng(7, "node", 1).gen();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn stream_rng_reproducible() {
+        let x: [u64; 4] = {
+            let mut r = stream_rng(99, "x");
+            [r.gen(), r.gen(), r.gen(), r.gen()]
+        };
+        let y: [u64; 4] = {
+            let mut r = stream_rng(99, "x");
+            [r.gen(), r.gen(), r.gen(), r.gen()]
+        };
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn splitmix_known_sequence_is_stable() {
+        let mut s = 0u64;
+        let a = splitmix64(&mut s);
+        let b = splitmix64(&mut s);
+        assert_ne!(a, b);
+        // Regression pin: these values must never change across refactors,
+        // otherwise every experiment's workload silently shifts.
+        assert_eq!(a, 0xE220_A839_7B1D_CDAF);
+    }
+}

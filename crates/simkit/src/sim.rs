@@ -1,0 +1,622 @@
+//! The discrete-event simulation kernel.
+//!
+//! A simulation is a set of nodes exchanging messages. Nodes are a single
+//! concrete type `N: Node` (typically an enum over the roles in the cluster),
+//! so dispatch is static and node state is fully typed when the run finishes.
+//!
+//! Time advances only through the event heap. Resource usage (CPU, disk,
+//! NIC) is charged through [`Ctx`], which returns analytic completion times
+//! from [`FifoResource`](crate::resource::FifoResource)s; nodes then schedule
+//! messages or timers at those instants.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use rand::rngs::StdRng;
+
+use crate::resource::{Grant, NodeResources, ResourceKind};
+use crate::rng::indexed_rng;
+use crate::time::{SimDuration, SimTime};
+
+/// Identifies a node within a simulation.
+pub type NodeId = usize;
+
+/// Pseudo-sender for messages injected from outside the simulation
+/// (workload sources, drivers).
+pub const EXTERNAL: NodeId = usize::MAX;
+
+/// Behaviour of a simulated node.
+pub trait Node {
+    /// Message type exchanged in this simulation.
+    type Msg;
+
+    /// Called once when the simulation starts.
+    fn on_start(&mut self, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// Called when a message addressed to this node is delivered.
+    fn on_message(&mut self, from: NodeId, msg: Self::Msg, ctx: &mut Ctx<'_, Self::Msg>);
+
+    /// Called when a timer set via [`Ctx::set_timer`] fires.
+    fn on_timer(&mut self, _tag: u64, _ctx: &mut Ctx<'_, Self::Msg>) {}
+}
+
+/// Hardware description of a node.
+#[derive(Debug, Clone, Copy)]
+pub struct NodeSpec {
+    /// Number of CPU cores.
+    pub cores: usize,
+    /// Number of concurrent disk channels (1 models a spinning disk,
+    /// larger values approximate an SSD's internal parallelism).
+    pub disk_channels: usize,
+    /// Effective NIC bandwidth in bytes per second, per direction.
+    pub net_bw_bps: f64,
+}
+
+impl Default for NodeSpec {
+    fn default() -> Self {
+        // Mirrors the paper's testbed: two quad-core Xeons, GbE.
+        NodeSpec {
+            cores: 8,
+            disk_channels: 1,
+            net_bw_bps: 125_000_000.0, // 1 Gbit/s
+        }
+    }
+}
+
+/// Network-wide parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct NetConfig {
+    /// One-way propagation + protocol latency per message.
+    pub latency: SimDuration,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            latency: SimDuration::from_micros(200),
+        }
+    }
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+enum EventKind<M> {
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    Timer { node: NodeId, tag: u64 },
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
+        // Ties break by insertion order (seq), keeping runs deterministic.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Aggregate transfer accounting for a run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NetTotals {
+    /// Messages delivered (including self-sends and external injections).
+    pub messages: u64,
+    /// Total payload bytes that crossed the network (self-sends excluded).
+    pub bytes: u64,
+}
+
+/// Everything in the simulation except the nodes themselves; nodes interact
+/// with it through [`Ctx`].
+struct SimInner<M> {
+    time: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Event<M>>,
+    resources: Vec<NodeResources>,
+    rngs: Vec<StdRng>,
+    net: NetConfig,
+    totals: NetTotals,
+    stopped: bool,
+}
+
+impl<M> SimInner<M> {
+    fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        let time = time.max(self.time);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    fn transfer(&mut self, ready: SimTime, from: NodeId, to: NodeId, bytes: u64) -> SimTime {
+        if from == to {
+            // Local hand-off: no NIC, no latency.
+            return ready;
+        }
+        let out_done = if from == EXTERNAL {
+            ready
+        } else {
+            let wire = self.resources[from].wire_time(bytes);
+            self.resources[from].nic_out.submit(ready, wire).done
+        };
+        let arrive = out_done + self.net.latency;
+        let wire_in = self.resources[to].wire_time(bytes);
+        let delivered = self.resources[to].nic_in.submit(arrive, wire_in).done;
+        self.totals.bytes += bytes;
+        delivered
+    }
+}
+
+/// Handle through which a node interacts with the simulation while one of
+/// its callbacks is running.
+pub struct Ctx<'a, M> {
+    inner: &'a mut SimInner<M>,
+    self_id: NodeId,
+}
+
+impl<'a, M> Ctx<'a, M> {
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.inner.time
+    }
+
+    /// The node this callback belongs to.
+    pub fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    /// Send `msg` of `bytes` payload to `to`, leaving now. Returns the
+    /// delivery time. The transfer occupies this node's outbound NIC and the
+    /// receiver's inbound NIC; self-sends bypass the network.
+    pub fn send(&mut self, to: NodeId, msg: M, bytes: u64) -> SimTime {
+        self.send_ready_at(self.inner.time, to, msg, bytes)
+    }
+
+    /// Send `msg`, but the payload only becomes available at `ready`
+    /// (e.g. after a CPU or disk completion). Returns the delivery time.
+    pub fn send_ready_at(&mut self, ready: SimTime, to: NodeId, msg: M, bytes: u64) -> SimTime {
+        let ready = ready.max(self.inner.time);
+        let delivered = self.inner.transfer(ready, self.self_id, to, bytes);
+        self.inner.push(
+            delivered,
+            EventKind::Deliver {
+                from: self.self_id,
+                to,
+                msg,
+            },
+        );
+        delivered
+    }
+
+    /// Charge `service` time on one of this node's resources, becoming ready
+    /// at `ready`. Returns when the work starts and completes.
+    pub fn use_resource(&mut self, kind: ResourceKind, ready: SimTime, service: SimDuration) -> Grant {
+        let ready = ready.max(self.inner.time);
+        self.inner.resources[self.self_id]
+            .get_mut(kind)
+            .submit(ready, service)
+    }
+
+    /// Charge CPU time starting no earlier than now.
+    pub fn use_cpu(&mut self, service: SimDuration) -> Grant {
+        self.use_resource(ResourceKind::Cpu, self.inner.time, service)
+    }
+
+    /// Charge disk time starting no earlier than now.
+    pub fn use_disk(&mut self, service: SimDuration) -> Grant {
+        self.use_resource(ResourceKind::Disk, self.inner.time, service)
+    }
+
+    /// Read-only view of this node's resources (for load introspection).
+    pub fn resources(&self) -> &NodeResources {
+        &self.inner.resources[self.self_id]
+    }
+
+    /// Read-only view of another node's resources. Real systems cannot peek
+    /// at remote load; engines use this only for *measurement*, never for
+    /// decisions, so the paper's decentralised-information constraint holds.
+    pub fn resources_of(&self, node: NodeId) -> &NodeResources {
+        &self.inner.resources[node]
+    }
+
+    /// Arrange for `on_timer(tag)` to fire at absolute time `at`
+    /// (clamped to now if in the past).
+    pub fn set_timer(&mut self, at: SimTime, tag: u64) {
+        self.inner.push(
+            at,
+            EventKind::Timer {
+                node: self.self_id,
+                tag,
+            },
+        );
+    }
+
+    /// Arrange for `on_timer(tag)` to fire after `delay`.
+    pub fn set_timer_after(&mut self, delay: SimDuration, tag: u64) {
+        let at = self.inner.time + delay;
+        self.set_timer(at, tag);
+    }
+
+    /// This node's deterministic random stream.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner.rngs[self.self_id]
+    }
+
+    /// Request that the simulation stop after the current callback returns.
+    pub fn stop(&mut self) {
+        self.inner.stopped = true;
+    }
+}
+
+/// A discrete-event simulation over nodes of type `N`.
+pub struct Sim<N: Node> {
+    nodes: Vec<N>,
+    inner: SimInner<N::Msg>,
+    started: bool,
+    seed: u64,
+}
+
+impl<N: Node> Sim<N> {
+    /// Create an empty simulation with the given root seed and network
+    /// configuration.
+    pub fn new(seed: u64, net: NetConfig) -> Self {
+        Sim {
+            nodes: Vec::new(),
+            inner: SimInner {
+                time: SimTime::ZERO,
+                seq: 0,
+                heap: BinaryHeap::new(),
+                resources: Vec::new(),
+                rngs: Vec::new(),
+                net,
+                totals: NetTotals::default(),
+                stopped: false,
+            },
+            started: false,
+            seed,
+        }
+    }
+
+    /// Add a node with the given hardware spec; returns its id.
+    pub fn add_node(&mut self, node: N, spec: NodeSpec) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(node);
+        self.inner
+            .resources
+            .push(NodeResources::new(spec.cores, spec.disk_channels, spec.net_bw_bps, SimTime::ZERO));
+        self.inner.rngs.push(indexed_rng(self.seed, "node", id as u64));
+        id
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Inject a message from outside the simulation, delivered at `at`
+    /// through the receiver's inbound NIC.
+    pub fn post(&mut self, at: SimTime, to: NodeId, msg: N::Msg, bytes: u64) {
+        let at = at.max(self.inner.time);
+        let delivered = self.inner.transfer(at, EXTERNAL, to, bytes);
+        self.inner.push(
+            delivered,
+            EventKind::Deliver {
+                from: EXTERNAL,
+                to,
+                msg,
+            },
+        );
+    }
+
+    /// Run until the event heap drains, a node calls [`Ctx::stop`], or
+    /// `horizon` is reached. Returns the final simulated time.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        if !self.started {
+            self.started = true;
+            for id in 0..self.nodes.len() {
+                let mut ctx = Ctx {
+                    inner: &mut self.inner,
+                    self_id: id,
+                };
+                self.nodes[id].on_start(&mut ctx);
+            }
+        }
+        while !self.inner.stopped {
+            let Some(ev) = self.inner.heap.peek() else { break };
+            if ev.time > horizon {
+                self.inner.time = horizon;
+                break;
+            }
+            let ev = self.inner.heap.pop().expect("peeked");
+            self.inner.time = ev.time;
+            match ev.kind {
+                EventKind::Deliver { from, to, msg } => {
+                    self.inner.totals.messages += 1;
+                    let mut ctx = Ctx {
+                        inner: &mut self.inner,
+                        self_id: to,
+                    };
+                    self.nodes[to].on_message(from, msg, &mut ctx);
+                }
+                EventKind::Timer { node, tag } => {
+                    let mut ctx = Ctx {
+                        inner: &mut self.inner,
+                        self_id: node,
+                    };
+                    self.nodes[node].on_timer(tag, &mut ctx);
+                }
+            }
+        }
+        self.inner.time
+    }
+
+    /// Run until the event heap drains or a node stops the simulation.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Current simulated time.
+    pub fn time(&self) -> SimTime {
+        self.inner.time
+    }
+
+    /// True if a node requested a stop.
+    pub fn stopped(&self) -> bool {
+        self.inner.stopped
+    }
+
+    /// Aggregate network accounting.
+    pub fn net_totals(&self) -> NetTotals {
+        self.inner.totals
+    }
+
+    /// A node's resources (utilization, backlog inspection after a run).
+    pub fn resources(&self, id: NodeId) -> &NodeResources {
+        &self.inner.resources[id]
+    }
+
+    /// Shared access to a node's state.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a node's state (between runs).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id]
+    }
+
+    /// Iterate over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &N> {
+        self.nodes.iter()
+    }
+
+    /// Consume the simulation, returning node states for result extraction.
+    pub fn into_nodes(self) -> Vec<N> {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Ping-pong node: replies `n-1` to any `n > 0`.
+    struct PingPong {
+        peer: NodeId,
+        received: Vec<u64>,
+        start: bool,
+    }
+
+    impl Node for PingPong {
+        type Msg = u64;
+        fn on_start(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if self.start {
+                ctx.send(self.peer, 4, 1000);
+            }
+        }
+        fn on_message(&mut self, _from: NodeId, msg: u64, ctx: &mut Ctx<'_, u64>) {
+            self.received.push(msg);
+            if msg > 0 {
+                ctx.send(self.peer, msg - 1, 1000);
+            }
+        }
+    }
+
+    fn two_node_sim() -> Sim<PingPong> {
+        let mut sim = Sim::new(1, NetConfig::default());
+        let a = sim.add_node(
+            PingPong {
+                peer: 1,
+                received: vec![],
+                start: true,
+            },
+            NodeSpec::default(),
+        );
+        let b = sim.add_node(
+            PingPong {
+                peer: 0,
+                received: vec![],
+                start: false,
+            },
+            NodeSpec::default(),
+        );
+        assert_eq!((a, b), (0, 1));
+        sim
+    }
+
+    #[test]
+    fn ping_pong_runs_to_completion() {
+        let mut sim = two_node_sim();
+        let end = sim.run();
+        assert!(end > SimTime::ZERO);
+        assert_eq!(sim.node(1).received, vec![4, 2, 0]);
+        assert_eq!(sim.node(0).received, vec![3, 1]);
+        assert_eq!(sim.net_totals().messages, 5);
+        assert_eq!(sim.net_totals().bytes, 5000);
+    }
+
+    #[test]
+    fn determinism_across_runs() {
+        let t1 = two_node_sim().run();
+        let t2 = two_node_sim().run();
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn latency_and_bandwidth_shape_delivery() {
+        // One 1 MB message at 1 Gbit/s (=125 MB/s): 8 ms out + 8 ms in + 200us.
+        struct Sink {
+            at: Option<SimTime>,
+        }
+        impl Node for Sink {
+            type Msg = ();
+            fn on_message(&mut self, _f: NodeId, _m: (), ctx: &mut Ctx<'_, ()>) {
+                self.at = Some(ctx.now());
+            }
+        }
+        let mut sim: Sim<Sink> = Sim::new(0, NetConfig::default());
+        let sender = sim.add_node(Sink { at: None }, NodeSpec::default());
+        let recv = sim.add_node(Sink { at: None }, NodeSpec::default());
+        assert_eq!(sender, 0);
+        sim.post(SimTime::ZERO, recv, (), 1_000_000);
+        sim.run();
+        let at = sim.node(recv).at.expect("delivered");
+        // External sends skip the sender NIC: 200us latency + 8ms receive.
+        let expected = SimDuration::from_micros(200) + SimDuration::from_secs_f64(1_000_000.0 / 125_000_000.0);
+        assert_eq!(at, SimTime::ZERO + expected);
+    }
+
+    #[test]
+    fn timers_fire_in_order() {
+        struct T {
+            fired: Vec<u64>,
+        }
+        impl Node for T {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer_after(SimDuration::from_millis(20), 2);
+                ctx.set_timer_after(SimDuration::from_millis(10), 1);
+                ctx.set_timer_after(SimDuration::from_millis(20), 3); // tie: insertion order
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, tag: u64, _ctx: &mut Ctx<'_, ()>) {
+                self.fired.push(tag);
+            }
+        }
+        let mut sim: Sim<T> = Sim::new(0, NetConfig::default());
+        sim.add_node(T { fired: vec![] }, NodeSpec::default());
+        sim.run();
+        assert_eq!(sim.node(0).fired, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn stop_halts_immediately() {
+        struct S;
+        impl Node for S {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer_after(SimDuration::from_secs(100), 0);
+                ctx.stop();
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, _t: u64, _c: &mut Ctx<'_, ()>) {
+                panic!("should not fire after stop");
+            }
+        }
+        let mut sim: Sim<S> = Sim::new(0, NetConfig::default());
+        sim.add_node(S, NodeSpec::default());
+        let end = sim.run();
+        assert!(sim.stopped());
+        assert_eq!(end, SimTime::ZERO);
+    }
+
+    #[test]
+    fn run_until_respects_horizon() {
+        struct T {
+            fired: u64,
+        }
+        impl Node for T {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                for i in 1..=10 {
+                    ctx.set_timer(SimTime(i * 1_000_000_000), i);
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, _t: u64, _c: &mut Ctx<'_, ()>) {
+                self.fired += 1;
+            }
+        }
+        let mut sim: Sim<T> = Sim::new(0, NetConfig::default());
+        sim.add_node(T { fired: 0 }, NodeSpec::default());
+        let end = sim.run_until(SimTime(3_500_000_000));
+        assert_eq!(sim.node(0).fired, 3);
+        assert_eq!(end, SimTime(3_500_000_000));
+        // Resume: the remaining timers still fire.
+        sim.run();
+        assert_eq!(sim.node(0).fired, 10);
+    }
+
+    #[test]
+    fn self_send_bypasses_network() {
+        struct L {
+            got: Option<SimTime>,
+        }
+        impl Node for L {
+            type Msg = u8;
+            fn on_start(&mut self, ctx: &mut Ctx<'_, u8>) {
+                ctx.send(ctx.self_id(), 7, 1_000_000_000);
+            }
+            fn on_message(&mut self, from: NodeId, msg: u8, ctx: &mut Ctx<'_, u8>) {
+                assert_eq!(from, 0);
+                assert_eq!(msg, 7);
+                self.got = Some(ctx.now());
+            }
+        }
+        let mut sim: Sim<L> = Sim::new(0, NetConfig::default());
+        sim.add_node(L { got: None }, NodeSpec::default());
+        sim.run();
+        assert_eq!(sim.node(0).got, Some(SimTime::ZERO));
+        assert_eq!(sim.net_totals().bytes, 0);
+    }
+
+    #[test]
+    fn cpu_contention_is_visible_in_resources() {
+        struct C;
+        impl Node for C {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                for _ in 0..16 {
+                    ctx.use_cpu(SimDuration::from_millis(100));
+                }
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Ctx<'_, ()>) {}
+        }
+        let mut sim: Sim<C> = Sim::new(0, NetConfig::default());
+        let id = sim.add_node(
+            C,
+            NodeSpec {
+                cores: 8,
+                ..NodeSpec::default()
+            },
+        );
+        sim.run();
+        let res = sim.resources(id);
+        // 16 jobs on 8 cores: drains at 200 ms.
+        assert_eq!(res.cpu.drained_at(), SimTime::ZERO + SimDuration::from_millis(200));
+        assert_eq!(res.cpu.jobs(), 16);
+    }
+}

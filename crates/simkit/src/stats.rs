@@ -1,0 +1,381 @@
+//! Measurement primitives: running moments, histograms, and time-weighted
+//! gauges for utilization accounting.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Running mean/variance/min/max over a stream of `f64` samples
+/// (Welford's algorithm).
+#[derive(Debug, Clone, Default)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// New, empty accumulator.
+    pub fn new() -> Self {
+        Moments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, x: f64) {
+        self.n += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.n as f64;
+        self.m2 += delta * (x - self.mean);
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean, or 0 if empty.
+    pub fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.mean
+        }
+    }
+
+    /// Population variance, or 0 if fewer than two samples.
+    pub fn variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn stddev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Smallest sample, or 0 if empty.
+    pub fn min(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest sample, or 0 if empty.
+    pub fn max(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.max
+        }
+    }
+
+    /// Fold another accumulator into this one (parallel Welford merge).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Log-bucketed histogram of non-negative durations (nanoseconds).
+///
+/// Buckets are powers of two, so the histogram covers the full `u64` range
+/// with 64 buckets and constant-time insertion. Quantile queries interpolate
+/// within a bucket, which is accurate enough for reporting tail behaviour.
+#[derive(Debug, Clone)]
+pub struct DurationHistogram {
+    buckets: [u64; 65],
+    count: u64,
+    sum: u128,
+    max: u64,
+}
+
+impl Default for DurationHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl DurationHistogram {
+    /// New, empty histogram.
+    pub fn new() -> Self {
+        DurationHistogram {
+            buckets: [0; 65],
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
+    }
+
+    fn bucket_of(ns: u64) -> usize {
+        if ns == 0 {
+            0
+        } else {
+            64 - ns.leading_zeros() as usize
+        }
+    }
+
+    /// Record one duration.
+    pub fn record(&mut self, d: SimDuration) {
+        let ns = d.nanos();
+        self.buckets[Self::bucket_of(ns)] += 1;
+        self.count += 1;
+        self.sum += u128::from(ns);
+        if ns > self.max {
+            self.max = ns;
+        }
+    }
+
+    /// Number of recorded durations.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean duration.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration((self.sum / u128::from(self.count)) as u64)
+        }
+    }
+
+    /// Largest recorded duration.
+    pub fn max(&self) -> SimDuration {
+        SimDuration(self.max)
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        if self.count == 0 {
+            return SimDuration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c >= target {
+                // Interpolate linearly within the bucket [2^(i-1), 2^i).
+                let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                let hi = if i >= 64 { u64::MAX } else { (1u64 << i).saturating_sub(1) };
+                let frac = (target - seen) as f64 / c as f64;
+                let ns = lo as f64 + frac * (hi.saturating_sub(lo)) as f64;
+                return SimDuration(ns.min(self.max as f64) as u64);
+            }
+            seen += c;
+        }
+        SimDuration(self.max)
+    }
+
+    /// Fold another histogram into this one.
+    pub fn merge(&mut self, other: &DurationHistogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += *b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// A gauge whose time-integral is tracked, e.g. queue length or busy servers.
+///
+/// `average(now)` is the time-weighted mean of the gauge value over
+/// `[creation, now]`, which for a busy/idle 0-1 gauge equals utilization.
+#[derive(Debug, Clone)]
+pub struct TimeWeightedGauge {
+    value: f64,
+    last_change: SimTime,
+    weighted_sum: f64,
+    start: SimTime,
+    peak: f64,
+}
+
+impl TimeWeightedGauge {
+    /// Create with an initial value at time `start`.
+    pub fn new(start: SimTime, initial: f64) -> Self {
+        TimeWeightedGauge {
+            value: initial,
+            last_change: start,
+            weighted_sum: 0.0,
+            start,
+            peak: initial,
+        }
+    }
+
+    fn accumulate(&mut self, now: SimTime) {
+        let dt = now.since(self.last_change).as_secs_f64();
+        self.weighted_sum += self.value * dt;
+        self.last_change = self.last_change.max(now);
+    }
+
+    /// Set the gauge to `v` at time `now`.
+    pub fn set(&mut self, now: SimTime, v: f64) {
+        self.accumulate(now);
+        self.value = v;
+        if v > self.peak {
+            self.peak = v;
+        }
+    }
+
+    /// Add `delta` to the gauge at time `now`.
+    pub fn add(&mut self, now: SimTime, delta: f64) {
+        let v = self.value + delta;
+        self.set(now, v);
+    }
+
+    /// Current value.
+    pub fn value(&self) -> f64 {
+        self.value
+    }
+
+    /// Highest value ever set.
+    pub fn peak(&self) -> f64 {
+        self.peak
+    }
+
+    /// Time-weighted average over `[start, now]`.
+    pub fn average(&self, now: SimTime) -> f64 {
+        let total = now.since(self.start).as_secs_f64();
+        if total <= 0.0 {
+            return self.value;
+        }
+        let pending = self.value * now.since(self.last_change).as_secs_f64();
+        (self.weighted_sum + pending) / total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_basics() {
+        let mut m = Moments::new();
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            m.record(x);
+        }
+        assert_eq!(m.count(), 4);
+        assert!((m.mean() - 2.5).abs() < 1e-12);
+        assert!((m.variance() - 1.25).abs() < 1e-12);
+        assert_eq!(m.min(), 1.0);
+        assert_eq!(m.max(), 4.0);
+    }
+
+    #[test]
+    fn moments_empty() {
+        let m = Moments::new();
+        assert_eq!(m.mean(), 0.0);
+        assert_eq!(m.variance(), 0.0);
+        assert_eq!(m.min(), 0.0);
+        assert_eq!(m.max(), 0.0);
+    }
+
+    #[test]
+    fn moments_merge_matches_sequential() {
+        let xs: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 10.0).collect();
+        let mut all = Moments::new();
+        for &x in &xs {
+            all.record(x);
+        }
+        let mut a = Moments::new();
+        let mut b = Moments::new();
+        for &x in &xs[..37] {
+            a.record(x);
+        }
+        for &x in &xs[37..] {
+            b.record(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), all.count());
+        assert!((a.mean() - all.mean()).abs() < 1e-9);
+        assert!((a.variance() - all.variance()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let mut h = DurationHistogram::new();
+        for ms in 1..=1000u64 {
+            h.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5).nanos();
+        // Within the containing power-of-two bucket of the true median.
+        assert!((256_000_000..=1_024_000_000).contains(&p50), "p50={p50}");
+        assert_eq!(h.quantile(1.0), SimDuration::from_millis(1000));
+        assert!(h.mean().nanos() > 0);
+    }
+
+    #[test]
+    fn histogram_zero_and_empty() {
+        let mut h = DurationHistogram::new();
+        assert_eq!(h.quantile(0.5), SimDuration::ZERO);
+        h.record(SimDuration::ZERO);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), SimDuration::ZERO);
+        assert_eq!(h.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn histogram_merge() {
+        let mut a = DurationHistogram::new();
+        let mut b = DurationHistogram::new();
+        a.record(SimDuration::from_millis(10));
+        b.record(SimDuration::from_millis(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.max(), SimDuration::from_millis(30));
+    }
+
+    #[test]
+    fn gauge_average_is_time_weighted() {
+        let mut g = TimeWeightedGauge::new(SimTime::ZERO, 0.0);
+        g.set(SimTime(1_000_000_000), 10.0); // 0 for 1s
+        g.set(SimTime(3_000_000_000), 0.0); // 10 for 2s
+        let avg = g.average(SimTime(4_000_000_000)); // 0 for 1s
+        assert!((avg - 5.0).abs() < 1e-9, "avg={avg}");
+        assert_eq!(g.peak(), 10.0);
+    }
+
+    #[test]
+    fn gauge_add() {
+        let mut g = TimeWeightedGauge::new(SimTime::ZERO, 1.0);
+        g.add(SimTime(500), 2.0);
+        assert_eq!(g.value(), 3.0);
+        g.add(SimTime(900), -3.0);
+        assert_eq!(g.value(), 0.0);
+    }
+}

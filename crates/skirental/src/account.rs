@@ -1,0 +1,134 @@
+//! Online-vs-optimal cost accounting.
+//!
+//! Tracks, for one key, the cost actually paid by an online rent/buy policy
+//! and compares it against the offline optimum for the realised access
+//! sequence. Used in tests and benchmarks to *measure* competitive ratios
+//! instead of trusting the closed-form analysis.
+
+use crate::classic::Decision;
+use crate::recurring::RecurringSkiRental;
+
+/// Replays a policy over an access sequence, accumulating online cost.
+#[derive(Debug, Clone)]
+pub struct CostAccountant {
+    policy: RecurringSkiRental,
+    accesses: u64,
+    bought: bool,
+    online_cost: f64,
+}
+
+impl CostAccountant {
+    /// Start accounting for one key under `policy`.
+    pub fn new(policy: RecurringSkiRental) -> Self {
+        CostAccountant {
+            policy,
+            accesses: 0,
+            bought: false,
+            online_cost: 0.0,
+        }
+    }
+
+    /// Record one access; the policy decides rent or buy. Returns the
+    /// decision applied to *this* access.
+    pub fn access(&mut self) -> Decision {
+        self.accesses += 1;
+        if self.bought {
+            self.online_cost += self.policy.recurring();
+            return Decision::Buy;
+        }
+        match self.policy.decide(self.accesses) {
+            Decision::Rent => {
+                self.online_cost += self.policy.rent();
+                Decision::Rent
+            }
+            Decision::Buy => {
+                self.bought = true;
+                self.online_cost += self.policy.buy() + self.policy.recurring();
+                Decision::Buy
+            }
+        }
+    }
+
+    /// Total accesses replayed.
+    pub fn accesses(&self) -> u64 {
+        self.accesses
+    }
+
+    /// Whether the item has been bought.
+    pub fn bought(&self) -> bool {
+        self.bought
+    }
+
+    /// Online cost paid so far.
+    pub fn online_cost(&self) -> f64 {
+        self.online_cost
+    }
+
+    /// Offline-optimal cost for the accesses seen so far.
+    pub fn optimal_cost(&self) -> f64 {
+        self.policy.optimal_cost(self.accesses)
+    }
+
+    /// Realised ratio of online to optimal cost (1.0 when no accesses).
+    pub fn realised_ratio(&self) -> f64 {
+        let opt = self.optimal_cost();
+        if opt <= 0.0 {
+            1.0
+        } else {
+            self.online_cost / opt
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pure_renting_matches_optimal_when_short() {
+        let p = RecurringSkiRental::new(1.0, 10.0, 0.0);
+        let mut a = CostAccountant::new(p);
+        for _ in 0..5 {
+            a.access();
+        }
+        assert!(!a.bought());
+        assert_eq!(a.online_cost(), 5.0);
+        assert_eq!(a.optimal_cost(), 5.0);
+        assert_eq!(a.realised_ratio(), 1.0);
+    }
+
+    #[test]
+    fn long_sequences_approach_optimal() {
+        let p = RecurringSkiRental::new(1.0, 10.0, 0.1);
+        let mut a = CostAccountant::new(p);
+        for _ in 0..100_000 {
+            a.access();
+        }
+        assert!(a.bought());
+        // Amortized over many uses the ratio tends to 1.
+        assert!(a.realised_ratio() < 1.01, "ratio={}", a.realised_ratio());
+    }
+
+    proptest! {
+        #[test]
+        fn realised_ratio_never_exceeds_bound(
+            rent in 0.01f64..20.0,
+            buy in 0.0f64..200.0,
+            frac in 0.0f64..1.5,
+            m in 1u64..5000,
+        ) {
+            let p = RecurringSkiRental::new(rent, buy, rent * frac);
+            let bound = p.competitive_ratio();
+            let mut a = CostAccountant::new(p);
+            for _ in 0..m {
+                a.access();
+            }
+            // Slack of one rent covers integer rounding of the threshold.
+            prop_assert!(
+                a.online_cost() <= bound * a.optimal_cost() + rent + 1e-6,
+                "online={} opt={} bound={bound}", a.online_cost(), a.optimal_cost()
+            );
+        }
+    }
+}

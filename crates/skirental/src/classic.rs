@@ -1,0 +1,133 @@
+//! The classical ski-rental problem (Karlin et al., "Competitive snoopy
+//! caching").
+//!
+//! Rent at cost `r` per use, or buy once at cost `b`. The online strategy —
+//! rent for the first `⌈b/r⌉` uses, then buy — pays at most twice the offline
+//! optimum.
+
+/// Decision returned by a ski-rental policy for the *next* use of an item.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// Keep renting (issue a compute request).
+    Rent,
+    /// Buy (fetch and cache the item).
+    Buy,
+}
+
+/// The classical ski-rental policy.
+#[derive(Debug, Clone, Copy)]
+pub struct ClassicSkiRental {
+    rent: f64,
+    buy: f64,
+}
+
+impl ClassicSkiRental {
+    /// Create a policy with per-use rent cost `rent` and one-off buy cost
+    /// `buy`. Costs are in arbitrary (but consistent) time units.
+    ///
+    /// # Panics
+    /// Panics if either cost is non-finite or `rent <= 0`.
+    pub fn new(rent: f64, buy: f64) -> Self {
+        assert!(rent.is_finite() && buy.is_finite(), "costs must be finite");
+        assert!(rent > 0.0, "rent must be positive");
+        assert!(buy >= 0.0, "buy must be non-negative");
+        ClassicSkiRental { rent, buy }
+    }
+
+    /// The break-even number of uses `b/r`: rent while the use count is
+    /// at most this, then buy.
+    pub fn threshold(&self) -> f64 {
+        self.buy / self.rent
+    }
+
+    /// Decide for an item that has been used `count` times so far
+    /// (including the current use).
+    pub fn decide(&self, count: u64) -> Decision {
+        if (count as f64) <= self.threshold() {
+            Decision::Rent
+        } else {
+            Decision::Buy
+        }
+    }
+
+    /// Worst-case ratio of this policy's cost to the offline optimum: 2.
+    pub fn competitive_ratio(&self) -> f64 {
+        2.0
+    }
+
+    /// Cost paid by this policy if the item ends up used `m` times total.
+    pub fn online_cost(&self, m: u64) -> f64 {
+        let thr = self.threshold().floor() as u64;
+        if m <= thr {
+            self.rent * m as f64
+        } else {
+            self.rent * thr as f64 + self.buy
+        }
+    }
+
+    /// Cost of the offline optimum for `m` total uses: `min(r·m, b)`.
+    pub fn optimal_cost(&self, m: u64) -> f64 {
+        (self.rent * m as f64).min(self.buy)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rents_until_threshold_then_buys() {
+        let p = ClassicSkiRental::new(1.0, 5.0);
+        for c in 1..=5 {
+            assert_eq!(p.decide(c), Decision::Rent, "count {c}");
+        }
+        assert_eq!(p.decide(6), Decision::Buy);
+    }
+
+    #[test]
+    fn free_purchase_buys_after_first_use() {
+        let p = ClassicSkiRental::new(1.0, 0.0);
+        assert_eq!(p.decide(1), Decision::Buy);
+    }
+
+    #[test]
+    fn online_cost_never_exceeds_twice_optimal() {
+        let p = ClassicSkiRental::new(2.0, 11.0);
+        for m in 0..100 {
+            let online = p.online_cost(m);
+            let opt = p.optimal_cost(m);
+            assert!(online <= 2.0 * opt + 1e-9, "m={m} online={online} opt={opt}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rent must be positive")]
+    fn zero_rent_rejected() {
+        let _ = ClassicSkiRental::new(0.0, 1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn competitive_ratio_holds(rent in 0.01f64..100.0, buy in 0.0f64..1000.0, m in 0u64..10_000) {
+            let p = ClassicSkiRental::new(rent, buy);
+            let online = p.online_cost(m);
+            let opt = p.optimal_cost(m);
+            prop_assert!(online <= p.competitive_ratio() * opt + rent + 1e-6,
+                "online={online} opt={opt}");
+        }
+
+        #[test]
+        fn decision_is_monotone(rent in 0.01f64..100.0, buy in 0.0f64..1000.0) {
+            // Once the policy says Buy it never reverts to Rent.
+            let p = ClassicSkiRental::new(rent, buy);
+            let mut bought = false;
+            for c in 1..2000u64 {
+                match p.decide(c) {
+                    Decision::Buy => bought = true,
+                    Decision::Rent => prop_assert!(!bought, "reverted to rent at count {c}"),
+                }
+            }
+        }
+    }
+}

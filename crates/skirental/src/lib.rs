@@ -1,0 +1,25 @@
+//! # jl-skirental — online rent-or-buy policies
+//!
+//! The decision core of the paper: choosing, per join key, between *compute
+//! requests* (rent — ship the work to the data node) and *fetching + caching*
+//! (buy — pay once to bring the value local, then pay a smaller recurring
+//! cost per use).
+//!
+//! * [`classic::ClassicSkiRental`] — the textbook 2-competitive policy.
+//! * [`recurring::RecurringSkiRental`] — the paper's extension with a
+//!   recurring post-purchase cost and `2 − br/r` competitive ratio (§4.2.1).
+//! * [`updates::UpdateAwareCounter`] — access counting that resets when the
+//!   stored item changes (§4.2.3).
+//! * [`account::CostAccountant`] — measures realised online/offline ratios.
+
+#![warn(missing_docs)]
+
+pub mod account;
+pub mod classic;
+pub mod recurring;
+pub mod updates;
+
+pub use account::CostAccountant;
+pub use classic::{ClassicSkiRental, Decision};
+pub use recurring::RecurringSkiRental;
+pub use updates::UpdateAwareCounter;

@@ -1,0 +1,197 @@
+//! Extended ski-rental with a recurring cost after buying (paper §4.2.1).
+//!
+//! After "buying" (caching) an item, each further use still costs `br`
+//! (fetch from cache + local UDF execution). Renting stays optimal while
+//! `r·m ≤ b + br·m`, so the buy point is `M = b / (r − br)` when `r > br`;
+//! if `r ≤ br` the item is never bought. The worst-case competitive ratio is
+//! `2 − br/r`.
+
+use crate::classic::Decision;
+
+/// Ski-rental with recurring post-purchase cost.
+#[derive(Debug, Clone, Copy)]
+pub struct RecurringSkiRental {
+    rent: f64,
+    buy: f64,
+    recurring: f64,
+}
+
+impl RecurringSkiRental {
+    /// Create a policy: `rent` per use before buying, `buy` once, and
+    /// `recurring` per use after buying.
+    ///
+    /// # Panics
+    /// Panics on non-finite costs, `rent <= 0`, or negative `buy`/`recurring`.
+    pub fn new(rent: f64, buy: f64, recurring: f64) -> Self {
+        assert!(
+            rent.is_finite() && buy.is_finite() && recurring.is_finite(),
+            "costs must be finite"
+        );
+        assert!(rent > 0.0, "rent must be positive");
+        assert!(buy >= 0.0 && recurring >= 0.0, "costs must be non-negative");
+        RecurringSkiRental {
+            rent,
+            buy,
+            recurring,
+        }
+    }
+
+    /// Per-use rent cost.
+    pub fn rent(&self) -> f64 {
+        self.rent
+    }
+
+    /// One-off buy cost.
+    pub fn buy(&self) -> f64 {
+        self.buy
+    }
+
+    /// Per-use recurring cost after buying.
+    pub fn recurring(&self) -> f64 {
+        self.recurring
+    }
+
+    /// The buy point `M = b/(r − br)`, or `None` when renting is always at
+    /// least as cheap (`r ≤ br`).
+    pub fn threshold(&self) -> Option<f64> {
+        if self.rent > self.recurring {
+            Some(self.buy / (self.rent - self.recurring))
+        } else {
+            None
+        }
+    }
+
+    /// Decide for an item used `count` times so far (including this use),
+    /// mirroring Algorithm 1's `counter(k) ≤ b/(r − br)` test.
+    pub fn decide(&self, count: u64) -> Decision {
+        match self.threshold() {
+            None => Decision::Rent,
+            Some(m) => {
+                if (count as f64) <= m {
+                    Decision::Rent
+                } else {
+                    Decision::Buy
+                }
+            }
+        }
+    }
+
+    /// Worst-case ratio against the offline optimum: `2 − br/r`
+    /// (2 when `br = 0`, approaching 1 as `br → r`).
+    pub fn competitive_ratio(&self) -> f64 {
+        if self.rent > self.recurring {
+            2.0 - self.recurring / self.rent
+        } else {
+            1.0 // always-rent is offline-optimal when r ≤ br
+        }
+    }
+
+    /// Cost paid by this policy over `m` total uses.
+    pub fn online_cost(&self, m: u64) -> f64 {
+        match self.threshold() {
+            None => self.rent * m as f64,
+            Some(thr) => {
+                let rent_uses = (thr.floor() as u64).min(m);
+                let mut cost = self.rent * rent_uses as f64;
+                if m > rent_uses {
+                    cost += self.buy + self.recurring * (m - rent_uses) as f64;
+                }
+                cost
+            }
+        }
+    }
+
+    /// Offline optimum over `m` uses: `min(r·m, b + br·m)`.
+    pub fn optimal_cost(&self, m: u64) -> f64 {
+        let m = m as f64;
+        (self.rent * m).min(self.buy + self.recurring * m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn threshold_matches_formula() {
+        let p = RecurringSkiRental::new(4.0, 12.0, 1.0);
+        // M = 12 / (4-1) = 4.
+        assert_eq!(p.threshold(), Some(4.0));
+        assert_eq!(p.decide(4), Decision::Rent);
+        assert_eq!(p.decide(5), Decision::Buy);
+    }
+
+    #[test]
+    fn never_buys_when_recurring_dominates() {
+        let p = RecurringSkiRental::new(1.0, 10.0, 1.5);
+        assert_eq!(p.threshold(), None);
+        assert_eq!(p.decide(1_000_000), Decision::Rent);
+        assert_eq!(p.competitive_ratio(), 1.0);
+    }
+
+    #[test]
+    fn equal_costs_never_buy() {
+        // r == br: buying can never pay back the purchase.
+        let p = RecurringSkiRental::new(2.0, 1.0, 2.0);
+        assert_eq!(p.threshold(), None);
+    }
+
+    #[test]
+    fn ratio_reduces_to_classic_when_no_recurring() {
+        let p = RecurringSkiRental::new(3.0, 9.0, 0.0);
+        assert_eq!(p.competitive_ratio(), 2.0);
+        assert_eq!(p.threshold(), Some(3.0));
+    }
+
+    #[test]
+    fn worst_case_ratio_at_buy_point() {
+        // Buy at M then never use again: cost = r·M + b, optimal = r·M.
+        let p = RecurringSkiRental::new(4.0, 12.0, 1.0);
+        let m = 5; // one past threshold 4: rents 4, buys, 1 recurring use
+        let online = p.online_cost(m);
+        assert!((online - (4.0 * 4.0 + 12.0 + 1.0)).abs() < 1e-9);
+    }
+
+    proptest! {
+        #[test]
+        fn competitive_ratio_holds(
+            rent in 0.01f64..50.0,
+            buy in 0.0f64..500.0,
+            frac in 0.0f64..2.0,
+            m in 0u64..20_000,
+        ) {
+            let recurring = rent * frac;
+            let p = RecurringSkiRental::new(rent, buy, recurring);
+            let online = p.online_cost(m);
+            let opt = p.optimal_cost(m);
+            // One extra rent of slack covers the integer threshold rounding.
+            prop_assert!(
+                online <= p.competitive_ratio() * opt + rent + 1e-6,
+                "online={online} opt={opt} ratio={}", p.competitive_ratio()
+            );
+        }
+
+        #[test]
+        fn online_never_cheaper_than_optimal(
+            rent in 0.01f64..50.0,
+            buy in 0.0f64..500.0,
+            frac in 0.0f64..2.0,
+            m in 0u64..20_000,
+        ) {
+            let p = RecurringSkiRental::new(rent, buy, rent * frac);
+            prop_assert!(p.online_cost(m) + 1e-9 >= p.optimal_cost(m));
+        }
+
+        #[test]
+        fn ratio_bounded_between_one_and_two(
+            rent in 0.01f64..50.0,
+            buy in 0.0f64..500.0,
+            frac in 0.0f64..2.0,
+        ) {
+            let p = RecurringSkiRental::new(rent, buy, rent * frac);
+            let cr = p.competitive_ratio();
+            prop_assert!((1.0..=2.0).contains(&cr));
+        }
+    }
+}

@@ -1,0 +1,125 @@
+//! Update-aware access counting (paper §4.2.3).
+//!
+//! When a stored item is updated, a cached copy becomes useless and a rented
+//! item should be treated as new: its access count is reset so that
+//! frequently-updated items are not bought. The paper's guarantee
+//! (cost ≤ (2 − br/r)·optimal) holds even without the reset; the reset only
+//! avoids wasted purchases.
+//!
+//! Two notification paths are modelled:
+//! * explicit invalidation (the data node notifies nodes that cached the key);
+//! * a piggybacked last-update timestamp on every compute-request response,
+//!   which catches updates the node never saw a notification for.
+
+/// Per-key access counter that resets when the underlying item changes.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UpdateAwareCounter {
+    count: u64,
+    /// Last-update timestamp of the stored item, as last observed.
+    seen_version: u64,
+    resets: u64,
+}
+
+impl UpdateAwareCounter {
+    /// New counter with zero accesses.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record an access. `item_version` is the item's last-update timestamp
+    /// piggybacked on the response (0 if unknown). If the version moved since
+    /// the previous access, the count restarts at 1 — this access is the
+    /// first for the "new" item.
+    pub fn on_access(&mut self, item_version: u64) -> u64 {
+        if item_version > self.seen_version {
+            if self.count > 0 {
+                self.resets += 1;
+            }
+            self.seen_version = item_version;
+            self.count = 1;
+        } else {
+            self.count += 1;
+        }
+        self.count
+    }
+
+    /// Record an explicit update notification (broadcast or targeted).
+    pub fn on_update(&mut self, item_version: u64) {
+        if item_version > self.seen_version {
+            self.seen_version = item_version;
+            if self.count > 0 {
+                self.resets += 1;
+            }
+            self.count = 0;
+        }
+    }
+
+    /// Current access count since the last observed update.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The newest item version this counter has observed.
+    pub fn seen_version(&self) -> u64 {
+        self.seen_version
+    }
+
+    /// How many times the count has been reset by updates.
+    pub fn resets(&self) -> u64 {
+        self.resets
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_accesses() {
+        let mut c = UpdateAwareCounter::new();
+        assert_eq!(c.on_access(0), 1);
+        assert_eq!(c.on_access(0), 2);
+        assert_eq!(c.on_access(0), 3);
+    }
+
+    #[test]
+    fn update_notification_resets() {
+        let mut c = UpdateAwareCounter::new();
+        c.on_access(1);
+        c.on_access(1);
+        c.on_update(5);
+        assert_eq!(c.count(), 0);
+        assert_eq!(c.resets(), 1);
+        assert_eq!(c.on_access(5), 1);
+    }
+
+    #[test]
+    fn piggybacked_version_resets() {
+        let mut c = UpdateAwareCounter::new();
+        c.on_access(3);
+        c.on_access(3);
+        // Item updated to version 7 between requests; next response carries it.
+        assert_eq!(c.on_access(7), 1);
+        assert_eq!(c.resets(), 1);
+    }
+
+    #[test]
+    fn stale_version_does_not_reset() {
+        let mut c = UpdateAwareCounter::new();
+        c.on_access(9);
+        c.on_access(9);
+        c.on_update(4); // older than what we have seen
+        assert_eq!(c.count(), 2);
+        assert_eq!(c.on_access(2), 3); // stale piggyback ignored
+    }
+
+    #[test]
+    fn repeated_same_version_updates_reset_once() {
+        let mut c = UpdateAwareCounter::new();
+        c.on_access(1);
+        c.on_update(2);
+        c.on_update(2);
+        c.on_update(2);
+        assert_eq!(c.resets(), 1);
+    }
+}

@@ -1,0 +1,255 @@
+//! The cluster catalog: table descriptors and a builder that bulk-loads
+//! rows into per-server region shards.
+
+use std::sync::Arc;
+
+use crate::key::RowKey;
+use crate::partition::RegionMap;
+use crate::server::{RegionServer, TableId};
+use crate::value::StoredValue;
+
+/// Descriptor of one table.
+#[derive(Debug, Clone)]
+pub struct TableDesc {
+    /// Human-readable name.
+    pub name: String,
+    /// Region layout.
+    pub region_map: RegionMap,
+}
+
+/// The immutable cluster metadata every node shares (HBase's `hbase:meta`).
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: Vec<TableDesc>,
+}
+
+impl Catalog {
+    /// Empty catalog.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a table; returns its id.
+    pub fn add_table(&mut self, name: impl Into<String>, region_map: RegionMap) -> TableId {
+        self.tables.push(TableDesc {
+            name: name.into(),
+            region_map,
+        });
+        self.tables.len() - 1
+    }
+
+    /// Table descriptor.
+    pub fn table(&self, id: TableId) -> &TableDesc {
+        &self.tables[id]
+    }
+
+    /// Resolve a table by name.
+    pub fn table_id(&self, name: &str) -> Option<TableId> {
+        self.tables.iter().position(|t| t.name == name)
+    }
+
+    /// `(region, server)` for a key of a table.
+    pub fn locate(&self, table: TableId, key: &RowKey) -> (usize, usize) {
+        let m = &self.tables[table].region_map;
+        let region = m.region_of(key);
+        (region, m.server_of_region(region))
+    }
+
+    /// Number of tables.
+    pub fn table_count(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+/// Builder for a whole store cluster: catalog + one [`RegionServer`] per
+/// data node, ready to hand to the simulation's data-node actors.
+#[derive(Debug)]
+pub struct StoreCluster {
+    catalog: Catalog,
+    servers: Vec<RegionServer>,
+}
+
+impl StoreCluster {
+    /// Create a cluster with `servers` empty region servers.
+    pub fn new(servers: usize) -> Self {
+        StoreCluster {
+            catalog: Catalog::new(),
+            servers: (0..servers).map(|_| RegionServer::new()).collect(),
+        }
+    }
+
+    /// Register a table.
+    pub fn add_table(&mut self, name: impl Into<String>, region_map: RegionMap) -> TableId {
+        self.catalog.add_table(name, region_map)
+    }
+
+    /// Bulk-load rows into a table, routing each to its region's server.
+    pub fn bulk_load(
+        &mut self,
+        table: TableId,
+        rows: impl IntoIterator<Item = (RowKey, StoredValue)>,
+    ) {
+        for (key, value) in rows {
+            let (region, server) = self.catalog.locate(table, &key);
+            self.servers[server].put(table, region, key, value);
+        }
+    }
+
+    /// Reference lookup straight through the catalog (test oracle: what any
+    /// correct execution must join against).
+    pub fn reference_get(&self, table: TableId, key: &RowKey) -> Option<&StoredValue> {
+        let (region, server) = self.catalog.locate(table, key);
+        self.servers[server]
+            .region(table, region)
+            .and_then(|r| r.get(key))
+    }
+
+    /// The shared catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Number of servers.
+    pub fn server_count(&self) -> usize {
+        self.servers.len()
+    }
+
+    /// Per-server stored bytes (placement-balance inspection).
+    pub fn bytes_per_server(&self) -> Vec<u64> {
+        self.servers.iter().map(RegionServer::bytes).collect()
+    }
+
+    /// Split into the shared catalog and the per-node servers.
+    pub fn into_parts(self) -> (Arc<Catalog>, Vec<RegionServer>) {
+        (Arc::new(self.catalog), self.servers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Partitioning;
+    use jl_simkit::time::SimDuration;
+
+    fn value(n: u64) -> StoredValue {
+        StoredValue::new(n.to_le_bytes().to_vec(), 1, SimDuration::ZERO)
+    }
+
+    fn cluster(servers: usize, regions: usize, keys: u64) -> (StoreCluster, TableId) {
+        let mut c = StoreCluster::new(servers);
+        let t = c.add_table(
+            "models",
+            RegionMap::round_robin(Partitioning::Hash { regions }, servers),
+        );
+        c.bulk_load(t, (0..keys).map(|k| (RowKey::from_u64(k), value(k))));
+        (c, t)
+    }
+
+    #[test]
+    fn bulk_load_routes_every_key_somewhere_findable() {
+        let (c, t) = cluster(4, 16, 1000);
+        for k in 0..1000u64 {
+            let v = c.reference_get(t, &RowKey::from_u64(k)).expect("key lost");
+            assert_eq!(v.data.as_ref(), &k.to_le_bytes());
+        }
+    }
+
+    #[test]
+    fn placement_is_roughly_balanced() {
+        let (c, _) = cluster(4, 16, 8000);
+        let bytes = c.bytes_per_server();
+        let total: u64 = bytes.iter().sum();
+        for (s, &b) in bytes.iter().enumerate() {
+            let share = b as f64 / total as f64;
+            assert!(
+                (0.15..0.35).contains(&share),
+                "server {s} holds {share:.2} of the data"
+            );
+        }
+    }
+
+    #[test]
+    fn catalog_lookup_by_name() {
+        let (c, t) = cluster(2, 4, 10);
+        assert_eq!(c.catalog().table_id("models"), Some(t));
+        assert_eq!(c.catalog().table_id("nope"), None);
+        assert_eq!(c.catalog().table(t).name, "models");
+        assert_eq!(c.catalog().table_count(), 1);
+    }
+
+    #[test]
+    fn into_parts_preserves_data() {
+        let (c, t) = cluster(3, 9, 100);
+        let (catalog, servers) = c.into_parts();
+        let key = RowKey::from_u64(42);
+        let (region, server) = catalog.locate(t, &key);
+        let v = servers[server].region(t, region).unwrap().get(&key).unwrap();
+        assert_eq!(v.data.as_ref(), &42u64.to_le_bytes());
+        let total_rows: usize = servers.iter().map(RegionServer::row_count).sum();
+        assert_eq!(total_rows, 100);
+    }
+
+    #[test]
+    fn multiple_tables_coexist() {
+        let mut c = StoreCluster::new(2);
+        let t1 = c.add_table("a", RegionMap::round_robin(Partitioning::Hash { regions: 2 }, 2));
+        let t2 = c.add_table("b", RegionMap::round_robin(Partitioning::Hash { regions: 2 }, 2));
+        c.bulk_load(t1, [(RowKey::from_u64(1), value(10))]);
+        c.bulk_load(t2, [(RowKey::from_u64(1), value(20))]);
+        assert_eq!(
+            c.reference_get(t1, &RowKey::from_u64(1)).unwrap().data.as_ref(),
+            &10u64.to_le_bytes()
+        );
+        assert_eq!(
+            c.reference_get(t2, &RowKey::from_u64(1)).unwrap().data.as_ref(),
+            &20u64.to_le_bytes()
+        );
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::partition::Partitioning;
+    use crate::value::StoredValue;
+    use jl_simkit::time::SimDuration;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    proptest! {
+        /// The partitioned store behaves exactly like a flat map under any
+        /// load set, for both partitioning schemes.
+        #[test]
+        fn store_matches_flat_map_model(
+            entries in proptest::collection::vec((0u64..500, 1usize..64), 1..300),
+            servers in 1usize..8,
+            use_range in any::<bool>(),
+        ) {
+            let part = if use_range {
+                Partitioning::range_u64(servers * 3, 500)
+            } else {
+                Partitioning::Hash { regions: servers * 3 }
+            };
+            let mut cluster = StoreCluster::new(servers);
+            let t = cluster.add_table("t", RegionMap::round_robin(part, servers));
+            let mut model: HashMap<u64, usize> = HashMap::new();
+            for (k, size) in &entries {
+                model.insert(*k, *size); // last write wins
+            }
+            cluster.bulk_load(
+                t,
+                entries.iter().map(|(k, size)| {
+                    (
+                        RowKey::from_u64(*k),
+                        StoredValue::new(vec![(*k % 251) as u8; *size], 1, SimDuration::ZERO),
+                    )
+                }),
+            );
+            for (k, size) in &model {
+                let v = cluster.reference_get(t, &RowKey::from_u64(*k)).expect("present");
+                prop_assert_eq!(v.data.len(), *size);
+            }
+            prop_assert!(cluster.reference_get(t, &RowKey::from_u64(1000)).is_none());
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Row keys.
+//!
+//! Keys are opaque byte strings ordered lexicographically (HBase semantics).
+//! Helpers cover the two encodings the workloads use: big-endian `u64`
+//! (synthetic keys — big-endian so numeric and lexicographic order agree)
+//! and UTF-8 strings (annotation tokens).
+
+use bytes::Bytes;
+use std::fmt;
+
+/// An ordered, opaque row key.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RowKey(Bytes);
+
+impl RowKey {
+    /// Wrap raw bytes.
+    pub fn from_bytes(b: impl Into<Bytes>) -> Self {
+        RowKey(b.into())
+    }
+
+    /// Encode a `u64` big-endian (order-preserving).
+    pub fn from_u64(v: u64) -> Self {
+        RowKey(Bytes::copy_from_slice(&v.to_be_bytes()))
+    }
+
+    /// Encode a string key.
+    pub fn from_str_key(s: &str) -> Self {
+        RowKey(Bytes::copy_from_slice(s.as_bytes()))
+    }
+
+    /// Decode a key produced by [`RowKey::from_u64`].
+    pub fn as_u64(&self) -> Option<u64> {
+        let b: &[u8] = &self.0;
+        b.try_into().ok().map(u64::from_be_bytes)
+    }
+
+    /// Raw bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Key length in bytes (the `sk` of the cost model).
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty key.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// A stable 64-bit hash (FNV-1a), used for hash partitioning so that
+    /// placement does not depend on the process's `DefaultHasher` seed.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in self.as_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h
+    }
+}
+
+impl fmt::Display for RowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.as_u64() {
+            Some(v) => write!(f, "k{v}"),
+            None => match std::str::from_utf8(self.as_bytes()) {
+                Ok(s) => write!(f, "{s}"),
+                Err(_) => write!(f, "0x{}", hex(self.as_bytes())),
+            },
+        }
+    }
+}
+
+fn hex(b: &[u8]) -> String {
+    b.iter().map(|x| format!("{x:02x}")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn u64_roundtrip_preserves_order() {
+        let a = RowKey::from_u64(3);
+        let b = RowKey::from_u64(300);
+        let c = RowKey::from_u64(70_000);
+        assert!(a < b && b < c);
+        assert_eq!(b.as_u64(), Some(300));
+    }
+
+    #[test]
+    fn string_keys() {
+        let k = RowKey::from_str_key("michael jordan");
+        assert_eq!(k.len(), 14);
+        assert_eq!(k.as_u64(), None);
+        assert_eq!(format!("{k}"), "michael jordan");
+    }
+
+    #[test]
+    fn stable_hash_is_deterministic_and_spreads() {
+        let h1 = RowKey::from_u64(1).stable_hash();
+        let h2 = RowKey::from_u64(2).stable_hash();
+        assert_ne!(h1, h2);
+        assert_eq!(h1, RowKey::from_u64(1).stable_hash());
+    }
+
+    #[test]
+    fn display_u64() {
+        assert_eq!(format!("{}", RowKey::from_u64(42)), "k42");
+    }
+}

@@ -1,0 +1,49 @@
+//! # jl-store — an HBase-like parallel data store
+//!
+//! The substrate holding the indexed build relation: tables split into
+//! regions, regions placed on region servers (one per data node), with
+//! server-side UDF execution (coprocessor endpoints) and targeted update
+//! notifications.
+//!
+//! The **data plane is real** — actual bytes are stored, fetched and run
+//! through UDFs, so tests can check that every execution strategy produces
+//! *identical join output*. The **time plane is simulated** — the data-node
+//! actor in `jl-engine` charges disk service per row fetch and CPU per UDF
+//! invocation against its `jl-simkit` resources.
+//!
+//! ```
+//! use jl_store::{StoreCluster, RegionMap, Partitioning, RowKey, StoredValue};
+//! use jl_simkit::time::SimDuration;
+//!
+//! let mut cluster = StoreCluster::new(4);
+//! let table = cluster.add_table(
+//!     "models",
+//!     RegionMap::round_robin(Partitioning::Hash { regions: 16 }, 4),
+//! );
+//! cluster.bulk_load(table, (0..100u64).map(|k| {
+//!     (RowKey::from_u64(k), StoredValue::new(vec![0u8; 64], 1, SimDuration::from_millis(1)))
+//! }));
+//! assert!(cluster.reference_get(table, &RowKey::from_u64(7)).is_some());
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod blockcache;
+pub mod catalog;
+pub mod key;
+pub mod notify;
+pub mod partition;
+pub mod region;
+pub mod server;
+pub mod udf;
+pub mod value;
+
+pub use blockcache::BlockCache;
+pub use catalog::{Catalog, StoreCluster, TableDesc};
+pub use key::RowKey;
+pub use notify::InterestTracker;
+pub use partition::{Partitioning, RegionMap};
+pub use region::Region;
+pub use server::{RegionServer, ServerStats, TableId};
+pub use udf::{DigestUdf, IdentityUdf, ProjectUdf, Udf, UdfId, UdfRegistry};
+pub use value::StoredValue;

@@ -1,0 +1,106 @@
+//! Update-notification bookkeeping (§4.2.3).
+//!
+//! Each data node records which compute nodes have *fetched and cached*
+//! each of its keys. On an update it notifies only those nodes (targeted
+//! invalidation), avoiding the broadcast flood the paper warns about. Nodes
+//! that never cached the key learn about the update from the last-update
+//! timestamp piggybacked on compute-request responses.
+
+use std::collections::{HashMap, HashSet};
+
+use crate::key::RowKey;
+use crate::server::TableId;
+
+/// Tracks, per key, the compute nodes holding a cached copy.
+#[derive(Debug, Clone, Default)]
+pub struct InterestTracker {
+    interest: HashMap<(TableId, RowKey), HashSet<usize>>,
+}
+
+impl InterestTracker {
+    /// New, empty tracker.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that `compute_node` cached `(table, key)`.
+    pub fn record_cached(&mut self, table: TableId, key: RowKey, compute_node: usize) {
+        self.interest
+            .entry((table, key))
+            .or_default()
+            .insert(compute_node);
+    }
+
+    /// A compute node dropped its copy (eviction without re-fetch).
+    pub fn record_dropped(&mut self, table: TableId, key: &RowKey, compute_node: usize) {
+        if let Some(set) = self.interest.get_mut(&(table, key.clone())) {
+            set.remove(&compute_node);
+            if set.is_empty() {
+                self.interest.remove(&(table, key.clone()));
+            }
+        }
+    }
+
+    /// The key was updated: return the compute nodes to notify and clear
+    /// the interest set (they must re-fetch to re-register).
+    pub fn take_interested(&mut self, table: TableId, key: &RowKey) -> Vec<usize> {
+        let mut nodes: Vec<usize> = self
+            .interest
+            .remove(&(table, key.clone()))
+            .map(|s| s.into_iter().collect())
+            .unwrap_or_default();
+        nodes.sort_unstable(); // deterministic notification order
+        nodes
+    }
+
+    /// Nodes currently registered for a key (inspection).
+    pub fn interested(&self, table: TableId, key: &RowKey) -> usize {
+        self.interest
+            .get(&(table, key.clone()))
+            .map(HashSet::len)
+            .unwrap_or(0)
+    }
+
+    /// Number of tracked keys.
+    pub fn tracked_keys(&self) -> usize {
+        self.interest.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_takes_interest() {
+        let mut t = InterestTracker::new();
+        let k = RowKey::from_u64(5);
+        t.record_cached(0, k.clone(), 3);
+        t.record_cached(0, k.clone(), 1);
+        t.record_cached(0, k.clone(), 3); // duplicate
+        assert_eq!(t.interested(0, &k), 2);
+        assert_eq!(t.take_interested(0, &k), vec![1, 3]);
+        // Cleared after take.
+        assert_eq!(t.take_interested(0, &k), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn tables_are_independent() {
+        let mut t = InterestTracker::new();
+        let k = RowKey::from_u64(5);
+        t.record_cached(0, k.clone(), 1);
+        t.record_cached(1, k.clone(), 2);
+        assert_eq!(t.take_interested(0, &k), vec![1]);
+        assert_eq!(t.interested(1, &k), 1);
+    }
+
+    #[test]
+    fn dropped_interest_is_removed() {
+        let mut t = InterestTracker::new();
+        let k = RowKey::from_u64(9);
+        t.record_cached(0, k.clone(), 4);
+        t.record_dropped(0, &k, 4);
+        assert_eq!(t.tracked_keys(), 0);
+        assert_eq!(t.take_interested(0, &k), Vec::<usize>::new());
+    }
+}

@@ -1,0 +1,230 @@
+//! Table partitioning and region placement.
+//!
+//! A table is split into regions; each region lives on one region server
+//! (data node). Two schemes are provided:
+//!
+//! * **Hash** — region = stable_hash(key) mod n. Balanced regardless of key
+//!   distribution (equivalent to salting keys in HBase); the default for the
+//!   synthetic workloads, where there is "no skew in the data stored" —
+//!   skew comes only from *access* frequency.
+//! * **Range** — lexicographic split points, HBase's native scheme; used by
+//!   the TPC-DS-lite tables where range scans matter.
+
+use crate::key::RowKey;
+
+/// How keys map to regions.
+#[derive(Debug, Clone)]
+pub enum Partitioning {
+    /// `stable_hash(key) % regions`.
+    Hash {
+        /// Number of regions.
+        regions: usize,
+    },
+    /// Lexicographic ranges: region `i` holds keys in
+    /// `[splits[i-1], splits[i])`, with open ends.
+    Range {
+        /// Sorted split points; `splits.len() + 1` regions.
+        splits: Vec<RowKey>,
+    },
+}
+
+impl Partitioning {
+    /// Number of regions under this scheme.
+    pub fn region_count(&self) -> usize {
+        match self {
+            Partitioning::Hash { regions } => *regions,
+            Partitioning::Range { splits } => splits.len() + 1,
+        }
+    }
+
+    /// The region index for a key.
+    pub fn region_of(&self, key: &RowKey) -> usize {
+        match self {
+            Partitioning::Hash { regions } => (key.stable_hash() % *regions as u64) as usize,
+            Partitioning::Range { splits } => {
+                splits.partition_point(|s| s <= key)
+            }
+        }
+    }
+
+    /// Evenly-spaced `u64` range splits for `regions` regions over
+    /// `[0, max_key)` — convenient for synthetic integer keyspaces.
+    pub fn range_u64(regions: usize, max_key: u64) -> Partitioning {
+        assert!(regions >= 1);
+        let step = (max_key / regions as u64).max(1);
+        let splits = (1..regions as u64).map(|i| RowKey::from_u64(i * step)).collect();
+        Partitioning::Range { splits }
+    }
+
+    /// Range partitioning that isolates each of the first `head` keys in
+    /// its own region, with `tail_regions` evenly covering the rest. For
+    /// tables where low key ids are disproportionately large or hot (the
+    /// annotation model store), this is what HBase's region splitting and
+    /// balancer converge to — one region per giant row group — and it
+    /// upholds the paper's §3.1 assumption that stored data is placed so
+    /// long-term load is balanced.
+    pub fn head_spread(head: u64, tail_regions: usize, max_key: u64) -> Partitioning {
+        assert!(tail_regions >= 1 && max_key > head);
+        let mut splits: Vec<RowKey> = (1..=head).map(RowKey::from_u64).collect();
+        let step = ((max_key - head) / tail_regions as u64).max(1);
+        for i in 1..tail_regions as u64 {
+            splits.push(RowKey::from_u64(head + i * step));
+        }
+        Partitioning::Range { splits }
+    }
+}
+
+/// Static assignment of a table's regions to region servers.
+#[derive(Debug, Clone)]
+pub struct RegionMap {
+    partitioning: Partitioning,
+    /// `region -> server` (index into the data-node list).
+    assignment: Vec<usize>,
+}
+
+impl RegionMap {
+    /// Round-robin the regions across `servers` servers — what the HBase
+    /// balancer converges to for equal-sized regions.
+    pub fn round_robin(partitioning: Partitioning, servers: usize) -> Self {
+        assert!(servers > 0, "need at least one region server");
+        let n = partitioning.region_count();
+        let assignment = (0..n).map(|r| r % servers).collect();
+        RegionMap {
+            partitioning,
+            assignment,
+        }
+    }
+
+    /// Explicit assignment (for tests and skewed-placement experiments).
+    pub fn explicit(partitioning: Partitioning, assignment: Vec<usize>) -> Self {
+        assert_eq!(partitioning.region_count(), assignment.len());
+        RegionMap {
+            partitioning,
+            assignment,
+        }
+    }
+
+    /// The region holding `key`.
+    pub fn region_of(&self, key: &RowKey) -> usize {
+        self.partitioning.region_of(key)
+    }
+
+    /// The server hosting `key`.
+    pub fn server_of(&self, key: &RowKey) -> usize {
+        self.assignment[self.region_of(key)]
+    }
+
+    /// The server hosting region `r`.
+    pub fn server_of_region(&self, r: usize) -> usize {
+        self.assignment[r]
+    }
+
+    /// Number of regions.
+    pub fn region_count(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Regions hosted by `server`.
+    pub fn regions_on(&self, server: usize) -> Vec<usize> {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(|(_, &s)| s == server)
+            .map(|(r, _)| r)
+            .collect()
+    }
+
+    /// The partitioning scheme.
+    pub fn partitioning(&self) -> &Partitioning {
+        &self.partitioning
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn hash_partitioning_covers_all_regions() {
+        let p = Partitioning::Hash { regions: 10 };
+        let mut seen = [false; 10];
+        for k in 0..1000u64 {
+            let r = p.region_of(&RowKey::from_u64(k));
+            assert!(r < 10);
+            seen[r] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "some region never hit");
+    }
+
+    #[test]
+    fn range_partitioning_respects_splits() {
+        let p = Partitioning::Range {
+            splits: vec![RowKey::from_u64(100), RowKey::from_u64(200)],
+        };
+        assert_eq!(p.region_count(), 3);
+        assert_eq!(p.region_of(&RowKey::from_u64(5)), 0);
+        assert_eq!(p.region_of(&RowKey::from_u64(100)), 1);
+        assert_eq!(p.region_of(&RowKey::from_u64(199)), 1);
+        assert_eq!(p.region_of(&RowKey::from_u64(200)), 2);
+        assert_eq!(p.region_of(&RowKey::from_u64(u64::MAX)), 2);
+    }
+
+    #[test]
+    fn range_u64_builder() {
+        let p = Partitioning::range_u64(4, 1000);
+        assert_eq!(p.region_count(), 4);
+        assert_eq!(p.region_of(&RowKey::from_u64(0)), 0);
+        assert_eq!(p.region_of(&RowKey::from_u64(999)), 3);
+    }
+
+    #[test]
+    fn head_spread_isolates_hot_head() {
+        let p = Partitioning::head_spread(8, 4, 1000);
+        assert_eq!(p.region_count(), 12);
+        // Each head key gets its own region.
+        for k in 0..8u64 {
+            assert_eq!(p.region_of(&RowKey::from_u64(k)), k as usize);
+        }
+        // Tail keys share the remaining regions.
+        assert!(p.region_of(&RowKey::from_u64(999)) >= 8);
+    }
+
+    #[test]
+    fn round_robin_balances_regions() {
+        let m = RegionMap::round_robin(Partitioning::Hash { regions: 12 }, 4);
+        for s in 0..4 {
+            assert_eq!(m.regions_on(s).len(), 3);
+        }
+        assert_eq!(m.server_of_region(5), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one region server")]
+    fn zero_servers_rejected() {
+        let _ = RegionMap::round_robin(Partitioning::Hash { regions: 4 }, 0);
+    }
+
+    proptest! {
+        #[test]
+        fn server_lookup_consistent_with_region_lookup(key in any::<u64>()) {
+            let m = RegionMap::round_robin(Partitioning::Hash { regions: 40 }, 10);
+            let k = RowKey::from_u64(key);
+            prop_assert_eq!(m.server_of(&k), m.server_of_region(m.region_of(&k)));
+        }
+
+        #[test]
+        fn hash_regions_roughly_balanced(n_regions in 2usize..32) {
+            let p = Partitioning::Hash { regions: n_regions };
+            let mut counts = vec![0u32; n_regions];
+            for k in 0..5000u64 {
+                counts[p.region_of(&RowKey::from_u64(k))] += 1;
+            }
+            let expected = 5000.0 / n_regions as f64;
+            for (r, &c) in counts.iter().enumerate() {
+                prop_assert!((f64::from(c)) > expected * 0.5 && (f64::from(c)) < expected * 1.5,
+                    "region {r} has {c} keys, expected ≈{expected}");
+            }
+        }
+    }
+}

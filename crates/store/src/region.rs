@@ -1,0 +1,125 @@
+//! A region: one contiguous (or hash-bucketed) shard of a table's rows.
+
+use std::collections::BTreeMap;
+
+use crate::key::RowKey;
+use crate::value::StoredValue;
+
+/// An in-memory sorted shard of rows. The *data plane* is real (actual
+/// bytes, actual lookups); the *time plane* (disk service time per fetch)
+/// is charged by the owning data node against its simulated disk resource.
+#[derive(Debug, Clone, Default)]
+pub struct Region {
+    rows: BTreeMap<RowKey, StoredValue>,
+    bytes: u64,
+}
+
+impl Region {
+    /// New, empty region.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert or replace a row. Returns the previous value if any.
+    pub fn put(&mut self, key: RowKey, value: StoredValue) -> Option<StoredValue> {
+        self.bytes += value.size();
+        let old = self.rows.insert(key, value);
+        if let Some(ref o) = old {
+            self.bytes -= o.size();
+        }
+        old
+    }
+
+    /// Fetch a row.
+    pub fn get(&self, key: &RowKey) -> Option<&StoredValue> {
+        self.rows.get(key)
+    }
+
+    /// Remove a row.
+    pub fn delete(&mut self, key: &RowKey) -> Option<StoredValue> {
+        let old = self.rows.remove(key);
+        if let Some(ref o) = old {
+            self.bytes -= o.size();
+        }
+        old
+    }
+
+    /// Iterate rows in key order within `[from, to)`; `None` bounds are open.
+    pub fn scan<'a>(
+        &'a self,
+        from: Option<&RowKey>,
+        to: Option<&'a RowKey>,
+    ) -> impl Iterator<Item = (&'a RowKey, &'a StoredValue)> + 'a {
+        let range: Box<dyn Iterator<Item = (&RowKey, &StoredValue)>> = match (from, to) {
+            (Some(f), Some(t)) => Box::new(self.rows.range(f.clone()..t.clone())),
+            (Some(f), None) => Box::new(self.rows.range(f.clone()..)),
+            (None, Some(t)) => Box::new(self.rows.range(..t.clone())),
+            (None, None) => Box::new(self.rows.iter()),
+        };
+        range
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the region holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Total value bytes stored.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jl_simkit::time::SimDuration;
+
+    fn v(data: &[u8]) -> StoredValue {
+        StoredValue::new(data.to_vec(), 1, SimDuration::ZERO)
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let mut r = Region::new();
+        assert!(r.put(RowKey::from_u64(1), v(b"one")).is_none());
+        assert_eq!(r.get(&RowKey::from_u64(1)).unwrap().data.as_ref(), b"one");
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.bytes(), 3);
+        let old = r.delete(&RowKey::from_u64(1)).unwrap();
+        assert_eq!(old.data.as_ref(), b"one");
+        assert!(r.is_empty());
+        assert_eq!(r.bytes(), 0);
+    }
+
+    #[test]
+    fn replace_adjusts_bytes() {
+        let mut r = Region::new();
+        r.put(RowKey::from_u64(1), v(b"aaaa"));
+        r.put(RowKey::from_u64(1), v(b"bb"));
+        assert_eq!(r.bytes(), 2);
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn scan_ranges() {
+        let mut r = Region::new();
+        for k in [1u64, 3, 5, 7] {
+            r.put(RowKey::from_u64(k), v(b"x"));
+        }
+        let all: Vec<u64> = r.scan(None, None).map(|(k, _)| k.as_u64().unwrap()).collect();
+        assert_eq!(all, vec![1, 3, 5, 7]);
+        let from3 = RowKey::from_u64(3);
+        let to7 = RowKey::from_u64(7);
+        let mid: Vec<u64> = r
+            .scan(Some(&from3), Some(&to7))
+            .map(|(k, _)| k.as_u64().unwrap())
+            .collect();
+        assert_eq!(mid, vec![3, 5]);
+    }
+}

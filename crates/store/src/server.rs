@@ -1,0 +1,128 @@
+//! A region server: the state one data node hosts — its regions across all
+//! tables, plus access statistics. Simulated service times (disk seeks, UDF
+//! CPU) are charged by the enclosing data-node actor, not here.
+
+use std::collections::HashMap;
+
+use crate::key::RowKey;
+use crate::region::Region;
+use crate::value::StoredValue;
+
+/// Identifier of a table within the catalog.
+pub type TableId = usize;
+
+/// Counters a region server maintains.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Successful row fetches.
+    pub gets: u64,
+    /// Fetches for missing rows.
+    pub get_misses: u64,
+    /// Rows written.
+    pub puts: u64,
+}
+
+/// One data node's shard of the store.
+#[derive(Debug, Clone, Default)]
+pub struct RegionServer {
+    /// `(table, region index) -> region`.
+    regions: HashMap<(TableId, usize), Region>,
+    stats: ServerStats,
+}
+
+impl RegionServer {
+    /// New, empty server.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Create (or fetch) the region `(table, idx)` hosted here.
+    pub fn region_mut(&mut self, table: TableId, idx: usize) -> &mut Region {
+        self.regions.entry((table, idx)).or_default()
+    }
+
+    /// The region `(table, idx)` if hosted here.
+    pub fn region(&self, table: TableId, idx: usize) -> Option<&Region> {
+        self.regions.get(&(table, idx))
+    }
+
+    /// Write a row into a hosted region.
+    pub fn put(&mut self, table: TableId, region: usize, key: RowKey, value: StoredValue) {
+        self.stats.puts += 1;
+        self.region_mut(table, region).put(key, value);
+    }
+
+    /// Fetch a row from a hosted region.
+    pub fn get(&mut self, table: TableId, region: usize, key: &RowKey) -> Option<StoredValue> {
+        let found = self
+            .regions
+            .get(&(table, region))
+            .and_then(|r| r.get(key))
+            .cloned();
+        match found {
+            Some(v) => {
+                self.stats.gets += 1;
+                Some(v)
+            }
+            None => {
+                self.stats.get_misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Number of regions hosted.
+    pub fn region_count(&self) -> usize {
+        self.regions.len()
+    }
+
+    /// Total rows hosted across all regions.
+    pub fn row_count(&self) -> usize {
+        self.regions.values().map(Region::len).sum()
+    }
+
+    /// Total value bytes hosted.
+    pub fn bytes(&self) -> u64 {
+        self.regions.values().map(Region::bytes).sum()
+    }
+
+    /// Access counters.
+    pub fn stats(&self) -> ServerStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jl_simkit::time::SimDuration;
+
+    fn v(n: u8) -> StoredValue {
+        StoredValue::new(vec![n; 8], 1, SimDuration::ZERO)
+    }
+
+    #[test]
+    fn hosts_multiple_regions_and_tables() {
+        let mut s = RegionServer::new();
+        s.put(0, 0, RowKey::from_u64(1), v(1));
+        s.put(0, 2, RowKey::from_u64(2), v(2));
+        s.put(1, 0, RowKey::from_u64(1), v(3));
+        assert_eq!(s.region_count(), 3);
+        assert_eq!(s.row_count(), 3);
+        assert_eq!(s.bytes(), 24);
+        assert_eq!(s.get(0, 0, &RowKey::from_u64(1)).unwrap().data[0], 1);
+        assert_eq!(s.get(1, 0, &RowKey::from_u64(1)).unwrap().data[0], 3);
+    }
+
+    #[test]
+    fn miss_counting() {
+        let mut s = RegionServer::new();
+        s.put(0, 0, RowKey::from_u64(1), v(1));
+        assert!(s.get(0, 0, &RowKey::from_u64(9)).is_none());
+        assert!(s.get(0, 5, &RowKey::from_u64(1)).is_none()); // wrong region
+        let st = s.stats();
+        assert_eq!(st.gets, 0);
+        assert_eq!(st.get_misses, 2);
+        assert_eq!(st.puts, 1);
+    }
+}

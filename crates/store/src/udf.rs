@@ -1,0 +1,188 @@
+//! Coprocessor UDFs — side-effect-free functions `f'(k, p, v)` executable
+//! at either the data node (HBase endpoint style) or the compute node.
+//!
+//! The framework only pushes *side-effect-free* functions (§3.1), which is
+//! what makes the execution location a free choice. UDFs here are pure
+//! functions of `(key, params, value)`; their CPU cost is charged to the
+//! simulation separately (per-row `udf_cpu_nanos`, or the UDF's override).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use bytes::Bytes;
+
+use jl_simkit::time::SimDuration;
+
+use crate::key::RowKey;
+use crate::value::StoredValue;
+
+/// A registered coprocessor function.
+pub trait Udf: Send + Sync {
+    /// Apply the function to a joined tuple. Must be deterministic and
+    /// side-effect free.
+    fn apply(&self, key: &RowKey, params: &[u8], value: &StoredValue) -> Bytes;
+
+    /// Simulated CPU cost of one invocation; defaults to the row's own
+    /// per-model cost.
+    fn cpu_cost(&self, _key: &RowKey, value: &StoredValue) -> SimDuration {
+        value.udf_cpu()
+    }
+}
+
+/// Identity: return the stored value (a pure join, no computation).
+pub struct IdentityUdf;
+
+impl Udf for IdentityUdf {
+    fn apply(&self, _key: &RowKey, _params: &[u8], value: &StoredValue) -> Bytes {
+        value.data.clone()
+    }
+}
+
+/// Project the first `n` bytes of the value — models a join followed by a
+/// narrow projection (the paper's data-heavy workload returns small results
+/// from large rows).
+pub struct ProjectUdf {
+    /// Number of bytes to keep.
+    pub bytes: usize,
+}
+
+impl Udf for ProjectUdf {
+    fn apply(&self, _key: &RowKey, _params: &[u8], value: &StoredValue) -> Bytes {
+        let n = self.bytes.min(value.data.len());
+        value.data.slice(..n)
+    }
+}
+
+/// A verifiable "classification": mixes key, params and value into a small
+/// digest. Any relocation bug (wrong value joined, params lost) changes the
+/// output, which integration tests check against a reference execution.
+pub struct DigestUdf {
+    /// Output size in bytes.
+    pub out_bytes: usize,
+}
+
+impl Udf for DigestUdf {
+    fn apply(&self, key: &RowKey, params: &[u8], value: &StoredValue) -> Bytes {
+        let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+        let mut absorb = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.rotate_left(7).wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        absorb(key.as_bytes());
+        absorb(params);
+        absorb(&value.data);
+        let mut out = Vec::with_capacity(self.out_bytes);
+        let mut state = h;
+        while out.len() < self.out_bytes {
+            state = state.rotate_left(17).wrapping_mul(0xD6E8_FEB8_6659_FD93);
+            out.extend_from_slice(&state.to_le_bytes());
+        }
+        out.truncate(self.out_bytes);
+        Bytes::from(out)
+    }
+}
+
+/// Identifier of a registered UDF.
+pub type UdfId = usize;
+
+/// Registry mapping [`UdfId`]s to implementations, shared by every node
+/// (the application ships the same jar to all servers).
+#[derive(Clone, Default)]
+pub struct UdfRegistry {
+    udfs: HashMap<UdfId, Arc<dyn Udf>>,
+}
+
+impl UdfRegistry {
+    /// Empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a UDF under `id`, replacing any previous registration.
+    pub fn register(&mut self, id: UdfId, udf: Arc<dyn Udf>) {
+        self.udfs.insert(id, udf);
+    }
+
+    /// Look up a UDF.
+    pub fn get(&self, id: UdfId) -> Option<&Arc<dyn Udf>> {
+        self.udfs.get(&id)
+    }
+
+    /// Number of registered UDFs.
+    pub fn len(&self) -> usize {
+        self.udfs.len()
+    }
+
+    /// True if no UDFs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.udfs.is_empty()
+    }
+}
+
+impl std::fmt::Debug for UdfRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("UdfRegistry")
+            .field("udfs", &self.udfs.keys().collect::<Vec<_>>())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(data: &[u8]) -> StoredValue {
+        StoredValue::new(data.to_vec(), 1, SimDuration::from_millis(1))
+    }
+
+    #[test]
+    fn identity_returns_value() {
+        let v = row(b"hello");
+        let out = IdentityUdf.apply(&RowKey::from_u64(1), b"", &v);
+        assert_eq!(&out[..], b"hello");
+    }
+
+    #[test]
+    fn project_truncates() {
+        let v = row(&[1, 2, 3, 4, 5]);
+        let out = ProjectUdf { bytes: 2 }.apply(&RowKey::from_u64(1), b"", &v);
+        assert_eq!(&out[..], &[1, 2]);
+        let out = ProjectUdf { bytes: 99 }.apply(&RowKey::from_u64(1), b"", &v);
+        assert_eq!(out.len(), 5);
+    }
+
+    #[test]
+    fn digest_is_deterministic_and_input_sensitive() {
+        let u = DigestUdf { out_bytes: 16 };
+        let k = RowKey::from_u64(7);
+        let v = row(b"model-bytes");
+        let a = u.apply(&k, b"ctx", &v);
+        let b = u.apply(&k, b"ctx", &v);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 16);
+        assert_ne!(a, u.apply(&k, b"ctx2", &v), "params ignored");
+        assert_ne!(a, u.apply(&RowKey::from_u64(8), b"ctx", &v), "key ignored");
+        assert_ne!(a, u.apply(&k, b"ctx", &row(b"other")), "value ignored");
+    }
+
+    #[test]
+    fn default_cpu_cost_comes_from_row() {
+        let v = row(b"x");
+        assert_eq!(
+            IdentityUdf.cpu_cost(&RowKey::from_u64(0), &v),
+            SimDuration::from_millis(1)
+        );
+    }
+
+    #[test]
+    fn registry_roundtrip() {
+        let mut r = UdfRegistry::new();
+        assert!(r.is_empty());
+        r.register(3, Arc::new(IdentityUdf));
+        assert_eq!(r.len(), 1);
+        assert!(r.get(3).is_some());
+        assert!(r.get(4).is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! Stored values.
+
+use bytes::Bytes;
+
+use jl_simkit::time::SimDuration;
+
+/// A stored row: the value bytes plus the metadata the optimizer needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StoredValue {
+    /// The value payload (e.g. a serialized entity model). For very large
+    /// simulated values, only a verification prefix is materialised and
+    /// `pad` accounts for the rest.
+    pub data: Bytes,
+    /// Simulated bytes beyond `data` — lets workloads model multi-hundred-MB
+    /// values (the paper's entity models) without allocating them. All cost
+    /// accounting uses `size() = data.len() + pad`; the real prefix keeps
+    /// UDF outputs verifiable.
+    pub pad: u64,
+    /// Last-update timestamp, piggybacked on responses so compute nodes can
+    /// detect missed updates (§4.2.3).
+    pub version: u64,
+    /// CPU nanoseconds one UDF invocation on this row costs. Per-row because
+    /// classification cost varies across models — one of the two skew axes
+    /// in the entity-annotation workload.
+    pub udf_cpu_nanos: u64,
+}
+
+impl StoredValue {
+    /// Construct a fully-materialised row.
+    pub fn new(data: impl Into<Bytes>, version: u64, udf_cpu: SimDuration) -> Self {
+        StoredValue {
+            data: data.into(),
+            pad: 0,
+            version,
+            udf_cpu_nanos: udf_cpu.nanos(),
+        }
+    }
+
+    /// Construct a row whose simulated size is `data.len() + pad` bytes.
+    pub fn with_pad(data: impl Into<Bytes>, pad: u64, version: u64, udf_cpu: SimDuration) -> Self {
+        StoredValue {
+            data: data.into(),
+            pad,
+            version,
+            udf_cpu_nanos: udf_cpu.nanos(),
+        }
+    }
+
+    /// Value size in bytes (the `sv` of the cost model).
+    pub fn size(&self) -> u64 {
+        self.data.len() as u64 + self.pad
+    }
+
+    /// UDF CPU cost for this row.
+    pub fn udf_cpu(&self) -> SimDuration {
+        SimDuration::from_nanos(self.udf_cpu_nanos)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_cost() {
+        let v = StoredValue::new(vec![0u8; 1024], 7, SimDuration::from_millis(3));
+        assert_eq!(v.size(), 1024);
+        assert_eq!(v.version, 7);
+        assert_eq!(v.udf_cpu(), SimDuration::from_millis(3));
+    }
+
+    #[test]
+    fn cheap_clone_shares_bytes() {
+        let v = StoredValue::new(vec![1u8; 1 << 20], 0, SimDuration::ZERO);
+        let w = v.clone();
+        // bytes::Bytes clones share the buffer.
+        assert_eq!(v.data.as_ptr(), w.data.as_ptr());
+    }
+}

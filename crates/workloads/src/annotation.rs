@@ -1,0 +1,240 @@
+//! The entity-annotation workload (§2.1, §9.1): documents containing
+//! "spots" (possible entity mentions) joined against per-token trained
+//! models, with a CPU-heavy classification UDF.
+//!
+//! The paper used ~35,000 ClueWeb09 documents (~4.5 M annotated spots)
+//! against 28.7 GB of logistic-regression models whose sizes span a few
+//! bytes to 284.7 MB — skew comes from both token frequency *and* per-model
+//! classification cost. The corpus and models are proprietary, so this
+//! module generates a synthetic corpus with the same shape: Zipf token
+//! frequencies, Pareto model sizes clipped to the paper's max, and
+//! classification cost correlated with model size.
+
+use jl_simkit::rng::{splitmix64, stream_rng};
+use jl_simkit::time::SimDuration;
+use jl_store::{RowKey, StoredValue};
+use rand::Rng;
+
+use crate::zipf::Zipf;
+
+/// One possible entity mention within a document.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Spot {
+    /// Token id (the join key into the model table).
+    pub token: u64,
+    /// Bytes of surrounding context shipped with the classification request.
+    pub context_size: u32,
+}
+
+/// A document to annotate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Document id.
+    pub id: u64,
+    /// The spots found by the mention detector.
+    pub spots: Vec<Spot>,
+}
+
+/// Corpus + model-store generator.
+#[derive(Debug, Clone)]
+pub struct AnnotationWorkload {
+    /// Vocabulary size (number of stored models).
+    pub vocab: usize,
+    /// Documents in the corpus.
+    pub docs: u64,
+    /// Mean spots per document (paper: ≈ 4.5 M / 35 k ≈ 130).
+    pub spots_per_doc: u32,
+    /// Zipf skew of token occurrence.
+    pub token_skew: f64,
+    /// Smallest model size, bytes.
+    pub min_model_bytes: u64,
+    /// Largest model size, bytes (paper: 284.7 MB).
+    pub max_model_bytes: u64,
+    /// Pareto tail index for model sizes (≈1.1 gives the paper's
+    /// few-huge-models shape).
+    pub size_alpha: f64,
+    /// Classification CPU per spot for a minimum-size model.
+    pub base_classify: SimDuration,
+    /// Extra CPU per megabyte of model.
+    pub classify_per_mb: SimDuration,
+    /// Context bytes per spot.
+    pub context_bytes: u32,
+    /// Materialised verification prefix per model.
+    pub model_prefix: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl AnnotationWorkload {
+    /// A laptop-scale corpus preserving the paper's shape (1:10 on counts).
+    pub fn scaled_default(seed: u64) -> Self {
+        AnnotationWorkload {
+            vocab: 50_000,
+            docs: 3_500,
+            spots_per_doc: 130,
+            token_skew: 1.0,
+            min_model_bytes: 1024,
+            max_model_bytes: 28 << 20, // 28 MB max (1:10 of the paper's 284.7 MB)
+            size_alpha: 1.1,
+            base_classify: SimDuration::from_micros(500),
+            classify_per_mb: SimDuration::from_millis(2),
+            context_bytes: 400,
+            model_prefix: 64,
+            seed,
+        }
+    }
+
+    /// Deterministic model size for a token. Two factors combine:
+    ///
+    /// * a Pareto tail on a hash-derived uniform (some big models anywhere
+    ///   in the vocabulary), and
+    /// * a frequency-rank boost — token ids are frequency ranks, and
+    ///   frequent, ambiguous mentions ("Michael Jordan") have the largest
+    ///   trained models. This correlation is what concentrates both axes
+    ///   of the paper's skew (frequency × classification cost) on the same
+    ///   keys and creates the reduce-side stragglers of Figure 5.
+    pub fn model_bytes(&self, token: u64) -> u64 {
+        let mut s = self.seed ^ token.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let u = (splitmix64(&mut s) >> 11) as f64 / (1u64 << 53) as f64;
+        let u = u.max(1e-12);
+        let pareto = u.powf(-1.0 / self.size_alpha);
+        let rank_frac = (token as f64 + 1.0) / self.vocab as f64;
+        let rank_boost = rank_frac.powf(-0.85);
+        let size = self.min_model_bytes as f64 * pareto * rank_boost;
+        (size as u64).clamp(self.min_model_bytes, self.max_model_bytes)
+    }
+
+    /// Classification CPU for one spot against a token's model.
+    pub fn classify_cpu(&self, token: u64) -> SimDuration {
+        let mb = self.model_bytes(token) as f64 / (1 << 20) as f64;
+        let extra = SimDuration::from_secs_f64(self.classify_per_mb.as_secs_f64() * mb);
+        self.base_classify + extra
+    }
+
+    /// Generate the model table rows.
+    pub fn model_rows(&self) -> impl Iterator<Item = (RowKey, StoredValue)> + '_ {
+        (0..self.vocab as u64).map(move |token| {
+            let bytes = self.model_bytes(token);
+            let mut data = Vec::with_capacity(self.model_prefix);
+            let mut state = token ^ 0x6C62_272E_07BB_0142;
+            while data.len() < self.model_prefix {
+                state = splitmix64(&mut state);
+                data.extend_from_slice(&state.to_le_bytes());
+            }
+            data.truncate(self.model_prefix);
+            let pad = bytes.saturating_sub(self.model_prefix as u64);
+            (
+                RowKey::from_u64(token),
+                StoredValue::with_pad(data, pad, 1, self.classify_cpu(token)),
+            )
+        })
+    }
+
+    /// Total logical bytes across all models.
+    pub fn total_model_bytes(&self) -> u64 {
+        (0..self.vocab as u64).map(|t| self.model_bytes(t)).sum()
+    }
+
+    /// Generate the document corpus.
+    pub fn documents(&self) -> Vec<Document> {
+        let zipf = Zipf::new(self.vocab, self.token_skew);
+        let mut rng = stream_rng(self.seed, "annotation-docs");
+        (0..self.docs)
+            .map(|id| {
+                // Document lengths vary ±50% around the mean.
+                let n = rng.gen_range(self.spots_per_doc / 2..=self.spots_per_doc * 3 / 2);
+                let spots = (0..n)
+                    .map(|_| Spot {
+                        token: zipf.sample(&mut rng) as u64,
+                        context_size: self.context_bytes,
+                    })
+                    .collect();
+                Document { id, spots }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> AnnotationWorkload {
+        let mut w = AnnotationWorkload::scaled_default(11);
+        w.vocab = 2000;
+        w.docs = 100;
+        w
+    }
+
+    #[test]
+    fn model_sizes_are_heavy_tailed() {
+        let w = small();
+        let sizes: Vec<u64> = (0..w.vocab as u64).map(|t| w.model_bytes(t)).collect();
+        let max = *sizes.iter().max().unwrap();
+        let median = {
+            let mut s = sizes.clone();
+            s.sort_unstable();
+            s[s.len() / 2]
+        };
+        assert!(max > median * 100, "max {max} median {median}: tail too light");
+        assert!(sizes.iter().all(|&s| s >= w.min_model_bytes && s <= w.max_model_bytes));
+    }
+
+    #[test]
+    fn classification_cost_tracks_model_size() {
+        let w = small();
+        let (mut big_t, mut small_t) = (0, 0);
+        for t in 0..w.vocab as u64 {
+            if w.model_bytes(t) > w.model_bytes(big_t) {
+                big_t = t;
+            }
+            if w.model_bytes(t) < w.model_bytes(small_t) {
+                small_t = t;
+            }
+        }
+        assert!(w.classify_cpu(big_t) > w.classify_cpu(small_t));
+    }
+
+    #[test]
+    fn documents_are_deterministic_and_in_vocab() {
+        let w = small();
+        let d1 = w.documents();
+        let d2 = w.documents();
+        assert_eq!(d1, d2);
+        assert_eq!(d1.len() as u64, w.docs);
+        for doc in &d1 {
+            assert!(!doc.spots.is_empty());
+            assert!(doc.spots.iter().all(|s| (s.token as usize) < w.vocab));
+        }
+    }
+
+    #[test]
+    fn token_frequency_is_skewed() {
+        let w = small();
+        let mut counts = vec![0u32; w.vocab];
+        for doc in w.documents() {
+            for s in doc.spots {
+                counts[s.token as usize] += 1;
+            }
+        }
+        let total: u32 = counts.iter().sum();
+        let mut sorted = counts.clone();
+        sorted.sort_unstable_by(|a, b| b.cmp(a));
+        let top1pct: u32 = sorted.iter().take(w.vocab / 100).sum();
+        assert!(
+            f64::from(top1pct) / f64::from(total) > 0.2,
+            "top 1% of tokens carry only {}%",
+            100 * top1pct / total
+        );
+    }
+
+    #[test]
+    fn model_rows_match_size_function() {
+        let w = small();
+        for (key, v) in w.model_rows().take(50) {
+            let t = key.as_u64().unwrap();
+            assert_eq!(v.size(), w.model_bytes(t));
+            assert_eq!(v.udf_cpu(), w.classify_cpu(t));
+        }
+    }
+}

@@ -1,0 +1,325 @@
+//! CloudBurst-style genome read alignment (Appendix A).
+//!
+//! CloudBurst aligns short reads against a reference sequence with
+//! MapReduce: map extracts n-grams (k-mer seeds) from reads, the reducer
+//! for a k-mer matches each read against the reference positions where
+//! that k-mer occurs. Repetitive regions make some k-mers occur at
+//! thousands of positions *and* appear in many reads — the UDO skew of
+//! Kwon et al. \[14\] that SkewTune attacks and that this framework handles
+//! by caching the hot k-mers' index entries at compute nodes.
+//!
+//! Here: the stored relation is the k-mer index (k-mer → positions +
+//! flanking reference context), the streamed relation is the seeds
+//! extracted from reads, and the UDF is a Hamming-distance alignment of
+//! the read against every candidate position.
+
+use jl_simkit::rng::{splitmix64, stream_rng};
+use jl_simkit::time::SimDuration;
+use jl_store::{RowKey, StoredValue, Udf};
+use rand::Rng;
+
+use bytes::Bytes;
+
+/// A short read with its seed k-mers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Read {
+    /// Read id.
+    pub id: u64,
+    /// 2-bit-coded bases (values 0..4).
+    pub bases: Vec<u8>,
+    /// Seed k-mers extracted at fixed offsets (the join keys).
+    pub seeds: Vec<u64>,
+}
+
+/// Generator for the reference, the k-mer index, and the read stream.
+#[derive(Debug, Clone)]
+pub struct GenomeWorkload {
+    /// Reference length in bases.
+    pub reference_len: usize,
+    /// Seed length (≤ 32 so a k-mer packs into a `u64`).
+    pub k: usize,
+    /// Number of reads.
+    pub reads: u64,
+    /// Read length in bases.
+    pub read_len: usize,
+    /// Seeds extracted per read.
+    pub seeds_per_read: usize,
+    /// Per-base mutation probability when sampling reads.
+    pub mutation_rate: f64,
+    /// Number of times a repetitive motif is stamped into the reference —
+    /// the source of heavy-hitter k-mers.
+    pub motif_copies: usize,
+    /// Motif length in bases.
+    pub motif_len: usize,
+    /// Max positions stored per k-mer (CloudBurst-style seed cap).
+    pub max_positions: usize,
+    /// Flanking context stored per position, bases.
+    pub context: usize,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl GenomeWorkload {
+    /// A laptop-scale instance with a strongly repetitive reference.
+    pub fn scaled_default(seed: u64) -> Self {
+        GenomeWorkload {
+            reference_len: 400_000,
+            k: 16,
+            reads: 20_000,
+            read_len: 100,
+            seeds_per_read: 4,
+            mutation_rate: 0.01,
+            motif_copies: 400,
+            motif_len: 400,
+            max_positions: 64,
+            context: 120,
+            seed,
+        }
+    }
+
+    /// The reference sequence (2-bit-coded bases), with repetitive motifs.
+    pub fn reference(&self) -> Vec<u8> {
+        let mut bases = Vec::with_capacity(self.reference_len);
+        let mut state = self.seed ^ 0x41_43_47_54; // "ACGT"
+        while bases.len() < self.reference_len {
+            let word = splitmix64(&mut state);
+            for i in 0..32 {
+                if bases.len() >= self.reference_len {
+                    break;
+                }
+                bases.push(((word >> (2 * i)) & 3) as u8);
+            }
+        }
+        // Stamp a repeated motif (e.g. a transposon) at pseudo-random
+        // offsets: its k-mers become heavy hitters with many positions.
+        let mut motif = Vec::with_capacity(self.motif_len);
+        let mut ms = self.seed ^ 0x4D_4F_54_49; // "MOTI"
+        while motif.len() < self.motif_len {
+            let word = splitmix64(&mut ms);
+            for i in 0..32 {
+                if motif.len() >= self.motif_len {
+                    break;
+                }
+                motif.push(((word >> (2 * i)) & 3) as u8);
+            }
+        }
+        let mut off_state = self.seed ^ 0x52_45_50_54; // "REPT"
+        for _ in 0..self.motif_copies {
+            let max_start = self.reference_len.saturating_sub(self.motif_len);
+            if max_start == 0 {
+                break;
+            }
+            let start = (splitmix64(&mut off_state) as usize) % max_start;
+            bases[start..start + self.motif_len].copy_from_slice(&motif);
+        }
+        bases
+    }
+
+    /// Pack `k` bases into a `u64` k-mer.
+    pub fn pack_kmer(&self, window: &[u8]) -> u64 {
+        debug_assert_eq!(window.len(), self.k);
+        window.iter().fold(0u64, |acc, &b| (acc << 2) | u64::from(b & 3))
+    }
+
+    /// Build the k-mer index rows: for each k-mer of the reference, the
+    /// positions where it occurs (capped) plus the flanking context bytes.
+    /// UDF CPU grows with the number of candidate positions.
+    pub fn index_rows(&self) -> Vec<(RowKey, StoredValue)> {
+        let reference = self.reference();
+        let mut index: std::collections::HashMap<u64, Vec<u32>> = std::collections::HashMap::new();
+        for start in 0..reference.len().saturating_sub(self.k) {
+            let kmer = self.pack_kmer(&reference[start..start + self.k]);
+            let entry = index.entry(kmer).or_default();
+            if entry.len() < self.max_positions {
+                entry.push(start as u32);
+            }
+        }
+        let mut rows: Vec<(RowKey, StoredValue)> = index
+            .into_iter()
+            .map(|(kmer, positions)| {
+                // Serialized entry: [n positions][positions…][context per position]
+                let mut data = Vec::with_capacity(4 + positions.len() * (4 + self.context));
+                data.extend_from_slice(&(positions.len() as u32).to_le_bytes());
+                for &p in &positions {
+                    data.extend_from_slice(&p.to_le_bytes());
+                }
+                for &p in &positions {
+                    let end = (p as usize + self.context).min(reference.len());
+                    data.extend_from_slice(&reference[p as usize..end]);
+                    data.resize(data.len() + self.context - (end - p as usize), 0);
+                }
+                // Alignment cost: ~20 µs of banded alignment per candidate
+                // position (CloudBurst's Landau-Vishkin is this order).
+                let cpu = SimDuration::from_nanos(5_000 + 20_000 * positions.len() as u64);
+                (RowKey::from_u64(kmer), StoredValue::new(data, 1, cpu))
+            })
+            .collect();
+        rows.sort_by(|a, b| a.0.cmp(&b.0)); // deterministic load order
+        rows
+    }
+
+    /// Sample reads from the reference with mutations, extracting seed
+    /// k-mers at evenly spaced offsets.
+    pub fn sample_reads(&self) -> Vec<Read> {
+        let reference = self.reference();
+        let mut rng = stream_rng(self.seed, "reads");
+        let max_start = reference.len() - self.read_len;
+        (0..self.reads)
+            .map(|id| {
+                let start = rng.gen_range(0..max_start);
+                let mut bases: Vec<u8> = reference[start..start + self.read_len].to_vec();
+                for b in bases.iter_mut() {
+                    if rng.gen_bool(self.mutation_rate) {
+                        *b = (*b + rng.gen_range(1..4u8)) & 3;
+                    }
+                }
+                let stride = (self.read_len - self.k) / self.seeds_per_read.max(1);
+                let seeds = (0..self.seeds_per_read)
+                    .map(|i| self.pack_kmer(&bases[i * stride..i * stride + self.k]))
+                    .collect();
+                Read { id, bases, seeds }
+            })
+            .collect()
+    }
+}
+
+/// The alignment UDF: Hamming-match the read (params) against each stored
+/// candidate context; returns the best `(position, score)`.
+pub struct AlignUdf {
+    /// Flanking context per position in the index entry, bases.
+    pub context: usize,
+}
+
+impl Udf for AlignUdf {
+    fn apply(&self, _key: &RowKey, params: &[u8], value: &StoredValue) -> Bytes {
+        let data = &value.data;
+        if data.len() < 4 {
+            return Bytes::from_static(b"none");
+        }
+        let n = u32::from_le_bytes(data[..4].try_into().expect("len prefix")) as usize;
+        let positions = &data[4..4 + 4 * n];
+        let contexts = &data[4 + 4 * n..];
+        let mut best_pos = u32::MAX;
+        let mut best_score = usize::MAX;
+        for i in 0..n {
+            let pos = u32::from_le_bytes(positions[4 * i..4 * i + 4].try_into().expect("pos"));
+            let ctx = &contexts[i * self.context..(i + 1) * self.context];
+            let score: usize = params
+                .iter()
+                .zip(ctx.iter())
+                .filter(|(a, b)| (**a & 3) != (**b & 3))
+                .count();
+            if score < best_score || (score == best_score && pos < best_pos) {
+                best_score = score;
+                best_pos = pos;
+            }
+        }
+        let mut out = Vec::with_capacity(12);
+        out.extend_from_slice(&best_pos.to_le_bytes());
+        out.extend_from_slice(&(best_score as u32).to_le_bytes());
+        Bytes::from(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> GenomeWorkload {
+        let mut g = GenomeWorkload::scaled_default(7);
+        g.reference_len = 20_000;
+        g.reads = 200;
+        g.motif_copies = 20;
+        g
+    }
+
+    #[test]
+    fn reference_is_deterministic_and_coded() {
+        let g = small();
+        let a = g.reference();
+        let b = g.reference();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), g.reference_len);
+        assert!(a.iter().all(|&x| x < 4));
+    }
+
+    #[test]
+    fn repetitive_motif_creates_heavy_kmers() {
+        let g = small();
+        let rows = g.index_rows();
+        let max_positions = rows
+            .iter()
+            .map(|(_, v)| u32::from_le_bytes(v.data[..4].try_into().unwrap()))
+            .max()
+            .unwrap();
+        // Motif stamps can overlap one another, so expect at least half the
+        // copies to survive as positions of the motif's k-mers.
+        assert!(
+            max_positions as usize >= g.max_positions.min(g.motif_copies / 2),
+            "no heavy k-mer found (max {max_positions})"
+        );
+    }
+
+    #[test]
+    fn udf_cost_scales_with_positions() {
+        let g = small();
+        let rows = g.index_rows();
+        let (mut hot, mut cold) = (None, None);
+        for (_, v) in &rows {
+            let n = u32::from_le_bytes(v.data[..4].try_into().unwrap());
+            if n >= 10 && hot.is_none() {
+                hot = Some(v.clone());
+            }
+            if n == 1 && cold.is_none() {
+                cold = Some(v.clone());
+            }
+        }
+        let (hot, cold) = (hot.expect("hot kmer"), cold.expect("cold kmer"));
+        assert!(hot.udf_cpu() > cold.udf_cpu());
+        assert!(hot.size() > cold.size());
+    }
+
+    #[test]
+    fn unmutated_read_aligns_to_its_origin() {
+        let mut g = small();
+        g.mutation_rate = 0.0;
+        let reference = g.reference();
+        let rows: std::collections::HashMap<RowKey, StoredValue> =
+            g.index_rows().into_iter().collect();
+        let udf = AlignUdf { context: g.context };
+        let read = &g.sample_reads()[0];
+        // Align via its first seed.
+        let key = RowKey::from_u64(read.seeds[0]);
+        let entry = rows.get(&key).expect("seed kmer indexed");
+        let out = udf.apply(&key, &read.bases, entry);
+        let pos = u32::from_le_bytes(out[..4].try_into().unwrap());
+        let score = u32::from_le_bytes(out[4..8].try_into().unwrap());
+        // Perfect prefix match at the reported position.
+        let ctx = &reference[pos as usize..pos as usize + g.k];
+        assert_eq!(&read.bases[..g.k], ctx, "seed must match at pos {pos}");
+        assert!(score as usize <= g.read_len);
+    }
+
+    #[test]
+    fn reads_have_requested_shape() {
+        let g = small();
+        let reads = g.sample_reads();
+        assert_eq!(reads.len() as u64, g.reads);
+        for r in &reads {
+            assert_eq!(r.bases.len(), g.read_len);
+            assert_eq!(r.seeds.len(), g.seeds_per_read);
+        }
+        // Determinism.
+        assert_eq!(reads[5], g.sample_reads()[5]);
+    }
+
+    #[test]
+    fn align_udf_is_deterministic() {
+        let g = small();
+        let rows = g.index_rows();
+        let udf = AlignUdf { context: g.context };
+        let (k, v) = &rows[0];
+        let params = vec![1u8; g.read_len];
+        assert_eq!(udf.apply(k, &params, v), udf.apply(k, &params, v));
+    }
+}

@@ -1,0 +1,33 @@
+//! # jl-workloads — workload generators for the join-location experiments
+//!
+//! Synthetic equivalents of every dataset the paper evaluates on (the
+//! originals are proprietary or impractically large; DESIGN.md documents
+//! each substitution):
+//!
+//! * [`zipf`] — Zipf key streams with optional epoch re-shuffling of the
+//!   hot set (§9.3's skew knob and §9.3.2's dynamic distribution).
+//! * [`synthetic`] — the DH / CH / DCH workloads of §9.3.
+//! * [`annotation`] — a ClueWeb-shaped entity-annotation corpus with
+//!   heavy-tailed model sizes and size-correlated classification cost
+//!   (§2.1, §9.1).
+//! * [`tweets`] — a bursty tweet stream for the Muppet experiment (§9.1.2).
+//! * [`tpcds`] — TPC-DS-lite tables and the Q3/Q7/Q27/Q42 join pipelines
+//!   (§9.2).
+//! * [`genome`] — CloudBurst-style read alignment against a repetitive
+//!   reference (Appendix A).
+
+#![warn(missing_docs)]
+
+pub mod annotation;
+pub mod genome;
+pub mod synthetic;
+pub mod tpcds;
+pub mod tweets;
+pub mod zipf;
+
+pub use annotation::{AnnotationWorkload, Document, Spot};
+pub use genome::{AlignUdf, GenomeWorkload, Read};
+pub use synthetic::{InputTuple, SyntheticSpec};
+pub use tpcds::{Dimension, JoinStage, Query, SaleTuple, TpcDsLite};
+pub use tweets::TweetStream;
+pub use zipf::{KeyStream, ShiftingKeyMap, Zipf};

@@ -1,0 +1,213 @@
+//! The synthetic workloads of §9.3: data-heavy (DH), compute-heavy (CH),
+//! and data+compute-heavy (DCH).
+//!
+//! Paper-scale: DH = 200 GB store with ~100 KB fetches and negligible CPU;
+//! CH = 20 GB store, small fetches, ~100 ms UDF; DCH = both heavy. The
+//! defaults here are linearly scaled down (1:100 on row counts) so a full
+//! seven-strategy, four-skew sweep runs in seconds; all *ratios* that drive
+//! the paper's effects (store ≫ memory cache, UDF cost vs transfer cost)
+//! are preserved. Benchmarks can scale back up via the public fields.
+
+use jl_simkit::time::SimDuration;
+use jl_store::{RowKey, StoredValue};
+use rand::Rng;
+
+use crate::zipf::KeyStream;
+
+/// One input tuple of a synthetic stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InputTuple {
+    /// Join key (row key in the stored table).
+    pub key: u64,
+    /// Position in the stream (also used to derive deterministic params).
+    pub seq: u64,
+    /// Size of the UDF parameter payload, bytes.
+    pub params_size: u32,
+}
+
+/// Specification of a synthetic workload.
+#[derive(Debug, Clone)]
+pub struct SyntheticSpec {
+    /// Workload name ("DH", "CH", "DCH").
+    pub name: &'static str,
+    /// Number of stored rows.
+    pub n_keys: u64,
+    /// Logical size of each stored value, bytes.
+    pub value_size: u64,
+    /// Materialised verification prefix per value, bytes.
+    pub value_prefix: usize,
+    /// CPU time of one UDF invocation.
+    pub udf_cpu: SimDuration,
+    /// Input tuples to process.
+    pub n_tuples: u64,
+    /// Parameter payload per tuple, bytes.
+    pub params_size: u32,
+    /// UDF output size, bytes.
+    pub output_size: u32,
+}
+
+impl SyntheticSpec {
+    /// Data-heavy: big values, tiny UDF (join + projection).
+    pub fn dh() -> Self {
+        SyntheticSpec {
+            name: "DH",
+            n_keys: 20_000,
+            value_size: 100 * 1024, // ~100 KB per fetch, 2 GB logical store
+            value_prefix: 64,
+            udf_cpu: SimDuration::from_micros(100),
+            n_tuples: 60_000,
+            params_size: 128,
+            output_size: 256, // small projected result
+        }
+    }
+
+    /// Compute-heavy: small values, ~100 ms UDF.
+    pub fn ch() -> Self {
+        SyntheticSpec {
+            name: "CH",
+            n_keys: 20_000,
+            value_size: 10 * 1024, // 200 MB logical store
+            value_prefix: 64,
+            udf_cpu: SimDuration::from_millis(100),
+            n_tuples: 20_000,
+            params_size: 128,
+            output_size: 256,
+        }
+    }
+
+    /// Data- and compute-heavy: big values *and* ~100 ms UDF.
+    pub fn dch() -> Self {
+        SyntheticSpec {
+            name: "DCH",
+            n_keys: 20_000,
+            value_size: 100 * 1024,
+            value_prefix: 64,
+            udf_cpu: SimDuration::from_millis(100),
+            n_tuples: 20_000,
+            params_size: 128,
+            output_size: 256,
+        }
+    }
+
+    /// All three, in the paper's order.
+    pub fn all() -> [SyntheticSpec; 3] {
+        [Self::dh(), Self::ch(), Self::dch()]
+    }
+
+    /// Total logical bytes of the stored table.
+    pub fn store_bytes(&self) -> u64 {
+        self.n_keys * self.value_size
+    }
+
+    /// Generate the stored rows. Each row's verification prefix is derived
+    /// from the key, so any misrouted fetch is detectable.
+    pub fn rows(&self, version: u64) -> impl Iterator<Item = (RowKey, StoredValue)> + '_ {
+        let prefix = self.value_prefix;
+        let vsize = self.value_size;
+        let cpu = self.udf_cpu;
+        (0..self.n_keys).map(move |k| {
+            let mut data = Vec::with_capacity(prefix);
+            let mut state = k ^ 0xA076_1D64_78BD_642F;
+            while data.len() < prefix {
+                state = jl_simkit::rng::splitmix64(&mut state);
+                data.extend_from_slice(&state.to_le_bytes());
+            }
+            data.truncate(prefix);
+            let pad = vsize.saturating_sub(prefix as u64);
+            (
+                RowKey::from_u64(k),
+                StoredValue::with_pad(data, pad, version, cpu),
+            )
+        })
+    }
+
+    /// Generate the input stream with Zipf skew `z`. When
+    /// `shift_epochs > 1`, the hot key set re-shuffles that many times over
+    /// the stream (§9.3.2's dynamic distribution).
+    pub fn tuples<R: Rng>(&self, z: f64, shift_epochs: u64, rng: &mut R, seed: u64) -> Vec<InputTuple> {
+        let mut stream = if shift_epochs > 1 {
+            KeyStream::shifting(
+                self.n_keys as usize,
+                z,
+                (self.n_tuples / shift_epochs).max(1),
+                seed,
+            )
+        } else {
+            KeyStream::new(self.n_keys as usize, z, seed)
+        };
+        (0..self.n_tuples)
+            .map(|seq| InputTuple {
+                key: stream.next_key(rng),
+                seq,
+                params_size: self.params_size,
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jl_simkit::rng::stream_rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn specs_have_paper_shape() {
+        let dh = SyntheticSpec::dh();
+        let ch = SyntheticSpec::ch();
+        let dch = SyntheticSpec::dch();
+        // DH: 10× the store bytes of CH; CH: 1000× the CPU of DH.
+        assert!(dh.store_bytes() >= 10 * ch.store_bytes() / 2);
+        assert!(ch.udf_cpu.nanos() >= 100 * dh.udf_cpu.nanos());
+        assert_eq!(dch.value_size, dh.value_size);
+        assert_eq!(dch.udf_cpu, ch.udf_cpu);
+    }
+
+    #[test]
+    fn rows_have_logical_size_and_unique_prefixes() {
+        let spec = SyntheticSpec::dh();
+        let mut prefixes = HashSet::new();
+        for (k, v) in spec.rows(1).take(1000) {
+            assert_eq!(v.size(), spec.value_size);
+            assert_eq!(v.data.len(), spec.value_prefix);
+            assert!(prefixes.insert(v.data.clone()), "duplicate prefix at {k}");
+        }
+    }
+
+    #[test]
+    fn rows_are_deterministic() {
+        let spec = SyntheticSpec::ch();
+        let a: Vec<_> = spec.rows(1).take(10).collect();
+        let b: Vec<_> = spec.rows(1).take(10).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn tuples_stay_in_keyspace() {
+        let spec = SyntheticSpec::ch();
+        let mut rng = stream_rng(5, "syn");
+        let ts = spec.tuples(1.0, 1, &mut rng, 5);
+        assert_eq!(ts.len() as u64, spec.n_tuples);
+        assert!(ts.iter().all(|t| t.key < spec.n_keys));
+        assert_eq!(ts[10].seq, 10);
+    }
+
+    #[test]
+    fn shifting_tuples_change_hot_key() {
+        let spec = SyntheticSpec::ch();
+        let mut rng = stream_rng(6, "syn");
+        let ts = spec.tuples(1.5, 10, &mut rng, 6);
+        let epoch = (spec.n_tuples / 10) as usize;
+        let top_of = |slice: &[InputTuple]| {
+            let mut counts = std::collections::HashMap::new();
+            for t in slice {
+                *counts.entry(t.key).or_insert(0u32) += 1;
+            }
+            counts.into_iter().max_by_key(|(_, c)| *c).unwrap().0
+        };
+        let t0 = top_of(&ts[..epoch]);
+        let t5 = top_of(&ts[5 * epoch..6 * epoch]);
+        let t9 = top_of(&ts[9 * epoch..]);
+        assert!(t0 != t5 || t0 != t9, "hot key never moved: {t0}");
+    }
+}

@@ -1,0 +1,310 @@
+//! TPC-DS-lite: the multi-join workload of §9.2 (Figure 7).
+//!
+//! The paper ran four TPC-DS queries (Q3, Q7, Q27, Q42) at SF=500 on
+//! Spark, each joining the `store_sales` fact table with 2–4 dimension
+//! tables stored in HBase. This module generates scaled-down dimension
+//! tables with realistic row widths and a fact stream with mildly skewed
+//! foreign keys, plus the four queries' left-deep join pipelines with
+//! per-stage selectivities approximating the real predicates.
+
+use jl_simkit::rng::{splitmix64, stream_rng};
+use jl_simkit::time::SimDuration;
+use jl_store::{RowKey, StoredValue};
+use rand::Rng;
+
+use crate::zipf::Zipf;
+
+/// The dimension tables used by the four queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dimension {
+    /// `date_dim` — one row per calendar day.
+    DateDim,
+    /// `item` — the product catalogue.
+    Item,
+    /// `store` — physical stores.
+    Store,
+    /// `customer_demographics` — fixed-cardinality demographics cube.
+    CustomerDemographics,
+    /// `promotion` — promotions.
+    Promotion,
+}
+
+impl Dimension {
+    /// All dimensions.
+    pub fn all() -> [Dimension; 5] {
+        [
+            Dimension::DateDim,
+            Dimension::Item,
+            Dimension::Store,
+            Dimension::CustomerDemographics,
+            Dimension::Promotion,
+        ]
+    }
+
+    /// Table name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dimension::DateDim => "date_dim",
+            Dimension::Item => "item",
+            Dimension::Store => "store",
+            Dimension::CustomerDemographics => "customer_demographics",
+            Dimension::Promotion => "promotion",
+        }
+    }
+
+    /// Approximate row width in bytes (from the TPC-DS spec).
+    pub fn row_bytes(&self) -> usize {
+        match self {
+            Dimension::DateDim => 141,
+            Dimension::Item => 281,
+            Dimension::Store => 263,
+            Dimension::CustomerDemographics => 42,
+            Dimension::Promotion => 124,
+        }
+    }
+}
+
+/// One `store_sales` fact tuple: the foreign keys the queries join on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SaleTuple {
+    /// Sequence number.
+    pub seq: u64,
+    /// `ss_sold_date_sk`.
+    pub date_sk: u64,
+    /// `ss_item_sk`.
+    pub item_sk: u64,
+    /// `ss_store_sk`.
+    pub store_sk: u64,
+    /// `ss_cdemo_sk`.
+    pub cdemo_sk: u64,
+    /// `ss_promo_sk`.
+    pub promo_sk: u64,
+}
+
+impl SaleTuple {
+    /// The foreign key for a dimension.
+    pub fn fk(&self, dim: Dimension) -> u64 {
+        match dim {
+            Dimension::DateDim => self.date_sk,
+            Dimension::Item => self.item_sk,
+            Dimension::Store => self.store_sk,
+            Dimension::CustomerDemographics => self.cdemo_sk,
+            Dimension::Promotion => self.promo_sk,
+        }
+    }
+}
+
+/// One stage of a left-deep join pipeline.
+#[derive(Debug, Clone, Copy)]
+pub struct JoinStage {
+    /// Dimension to join.
+    pub dim: Dimension,
+    /// Fraction of joined tuples surviving this stage's predicate.
+    pub selectivity: f64,
+}
+
+/// A TPC-DS query as a join pipeline over `store_sales`.
+#[derive(Debug, Clone)]
+pub struct Query {
+    /// Query name ("Q3", …).
+    pub name: &'static str,
+    /// Left-deep stage order (as Catalyst would emit for these queries).
+    pub stages: Vec<JoinStage>,
+}
+
+/// The scaled dataset generator.
+#[derive(Debug, Clone)]
+pub struct TpcDsLite {
+    /// Linear scale on dimension cardinalities (1.0 ≈ SF500 ÷ 100).
+    pub scale: f64,
+    /// `store_sales` tuples to stream.
+    pub fact_rows: u64,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl TpcDsLite {
+    /// Default scaled instance.
+    pub fn scaled_default(seed: u64) -> Self {
+        TpcDsLite {
+            scale: 1.0,
+            fact_rows: 100_000,
+            seed,
+        }
+    }
+
+    /// Cardinality of a dimension at this scale.
+    pub fn rows_of(&self, dim: Dimension) -> u64 {
+        let base = match dim {
+            Dimension::DateDim => 73_049.0, // fixed in the spec
+            Dimension::Item => 3_000.0,
+            Dimension::Store => 1_000.0,
+            Dimension::CustomerDemographics => 19_208.0,
+            Dimension::Promotion => 1_500.0,
+        };
+        let scaled = match dim {
+            Dimension::DateDim => base, // calendar does not scale
+            _ => base * self.scale,
+        };
+        scaled.max(1.0) as u64
+    }
+
+    /// Generate a dimension's rows (real bytes; widths per the spec).
+    pub fn dimension_rows(&self, dim: Dimension) -> impl Iterator<Item = (RowKey, StoredValue)> + '_ {
+        let n = self.rows_of(dim);
+        let width = dim.row_bytes();
+        let tag = dim as u64;
+        let seed = self.seed;
+        (0..n).map(move |sk| {
+            let mut data = Vec::with_capacity(width);
+            let mut state = seed ^ (tag << 56) ^ sk.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            while data.len() < width {
+                state = splitmix64(&mut state);
+                data.extend_from_slice(&state.to_le_bytes());
+            }
+            data.truncate(width);
+            // Predicate evaluation at either side is microseconds of CPU.
+            (
+                RowKey::from_u64(sk),
+                StoredValue::new(data, 1, SimDuration::from_micros(3)),
+            )
+        })
+    }
+
+    /// Generate the fact stream. Items and promotions are Zipf-popular;
+    /// dates are skewed toward the recent past; stores/demographics uniform.
+    pub fn sales(&self) -> Vec<SaleTuple> {
+        let mut rng = stream_rng(self.seed, "store_sales");
+        let item_pop = Zipf::new(self.rows_of(Dimension::Item) as usize, 0.8);
+        let promo_pop = Zipf::new(self.rows_of(Dimension::Promotion) as usize, 1.0);
+        let dates = self.rows_of(Dimension::DateDim);
+        let stores = self.rows_of(Dimension::Store);
+        let cdemos = self.rows_of(Dimension::CustomerDemographics);
+        (0..self.fact_rows)
+            .map(|seq| {
+                // Sales concentrate in the most recent ~2 years of the
+                // calendar (ranks near the end).
+                let recency = rng.gen_range(0.0f64..1.0).powi(3);
+                let date_sk = dates - 1 - (recency * (dates - 1) as f64) as u64;
+                SaleTuple {
+                    seq,
+                    date_sk,
+                    item_sk: item_pop.sample(&mut rng) as u64,
+                    store_sk: rng.gen_range(0..stores),
+                    cdemo_sk: rng.gen_range(0..cdemos),
+                    promo_sk: promo_pop.sample(&mut rng) as u64,
+                }
+            })
+            .collect()
+    }
+
+    /// The four queries of Figure 7.
+    pub fn queries() -> Vec<Query> {
+        vec![
+            Query {
+                name: "Q3",
+                stages: vec![
+                    JoinStage { dim: Dimension::DateDim, selectivity: 0.08 }, // d_moy = 11
+                    JoinStage { dim: Dimension::Item, selectivity: 0.05 },    // manufact id
+                ],
+            },
+            Query {
+                name: "Q7",
+                stages: vec![
+                    JoinStage { dim: Dimension::DateDim, selectivity: 0.2 },  // d_year
+                    JoinStage { dim: Dimension::CustomerDemographics, selectivity: 0.014 },
+                    JoinStage { dim: Dimension::Item, selectivity: 1.0 },
+                    JoinStage { dim: Dimension::Promotion, selectivity: 0.98 },
+                ],
+            },
+            Query {
+                name: "Q27",
+                stages: vec![
+                    JoinStage { dim: Dimension::DateDim, selectivity: 0.2 },
+                    JoinStage { dim: Dimension::Store, selectivity: 0.1 }, // state
+                    JoinStage { dim: Dimension::Item, selectivity: 1.0 },
+                    JoinStage { dim: Dimension::CustomerDemographics, selectivity: 0.014 },
+                ],
+            },
+            Query {
+                name: "Q42",
+                stages: vec![
+                    JoinStage { dim: Dimension::DateDim, selectivity: 0.012 }, // moy+year
+                    JoinStage { dim: Dimension::Item, selectivity: 0.1 },      // category
+                ],
+            },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ds() -> TpcDsLite {
+        let mut d = TpcDsLite::scaled_default(17);
+        d.fact_rows = 10_000;
+        d
+    }
+
+    #[test]
+    fn queries_join_two_to_four_dims() {
+        for q in TpcDsLite::queries() {
+            assert!((2..=4).contains(&q.stages.len()), "{}", q.name);
+            assert!(q.stages.iter().all(|s| s.selectivity > 0.0 && s.selectivity <= 1.0));
+        }
+        let names: Vec<_> = TpcDsLite::queries().iter().map(|q| q.name).collect();
+        assert_eq!(names, vec!["Q3", "Q7", "Q27", "Q42"]);
+    }
+
+    #[test]
+    fn fact_fks_within_dimension_cardinalities() {
+        let d = ds();
+        let sales = d.sales();
+        assert_eq!(sales.len() as u64, d.fact_rows);
+        for s in &sales {
+            for dim in Dimension::all() {
+                assert!(s.fk(dim) < d.rows_of(dim), "{dim:?} fk out of range");
+            }
+        }
+    }
+
+    #[test]
+    fn item_popularity_is_skewed_dates_recent() {
+        let d = ds();
+        let sales = d.sales();
+        let mut item_counts = vec![0u32; d.rows_of(Dimension::Item) as usize];
+        let mut recent = 0u32;
+        let dates = d.rows_of(Dimension::DateDim);
+        for s in &sales {
+            item_counts[s.item_sk as usize] += 1;
+            if s.date_sk > dates * 3 / 4 {
+                recent += 1;
+            }
+        }
+        let max_item = *item_counts.iter().max().unwrap();
+        assert!(max_item > 50, "no popular item (max {max_item})");
+        assert!(
+            f64::from(recent) / sales.len() as f64 > 0.5,
+            "sales not recent-skewed"
+        );
+    }
+
+    #[test]
+    fn dimension_rows_have_spec_widths() {
+        let d = ds();
+        for dim in Dimension::all() {
+            let (_, v) = d.dimension_rows(dim).next().unwrap();
+            assert_eq!(v.data.len(), dim.row_bytes(), "{dim:?}");
+            assert_eq!(d.dimension_rows(dim).count() as u64, d.rows_of(dim));
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(ds().sales()[42], ds().sales()[42]);
+        let a: Vec<_> = ds().dimension_rows(Dimension::Item).take(5).collect();
+        let b: Vec<_> = ds().dimension_rows(Dimension::Item).take(5).collect();
+        assert_eq!(a, b);
+    }
+}

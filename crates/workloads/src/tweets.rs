@@ -1,0 +1,149 @@
+//! The streaming Twitter workload (§9.1.2): a continuous feed of short
+//! documents where entity popularity is bursty — "new events which did not
+//! exist earlier may suddenly gain popularity" — so precomputed statistics
+//! cannot identify the hot models.
+
+use jl_simkit::rng::stream_rng;
+use jl_simkit::time::{SimDuration, SimTime};
+use rand::Rng;
+
+use crate::annotation::{Document, Spot};
+use crate::zipf::{ShiftingKeyMap, Zipf};
+
+/// Generator of a timestamped tweet stream.
+#[derive(Debug, Clone)]
+pub struct TweetStream {
+    /// Vocabulary of annotatable entities.
+    pub vocab: usize,
+    /// Tweets per simulated second.
+    pub rate_per_sec: f64,
+    /// Total tweets to generate.
+    pub count: u64,
+    /// Fraction of tweets containing at least one entity (paper: ~50%).
+    pub annotatable_frac: f64,
+    /// Max spots in one tweet.
+    pub max_spots: u32,
+    /// Zipf skew of entity popularity within an epoch.
+    pub skew: f64,
+    /// How many times the trending set changes over the stream.
+    pub trend_shifts: u64,
+    /// Context bytes per spot (tweets are short).
+    pub context_bytes: u32,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl TweetStream {
+    /// A laptop-scale stream preserving the paper's shape.
+    pub fn scaled_default(seed: u64) -> Self {
+        TweetStream {
+            vocab: 50_000,
+            rate_per_sec: 2000.0,
+            count: 200_000,
+            annotatable_frac: 0.5,
+            max_spots: 3,
+            // Trending streams are extremely head-heavy: a handful of
+            // entities dominate at any moment (the paper's "new events
+            // suddenly gain popularity").
+            skew: 1.3,
+            trend_shifts: 5,
+            context_bytes: 140,
+            seed,
+        }
+    }
+
+    /// Generate `(arrival, document)` pairs; non-annotatable tweets have no
+    /// spots but still cost ingest work at the compute node.
+    pub fn generate(&self) -> Vec<(SimTime, Document)> {
+        let zipf = Zipf::new(self.vocab, self.skew);
+        // Banded: trending entities change identity but stay in the same
+        // prominence (model-size) class.
+        let map = ShiftingKeyMap::banded(
+            self.vocab as u64,
+            (self.count / self.trend_shifts.max(1)).max(1),
+            self.seed,
+        );
+        let mut rng = stream_rng(self.seed, "tweets");
+        let gap = SimDuration::from_secs_f64(1.0 / self.rate_per_sec);
+        let mut at = SimTime::ZERO;
+        (0..self.count)
+            .map(|id| {
+                at += gap;
+                let spots = if rng.gen_bool(self.annotatable_frac) {
+                    let n = rng.gen_range(1..=self.max_spots);
+                    (0..n)
+                        .map(|_| Spot {
+                            token: map.key_at(zipf.sample(&mut rng) as u64, id),
+                            context_size: self.context_bytes,
+                        })
+                        .collect()
+                } else {
+                    Vec::new()
+                };
+                (at, Document { id, spots })
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn small() -> TweetStream {
+        let mut t = TweetStream::scaled_default(3);
+        t.vocab = 5000;
+        t.count = 20_000;
+        t
+    }
+
+    #[test]
+    fn arrival_times_follow_rate() {
+        let s = small();
+        let tweets = s.generate();
+        assert_eq!(tweets.len() as u64, s.count);
+        let span = tweets.last().unwrap().0.since(tweets[0].0);
+        let expected = (s.count - 1) as f64 / s.rate_per_sec;
+        assert!((span.as_secs_f64() - expected).abs() < expected * 0.01);
+    }
+
+    #[test]
+    fn about_half_are_annotatable() {
+        let s = small();
+        let tweets = s.generate();
+        let annotatable = tweets.iter().filter(|(_, d)| !d.spots.is_empty()).count();
+        let frac = annotatable as f64 / tweets.len() as f64;
+        assert!((0.45..0.55).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    fn trending_entities_shift_over_time() {
+        let s = small();
+        let tweets = s.generate();
+        let epoch = tweets.len() / 5;
+        let top_of = |slice: &[(SimTime, Document)]| {
+            let mut counts: HashMap<u64, u32> = HashMap::new();
+            for (_, d) in slice {
+                for sp in &d.spots {
+                    *counts.entry(sp.token).or_insert(0) += 1;
+                }
+            }
+            counts.into_iter().max_by_key(|(_, c)| *c).unwrap().0
+        };
+        let early = top_of(&tweets[..epoch]);
+        let late = top_of(&tweets[4 * epoch..]);
+        assert_ne!(early, late, "trending entity never changed");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = small().generate();
+        let b = small().generate();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[100].1, b[100].1);
+        let mut c = small();
+        c.seed = 99;
+        assert_ne!(a[100].1, c.generate()[100].1);
+    }
+}

@@ -1,0 +1,305 @@
+//! Zipf-distributed key generation, with optional dynamic redistribution.
+//!
+//! The synthetic experiments (§9.3) draw join keys from a Zipf distribution
+//! with skew `z ∈ {0, 0.5, 1.0, 1.5}` (`z = 0` is uniform). The dynamic
+//! variant re-maps which concrete keys are the frequent ones at fixed
+//! epochs — "for each skew value, we changed the frequent keys 10 times
+//! during our experiment" (§9.3.2) — which is what separates adaptive from
+//! frozen optimizers in Figure 9.
+
+use rand::Rng;
+
+/// Zipf sampler over ranks `0..n` with exponent `z` (CDF inversion by
+/// binary search; setup O(n), sample O(log n)).
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler over `n` ranks with skew `z ≥ 0`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `z` is negative/non-finite.
+    pub fn new(n: usize, z: f64) -> Self {
+        assert!(n > 0, "need at least one key");
+        assert!(z.is_finite() && z >= 0.0, "invalid skew {z}");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += 1.0 / (rank as f64).powf(z);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Sample a rank in `0..n` (0 = most frequent).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// The probability mass of rank `r`.
+    pub fn mass(&self, r: usize) -> f64 {
+        if r == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[r] - self.cdf[r - 1]
+        }
+    }
+}
+
+/// Maps sampled *ranks* to concrete *keys*, with the mapping re-shuffled at
+/// epoch boundaries so the hot set moves over time.
+#[derive(Debug, Clone)]
+pub struct ShiftingKeyMap {
+    n: u64,
+    /// Multiplicative stride (odd, co-prime with 2^64) and offset per epoch
+    /// give a cheap bijective rank→key permutation.
+    epoch_len: u64,
+    seed: u64,
+    /// When set, ranks permute only within geometric bands `[2^i, 2^{i+1})`:
+    /// the *identity* of the hot keys changes each epoch but a hot rank
+    /// still maps to a low key id. Workloads where key id encodes a cost
+    /// class (annotation models: low id = big model) need this so that
+    /// "suddenly trending" keys remain expensive ones.
+    banded: bool,
+}
+
+impl ShiftingKeyMap {
+    /// A mapping over keys `0..n` that re-shuffles every `epoch_len` tuples.
+    /// `epoch_len = u64::MAX` (or anything ≥ the stream length) is static.
+    pub fn new(n: u64, epoch_len: u64, seed: u64) -> Self {
+        assert!(n > 0 && epoch_len > 0);
+        ShiftingKeyMap {
+            n,
+            epoch_len,
+            seed,
+            banded: false,
+        }
+    }
+
+    /// A banded mapping: see the `banded` field.
+    pub fn banded(n: u64, epoch_len: u64, seed: u64) -> Self {
+        let mut m = Self::new(n, epoch_len, seed);
+        m.banded = true;
+        m
+    }
+
+    /// The key for rank `rank` at stream position `pos`.
+    pub fn key_at(&self, rank: u64, pos: u64) -> u64 {
+        let rank = rank % self.n;
+        let epoch = pos / self.epoch_len;
+        if epoch == 0 {
+            // First epoch: identity, so rank r is key r (easy to reason
+            // about in tests).
+            return rank;
+        }
+        let mut s = self
+            .seed
+            .wrapping_add(epoch.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let a = jl_simkit::rng::splitmix64(&mut s) | 1; // odd => bijective mod 2^64
+        let b = jl_simkit::rng::splitmix64(&mut s);
+        if !self.banded {
+            return rank.wrapping_mul(a).wrapping_add(b) % self.n;
+        }
+        // Permute within the geometric (base-4) band holding this rank:
+        // bands [0,4), [4,16), [16,64), … are wide enough for the hot key
+        // to genuinely move while staying in its cost class.
+        let mut band_start = 0u64;
+        let mut band_end = 4u64;
+        while rank >= band_end {
+            band_start = band_end;
+            band_end *= 4;
+        }
+        let band_end = band_end.min(self.n);
+        let len = band_end - band_start;
+        if len <= 1 {
+            return rank;
+        }
+        band_start + (rank - band_start).wrapping_mul(a).wrapping_add(b) % len
+    }
+
+    /// Epoch index at stream position `pos`.
+    pub fn epoch_at(&self, pos: u64) -> u64 {
+        pos / self.epoch_len
+    }
+
+    /// Number of distinct keys.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+}
+
+/// A complete keyed-tuple stream: Zipf ranks through a (possibly shifting)
+/// key map.
+#[derive(Debug, Clone)]
+pub struct KeyStream {
+    zipf: Zipf,
+    map: ShiftingKeyMap,
+    pos: u64,
+}
+
+impl KeyStream {
+    /// Static Zipf stream over `n` keys with skew `z`.
+    pub fn new(n: usize, z: f64, seed: u64) -> Self {
+        KeyStream {
+            zipf: Zipf::new(n, z),
+            map: ShiftingKeyMap::new(n as u64, u64::MAX, seed),
+            pos: 0,
+        }
+    }
+
+    /// Dynamic stream whose hot set re-shuffles every `epoch_len` tuples.
+    pub fn shifting(n: usize, z: f64, epoch_len: u64, seed: u64) -> Self {
+        KeyStream {
+            zipf: Zipf::new(n, z),
+            map: ShiftingKeyMap::new(n as u64, epoch_len, seed),
+            pos: 0,
+        }
+    }
+
+    /// Draw the next key.
+    pub fn next_key<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        let rank = self.zipf.sample(rng) as u64;
+        let key = self.map.key_at(rank, self.pos);
+        self.pos += 1;
+        key
+    }
+
+    /// Tuples drawn so far.
+    pub fn pos(&self) -> u64 {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jl_simkit::rng::stream_rng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn uniform_when_z_zero() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = stream_rng(1, "zipf");
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        let (min, max) = (counts.iter().min().unwrap(), counts.iter().max().unwrap());
+        assert!(*min > 700 && *max < 1300, "min {min} max {max}");
+    }
+
+    #[test]
+    fn skewed_mass_concentrates_on_low_ranks() {
+        let z = Zipf::new(10_000, 1.0);
+        let mut rng = stream_rng(2, "zipf");
+        let mut head = 0u32;
+        const N: u32 = 100_000;
+        for _ in 0..N {
+            if z.sample(&mut rng) < 100 {
+                head += 1;
+            }
+        }
+        // With z=1 over 10k keys, the top 100 ranks carry ≈ half the mass.
+        let frac = f64::from(head) / f64::from(N);
+        assert!(frac > 0.4 && frac < 0.65, "head fraction {frac}");
+    }
+
+    #[test]
+    fn higher_skew_concentrates_more() {
+        let mut rng = stream_rng(3, "zipf");
+        let frac = |z: f64, rng: &mut rand::rngs::StdRng| {
+            let zf = Zipf::new(1000, z);
+            let mut top = 0u32;
+            for _ in 0..20_000 {
+                if zf.sample(rng) == 0 {
+                    top += 1;
+                }
+            }
+            f64::from(top) / 20_000.0
+        };
+        let f05 = frac(0.5, &mut rng);
+        let f15 = frac(1.5, &mut rng);
+        assert!(f15 > f05 * 3.0, "z=0.5 -> {f05}, z=1.5 -> {f15}");
+    }
+
+    #[test]
+    fn mass_sums_to_one() {
+        let z = Zipf::new(50, 1.2);
+        let total: f64 = (0..50).map(|r| z.mass(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(z.mass(0) > z.mass(1));
+    }
+
+    #[test]
+    fn shifting_map_changes_hot_key_across_epochs() {
+        let m = ShiftingKeyMap::new(1000, 100, 42);
+        let k0 = m.key_at(0, 50); // epoch 0
+        let k1 = m.key_at(0, 150); // epoch 1
+        let k2 = m.key_at(0, 250); // epoch 2
+        assert_eq!(k0, 0, "first epoch is identity");
+        assert!(k1 != k0 || k2 != k0, "hot key never moved");
+        assert_eq!(m.epoch_at(250), 2);
+    }
+
+    #[test]
+    fn shifting_map_is_deterministic() {
+        let a = ShiftingKeyMap::new(1000, 100, 42);
+        let b = ShiftingKeyMap::new(1000, 100, 42);
+        for pos in [0, 99, 100, 500, 999] {
+            for rank in [0, 1, 500] {
+                assert_eq!(a.key_at(rank, pos), b.key_at(rank, pos));
+            }
+        }
+    }
+
+    #[test]
+    fn key_stream_covers_range() {
+        let mut s = KeyStream::new(50, 0.5, 9);
+        let mut rng = stream_rng(9, "stream");
+        let mut seen = HashMap::new();
+        for _ in 0..5000 {
+            let k = s.next_key(&mut rng);
+            assert!(k < 50);
+            *seen.entry(k).or_insert(0u32) += 1;
+        }
+        assert!(seen.len() > 40, "only {} keys seen", seen.len());
+        assert_eq!(s.pos(), 5000);
+    }
+
+    #[test]
+    fn shifting_stream_moves_hot_set() {
+        let mut s = KeyStream::shifting(1000, 1.5, 1000, 7);
+        let mut rng = stream_rng(7, "stream");
+        let mut epoch_tops: Vec<u64> = Vec::new();
+        for _ in 0..3 {
+            let mut counts: HashMap<u64, u32> = HashMap::new();
+            for _ in 0..1000 {
+                *counts.entry(s.next_key(&mut rng)).or_insert(0) += 1;
+            }
+            let top = counts.iter().max_by_key(|(_, &c)| c).map(|(&k, _)| k).unwrap();
+            epoch_tops.push(top);
+        }
+        assert!(
+            epoch_tops[1] != epoch_tops[0] || epoch_tops[2] != epoch_tops[0],
+            "hot key identical across epochs: {epoch_tops:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "need at least one key")]
+    fn empty_zipf_rejected() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Appendix D.4: effective-bandwidth estimation by probing. The estimator
+//! is fed measured probe transfers through the simulated network and must
+//! recover the configured NIC bandwidth.
+
+use jl_costmodel::BandwidthEstimator;
+use jl_simkit::prelude::*;
+
+struct Probe {
+
+    received: Vec<(usize, usize, SimTime, u64)>, // (src, dst, when, bytes)
+}
+
+#[derive(Clone, Copy)]
+enum Msg {
+    Probe { src: usize, bytes: u64 },
+}
+
+impl Node for Probe {
+    type Msg = Msg;
+    fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        let Msg::Probe { src, bytes } = msg;
+        self.received.push((src, ctx.self_id(), ctx.now(), bytes));
+    }
+}
+
+#[test]
+fn probing_recovers_configured_bandwidth() {
+    let bw = 125_000_000.0; // 1 Gbit/s
+    let mut sim: Sim<Probe> = Sim::new(1, NetConfig::default());
+    for _ in 0..4 {
+        sim.add_node(
+            Probe {
+
+                received: vec![],
+            },
+            NodeSpec {
+                cores: 8,
+                disk_channels: 1,
+                net_bw_bps: bw,
+            },
+        );
+    }
+    // 10 MB probes between every ordered pair, staggered so transfers
+    // don't contend.
+    let probe_bytes = 10_000_000u64;
+    let mut at = SimTime::ZERO;
+    let mut sent: Vec<(usize, usize, SimTime)> = Vec::new();
+    for src in 0..4usize {
+        for dst in 0..4usize {
+            if src == dst {
+                continue;
+            }
+            sim.post(at, dst, Msg::Probe { src, bytes: probe_bytes }, probe_bytes);
+            sent.push((src, dst, at));
+            at += SimDuration::from_secs(1);
+        }
+    }
+    sim.run();
+
+    let mut est = BandwidthEstimator::new(1e6, 0.5);
+    for (src, dst, t0) in &sent {
+        let (_, _, t1, bytes) = *sim
+            .node(*dst)
+            .received
+            .iter()
+            .find(|(s, _, _, _)| s == src)
+            .expect("probe delivered");
+        // Subtract the known propagation latency, as a real prober would
+        // calibrate with a zero-byte ping.
+        let secs = t1.since(*t0).as_secs_f64() - NetConfig::default().latency.as_secs_f64();
+        est.record_probe(*src, *dst, bytes, secs);
+    }
+    for n in 0..4usize {
+        let measured = est.node_bw(n);
+        assert!(
+            (measured - bw).abs() / bw < 0.05,
+            "node {n}: measured {measured:.0} vs configured {bw:.0}"
+        );
+    }
+}
