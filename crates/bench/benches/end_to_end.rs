@@ -46,6 +46,8 @@ fn bench_run_job(c: &mut Criterion) {
                         plan: JobPlan::single(0, 0),
                         seed: 3,
                         udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+                        policy: None,
+                        decision_sink: None,
                     };
                     run_job(&job, store, udfs, tuples.clone(), vec![])
                 })

@@ -90,7 +90,9 @@ fn bench_loadbalance(c: &mut Criterion) {
         computed: 256,
     };
     let model = LoadModel::new(&cs, &ds, &sizes, 64);
-    c.bench_function("lb_solve_exact", |b| b.iter(|| black_box(solve_exact(&model))));
+    c.bench_function("lb_solve_exact", |b| {
+        b.iter(|| black_box(solve_exact(&model)))
+    });
     c.bench_function("lb_solve_gradient", |b| {
         let mut rng = StdRng::seed_from_u64(3);
         b.iter(|| black_box(solve_gradient(&model, &mut rng, 60)))
@@ -128,7 +130,9 @@ fn bench_batcher(c: &mut Criterion) {
 fn bench_zipf(c: &mut Criterion) {
     let zipf = Zipf::new(1_000_000, 1.0);
     let mut rng = stream_rng(4, "bench");
-    c.bench_function("zipf_sample_1m_keys", |b| b.iter(|| black_box(zipf.sample(&mut rng))));
+    c.bench_function("zipf_sample_1m_keys", |b| {
+        b.iter(|| black_box(zipf.sample(&mut rng)))
+    });
 }
 
 fn bench_simkit(c: &mut Criterion) {
@@ -148,8 +152,20 @@ fn bench_simkit(c: &mut Criterion) {
     c.bench_function("simkit_10k_messages", |b| {
         b.iter(|| {
             let mut sim: Sim<Relay> = Sim::new(1, NetConfig::default());
-            sim.add_node(Relay { peer: 1, left: 5_000 }, NodeSpec::default());
-            sim.add_node(Relay { peer: 0, left: 5_000 }, NodeSpec::default());
+            sim.add_node(
+                Relay {
+                    peer: 1,
+                    left: 5_000,
+                },
+                NodeSpec::default(),
+            );
+            sim.add_node(
+                Relay {
+                    peer: 0,
+                    left: 5_000,
+                },
+                NodeSpec::default(),
+            );
             sim.post(SimTime::ZERO, 0, 1, 64);
             black_box(sim.run())
         })

@@ -46,6 +46,8 @@ fn main() {
                 plan: JobPlan::single(0, 0),
                 seed,
                 udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+                policy: None,
+                decision_sink: None,
             };
             let r = run_job(&job, store, udfs, tuples, vec![]);
             vals.push(r.duration.as_secs_f64());

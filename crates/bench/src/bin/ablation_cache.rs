@@ -1,11 +1,50 @@
-//! Ablation: cache benefit policies — weighted LFU-DA (the paper's choice)
-//! vs LRU vs plain LFU on a hot-set-shifting Zipf trace.
+//! Ablation: caching policies, two layers.
+//!
+//! Eviction: weighted LFU-DA (the paper's choice) vs LRU vs plain LFU on a
+//! hot-set-shifting Zipf trace, driven against the cache directly.
+//!
+//! Admission: ski-rental-gated buying (the paper) vs an eager always-buy
+//! policy vs never buying, each plugged into the runtime as a
+//! [`PlacementPolicy`] object via [`JobSpec::policy`]. `EagerBuyPolicy` is
+//! defined in this binary — extending the decision plane requires no
+//! `jl-core` edit.
 
 use jl_bench::output::FigTable;
 use jl_bench::parse_args;
 use jl_cache::{BenefitPolicy, Lfu, LfuDa, Lru, SizeMode, TieredCache};
+use jl_core::{
+    CacheIntent, DataSidePolicy, DecisionCtx, OptimizerConfig, Placement, PlacementPolicy,
+    SkiRentalPolicy, Strategy,
+};
+use jl_engine::plan::{JobPlan, JobTuple};
+use jl_engine::{build_store, run_job, ClusterSpec, FeedMode, JobSpec, PolicyFactory};
 use jl_simkit::rng::stream_rng;
-use jl_workloads::KeyStream;
+use jl_simkit::time::SimTime;
+use jl_store::{DigestUdf, RowKey, UdfRegistry};
+use jl_workloads::{KeyStream, SyntheticSpec};
+use std::sync::Arc;
+
+/// Buy every key into the cache as soon as its costs are known — no
+/// ski-rental gate. Overbuys cold keys; the comparison shows what the gate
+/// is worth.
+struct EagerBuyPolicy;
+
+impl<K> PlacementPolicy<K> for EagerBuyPolicy {
+    fn decide(&mut self, _key: &K, ctx: &DecisionCtx) -> Placement {
+        if ctx.frozen || !ctx.observed || ctx.fetch_in_flight {
+            return Placement::Rent;
+        }
+        if ctx.would_cache_mem {
+            Placement::Buy(CacheIntent::Memory)
+        } else {
+            Placement::Buy(CacheIntent::Disk)
+        }
+    }
+
+    fn uses_cache(&self) -> bool {
+        true
+    }
+}
 
 fn run_policy<P: BenefitPolicy<u64>>(policy: P, trace: &[u64]) -> (f64, f64) {
     // 100 slots of memory over a 10k keyspace; disk tier unbounded.
@@ -42,11 +81,77 @@ fn main() {
     let (m, d) = run_policy(Lfu::new(), &trace);
     rows.push(("LFU (no aging)".to_string(), vec![m, d, m + d]));
     let t = FigTable {
-        title: format!(
-            "Ablation — eviction policy on a shifting Zipf(1.0) trace of {n} accesses"
-        ),
+        title: format!("Ablation — eviction policy on a shifting Zipf(1.0) trace of {n} accesses"),
         row_label: "policy".into(),
         columns: vec!["mem hit".into(), "disk hit".into(), "any hit".into()],
+        rows,
+    };
+    println!("{}", t.render());
+    println!();
+    admission(scale, seed);
+}
+
+/// Run the DCH job once per admission policy object.
+fn admission(scale: f64, seed: u64) {
+    let mut spec = SyntheticSpec::dch();
+    spec.n_tuples = ((spec.n_tuples as f64 * scale) as u64).max(1000);
+    let cluster = ClusterSpec::default();
+    let factories: Vec<(&str, PolicyFactory)> = vec![
+        (
+            "ski-rental (paper)",
+            Arc::new(|cfg: &OptimizerConfig, _| Box::new(SkiRentalPolicy::new(cfg))),
+        ),
+        (
+            "eager buy",
+            Arc::new(|_: &OptimizerConfig, _| Box::new(EagerBuyPolicy)),
+        ),
+        (
+            "never buy",
+            Arc::new(|_: &OptimizerConfig, _| Box::new(DataSidePolicy)),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, factory) in factories {
+        let store = build_store(&cluster, vec![("t".into(), spec.rows(1).collect())]);
+        let mut rng = stream_rng(seed, "tuples");
+        let tuples: Vec<JobTuple> = spec
+            .tuples(1.0, 1, &mut rng, seed)
+            .into_iter()
+            .map(|t| JobTuple {
+                seq: t.seq,
+                keys: vec![RowKey::from_u64(t.key)],
+                params_size: t.params_size,
+                arrival: SimTime::ZERO,
+            })
+            .collect();
+        let mut optimizer = OptimizerConfig::for_strategy(Strategy::Full);
+        optimizer.mem_cache_bytes = 32 << 20;
+        let mut udfs = UdfRegistry::new();
+        udfs.register(0, Arc::new(DigestUdf { out_bytes: 256 }));
+        let job = JobSpec {
+            cluster: cluster.clone(),
+            optimizer,
+            feed: FeedMode::Batch { window: 256 },
+            plan: JobPlan::single(0, 0),
+            seed,
+            udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+            policy: Some(factory),
+            decision_sink: None,
+        };
+        let r = run_job(&job, store, udfs, tuples, vec![]);
+        rows.push((
+            label.to_string(),
+            vec![
+                r.duration.as_secs_f64(),
+                r.decisions.data_requests as f64,
+                r.decisions.mem_hits as f64 + r.decisions.disk_hits as f64,
+            ],
+        ));
+    }
+    let t = FigTable {
+        title: "Ablation — cache admission as a placement policy (DCH, z=1)".into(),
+        row_label: "policy".into(),
+        columns: vec!["time (s)".into(), "buys".into(), "cache hits".into()],
         rows,
     };
     println!("{}", t.render());

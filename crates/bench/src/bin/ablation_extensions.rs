@@ -14,7 +14,12 @@ use jl_store::{DigestUdf, RowKey, UdfRegistry};
 use jl_workloads::SyntheticSpec;
 use std::sync::Arc;
 
-fn run(offload: Option<u64>, dyn_batch: Option<usize>, spec: &SyntheticSpec, seed: u64) -> (f64, u64) {
+fn run(
+    offload: Option<u64>,
+    dyn_batch: Option<usize>,
+    spec: &SyntheticSpec,
+    seed: u64,
+) -> (f64, u64) {
     let cluster = ClusterSpec {
         block_cache_bytes: 0,
         ..ClusterSpec::default()
@@ -39,7 +44,12 @@ fn run(offload: Option<u64>, dyn_batch: Option<usize>, spec: &SyntheticSpec, see
         optimizer.dynamic_batch_max = Some(max);
     }
     let mut udfs = UdfRegistry::new();
-    udfs.register(0, Arc::new(DigestUdf { out_bytes: spec.output_size as usize }));
+    udfs.register(
+        0,
+        Arc::new(DigestUdf {
+            out_bytes: spec.output_size as usize,
+        }),
+    );
     let job = JobSpec {
         cluster: cluster.clone(),
         optimizer,
@@ -47,6 +57,8 @@ fn run(offload: Option<u64>, dyn_batch: Option<usize>, spec: &SyntheticSpec, see
         plan: JobPlan::single(0, 0),
         seed,
         udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+        policy: None,
+        decision_sink: None,
     };
     let r = run_job(&job, store, udfs, tuples, vec![]);
     (r.duration.as_secs_f64(), r.decisions.offloaded_hits)

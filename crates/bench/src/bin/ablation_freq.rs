@@ -1,12 +1,24 @@
-//! Ablation: frequency-estimator accuracy and space on a Zipf stream —
-//! Lossy Counting (the paper's choice) vs Space-Saving vs exact counts.
+//! Ablation: frequency estimators — Lossy Counting (the paper's choice)
+//! vs Space-Saving vs exact counts.
+//!
+//! Two views: offline accuracy/space on a raw Zipf stream, and an
+//! end-to-end run where each estimator is plugged into the ski-rental
+//! placement policy ([`SkiRentalPolicy::with_estimator`] via
+//! [`JobSpec::policy`]) so estimation error shows up as runtime, not just
+//! as counting error.
 
 use jl_bench::output::FigTable;
 use jl_bench::parse_args;
+use jl_core::{OptimizerConfig, SkiRentalPolicy, Strategy};
+use jl_engine::plan::{JobPlan, JobTuple};
+use jl_engine::{build_store, run_job, ClusterSpec, EKey, FeedMode, JobSpec, PolicyFactory};
 use jl_freq::{ExactCounter, FrequencyEstimator, LossyCounter, SpaceSaving};
 use jl_simkit::rng::stream_rng;
-use jl_workloads::Zipf;
+use jl_simkit::time::SimTime;
+use jl_store::{DigestUdf, RowKey, UdfRegistry};
+use jl_workloads::{SyntheticSpec, Zipf};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 fn evaluate<E: FrequencyEstimator<u64>>(
     mut est: E,
@@ -24,9 +36,17 @@ fn evaluate<E: FrequencyEstimator<u64>>(
         err += (est.estimate(k) as f64 - t as f64).abs() / t as f64;
     }
     // Heavy-hitter recall at 0.5% support.
-    let hh: Vec<u64> = est.heavy_hitters(0.005).into_iter().map(|(k, _)| k).collect();
+    let hh: Vec<u64> = est
+        .heavy_hitters(0.005)
+        .into_iter()
+        .map(|(k, _)| k)
+        .collect();
     let support = (0.005 * stream.len() as f64) as u64;
-    let should: Vec<&u64> = truth.iter().filter(|(_, &c)| c >= support).map(|(k, _)| k).collect();
+    let should: Vec<&u64> = truth
+        .iter()
+        .filter(|(_, &c)| c >= support)
+        .map(|(k, _)| k)
+        .collect();
     let recall = if should.is_empty() {
         1.0
     } else {
@@ -54,12 +74,103 @@ fn main() {
     }
     for cap in [1_000, 10_000] {
         let (space, err, recall) = evaluate(SpaceSaving::new(cap), &stream, &truth);
-        rows.push((format!("spacesaving k={cap}"), vec![space as f64, err, recall]));
+        rows.push((
+            format!("spacesaving k={cap}"),
+            vec![space as f64, err, recall],
+        ));
     }
     let t = FigTable {
         title: format!("Ablation — frequency estimators on a Zipf(1.1) stream of {n} tuples"),
         row_label: "estimator".into(),
-        columns: vec!["entries".into(), "top-100 rel err".into(), "HH recall".into()],
+        columns: vec![
+            "entries".into(),
+            "top-100 rel err".into(),
+            "HH recall".into(),
+        ],
+        rows,
+    };
+    println!("{}", t.render());
+    println!();
+    end_to_end(scale, seed);
+}
+
+/// Run the DCH job once per estimator, plugged directly into the
+/// ski-rental policy.
+fn end_to_end(scale: f64, seed: u64) {
+    let mut spec = SyntheticSpec::dch();
+    spec.n_tuples = ((spec.n_tuples as f64 * scale) as u64).max(1000);
+    let cluster = ClusterSpec::default();
+    let factories: Vec<(&str, PolicyFactory)> = vec![
+        (
+            "lossy (paper)",
+            Arc::new(|cfg: &OptimizerConfig, _| {
+                Box::new(SkiRentalPolicy::with_estimator(
+                    LossyCounter::<EKey>::new(cfg.lossy_epsilon),
+                    cfg.ski_threshold_scale,
+                ))
+            }),
+        ),
+        (
+            "spacesaving k=10000",
+            Arc::new(|cfg: &OptimizerConfig, _| {
+                Box::new(SkiRentalPolicy::with_estimator(
+                    SpaceSaving::<EKey>::new(10_000),
+                    cfg.ski_threshold_scale,
+                ))
+            }),
+        ),
+        (
+            "exact",
+            Arc::new(|cfg: &OptimizerConfig, _| {
+                Box::new(SkiRentalPolicy::with_estimator(
+                    ExactCounter::<EKey>::new(),
+                    cfg.ski_threshold_scale,
+                ))
+            }),
+        ),
+    ];
+    let mut rows = Vec::new();
+    for (label, factory) in factories {
+        let store = build_store(&cluster, vec![("t".into(), spec.rows(1).collect())]);
+        let mut rng = stream_rng(seed, "tuples");
+        let tuples: Vec<JobTuple> = spec
+            .tuples(1.0, 1, &mut rng, seed)
+            .into_iter()
+            .map(|t| JobTuple {
+                seq: t.seq,
+                keys: vec![RowKey::from_u64(t.key)],
+                params_size: t.params_size,
+                arrival: SimTime::ZERO,
+            })
+            .collect();
+        let mut optimizer = OptimizerConfig::for_strategy(Strategy::Full);
+        optimizer.mem_cache_bytes = 32 << 20;
+        let mut udfs = UdfRegistry::new();
+        udfs.register(0, Arc::new(DigestUdf { out_bytes: 256 }));
+        let job = JobSpec {
+            cluster: cluster.clone(),
+            optimizer,
+            feed: FeedMode::Batch { window: 256 },
+            plan: JobPlan::single(0, 0),
+            seed,
+            udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+            policy: Some(factory),
+            decision_sink: None,
+        };
+        let r = run_job(&job, store, udfs, tuples, vec![]);
+        rows.push((
+            label.to_string(),
+            vec![
+                r.duration.as_secs_f64(),
+                r.decisions.data_requests as f64,
+                r.decisions.mem_hits as f64 + r.decisions.disk_hits as f64,
+            ],
+        ));
+    }
+    let t = FigTable {
+        title: "Ablation — estimator inside ski-rental placement (DCH, z=1)".into(),
+        row_label: "estimator".into(),
+        columns: vec!["time (s)".into(), "buys".into(), "cache hits".into()],
         rows,
     };
     println!("{}", t.render());

@@ -33,7 +33,12 @@ fn run(solver: LbSolver, spec: &SyntheticSpec, z: f64, seed: u64) -> f64 {
     optimizer.lb_solver = solver;
     optimizer.mem_cache_bytes = 32 << 20;
     let mut udfs = UdfRegistry::new();
-    udfs.register(0, Arc::new(DigestUdf { out_bytes: spec.output_size as usize }));
+    udfs.register(
+        0,
+        Arc::new(DigestUdf {
+            out_bytes: spec.output_size as usize,
+        }),
+    );
     let job = JobSpec {
         cluster,
         optimizer,
@@ -41,8 +46,12 @@ fn run(solver: LbSolver, spec: &SyntheticSpec, z: f64, seed: u64) -> f64 {
         plan: JobPlan::single(0, 0),
         seed,
         udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+        policy: None,
+        decision_sink: None,
     };
-    run_job(&job, store, udfs, tuples, vec![]).duration.as_secs_f64()
+    run_job(&job, store, udfs, tuples, vec![])
+        .duration
+        .as_secs_f64()
 }
 
 fn main() {

@@ -2,13 +2,15 @@
 //!
 //! Scales the paper's `b/(r − br)` threshold by ×0.25…×4; the optimum
 //! should sit near ×1 (buying too early wastes fetches, too late wastes
-//! rents).
+//! rents). The sweep parameterizes the policy object directly
+//! ([`SkiRentalPolicy::with_scale`] via [`JobSpec::policy`]) instead of
+//! round-tripping the scale through a config field.
 
 use jl_bench::output::FigTable;
 use jl_bench::parse_args;
-use jl_core::{OptimizerConfig, Strategy};
+use jl_core::{OptimizerConfig, SkiRentalPolicy, Strategy};
 use jl_engine::plan::{JobPlan, JobTuple};
-use jl_engine::{build_store, run_job, ClusterSpec, FeedMode, JobSpec};
+use jl_engine::{build_store, run_job, ClusterSpec, FeedMode, JobSpec, PolicyFactory};
 use jl_simkit::rng::stream_rng;
 use jl_simkit::time::SimTime;
 use jl_store::{DigestUdf, RowKey, UdfRegistry};
@@ -35,10 +37,11 @@ fn main() {
             })
             .collect();
         let mut optimizer = OptimizerConfig::for_strategy(Strategy::Full);
-        optimizer.ski_threshold_scale = ski_scale;
         optimizer.mem_cache_bytes = 32 << 20;
         let mut udfs = UdfRegistry::new();
         udfs.register(0, Arc::new(DigestUdf { out_bytes: 256 }));
+        let policy: PolicyFactory =
+            Arc::new(move |cfg, _seed| Box::new(SkiRentalPolicy::with_scale(cfg, ski_scale)));
         let job = JobSpec {
             cluster: cluster.clone(),
             optimizer,
@@ -46,6 +49,8 @@ fn main() {
             plan: JobPlan::single(0, 0),
             seed,
             udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+            policy: Some(policy),
+            decision_sink: None,
         };
         let r = run_job(&job, store, udfs, tuples, vec![]);
         rows.push((

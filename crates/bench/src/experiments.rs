@@ -15,7 +15,9 @@ use jl_engine::shuffle::run_shuffle_multijoin;
 use jl_engine::{build_store, run_job, ClusterSpec, FeedMode, JobSpec};
 use jl_simkit::rng::stream_rng;
 use jl_simkit::time::{SimDuration, SimTime};
-use jl_store::{DigestUdf, Partitioning, RegionMap, RowKey, StoreCluster, StoredValue, UdfRegistry};
+use jl_store::{
+    DigestUdf, Partitioning, RegionMap, RowKey, StoreCluster, StoredValue, UdfRegistry,
+};
 use jl_workloads::{AnnotationWorkload, SyntheticSpec, TpcDsLite, TweetStream};
 
 use crate::output::FigTable;
@@ -50,10 +52,13 @@ where
     let threads = std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(4);
-    let inputs: Vec<std::sync::Mutex<Option<I>>> =
-        inputs.into_iter().map(|i| std::sync::Mutex::new(Some(i))).collect();
-    let outputs: Vec<std::sync::Mutex<Option<O>>> =
-        (0..inputs.len()).map(|_| std::sync::Mutex::new(None)).collect();
+    let inputs: Vec<std::sync::Mutex<Option<I>>> = inputs
+        .into_iter()
+        .map(|i| std::sync::Mutex::new(Some(i)))
+        .collect();
+    let outputs: Vec<std::sync::Mutex<Option<O>>> = (0..inputs.len())
+        .map(|_| std::sync::Mutex::new(None))
+        .collect();
     let next = std::sync::atomic::AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads.min(inputs.len().max(1)) {
@@ -159,6 +164,8 @@ pub fn run_synthetic(
         plan: JobPlan::single(0, UDF),
         seed,
         udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+        policy: None,
+        decision_sink: None,
     };
     let report = run_job(
         &job,
@@ -222,10 +229,8 @@ pub fn fig8(spec: &SyntheticSpec, tuple_scale: f64, seed: u64) -> FigTable {
 pub fn fig9(tuple_scale: f64, seed: u64) -> FigTable {
     let cluster = synthetic_cluster();
     let mem_cache = 32 << 20;
-    let mut rows: Vec<(String, Vec<f64>)> = SKEWS
-        .iter()
-        .map(|z| (format!("{z}"), Vec::new()))
-        .collect();
+    let mut rows: Vec<(String, Vec<f64>)> =
+        SKEWS.iter().map(|z| (format!("{z}"), Vec::new())).collect();
     let specs = [
         SyntheticSpec::dh(),
         SyntheticSpec::dch(),
@@ -235,8 +240,16 @@ pub fn fig9(tuple_scale: f64, seed: u64) -> FigTable {
         let mut spec = spec.clone();
         spec.n_tuples = ((spec.n_tuples as f64 * tuple_scale) as u64).max(1000);
         let ratios = par_map(SKEWS.to_vec(), |z| {
-            let adaptive =
-                run_synthetic(&spec, Strategy::Full, z, 10, None, &cluster, mem_cache, seed);
+            let adaptive = run_synthetic(
+                &spec,
+                Strategy::Full,
+                z,
+                10,
+                None,
+                &cluster,
+                mem_cache,
+                seed,
+            );
             let frozen = run_synthetic(
                 &spec,
                 Strategy::Full,
@@ -300,6 +313,8 @@ pub fn run_synthetic_stream(
         plan: JobPlan::single(0, UDF),
         seed,
         udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+        policy: None,
+        decision_sink: None,
     };
     let report = run_job(
         &job,
@@ -412,6 +427,8 @@ pub fn fig5(doc_scale: f64, seed: u64) -> FigTable {
             plan: Arc::clone(&plan),
             seed,
             udf_cpu_hint: 0.002,
+            policy: None,
+            decision_sink: None,
         };
         let r = run_job(&job, store, udfs.clone(), tuples.clone(), vec![]);
         if std::env::var("JL_DEBUG").is_ok() {
@@ -481,6 +498,8 @@ pub fn fig6(tweet_scale: f64, seed: u64) -> FigTable {
             plan: Arc::clone(&plan),
             seed,
             udf_cpu_hint: 0.002,
+            policy: None,
+            decision_sink: None,
         };
         let r = run_job(&job, store, udfs.clone(), tuples.clone(), vec![]);
         if std::env::var("JL_DEBUG").is_ok() {
@@ -499,8 +518,7 @@ pub fn fig6(tweet_scale: f64, seed: u64) -> FigTable {
         vals.push(r.throughput() / spots_per_tweet);
     }
     FigTable {
-        title: "Figure 6 — Twitter entity annotation on the streaming engine, tweets/second"
-            .into(),
+        title: "Figure 6 — Twitter entity annotation on the streaming engine, tweets/second".into(),
         row_label: "".into(),
         columns,
         rows: vec![("tweets/s".into(), vals)],
@@ -567,12 +585,7 @@ pub fn fig7(fact_scale: f64, seed: u64) -> FigTable {
         let tables: Vec<(String, Vec<(RowKey, StoredValue)>)> = q
             .stages
             .iter()
-            .map(|s| {
-                (
-                    s.dim.name().to_string(),
-                    ds.dimension_rows(s.dim).collect(),
-                )
-            })
+            .map(|s| (s.dim.name().to_string(), ds.dimension_rows(s.dim).collect()))
             .collect();
         let store = build_store(&cluster, tables);
         let job = JobSpec {
@@ -584,6 +597,8 @@ pub fn fig7(fact_scale: f64, seed: u64) -> FigTable {
             plan,
             seed,
             udf_cpu_hint: 3e-6,
+            policy: None,
+            decision_sink: None,
         };
         let ours = run_job(&job, store, udfs.clone(), tuples, vec![]);
         if std::env::var("JL_DEBUG").is_ok() {

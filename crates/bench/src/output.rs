@@ -63,10 +63,7 @@ mod tests {
             title: "Figure X — test".into(),
             row_label: "skew".into(),
             columns: vec!["NO".into(), "FO".into()],
-            rows: vec![
-                ("0".into(), vec![1.0, 0.9]),
-                ("1.5".into(), vec![1.4, 0.6]),
-            ],
+            rows: vec![("0".into(), vec![1.0, 0.9]), ("1.5".into(), vec![1.4, 0.6])],
         }
     }
 

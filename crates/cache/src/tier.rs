@@ -136,7 +136,9 @@ impl<K: Hash + Eq + Clone, V> Tier<K, V> {
     /// "benefit > min" admission tests fail against an empty full tier
     /// only when capacity truly is zero).
     pub fn min_benefit(&self) -> f64 {
-        self.min_benefit_entry().map(|(_, b, _)| b).unwrap_or(f64::INFINITY)
+        self.min_benefit_entry()
+            .map(|(_, b, _)| b)
+            .unwrap_or(f64::INFINITY)
     }
 
     /// Pop the minimum-benefit entry.

@@ -179,8 +179,7 @@ impl<K: Hash + Eq + Clone, V, P: BenefitPolicy<K>> TieredCache<K, V, P> {
     }
 
     fn check_uniform(&self, size: u64, benefit: f64) -> bool {
-        self.mem.free() >= size
-            || (benefit > self.mem.min_benefit() && self.mem.capacity() >= size)
+        self.mem.free() >= size || (benefit > self.mem.min_benefit() && self.mem.capacity() >= size)
     }
 
     /// For the variable-size check, returns the keys that would need to be
@@ -257,8 +256,10 @@ impl<K: Hash + Eq + Clone, V, P: BenefitPolicy<K>> TieredCache<K, V, P> {
                         // Evict minimum-benefit residents until it fits
                         // (one suffices for truly uniform sizes).
                         while self.mem.free() < size {
-                            let Some((victim, _, _)) =
-                                self.mem.min_benefit_entry().map(|(k, b, s)| (k.clone(), b, s))
+                            let Some((victim, _, _)) = self
+                                .mem
+                                .min_benefit_entry()
+                                .map(|(k, b, s)| (k.clone(), b, s))
                             else {
                                 break;
                             };

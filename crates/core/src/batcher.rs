@@ -55,7 +55,9 @@ impl<T> Batcher<T> {
     }
 
     fn adapt(&mut self, flushed: usize, by_timeout: bool) {
-        let Some((min, max)) = self.dynamic else { return };
+        let Some((min, max)) = self.dynamic else {
+            return;
+        };
         if by_timeout && flushed < self.batch_size / 2 {
             // Halve: the latency bound fires before batches half-fill.
             self.batch_size = (self.batch_size / 2).max(min);
@@ -114,7 +116,10 @@ impl<T> Batcher<T> {
     }
 
     fn drain(&mut self, n: usize) -> Vec<T> {
-        self.queue.drain(..n.min(self.queue.len())).map(|(_, t)| t).collect()
+        self.queue
+            .drain(..n.min(self.queue.len()))
+            .map(|(_, t)| t)
+            .collect()
     }
 }
 

@@ -1,0 +1,235 @@
+//! The cost-observation side of the compute runtime (§4.3): per-key value
+//! sizes and UDF times, per-destination smoothed hardware parameters, the
+//! bounce-aware effective rent, and the §4.2.3 version bookkeeping.
+//!
+//! Everything here is *measurement*: the [`CostTracker`] turns response
+//! feedback into the [`RentBuyCosts`] a [`PlacementPolicy`] prices its
+//! decisions with. It never chooses a placement itself.
+//!
+//! [`PlacementPolicy`]: super::policy::PlacementPolicy
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use jl_costmodel::{
+    rent_buy_costs, ExpSmoothed, KeyCosts, NodeCosts, PerKeyCosts, RentBuyCosts, SizeProfile,
+};
+
+use crate::config::OptimizerConfig;
+use crate::types::CostInfo;
+
+/// Smoothed cost parameters learned about one destination data node.
+struct DestCosts {
+    /// Smoothed fraction of compute requests this destination executed
+    /// itself (history for `rd_ij`/`rc_ij`).
+    computed_frac: ExpSmoothed,
+    /// Smoothed remote disk seconds per value.
+    t_disk: ExpSmoothed,
+    /// Effective (latency-inclusive) per-UDF seconds at the destination.
+    t_cpu: ExpSmoothed,
+    /// Service-only per-UDF seconds at the destination.
+    t_cpu_svc: ExpSmoothed,
+}
+
+/// Everything a decision needs to price one key against one destination.
+#[derive(Debug, Clone, Copy)]
+pub struct DecisionCosts {
+    /// Message/value sizes entering the cost model.
+    pub sizes: SizeProfile,
+    /// The four §4.1 costs for this key at this destination.
+    pub rb: RentBuyCosts,
+    /// Realized rent: a compute request is only as cheap as `tCompute`
+    /// when the data node actually executes it. Under load balancing a
+    /// fraction of compute requests bounce back as raw values (§5),
+    /// costing a fetch *plus* the local execution — so the expected rent
+    /// blends the two by the observed computed fraction. Without this, a
+    /// saturated data node that bounces a heavy hitter's requests ships
+    /// its value over and over while ski-rental still believes renting is
+    /// cheap and never buys.
+    pub rent_eff: f64,
+}
+
+/// Runtime cost measurement for one compute node.
+pub struct CostTracker<K: Hash + Eq + Clone> {
+    perkey: PerKeyCosts<K>,
+    versions: HashMap<K, u64>,
+    my: NodeCosts,
+    my_cpu: ExpSmoothed,
+    /// Smoothed computed-output size (`scv`).
+    scv_est: ExpSmoothed,
+    dests: Vec<DestCosts>,
+    perkey_capacity: usize,
+}
+
+impl<K> CostTracker<K>
+where
+    K: Hash + Eq + Clone,
+{
+    /// Track costs against `n_data_nodes` destinations. `my` holds this
+    /// node's initial hardware parameters; remote parameters start at
+    /// `remote_default` and are learned from responses.
+    pub fn new(
+        cfg: &OptimizerConfig,
+        n_data_nodes: usize,
+        my: NodeCosts,
+        remote_default: NodeCosts,
+    ) -> Self {
+        let alpha = cfg.smoothing_alpha;
+        let dests = (0..n_data_nodes)
+            .map(|_| {
+                let mut t_disk = ExpSmoothed::new(alpha);
+                let mut t_cpu = ExpSmoothed::new(alpha);
+                let mut t_cpu_svc = ExpSmoothed::new(alpha);
+                t_disk.update(remote_default.t_disk);
+                t_cpu.update(remote_default.t_cpu);
+                t_cpu_svc.update(remote_default.t_cpu);
+                DestCosts {
+                    computed_frac: ExpSmoothed::new(alpha),
+                    t_disk,
+                    t_cpu,
+                    t_cpu_svc,
+                }
+            })
+            .collect();
+        CostTracker {
+            perkey: PerKeyCosts::new(cfg.perkey_capacity, alpha),
+            versions: HashMap::new(),
+            my,
+            my_cpu: ExpSmoothed::new(alpha),
+            scv_est: ExpSmoothed::new(alpha),
+            dests,
+            perkey_capacity: cfg.perkey_capacity,
+        }
+    }
+
+    /// This node's configured hardware parameters.
+    pub fn local(&self) -> &NodeCosts {
+        &self.my
+    }
+
+    /// Measured local per-UDF seconds (configured value until measured).
+    pub fn effective_local_cpu(&self) -> f64 {
+        self.my_cpu.get_or(self.my.t_cpu)
+    }
+
+    /// Per-key observed costs with the given fallbacks.
+    pub fn key_costs(&self, key: &K, default_value_size: f64, default_cpu: f64) -> KeyCosts {
+        self.perkey.get(key, default_value_size, default_cpu)
+    }
+
+    /// The smoothed fraction of compute requests `dest` executes itself.
+    pub fn computed_frac(&self, dest: usize) -> f64 {
+        self.dests[dest].computed_frac.get_or(1.0)
+    }
+
+    /// Fold one batch's computed/bounced split into the destination history.
+    pub fn update_computed_frac(&mut self, dest: usize, frac: f64) {
+        self.dests[dest].computed_frac.update(frac);
+    }
+
+    /// The current size profile for a key destined to a data node.
+    pub fn size_profile(&self, key_size: u64, params_size: u64, value_size: f64) -> SizeProfile {
+        SizeProfile {
+            key: key_size,
+            params: params_size,
+            value: value_size.max(0.0) as u64,
+            computed: self.scv_est.get_or(params_size as f64).max(0.0) as u64,
+        }
+    }
+
+    /// The destination's cost parameters *for one specific key*: its disk
+    /// time, and the key's own UDF service time scaled by the node's
+    /// measured congestion (effective ÷ service CPU time). Using the node's
+    /// average CPU time instead would make every expensive-UDF key look
+    /// cheaper to rent than to run locally — with per-model classification
+    /// costs spanning four orders of magnitude, per-key costs are the whole
+    /// point (§4.3: "the costs are key specific").
+    pub fn remote_costs(&self, dest: usize, key_cpu: f64) -> NodeCosts {
+        let d = &self.dests[dest];
+        let svc = d.t_cpu_svc.get_or(self.my.t_cpu).max(1e-12);
+        let inflation = (d.t_cpu.get_or(svc) / svc).max(1.0);
+        NodeCosts {
+            t_disk: d.t_disk.get_or(self.my.t_disk),
+            t_cpu: (key_cpu * inflation).max(0.0),
+            net_bw: self.my.net_bw,
+        }
+    }
+
+    /// This node's cost parameters for one specific key.
+    pub fn my_costs(&self, key_cpu: f64) -> NodeCosts {
+        NodeCosts {
+            t_disk: self.my.t_disk,
+            t_cpu: key_cpu.max(0.0),
+            net_bw: self.my.net_bw,
+        }
+    }
+
+    /// Price one key against one destination: sizes, the §4.1 cost bundle,
+    /// and the bounce-aware effective rent.
+    pub fn decision_costs(
+        &self,
+        dest: usize,
+        key_size: u64,
+        params_size: u64,
+        kc: &KeyCosts,
+    ) -> DecisionCosts {
+        let sizes = self.size_profile(key_size, params_size, kc.value_size);
+        let rb = rent_buy_costs(
+            &sizes,
+            &self.my_costs(kc.cpu_secs),
+            &self.remote_costs(dest, kc.cpu_secs),
+        );
+        let frac = self.computed_frac(dest).clamp(0.0, 1.0);
+        let rent_eff = frac * rb.rent + (1.0 - frac) * (rb.buy + rb.rec_mem);
+        DecisionCosts {
+            sizes,
+            rb,
+            rent_eff,
+        }
+    }
+
+    /// `true` when `dest`'s effective CPU time is within 1.5× of its
+    /// service time, i.e. the destination is not congested.
+    pub fn dest_idle(&self, dest: usize) -> bool {
+        let d = &self.dests[dest];
+        let svc = d.t_cpu_svc.get_or(self.my.t_cpu).max(1e-12);
+        d.t_cpu.get_or(svc) / svc < 1.5
+    }
+
+    /// Fold response cost feedback into the per-key and per-destination
+    /// estimates. Returns `true` when the item's version moved since we
+    /// last saw it (§4.2.3) — the caller must then reset the key's access
+    /// count and invalidate any cached copy.
+    pub fn absorb(&mut self, key: &K, dest: usize, cost: &CostInfo) -> bool {
+        self.perkey
+            .record(key.clone(), cost.value_size, cost.udf_cpu_secs);
+        self.dests[dest].t_disk.update(cost.data_t_disk);
+        self.dests[dest].t_cpu.update(cost.data_t_cpu);
+        self.dests[dest].t_cpu_svc.update(cost.data_t_cpu_service);
+        let seen = self.versions.entry(key.clone()).or_insert(cost.version);
+        let bumped = cost.version > *seen;
+        if bumped {
+            *seen = cost.version;
+        }
+        if self.versions.len() > self.perkey_capacity * 2 {
+            self.versions.clear(); // coarse bound; versions re-learn lazily
+        }
+        bumped
+    }
+
+    /// A computed output of this size came back (updates `scv`).
+    pub fn observe_output(&mut self, output_size: u64) {
+        self.scv_est.update(output_size as f64);
+    }
+
+    /// A local UDF execution finished with this measured CPU time.
+    pub fn observe_local(&mut self, cpu_secs: f64) {
+        self.my_cpu.update(cpu_secs);
+    }
+
+    /// Drop everything known about `key` (update notification, §4.2.3).
+    pub fn forget_key(&mut self, key: &K) {
+        self.versions.remove(key);
+        self.perkey.forget(key);
+    }
+}

@@ -1,0 +1,54 @@
+//! The non-adaptive baseline policies: always-buy (NO/FC), always-rent
+//! (FD/LO), and the coin flip (FR).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use super::{CacheIntent, DecisionCtx, Placement, PlacementPolicy};
+
+/// Always fetch the value and run compute-side, never cache: the NO and FC
+/// baselines (map-side flavour).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ComputeSidePolicy;
+
+impl<K> PlacementPolicy<K> for ComputeSidePolicy {
+    fn decide(&mut self, _key: &K, _ctx: &DecisionCtx) -> Placement {
+        Placement::Buy(CacheIntent::None)
+    }
+}
+
+/// Always send a compute request to the data node: the FD and LO baselines
+/// (reduce-side flavour).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DataSidePolicy;
+
+impl<K> PlacementPolicy<K> for DataSidePolicy {
+    fn decide(&mut self, _key: &K, _ctx: &DecisionCtx) -> Placement {
+        Placement::Rent
+    }
+}
+
+/// Flip a fair coin per tuple: the FR baseline.
+#[derive(Debug, Clone)]
+pub struct RandomPolicy {
+    rng: StdRng,
+}
+
+impl RandomPolicy {
+    /// A coin seeded for reproducible runs.
+    pub fn new(seed: u64) -> Self {
+        RandomPolicy {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl<K> PlacementPolicy<K> for RandomPolicy {
+    fn decide(&mut self, _key: &K, _ctx: &DecisionCtx) -> Placement {
+        if self.rng.gen_bool(0.5) {
+            Placement::Buy(CacheIntent::None)
+        } else {
+            Placement::Rent
+        }
+    }
+}

@@ -235,7 +235,13 @@ mod tests {
     }
 
     fn rt(strategy: Strategy) -> DataRuntime {
-        DataRuntime::new(OptimizerConfig::for_strategy(strategy), 0.001, 0.05, 125e6, 5)
+        DataRuntime::new(
+            OptimizerConfig::for_strategy(strategy),
+            0.001,
+            0.05,
+            125e6,
+            5,
+        )
     }
 
     #[test]

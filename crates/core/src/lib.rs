@@ -29,9 +29,14 @@ pub mod compute;
 pub mod config;
 pub mod data;
 pub mod premap;
+pub mod testsupport;
 pub mod types;
 
 pub use batcher::Batcher;
+pub use compute::policy::{
+    policy_for, CacheIntent, ComputeSidePolicy, DataSidePolicy, DecisionCtx, DecisionEvent,
+    DecisionSink, Placement, PlacementPolicy, RandomPolicy, SkiRentalPolicy,
+};
 pub use compute::{ComputeRuntime, DecisionStats};
 pub use config::{LbSolver, OptimizerConfig, Strategy};
 pub use data::{DataNodeStats, DataRuntime};

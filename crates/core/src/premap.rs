@@ -10,15 +10,13 @@
 //! (the simulator models the same pipeline analytically). It mirrors the
 //! Hadoop/Spark/Muppet driver modifications of Appendix D.2: a hidden
 //! prefetch thread pool, a result map keyed by ticket, and size/time-bounded
-//! batching.
+//! batching. Built entirely on `std::sync` so the crate stays free of
+//! external runtime dependencies.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
-
-use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// The batched remote operation behind the pool: one call may serve many
 /// tuples (a coprocessor batch, a multi-get, …).
@@ -71,6 +69,111 @@ struct Job<K, P> {
     params: P,
 }
 
+/// A bounded MPMC queue with close semantics: the `std` replacement for the
+/// crossbeam channel the pool used to ride on (`std::sync::mpsc` receivers
+/// are not cloneable across workers).
+struct JobQueue<T> {
+    state: Mutex<JobQueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+struct JobQueueState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+    cap: usize,
+}
+
+enum RecvTimeout<T> {
+    Job(T),
+    TimedOut,
+    Closed,
+}
+
+impl<T> JobQueue<T> {
+    fn new(cap: usize) -> Self {
+        JobQueue {
+            state: Mutex::new(JobQueueState {
+                queue: VecDeque::new(),
+                closed: false,
+                cap: cap.max(1),
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        }
+    }
+
+    /// Blocking bounded send; `false` once the queue is closed.
+    fn send(&self, item: T) -> bool {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if st.closed {
+                return false;
+            }
+            if st.queue.len() < st.cap {
+                st.queue.push_back(item);
+                drop(st);
+                self.not_empty.notify_one();
+                return true;
+            }
+            st = self.not_full.wait(st).expect("queue lock");
+        }
+    }
+
+    /// Blocking receive; `None` once closed *and* drained.
+    fn recv(&self) -> Option<T> {
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).expect("queue lock");
+        }
+    }
+
+    /// Receive with a deadline; queued items win over the closed flag so a
+    /// closing pool still drains.
+    fn recv_timeout(&self, timeout: Duration) -> RecvTimeout<T> {
+        let deadline = Instant::now() + timeout;
+        let mut st = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = st.queue.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return RecvTimeout::Job(item);
+            }
+            if st.closed {
+                return RecvTimeout::Closed;
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return RecvTimeout::TimedOut;
+            }
+            let (guard, res) = self
+                .not_empty
+                .wait_timeout(st, remaining)
+                .expect("queue lock");
+            st = guard;
+            if res.timed_out() && st.queue.is_empty() {
+                return RecvTimeout::TimedOut;
+            }
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock().expect("queue lock");
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+}
+
 struct ResultMap<R> {
     map: Mutex<HashMap<u64, R>>,
     cv: Condvar,
@@ -78,7 +181,7 @@ struct ResultMap<R> {
 
 /// The prefetch pool: `submit` from `preMap`, `fetch` from `map`.
 pub struct PreMapPool<K, P, R> {
-    tx: Option<Sender<Job<K, P>>>,
+    jobs: Arc<JobQueue<Job<K, P>>>,
     results: Arc<ResultMap<R>>,
     next: AtomicU64,
     handles: Vec<std::thread::JoinHandle<()>>,
@@ -93,23 +196,23 @@ where
     /// Start a pool over the batched function `f`.
     pub fn new(f: Arc<dyn BatchFunction<K, P, R>>, cfg: PreMapConfig) -> Self {
         assert!(cfg.workers > 0 && cfg.batch_size > 0);
-        let (tx, rx) = bounded::<Job<K, P>>(cfg.queue_depth);
+        let jobs = Arc::new(JobQueue::new(cfg.queue_depth));
         let results = Arc::new(ResultMap {
             map: Mutex::new(HashMap::new()),
             cv: Condvar::new(),
         });
         let handles = (0..cfg.workers)
             .map(|_| {
-                let rx = rx.clone();
+                let jobs = Arc::clone(&jobs);
                 let f = Arc::clone(&f);
                 let results = Arc::clone(&results);
                 let batch_size = cfg.batch_size;
                 let max_wait = cfg.max_wait;
-                std::thread::spawn(move || worker(rx, f, results, batch_size, max_wait))
+                std::thread::spawn(move || worker(jobs, f, results, batch_size, max_wait))
             })
             .collect();
         PreMapPool {
-            tx: Some(tx),
+            jobs,
             results,
             next: AtomicU64::new(0),
             handles,
@@ -119,45 +222,53 @@ where
     /// `submitComp`: register a prefetch and return immediately.
     pub fn submit(&self, key: K, params: P) -> Ticket {
         let id = self.next.fetch_add(1, Ordering::Relaxed);
-        self.tx
-            .as_ref()
-            .expect("pool alive")
-            .send(Job {
-                ticket: id,
-                key,
-                params,
-            })
-            .expect("workers alive");
+        let accepted = self.jobs.send(Job {
+            ticket: id,
+            key,
+            params,
+        });
+        assert!(accepted, "workers alive");
         Ticket(id)
     }
 
     /// `fetchComp`: block until the result for `ticket` is available.
     pub fn fetch(&self, ticket: Ticket) -> R {
-        let mut guard = self.results.map.lock();
+        let mut guard = self.results.map.lock().expect("result lock");
         loop {
             if let Some(r) = guard.remove(&ticket.0) {
                 return r;
             }
-            self.results.cv.wait(&mut guard);
+            guard = self.results.cv.wait(guard).expect("result lock");
         }
     }
 
     /// Non-blocking probe for a result.
     pub fn try_fetch(&self, ticket: Ticket) -> Option<R> {
-        self.results.map.lock().remove(&ticket.0)
+        self.results
+            .map
+            .lock()
+            .expect("result lock")
+            .remove(&ticket.0)
     }
 
     /// Stop accepting work and join the workers (in-flight batches finish).
     pub fn shutdown(mut self) {
-        self.tx.take(); // close the channel
+        self.jobs.close();
         for h in self.handles.drain(..) {
             let _ = h.join();
         }
     }
 }
 
+impl<K, P, R> Drop for PreMapPool<K, P, R> {
+    fn drop(&mut self) {
+        // A pool leaked without `shutdown` must still release its workers.
+        self.jobs.close();
+    }
+}
+
 fn worker<K: Send + 'static, P: Send + 'static, R: Send + 'static>(
-    rx: Receiver<Job<K, P>>,
+    jobs: Arc<JobQueue<Job<K, P>>>,
     f: Arc<dyn BatchFunction<K, P, R>>,
     results: Arc<ResultMap<R>>,
     batch_size: usize,
@@ -165,24 +276,23 @@ fn worker<K: Send + 'static, P: Send + 'static, R: Send + 'static>(
 ) {
     loop {
         // Block for the first job of a batch.
-        let first = match rx.recv() {
-            Ok(j) => j,
-            Err(_) => return, // channel closed: drain done
+        let first = match jobs.recv() {
+            Some(j) => j,
+            None => return, // queue closed: drain done
         };
-        let mut jobs = vec![first];
-        let deadline = std::time::Instant::now() + max_wait;
-        while jobs.len() < batch_size {
-            let remaining = deadline.saturating_duration_since(std::time::Instant::now());
-            match rx.recv_timeout(remaining) {
-                Ok(j) => jobs.push(j),
-                Err(RecvTimeoutError::Timeout) => break,
-                Err(RecvTimeoutError::Disconnected) => break,
+        let mut batch = vec![first];
+        let deadline = Instant::now() + max_wait;
+        while batch.len() < batch_size {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match jobs.recv_timeout(remaining) {
+                RecvTimeout::Job(j) => batch.push(j),
+                RecvTimeout::TimedOut | RecvTimeout::Closed => break,
             }
         }
         // Move keys/params out while remembering tickets.
-        let mut tickets = Vec::with_capacity(jobs.len());
-        let mut kps = Vec::with_capacity(jobs.len());
-        for j in jobs {
+        let mut tickets = Vec::with_capacity(batch.len());
+        let mut kps = Vec::with_capacity(batch.len());
+        for j in batch {
             tickets.push(j.ticket);
             kps.push((j.key, j.params));
         }
@@ -192,7 +302,7 @@ fn worker<K: Send + 'static, P: Send + 'static, R: Send + 'static>(
             tickets.len(),
             "BatchFunction must return one result per item"
         );
-        let mut guard = results.map.lock();
+        let mut guard = results.map.lock().expect("result lock");
         for (t, r) in tickets.into_iter().zip(outs) {
             guard.insert(t, r);
         }
@@ -269,8 +379,9 @@ mod tests {
         for w in 0..4u64 {
             let p = Arc::clone(&p);
             handles.push(std::thread::spawn(move || {
-                let tickets: Vec<(u64, Ticket)> =
-                    (0..100).map(|i| (w * 100 + i, p.submit(w * 100 + i, 5))).collect();
+                let tickets: Vec<(u64, Ticket)> = (0..100)
+                    .map(|i| (w * 100 + i, p.submit(w * 100 + i, 5)))
+                    .collect();
                 for (k, t) in tickets {
                     assert_eq!(p.fetch(t), k * 1000 + 5);
                 }
@@ -303,7 +414,8 @@ where
     R: Send + 'static,
 {
     // preMap pass: extract once, prefetch everything.
-    let prepared: Vec<(D, Vec<(K, P)>, Vec<Ticket>)> = inputs
+    type Prepared<D, K, P> = Vec<(D, Vec<(K, P)>, Vec<Ticket>)>;
+    let prepared: Prepared<D, K, P> = inputs
         .into_iter()
         .map(|input| {
             let items = extract(&input);

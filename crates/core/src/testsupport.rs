@@ -1,0 +1,166 @@
+//! Shared test harness for the compute runtime.
+//!
+//! Unit tests inside this crate and the integration/property tests under
+//! `tests/` drive [`ComputeRuntime`] the same way: feed tuples, flush
+//! batches, answer requests with canned cost feedback. This module holds
+//! that harness once. It is compiled into the library so integration tests
+//! can reach it, but it is **not** part of the stable API.
+
+use jl_costmodel::NodeCosts;
+use jl_simkit::time::{SimDuration, SimTime};
+
+use crate::compute::ComputeRuntime;
+use crate::config::{OptimizerConfig, Strategy};
+use crate::types::{
+    Action, CacheValue, CostInfo, ReqKind, RequestItem, ResponseItem, ResponsePayload,
+};
+
+/// A minimal cacheable value for tests.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TV {
+    /// Stored size in bytes.
+    pub size: u64,
+    /// UDF cost when executed on this value.
+    pub cpu_ms: u64,
+    /// Store version.
+    pub version: u64,
+}
+
+impl TV {
+    /// The value shape the property tests use: 256 B, 1 ms, version 1.
+    pub fn small() -> Self {
+        TV {
+            size: 256,
+            cpu_ms: 1,
+            version: 1,
+        }
+    }
+}
+
+impl CacheValue for TV {
+    fn size(&self) -> u64 {
+        self.size
+    }
+    fn udf_cpu(&self) -> SimDuration {
+        SimDuration::from_millis(self.cpu_ms)
+    }
+    fn version(&self) -> u64 {
+        self.version
+    }
+}
+
+/// The runtime type the unit tests exercise.
+pub type Rt = ComputeRuntime<u64, u32, TV>;
+
+/// Hardware parameters of the unit-test node (10 ms UDF, 1 ms disk).
+pub fn node() -> NodeCosts {
+    NodeCosts {
+        t_disk: 0.001,
+        t_cpu: 0.01,
+        net_bw: 125e6,
+    }
+}
+
+/// A faster node profile used by the property tests (1 ms UDF).
+pub fn fast_node() -> NodeCosts {
+    NodeCosts {
+        t_disk: 0.0005,
+        t_cpu: 0.001,
+        net_bw: 125e6,
+    }
+}
+
+/// A two-destination runtime with batch size 4 and seed 7.
+pub fn rt(strategy: Strategy) -> Rt {
+    let mut cfg = OptimizerConfig::for_strategy(strategy);
+    cfg.batch_size = 4;
+    ComputeRuntime::new(cfg, 2, node(), node(), 7)
+}
+
+/// Milliseconds → simulation time.
+pub fn t(ms: u64) -> SimTime {
+    SimTime(ms * 1_000_000)
+}
+
+/// Feed one tuple with the unit tests' standard sizes (key 8 B, params 64 B).
+pub fn feed(r: &mut Rt, now: SimTime, key: u64, dest: usize) -> Vec<Action<u64, u32, TV>> {
+    r.on_input(now, key, 0u32, 8, 64, dest)
+}
+
+/// Cost feedback from a *loaded* data node: its effective per-UDF time
+/// (0.02 s, queueing included) exceeds the local recurring cost (0.01 s),
+/// so renting costs more than computing on a cached copy and ski-rental has
+/// something to buy for. With equal costs on both sides the policy would
+/// correctly rent forever.
+pub fn cost_info(value_size: u64, version: u64) -> CostInfo {
+    CostInfo {
+        value_size,
+        udf_cpu_secs: 0.01,
+        version,
+        data_t_disk: 0.001,
+        data_t_cpu: 0.02,
+        data_t_cpu_service: 0.01,
+    }
+}
+
+/// Answer a compute request with a computed output and standard costs.
+pub fn respond_computed(r: &mut Rt, dest: usize, req_id: u64, key: u64) {
+    r.on_batch_response(
+        dest,
+        vec![ResponseItem {
+            req_id,
+            key,
+            payload: ResponsePayload::Computed { output_size: 100 },
+            cost: Some(cost_info(1000, 1)),
+        }],
+    );
+}
+
+/// All request items carried by `Send` actions, in order.
+pub fn sent_items(actions: &[Action<u64, u32, TV>]) -> Vec<RequestItem<u64, u32>> {
+    actions
+        .iter()
+        .filter_map(|a| match a {
+            Action::Send { batch, .. } => Some(batch.items.clone()),
+            _ => None,
+        })
+        .flatten()
+        .collect()
+}
+
+/// Answer every request in a batch the way the property tests do: data
+/// requests return a [`TV::small`] value, compute requests compute — except
+/// every `bounce_every`-th request id, which bounces back as a raw value.
+pub fn respond<P>(items: &[RequestItem<u64, P>], bounce_every: u64) -> Vec<ResponseItem<u64, TV>> {
+    items
+        .iter()
+        .map(|it| {
+            let payload = match it.kind {
+                ReqKind::Data => ResponsePayload::Value {
+                    value: TV::small(),
+                    bounced: false,
+                },
+                ReqKind::Compute if bounce_every > 0 && it.req_id % bounce_every == 0 => {
+                    ResponsePayload::Value {
+                        value: TV::small(),
+                        bounced: true,
+                    }
+                }
+                ReqKind::Compute => ResponsePayload::Computed { output_size: 64 },
+            };
+            ResponseItem {
+                req_id: it.req_id,
+                key: it.key,
+                payload,
+                cost: Some(CostInfo {
+                    value_size: 256,
+                    udf_cpu_secs: 0.001,
+                    version: 1,
+                    data_t_disk: 0.0005,
+                    data_t_cpu: 0.002,
+                    data_t_cpu_service: 0.001,
+                }),
+            }
+        })
+        .collect()
+}

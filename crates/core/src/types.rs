@@ -51,7 +51,10 @@ pub struct BatchRequest<K, P> {
 impl<K, P> BatchRequest<K, P> {
     /// Number of compute requests in the batch (the `b` of Appendix C).
     pub fn compute_count(&self) -> usize {
-        self.items.iter().filter(|i| i.kind == ReqKind::Compute).count()
+        self.items
+            .iter()
+            .filter(|i| i.kind == ReqKind::Compute)
+            .count()
     }
 
     /// Number of data requests in the batch.
@@ -164,9 +167,24 @@ mod tests {
     fn batch_counts() {
         let b = BatchRequest {
             items: vec![
-                RequestItem { req_id: 0, key: 1u64, params: (), kind: ReqKind::Data },
-                RequestItem { req_id: 1, key: 2, params: (), kind: ReqKind::Compute },
-                RequestItem { req_id: 2, key: 3, params: (), kind: ReqKind::Compute },
+                RequestItem {
+                    req_id: 0,
+                    key: 1u64,
+                    params: (),
+                    kind: ReqKind::Data,
+                },
+                RequestItem {
+                    req_id: 1,
+                    key: 2,
+                    params: (),
+                    kind: ReqKind::Compute,
+                },
+                RequestItem {
+                    req_id: 2,
+                    key: 3,
+                    params: (),
+                    kind: ReqKind::Compute,
+                },
             ],
             stats: ComputeLoadStats::default(),
         };

@@ -1,0 +1,157 @@
+//! Acceptance test for the decision-plane split: a custom
+//! [`PlacementPolicy`] (an always-buy oracle) and a [`DecisionSink`] trace
+//! recorder plug into [`ComputeRuntime`] through the public API alone — no
+//! `jl-core` source file changes.
+
+use std::sync::{Arc, Mutex};
+
+use jl_core::testsupport::{cost_info, feed, node, respond_computed, sent_items, t, Rt, TV};
+use jl_core::{
+    Action, CacheIntent, ComputeRuntime, DecisionCtx, DecisionEvent, DecisionSink, OptimizerConfig,
+    Placement, PlacementPolicy, ReqKind, ResponseItem, ResponsePayload, Strategy, ValueSource,
+};
+
+/// Oracle that buys a key into memory the moment its costs are known.
+struct AlwaysBuyOracle;
+
+impl<K> PlacementPolicy<K> for AlwaysBuyOracle {
+    fn decide(&mut self, _key: &K, ctx: &DecisionCtx) -> Placement {
+        if !ctx.observed || ctx.fetch_in_flight {
+            return Placement::Rent;
+        }
+        if ctx.would_cache_mem {
+            Placement::Buy(CacheIntent::Memory)
+        } else {
+            Placement::Buy(CacheIntent::Disk)
+        }
+    }
+
+    fn uses_cache(&self) -> bool {
+        true
+    }
+}
+
+/// Sink recording `(key, was_buy, frozen)` for every decision.
+struct TraceSink(Arc<Mutex<Vec<(u64, bool, bool)>>>);
+
+impl DecisionSink<u64> for TraceSink {
+    fn on_decision(&mut self, event: &DecisionEvent<'_, u64>) {
+        let buy = matches!(event.placement, Placement::Buy(_));
+        self.0.lock().unwrap().push((*event.key, buy, event.frozen));
+    }
+}
+
+type Trace = Arc<Mutex<Vec<(u64, bool, bool)>>>;
+
+fn oracle_rt() -> (Rt, Trace) {
+    let mut cfg = OptimizerConfig::for_strategy(Strategy::Full);
+    cfg.batch_size = 1;
+    let mut rt: Rt = ComputeRuntime::with_policy(cfg, 2, node(), node(), Box::new(AlwaysBuyOracle));
+    let trace = Arc::new(Mutex::new(Vec::new()));
+    rt.set_decision_sink(Box::new(TraceSink(Arc::clone(&trace))));
+    (rt, trace)
+}
+
+#[test]
+fn custom_oracle_buys_on_second_access_and_then_hits() {
+    let (mut r, _trace) = oracle_rt();
+
+    // First access: costs unknown, oracle rents.
+    let acts = feed(&mut r, t(0), 5, 0);
+    let items = sent_items(&acts);
+    assert_eq!(items.len(), 1);
+    assert_eq!(items[0].kind, ReqKind::Compute);
+    respond_computed(&mut r, 0, items[0].req_id, 5);
+
+    // Second access: costs known, oracle buys immediately (no ski-rental
+    // threshold to clear).
+    let acts = feed(&mut r, t(1), 5, 0);
+    let items = sent_items(&acts);
+    assert_eq!(items.len(), 1);
+    assert_eq!(items[0].kind, ReqKind::Data, "oracle should buy");
+    let follow = r.on_batch_response(
+        0,
+        vec![ResponseItem {
+            req_id: items[0].req_id,
+            key: 5,
+            payload: ResponsePayload::Value {
+                value: TV {
+                    size: 1000,
+                    cpu_ms: 10,
+                    version: 1,
+                },
+                bounced: false,
+            },
+            cost: Some(cost_info(1000, 1)),
+        }],
+    );
+    assert!(matches!(
+        follow[0],
+        Action::RunLocal {
+            source: ValueSource::Fetched,
+            ..
+        }
+    ));
+
+    // Third access: memory hit, no request at all.
+    let acts = feed(&mut r, t(2), 5, 0);
+    assert!(matches!(
+        acts[0],
+        Action::RunLocal {
+            source: ValueSource::MemCache,
+            ..
+        }
+    ));
+    assert_eq!(r.stats().mem_hits, 1);
+    assert_eq!(r.stats().data_requests, 1);
+}
+
+#[test]
+fn decision_sink_sees_every_miss_decision() {
+    let (mut r, trace) = oracle_rt();
+
+    // Key 1: rent (unobserved) → feedback → buy.
+    let acts = feed(&mut r, t(0), 1, 0);
+    let items = sent_items(&acts);
+    respond_computed(&mut r, 0, items[0].req_id, 1);
+    let acts = feed(&mut r, t(1), 1, 0);
+    let items = sent_items(&acts);
+    assert_eq!(items[0].kind, ReqKind::Data);
+    // Key 2: one rent.
+    feed(&mut r, t(2), 2, 1);
+
+    let seen = trace.lock().unwrap().clone();
+    assert_eq!(
+        seen,
+        vec![(1, false, false), (1, true, false), (2, false, false)],
+        "sink must mirror the decision stream exactly"
+    );
+    // Cache hits never reach the sink: give key 1 its value, hit it, and
+    // check the trace is unchanged.
+    let follow = r.on_batch_response(
+        0,
+        vec![ResponseItem {
+            req_id: items[0].req_id,
+            key: 1,
+            payload: ResponsePayload::Value {
+                value: TV {
+                    size: 1000,
+                    cpu_ms: 10,
+                    version: 1,
+                },
+                bounced: false,
+            },
+            cost: Some(cost_info(1000, 1)),
+        }],
+    );
+    assert!(!follow.is_empty());
+    let acts = feed(&mut r, t(3), 1, 0);
+    assert!(matches!(
+        acts[0],
+        Action::RunLocal {
+            source: ValueSource::MemCache,
+            ..
+        }
+    ));
+    assert_eq!(trace.lock().unwrap().len(), 3);
+}

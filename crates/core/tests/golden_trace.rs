@@ -1,0 +1,297 @@
+//! Golden decision-trace regression: the per-key decision sequence of all
+//! seven strategies on small data-heavy (DH) and compute-heavy (CH)
+//! workloads, captured as a digest before the decision plane was split out
+//! of `ComputeRuntime`. The refactored policy objects must reproduce every
+//! action — kind, key, request id, destination, cache source — bit for bit.
+//!
+//! Run with `JL_GOLDEN_PRINT=1` to print the current digests (used once to
+//! capture the pre-refactor values embedded below).
+
+use jl_core::testsupport::TV;
+use jl_core::types::{
+    Action, CostInfo, ReqKind, RequestItem, ResponseItem, ResponsePayload, ValueSource,
+};
+use jl_core::{ComputeRuntime, OptimizerConfig, Strategy};
+use jl_costmodel::NodeCosts;
+use jl_simkit::time::SimTime;
+use std::collections::HashMap;
+
+/// SplitMix64, inlined so the workload stream is fixed by this file alone.
+struct Stream(u64);
+
+impl Stream {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Skewed key in `0..n_keys` (quadratic concentration on low keys).
+    fn key(&mut self, n_keys: u64) -> u64 {
+        let u = self.next() as f64 / u64::MAX as f64;
+        ((u * u * n_keys as f64) as u64).min(n_keys - 1)
+    }
+}
+
+struct Workload {
+    label: &'static str,
+    value_size: u64,
+    udf_cpu_secs: f64,
+    n_tuples: u64,
+    n_keys: u64,
+    freeze_after: Option<u64>,
+}
+
+fn dh() -> Workload {
+    Workload {
+        label: "DH",
+        value_size: 16_384,
+        udf_cpu_secs: 0.001,
+        n_tuples: 600,
+        n_keys: 40,
+        freeze_after: None,
+    }
+}
+
+fn ch() -> Workload {
+    Workload {
+        label: "CH",
+        value_size: 512,
+        udf_cpu_secs: 0.02,
+        n_tuples: 600,
+        n_keys: 40,
+        freeze_after: None,
+    }
+}
+
+/// DH with the cache frozen after 200 tuples (§6's freeze knob).
+fn fz() -> Workload {
+    Workload {
+        label: "FZ",
+        freeze_after: Some(200),
+        ..dh()
+    }
+}
+
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+    fn push(&mut self, s: &str) {
+        for &b in s.as_bytes() {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+}
+
+fn source_tag(s: ValueSource) -> &'static str {
+    match s {
+        ValueSource::MemCache => "m",
+        ValueSource::DiskCache => "d",
+        ValueSource::Fetched => "f",
+        ValueSource::Bounced => "b",
+    }
+}
+
+/// Drive one strategy over one workload, responding to every send in
+/// arrival order; every 7th request id sent as a compute request bounces
+/// back as a raw value, and each key's store version bumps every 150
+/// accesses. Returns the FNV-1a digest of the full action trace.
+fn trace(strategy: Strategy, wl: &Workload) -> u64 {
+    let node = NodeCosts {
+        t_disk: 0.001,
+        t_cpu: 0.01,
+        net_bw: 125e6,
+    };
+    let mut cfg = OptimizerConfig::for_strategy(strategy);
+    cfg.batch_size = 4;
+    cfg.mem_cache_bytes = 8 * wl.value_size.max(1024);
+    cfg.disk_cache_bytes = 32 * wl.value_size.max(1024);
+    cfg.freeze_cache_after = wl.freeze_after;
+    let mut rt: ComputeRuntime<u64, u32, TV> = ComputeRuntime::new(cfg, 2, node, node, 7);
+
+    let mut stream = Stream(42);
+    let mut versions: HashMap<u64, u64> = HashMap::new();
+    let mut accesses: HashMap<u64, u64> = HashMap::new();
+    let mut dg = Digest::new();
+    dg.push(wl.label);
+    dg.push(strategy.label());
+
+    let respond = |rt: &mut ComputeRuntime<u64, u32, TV>,
+                   dest: usize,
+                   items: &[RequestItem<u64, u32>],
+                   versions: &HashMap<u64, u64>|
+     -> Vec<Action<u64, u32, TV>> {
+        let resp: Vec<ResponseItem<u64, TV>> = items
+            .iter()
+            .map(|it| {
+                let version = *versions.get(&it.key).unwrap_or(&1);
+                let bounce = it.kind == ReqKind::Compute && it.req_id % 7 == 3;
+                let payload = match it.kind {
+                    ReqKind::Data => ResponsePayload::Value {
+                        value: TV {
+                            size: wl.value_size,
+                            cpu_ms: (wl.udf_cpu_secs * 1000.0) as u64,
+                            version,
+                        },
+                        bounced: false,
+                    },
+                    ReqKind::Compute if bounce => ResponsePayload::Value {
+                        value: TV {
+                            size: wl.value_size,
+                            cpu_ms: (wl.udf_cpu_secs * 1000.0) as u64,
+                            version,
+                        },
+                        bounced: true,
+                    },
+                    ReqKind::Compute => ResponsePayload::Computed { output_size: 100 },
+                };
+                ResponseItem {
+                    req_id: it.req_id,
+                    key: it.key,
+                    payload,
+                    cost: Some(CostInfo {
+                        value_size: wl.value_size,
+                        udf_cpu_secs: wl.udf_cpu_secs,
+                        version,
+                        data_t_disk: 0.001,
+                        data_t_cpu: 0.02,
+                        data_t_cpu_service: 0.01,
+                    }),
+                }
+            })
+            .collect();
+        rt.on_batch_response(dest, resp)
+    };
+
+    // Process a queue of actions to quiescence, recording each.
+    let drain = |rt: &mut ComputeRuntime<u64, u32, TV>,
+                 mut actions: Vec<Action<u64, u32, TV>>,
+                 versions: &HashMap<u64, u64>,
+                 dg: &mut Digest| {
+        let mut guard = 0;
+        while !actions.is_empty() {
+            guard += 1;
+            assert!(guard < 10_000, "runtime never quiesced");
+            let mut next = Vec::new();
+            for a in actions.drain(..) {
+                match a {
+                    Action::Send { dest, batch } => {
+                        dg.push(&format!("S{dest}["));
+                        for it in &batch.items {
+                            let k = match it.kind {
+                                ReqKind::Compute => "C",
+                                ReqKind::Data => "D",
+                            };
+                            dg.push(&format!("{k}{key}#{id},", key = it.key, id = it.req_id));
+                        }
+                        dg.push("]");
+                        next.extend(respond(rt, dest, &batch.items, versions));
+                    }
+                    Action::RunLocal {
+                        req_id,
+                        key,
+                        source,
+                        ..
+                    } => {
+                        dg.push(&format!("L{key}#{req_id}{}", source_tag(source)));
+                        rt.on_local_done(req_id, wl.udf_cpu_secs);
+                    }
+                }
+            }
+            actions = next;
+        }
+    };
+
+    for i in 0..wl.n_tuples {
+        let key = stream.key(wl.n_keys);
+        let n = accesses.entry(key).or_insert(0);
+        *n += 1;
+        if (*n).is_multiple_of(150) {
+            *versions.entry(key).or_insert(1) += 1;
+        }
+        let dest = (key % 2) as usize;
+        let now = SimTime(i * 1_000_000);
+        let acts = rt.on_input(now, key, 0u32, 8, 64, dest);
+        drain(&mut rt, acts, &versions, &mut dg);
+    }
+    let tail = rt.flush_all();
+    drain(&mut rt, tail, &versions, &mut dg);
+
+    assert_eq!(rt.inflight_count(), 0);
+    assert_eq!(rt.local_pending(), 0);
+    if std::env::var("JL_GOLDEN_STATS").is_ok() {
+        eprintln!("{}/{}: {:?}", wl.label, strategy.label(), rt.stats());
+    }
+    dg.push(&format!("{:?}", rt.stats()));
+    dg.push(&format!("{:?}", rt.cache_stats()));
+    dg.0
+}
+
+/// Pre-refactor digests, captured from the monolithic `compute.rs`
+/// implementation with `JL_GOLDEN_PRINT=1`.
+const GOLDEN: &[(&str, &str, u64)] = &[
+    ("DH", "NO", 0x3159429af105d2d5),
+    ("DH", "FC", 0x28ec28bf519c5657),
+    ("DH", "FD", 0xb2d05fe237e85c36),
+    ("DH", "FR", 0xf41f97a0e033829d),
+    ("DH", "CO", 0x72ca4c1efcca67a9),
+    ("DH", "LO", 0x3dad8fe675180a9b),
+    ("DH", "FO", 0xdbb526a4a5aa99c4),
+    ("CH", "NO", 0x735e50b989ec5b70),
+    ("CH", "FC", 0xbb18fdc7ed8022de),
+    ("CH", "FD", 0xbc9352a39d51cc2f),
+    ("CH", "FR", 0x67fc3a77d482b772),
+    ("CH", "CO", 0x3b4828693fb18f15),
+    ("CH", "LO", 0x789191f29d23c80e),
+    ("CH", "FO", 0x95d8b53d6c2d14c2),
+    ("FZ", "NO", 0x32826f715560647d),
+    ("FZ", "FC", 0x588148e33f8c4a1f),
+    ("FZ", "FD", 0x5a2b61702c42904e),
+    ("FZ", "FR", 0x5fe90efe66b79545),
+    ("FZ", "CO", 0xd81c3e4fd28d8d25),
+    ("FZ", "LO", 0x294ff8d38fc1be13),
+    ("FZ", "FO", 0x364307db5ffa7d78),
+];
+
+#[test]
+fn decision_traces_match_golden() {
+    let print = std::env::var("JL_GOLDEN_PRINT").is_ok();
+    let mut failures = Vec::new();
+    for wl in [dh(), ch(), fz()] {
+        for strategy in Strategy::all() {
+            let got = trace(strategy, &wl);
+            if print {
+                println!(
+                    "    (\"{}\", \"{}\", {:#018x}),",
+                    wl.label,
+                    strategy.label(),
+                    got
+                );
+                continue;
+            }
+            let want = GOLDEN
+                .iter()
+                .find(|(w, s, _)| *w == wl.label && *s == strategy.label())
+                .map(|&(_, _, d)| d)
+                .expect("golden entry");
+            if got != want {
+                failures.push(format!(
+                    "{}/{}: got {got:#018x}, want {want:#018x}",
+                    wl.label,
+                    strategy.label()
+                ));
+            }
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "decision traces diverged:\n{}",
+        failures.join("\n")
+    );
+}

@@ -1,0 +1,296 @@
+//! Behavioral unit tests for the compute runtime, driven through the
+//! shared [`jl_core::testsupport`] harness. These were the in-module tests
+//! of the pre-split `compute.rs` monolith; they exercise only the public
+//! API, so they live here as integration tests.
+
+use jl_core::testsupport::{cost_info, feed, node, respond_computed, rt, sent_items, t, Rt, TV};
+use jl_core::{
+    Action, ComputeRuntime, OptimizerConfig, ReqKind, ResponseItem, ResponsePayload, Strategy,
+    ValueSource,
+};
+
+#[test]
+fn batches_fill_at_configured_size() {
+    let mut r = rt(Strategy::ComputeSide);
+    for k in 0..3u64 {
+        assert!(feed(&mut r, t(k), k, 0).is_empty());
+    }
+    let acts = feed(&mut r, t(3), 3, 0);
+    let items = sent_items(&acts);
+    assert_eq!(items.len(), 4);
+    assert!(items.iter().all(|i| i.kind == ReqKind::Data));
+}
+
+#[test]
+fn no_opt_sends_immediately_without_batching() {
+    let mut r = rt(Strategy::NoOpt);
+    let acts = feed(&mut r, t(0), 1, 0);
+    assert_eq!(sent_items(&acts).len(), 1);
+}
+
+#[test]
+fn data_side_sends_compute_requests() {
+    let mut r = rt(Strategy::DataSide);
+    let mut all = Vec::new();
+    for k in 0..4u64 {
+        all.extend(feed(&mut r, t(k), k, 1));
+    }
+    let items = sent_items(&all);
+    assert_eq!(items.len(), 4);
+    assert!(items.iter().all(|i| i.kind == ReqKind::Compute));
+    assert_eq!(r.stats().compute_requests, 4);
+}
+
+#[test]
+fn random_mixes_both_kinds() {
+    let mut r = rt(Strategy::Random);
+    let mut all = Vec::new();
+    for k in 0..200u64 {
+        all.extend(feed(&mut r, t(k), k, 0));
+    }
+    all.extend(r.flush_all());
+    let items = sent_items(&all);
+    let data = items.iter().filter(|i| i.kind == ReqKind::Data).count();
+    assert!(data > 50 && data < 150, "data = {data} of {}", items.len());
+}
+
+#[test]
+fn first_request_for_key_is_compute() {
+    let mut r = rt(Strategy::Full);
+    let mut all = feed(&mut r, t(0), 42, 0);
+    all.extend(r.flush_all());
+    let items = sent_items(&all);
+    assert_eq!(items.len(), 1);
+    assert_eq!(items[0].kind, ReqKind::Compute);
+}
+
+#[test]
+fn hot_key_transitions_to_data_request_then_cache_hits() {
+    let mut r = rt(Strategy::Full);
+    let mut fetched = None;
+    // Hammer one key; answer every compute request so costs are learned.
+    for i in 0..200u64 {
+        let mut acts = feed(&mut r, t(i), 42, 0);
+        acts.extend(r.flush_all());
+        for item in sent_items(&acts) {
+            match item.kind {
+                ReqKind::Compute => respond_computed(&mut r, 0, item.req_id, 42),
+                ReqKind::Data => {
+                    fetched = Some(item.req_id);
+                    let follow = r.on_batch_response(
+                        0,
+                        vec![ResponseItem {
+                            req_id: item.req_id,
+                            key: 42,
+                            payload: ResponsePayload::Value {
+                                value: TV {
+                                    size: 1000,
+                                    cpu_ms: 10,
+                                    version: 1,
+                                },
+                                bounced: false,
+                            },
+                            cost: Some(cost_info(1000, 1)),
+                        }],
+                    );
+                    assert!(matches!(follow[0], Action::RunLocal { .. }));
+                    if let Action::RunLocal { req_id, .. } = follow[0] {
+                        r.on_local_done(req_id, 0.01);
+                    }
+                }
+            }
+        }
+        if fetched.is_some() {
+            break;
+        }
+    }
+    assert!(fetched.is_some(), "ski-rental never bought the hot key");
+    // Subsequent accesses are cache hits served locally.
+    let acts = feed(&mut r, t(1000), 42, 0);
+    assert!(
+        matches!(
+            acts[0],
+            Action::RunLocal {
+                source: ValueSource::MemCache,
+                ..
+            }
+        ),
+        "expected mem hit, got {acts:?}"
+    );
+    assert!(r.stats().mem_hits >= 1);
+}
+
+#[test]
+fn cold_keys_keep_renting() {
+    let mut r = rt(Strategy::Full);
+    let mut all = Vec::new();
+    for k in 0..100u64 {
+        all.extend(feed(&mut r, t(k), k, 0));
+    }
+    all.extend(r.flush_all());
+    let items = sent_items(&all);
+    assert!(items.iter().all(|i| i.kind == ReqKind::Compute));
+    assert_eq!(r.stats().data_requests, 0);
+}
+
+#[test]
+fn bounced_value_runs_locally_without_caching() {
+    let mut r = rt(Strategy::BalanceOnly);
+    let mut all = feed(&mut r, t(0), 7, 0);
+    all.extend(r.flush_all());
+    let item = &sent_items(&all)[0];
+    let follow = r.on_batch_response(
+        0,
+        vec![ResponseItem {
+            req_id: item.req_id,
+            key: 7,
+            payload: ResponsePayload::Value {
+                value: TV {
+                    size: 500,
+                    cpu_ms: 5,
+                    version: 1,
+                },
+                bounced: true,
+            },
+            cost: Some(cost_info(500, 1)),
+        }],
+    );
+    assert!(matches!(
+        follow[0],
+        Action::RunLocal {
+            source: ValueSource::Bounced,
+            ..
+        }
+    ));
+    assert_eq!(r.stats().bounced_local, 1);
+    // Not cached: next access is not a hit.
+    let acts = feed(&mut r, t(10), 7, 0);
+    assert!(sent_items(&acts).is_empty() || !matches!(acts[0], Action::RunLocal { .. }));
+    assert_eq!(
+        r.cache_stats().inserts_mem + r.cache_stats().inserts_disk,
+        0
+    );
+}
+
+#[test]
+fn version_bump_invalidates_and_recounts() {
+    let mut r = rt(Strategy::Full);
+    // Learn the key at version 1.
+    let mut all = feed(&mut r, t(0), 9, 0);
+    all.extend(r.flush_all());
+    let item = &sent_items(&all)[0];
+    respond_computed(&mut r, 0, item.req_id, 9);
+    // Another access; respond with a newer version.
+    let mut all = feed(&mut r, t(1), 9, 0);
+    all.extend(r.flush_all());
+    let item = &sent_items(&all)[0];
+    r.on_batch_response(
+        0,
+        vec![ResponseItem {
+            req_id: item.req_id,
+            key: 9,
+            payload: ResponsePayload::Computed { output_size: 10 },
+            cost: Some(cost_info(1000, 5)),
+        }],
+    );
+    // Explicit notice also works.
+    r.on_update_notice(&9);
+    assert_eq!(r.cache_stats().invalidations, 0); // nothing was cached
+}
+
+#[test]
+fn poll_flushes_aged_batches() {
+    let mut r = rt(Strategy::ComputeSide);
+    feed(&mut r, t(0), 1, 0);
+    assert!(r.poll(t(10)).is_empty());
+    let deadline = r.next_deadline().expect("pending batch");
+    let acts = r.poll(deadline);
+    assert_eq!(sent_items(&acts).len(), 1);
+    assert_eq!(r.next_deadline(), None);
+}
+
+#[test]
+fn frozen_runtime_stops_caching_but_serves_hits() {
+    let mut cfg = OptimizerConfig::for_strategy(Strategy::Full);
+    cfg.batch_size = 1;
+    cfg.freeze_cache_after = Some(2);
+    let mut r: Rt = ComputeRuntime::new(cfg, 1, node(), node(), 3);
+    // Tuples 1 and 2: normal operation (may rent or buy).
+    for i in 0..2u64 {
+        let acts = feed(&mut r, t(i), 1, 0);
+        for it in sent_items(&acts) {
+            match it.kind {
+                ReqKind::Compute => respond_computed(&mut r, 0, it.req_id, 1),
+                ReqKind::Data => {
+                    // Deliberately drop the fetched value so nothing is
+                    // cached — we want to observe the frozen miss path.
+                    r.on_batch_response(
+                        0,
+                        vec![ResponseItem {
+                            req_id: it.req_id,
+                            key: 1,
+                            payload: ResponsePayload::Missing,
+                            cost: Some(cost_info(1000, 1)),
+                        }],
+                    );
+                }
+            }
+        }
+    }
+    let buys_before_freeze = r.stats().data_requests;
+    // From tuple 3 on, frozen: misses always rent, never buy.
+    for i in 2..300u64 {
+        let acts = feed(&mut r, t(i), 1, 0);
+        let items = sent_items(&acts);
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].kind, ReqKind::Compute, "bought while frozen");
+        respond_computed(&mut r, 0, items[0].req_id, 1);
+    }
+    assert_eq!(r.stats().data_requests, buys_before_freeze);
+}
+
+#[test]
+fn load_stats_reflect_inflight_requests() {
+    let mut r = rt(Strategy::DataSide);
+    let mut all = Vec::new();
+    for k in 0..8u64 {
+        all.extend(feed(&mut r, t(k), k, 0)); // dest 0
+    }
+    // Two batches of 4 went to dest 0. Send one more to dest 1 and
+    // inspect its stats snapshot.
+    for k in 8..12u64 {
+        all.extend(feed(&mut r, t(k), k, 1));
+    }
+    let send_to_1 = all
+        .iter()
+        .find_map(|a| match a {
+            Action::Send { dest: 1, batch } => Some(batch.clone()),
+            _ => None,
+        })
+        .expect("batch to dest 1");
+    assert_eq!(send_to_1.stats.pending_elsewhere, 8);
+    assert!(send_to_1.stats.is_consistent());
+}
+
+#[test]
+fn missing_rows_complete_without_output() {
+    let mut r = rt(Strategy::ComputeSide);
+    let mut all = Vec::new();
+    for k in 0..4u64 {
+        all.extend(feed(&mut r, t(k), k, 0));
+    }
+    let items = sent_items(&all);
+    let resp: Vec<ResponseItem<u64, TV>> = items
+        .iter()
+        .map(|i| ResponseItem {
+            req_id: i.req_id,
+            key: i.key,
+            payload: ResponsePayload::Missing,
+            cost: None,
+        })
+        .collect();
+    let follow = r.on_batch_response(0, resp);
+    assert!(follow.is_empty());
+    assert_eq!(r.stats().missing, 4);
+    assert_eq!(r.inflight_count(), 0);
+}

@@ -1,72 +1,16 @@
 //! Property tests over the compute runtime: under arbitrary interleavings
 //! of inputs and (complete, valid) responses, bookkeeping never desyncs.
+//!
+//! Value shapes, node profiles, and the response harness come from
+//! [`jl_core::testsupport`], shared with the behavioral tests.
 
 use bytes::Bytes;
 use jl_core::compute::ComputeRuntime;
-use jl_core::types::{
-    Action, CacheValue, CostInfo, ReqKind, RequestItem, ResponseItem, ResponsePayload,
-};
+use jl_core::testsupport::{fast_node, respond, TV};
+use jl_core::types::Action;
 use jl_core::{OptimizerConfig, Strategy};
-use jl_costmodel::NodeCosts;
 use jl_simkit::time::{SimDuration, SimTime};
 use proptest::prelude::*;
-
-#[derive(Debug, Clone, PartialEq)]
-struct TV(u64);
-
-impl CacheValue for TV {
-    fn size(&self) -> u64 {
-        256
-    }
-    fn udf_cpu(&self) -> SimDuration {
-        SimDuration::from_millis(1)
-    }
-    fn version(&self) -> u64 {
-        1
-    }
-}
-
-fn node() -> NodeCosts {
-    NodeCosts {
-        t_disk: 0.0005,
-        t_cpu: 0.001,
-        net_bw: 125e6,
-    }
-}
-
-fn respond(items: &[RequestItem<u64, Bytes>], bounce_every: u64) -> Vec<ResponseItem<u64, TV>> {
-    items
-        .iter()
-        .map(|it| {
-            let payload = match it.kind {
-                ReqKind::Data => ResponsePayload::Value {
-                    value: TV(it.key),
-                    bounced: false,
-                },
-                ReqKind::Compute if bounce_every > 0 && it.req_id % bounce_every == 0 => {
-                    ResponsePayload::Value {
-                        value: TV(it.key),
-                        bounced: true,
-                    }
-                }
-                ReqKind::Compute => ResponsePayload::Computed { output_size: 64 },
-            };
-            ResponseItem {
-                req_id: it.req_id,
-                key: it.key,
-                payload,
-                cost: Some(CostInfo {
-                    value_size: 256,
-                    udf_cpu_secs: 0.001,
-                    version: 1,
-                    data_t_disk: 0.0005,
-                    data_t_cpu: 0.002,
-                    data_t_cpu_service: 0.001,
-                }),
-            }
-        })
-        .collect()
-}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
@@ -85,7 +29,7 @@ proptest! {
         cfg.batch_size = batch_size;
         cfg.mem_cache_bytes = 16 * 256; // 16 values
         let mut rt: ComputeRuntime<u64, Bytes, TV> =
-            ComputeRuntime::new(cfg, 3, node(), node(), 1);
+            ComputeRuntime::new(cfg, 3, fast_node(), fast_node(), 1);
 
         let mut now = SimTime::ZERO;
         let mut pending_local: Vec<u64> = Vec::new();
@@ -137,7 +81,7 @@ proptest! {
         let mut cfg = OptimizerConfig::for_strategy(Strategy::Full);
         cfg.batch_size = 8;
         let mut rt: ComputeRuntime<u64, Bytes, TV> =
-            ComputeRuntime::new(cfg, 2, node(), node(), 2);
+            ComputeRuntime::new(cfg, 2, fast_node(), fast_node(), 2);
         let mut now = SimTime::ZERO;
         for (i, &k) in keys.iter().enumerate() {
             now += SimDuration::from_micros(20);

@@ -170,9 +170,7 @@ pub fn run_reduce_side(
         // plus per-record sort/merge CPU on both sides.
         node.disk.submit(
             now,
-            SimDuration::from_secs_f64(
-                (shuffle_out[i] + shuffle_in[i]) as f64 / spec.disk_bw_bps,
-            ),
+            SimDuration::from_secs_f64((shuffle_out[i] + shuffle_in[i]) as f64 / spec.disk_bw_bps),
         );
         let recs_out = reducer_tuples[i].len() as u64;
         node.cpu.submit(now, SORT_CPU.saturating_mul(recs_out));

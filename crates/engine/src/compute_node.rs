@@ -83,13 +83,21 @@ impl ComputeNode {
         input: Vec<JobTuple>,
         udf_cpu_hint: f64,
         seed: u64,
+        policy: Option<Box<dyn jl_core::PlacementPolicy<EKey>>>,
+        sink: Option<Box<dyn jl_core::DecisionSink<EKey>>>,
     ) -> Self {
         let my = NodeCosts {
             t_disk: spec.disk_service(64 * 1024).as_secs_f64(),
             t_cpu: udf_cpu_hint,
             net_bw: spec.node.net_bw_bps,
         };
-        let rt = ComputeRuntime::new(cfg, spec.n_data, my, my, seed);
+        let mut rt = match policy {
+            Some(p) => ComputeRuntime::with_policy(cfg, spec.n_data, my, my, p),
+            None => ComputeRuntime::new(cfg, spec.n_data, my, my, seed),
+        };
+        if let Some(s) = sink {
+            rt.set_decision_sink(s);
+        }
         ComputeNode {
             idx,
             rt,
@@ -224,10 +232,8 @@ impl ComputeNode {
                     };
                     let grant = ctx.use_resource(ResourceKind::Cpu, ready, value.0.udf_cpu());
                     self.local_lat.record(grant.done.since(ctx.now()));
-                    self.pending_local.insert(
-                        req_id,
-                        PendingLocal { key, params, value },
-                    );
+                    self.pending_local
+                        .insert(req_id, PendingLocal { key, params, value });
                     ctx.set_timer(grant.done, req_id);
                 }
                 Action::Send { dest, batch } => {
@@ -236,9 +242,7 @@ impl ComputeNode {
                         let (seq, stage) = decode_params(&item.params);
                         self.sent.insert(item.req_id, (seq, stage));
                         self.sent_at.insert(item.req_id, ctx.now());
-                        bytes += item.key.1.len() as u64
-                            + item.params.len() as u64
-                            + ITEM_OVERHEAD;
+                        bytes += item.key.1.len() as u64 + item.params.len() as u64 + ITEM_OVERHEAD;
                     }
                     let to = self.spec.data_id(dest);
                     ctx.send(
@@ -362,11 +366,7 @@ impl ComputeNode {
         };
         let (seq, stage) = decode_params(&p.params);
         let spec = &self.plan.stages[stage as usize];
-        let udf = self
-            .udfs
-            .get(spec.udf)
-            .expect("udf registered")
-            .clone();
+        let udf = self.udfs.get(spec.udf).expect("udf registered").clone();
         let out = udf.apply(&p.key.1, &p.params, &p.value.0);
         self.rt
             .on_local_done(tag, p.value.0.udf_cpu().as_secs_f64());

@@ -17,7 +17,12 @@ use jl_store::{BlockCache, Catalog, InterestTracker, RegionServer, StoredValue, 
 use crate::cluster::{EKey, Msg, Val, BATCH_OVERHEAD, ITEM_OVERHEAD};
 
 /// One reply wave: ready time, items, computed outputs, wire bytes.
-type ReplyWave = (SimTime, Vec<ResponseItem<EKey, Val>>, Vec<(u64, Bytes)>, u64);
+type ReplyWave = (
+    SimTime,
+    Vec<ResponseItem<EKey, Val>>,
+    Vec<(u64, Bytes)>,
+    u64,
+);
 /// A computed item pending wave assembly: done time, item, output, bytes.
 type PendingComputed = (SimTime, ResponseItem<EKey, Val>, (u64, Bytes), u64);
 use crate::config::ClusterSpec;
@@ -186,7 +191,9 @@ impl DataNode {
         // 3. Load-balance: how many compute requests to run here.
         let n_compute = batch.compute_count() as u64;
         let n_data = batch.data_count() as u64;
-        let d = self.rt.accept_batch(n_data, n_compute, &batch.stats, &sizes);
+        let d = self
+            .rt
+            .accept_batch(n_data, n_compute, &batch.stats, &sizes);
 
         // 4. Serve every item. Which `d` compute requests run here matters:
         //    bouncing an item ships its stored value, so the data node
@@ -315,9 +322,7 @@ impl DataNode {
             for (item, done_at, bytes) in item_parts {
                 match &item.payload {
                     ResponsePayload::Computed { .. } => {
-                        let out = outputs_by_id
-                            .remove(&item.req_id)
-                            .expect("output recorded");
+                        let out = outputs_by_id.remove(&item.req_id).expect("output recorded");
                         computed.push((done_at, item, out, bytes));
                     }
                     _ => {
@@ -369,7 +374,13 @@ impl DataNode {
         ctx.set_timer(ready, tag);
     }
 
-    fn handle_put(&mut self, table: jl_store::TableId, key: jl_store::RowKey, mut value: StoredValue, ctx: &mut Ctx<'_, Msg>) {
+    fn handle_put(
+        &mut self,
+        table: jl_store::TableId,
+        key: jl_store::RowKey,
+        mut value: StoredValue,
+        ctx: &mut Ctx<'_, Msg>,
+    ) {
         self.version_clock += 1;
         value.version = self.version_clock;
         let (region, server) = self.catalog.locate(table, &key);

@@ -135,10 +135,7 @@ mod tests {
         for sel in [0.0, 0.1, 0.5, 1.0] {
             let hits = (0..n).filter(|&s| survives(s, 2, sel)).count() as f64;
             let frac = hits / n as f64;
-            assert!(
-                (frac - sel).abs() < 0.01,
-                "sel {sel}: observed {frac}"
-            );
+            assert!((frac - sel).abs() < 0.01, "sel {sel}: observed {frac}");
         }
     }
 

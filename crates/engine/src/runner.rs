@@ -2,16 +2,27 @@
 
 use std::sync::Arc;
 
-use jl_core::OptimizerConfig;
+use jl_core::{DecisionSink, OptimizerConfig, PlacementPolicy};
 use jl_simkit::prelude::*;
 use jl_store::{Partitioning, RegionMap, RowKey, StoreCluster, StoredValue, UdfRegistry};
 
-use crate::cluster::{ClusterNode, Msg};
+use crate::cluster::{ClusterNode, EKey, Msg};
 use crate::compute_node::ComputeNode;
 use crate::config::{ClusterSpec, FeedMode};
 use crate::controller::Controller;
 use crate::data_node::DataNode;
 use crate::plan::{JobPlan, JobTuple};
+
+/// Factory building one compute node's placement policy. Called once per
+/// compute node with the run's optimizer config and that node's derived
+/// seed. When absent, each node runs the policy its configured
+/// [`Strategy`](jl_core::Strategy) prescribes.
+pub type PolicyFactory =
+    Arc<dyn Fn(&OptimizerConfig, u64) -> Box<dyn PlacementPolicy<EKey>> + Send + Sync>;
+
+/// Factory building one compute node's decision sink, by node index. When
+/// absent, no sink is installed.
+pub type SinkFactory = Arc<dyn Fn(usize) -> Box<dyn DecisionSink<EKey>> + Send + Sync>;
 
 /// Everything needed to launch one run.
 pub struct JobSpec {
@@ -27,6 +38,12 @@ pub struct JobSpec {
     pub seed: u64,
     /// Initial guess for per-UDF CPU seconds (refined at runtime).
     pub udf_cpu_hint: f64,
+    /// Placement-policy override; `None` follows `optimizer.strategy`.
+    /// `Strategy` stays the serializable config surface — this is the hook
+    /// for ablations and custom policies built in code.
+    pub policy: Option<PolicyFactory>,
+    /// Per-node decision-stream observers; `None` installs no sink.
+    pub decision_sink: Option<SinkFactory>,
 }
 
 /// Aggregate results of a run.
@@ -56,20 +73,26 @@ pub struct RunReport {
 }
 
 impl RunReport {
-    /// Tuples per simulated second.
+    /// Tuples per simulated second. An empty run (zero elapsed time, or a
+    /// non-finite duration) reports 0.0 — never NaN or ∞.
     pub fn throughput(&self) -> f64 {
         let secs = self.duration.as_secs_f64();
-        if secs <= 0.0 {
+        if secs <= 0.0 || !secs.is_finite() {
             0.0
         } else {
             self.completed as f64 / secs
         }
     }
 
-    /// Skew ratio: max over mean data-node CPU utilization (1.0 = balanced).
+    /// Skew ratio: max over mean data-node CPU utilization (1.0 =
+    /// balanced). A run with no data-node activity (zero or non-finite
+    /// mean) reports 0.0 — never NaN or ∞.
     pub fn data_cpu_skew(&self) -> f64 {
-        if self.mean_data_cpu_util <= 0.0 {
-            1.0
+        if self.mean_data_cpu_util <= 0.0
+            || !self.mean_data_cpu_util.is_finite()
+            || !self.max_data_cpu_util.is_finite()
+        {
+            0.0
         } else {
             self.max_data_cpu_util / self.mean_data_cpu_util
         }
@@ -122,7 +145,10 @@ pub fn build_store(
     let mut store = StoreCluster::new(spec.n_data);
     for (name, rows) in tables {
         let regions = spec.n_data * spec.regions_per_node;
-        let table = store.add_table(name, RegionMap::round_robin(Partitioning::Hash { regions }, spec.n_data));
+        let table = store.add_table(
+            name,
+            RegionMap::round_robin(Partitioning::Hash { regions }, spec.n_data),
+        );
         store.bulk_load(table, rows);
     }
     store
@@ -159,6 +185,9 @@ pub fn run_job(
     }
 
     for (i, input) in per_node.iter_mut().enumerate() {
+        let node_seed = jl_simkit::rng::derive_seed(spec.seed, "compute") ^ i as u64;
+        let policy = spec.policy.as_ref().map(|f| f(&spec.optimizer, node_seed));
+        let sink = spec.decision_sink.as_ref().map(|f| f(i));
         let node = ComputeNode::new(
             i,
             spec.optimizer.clone(),
@@ -169,7 +198,9 @@ pub fn run_job(
             Arc::clone(&spec.plan),
             std::mem::take(input),
             spec.udf_cpu_hint,
-            jl_simkit::rng::derive_seed(spec.seed, "compute") ^ i as u64,
+            node_seed,
+            policy,
+            sink,
         );
         sim.add_node(ClusterNode::Compute(node), cluster.node);
     }
@@ -201,7 +232,12 @@ pub fn run_job(
     for (at, table, key, value) in updates {
         let (_, server) = catalog.locate(table, &key);
         let bytes = value.size() + 64;
-        sim.post(at, cluster.data_id(server), Msg::Put { table, key, value }, bytes);
+        sim.post(
+            at,
+            cluster.data_id(server),
+            Msg::Put { table, key, value },
+            bytes,
+        );
     }
 
     let end = match spec.feed {
@@ -217,7 +253,10 @@ pub fn run_job(
     let mut fingerprint = 0u64;
     let mut data_utils: Vec<f64> = Vec::new();
     for i in 0..cluster.n_compute {
-        let n = sim.node(cluster.compute_id(i)).as_compute().expect("compute role");
+        let n = sim
+            .node(cluster.compute_id(i))
+            .as_compute()
+            .expect("compute role");
         decisions = sum_decisions(decisions, n.decision_stats());
         cache = sum_cache(cache, n.cache_stats());
         completed += n.report().completed;
@@ -232,21 +271,36 @@ pub fn run_job(
     let max_u = data_utils.iter().cloned().fold(0.0f64, f64::max);
     let mean_u = data_utils.iter().sum::<f64>() / data_utils.len().max(1) as f64;
     if std::env::var("JL_UTIL").is_ok() {
-        let n0 = sim.node(cluster.compute_id(0)).as_compute().expect("compute");
+        let n0 = sim
+            .node(cluster.compute_id(0))
+            .as_compute()
+            .expect("compute");
         let h = n0.latency();
         eprintln!(
             "  C0 latency: p50={} p90={} p99={} max={} n={}",
-            h.quantile(0.5), h.quantile(0.9), h.quantile(0.99), h.max(), h.count()
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99),
+            h.max(),
+            h.count()
         );
         let r = n0.remote_latency();
         eprintln!(
             "  C0 remote:  p50={} p90={} p99={} max={} n={}",
-            r.quantile(0.5), r.quantile(0.9), r.quantile(0.99), r.max(), r.count()
+            r.quantile(0.5),
+            r.quantile(0.9),
+            r.quantile(0.99),
+            r.max(),
+            r.count()
         );
         let l = n0.local_latency();
         eprintln!(
             "  C0 local:   p50={} p90={} p99={} max={} n={}",
-            l.quantile(0.5), l.quantile(0.9), l.quantile(0.99), l.max(), l.count()
+            l.quantile(0.5),
+            l.quantile(0.9),
+            l.quantile(0.99),
+            l.max(),
+            l.count()
         );
         for i in 0..cluster.n_compute {
             let r = sim.resources(cluster.compute_id(i));
@@ -291,8 +345,8 @@ mod tests {
     use jl_core::Strategy;
     use jl_simkit::time::SimDuration;
     use jl_store::{DigestUdf, RowKey, StoredValue, UdfRegistry};
-    use jl_workloads::SyntheticSpec;
     use jl_workloads::zipf::KeyStream;
+    use jl_workloads::SyntheticSpec;
 
     fn tiny_spec() -> SyntheticSpec {
         SyntheticSpec {
@@ -307,10 +361,7 @@ mod tests {
         }
     }
 
-    fn setup(
-        strategy: Strategy,
-        z: f64,
-    ) -> (JobSpec, StoreCluster, UdfRegistry, Vec<JobTuple>) {
+    fn setup(strategy: Strategy, z: f64) -> (JobSpec, StoreCluster, UdfRegistry, Vec<JobTuple>) {
         let spec = tiny_spec();
         let cluster = ClusterSpec {
             n_compute: 3,
@@ -320,10 +371,7 @@ mod tests {
         let mut optimizer = OptimizerConfig::for_strategy(strategy);
         optimizer.batch_size = 16;
         optimizer.mem_cache_bytes = 64 * 4096; // 64 values
-        let store = build_store(
-            &cluster,
-            vec![("t".into(), spec.rows(1).collect())],
-        );
+        let store = build_store(&cluster, vec![("t".into(), spec.rows(1).collect())]);
         let mut udfs = UdfRegistry::new();
         udfs.register(0, std::sync::Arc::new(DigestUdf { out_bytes: 64 }));
         let plan = JobPlan::single(0, 0);
@@ -344,8 +392,52 @@ mod tests {
             plan,
             seed: 11,
             udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+            policy: None,
+            decision_sink: None,
         };
         (job, store, udfs, tuples)
+    }
+
+    fn zero_report() -> RunReport {
+        RunReport {
+            duration: SimDuration::ZERO,
+            completed: 0,
+            fingerprint: 0,
+            decisions: Default::default(),
+            cache: Default::default(),
+            data: Default::default(),
+            net_bytes: 0,
+            net_messages: 0,
+            max_data_cpu_util: 0.0,
+            mean_data_cpu_util: 0.0,
+        }
+    }
+
+    #[test]
+    fn empty_run_throughput_is_zero_not_nan() {
+        let r = zero_report();
+        assert_eq!(r.throughput(), 0.0);
+        let mut r = zero_report();
+        r.completed = 100; // tuples but no elapsed time
+        assert_eq!(r.throughput(), 0.0);
+        assert!(r.throughput().is_finite());
+    }
+
+    #[test]
+    fn empty_run_skew_is_zero_not_nan() {
+        let r = zero_report();
+        assert_eq!(r.data_cpu_skew(), 0.0);
+        let mut r = zero_report();
+        r.max_data_cpu_util = 0.7; // max without mean cannot divide
+        assert_eq!(r.data_cpu_skew(), 0.0);
+        let mut r = zero_report();
+        r.max_data_cpu_util = f64::NAN;
+        r.mean_data_cpu_util = f64::NAN;
+        assert_eq!(r.data_cpu_skew(), 0.0);
+        let mut r = zero_report();
+        r.max_data_cpu_util = 0.9;
+        r.mean_data_cpu_util = 0.6;
+        assert!((r.data_cpu_skew() - 1.5).abs() < 1e-12);
     }
 
     #[test]
@@ -382,10 +474,7 @@ mod tests {
         let t_no = run_job(&job_no, store, udfs, tuples, vec![]).duration;
         let (job_fo, store, udfs, tuples) = setup(Strategy::Full, 1.2);
         let t_fo = run_job(&job_fo, store, udfs, tuples, vec![]).duration;
-        assert!(
-            t_fo < t_no,
-            "FO {t_fo} not faster than NO {t_no}"
-        );
+        assert!(t_fo < t_no, "FO {t_fo} not faster than NO {t_no}");
     }
 
     #[test]
@@ -418,7 +507,10 @@ mod tests {
         assert!(report.throughput() > 0.0);
         // The stream drained before the horizon; duration is the busy span.
         assert!(report.duration <= SimDuration::from_secs(5));
-        assert!(report.duration >= SimDuration::from_secs(2), "arrivals span 2s");
+        assert!(
+            report.duration >= SimDuration::from_secs(2),
+            "arrivals span 2s"
+        );
     }
 
     #[test]

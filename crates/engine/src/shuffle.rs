@@ -123,9 +123,7 @@ pub fn run_shuffle_multijoin(
             // disk, then read back when fetched (Spark's shuffle files).
             node.disk.submit(
                 start,
-                SimDuration::from_secs_f64(
-                    (out_bytes[i] + in_bytes[i]) as f64 / spec.disk_bw_bps,
-                ),
+                SimDuration::from_secs_f64((out_bytes[i] + in_bytes[i]) as f64 / spec.disk_bw_bps),
             );
             node.cpu
                 .submit(start, SHUFFLE_SER_CPU.saturating_mul(ser_rows[i]));

@@ -74,10 +74,7 @@ impl<K: Hash + Eq + Clone> LossyCounter<K> {
 
     /// Upper bound on the true count of `key` (`f + Δ`), 0 if untracked.
     pub fn estimate_upper(&self, key: &K) -> u64 {
-        self.entries
-            .get(key)
-            .map(|e| e.freq + e.delta)
-            .unwrap_or(0)
+        self.entries.get(key).map(|e| e.freq + e.delta).unwrap_or(0)
     }
 }
 

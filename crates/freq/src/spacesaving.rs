@@ -46,10 +46,7 @@ impl<K: Hash + Eq + Clone> SpaceSaving<K> {
 
     /// Guaranteed lower bound on the true count (`count − error`).
     pub fn guaranteed(&self, key: &K) -> u64 {
-        self.slots
-            .get(key)
-            .map(|s| s.count - s.error)
-            .unwrap_or(0)
+        self.slots.get(key).map(|s| s.count - s.error).unwrap_or(0)
     }
 
     fn min_entry(&self) -> Option<(K, Slot)> {

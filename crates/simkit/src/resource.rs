@@ -89,7 +89,10 @@ impl FifoResource {
 
     /// When the next server becomes free (lower bound on a new job's start).
     pub fn earliest_free(&self) -> SimTime {
-        self.free_at.peek().map(|Reverse(t)| *t).unwrap_or(SimTime::ZERO)
+        self.free_at
+            .peek()
+            .map(|Reverse(t)| *t)
+            .unwrap_or(SimTime::ZERO)
     }
 
     /// The instant the last accepted job completes.

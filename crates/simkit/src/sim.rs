@@ -203,7 +203,12 @@ impl<'a, M> Ctx<'a, M> {
 
     /// Charge `service` time on one of this node's resources, becoming ready
     /// at `ready`. Returns when the work starts and completes.
-    pub fn use_resource(&mut self, kind: ResourceKind, ready: SimTime, service: SimDuration) -> Grant {
+    pub fn use_resource(
+        &mut self,
+        kind: ResourceKind,
+        ready: SimTime,
+        service: SimDuration,
+    ) -> Grant {
         let ready = ready.max(self.inner.time);
         self.inner.resources[self.self_id]
             .get_mut(kind)
@@ -294,10 +299,15 @@ impl<N: Node> Sim<N> {
     pub fn add_node(&mut self, node: N, spec: NodeSpec) -> NodeId {
         let id = self.nodes.len();
         self.nodes.push(node);
+        self.inner.resources.push(NodeResources::new(
+            spec.cores,
+            spec.disk_channels,
+            spec.net_bw_bps,
+            SimTime::ZERO,
+        ));
         self.inner
-            .resources
-            .push(NodeResources::new(spec.cores, spec.disk_channels, spec.net_bw_bps, SimTime::ZERO));
-        self.inner.rngs.push(indexed_rng(self.seed, "node", id as u64));
+            .rngs
+            .push(indexed_rng(self.seed, "node", id as u64));
         id
     }
 
@@ -335,7 +345,9 @@ impl<N: Node> Sim<N> {
             }
         }
         while !self.inner.stopped {
-            let Some(ev) = self.inner.heap.peek() else { break };
+            let Some(ev) = self.inner.heap.peek() else {
+                break;
+            };
             if ev.time > horizon {
                 self.inner.time = horizon;
                 break;
@@ -495,7 +507,8 @@ mod tests {
         sim.run();
         let at = sim.node(recv).at.expect("delivered");
         // External sends skip the sender NIC: 200us latency + 8ms receive.
-        let expected = SimDuration::from_micros(200) + SimDuration::from_secs_f64(1_000_000.0 / 125_000_000.0);
+        let expected =
+            SimDuration::from_micros(200) + SimDuration::from_secs_f64(1_000_000.0 / 125_000_000.0);
         assert_eq!(at, SimTime::ZERO + expected);
     }
 
@@ -616,7 +629,10 @@ mod tests {
         sim.run();
         let res = sim.resources(id);
         // 16 jobs on 8 cores: drains at 200 ms.
-        assert_eq!(res.cpu.drained_at(), SimTime::ZERO + SimDuration::from_millis(200));
+        assert_eq!(
+            res.cpu.drained_at(),
+            SimTime::ZERO + SimDuration::from_millis(200)
+        );
         assert_eq!(res.cpu.jobs(), 16);
     }
 }

@@ -190,7 +190,11 @@ impl DurationHistogram {
             if seen + c >= target {
                 // Interpolate linearly within the bucket [2^(i-1), 2^i).
                 let lo = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
-                let hi = if i >= 64 { u64::MAX } else { (1u64 << i).saturating_sub(1) };
+                let hi = if i >= 64 {
+                    u64::MAX
+                } else {
+                    (1u64 << i).saturating_sub(1)
+                };
                 let frac = (target - seen) as f64 / c as f64;
                 let ns = lo as f64 + frac * (hi.saturating_sub(lo)) as f64;
                 return SimDuration(ns.min(self.max as f64) as u64);

@@ -215,10 +215,7 @@ mod tests {
         assert!(SimTime(1) < SimTime(2));
         assert_eq!(SimTime(7).max(SimTime(3)), SimTime(7));
         assert_eq!(SimTime(7).min(SimTime(3)), SimTime(3));
-        assert_eq!(
-            SimDuration(5).max(SimDuration(9)),
-            SimDuration(9)
-        );
+        assert_eq!(SimDuration(5).max(SimDuration(9)), SimDuration(9));
     }
 
     #[test]

@@ -97,7 +97,10 @@ mod tests {
         for m in 0..100 {
             let online = p.online_cost(m);
             let opt = p.optimal_cost(m);
-            assert!(online <= 2.0 * opt + 1e-9, "m={m} online={online} opt={opt}");
+            assert!(
+                online <= 2.0 * opt + 1e-9,
+                "m={m} online={online} opt={opt}"
+            );
         }
     }
 

@@ -183,7 +183,11 @@ mod tests {
         let (catalog, servers) = c.into_parts();
         let key = RowKey::from_u64(42);
         let (region, server) = catalog.locate(t, &key);
-        let v = servers[server].region(t, region).unwrap().get(&key).unwrap();
+        let v = servers[server]
+            .region(t, region)
+            .unwrap()
+            .get(&key)
+            .unwrap();
         assert_eq!(v.data.as_ref(), &42u64.to_le_bytes());
         let total_rows: usize = servers.iter().map(RegionServer::row_count).sum();
         assert_eq!(total_rows, 100);
@@ -192,16 +196,28 @@ mod tests {
     #[test]
     fn multiple_tables_coexist() {
         let mut c = StoreCluster::new(2);
-        let t1 = c.add_table("a", RegionMap::round_robin(Partitioning::Hash { regions: 2 }, 2));
-        let t2 = c.add_table("b", RegionMap::round_robin(Partitioning::Hash { regions: 2 }, 2));
+        let t1 = c.add_table(
+            "a",
+            RegionMap::round_robin(Partitioning::Hash { regions: 2 }, 2),
+        );
+        let t2 = c.add_table(
+            "b",
+            RegionMap::round_robin(Partitioning::Hash { regions: 2 }, 2),
+        );
         c.bulk_load(t1, [(RowKey::from_u64(1), value(10))]);
         c.bulk_load(t2, [(RowKey::from_u64(1), value(20))]);
         assert_eq!(
-            c.reference_get(t1, &RowKey::from_u64(1)).unwrap().data.as_ref(),
+            c.reference_get(t1, &RowKey::from_u64(1))
+                .unwrap()
+                .data
+                .as_ref(),
             &10u64.to_le_bytes()
         );
         assert_eq!(
-            c.reference_get(t2, &RowKey::from_u64(1)).unwrap().data.as_ref(),
+            c.reference_get(t2, &RowKey::from_u64(1))
+                .unwrap()
+                .data
+                .as_ref(),
             &20u64.to_le_bytes()
         );
     }

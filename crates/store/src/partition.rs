@@ -41,9 +41,7 @@ impl Partitioning {
     pub fn region_of(&self, key: &RowKey) -> usize {
         match self {
             Partitioning::Hash { regions } => (key.stable_hash() % *regions as u64) as usize,
-            Partitioning::Range { splits } => {
-                splits.partition_point(|s| s <= key)
-            }
+            Partitioning::Range { splits } => splits.partition_point(|s| s <= key),
         }
     }
 
@@ -52,7 +50,9 @@ impl Partitioning {
     pub fn range_u64(regions: usize, max_key: u64) -> Partitioning {
         assert!(regions >= 1);
         let step = (max_key / regions as u64).max(1);
-        let splits = (1..regions as u64).map(|i| RowKey::from_u64(i * step)).collect();
+        let splits = (1..regions as u64)
+            .map(|i| RowKey::from_u64(i * step))
+            .collect();
         Partitioning::Range { splits }
     }
 

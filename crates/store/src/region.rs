@@ -112,7 +112,10 @@ mod tests {
         for k in [1u64, 3, 5, 7] {
             r.put(RowKey::from_u64(k), v(b"x"));
         }
-        let all: Vec<u64> = r.scan(None, None).map(|(k, _)| k.as_u64().unwrap()).collect();
+        let all: Vec<u64> = r
+            .scan(None, None)
+            .map(|(k, _)| k.as_u64().unwrap())
+            .collect();
         assert_eq!(all, vec![1, 3, 5, 7]);
         let from3 = RowKey::from_u64(3);
         let to7 = RowKey::from_u64(7);

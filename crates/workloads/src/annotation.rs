@@ -176,8 +176,13 @@ mod tests {
             s.sort_unstable();
             s[s.len() / 2]
         };
-        assert!(max > median * 100, "max {max} median {median}: tail too light");
-        assert!(sizes.iter().all(|&s| s >= w.min_model_bytes && s <= w.max_model_bytes));
+        assert!(
+            max > median * 100,
+            "max {max} median {median}: tail too light"
+        );
+        assert!(sizes
+            .iter()
+            .all(|&s| s >= w.min_model_bytes && s <= w.max_model_bytes));
     }
 
     #[test]

@@ -118,7 +118,9 @@ impl GenomeWorkload {
     /// Pack `k` bases into a `u64` k-mer.
     pub fn pack_kmer(&self, window: &[u8]) -> u64 {
         debug_assert_eq!(window.len(), self.k);
-        window.iter().fold(0u64, |acc, &b| (acc << 2) | u64::from(b & 3))
+        window
+            .iter()
+            .fold(0u64, |acc, &b| (acc << 2) | u64::from(b & 3))
     }
 
     /// Build the k-mer index rows: for each k-mer of the reference, the

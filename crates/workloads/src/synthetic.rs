@@ -124,7 +124,13 @@ impl SyntheticSpec {
     /// Generate the input stream with Zipf skew `z`. When
     /// `shift_epochs > 1`, the hot key set re-shuffles that many times over
     /// the stream (§9.3.2's dynamic distribution).
-    pub fn tuples<R: Rng>(&self, z: f64, shift_epochs: u64, rng: &mut R, seed: u64) -> Vec<InputTuple> {
+    pub fn tuples<R: Rng>(
+        &self,
+        z: f64,
+        shift_epochs: u64,
+        rng: &mut R,
+        seed: u64,
+    ) -> Vec<InputTuple> {
         let mut stream = if shift_epochs > 1 {
             KeyStream::shifting(
                 self.n_keys as usize,

@@ -150,7 +150,10 @@ impl TpcDsLite {
     }
 
     /// Generate a dimension's rows (real bytes; widths per the spec).
-    pub fn dimension_rows(&self, dim: Dimension) -> impl Iterator<Item = (RowKey, StoredValue)> + '_ {
+    pub fn dimension_rows(
+        &self,
+        dim: Dimension,
+    ) -> impl Iterator<Item = (RowKey, StoredValue)> + '_ {
         let n = self.rows_of(dim);
         let width = dim.row_bytes();
         let tag = dim as u64;
@@ -204,33 +207,69 @@ impl TpcDsLite {
             Query {
                 name: "Q3",
                 stages: vec![
-                    JoinStage { dim: Dimension::DateDim, selectivity: 0.08 }, // d_moy = 11
-                    JoinStage { dim: Dimension::Item, selectivity: 0.05 },    // manufact id
+                    JoinStage {
+                        dim: Dimension::DateDim,
+                        selectivity: 0.08,
+                    }, // d_moy = 11
+                    JoinStage {
+                        dim: Dimension::Item,
+                        selectivity: 0.05,
+                    }, // manufact id
                 ],
             },
             Query {
                 name: "Q7",
                 stages: vec![
-                    JoinStage { dim: Dimension::DateDim, selectivity: 0.2 },  // d_year
-                    JoinStage { dim: Dimension::CustomerDemographics, selectivity: 0.014 },
-                    JoinStage { dim: Dimension::Item, selectivity: 1.0 },
-                    JoinStage { dim: Dimension::Promotion, selectivity: 0.98 },
+                    JoinStage {
+                        dim: Dimension::DateDim,
+                        selectivity: 0.2,
+                    }, // d_year
+                    JoinStage {
+                        dim: Dimension::CustomerDemographics,
+                        selectivity: 0.014,
+                    },
+                    JoinStage {
+                        dim: Dimension::Item,
+                        selectivity: 1.0,
+                    },
+                    JoinStage {
+                        dim: Dimension::Promotion,
+                        selectivity: 0.98,
+                    },
                 ],
             },
             Query {
                 name: "Q27",
                 stages: vec![
-                    JoinStage { dim: Dimension::DateDim, selectivity: 0.2 },
-                    JoinStage { dim: Dimension::Store, selectivity: 0.1 }, // state
-                    JoinStage { dim: Dimension::Item, selectivity: 1.0 },
-                    JoinStage { dim: Dimension::CustomerDemographics, selectivity: 0.014 },
+                    JoinStage {
+                        dim: Dimension::DateDim,
+                        selectivity: 0.2,
+                    },
+                    JoinStage {
+                        dim: Dimension::Store,
+                        selectivity: 0.1,
+                    }, // state
+                    JoinStage {
+                        dim: Dimension::Item,
+                        selectivity: 1.0,
+                    },
+                    JoinStage {
+                        dim: Dimension::CustomerDemographics,
+                        selectivity: 0.014,
+                    },
                 ],
             },
             Query {
                 name: "Q42",
                 stages: vec![
-                    JoinStage { dim: Dimension::DateDim, selectivity: 0.012 }, // moy+year
-                    JoinStage { dim: Dimension::Item, selectivity: 0.1 },      // category
+                    JoinStage {
+                        dim: Dimension::DateDim,
+                        selectivity: 0.012,
+                    }, // moy+year
+                    JoinStage {
+                        dim: Dimension::Item,
+                        selectivity: 0.1,
+                    }, // category
                 ],
             },
         ]
@@ -251,7 +290,10 @@ mod tests {
     fn queries_join_two_to_four_dims() {
         for q in TpcDsLite::queries() {
             assert!((2..=4).contains(&q.stages.len()), "{}", q.name);
-            assert!(q.stages.iter().all(|s| s.selectivity > 0.0 && s.selectivity <= 1.0));
+            assert!(q
+                .stages
+                .iter()
+                .all(|s| s.selectivity > 0.0 && s.selectivity <= 1.0));
         }
         let names: Vec<_> = TpcDsLite::queries().iter().map(|q| q.name).collect();
         assert_eq!(names, vec!["Q3", "Q7", "Q27", "Q42"]);

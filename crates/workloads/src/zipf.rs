@@ -288,7 +288,11 @@ mod tests {
             for _ in 0..1000 {
                 *counts.entry(s.next_key(&mut rng)).or_insert(0) += 1;
             }
-            let top = counts.iter().max_by_key(|(_, &c)| c).map(|(&k, _)| k).unwrap();
+            let top = counts
+                .iter()
+                .max_by_key(|(_, &c)| c)
+                .map(|(&k, _)| k)
+                .unwrap();
             epoch_tops.push(top);
         }
         assert!(

@@ -59,6 +59,8 @@ fn main() {
         plan: JobPlan::single(table, 0),
         seed: 42,
         udf_cpu_hint: 0.002,
+        policy: None,
+        decision_sink: None,
     };
     let report = run_job(&job, store, udfs, tuples, vec![]);
     println!(

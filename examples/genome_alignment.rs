@@ -46,7 +46,12 @@ fn main() {
     }
 
     let mut udfs = UdfRegistry::new();
-    udfs.register(0, Arc::new(AlignUdf { context: genome.context }));
+    udfs.register(
+        0,
+        Arc::new(AlignUdf {
+            context: genome.context,
+        }),
+    );
     let plan = JobPlan::single(0, 0);
 
     // Reference execution to verify against.
@@ -72,6 +77,8 @@ fn main() {
         plan,
         seed: 42,
         udf_cpu_hint: 1e-5,
+        policy: None,
+        decision_sink: None,
     };
     let ours = run_job(&job, store, udfs, tuples, vec![]);
     assert_eq!(ours.fingerprint, reference.fingerprint);

@@ -19,7 +19,10 @@ fn main() {
     let cluster = ClusterSpec::default();
     let mut ds = TpcDsLite::scaled_default(42);
     ds.fact_rows = 300_000;
-    let q3 = TpcDsLite::queries().into_iter().find(|q| q.name == "Q3").unwrap();
+    let q3 = TpcDsLite::queries()
+        .into_iter()
+        .find(|q| q.name == "Q3")
+        .unwrap();
 
     let mut udfs = UdfRegistry::new();
     udfs.register(0, Arc::new(DigestUdf { out_bytes: 48 }));
@@ -41,7 +44,11 @@ fn main() {
         .iter()
         .map(|s| JobTuple {
             seq: s.seq,
-            keys: q3.stages.iter().map(|st| RowKey::from_u64(s.fk(st.dim))).collect(),
+            keys: q3
+                .stages
+                .iter()
+                .map(|st| RowKey::from_u64(s.fk(st.dim)))
+                .collect(),
             params_size: 64,
             arrival: SimTime::ZERO,
         })
@@ -79,6 +86,8 @@ fn main() {
         plan,
         seed: 42,
         udf_cpu_hint: 3e-6,
+        policy: None,
+        decision_sink: None,
     };
     let ours = run_job(&job, store, udfs, tuples, vec![]);
     println!(

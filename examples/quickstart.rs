@@ -52,10 +52,13 @@ fn main() {
             plan: Arc::clone(&plan),
             seed: 7,
             udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+            policy: None,
+            decision_sink: None,
         };
         let report = run_job(&job, store, udfs.clone(), tuples.clone(), vec![]);
         assert_eq!(
-            report.fingerprint, reference.fingerprint,
+            report.fingerprint,
+            reference.fingerprint,
             "{} computed a different join!",
             strategy.label()
         );

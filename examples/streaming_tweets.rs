@@ -67,6 +67,8 @@ fn main() {
             plan: JobPlan::single(t2, 0),
             seed: 42,
             udf_cpu_hint: 0.002,
+            policy: None,
+            decision_sink: None,
         };
         let report = run_job(&job, store2, udfs.clone(), tuples.clone(), vec![]);
         println!(

@@ -6,7 +6,6 @@ use jl_costmodel::BandwidthEstimator;
 use jl_simkit::prelude::*;
 
 struct Probe {
-
     received: Vec<(usize, usize, SimTime, u64)>, // (src, dst, when, bytes)
 }
 
@@ -29,10 +28,7 @@ fn probing_recovers_configured_bandwidth() {
     let mut sim: Sim<Probe> = Sim::new(1, NetConfig::default());
     for _ in 0..4 {
         sim.add_node(
-            Probe {
-
-                received: vec![],
-            },
+            Probe { received: vec![] },
             NodeSpec {
                 cores: 8,
                 disk_channels: 1,
@@ -50,7 +46,15 @@ fn probing_recovers_configured_bandwidth() {
             if src == dst {
                 continue;
             }
-            sim.post(at, dst, Msg::Probe { src, bytes: probe_bytes }, probe_bytes);
+            sim.post(
+                at,
+                dst,
+                Msg::Probe {
+                    src,
+                    bytes: probe_bytes,
+                },
+                probe_bytes,
+            );
             sent.push((src, dst, at));
             at += SimDuration::from_secs(1);
         }

@@ -80,6 +80,8 @@ fn all_strategies_and_baselines_agree_with_reference() {
             plan: Arc::clone(&plan),
             seed: 3,
             udf_cpu_hint: 0.002,
+            policy: None,
+            decision_sink: None,
         };
         let r = run_job(&job, store, udfs(), ts.clone(), vec![]);
         assert_eq!(r.completed, ts.len() as u64, "{}", strategy.label());
@@ -105,8 +107,16 @@ fn multi_join_pipeline_matches_reference_and_shuffle() {
     let dim1 = rows(100, 64);
     let plan = Arc::new(JobPlan {
         stages: vec![
-            StageSpec { table: 0, udf: 0, selectivity: 0.6 },
-            StageSpec { table: 1, udf: 0, selectivity: 1.0 },
+            StageSpec {
+                table: 0,
+                udf: 0,
+                selectivity: 0.6,
+            },
+            StageSpec {
+                table: 1,
+                udf: 0,
+                selectivity: 1.0,
+            },
         ],
     });
     let mut ks0 = KeyStream::new(300, 0.8, 9);
@@ -140,6 +150,8 @@ fn multi_join_pipeline_matches_reference_and_shuffle() {
         plan: Arc::clone(&plan),
         seed: 1,
         udf_cpu_hint: 0.001,
+        policy: None,
+        decision_sink: None,
     };
     let ours = run_job(&job, store, udfs(), ts.clone(), vec![]);
     assert_eq!(ours.fingerprint, reference.fingerprint, "framework");
@@ -178,6 +190,8 @@ fn streaming_and_batch_compute_the_same_join() {
         plan,
         seed: 2,
         udf_cpu_hint: 0.002,
+        policy: None,
+        decision_sink: None,
     };
     let r = run_job(&job, store, udfs(), ts, vec![]);
     assert_eq!(r.completed, 2000, "stream did not drain");
@@ -209,6 +223,8 @@ fn updates_propagate_and_invalidate() {
         plan,
         seed: 4,
         udf_cpu_hint: 0.002,
+        policy: None,
+        decision_sink: None,
     };
     let r = run_job(&job, store, udfs(), ts, updates);
     assert_eq!(r.completed, 2000);
@@ -249,6 +265,8 @@ fn broadcast_and_targeted_notifications_both_stay_correct() {
             plan,
             seed: 8,
             udf_cpu_hint: 0.002,
+            policy: None,
+            decision_sink: None,
         };
         let r = run_job(&job, store, udfs(), ts, updates);
         assert_eq!(r.completed, 1500, "{notify:?}");

@@ -56,6 +56,8 @@ fn run(strategy: Strategy, z: f64, udf_ms: u64, value_size: usize, n: u64) -> f6
         plan: JobPlan::single(0, 0),
         seed: 11,
         udf_cpu_hint: udf_ms as f64 / 1000.0,
+        policy: None,
+        decision_sink: None,
     };
     run_job(&job, store, udfs, tuples, vec![])
         .duration
@@ -64,8 +66,8 @@ fn run(strategy: Strategy, z: f64, udf_ms: u64, value_size: usize, n: u64) -> f6
 
 #[test]
 fn full_optimizer_beats_no_opt() {
-    let no = run(Strategy::NoOpt, 1.0, 2, 4096, 6000);
-    let fo = run(Strategy::Full, 1.0, 2, 4096, 6000);
+    let no = run(Strategy::NoOpt, 1.0, 5, 4096, 6000);
+    let fo = run(Strategy::Full, 1.0, 5, 4096, 6000);
     assert!(fo < no, "FO {fo} !< NO {no}");
 }
 
@@ -102,7 +104,10 @@ fn balancing_beats_all_or_nothing_for_compute_heavy() {
     let fc = run(Strategy::ComputeSide, 0.0, 20, 1024, 2500);
     let fd = run(Strategy::DataSide, 0.0, 20, 1024, 2500);
     let lo = run(Strategy::BalanceOnly, 0.0, 20, 1024, 2500);
-    assert!(lo < fc && lo < fd, "LO {lo} should beat FC {fc} and FD {fd}");
+    assert!(
+        lo < fc && lo < fd,
+        "LO {lo} should beat FC {fc} and FD {fd}"
+    );
 }
 
 #[test]
@@ -143,6 +148,8 @@ fn elasticity_more_compute_nodes_help_compute_bound_jobs() {
             plan: JobPlan::single(0, 0),
             seed: 13,
             udf_cpu_hint: 0.025,
+            policy: None,
+            decision_sink: None,
         };
         run_job(&job, store, udfs, tuples, vec![])
             .duration

@@ -1,0 +1,180 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Implements the subset this workspace's benches use — [`Criterion`],
+//! [`Bencher::iter`], benchmark groups, [`BenchmarkId`], [`black_box`],
+//! and the `criterion_group!`/`criterion_main!` macros. Each benchmark
+//! closure is timed over a handful of iterations and the mean wall-clock
+//! per iteration is printed; there are no statistics, plots, or reports.
+
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Opaque value barrier; best-effort without compiler support.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Label for one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Build an id from the parameter's `Display` form.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId { id: p.to_string() }
+    }
+
+    /// Build an id from a function name and a parameter.
+    pub fn new<S: Into<String>, P: Display>(function: S, p: P) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), p),
+        }
+    }
+}
+
+/// Passed to benchmark closures; [`Bencher::iter`] times the routine.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // One warm-up call, then the timed loop.
+        black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn run_one(name: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { iters, mean_ns: 0.0 };
+    f(&mut b);
+    let per_iter = b.mean_ns;
+    let (scaled, unit) = if per_iter >= 1e9 {
+        (per_iter / 1e9, "s")
+    } else if per_iter >= 1e6 {
+        (per_iter / 1e6, "ms")
+    } else if per_iter >= 1e3 {
+        (per_iter / 1e3, "us")
+    } else {
+        (per_iter, "ns")
+    };
+    println!("bench {name:<40} {scaled:>10.3} {unit}/iter ({iters} iters)");
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { iters: 10 }
+    }
+}
+
+impl Criterion {
+    /// Register and immediately run one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.iters, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            iters: self.iters,
+            _parent: self,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    iters: u64,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the per-benchmark iteration count (criterion's sample count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.iters = (n as u64).max(1);
+        self
+    }
+
+    /// Run one parameterized benchmark in this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let name = format!("{}/{}", self.name, id.id);
+        run_one(&name, self.iters, &mut |b| f(b, input));
+        self
+    }
+
+    /// End the group (no-op; exists for API parity).
+    pub fn finish(self) {}
+}
+
+/// Bundle benchmark functions into a named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_closure() {
+        let mut calls = 0u64;
+        Criterion::default().bench_function("noop", |b| {
+            b.iter(|| {
+                calls += 1;
+            })
+        });
+        assert!(calls > 0);
+    }
+
+    #[test]
+    fn group_runs_with_input() {
+        let mut group_calls = 0u64;
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(3);
+        g.bench_with_input(BenchmarkId::from_parameter("x"), &7u32, |b, &v| {
+            b.iter(|| {
+                group_calls += u64::from(v);
+            })
+        });
+        drop(g);
+        assert!(group_calls >= 7);
+    }
+}

@@ -1,0 +1,244 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset of proptest this workspace's property tests use:
+//! the [`proptest!`] macro (with an optional `#![proptest_config(..)]`
+//! header), range / `any::<T>()` / tuple / [`Just`] / `prop_map` /
+//! [`prop_oneof!`] strategies, [`collection::vec`], and the
+//! `prop_assert*` macros. Cases are generated from a deterministic
+//! per-test seed; there is **no shrinking** — on failure the generated
+//! inputs are printed verbatim instead.
+
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub mod strategy;
+
+pub use strategy::{any, Just, Strategy};
+
+/// Test-runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Derive the deterministic RNG for one case of one property test.
+pub fn case_rng(test_name: &str, case: u32) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in test_name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h ^ (u64::from(case) << 32 | u64::from(case)))
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use rand::Rng;
+
+    /// A `Vec` strategy: length drawn from `len`, elements from `element`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        assert!(!len.is_empty(), "empty length range");
+        VecStrategy { element, len }
+    }
+
+    /// See [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut rand::rngs::StdRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Everything a property test usually imports.
+pub mod prelude {
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Assert inside a property; failure reports the generated inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Equality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Inequality assert inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $({
+                let s = $s;
+                Box::new(move |rng: &mut $crate::strategy::TestRng|
+                    $crate::strategy::Strategy::generate(&s, rng))
+                    as Box<dyn Fn(&mut $crate::strategy::TestRng) -> _>
+            }),+
+        ])
+    };
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn holds(x in 0u64..10, v in proptest::collection::vec(0u8..5, 1..20)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    // With a config header.
+    (
+        #![proptest_config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest! { @cfg ($cfg) $($rest)* }
+    };
+    // Without one.
+    (
+        $(#[$meta0:meta])*
+        fn $($rest:tt)*
+    ) => {
+        $crate::proptest! {
+            @cfg ($crate::ProptestConfig::default())
+            $(#[$meta0])*
+            fn $($rest)*
+        }
+    };
+    // One or more test functions under a shared config.
+    (
+        @cfg ($cfg:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident(
+                $($arg:ident in $strat:expr),+ $(,)?
+            ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let cfg: $crate::ProptestConfig = $cfg;
+                for case in 0..cfg.cases {
+                    let mut rng = $crate::case_rng(
+                        concat!(module_path!(), "::", stringify!($name)),
+                        case,
+                    );
+                    $(
+                        let $arg = $crate::Strategy::generate(&$strat, &mut rng);
+                    )+
+                    let dbg = format!(
+                        concat!($(stringify!($arg), " = {:?}, ",)+ ""),
+                        $(&$arg),+
+                    );
+                    let result = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| { $body })
+                    );
+                    if let Err(e) = result {
+                        eprintln!(
+                            "proptest case {case} failed for inputs: {dbg}"
+                        );
+                        ::std::panic::resume_unwind(e);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    enum Op {
+        A(u8),
+        B(u16),
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_vectors(
+            xs in crate::collection::vec(0u64..40, 1..50),
+            k in 1u8..=4,
+            f in 0.5f64..1.5,
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 50);
+            prop_assert!(xs.iter().all(|&x| x < 40));
+            prop_assert!((1..=4).contains(&k));
+            prop_assert!((0.5..1.5).contains(&f));
+        }
+
+        #[test]
+        fn oneof_map_and_just(
+            op in prop_oneof![
+                (any::<u8>(), 1u16..10).prop_map(|(a, b)| Op::B(u16::from(a) + b)),
+                any::<u8>().prop_map(Op::A),
+                Just(Op::A(7)),
+            ],
+            flag in any::<bool>(),
+        ) {
+            match op {
+                Op::A(_) => {}
+                Op::B(v) => prop_assert!(v >= 1),
+            }
+            prop_assert!(flag || !flag);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let a: Vec<u64> = (0..5)
+            .map(|c| Strategy::generate(&(0u64..100), &mut crate::case_rng("t", c)))
+            .collect();
+        let b: Vec<u64> = (0..5)
+            .map(|c| Strategy::generate(&(0u64..100), &mut crate::case_rng("t", c)))
+            .collect();
+        assert_eq!(a, b);
+    }
+}
