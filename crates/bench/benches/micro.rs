@@ -2,6 +2,9 @@
 //! per-tuple costs that bound the optimizer's own overhead (§8 notes the
 //! framework's statistics/caching overhead as its main cost).
 
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hash, Hasher};
+
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use jl_cache::{LfuDa, SizeMode, TieredCache};
 use jl_core::{Batcher, OptimizerConfig, Strategy};
@@ -11,9 +14,11 @@ use jl_loadbalance::{solve_exact, solve_gradient, ComputeLoadStats, DataLoadStat
 use jl_simkit::prelude::*;
 use jl_simkit::rng::stream_rng;
 use jl_skirental::RecurringSkiRental;
+use jl_store::RowKey;
 use jl_workloads::Zipf;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use rustc_hash::FxHashMap;
 
 fn bench_skirental(c: &mut Criterion) {
     let policy = RecurringSkiRental::new(0.01, 0.05, 0.002);
@@ -172,6 +177,98 @@ fn bench_simkit(c: &mut Criterion) {
     });
 }
 
+fn bench_event_heap(c: &mut Criterion) {
+    // 1M timer events through the simulator's event heap: each on_timer
+    // pops one event and pushes the next, so one iteration is 1M
+    // push/pop pairs against a heap pre-sized by `reserve_events`.
+    struct Ticker {
+        left: u64,
+    }
+    impl Node for Ticker {
+        type Msg = ();
+        fn on_message(&mut self, _f: NodeId, _msg: (), _ctx: &mut Ctx<'_, ()>) {}
+        fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+            ctx.set_timer(SimTime::ZERO, 0);
+        }
+        fn on_timer(&mut self, _tag: u64, ctx: &mut Ctx<'_, ()>) {
+            if self.left > 0 {
+                self.left -= 1;
+                ctx.set_timer_after(SimDuration::from_nanos(1), 0);
+            }
+        }
+    }
+    c.bench_function("event_heap_push_pop_1m", |b| {
+        b.iter(|| {
+            let mut sim: Sim<Ticker> = Sim::new(1, NetConfig::default());
+            sim.add_node(Ticker { left: 1_000_000 }, NodeSpec::default());
+            sim.reserve_events(8);
+            black_box(sim.run());
+            black_box(sim.events_processed())
+        })
+    });
+}
+
+fn bench_key_maps(c: &mut Criterion) {
+    // Per-key statistics lookups are the kernel's hottest map accesses;
+    // this pins the std `HashMap` (SipHash) vs `FxHashMap` gap that
+    // motivated the swap.
+    let keys: Vec<RowKey> = (0..10_000u64).map(RowKey::from_u64).collect();
+    let mut std_map: HashMap<RowKey, u64> = HashMap::default();
+    let mut fx_map: FxHashMap<RowKey, u64> = FxHashMap::default();
+    for (i, k) in keys.iter().enumerate() {
+        std_map.insert(k.clone(), i as u64);
+        fx_map.insert(k.clone(), i as u64);
+    }
+    c.bench_function("std_hashmap_lookup_10k_rowkeys", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                i = (i + 1) % keys.len();
+                acc = acc.wrapping_add(*std_map.get(&keys[i]).unwrap());
+            }
+            black_box(acc)
+        })
+    });
+    c.bench_function("fx_hashmap_lookup_10k_rowkeys", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                i = (i + 1) % keys.len();
+                acc = acc.wrapping_add(*fx_map.get(&keys[i]).unwrap());
+            }
+            black_box(acc)
+        })
+    });
+}
+
+fn bench_rowkey(c: &mut Criterion) {
+    let short = RowKey::from_u64(0xDEAD_BEEF); // inline representation
+    let long = RowKey::from_bytes(vec![7u8; 64]); // shared (heap) representation
+    let fx = rustc_hash::FxBuildHasher::default();
+    c.bench_function("rowkey_hash_inline", |b| {
+        b.iter(|| {
+            let mut h = fx.build_hasher();
+            black_box(&short).hash(&mut h);
+            black_box(h.finish())
+        })
+    });
+    c.bench_function("rowkey_hash_shared", |b| {
+        b.iter(|| {
+            let mut h = fx.build_hasher();
+            black_box(&long).hash(&mut h);
+            black_box(h.finish())
+        })
+    });
+    c.bench_function("rowkey_clone_inline", |b| {
+        b.iter(|| black_box(black_box(&short).clone()))
+    });
+    c.bench_function("rowkey_clone_shared", |b| {
+        b.iter(|| black_box(black_box(&long).clone()))
+    });
+}
+
 fn bench_strategy_config(c: &mut Criterion) {
     c.bench_function("optimizer_config_build", |b| {
         b.iter(|| black_box(OptimizerConfig::for_strategy(black_box(Strategy::Full))))
@@ -188,6 +285,9 @@ criterion_group!(
     bench_batcher,
     bench_zipf,
     bench_simkit,
+    bench_event_heap,
+    bench_key_maps,
+    bench_rowkey,
     bench_strategy_config,
 );
 criterion_main!(benches);

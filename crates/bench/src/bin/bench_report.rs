@@ -1,0 +1,207 @@
+//! Tracked kernel benchmark: times a pinned workload set and emits
+//! `BENCH_kernel.json` at the repo root.
+//!
+//! The pinned set is the three §9.3 synthetic workloads (DH / CH / DCH) at
+//! z = 1.0 under the full optimizer, plus the Figure 6 Twitter-stream
+//! annotation workload. For each it records real wall-clock seconds,
+//! simulated events processed, and simulated-events/sec; the file also
+//! carries peak RSS and the thread count so CI runs are comparable over
+//! time.
+//!
+//! Usage: `bench_report [--quick] [--threads N] [--seed N] [--out PATH]`
+//!
+//! `--quick` shrinks every workload (CI smoke run); results are labelled
+//! with the scale so quick and full runs are never compared directly.
+
+use std::time::Instant;
+
+use jl_bench::bench_threads;
+use jl_bench::experiments::{bench_synthetic_report, fig6_stream_report};
+use jl_core::Strategy;
+use jl_engine::RunReport;
+
+/// One timed workload.
+struct Timing {
+    name: &'static str,
+    wall_secs: f64,
+    report: RunReport,
+}
+
+impl Timing {
+    fn events_per_sec(&self) -> f64 {
+        if self.wall_secs > 0.0 {
+            self.report.sim_events as f64 / self.wall_secs
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Peak resident set size in bytes (Linux `VmHWM`); `None` elsewhere or if
+/// `/proc` is unreadable.
+fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+fn json_escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Serialize a float the way JSON requires: finite, with enough digits to
+/// round-trip. Non-finite values (impossible here, but cheap to guard)
+/// become 0.
+fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.6}")
+    } else {
+        "0.0".into()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut out_path = "BENCH_kernel.json".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => {
+                quick = true;
+                i += 1;
+            }
+            "--seed" if i + 1 < args.len() => {
+                seed = args[i + 1].parse().unwrap_or(42);
+                i += 2;
+            }
+            "--out" if i + 1 < args.len() => {
+                out_path = args[i + 1].clone();
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                if let Ok(n) = args[i + 1].parse::<usize>() {
+                    if n >= 1 {
+                        std::env::set_var("JL_BENCH_THREADS", n.to_string());
+                    }
+                }
+                i += 2;
+            }
+            other => {
+                eprintln!("bench_report: ignoring unknown argument {other:?}");
+                i += 1;
+            }
+        }
+    }
+
+    // The pinned workloads run sequentially (each is one simulation; the
+    // parallel grid is for figure fan-out), so wall-clock per workload is
+    // a clean single-core kernel measurement.
+    let (synth_scale, tweet_scale) = if quick { (0.05, 0.02) } else { (0.5, 0.2) };
+
+    let mut timings: Vec<Timing> = Vec::new();
+    for name in ["DH", "CH", "DCH"] {
+        let t0 = Instant::now();
+        let report = bench_synthetic_report(name, synth_scale, seed);
+        let wall = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "bench_report: {name:4} wall={wall:.3}s sim_events={} ({:.0} ev/s)",
+            report.sim_events,
+            report.sim_events as f64 / wall.max(1e-9)
+        );
+        timings.push(Timing {
+            name,
+            wall_secs: wall,
+            report,
+        });
+    }
+    {
+        let t0 = Instant::now();
+        let (report, _spots) = fig6_stream_report(tweet_scale, seed, Strategy::Full);
+        let wall = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "bench_report: fig6 wall={wall:.3}s sim_events={} ({:.0} ev/s)",
+            report.sim_events,
+            report.sim_events as f64 / wall.max(1e-9)
+        );
+        timings.push(Timing {
+            name: "fig6_stream",
+            wall_secs: wall,
+            report,
+        });
+    }
+
+    let total_wall: f64 = timings.iter().map(|t| t.wall_secs).sum();
+    let total_events: u64 = timings.iter().map(|t| t.report.sim_events).sum();
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"jl-bench-kernel/v1\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if quick { "quick" } else { "full" }
+    ));
+    out.push_str(&format!("  \"seed\": {seed},\n"));
+    out.push_str(&format!("  \"threads\": {},\n", bench_threads()));
+    out.push_str(&format!(
+        "  \"synthetic_tuple_scale\": {},\n",
+        jf(synth_scale)
+    ));
+    out.push_str(&format!("  \"tweet_scale\": {},\n", jf(tweet_scale)));
+    out.push_str(&format!("  \"total_wall_secs\": {},\n", jf(total_wall)));
+    out.push_str(&format!("  \"total_sim_events\": {total_events},\n"));
+    out.push_str(&format!(
+        "  \"total_events_per_sec\": {},\n",
+        jf(if total_wall > 0.0 {
+            total_events as f64 / total_wall
+        } else {
+            0.0
+        })
+    ));
+    match peak_rss_bytes() {
+        Some(b) => out.push_str(&format!("  \"peak_rss_bytes\": {b},\n")),
+        None => out.push_str("  \"peak_rss_bytes\": null,\n"),
+    }
+    out.push_str("  \"workloads\": [\n");
+    for (idx, t) in timings.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(t.name)));
+        out.push_str(&format!("      \"wall_secs\": {},\n", jf(t.wall_secs)));
+        out.push_str(&format!("      \"sim_events\": {},\n", t.report.sim_events));
+        out.push_str(&format!(
+            "      \"events_per_sec\": {},\n",
+            jf(t.events_per_sec())
+        ));
+        out.push_str(&format!("      \"completed\": {},\n", t.report.completed));
+        out.push_str(&format!(
+            "      \"net_messages\": {},\n",
+            t.report.net_messages
+        ));
+        out.push_str(&format!("      \"net_bytes\": {},\n", t.report.net_bytes));
+        out.push_str(&format!(
+            "      \"sim_duration_secs\": {},\n",
+            jf(t.report.duration.as_secs_f64())
+        ));
+        out.push_str(&format!(
+            "      \"fingerprint\": \"{:016x}\"\n",
+            t.report.fingerprint
+        ));
+        out.push_str(if idx + 1 == timings.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+
+    std::fs::write(&out_path, &out)
+        .unwrap_or_else(|e| panic!("bench_report: cannot write {out_path}: {e}"));
+    eprintln!(
+        "bench_report: wrote {out_path} ({} workloads, {total_events} events, {:.2}s total)",
+        timings.len(),
+        total_wall
+    );
+}

@@ -8,11 +8,13 @@
 use std::collections::HashMap;
 use std::sync::Arc;
 
+use rayon::prelude::*;
+
 use jl_core::{OptimizerConfig, Strategy};
 use jl_engine::baselines::{run_reduce_side, ReduceSideKind};
 use jl_engine::plan::{JobPlan, JobTuple, StageSpec};
 use jl_engine::shuffle::run_shuffle_multijoin;
-use jl_engine::{build_store, run_job, ClusterSpec, FeedMode, JobSpec};
+use jl_engine::{build_store, run_job, ClusterSpec, FeedMode, JobSpec, RunReport};
 use jl_simkit::rng::stream_rng;
 use jl_simkit::time::{SimDuration, SimTime};
 use jl_store::{
@@ -41,41 +43,36 @@ fn window_for(strategy: Strategy, cluster: &ClusterSpec, input_per_node: usize) 
     }
 }
 
-/// Run independent experiment points on OS threads (each point is its own
-/// deterministic simulation, so parallelism cannot change results).
-pub fn par_map<I, O, F>(inputs: Vec<I>, f: F) -> Vec<O>
+/// Thread count the experiment grid fans out over: the `JL_BENCH_THREADS`
+/// environment variable when set (≥ 1), otherwise the machine's available
+/// parallelism. Figure binaries expose it as `--threads N`.
+pub fn bench_threads() -> usize {
+    std::env::var("JL_BENCH_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n >= 1)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Fan independent experiment cells across cores. Each cell is its own
+/// deterministic simulation with per-cell seeded RNGs, and the collected
+/// output preserves input order, so every figure series is byte-identical
+/// regardless of thread count.
+pub fn run_grid<I, O, F>(cells: Vec<I>, f: F) -> Vec<O>
 where
     I: Send,
     O: Send,
-    F: Fn(I) -> O + Sync,
+    F: Fn(I) -> O + Sync + Send,
 {
-    let threads = std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(4);
-    let inputs: Vec<std::sync::Mutex<Option<I>>> = inputs
-        .into_iter()
-        .map(|i| std::sync::Mutex::new(Some(i)))
-        .collect();
-    let outputs: Vec<std::sync::Mutex<Option<O>>> = (0..inputs.len())
-        .map(|_| std::sync::Mutex::new(None))
-        .collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads.min(inputs.len().max(1)) {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
-                if i >= inputs.len() {
-                    break;
-                }
-                let input = inputs[i].lock().unwrap().take().expect("claimed once");
-                *outputs[i].lock().unwrap() = Some(f(input));
-            });
-        }
-    });
-    outputs
-        .into_iter()
-        .map(|m| m.into_inner().unwrap().expect("computed"))
-        .collect()
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(bench_threads())
+        .build()
+        .expect("bench thread pool");
+    pool.install(|| cells.into_par_iter().map(f).collect())
 }
 
 /// Skew values of §9.3.
@@ -135,9 +132,11 @@ fn synthetic_tuples(spec: &SyntheticSpec, z: f64, shift_epochs: u64, seed: u64) 
         .collect()
 }
 
-/// Run one synthetic batch job and return its duration in seconds.
+/// Run one synthetic batch job and return its full [`RunReport`] (the
+/// bench harness reads simulated-event counts from it; figures only need
+/// the duration — see [`run_synthetic`]).
 #[allow(clippy::too_many_arguments)]
-pub fn run_synthetic(
+pub fn run_synthetic_report(
     spec: &SyntheticSpec,
     strategy: Strategy,
     z: f64,
@@ -146,7 +145,7 @@ pub fn run_synthetic(
     cluster: &ClusterSpec,
     mem_cache: u64,
     seed: u64,
-) -> f64 {
+) -> RunReport {
     let store = build_store(cluster, vec![(spec.name.into(), spec.rows(1).collect())]);
     let tuples = synthetic_tuples(spec, z, shift_epochs, seed);
     let mut optimizer = optimizer_for(strategy, mem_cache);
@@ -180,7 +179,57 @@ pub fn run_synthetic(
             spec.name, report.duration, report.decisions, report.cache
         );
     }
-    report.duration.as_secs_f64()
+    report
+}
+
+/// Run one synthetic batch job and return its duration in seconds.
+#[allow(clippy::too_many_arguments)]
+pub fn run_synthetic(
+    spec: &SyntheticSpec,
+    strategy: Strategy,
+    z: f64,
+    shift_epochs: u64,
+    freeze_frac: Option<f64>,
+    cluster: &ClusterSpec,
+    mem_cache: u64,
+    seed: u64,
+) -> f64 {
+    run_synthetic_report(
+        spec,
+        strategy,
+        z,
+        shift_epochs,
+        freeze_frac,
+        cluster,
+        mem_cache,
+        seed,
+    )
+    .duration
+    .as_secs_f64()
+}
+
+/// One pinned workload of the tracked kernel benchmark (`bench_report`):
+/// the named synthetic spec ("DH" / "CH" / "DCH") at z = 1.0 under the
+/// full optimizer, on the §9.3 cluster with the figure-standard 32 MB
+/// cache. `tuple_scale` scales the input volume (1.0 = figure scale).
+pub fn bench_synthetic_report(spec_name: &str, tuple_scale: f64, seed: u64) -> RunReport {
+    let mut spec = match spec_name {
+        "DH" => SyntheticSpec::dh(),
+        "CH" => SyntheticSpec::ch(),
+        "DCH" => SyntheticSpec::dch(),
+        other => panic!("unknown bench workload {other:?} (expected DH, CH or DCH)"),
+    };
+    spec.n_tuples = ((spec.n_tuples as f64 * tuple_scale) as u64).max(1000);
+    run_synthetic_report(
+        &spec,
+        Strategy::Full,
+        1.0,
+        1,
+        None,
+        &synthetic_cluster(),
+        32 << 20,
+        seed,
+    )
 }
 
 /// Figure 8 (a: DH, b: CH, c: DCH): Hadoop-mode synthetic workloads,
@@ -205,7 +254,7 @@ pub fn fig8(spec: &SyntheticSpec, tuple_scale: f64, seed: u64) -> FigTable {
         .iter()
         .flat_map(|&z| strategies.iter().map(move |&s| (z, s)))
         .collect();
-    let times = par_map(points, |(z, s)| {
+    let times = run_grid(points, |(z, s)| {
         run_synthetic(&spec, s, z, 1, None, &cluster, mem_cache, seed) / base
     });
     let mut rows = Vec::new();
@@ -239,7 +288,7 @@ pub fn fig9(tuple_scale: f64, seed: u64) -> FigTable {
     for spec in &specs {
         let mut spec = spec.clone();
         spec.n_tuples = ((spec.n_tuples as f64 * tuple_scale) as u64).max(1000);
-        let ratios = par_map(SKEWS.to_vec(), |z| {
+        let ratios = run_grid(SKEWS.to_vec(), |z| {
             let adaptive = run_synthetic(
                 &spec,
                 Strategy::Full,
@@ -283,15 +332,15 @@ pub const STREAM_STRATEGIES: [Strategy; 5] = [
     Strategy::Full,
 ];
 
-/// Run one synthetic streaming job; returns throughput (tuples/s).
-pub fn run_synthetic_stream(
+/// Run one synthetic streaming job and return its full [`RunReport`].
+pub fn run_synthetic_stream_report(
     spec: &SyntheticSpec,
     strategy: Strategy,
     z: f64,
     cluster: &ClusterSpec,
     mem_cache: u64,
     seed: u64,
-) -> f64 {
+) -> RunReport {
     let store = build_store(cluster, vec![(spec.name.into(), spec.rows(1).collect())]);
     let mut tuples = synthetic_tuples(spec, z, 1, seed);
     // Offered load: arrivals spread thinly enough to be schedulable but
@@ -316,14 +365,25 @@ pub fn run_synthetic_stream(
         policy: None,
         decision_sink: None,
     };
-    let report = run_job(
+    run_job(
         &job,
         store,
         digest_udfs(spec.output_size as usize),
         tuples,
         vec![],
-    );
-    report.throughput()
+    )
+}
+
+/// Run one synthetic streaming job; returns throughput (tuples/s).
+pub fn run_synthetic_stream(
+    spec: &SyntheticSpec,
+    strategy: Strategy,
+    z: f64,
+    cluster: &ClusterSpec,
+    mem_cache: u64,
+    seed: u64,
+) -> f64 {
+    run_synthetic_stream_report(spec, strategy, z, cluster, mem_cache, seed).throughput()
 }
 
 /// Figure 11 (a: DH, b: CH, c: DCH): Muppet-mode synthetic workloads,
@@ -338,7 +398,7 @@ pub fn fig11(spec: &SyntheticSpec, tuple_scale: f64, seed: u64) -> FigTable {
         .iter()
         .flat_map(|&z| STREAM_STRATEGIES.iter().map(move |&s| (z, s)))
         .collect();
-    let thr = par_map(points, |(z, s)| {
+    let thr = run_grid(points, |(z, s)| {
         run_synthetic_stream(&spec, s, z, &cluster, mem_cache, seed) / base
     });
     let mut rows = Vec::new();
@@ -389,63 +449,81 @@ pub fn fig5(doc_scale: f64, seed: u64) -> FigTable {
     let plan = JobPlan::single(0, UDF);
     let rows_map: HashMap<RowKey, StoredValue> = w.model_rows().collect();
 
-    let mut columns = Vec::new();
-    let mut vals = Vec::new();
+    // One grid cell per system: reduce-side baselines and framework
+    // strategies fan out together (each builds its own store, so cells are
+    // independent).
+    enum Cell {
+        Reduce(ReduceSideKind),
+        Framework(Strategy),
+    }
     // Reduce-side systems get the full 20 nodes (as in the paper).
     // CSAW replicates models whose total (frequency × classification) work
     // exceeds the mean per-reducer load; Flow-Join replicates keys above a
     // frequency threshold (2% of the input) regardless of UDF cost. Keys
     // just under the thresholds still hash-collide — the residual reducer
     // skew the paper observed in both systems.
-    for kind in [
+    let cells: Vec<Cell> = [
         ReduceSideKind::Naive,
         ReduceSideKind::Csaw { threshold: 1.0 },
         ReduceSideKind::FlowJoinLb { threshold: 0.02 },
-    ] {
-        let r = run_reduce_side(kind, &cluster, &rows_map, &udfs, &plan, &tuples);
-        columns.push(kind.label().to_string());
-        vals.push(r.duration.as_secs_f64() / 60.0);
-    }
-    // Framework strategies: 10 compute + 10 data nodes.
-    for strategy in [
-        Strategy::NoOpt,
-        Strategy::ComputeSide,
-        Strategy::DataSide,
-        Strategy::Random,
-        Strategy::Full,
-    ] {
-        let store = build_model_store(&cluster, &w);
-        let job = JobSpec {
-            cluster: cluster.clone(),
-            // 10 MB: the paper's 100 MB cache scaled 1:10 with the models,
-            // so the biggest models exceed the memory cache as they do in
-            // the paper.
-            optimizer: optimizer_for(strategy, 10 << 20),
-            feed: FeedMode::Batch {
-                window: window_for(strategy, &cluster, tuples.len() / cluster.n_compute),
-            },
-            plan: Arc::clone(&plan),
-            seed,
-            udf_cpu_hint: 0.002,
-            policy: None,
-            decision_sink: None,
-        };
-        let r = run_job(&job, store, udfs.clone(), tuples.clone(), vec![]);
-        if std::env::var("JL_DEBUG").is_ok() {
-            eprintln!(
-                "fig5 {}: dur={:?} dec={:?} cache={:?} mean_cpu={:.3} max_cpu={:.3} bytes={}",
-                strategy.label(),
-                r.duration,
-                r.decisions,
-                r.cache,
-                r.mean_data_cpu_util,
-                r.max_data_cpu_util,
-                r.net_bytes
-            );
+    ]
+    .into_iter()
+    .map(Cell::Reduce)
+    .chain(
+        // Framework strategies: 10 compute + 10 data nodes.
+        [
+            Strategy::NoOpt,
+            Strategy::ComputeSide,
+            Strategy::DataSide,
+            Strategy::Random,
+            Strategy::Full,
+        ]
+        .into_iter()
+        .map(Cell::Framework),
+    )
+    .collect();
+    let results = run_grid(cells, |cell| match cell {
+        Cell::Reduce(kind) => {
+            let r = run_reduce_side(kind, &cluster, &rows_map, &udfs, &plan, &tuples);
+            (kind.label().to_string(), r.duration.as_secs_f64() / 60.0)
         }
-        columns.push(strategy.label().to_string());
-        vals.push(r.duration.as_secs_f64() / 60.0);
-    }
+        Cell::Framework(strategy) => {
+            let store = build_model_store(&cluster, &w);
+            let job = JobSpec {
+                cluster: cluster.clone(),
+                // 10 MB: the paper's 100 MB cache scaled 1:10 with the
+                // models, so the biggest models exceed the memory cache as
+                // they do in the paper.
+                optimizer: optimizer_for(strategy, 10 << 20),
+                feed: FeedMode::Batch {
+                    window: window_for(strategy, &cluster, tuples.len() / cluster.n_compute),
+                },
+                plan: Arc::clone(&plan),
+                seed,
+                udf_cpu_hint: 0.002,
+                policy: None,
+                decision_sink: None,
+            };
+            let r = run_job(&job, store, udfs.clone(), tuples.clone(), vec![]);
+            if std::env::var("JL_DEBUG").is_ok() {
+                eprintln!(
+                    "fig5 {}: dur={:?} dec={:?} cache={:?} mean_cpu={:.3} max_cpu={:.3} bytes={}",
+                    strategy.label(),
+                    r.duration,
+                    r.decisions,
+                    r.cache,
+                    r.mean_data_cpu_util,
+                    r.max_data_cpu_util,
+                    r.net_bytes
+                );
+            }
+            (
+                strategy.label().to_string(),
+                r.duration.as_secs_f64() / 60.0,
+            )
+        }
+    });
+    let (columns, vals): (Vec<String>, Vec<f64>) = results.into_iter().unzip();
     FigTable {
         title: "Figure 5 — ClueWeb-shaped entity annotation, total time (minutes)".into(),
         row_label: "".into(),
@@ -454,17 +532,13 @@ pub fn fig5(doc_scale: f64, seed: u64) -> FigTable {
     }
 }
 
-/// Figure 6: Twitter-stream entity annotation — tweets annotated per second
-/// for NO / FC / FD / FR / FO.
-pub fn fig6(tweet_scale: f64, seed: u64) -> FigTable {
+/// Figure 6 inputs: the annotation workload, one tuple per tweet spot (at
+/// the tweet's arrival time), and the mean spots per annotatable tweet.
+fn fig6_inputs(tweet_scale: f64, seed: u64) -> (AnnotationWorkload, Vec<JobTuple>, f64) {
     let mut stream = TweetStream::scaled_default(seed);
     stream.count = ((stream.count as f64 * tweet_scale) as u64).max(10_000);
     stream.rate_per_sec = 50_000.0; // saturating offered load
     let w = AnnotationWorkload::scaled_default(seed);
-    let cluster = ClusterSpec::default();
-    let udfs = digest_udfs(96);
-    let plan = JobPlan::single(0, UDF);
-    // One tuple per spot, at the tweet's arrival time.
     let mut tuples = Vec::new();
     let mut seq = 0u64;
     let mut annotatable_tweets = 0u64;
@@ -483,40 +557,66 @@ pub fn fig6(tweet_scale: f64, seed: u64) -> FigTable {
         }
     }
     let spots_per_tweet = tuples.len() as f64 / annotatable_tweets.max(1) as f64;
+    (w, tuples, spots_per_tweet)
+}
 
-    let mut columns = Vec::new();
-    let mut vals = Vec::new();
-    for strategy in STREAM_STRATEGIES {
-        let store = build_model_store(&cluster, &w);
-        let job = JobSpec {
-            cluster: cluster.clone(),
-            optimizer: optimizer_for(strategy, 100 << 20),
-            feed: FeedMode::Stream {
-                horizon: SimDuration::from_secs(100_000),
-                window: window_for(strategy, &cluster, 256 * 50),
-            },
-            plan: Arc::clone(&plan),
-            seed,
-            udf_cpu_hint: 0.002,
-            policy: None,
-            decision_sink: None,
-        };
-        let r = run_job(&job, store, udfs.clone(), tuples.clone(), vec![]);
-        if std::env::var("JL_DEBUG").is_ok() {
-            eprintln!(
-                "fig6 {}: dur={:?} dec={:?} cache={:?} mean_cpu={:.3} max_cpu={:.3} bytes={}",
-                strategy.label(),
-                r.duration,
-                r.decisions,
-                r.cache,
-                r.mean_data_cpu_util,
-                r.max_data_cpu_util,
-                r.net_bytes
-            );
-        }
-        columns.push(strategy.label().to_string());
-        vals.push(r.throughput() / spots_per_tweet);
+/// Run one fig6-style streaming annotation job for a single strategy.
+fn fig6_run(
+    w: &AnnotationWorkload,
+    tuples: &[JobTuple],
+    strategy: Strategy,
+    seed: u64,
+) -> RunReport {
+    let cluster = ClusterSpec::default();
+    let store = build_model_store(&cluster, w);
+    let job = JobSpec {
+        cluster: cluster.clone(),
+        optimizer: optimizer_for(strategy, 100 << 20),
+        feed: FeedMode::Stream {
+            horizon: SimDuration::from_secs(100_000),
+            window: window_for(strategy, &cluster, 256 * 50),
+        },
+        plan: JobPlan::single(0, UDF),
+        seed,
+        udf_cpu_hint: 0.002,
+        policy: None,
+        decision_sink: None,
+    };
+    let r = run_job(&job, store, digest_udfs(96), tuples.to_vec(), vec![]);
+    if std::env::var("JL_DEBUG").is_ok() {
+        eprintln!(
+            "fig6 {}: dur={:?} dec={:?} cache={:?} mean_cpu={:.3} max_cpu={:.3} bytes={}",
+            strategy.label(),
+            r.duration,
+            r.decisions,
+            r.cache,
+            r.mean_data_cpu_util,
+            r.max_data_cpu_util,
+            r.net_bytes
+        );
     }
+    r
+}
+
+/// One pinned fig6 streaming cell for the bench harness: the run's
+/// [`RunReport`] plus the spots-per-tweet normalizer.
+pub fn fig6_stream_report(tweet_scale: f64, seed: u64, strategy: Strategy) -> (RunReport, f64) {
+    let (w, tuples, spots_per_tweet) = fig6_inputs(tweet_scale, seed);
+    (fig6_run(&w, &tuples, strategy, seed), spots_per_tweet)
+}
+
+/// Figure 6: Twitter-stream entity annotation — tweets annotated per second
+/// for NO / FC / FD / FR / FO.
+pub fn fig6(tweet_scale: f64, seed: u64) -> FigTable {
+    let (w, tuples, spots_per_tweet) = fig6_inputs(tweet_scale, seed);
+    let results = run_grid(STREAM_STRATEGIES.to_vec(), |strategy| {
+        let r = fig6_run(&w, &tuples, strategy, seed);
+        (
+            strategy.label().to_string(),
+            r.throughput() / spots_per_tweet,
+        )
+    });
+    let (columns, vals): (Vec<String>, Vec<f64>) = results.into_iter().unzip();
     FigTable {
         title: "Figure 6 — Twitter entity annotation on the streaming engine, tweets/second".into(),
         row_label: "".into(),
@@ -542,8 +642,7 @@ pub fn fig7(fact_scale: f64, seed: u64) -> FigTable {
     cluster.node.disk_channels = 1;
     let udfs = digest_udfs(48);
     let sales = ds.sales();
-    let mut rows = Vec::new();
-    for q in TpcDsLite::queries() {
+    let rows = run_grid(TpcDsLite::queries(), |q| {
         // Dimension tables in the order this query joins them.
         let dim_maps: Vec<HashMap<RowKey, StoredValue>> = q
             .stages
@@ -613,14 +712,14 @@ pub fn fig7(fact_scale: f64, seed: u64) -> FigTable {
                 ours.net_bytes
             );
         }
-        rows.push((
+        (
             q.name.to_string(),
             vec![
                 spark.duration.as_secs_f64() / 60.0,
                 ours.duration.as_secs_f64() / 60.0,
             ],
-        ));
-    }
+        )
+    });
     FigTable {
         title: "Figure 7 — TPC-DS multi-join, time (minutes)".into(),
         row_label: "query".into(),

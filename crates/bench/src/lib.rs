@@ -11,10 +11,16 @@
 pub mod experiments;
 pub mod output;
 
-pub use experiments::{fig11, fig5, fig6, fig7, fig8, fig9, SKEWS};
+pub use experiments::{bench_threads, fig11, fig5, fig6, fig7, fig8, fig9, run_grid, SKEWS};
 pub use output::FigTable;
 
 /// Parse a `--scale X` style argument list: returns (scale, seed).
+///
+/// Also honours `--threads N`, which pins the experiment grid's thread
+/// count by exporting `JL_BENCH_THREADS` (the variable
+/// [`bench_threads`] reads). Thread count never changes results — cells
+/// are independent seeded simulations collected in input order — so this
+/// is purely a resource-control knob.
 pub fn parse_args(default_scale: f64) -> (f64, u64) {
     let mut scale = default_scale;
     let mut seed = 42u64;
@@ -28,6 +34,14 @@ pub fn parse_args(default_scale: f64) -> (f64, u64) {
             }
             "--seed" if i + 1 < args.len() => {
                 seed = args[i + 1].parse().unwrap_or(42);
+                i += 2;
+            }
+            "--threads" if i + 1 < args.len() => {
+                if let Ok(n) = args[i + 1].parse::<usize>() {
+                    if n >= 1 {
+                        std::env::set_var("JL_BENCH_THREADS", n.to_string());
+                    }
+                }
                 i += 2;
             }
             _ => i += 1,

@@ -7,7 +7,7 @@
 //! Recent and frequent accesses therefore earn more benefit, and long-idle
 //! items age out as `L` rises.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 use std::hash::Hash;
 
 /// Computes a scalar benefit per key on each access, and learns from
@@ -28,7 +28,7 @@ pub trait BenefitPolicy<K> {
 /// Weighted LFU with dynamic aging (the paper's policy).
 #[derive(Debug, Clone, Default)]
 pub struct LfuDa<K: Hash + Eq + Clone> {
-    freq: HashMap<K, u64>,
+    freq: FxHashMap<K, u64>,
     /// Aging factor: benefit of the last evicted item.
     age: f64,
 }
@@ -37,7 +37,7 @@ impl<K: Hash + Eq + Clone> LfuDa<K> {
     /// New policy with aging factor 0.
     pub fn new() -> Self {
         LfuDa {
-            freq: HashMap::new(),
+            freq: FxHashMap::default(),
             age: 0.0,
         }
     }
@@ -69,14 +69,14 @@ impl<K: Hash + Eq + Clone> BenefitPolicy<K> for LfuDa<K> {
 /// Plain LFU (no aging): benefit = weight × frequency. Ablation baseline.
 #[derive(Debug, Clone, Default)]
 pub struct Lfu<K: Hash + Eq + Clone> {
-    freq: HashMap<K, u64>,
+    freq: FxHashMap<K, u64>,
 }
 
 impl<K: Hash + Eq + Clone> Lfu<K> {
     /// New policy.
     pub fn new() -> Self {
         Lfu {
-            freq: HashMap::new(),
+            freq: FxHashMap::default(),
         }
     }
 }

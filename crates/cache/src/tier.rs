@@ -1,7 +1,8 @@
 //! A single cache tier with byte-capacity accounting and a benefit-ordered
 //! index for min-benefit eviction.
 
-use std::collections::{BTreeMap, HashMap};
+use rustc_hash::FxHashMap;
+use std::collections::BTreeMap;
 use std::hash::Hash;
 
 use crate::ordf64::OrdF64;
@@ -18,7 +19,7 @@ struct Slot<V> {
 /// secondary index ordered by `(benefit, insertion seq)`.
 #[derive(Debug, Clone)]
 pub struct Tier<K: Hash + Eq + Clone, V> {
-    slots: HashMap<K, Slot<V>>,
+    slots: FxHashMap<K, Slot<V>>,
     by_benefit: BTreeMap<(OrdF64, u64), K>,
     capacity: u64,
     used: u64,
@@ -30,7 +31,7 @@ impl<K: Hash + Eq + Clone, V> Tier<K, V> {
     /// (the paper assumes the disk cache fits everything).
     pub fn new(capacity: u64) -> Self {
         Tier {
-            slots: HashMap::new(),
+            slots: FxHashMap::default(),
             by_benefit: BTreeMap::new(),
             capacity,
             used: 0,

@@ -9,7 +9,7 @@
 //! argument) answers the question without mutating state, which Algorithm 1
 //! uses before issuing a data request.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 use std::hash::Hash;
 
 use crate::benefit::BenefitPolicy;
@@ -77,7 +77,7 @@ pub struct TieredCache<K: Hash + Eq + Clone, V, P: BenefitPolicy<K>> {
     /// Latest benefit per key, cached or not; Algorithm 1 updates benefits
     /// for every request, so admission decisions can be made before the
     /// value exists locally.
-    benefits: HashMap<K, f64>,
+    benefits: FxHashMap<K, f64>,
     mode: SizeMode,
     stats: CacheStats,
 }
@@ -90,7 +90,7 @@ impl<K: Hash + Eq + Clone, V, P: BenefitPolicy<K>> TieredCache<K, V, P> {
             mem: Tier::new(mem_capacity),
             disk: Tier::new(disk_capacity),
             policy,
-            benefits: HashMap::new(),
+            benefits: FxHashMap::default(),
             mode,
             stats: CacheStats::default(),
         }

@@ -8,7 +8,7 @@
 //!
 //! [`PlacementPolicy`]: super::policy::PlacementPolicy
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 use std::hash::Hash;
 
 use jl_costmodel::{
@@ -52,7 +52,7 @@ pub struct DecisionCosts {
 /// Runtime cost measurement for one compute node.
 pub struct CostTracker<K: Hash + Eq + Clone> {
     perkey: PerKeyCosts<K>,
-    versions: HashMap<K, u64>,
+    versions: FxHashMap<K, u64>,
     my: NodeCosts,
     my_cpu: ExpSmoothed,
     /// Smoothed computed-output size (`scv`).
@@ -93,7 +93,7 @@ where
             .collect();
         CostTracker {
             perkey: PerKeyCosts::new(cfg.perkey_capacity, alpha),
-            versions: HashMap::new(),
+            versions: FxHashMap::default(),
             my,
             my_cpu: ExpSmoothed::new(alpha),
             scv_est: ExpSmoothed::new(alpha),

@@ -4,7 +4,7 @@
 //! *decision* is delegated to the [`policy`](super::policy) module; every
 //! cost *measurement* lives in [`costs`](super::costs).
 
-use std::collections::HashMap;
+use rustc_hash::{FxHashMap, FxHashSet};
 use std::hash::Hash;
 
 use jl_cache::{LfuDa, Lookup, TieredCache};
@@ -76,14 +76,14 @@ where
     sink: Option<Box<dyn DecisionSink<K>>>,
     costs: CostTracker<K>,
     dests: Vec<DestState<K, P>>,
-    inflight: HashMap<u64, InFlight<P>>,
+    inflight: FxHashMap<u64, InFlight<P>>,
     /// Keys with a data request (purchase) already in flight. Further
     /// accesses rent until the value lands — without this, every access of
     /// a hot key during its (possibly large) fetch issues another full
     /// fetch, and the fetch storm congests the owning data node's NIC,
     /// which delays the fetches, which admits more accesses: a positive
     /// feedback loop that can melt a node over a single key.
-    fetching: std::collections::HashSet<K>,
+    fetching: FxHashSet<K>,
     next_req: u64,
     /// `lcc_i` — local executions issued but not yet completed.
     local_pending: u64,
@@ -164,8 +164,9 @@ where
             sink: None,
             costs,
             dests,
-            inflight: HashMap::new(),
-            fetching: std::collections::HashSet::new(),
+            // Pre-sized so the steady-state request window never rehashes.
+            inflight: FxHashMap::with_capacity_and_hasher(256, Default::default()),
+            fetching: FxHashSet::default(),
             next_req: 0,
             local_pending: 0,
             tuples_seen: 0,
@@ -485,14 +486,17 @@ where
                     }
                     let caching = self.policy.uses_cache() && !self.frozen;
                     if caching && !b && inflight.intent != CacheIntent::None {
+                        // One clone site: the cache and the local execution
+                        // both need ownership, and `V: CacheValue` clones are
+                        // refcount bumps (Bytes-backed), not payload copies.
                         let size = value.size();
+                        let (k, v) = (item.key.clone(), value.clone());
                         match inflight.intent {
                             CacheIntent::Memory => {
-                                self.cache.insert(item.key.clone(), value.clone(), size);
+                                self.cache.insert(k, v, size);
                             }
                             CacheIntent::Disk => {
-                                self.cache
-                                    .insert_to_disk(item.key.clone(), value.clone(), size);
+                                self.cache.insert_to_disk(k, v, size);
                             }
                             CacheIntent::None => unreachable!("guarded above"),
                         }

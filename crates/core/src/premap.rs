@@ -13,7 +13,8 @@
 //! batching. Built entirely on `std::sync` so the crate stays free of
 //! external runtime dependencies.
 
-use std::collections::{HashMap, VecDeque};
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
@@ -175,7 +176,7 @@ impl<T> JobQueue<T> {
 }
 
 struct ResultMap<R> {
-    map: Mutex<HashMap<u64, R>>,
+    map: Mutex<FxHashMap<u64, R>>,
     cv: Condvar,
 }
 
@@ -198,7 +199,7 @@ where
         assert!(cfg.workers > 0 && cfg.batch_size > 0);
         let jobs = Arc::new(JobQueue::new(cfg.queue_depth));
         let results = Arc::new(ResultMap {
-            map: Mutex::new(HashMap::new()),
+            map: Mutex::new(FxHashMap::default()),
             cv: Condvar::new(),
         });
         let handles = (0..cfg.workers)

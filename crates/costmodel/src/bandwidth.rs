@@ -6,7 +6,7 @@
 //! all of them, including slower inter-rack paths). Estimates can optionally
 //! be refreshed at runtime at the cost of perturbing the measured system.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 use crate::smoothing::ExpSmoothed;
 
@@ -14,7 +14,7 @@ use crate::smoothing::ExpSmoothed;
 /// bandwidth queries (bytes/second).
 #[derive(Debug, Clone)]
 pub struct BandwidthEstimator {
-    pairs: HashMap<(usize, usize), ExpSmoothed>,
+    pairs: FxHashMap<(usize, usize), ExpSmoothed>,
     alpha: f64,
     default_bps: f64,
 }
@@ -25,7 +25,7 @@ impl BandwidthEstimator {
     pub fn new(default_bps: f64, alpha: f64) -> Self {
         assert!(default_bps > 0.0, "default bandwidth must be positive");
         BandwidthEstimator {
-            pairs: HashMap::new(),
+            pairs: FxHashMap::default(),
             alpha,
             default_bps,
         }

@@ -7,7 +7,7 @@
 //! registry holds the smoothed per-key view with global fallbacks, evicting
 //! the coldest half when the budget is exceeded.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 use std::hash::Hash;
 
 use crate::smoothing::ExpSmoothed;
@@ -34,7 +34,7 @@ pub struct KeyCosts {
 /// Bounded registry of per-key cost estimates.
 #[derive(Debug, Clone)]
 pub struct PerKeyCosts<K: Hash + Eq + Clone> {
-    entries: HashMap<K, KeyEntry>,
+    entries: FxHashMap<K, KeyEntry>,
     alpha: f64,
     capacity: usize,
     clock: u64,
@@ -51,7 +51,7 @@ impl<K: Hash + Eq + Clone> PerKeyCosts<K> {
     pub fn new(capacity: usize, alpha: f64) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         PerKeyCosts {
-            entries: HashMap::with_capacity(capacity),
+            entries: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
             alpha,
             capacity,
             clock: 0,

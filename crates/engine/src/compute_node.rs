@@ -2,7 +2,8 @@
 //! executes local UDFs against its simulated CPU/disk, transmits batches,
 //! and walks multi-stage plans.
 
-use std::collections::{HashMap, VecDeque};
+use rustc_hash::FxHashMap;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -50,23 +51,23 @@ pub struct ComputeNode {
     input: VecDeque<JobTuple>,
     /// Tuples currently somewhere in the pipeline, by seq (needed to reach
     /// later-stage keys).
-    live: HashMap<u64, JobTuple>,
+    live: FxHashMap<u64, JobTuple>,
     /// Local executions awaiting their CPU-completion timer.
-    pending_local: HashMap<u64, PendingLocal>,
+    pending_local: FxHashMap<u64, PendingLocal>,
     /// `(seq, stage)` of every request sent to a data node, by request id.
-    sent: HashMap<u64, (u64, u16)>,
+    sent: FxHashMap<u64, (u64, u16)>,
     report: ComputeNodeReport,
     done_sent: bool,
     flushed_input: bool,
     /// Ingest→completion latency per tuple (streaming diagnosis).
     latency: jl_simkit::stats::DurationHistogram,
-    started_at: HashMap<u64, SimTime>,
+    started_at: FxHashMap<u64, SimTime>,
     /// Request-send→reply latency per remote item.
     remote_lat: jl_simkit::stats::DurationHistogram,
     /// RunLocal issue→completion latency.
     local_lat: jl_simkit::stats::DurationHistogram,
     /// Send timestamps per remote item, for the remote-latency histogram.
-    sent_at: HashMap<u64, SimTime>,
+    sent_at: FxHashMap<u64, SimTime>,
 }
 
 impl ComputeNode {
@@ -107,17 +108,17 @@ impl ComputeNode {
             spec,
             feed,
             input: input.into(),
-            live: HashMap::new(),
-            pending_local: HashMap::new(),
-            sent: HashMap::new(),
+            live: FxHashMap::default(),
+            pending_local: FxHashMap::default(),
+            sent: FxHashMap::default(),
             report: ComputeNodeReport::default(),
             done_sent: false,
             flushed_input: false,
             latency: jl_simkit::stats::DurationHistogram::new(),
-            started_at: HashMap::new(),
+            started_at: FxHashMap::default(),
             remote_lat: jl_simkit::stats::DurationHistogram::new(),
             local_lat: jl_simkit::stats::DurationHistogram::new(),
-            sent_at: HashMap::new(),
+            sent_at: FxHashMap::default(),
         }
     }
 

@@ -23,8 +23,9 @@ type ReplyWave = (
     Vec<(u64, Bytes)>,
     u64,
 );
-/// A computed item pending wave assembly: done time, item, output, bytes.
-type PendingComputed = (SimTime, ResponseItem<EKey, Val>, (u64, Bytes), u64);
+/// A served item pending wave assembly: item, done time, wire bytes, and
+/// the computed output (for `Computed` payloads only).
+type ServedItem = (ResponseItem<EKey, Val>, SimTime, u64, Option<Bytes>);
 use crate::config::ClusterSpec;
 use crate::plan::{decode_params, JobPlan};
 
@@ -48,7 +49,7 @@ pub struct DataNode {
     interest: InterestTracker,
     block_cache: BlockCache<EKey>,
     scv_est: ExpSmoothed,
-    drains: std::collections::HashMap<u64, PendingDrain>,
+    drains: rustc_hash::FxHashMap<u64, PendingDrain>,
     next_drain: u64,
     version_clock: u64,
     udf_execs: u64,
@@ -88,7 +89,7 @@ impl DataNode {
             interest: InterestTracker::new(),
             block_cache,
             scv_est: ExpSmoothed::new(alpha),
-            drains: std::collections::HashMap::new(),
+            drains: rustc_hash::FxHashMap::default(),
             next_drain: 0,
             version_clock: 1,
             udf_execs: 0,
@@ -143,7 +144,7 @@ impl DataNode {
         // 1. Fetch every requested row from the simulated disk (real bytes
         //    from the region shard, simulated service time per record).
         let mut fetched: Vec<Option<(StoredValue, SimTime)>> = Vec::with_capacity(n_items);
-        let mut found_sizes: Vec<u64> = Vec::new();
+        let mut found_sizes: Vec<u64> = Vec::with_capacity(n_items);
         let mut key_bytes = 0u64;
         let mut params_bytes = 0u64;
         for item in &batch.items {
@@ -211,16 +212,17 @@ impl DataNode {
             .collect();
         // Largest first; req_id tie-break keeps runs deterministic.
         compute_sizes.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let execute_here: std::collections::HashSet<u64> = compute_sizes
+        // Sorted id list + binary search beats a per-batch hash set: no
+        // allocation-heavy table build for a membership test used once per
+        // item.
+        let mut execute_here: Vec<u64> = compute_sizes
             .iter()
             .take(d as usize)
             .map(|(id, _)| *id)
             .collect();
+        execute_here.sort_unstable();
         let mut executed = 0u64;
-        let mut item_parts: Vec<(ResponseItem<EKey, Val>, SimTime, u64)> =
-            Vec::with_capacity(n_items);
-        let mut outputs_by_id: std::collections::HashMap<u64, (u64, Bytes)> =
-            std::collections::HashMap::new();
+        let mut item_parts: Vec<ServedItem> = Vec::with_capacity(n_items);
         let mut ready = now;
         for (item, slot) in batch.items.iter().zip(fetched) {
             // Every served item costs RPC/read-path CPU at this node.
@@ -236,12 +238,13 @@ impl DataNode {
                     },
                     now,
                     ITEM_OVERHEAD,
+                    None,
                 ));
                 continue;
             };
             let cost = Some(self.cost_info(&value));
             match item.kind {
-                ReqKind::Compute if execute_here.contains(&item.req_id) => {
+                ReqKind::Compute if execute_here.binary_search(&item.req_id).is_ok() => {
                     executed += 1;
                     let ready_in = disk_done.max(rpc_done);
                     let grant = ctx.use_resource(ResourceKind::Cpu, ready_in, value.udf_cpu());
@@ -263,7 +266,6 @@ impl DataNode {
                     self.scv_est.update(out.len() as f64);
                     ready = ready.max(grant.done);
                     let bytes = out.len() as u64 + ITEM_OVERHEAD;
-                    outputs_by_id.insert(item.req_id, (item.req_id, out));
                     item_parts.push((
                         ResponseItem {
                             req_id: item.req_id,
@@ -275,6 +277,7 @@ impl DataNode {
                         },
                         grant.done,
                         bytes,
+                        Some(out),
                     ));
                 }
                 kind => {
@@ -301,6 +304,7 @@ impl DataNode {
                         },
                         disk_done,
                         bytes,
+                        None,
                     ));
                 }
             }
@@ -318,34 +322,46 @@ impl DataNode {
             let mut value_items = Vec::new();
             let mut value_bytes = BATCH_OVERHEAD;
             let mut value_ready = now;
-            let mut computed: Vec<PendingComputed> = Vec::new();
-            for (item, done_at, bytes) in item_parts {
+            let mut computed: Vec<ServedItem> = Vec::new();
+            for part in item_parts {
+                let (item, done_at, bytes, _) = &part;
                 match &item.payload {
-                    ResponsePayload::Computed { .. } => {
-                        let out = outputs_by_id.remove(&item.req_id).expect("output recorded");
-                        computed.push((done_at, item, out, bytes));
-                    }
+                    ResponsePayload::Computed { .. } => computed.push(part),
                     _ => {
-                        value_ready = value_ready.max(done_at);
+                        value_ready = value_ready.max(*done_at);
                         value_bytes += bytes;
-                        value_items.push(item);
+                        value_items.push(part.0);
                     }
                 }
             }
             if !value_items.is_empty() {
                 waves.push((value_ready, value_items, Vec::new(), value_bytes));
             }
-            // Computed waves: chunks of 8 in completion order.
-            computed.sort_by(|a, b| a.0.cmp(&b.0).then(a.1.req_id.cmp(&b.1.req_id)));
-            for chunk in computed.chunks(8) {
-                let ready = chunk.iter().map(|(t, _, _, _)| *t).fold(now, SimTime::max);
-                let bytes = BATCH_OVERHEAD + chunk.iter().map(|(_, _, _, b)| *b).sum::<u64>();
-                waves.push((
-                    ready,
-                    chunk.iter().map(|(_, i, _, _)| i.clone()).collect(),
-                    chunk.iter().map(|(_, _, o, _)| o.clone()).collect(),
-                    bytes,
-                ));
+            // Computed waves: chunks of 8 in completion order. Items and
+            // outputs move into their wave — nothing is re-cloned here.
+            computed.sort_by(|a, b| a.1.cmp(&b.1).then(a.0.req_id.cmp(&b.0.req_id)));
+            let mut chunk_items = Vec::with_capacity(8);
+            let mut chunk_outputs = Vec::with_capacity(8);
+            let mut chunk_ready = now;
+            let mut chunk_bytes = BATCH_OVERHEAD;
+            for (item, done_at, bytes, out) in computed {
+                chunk_ready = chunk_ready.max(done_at);
+                chunk_bytes += bytes;
+                chunk_outputs.push((item.req_id, out.expect("computed item has output")));
+                chunk_items.push(item);
+                if chunk_items.len() == 8 {
+                    waves.push((
+                        chunk_ready,
+                        std::mem::take(&mut chunk_items),
+                        std::mem::take(&mut chunk_outputs),
+                        chunk_bytes,
+                    ));
+                    chunk_ready = now;
+                    chunk_bytes = BATCH_OVERHEAD;
+                }
+            }
+            if !chunk_items.is_empty() {
+                waves.push((chunk_ready, chunk_items, chunk_outputs, chunk_bytes));
             }
         }
         for (wave_ready, items, outputs, bytes) in waves {

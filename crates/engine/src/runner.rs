@@ -66,6 +66,9 @@ pub struct RunReport {
     pub net_bytes: u64,
     /// Messages delivered.
     pub net_messages: u64,
+    /// Simulation events processed (deliveries + timers) — the kernel
+    /// benchmark's work measure.
+    pub sim_events: u64,
     /// Highest per-data-node CPU utilization (skew indicator).
     pub max_data_cpu_util: f64,
     /// Mean per-data-node CPU utilization.
@@ -223,7 +226,9 @@ pub fn run_job(
         cluster.node,
     );
 
-    // Streaming arrivals.
+    // Streaming arrivals. The feed volume is known up front; one reserve
+    // call keeps the event heap from reallocating as the stream posts.
+    sim.reserve_events(stream_feed.len() + updates.len());
     for (at, node, t) in stream_feed {
         let bytes = t.params_size as u64 + 64;
         sim.post(at, cluster.compute_id(node), Msg::Tuple(t), bytes);
@@ -268,8 +273,15 @@ pub fn run_job(
         data = sum_data(data, n.stats());
         data_utils.push(sim.resources(id).cpu.utilization(end));
     }
+    // Order-independent reductions: max is commutative already, the mean
+    // uses a stable (sorted, compensated) sum so the report is bit-identical
+    // however the per-node values are gathered.
     let max_u = data_utils.iter().cloned().fold(0.0f64, f64::max);
-    let mean_u = data_utils.iter().sum::<f64>() / data_utils.len().max(1) as f64;
+    let mean_u = if data_utils.is_empty() {
+        0.0
+    } else {
+        jl_simkit::stats::stable_mean(&data_utils)
+    };
     if std::env::var("JL_UTIL").is_ok() {
         let n0 = sim
             .node(cluster.compute_id(0))
@@ -333,6 +345,7 @@ pub fn run_job(
         data,
         net_bytes: totals.bytes,
         net_messages: totals.messages,
+        sim_events: sim.events_processed(),
         max_data_cpu_util: max_u,
         mean_data_cpu_util: mean_u,
     }
@@ -408,6 +421,7 @@ mod tests {
             data: Default::default(),
             net_bytes: 0,
             net_messages: 0,
+            sim_events: 0,
             max_data_cpu_util: 0.0,
             mean_data_cpu_util: 0.0,
         }

@@ -1,7 +1,7 @@
 //! Exact counting — the accuracy baseline. Space grows with the number of
 //! distinct keys, which is what the approximate algorithms exist to avoid.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 use std::hash::Hash;
 
 use crate::FrequencyEstimator;
@@ -9,7 +9,7 @@ use crate::FrequencyEstimator;
 /// Exact per-key counts in a hash map.
 #[derive(Debug, Clone, Default)]
 pub struct ExactCounter<K: Hash + Eq + Clone> {
-    counts: HashMap<K, u64>,
+    counts: FxHashMap<K, u64>,
     total: u64,
 }
 
@@ -17,7 +17,7 @@ impl<K: Hash + Eq + Clone> ExactCounter<K> {
     /// New, empty counter.
     pub fn new() -> Self {
         ExactCounter {
-            counts: HashMap::new(),
+            counts: FxHashMap::default(),
             total: 0,
         }
     }

@@ -11,7 +11,7 @@
 //! * every key with true count ≥ `εN` is tracked;
 //! * at most `(1/ε)·log(εN)` entries are retained.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 use std::hash::Hash;
 
 use crate::FrequencyEstimator;
@@ -27,7 +27,7 @@ struct Entry {
 /// The Lossy Counting sketch.
 #[derive(Debug, Clone)]
 pub struct LossyCounter<K: Hash + Eq + Clone> {
-    entries: HashMap<K, Entry>,
+    entries: FxHashMap<K, Entry>,
     /// Bucket width `w = ⌈1/ε⌉`.
     width: u64,
     /// Stream length so far.
@@ -49,7 +49,7 @@ impl<K: Hash + Eq + Clone> LossyCounter<K> {
             "epsilon must be in (0, 1), got {epsilon}"
         );
         LossyCounter {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             width: (1.0 / epsilon).ceil() as u64,
             n: 0,
             bucket: 1,

@@ -5,7 +5,7 @@
 //! the potential overestimate. Estimates never undercount a tracked key and
 //! overcount by at most `N/k`.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 use std::hash::Hash;
 
 use crate::FrequencyEstimator;
@@ -20,7 +20,7 @@ struct Slot {
 /// The Space-Saving summary with a fixed counter budget.
 #[derive(Debug, Clone)]
 pub struct SpaceSaving<K: Hash + Eq + Clone> {
-    slots: HashMap<K, Slot>,
+    slots: FxHashMap<K, Slot>,
     capacity: usize,
     n: u64,
 }
@@ -33,7 +33,7 @@ impl<K: Hash + Eq + Clone> SpaceSaving<K> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
         SpaceSaving {
-            slots: HashMap::with_capacity(capacity),
+            slots: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
             capacity,
             n: 0,
         }

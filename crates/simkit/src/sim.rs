@@ -130,6 +130,7 @@ struct SimInner<M> {
     rngs: Vec<StdRng>,
     net: NetConfig,
     totals: NetTotals,
+    events_processed: u64,
     stopped: bool,
 }
 
@@ -283,11 +284,14 @@ impl<N: Node> Sim<N> {
             inner: SimInner {
                 time: SimTime::ZERO,
                 seq: 0,
-                heap: BinaryHeap::new(),
+                // Pre-sized so small simulations never rehash mid-run; big
+                // feeds call `reserve_events` with their real volume.
+                heap: BinaryHeap::with_capacity(1024),
                 resources: Vec::new(),
                 rngs: Vec::new(),
                 net,
                 totals: NetTotals::default(),
+                events_processed: 0,
                 stopped: false,
             },
             started: false,
@@ -314,6 +318,13 @@ impl<N: Node> Sim<N> {
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Grow the event heap to hold at least `additional` more events
+    /// without reallocating. Callers that post a known feed volume (e.g.
+    /// an input stream) use this to avoid repeated heap growth mid-run.
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.inner.heap.reserve(additional);
     }
 
     /// Inject a message from outside the simulation, delivered at `at`
@@ -354,6 +365,7 @@ impl<N: Node> Sim<N> {
             }
             let ev = self.inner.heap.pop().expect("peeked");
             self.inner.time = ev.time;
+            self.inner.events_processed += 1;
             match ev.kind {
                 EventKind::Deliver { from, to, msg } => {
                     self.inner.totals.messages += 1;
@@ -393,6 +405,13 @@ impl<N: Node> Sim<N> {
     /// Aggregate network accounting.
     pub fn net_totals(&self) -> NetTotals {
         self.inner.totals
+    }
+
+    /// Total events (deliveries and timers) popped off the heap so far —
+    /// the denominator-free work measure the kernel benchmark reports as
+    /// simulated-events/sec.
+    pub fn events_processed(&self) -> u64 {
+        self.inner.events_processed
     }
 
     /// A node's resources (utilization, backlog inspection after a run).

@@ -215,6 +215,34 @@ impl DurationHistogram {
     }
 }
 
+/// Order-independent sum: sorts by total order, then accumulates with Kahan
+/// compensation. Two permutations of the same samples produce bit-identical
+/// results, which parallel result collection relies on (summing in whatever
+/// order cells complete must not introduce float drift across thread
+/// counts).
+pub fn stable_sum(xs: &[f64]) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_unstable_by(f64::total_cmp);
+    let mut sum = 0.0f64;
+    let mut comp = 0.0f64;
+    for x in sorted {
+        let y = x - comp;
+        let t = sum + y;
+        comp = (t - sum) - y;
+        sum = t;
+    }
+    sum
+}
+
+/// Order-independent mean built on [`stable_sum`]; 0 for an empty slice.
+pub fn stable_mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        stable_sum(xs) / xs.len() as f64
+    }
+}
+
 /// A gauge whose time-integral is tracked, e.g. queue length or busy servers.
 ///
 /// `average(now)` is the time-weighted mean of the gauge value over
@@ -372,6 +400,25 @@ mod tests {
         let avg = g.average(SimTime(4_000_000_000)); // 0 for 1s
         assert!((avg - 5.0).abs() < 1e-9, "avg={avg}");
         assert_eq!(g.peak(), 10.0);
+    }
+
+    #[test]
+    fn stable_sum_is_permutation_invariant() {
+        let xs = [1e16, 1.0, -1e16, 3.5, 1e-9, 7.25, -2.0];
+        let a = stable_sum(&xs);
+        let rev: Vec<f64> = xs.iter().rev().copied().collect();
+        let rot: Vec<f64> = xs[3..].iter().chain(&xs[..3]).copied().collect();
+        assert_eq!(a.to_bits(), stable_sum(&rev).to_bits());
+        assert_eq!(a.to_bits(), stable_sum(&rot).to_bits());
+        // Accuracy under cancellation stays within a few ulps of the
+        // dominant terms (1e16 has ulp 2).
+        assert!((a - 9.75).abs() <= 4.0, "a={a}");
+        // On well-conditioned data the sum is essentially exact.
+        let utils: Vec<f64> = (0..100).map(|i| 0.01 * i as f64).collect();
+        assert!((stable_sum(&utils) - 49.5).abs() < 1e-9);
+        assert_eq!(stable_sum(&[]), 0.0);
+        assert_eq!(stable_mean(&[]), 0.0);
+        assert!((stable_mean(&[2.0, 4.0]) - 3.0).abs() < 1e-15);
     }
 
     #[test]

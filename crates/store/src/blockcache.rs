@@ -7,7 +7,7 @@
 //! large stores (the 200 GB synthetic table) disk-bound — both regimes the
 //! paper's evaluation exercises.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 use std::hash::Hash;
 
 /// Byte-budgeted LRU set: tracks *which* rows are cached, not their bytes
@@ -15,7 +15,7 @@ use std::hash::Hash;
 #[derive(Debug, Clone)]
 pub struct BlockCache<K: Hash + Eq + Clone> {
     /// key -> (size, last-use tick)
-    entries: HashMap<K, (u64, u64)>,
+    entries: FxHashMap<K, (u64, u64)>,
     budget: u64,
     used: u64,
     tick: u64,
@@ -27,7 +27,7 @@ impl<K: Hash + Eq + Clone> BlockCache<K> {
     /// Create with a byte budget (0 disables caching entirely).
     pub fn new(budget: u64) -> Self {
         BlockCache {
-            entries: HashMap::new(),
+            entries: FxHashMap::default(),
             budget,
             used: 0,
             tick: 0,

@@ -4,49 +4,95 @@
 //! Helpers cover the two encodings the workloads use: big-endian `u64`
 //! (synthetic keys — big-endian so numeric and lexicographic order agree)
 //! and UTF-8 strings (annotation tokens).
+//!
+//! Short keys (≤ [`INLINE_CAP`] bytes — every `from_u64` key and most
+//! annotation tokens) are stored inline in the struct, so constructing,
+//! cloning, hashing and comparing them never touches the heap. Longer keys
+//! fall back to a refcounted [`Bytes`] buffer with O(1) clones.
 
 use bytes::Bytes;
+use std::cmp::Ordering;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// Maximum key length stored inline without a heap allocation.
+const INLINE_CAP: usize = 16;
+
+#[derive(Clone)]
+enum Repr {
+    /// Key bytes stored in the struct itself; `len ≤ INLINE_CAP`.
+    Inline { len: u8, buf: [u8; INLINE_CAP] },
+    /// Longer keys share a refcounted buffer.
+    Shared(Bytes),
+}
 
 /// An ordered, opaque row key.
-#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
-pub struct RowKey(Bytes);
+///
+/// Equality, ordering and hashing are all defined over the raw bytes, so the
+/// two representations are indistinguishable to callers and to hash maps.
+#[derive(Clone)]
+pub struct RowKey(Repr);
 
 impl RowKey {
-    /// Wrap raw bytes.
-    pub fn from_bytes(b: impl Into<Bytes>) -> Self {
-        RowKey(b.into())
+    fn from_slice(b: &[u8]) -> Self {
+        if b.len() <= INLINE_CAP {
+            let mut buf = [0u8; INLINE_CAP];
+            buf[..b.len()].copy_from_slice(b);
+            RowKey(Repr::Inline {
+                len: b.len() as u8,
+                buf,
+            })
+        } else {
+            RowKey(Repr::Shared(Bytes::copy_from_slice(b)))
+        }
     }
 
-    /// Encode a `u64` big-endian (order-preserving).
+    /// Wrap raw bytes.
+    pub fn from_bytes(b: impl Into<Bytes>) -> Self {
+        let b = b.into();
+        if b.len() <= INLINE_CAP {
+            Self::from_slice(&b)
+        } else {
+            RowKey(Repr::Shared(b))
+        }
+    }
+
+    /// Encode a `u64` big-endian (order-preserving). Always inline.
     pub fn from_u64(v: u64) -> Self {
-        RowKey(Bytes::copy_from_slice(&v.to_be_bytes()))
+        let mut buf = [0u8; INLINE_CAP];
+        buf[..8].copy_from_slice(&v.to_be_bytes());
+        RowKey(Repr::Inline { len: 8, buf })
     }
 
     /// Encode a string key.
     pub fn from_str_key(s: &str) -> Self {
-        RowKey(Bytes::copy_from_slice(s.as_bytes()))
+        Self::from_slice(s.as_bytes())
     }
 
     /// Decode a key produced by [`RowKey::from_u64`].
     pub fn as_u64(&self) -> Option<u64> {
-        let b: &[u8] = &self.0;
-        b.try_into().ok().map(u64::from_be_bytes)
+        self.as_bytes().try_into().ok().map(u64::from_be_bytes)
     }
 
     /// Raw bytes.
     pub fn as_bytes(&self) -> &[u8] {
-        &self.0
+        match &self.0 {
+            Repr::Inline { len, buf } => &buf[..*len as usize],
+            Repr::Shared(b) => b,
+        }
     }
 
     /// Key length in bytes (the `sk` of the cost model).
     pub fn len(&self) -> usize {
-        self.0.len()
+        match &self.0 {
+            Repr::Inline { len, .. } => *len as usize,
+            Repr::Shared(b) => b.len(),
+        }
     }
 
     /// True for the empty key.
     pub fn is_empty(&self) -> bool {
-        self.0.is_empty()
+        self.len() == 0
     }
 
     /// A stable 64-bit hash (FNV-1a), used for hash partitioning so that
@@ -58,6 +104,42 @@ impl RowKey {
             h = h.wrapping_mul(0x100_0000_01b3);
         }
         h
+    }
+}
+
+// Manual impls over `as_bytes()`: derived ones would compare the enum
+// discriminant and the dead tail of the inline buffer, making the two
+// representations of the same key unequal.
+
+impl PartialEq for RowKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_bytes() == other.as_bytes()
+    }
+}
+
+impl Eq for RowKey {}
+
+impl PartialOrd for RowKey {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for RowKey {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.as_bytes().cmp(other.as_bytes())
+    }
+}
+
+impl Hash for RowKey {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_bytes().hash(state);
+    }
+}
+
+impl fmt::Debug for RowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "RowKey({self})")
     }
 }
 
@@ -80,6 +162,7 @@ fn hex(b: &[u8]) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::hash_map::DefaultHasher;
 
     #[test]
     fn u64_roundtrip_preserves_order() {
@@ -109,5 +192,45 @@ mod tests {
     #[test]
     fn display_u64() {
         assert_eq!(format!("{}", RowKey::from_u64(42)), "k42");
+    }
+
+    #[test]
+    fn inline_and_shared_representations_agree() {
+        // Same logical key via both constructors (from_bytes of a long-lived
+        // Bytes vs from_slice): must be equal, hash equal, order equal.
+        let long = "a".repeat(40);
+        let shared = RowKey::from_bytes(Bytes::copy_from_slice(long.as_bytes()));
+        let rebuilt = RowKey::from_str_key(&long);
+        assert_eq!(shared, rebuilt);
+        assert_eq!(shared.cmp(&rebuilt), Ordering::Equal);
+        let hash = |k: &RowKey| {
+            let mut h = DefaultHasher::new();
+            k.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&shared), hash(&rebuilt));
+
+        // Inline vs shared never compare equal unless bytes match.
+        assert_ne!(RowKey::from_str_key("abc"), shared);
+    }
+
+    #[test]
+    fn inline_boundary_lengths() {
+        for len in [0usize, 1, 15, 16, 17, 64] {
+            let s = "x".repeat(len);
+            let k = RowKey::from_str_key(&s);
+            assert_eq!(k.len(), len);
+            assert_eq!(k.as_bytes(), s.as_bytes());
+            assert_eq!(k.is_empty(), len == 0);
+            assert_eq!(k.clone(), k);
+        }
+    }
+
+    #[test]
+    fn ordering_matches_byte_order_across_reprs() {
+        let short = RowKey::from_str_key("abc");
+        let long = RowKey::from_str_key(&"abd".repeat(10));
+        assert!(short < long);
+        assert!(RowKey::from_str_key(&"aaa".repeat(10)) < short);
     }
 }

@@ -6,7 +6,7 @@
 //! that never cached the key learn about the update from the last-update
 //! timestamp piggybacked on compute-request responses.
 
-use std::collections::{HashMap, HashSet};
+use rustc_hash::{FxHashMap, FxHashSet};
 
 use crate::key::RowKey;
 use crate::server::TableId;
@@ -14,7 +14,7 @@ use crate::server::TableId;
 /// Tracks, per key, the compute nodes holding a cached copy.
 #[derive(Debug, Clone, Default)]
 pub struct InterestTracker {
-    interest: HashMap<(TableId, RowKey), HashSet<usize>>,
+    interest: FxHashMap<(TableId, RowKey), FxHashSet<usize>>,
 }
 
 impl InterestTracker {
@@ -57,7 +57,7 @@ impl InterestTracker {
     pub fn interested(&self, table: TableId, key: &RowKey) -> usize {
         self.interest
             .get(&(table, key.clone()))
-            .map(HashSet::len)
+            .map(FxHashSet::len)
             .unwrap_or(0)
     }
 

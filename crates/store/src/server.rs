@@ -2,7 +2,7 @@
 //! tables, plus access statistics. Simulated service times (disk seeks, UDF
 //! CPU) are charged by the enclosing data-node actor, not here.
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 use crate::key::RowKey;
 use crate::region::Region;
@@ -26,7 +26,7 @@ pub struct ServerStats {
 #[derive(Debug, Clone, Default)]
 pub struct RegionServer {
     /// `(table, region index) -> region`.
-    regions: HashMap<(TableId, usize), Region>,
+    regions: FxHashMap<(TableId, usize), Region>,
     stats: ServerStats,
 }
 

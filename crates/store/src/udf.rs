@@ -6,7 +6,7 @@
 //! functions of `(key, params, value)`; their CPU cost is charged to the
 //! simulation separately (per-row `udf_cpu_nanos`, or the UDF's override).
 
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 use std::sync::Arc;
 
 use bytes::Bytes;
@@ -91,7 +91,7 @@ pub type UdfId = usize;
 /// (the application ships the same jar to all servers).
 #[derive(Clone, Default)]
 pub struct UdfRegistry {
-    udfs: HashMap<UdfId, Arc<dyn Udf>>,
+    udfs: FxHashMap<UdfId, Arc<dyn Udf>>,
 }
 
 impl UdfRegistry {

@@ -73,7 +73,18 @@ mod tests {
     fn cheap_clone_shares_bytes() {
         let v = StoredValue::new(vec![1u8; 1 << 20], 0, SimDuration::ZERO);
         let w = v.clone();
-        // bytes::Bytes clones share the buffer.
+        // bytes::Bytes clones share the buffer — no payload copy.
         assert_eq!(v.data.as_ptr(), w.data.as_ptr());
+    }
+
+    #[test]
+    fn projection_of_payload_shares_storage() {
+        // The response path projects stored values (ProjectUdf does
+        // `data.slice(..n)`); a slice must be a view of the same
+        // allocation, not a fresh copy of the prefix.
+        let v = StoredValue::new(vec![9u8; 4096], 0, SimDuration::ZERO);
+        let head = v.data.slice(..128);
+        assert_eq!(head.len(), 128);
+        assert_eq!(head.as_ptr(), v.data.as_ptr());
     }
 }

@@ -1,0 +1,78 @@
+//! Thread-count invariance of the parallel experiment grid.
+//!
+//! The grid runner (`run_grid`) fans independent seeded simulations across
+//! a thread pool; results are collected in input order, so the thread
+//! count is purely a resource knob. This test pins that contract: the same
+//! figure grid run at 1, 2 and 8 threads must produce byte-identical
+//! rendered tables and identical `RunReport` series, down to the digest.
+//!
+//! All thread counts run inside ONE `#[test]` because the knob is the
+//! process-global `JL_BENCH_THREADS` environment variable — parallel test
+//! binaries would race on it.
+
+use jl_bench::experiments::{bench_synthetic_report, fig6_stream_report};
+use jl_bench::fig8;
+use jl_core::Strategy;
+use jl_workloads::SyntheticSpec;
+
+/// FNV-1a over a byte string — the same digest construction the golden
+/// decision-trace test uses, applied here to rendered results.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn with_threads<T>(n: usize, f: impl FnOnce() -> T) -> T {
+    std::env::set_var("JL_BENCH_THREADS", n.to_string());
+    let out = f();
+    std::env::remove_var("JL_BENCH_THREADS");
+    out
+}
+
+#[test]
+fn grid_results_are_thread_count_invariant() {
+    let scale = 0.05;
+    let seed = 7;
+
+    // (rendered fig8 table, Debug of a batch report series, Debug of a
+    // stream report) per thread count. Debug formatting covers every
+    // RunReport field, so any drift — counts, fingerprints, float stats —
+    // changes the digest.
+    let run_all = || {
+        let table = fig8(&SyntheticSpec::dh(), scale, seed).render();
+        let batch: Vec<String> = ["DH", "CH", "DCH"]
+            .iter()
+            .map(|name| format!("{:?}", bench_synthetic_report(name, scale, seed)))
+            .collect();
+        let (stream, spots) = fig6_stream_report(0.02, seed, Strategy::Full);
+        (table, batch, format!("{stream:?} spots={spots}"))
+    };
+
+    let base = with_threads(1, run_all);
+    let base_digest = fnv1a(format!("{base:?}").as_bytes());
+
+    for threads in [2usize, 8] {
+        let got = with_threads(threads, run_all);
+        assert_eq!(
+            got.0, base.0,
+            "fig8 table differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            got.1, base.1,
+            "synthetic RunReport series differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            got.2, base.2,
+            "stream RunReport differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            fnv1a(format!("{got:?}").as_bytes()),
+            base_digest,
+            "digest differs between 1 and {threads} threads"
+        );
+    }
+}

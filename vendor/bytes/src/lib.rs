@@ -13,16 +13,28 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// An immutable, reference-counted byte buffer. Cloning is O(1) and the
-/// clones share storage.
+/// clones share storage; [`Bytes::slice`] is O(1) too and shares the parent
+/// buffer via an offset/length view.
 #[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    start: usize,
+    len: usize,
 }
 
 impl Bytes {
     /// The empty buffer.
     pub fn new() -> Self {
         Bytes::default()
+    }
+
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        Bytes {
+            data,
+            start: 0,
+            len,
+        }
     }
 
     /// Wrap a static slice (copies it; the real crate borrows, but no
@@ -33,28 +45,27 @@ impl Bytes {
 
     /// Copy a slice into a fresh buffer.
     pub fn copy_from_slice(b: &[u8]) -> Self {
-        Bytes {
-            data: Arc::from(b),
-        }
+        Bytes::from_arc(Arc::from(b))
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// True for the empty buffer.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
-    /// Raw pointer to the shared storage (stable across clones).
+    /// Raw pointer to this view's first byte within the shared storage
+    /// (stable across clones).
     pub fn as_ptr(&self) -> *const u8 {
-        self.data.as_ptr()
+        self.as_slice().as_ptr()
     }
 
-    /// A copy of the given subrange (the real crate shares storage; no
-    /// caller in this workspace observes the difference).
+    /// A zero-copy view of the given subrange: the result shares this
+    /// buffer's storage, matching the real crate's behaviour.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Bytes {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -65,30 +76,37 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&e) => e + 1,
             Bound::Excluded(&e) => e,
-            Bound::Unbounded => self.len(),
+            Bound::Unbounded => self.len,
         };
-        Bytes::copy_from_slice(&self.data[start..end])
+        assert!(start <= end && end <= self.len, "slice out of range");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + start,
+            len: end - start,
+        }
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.start + self.len]
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes {
-            data: Arc::from(v.into_boxed_slice()),
-        }
+        Bytes::from_arc(Arc::from(v.into_boxed_slice()))
     }
 }
 
@@ -175,5 +193,22 @@ mod tests {
         assert_eq!(&a[..2], b"he");
         assert!(!a.is_empty());
         assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn slice_shares_storage() {
+        let a = Bytes::from_static(b"hello world");
+        let w = a.slice(6..);
+        assert_eq!(&w[..], b"world");
+        assert_eq!(w.as_ptr(), unsafe { a.as_ptr().add(6) });
+        let h = a.slice(..5);
+        assert_eq!(&h[..], b"hello");
+        // A slice of a slice still points into the original allocation.
+        let e = h.slice(1..2);
+        assert_eq!(&e[..], b"e");
+        assert_eq!(e.as_ptr(), unsafe { a.as_ptr().add(1) });
+        // Content equality ignores the backing representation.
+        assert_eq!(e, Bytes::copy_from_slice(b"e"));
+        assert_eq!(a.slice(..), a);
     }
 }

@@ -56,7 +56,10 @@ impl Bencher {
 }
 
 fn run_one(name: &str, iters: u64, f: &mut dyn FnMut(&mut Bencher)) {
-    let mut b = Bencher { iters, mean_ns: 0.0 };
+    let mut b = Bencher {
+        iters,
+        mean_ns: 0.0,
+    };
     f(&mut b);
     let per_iter = b.mean_ns;
     let (scaled, unit) = if per_iter >= 1e9 {

@@ -1,0 +1,249 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! Implements the small API surface the workspace uses: a [`ThreadPool`]
+//! whose [`install`](ThreadPool::install) scope sets the ambient parallelism,
+//! and `Vec::into_par_iter().map(f).collect::<Vec<_>>()` from the
+//! [`prelude`]. Work items are claimed by an atomic index from a pool of
+//! `std::thread::scope` workers, and results land in order-preserving slots,
+//! so `collect` returns outputs in input order regardless of thread count or
+//! scheduling — the property the bench harness's determinism guarantee rests
+//! on.
+//!
+//! Unlike real rayon there is no work stealing and no persistent worker pool:
+//! threads are spawned per `collect`. The workspace only fans out
+//! coarse-grained cells (whole simulation runs), where spawn cost is noise.
+
+use std::cell::Cell;
+use std::fmt;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+thread_local! {
+    /// Ambient thread budget set by `ThreadPool::install`; `None` outside any
+    /// pool, meaning "use the machine's available parallelism".
+    static AMBIENT_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Number of threads parallel iterators will use at this point in the code:
+/// the innermost `install` scope's budget, or the machine's available
+/// parallelism outside any pool.
+pub fn current_num_threads() -> usize {
+    AMBIENT_THREADS
+        .with(|t| t.get())
+        .unwrap_or_else(default_threads)
+}
+
+/// Error from [`ThreadPoolBuilder::build`]. The stand-in never fails to
+/// build, but the type exists so `.build().expect(..)` call sites compile
+/// against either implementation.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "use available parallelism", matching rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => default_threads(),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A logical thread pool: it carries a thread budget that parallel iterators
+/// observe inside [`install`](ThreadPool::install).
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Run `op` with this pool's thread budget as the ambient parallelism.
+    /// The previous budget is restored on exit (panics included).
+    pub fn install<R>(&self, op: impl FnOnce() -> R) -> R {
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                AMBIENT_THREADS.with(|t| t.set(self.0));
+            }
+        }
+        let _guard = AMBIENT_THREADS.with(|t| {
+            let prev = t.get();
+            t.set(Some(self.num_threads));
+            Restore(prev)
+        });
+        op()
+    }
+}
+
+/// Fan `items` out over `threads` workers, preserving input order in the
+/// output. Each worker claims the next unprocessed index from a shared
+/// atomic, so uneven cell costs still balance across workers.
+fn par_run<I, O, F>(items: Vec<I>, f: F, threads: usize) -> Vec<O>
+where
+    I: Send,
+    O: Send,
+    F: Fn(I) -> O + Sync,
+{
+    let n = items.len();
+    if threads <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let inputs: Vec<Mutex<Option<I>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let outputs: Vec<Mutex<Option<O>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = AtomicUsize::new(0);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for _ in 0..threads.min(n) {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= n {
+                    break;
+                }
+                let input = inputs[idx]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("input claimed once");
+                let out = f(input);
+                *outputs[idx].lock().unwrap() = Some(out);
+            });
+        }
+    });
+    outputs
+        .into_iter()
+        .map(|slot| slot.into_inner().unwrap().expect("worker filled slot"))
+        .collect()
+}
+
+/// Owned parallel iterator over a `Vec`, produced by
+/// [`IntoParallelIterator::into_par_iter`].
+pub struct IntoParIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> IntoParIter<T> {
+    pub fn map<R, F>(self, f: F) -> Map<T, F>
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+    {
+        Map {
+            items: self.items,
+            f,
+        }
+    }
+}
+
+/// Mapped parallel iterator; terminal `collect` runs the fan-out.
+pub struct Map<T, F> {
+    items: Vec<T>,
+    f: F,
+}
+
+impl<T: Send, F> Map<T, F> {
+    pub fn collect<C, R>(self) -> C
+    where
+        R: Send,
+        F: Fn(T) -> R + Sync + Send,
+        C: FromIterator<R>,
+    {
+        par_run(self.items, self.f, current_num_threads())
+            .into_iter()
+            .collect()
+    }
+}
+
+/// Conversion into a parallel iterator, mirroring rayon's trait of the same
+/// name (for the `Vec` case the workspace uses).
+pub trait IntoParallelIterator {
+    type Item: Send;
+    fn into_par_iter(self) -> IntoParIter<Self::Item>;
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    fn into_par_iter(self) -> IntoParIter<T> {
+        IntoParIter { items: self }
+    }
+}
+
+pub mod prelude {
+    pub use crate::IntoParallelIterator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn collect_preserves_input_order() {
+        for threads in [1usize, 2, 8] {
+            let pool = ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap();
+            let out: Vec<u64> = pool.install(|| {
+                (0u64..100)
+                    .collect::<Vec<_>>()
+                    .into_par_iter()
+                    .map(|x| x * x)
+                    .collect()
+            });
+            assert_eq!(out, (0u64..100).map(|x| x * x).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn install_sets_and_restores_ambient_budget() {
+        let outer = current_num_threads();
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            assert_eq!(current_num_threads(), 3);
+            let inner = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+            inner.install(|| assert_eq!(current_num_threads(), 5));
+            assert_eq!(current_num_threads(), 3);
+        });
+        assert_eq!(current_num_threads(), outer);
+    }
+
+    #[test]
+    fn zero_threads_means_available_parallelism() {
+        let pool = ThreadPoolBuilder::new().num_threads(0).build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}

@@ -1,0 +1,184 @@
+//! Offline stand-in for the `rustc-hash` crate.
+//!
+//! Provides [`FxHasher`], a fast multiply-rotate hasher with a fixed seed, and
+//! the [`FxHashMap`] / [`FxHashSet`] type aliases built on it. Unlike the
+//! standard library's SipHash `RandomState`, the hash function here is fully
+//! deterministic across processes and runs, which the workspace relies on for
+//! reproducible simulations. It is *not* DoS-resistant; all keys hashed in
+//! this workspace are trusted simulation state.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Fixed odd multiplier; derived from the golden ratio like FNV-style mixes.
+const K: u64 = 0x9e37_79b9_7f4a_7c15;
+
+/// A fast, deterministic, non-cryptographic hasher.
+///
+/// Each word folded in is rotated, then mixed with a widening multiply whose
+/// high half is folded back in. The rotation ensures that byte order within
+/// multi-word inputs matters; the folded multiply diffuses every input bit
+/// into both halves of the state.
+#[derive(Default, Clone, Copy)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        // Widening multiply, then fold the high half back in. A plain
+        // 64-bit multiply only diffuses entropy upward, so an input whose
+        // entropy sits in the top bytes of a word (e.g. a big-endian key
+        // read as little-endian) leaves the low bits — the ones hashbrown
+        // picks buckets from — constant. The high half of the 128-bit
+        // product depends on every input bit, so XORing it down spreads
+        // entropy in both directions.
+        let full = ((self.hash.rotate_left(5) ^ word) as u128).wrapping_mul(K as u128);
+        self.hash = (full as u64) ^ ((full >> 64) as u64);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rest.len()].copy_from_slice(rest);
+            // Fold the length in so "ab" and "ab\0" keys differ.
+            tail[7] = rest.len() as u8;
+            self.add(u64::from_le_bytes(tail));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, v: u16) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, v: u128) {
+        self.add(v as u64);
+        self.add((v >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_i8(&mut self, v: i8) {
+        self.add(v as u8 as u64);
+    }
+
+    #[inline]
+    fn write_i16(&mut self, v: i16) {
+        self.add(v as u16 as u64);
+    }
+
+    #[inline]
+    fn write_i32(&mut self, v: i32) {
+        self.add(v as u32 as u64);
+    }
+
+    #[inline]
+    fn write_i64(&mut self, v: i64) {
+        self.add(v as u64);
+    }
+
+    #[inline]
+    fn write_isize(&mut self, v: isize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`]; zero-sized, so map construction is free.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` using [`FxHasher`] instead of SipHash.
+pub type FxHashMap<K, V> = HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` using [`FxHasher`] instead of SipHash.
+pub type FxHashSet<T> = HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_one<T: Hash>(v: &T) -> u64 {
+        let mut h = FxBuildHasher::default().build_hasher();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn deterministic_across_builders() {
+        assert_eq!(hash_one(&42u64), hash_one(&42u64));
+        assert_eq!(hash_one(&"hello"), hash_one(&"hello"));
+    }
+
+    #[test]
+    fn distinguishes_nearby_inputs() {
+        assert_ne!(hash_one(&1u64), hash_one(&2u64));
+        assert_ne!(hash_one(&"ab"), hash_one(&"ab\0"));
+        assert_ne!(
+            hash_one(&b"abcdefgh".as_slice()),
+            hash_one(&b"abcdefg".as_slice())
+        );
+    }
+
+    #[test]
+    fn spreads_high_byte_entropy_into_low_bits() {
+        // Regression: 8-byte big-endian keys (RowKey::from_u64's encoding)
+        // carry their entropy in the top bytes of the little-endian word
+        // the hasher folds in. With a plain 64-bit multiply their hashes
+        // shared constant low bits and 10k keys collapsed into 16 of 16384
+        // hashbrown buckets; the folded widening multiply must keep bucket
+        // chains near-ideal.
+        let mut buckets = vec![0u32; 1 << 14];
+        for i in 0..10_000u64 {
+            let h = hash_one(&i.to_be_bytes().as_slice());
+            buckets[(h as usize) & ((1 << 14) - 1)] += 1;
+        }
+        let max_chain = *buckets.iter().max().unwrap();
+        assert!(max_chain <= 8, "worst bucket chain {max_chain} (want ≤ 8)");
+    }
+
+    #[test]
+    fn map_and_set_round_trip() {
+        let mut m: FxHashMap<String, u32> = FxHashMap::default();
+        m.insert("a".into(), 1);
+        m.insert("b".into(), 2);
+        assert_eq!(m.get("a"), Some(&1));
+        let mut s: FxHashSet<u64> = FxHashSet::default();
+        assert!(s.insert(7));
+        assert!(!s.insert(7));
+    }
+}
