@@ -48,6 +48,8 @@ fn bench_run_job(c: &mut Criterion) {
                         udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
                         policy: None,
                         decision_sink: None,
+                        faults: None,
+                        retry: None,
                     };
                     run_job(&job, store, udfs, tuples.clone(), vec![])
                 })

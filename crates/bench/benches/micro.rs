@@ -3,7 +3,7 @@
 //! framework's statistics/caching overhead as its main cost).
 
 use std::collections::HashMap;
-use std::hash::{BuildHasher, Hash, Hasher};
+use std::hash::BuildHasher;
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use jl_cache::{LfuDa, SizeMode, TieredCache};
@@ -248,18 +248,10 @@ fn bench_rowkey(c: &mut Criterion) {
     let long = RowKey::from_bytes(vec![7u8; 64]); // shared (heap) representation
     let fx = rustc_hash::FxBuildHasher::default();
     c.bench_function("rowkey_hash_inline", |b| {
-        b.iter(|| {
-            let mut h = fx.build_hasher();
-            black_box(&short).hash(&mut h);
-            black_box(h.finish())
-        })
+        b.iter(|| black_box(fx.hash_one(black_box(&short))))
     });
     c.bench_function("rowkey_hash_shared", |b| {
-        b.iter(|| {
-            let mut h = fx.build_hasher();
-            black_box(&long).hash(&mut h);
-            black_box(h.finish())
-        })
+        b.iter(|| black_box(fx.hash_one(black_box(&long))))
     });
     c.bench_function("rowkey_clone_inline", |b| {
         b.iter(|| black_box(black_box(&short).clone()))

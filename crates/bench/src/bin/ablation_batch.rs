@@ -48,6 +48,8 @@ fn main() {
                 udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
                 policy: None,
                 decision_sink: None,
+                faults: None,
+                retry: None,
             };
             let r = run_job(&job, store, udfs, tuples, vec![]);
             vals.push(r.duration.as_secs_f64());

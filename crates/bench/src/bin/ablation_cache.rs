@@ -137,6 +137,8 @@ fn admission(scale: f64, seed: u64) {
             udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
             policy: Some(factory),
             decision_sink: None,
+            faults: None,
+            retry: None,
         };
         let r = run_job(&job, store, udfs, tuples, vec![]);
         rows.push((

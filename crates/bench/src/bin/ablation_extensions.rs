@@ -59,6 +59,8 @@ fn run(
         udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
         policy: None,
         decision_sink: None,
+        faults: None,
+        retry: None,
     };
     let r = run_job(&job, store, udfs, tuples, vec![]);
     (r.duration.as_secs_f64(), r.decisions.offloaded_hits)

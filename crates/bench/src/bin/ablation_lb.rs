@@ -48,6 +48,8 @@ fn run(solver: LbSolver, spec: &SyntheticSpec, z: f64, seed: u64) -> f64 {
         udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
         policy: None,
         decision_sink: None,
+        faults: None,
+        retry: None,
     };
     run_job(&job, store, udfs, tuples, vec![])
         .duration

@@ -1,0 +1,12 @@
+//! Regenerates the chaos figure: throughput and tail latency under a
+//! crash-and-recover scenario (plus a straggler and a lossy link) for the
+//! NO / FC / FO strategies, with timeout/retry/failover enabled.
+//!
+//! Usage: `fig_chaos [--scale F] [--seed N] [--threads N]`
+
+use jl_bench::{fig_chaos, parse_args};
+
+fn main() {
+    let (scale, seed) = parse_args(1.0);
+    println!("{}", fig_chaos(scale, seed).render());
+}

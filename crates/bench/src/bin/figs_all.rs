@@ -1,10 +1,13 @@
-//! Regenerates every figure of the paper in one run.
+//! Regenerates every figure of the paper in one run. `--faults` appends
+//! the chaos figure (crash + straggler + lossy link), which is not part
+//! of the paper's evaluation and therefore opt-in.
 
-use jl_bench::{fig11, fig5, fig6, fig7, fig8, fig9, parse_args};
+use jl_bench::{fig11, fig5, fig6, fig7, fig8, fig9, fig_chaos, parse_args};
 use jl_workloads::SyntheticSpec;
 
 fn main() {
     let (scale, seed) = parse_args(1.0);
+    let faults = std::env::args().any(|a| a == "--faults");
     println!("{}", fig5(scale, seed).render());
     println!("{}", fig6(scale, seed).render());
     println!("{}", fig7(scale, seed).render());
@@ -14,5 +17,8 @@ fn main() {
     println!("{}", fig9(scale, seed).render());
     for spec in SyntheticSpec::all() {
         println!("{}", fig11(&spec, scale, seed).render());
+    }
+    if faults {
+        println!("{}", fig_chaos(scale, seed).render());
     }
 }

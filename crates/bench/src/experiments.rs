@@ -14,7 +14,8 @@ use jl_core::{OptimizerConfig, Strategy};
 use jl_engine::baselines::{run_reduce_side, ReduceSideKind};
 use jl_engine::plan::{JobPlan, JobTuple, StageSpec};
 use jl_engine::shuffle::run_shuffle_multijoin;
-use jl_engine::{build_store, run_job, ClusterSpec, FeedMode, JobSpec, RunReport};
+use jl_engine::{build_store, run_job, ClusterSpec, FeedMode, JobSpec, RetryConfig, RunReport};
+use jl_simkit::fault::FaultPlan;
 use jl_simkit::rng::stream_rng;
 use jl_simkit::time::{SimDuration, SimTime};
 use jl_store::{
@@ -165,6 +166,8 @@ pub fn run_synthetic_report(
         udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
         policy: None,
         decision_sink: None,
+        faults: None,
+        retry: None,
     };
     let report = run_job(
         &job,
@@ -364,6 +367,8 @@ pub fn run_synthetic_stream_report(
         udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
         policy: None,
         decision_sink: None,
+        faults: None,
+        retry: None,
     };
     run_job(
         &job,
@@ -503,6 +508,8 @@ pub fn fig5(doc_scale: f64, seed: u64) -> FigTable {
                 udf_cpu_hint: 0.002,
                 policy: None,
                 decision_sink: None,
+                faults: None,
+                retry: None,
             };
             let r = run_job(&job, store, udfs.clone(), tuples.clone(), vec![]);
             if std::env::var("JL_DEBUG").is_ok() {
@@ -581,6 +588,8 @@ fn fig6_run(
         udf_cpu_hint: 0.002,
         policy: None,
         decision_sink: None,
+        faults: None,
+        retry: None,
     };
     let r = run_job(&job, store, digest_udfs(96), tuples.to_vec(), vec![]);
     if std::env::var("JL_DEBUG").is_ok() {
@@ -622,6 +631,147 @@ pub fn fig6(tweet_scale: f64, seed: u64) -> FigTable {
         row_label: "".into(),
         columns,
         rows: vec![("tweets/s".into(), vals)],
+    }
+}
+
+/// Strategies compared on the chaos figure: the naive baseline, the
+/// compute-side static placement, and the full optimizer. The fixed
+/// placements ignore node health, so the gap under faults isolates what
+/// the decision plane's health signal buys.
+pub const CHAOS_STRATEGIES: [Strategy; 3] =
+    [Strategy::NoOpt, Strategy::ComputeSide, Strategy::Full];
+
+/// The chaos scenario, phased against a fault-free baseline duration so
+/// the same *relative* timeline stresses fast and slow strategies alike:
+///
+/// * data node 0 crashes at 20% of the baseline and restarts at 55%
+///   (in-flight work on it is lost; its regions fail over to a replica);
+/// * data node 1 runs 4× slow between 10% and 70% (a straggler);
+/// * every message into data node 2 is dropped with probability 3%
+///   between 30% and 50% (a lossy link).
+pub fn chaos_fault_plan(cluster: &ClusterSpec, baseline: SimDuration, seed: u64) -> FaultPlan {
+    assert!(
+        cluster.n_data >= 3,
+        "the chaos scenario faults three distinct data nodes"
+    );
+    let at = |f: f64| SimTime::ZERO + SimDuration::from_secs_f64(baseline.as_secs_f64() * f);
+    FaultPlan::new(seed)
+        .crash(cluster.data_id(0), at(0.20), Some(at(0.55)))
+        .straggle(cluster.data_id(1), (at(0.10), at(0.70)), 4.0)
+        .drop_link(None, Some(cluster.data_id(2)), (at(0.30), at(0.50)), 0.03)
+}
+
+/// Retry knobs scaled to the run: the per-request timeout is ~1% of the
+/// fault-free duration (floored well above healthy round-trip latency so
+/// healthy traffic never times out spuriously), backoff caps at 8× that,
+/// and a timed-out node is avoided for 4 timeouts before being probed.
+pub fn chaos_retry(baseline: SimDuration) -> RetryConfig {
+    let t = (baseline.as_secs_f64() * 0.01).clamp(0.05, 1.0);
+    RetryConfig {
+        timeout: SimDuration::from_secs_f64(t),
+        backoff_cap: SimDuration::from_secs_f64(t * 8.0),
+        max_retries: 8,
+        down_cooldown: SimDuration::from_secs_f64(t * 4.0),
+    }
+}
+
+/// Run one synthetic chaos cell: first a fault-free run of the exact same
+/// job (its duration calibrates the fault plan's timeline and the retry
+/// timeouts, and its fingerprint is the exactly-once reference), then the
+/// same job under injected faults with timeout/retry/failover enabled.
+/// Returns `(healthy, chaos)`.
+pub fn run_chaos_report(
+    spec: &SyntheticSpec,
+    strategy: Strategy,
+    z: f64,
+    cluster: &ClusterSpec,
+    mem_cache: u64,
+    seed: u64,
+) -> (RunReport, RunReport) {
+    let healthy = run_synthetic_report(spec, strategy, z, 1, None, cluster, mem_cache, seed);
+    let store = build_store(cluster, vec![(spec.name.into(), spec.rows(1).collect())]);
+    let tuples = synthetic_tuples(spec, z, 1, seed);
+    let job = JobSpec {
+        cluster: cluster.clone(),
+        optimizer: optimizer_for(strategy, mem_cache),
+        feed: FeedMode::Batch {
+            window: window_for(strategy, cluster, tuples.len() / cluster.n_compute),
+        },
+        plan: JobPlan::single(0, UDF),
+        seed,
+        udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+        policy: None,
+        decision_sink: None,
+        faults: Some(chaos_fault_plan(cluster, healthy.duration, seed)),
+        retry: Some(chaos_retry(healthy.duration)),
+    };
+    let chaos = run_job(
+        &job,
+        store,
+        digest_udfs(spec.output_size as usize),
+        tuples,
+        vec![],
+    );
+    if std::env::var("JL_DEBUG").is_ok() {
+        eprintln!(
+            "chaos {} {}: healthy={:?} chaos={:?} retries={} failovers={} gave_up={} dropped={} p99={}",
+            spec.name,
+            strategy.label(),
+            healthy.duration,
+            chaos.duration,
+            chaos.retries,
+            chaos.failovers,
+            chaos.gave_up,
+            chaos.dropped_messages,
+            chaos.p99_latency
+        );
+    }
+    (healthy, chaos)
+}
+
+/// The chaos figure: the DH workload at z = 1.0 under the
+/// crash/straggler/lossy-link scenario, per strategy — healthy vs chaos
+/// time, the slowdown ratio, tail latency, and the recovery counters.
+pub fn fig_chaos(tuple_scale: f64, seed: u64) -> FigTable {
+    let mut spec = SyntheticSpec::dh();
+    spec.n_tuples = ((spec.n_tuples as f64 * tuple_scale) as u64).max(1000);
+    let cluster = synthetic_cluster();
+    let mem_cache = 32 << 20;
+    let rows = run_grid(CHAOS_STRATEGIES.to_vec(), |strategy| {
+        let (healthy, chaos) = run_chaos_report(&spec, strategy, 1.0, &cluster, mem_cache, seed);
+        let slowdown = if healthy.duration.as_secs_f64() > 0.0 {
+            chaos.duration.as_secs_f64() / healthy.duration.as_secs_f64()
+        } else {
+            0.0
+        };
+        (
+            strategy.label().to_string(),
+            vec![
+                healthy.duration.as_secs_f64(),
+                chaos.duration.as_secs_f64(),
+                slowdown,
+                chaos.p99_latency.as_secs_f64() * 1e3,
+                chaos.retries as f64,
+                chaos.failovers as f64,
+                chaos.gave_up as f64,
+                chaos.dropped_messages as f64,
+            ],
+        )
+    });
+    FigTable {
+        title: "Chaos — DH @ z=1.0 under crash + straggler + lossy link".into(),
+        row_label: "strategy".into(),
+        columns: vec![
+            "healthy s".into(),
+            "chaos s".into(),
+            "slowdown".into(),
+            "p99 ms".into(),
+            "retries".into(),
+            "failovers".into(),
+            "gave up".into(),
+            "dropped".into(),
+        ],
+        rows,
     }
 }
 
@@ -698,6 +848,8 @@ pub fn fig7(fact_scale: f64, seed: u64) -> FigTable {
             udf_cpu_hint: 3e-6,
             policy: None,
             decision_sink: None,
+            faults: None,
+            retry: None,
         };
         let ours = run_job(&job, store, udfs.clone(), tuples, vec![]);
         if std::env::var("JL_DEBUG").is_ok() {

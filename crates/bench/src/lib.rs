@@ -11,7 +11,10 @@
 pub mod experiments;
 pub mod output;
 
-pub use experiments::{bench_threads, fig11, fig5, fig6, fig7, fig8, fig9, run_grid, SKEWS};
+pub use experiments::{
+    bench_threads, chaos_fault_plan, chaos_retry, fig11, fig5, fig6, fig7, fig8, fig9, fig_chaos,
+    run_chaos_report, run_grid, CHAOS_STRATEGIES, SKEWS,
+};
 pub use output::FigTable;
 
 /// Parse a `--scale X` style argument list: returns (scale, seed).

@@ -25,7 +25,7 @@ use std::hash::Hash;
 use jl_costmodel::{RentBuyCosts, SizeProfile};
 
 use crate::config::{OptimizerConfig, Strategy};
-use crate::types::CostInfo;
+use crate::types::{CostInfo, NodeHealth};
 
 /// Where a fetched value should land if the policy buys (Algorithm 1
 /// lines 15 vs 19).
@@ -71,6 +71,9 @@ pub struct DecisionCtx {
     /// Bounce-aware effective rent (see
     /// [`DecisionCosts`](super::costs::DecisionCosts)).
     pub rent_eff: f64,
+    /// The runtime's current belief about the destination's availability
+    /// (timeout/reply driven; `Healthy` when no failure model is active).
+    pub dest_health: NodeHealth,
 }
 
 /// A per-key placement policy: the decision plane of the compute runtime.

@@ -9,6 +9,15 @@ use jl_skirental::{Decision, RecurringSkiRental};
 
 use super::{CacheIntent, DecisionCtx, Placement, PlacementPolicy};
 use crate::config::OptimizerConfig;
+use crate::types::NodeHealth;
+
+/// Effective-rent multiplier applied when the destination is [`Degraded`]:
+/// recent timeouts mean the piggybacked cost estimates understate what a
+/// compute request will really take, so renting is priced up, which tips
+/// ski-rental toward buying hot keys out of the sick node sooner.
+///
+/// [`Degraded`]: NodeHealth::Degraded
+const DEGRADED_RENT_PENALTY: f64 = 2.0;
 
 /// The CO/FO strategies' policy: rent while the access count is below the
 /// (recurring) ski-rental threshold, then buy — into memory if the cache
@@ -86,11 +95,25 @@ where
             // Purchase already in flight: rent until it lands.
             return Placement::Rent;
         }
-        let mem_policy = RecurringSkiRental::new(
-            ctx.rent_eff.max(1e-12),
-            ctx.rb.buy * self.scale,
-            ctx.rb.rec_mem,
-        );
+        match ctx.dest_health {
+            NodeHealth::Down => {
+                // Every rent against a dead node times out; buy the value
+                // (the failover path serves the fetch from a replica) so
+                // future accesses run locally until the node recovers.
+                return if ctx.would_cache_mem {
+                    Placement::Buy(CacheIntent::Memory)
+                } else {
+                    Placement::Buy(CacheIntent::Disk)
+                };
+            }
+            NodeHealth::Degraded | NodeHealth::Healthy => {}
+        }
+        let rent_eff = match ctx.dest_health {
+            NodeHealth::Degraded => ctx.rent_eff * DEGRADED_RENT_PENALTY,
+            _ => ctx.rent_eff,
+        };
+        let mem_policy =
+            RecurringSkiRental::new(rent_eff.max(1e-12), ctx.rb.buy * self.scale, ctx.rb.rec_mem);
         if mem_policy.decide(count) == Decision::Rent {
             return Placement::Rent;
         }
@@ -98,7 +121,7 @@ where
             return Placement::Buy(CacheIntent::Memory);
         }
         let disk_policy = RecurringSkiRental::new(
-            ctx.rent_eff.max(1e-12),
+            rent_eff.max(1e-12),
             ctx.rb.buy * self.scale,
             ctx.rb.rec_disk,
         );

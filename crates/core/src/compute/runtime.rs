@@ -18,8 +18,8 @@ use super::policy::{
 use crate::batcher::Batcher;
 use crate::config::OptimizerConfig;
 use crate::types::{
-    Action, BatchRequest, CacheValue, ReqKind, RequestItem, ResponseItem, ResponsePayload,
-    ValueSource,
+    Action, BatchRequest, CacheValue, NodeHealth, ReqKind, RequestItem, ResponseItem,
+    ResponsePayload, ValueSource,
 };
 use jl_costmodel::NodeCosts;
 
@@ -46,10 +46,14 @@ pub struct DecisionStats {
 }
 
 #[derive(Debug)]
-struct InFlight<P> {
+struct InFlight<K, P> {
+    key: K,
     params: P,
     kind: ReqKind,
     intent: CacheIntent,
+    /// Destination the request was (last) sent to, for counter bookkeeping
+    /// on reissue/abandon.
+    dest: usize,
 }
 
 /// Per-data-node request bookkeeping the compute node maintains.
@@ -76,7 +80,10 @@ where
     sink: Option<Box<dyn DecisionSink<K>>>,
     costs: CostTracker<K>,
     dests: Vec<DestState<K, P>>,
-    inflight: FxHashMap<u64, InFlight<P>>,
+    /// Per-destination availability belief, fed into every decision and
+    /// updated by the driver from timeout/reply observations.
+    health: Vec<NodeHealth>,
+    inflight: FxHashMap<u64, InFlight<K, P>>,
     /// Keys with a data request (purchase) already in flight. Further
     /// accesses rent until the value lands — without this, every access of
     /// a hot key during its (possibly large) fetch issues another full
@@ -163,6 +170,7 @@ where
             policy,
             sink: None,
             costs,
+            health: vec![NodeHealth::Healthy; n_data_nodes],
             dests,
             // Pre-sized so the steady-state request window never rehashes.
             inflight: FxHashMap::with_capacity_and_hasher(256, Default::default()),
@@ -294,6 +302,7 @@ where
             sizes: dc.sizes,
             rb: dc.rb,
             rent_eff: dc.rent_eff,
+            dest_health: self.health[dest],
         };
         let placement = self.policy.decide(&key, &ctx);
         if let Some(sink) = self.sink.as_mut() {
@@ -328,9 +337,11 @@ where
         self.inflight.insert(
             req_id,
             InFlight {
+                key: key.clone(),
                 params: params.clone(),
                 kind,
                 intent,
+                dest,
             },
         );
         let item = RequestItem {
@@ -450,14 +461,16 @@ where
             let Some(inflight) = self.inflight.remove(&item.req_id) else {
                 continue; // duplicate or cancelled
             };
+            // Credit the destination the request was last *sent* to — after
+            // a failover reissue that can differ from the replying node.
             match inflight.kind {
                 ReqKind::Compute => {
-                    self.dests[dest].inflight_compute =
-                        self.dests[dest].inflight_compute.saturating_sub(1);
+                    self.dests[inflight.dest].inflight_compute =
+                        self.dests[inflight.dest].inflight_compute.saturating_sub(1);
                 }
                 ReqKind::Data => {
-                    self.dests[dest].inflight_data =
-                        self.dests[dest].inflight_data.saturating_sub(1);
+                    self.dests[inflight.dest].inflight_data =
+                        self.dests[inflight.dest].inflight_data.saturating_sub(1);
                 }
             }
             if let Some(cost) = item.cost {
@@ -537,6 +550,118 @@ where
         self.cache.invalidate(key);
         self.policy.on_invalidate(key);
         self.costs.forget_key(key);
+    }
+
+    /// Update this runtime's belief about data node `dest`'s availability.
+    /// Drivers call this from timeout (Down/Degraded) and reply (Healthy)
+    /// observations; subsequent decisions see it via
+    /// [`DecisionCtx::dest_health`].
+    pub fn set_health(&mut self, dest: usize, health: NodeHealth) {
+        self.health[dest] = health;
+    }
+
+    /// The current availability belief for data node `dest`.
+    pub fn dest_health(&self, dest: usize) -> NodeHealth {
+        self.health[dest]
+    }
+
+    /// The destination and kind of an in-flight request, if it is still
+    /// unanswered (drivers consult this when a timeout fires: a missing
+    /// entry means the response already arrived and the timer is stale).
+    pub fn inflight_info(&self, req_id: u64) -> Option<(usize, ReqKind)> {
+        self.inflight.get(&req_id).map(|f| (f.dest, f.kind))
+    }
+
+    /// Re-issue an unanswered request as a fresh single-item batch to
+    /// `new_dest`, optionally flipping its kind (compute → data when the
+    /// preferred side stopped computing, data → compute when a fetch
+    /// stalls). The old request id is forgotten, so a late response to it
+    /// is dropped by [`on_batch_response`](Self::on_batch_response)'s
+    /// id check — re-issue can duplicate *work*, never *completions*.
+    ///
+    /// Returns the new request id and the send action, or `None` if the
+    /// request already completed.
+    pub fn reissue(
+        &mut self,
+        req_id: u64,
+        new_dest: usize,
+        flip_kind: bool,
+    ) -> Option<(u64, Action<K, P, V>)> {
+        let mut inflight = self.inflight.remove(&req_id)?;
+        let old_dest = inflight.dest;
+        match inflight.kind {
+            ReqKind::Compute => {
+                self.dests[old_dest].inflight_compute =
+                    self.dests[old_dest].inflight_compute.saturating_sub(1);
+            }
+            ReqKind::Data => {
+                self.dests[old_dest].inflight_data =
+                    self.dests[old_dest].inflight_data.saturating_sub(1);
+            }
+        }
+        if flip_kind {
+            match inflight.kind {
+                ReqKind::Compute => {
+                    // Fall back to fetching the value and running locally.
+                    // The fetched value is not cached: this is an emergency
+                    // path, not an admission decision.
+                    inflight.kind = ReqKind::Data;
+                    inflight.intent = CacheIntent::None;
+                    self.stats.data_requests += 1;
+                }
+                ReqKind::Data => {
+                    inflight.kind = ReqKind::Compute;
+                    inflight.intent = CacheIntent::None;
+                    // The fetch this key was waiting on is gone; let the
+                    // next access decide afresh instead of renting forever.
+                    self.fetching.remove(&inflight.key);
+                    self.stats.compute_requests += 1;
+                }
+            }
+        }
+        let new_id = self.fresh_req();
+        let item = RequestItem {
+            req_id: new_id,
+            key: inflight.key.clone(),
+            params: inflight.params.clone(),
+            kind: inflight.kind,
+        };
+        inflight.dest = new_dest;
+        match inflight.kind {
+            ReqKind::Compute => self.dests[new_dest].inflight_compute += 1,
+            ReqKind::Data => self.dests[new_dest].inflight_data += 1,
+        }
+        self.inflight.insert(new_id, inflight);
+        let stats = self.load_stats(new_dest);
+        let action = Action::Send {
+            dest: new_dest,
+            batch: BatchRequest {
+                items: vec![item],
+                stats,
+            },
+        };
+        Some((new_id, action))
+    }
+
+    /// Give up on an unanswered request after retries are exhausted: drop
+    /// its bookkeeping so drains don't wait on it forever. Returns true if
+    /// the request was still pending.
+    pub fn abandon(&mut self, req_id: u64) -> bool {
+        let Some(inflight) = self.inflight.remove(&req_id) else {
+            return false;
+        };
+        match inflight.kind {
+            ReqKind::Compute => {
+                self.dests[inflight.dest].inflight_compute =
+                    self.dests[inflight.dest].inflight_compute.saturating_sub(1);
+            }
+            ReqKind::Data => {
+                self.dests[inflight.dest].inflight_data =
+                    self.dests[inflight.dest].inflight_data.saturating_sub(1);
+            }
+        }
+        self.fetching.remove(&inflight.key);
+        true
     }
 
     fn run_local(&mut self, key: K, params: P, value: V, source: ValueSource) -> Action<K, P, V> {

@@ -210,6 +210,18 @@ impl DataRuntime {
     pub fn disk_time(&self, rows: u64) -> SimDuration {
         SimDuration::from_secs_f64(self.t_disk() * rows as f64)
     }
+
+    /// The node's process crashed: queued work and scheduled responses are
+    /// gone, so zero the queue counters — the load model must not price
+    /// phantom backlog after the restart. Smoothed per-record service
+    /// estimates describe the *hardware* and survive (the replacement
+    /// process runs on the same machine).
+    pub fn on_crash(&mut self) {
+        self.pending_data = 0;
+        self.pending_compute = 0;
+        self.to_compute_here = 0;
+        self.pending_responses = 0;
+    }
 }
 
 #[cfg(test)]
@@ -294,6 +306,22 @@ mod tests {
     fn empty_batch_is_a_noop_split() {
         let mut r = rt(Strategy::Full);
         assert_eq!(r.accept_batch(5, 0, &sender_idle(), &sizes_cpu_bound()), 0);
+    }
+
+    #[test]
+    fn crash_zeroes_queues_but_keeps_service_estimates() {
+        let mut r = rt(Strategy::Full);
+        r.accept_batch(3, 10, &sender_idle(), &sizes_cpu_bound());
+        let tc = r.t_cpu();
+        let td = r.t_disk();
+        r.on_crash();
+        let s = r.load_stats();
+        assert_eq!(s.data_reqs_pending, 0);
+        assert_eq!(s.compute_reqs_pending, 0);
+        assert_eq!(s.to_compute_here, 0);
+        assert_eq!(s.data_resps_outbound, 0);
+        assert_eq!(r.t_cpu(), tc, "hardware estimate must survive a crash");
+        assert_eq!(r.t_disk(), td);
     }
 
     #[test]

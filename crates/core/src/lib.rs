@@ -42,6 +42,6 @@ pub use config::{LbSolver, OptimizerConfig, Strategy};
 pub use data::{DataNodeStats, DataRuntime};
 pub use premap::{pre_post_map, BatchFunction, PreMapConfig, PreMapPool, Ticket};
 pub use types::{
-    Action, BatchRequest, CacheValue, CostInfo, ReqKind, RequestItem, ResponseItem,
+    Action, BatchRequest, CacheValue, CostInfo, NodeHealth, ReqKind, RequestItem, ResponseItem,
     ResponsePayload, ValueSource,
 };

@@ -16,6 +16,23 @@ pub trait CacheValue: Clone {
     fn version(&self) -> u64;
 }
 
+/// What the compute side currently believes about one data node's
+/// availability. Fed into the decision plane so placement policies can
+/// steer work away from nodes that stopped answering; the engine updates
+/// it from timeout/reply observations, never from global knowledge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NodeHealth {
+    /// Answering normally (the starting assumption).
+    #[default]
+    Healthy,
+    /// Answering, but slowly enough that recent requests timed out —
+    /// rent prices against it should carry a penalty.
+    Degraded,
+    /// Requests to it are timing out outright; treat as unavailable until
+    /// a reply proves otherwise.
+    Down,
+}
+
 /// What a request asks the data node to do.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ReqKind {

@@ -117,6 +117,16 @@ impl Node for ClusterNode {
             ClusterNode::Controller(_) => {}
         }
     }
+
+    fn on_fault(&mut self, kind: FaultKind, _ctx: &mut Ctx<'_, Msg>) {
+        match self {
+            // Only data nodes model crash recovery: compute nodes and the
+            // controller are the job driver's own processes, whose failure
+            // would abort the job rather than degrade it.
+            ClusterNode::Data(n) => n.on_fault(kind),
+            ClusterNode::Compute(_) | ClusterNode::Controller(_) => {}
+        }
+    }
 }
 
 impl ClusterNode {

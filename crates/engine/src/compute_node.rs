@@ -9,18 +9,23 @@ use std::sync::Arc;
 use bytes::Bytes;
 
 use jl_core::compute::ComputeRuntime;
-use jl_core::types::{Action, ResponseItem, ValueSource};
+use jl_core::types::{Action, NodeHealth, ResponseItem, ValueSource};
 use jl_costmodel::NodeCosts;
 use jl_simkit::prelude::*;
 use jl_simkit::sim::NodeId;
 use jl_store::{Catalog, UdfRegistry};
 
 use crate::cluster::{EKey, Msg, Val, BATCH_OVERHEAD, ITEM_OVERHEAD};
-use crate::config::{ClusterSpec, FeedMode};
+use crate::config::{ClusterSpec, FeedMode, RetryConfig};
 use crate::plan::{decode_params, encode_params, output_fingerprint, survives, JobPlan, JobTuple};
 
 /// Timer tag reserved for batch-deadline polling.
 const DEADLINE_TAG: u64 = u64::MAX;
+
+/// Tag bit marking per-request retry timers (`RETRY_BIT | req_id`).
+/// Request ids are sequential and never reach this bit. `DEADLINE_TAG`
+/// also carries the bit, so the deadline check must come first.
+const RETRY_BIT: u64 = 1 << 63;
 
 struct PendingLocal {
     key: EKey,
@@ -37,6 +42,12 @@ pub struct ComputeNodeReport {
     pub ingested: u64,
     /// XOR fingerprint over all stage outputs.
     pub fingerprint: u64,
+    /// Requests re-issued after a timeout.
+    pub retries: u64,
+    /// Batches rerouted to a failover replica of a down data node.
+    pub failovers: u64,
+    /// Requests abandoned after exhausting retries.
+    pub gave_up: u64,
 }
 
 /// The compute-node actor state.
@@ -68,6 +79,16 @@ pub struct ComputeNode {
     local_lat: jl_simkit::stats::DurationHistogram,
     /// Send timestamps per remote item, for the remote-latency histogram.
     sent_at: FxHashMap<u64, SimTime>,
+    /// Timeout/retry policy; `None` arms no retry timers at all.
+    retry: Option<RetryConfig>,
+    /// Failover map: crashed data node -> surviving node that absorbed a
+    /// replica of its regions. Only crash-planned nodes appear here.
+    backups: Arc<FxHashMap<usize, usize>>,
+    /// Re-issue attempts per request id (absent = first attempt).
+    attempts: FxHashMap<u64, u32>,
+    /// Per data node: avoid routing to it until this time (set by
+    /// timeouts, cleared by replies).
+    down_until: Vec<SimTime>,
 }
 
 impl ComputeNode {
@@ -86,6 +107,8 @@ impl ComputeNode {
         seed: u64,
         policy: Option<Box<dyn jl_core::PlacementPolicy<EKey>>>,
         sink: Option<Box<dyn jl_core::DecisionSink<EKey>>>,
+        retry: Option<RetryConfig>,
+        backups: Arc<FxHashMap<usize, usize>>,
     ) -> Self {
         let my = NodeCosts {
             t_disk: spec.disk_service(64 * 1024).as_secs_f64(),
@@ -99,6 +122,7 @@ impl ComputeNode {
         if let Some(s) = sink {
             rt.set_decision_sink(s);
         }
+        let spec_n_data = spec.n_data;
         ComputeNode {
             idx,
             rt,
@@ -119,6 +143,10 @@ impl ComputeNode {
             remote_lat: jl_simkit::stats::DurationHistogram::new(),
             local_lat: jl_simkit::stats::DurationHistogram::new(),
             sent_at: FxHashMap::default(),
+            retry,
+            backups,
+            attempts: FxHashMap::default(),
+            down_until: vec![SimTime::ZERO; spec_n_data],
         }
     }
 
@@ -245,7 +273,13 @@ impl ComputeNode {
                         self.sent_at.insert(item.req_id, ctx.now());
                         bytes += item.key.1.len() as u64 + item.params.len() as u64 + ITEM_OVERHEAD;
                     }
-                    let to = self.spec.data_id(dest);
+                    if let Some(rc) = self.retry {
+                        for item in &batch.items {
+                            let a = self.attempts.get(&item.req_id).copied().unwrap_or(0);
+                            ctx.set_timer_after(rc.timeout_for(a), RETRY_BIT | item.req_id);
+                        }
+                    }
+                    let to = self.route(dest, ctx.now());
                     ctx.send(
                         to,
                         Msg::Request {
@@ -260,6 +294,70 @@ impl ComputeNode {
         if let Some(deadline) = self.rt.next_deadline() {
             ctx.set_timer(deadline, DEADLINE_TAG);
         }
+    }
+
+    /// The sim node id a batch for data node `dest` should be wired to:
+    /// the owner itself, or — while the owner is in its post-timeout
+    /// cooldown *and* a failover replica exists — the backup holding a
+    /// copy of its regions. Nodes without a replica are never rerouted
+    /// (the replica is what makes the redirect answerable).
+    fn route(&mut self, dest: usize, now: SimTime) -> usize {
+        if now < self.down_until[dest] {
+            if let Some(&b) = self.backups.get(&dest) {
+                self.report.failovers += 1;
+                return self.spec.data_id(b);
+            }
+        }
+        self.spec.data_id(dest)
+    }
+
+    /// A retry timer fired for `req_id`: if the request is still
+    /// unanswered, mark its destination unhealthy and re-issue (or give
+    /// up once retries are exhausted). Stale timers — the reply already
+    /// arrived, or the id was superseded by an earlier re-issue — are
+    /// no-ops, which is what makes premature timeouts safe: they can
+    /// duplicate work but never completions.
+    fn handle_retry(&mut self, req_id: u64, ctx: &mut Ctx<'_, Msg>) {
+        let Some(rc) = self.retry else { return };
+        let Some((old_dest, _)) = self.rt.inflight_info(req_id) else {
+            self.attempts.remove(&req_id);
+            return;
+        };
+        // Timeout observed. If the node has a failover replica, treat it
+        // as down and reroute; otherwise keep probing it (slow links and
+        // stragglers recover on their own) but tell the optimizer it is
+        // degraded so ski-rental prices rents against it up.
+        self.down_until[old_dest] = ctx.now() + rc.down_cooldown;
+        let health = if self.backups.contains_key(&old_dest) {
+            NodeHealth::Down
+        } else {
+            NodeHealth::Degraded
+        };
+        self.rt.set_health(old_dest, health);
+        let attempt = self.attempts.remove(&req_id).unwrap_or(0) + 1;
+        if attempt > rc.max_retries {
+            self.rt.abandon(req_id);
+            self.sent_at.remove(&req_id);
+            self.report.gave_up += 1;
+            if let Some((seq, stage)) = self.sent.remove(&req_id) {
+                self.stage_finished(seq, stage, None, ctx);
+            }
+            return;
+        }
+        // Second attempt flips the request's side: a compute request that
+        // keeps timing out becomes a fetch (the UDF can run anywhere), a
+        // stalled fetch becomes a compute request.
+        let flip = attempt == 2;
+        let Some((new_id, action)) = self.rt.reissue(req_id, old_dest, flip) else {
+            return;
+        };
+        self.report.retries += 1;
+        self.attempts.insert(new_id, attempt);
+        if let Some(m) = self.sent.remove(&req_id) {
+            self.sent.insert(new_id, m);
+        }
+        self.sent_at.remove(&req_id);
+        self.handle_actions(vec![action], ctx);
     }
 
     /// A stage of a tuple produced `output` (or was filtered/missing when
@@ -320,6 +418,20 @@ impl ComputeNode {
                 items,
                 outputs,
             } => {
+                if self.retry.is_some() {
+                    // A reply is proof of life: stop avoiding the sender
+                    // and let the optimizer trust it again. (A backup
+                    // answering for a crashed owner clears only its own
+                    // status — the owner stays in cooldown.)
+                    self.down_until[from_data] = ctx.now();
+                    self.rt.set_health(from_data, NodeHealth::Healthy);
+                    for item in &items {
+                        self.attempts.remove(&item.req_id);
+                    }
+                    for (req_id, _) in &outputs {
+                        self.attempts.remove(req_id);
+                    }
+                }
                 for item in &items {
                     if let Some(t0) = self.sent_at.remove(&item.req_id) {
                         self.remote_lat.record(ctx.now().since(t0));
@@ -355,11 +467,18 @@ impl ComputeNode {
         }
     }
 
-    /// Kernel timer dispatch: local UDF completions and batch deadlines.
+    /// Kernel timer dispatch: local UDF completions, batch deadlines, and
+    /// per-request retry timeouts.
     pub fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
+        // DEADLINE_TAG is u64::MAX, which also carries RETRY_BIT — it must
+        // be checked first.
         if tag == DEADLINE_TAG {
             let actions = self.rt.poll(ctx.now());
             self.handle_actions(actions, ctx);
+            return;
+        }
+        if tag & RETRY_BIT != 0 {
+            self.handle_retry(tag & !RETRY_BIT, ctx);
             return;
         }
         let Some(p) = self.pending_local.remove(&tag) else {

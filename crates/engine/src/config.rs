@@ -89,6 +89,46 @@ impl ClusterSpec {
     }
 }
 
+/// Timeout/retry/failover behavior of compute nodes. `None` in
+/// [`JobSpec`](crate::runner::JobSpec) disables the machinery entirely:
+/// no retry timers are armed, so fault-free runs replay the exact event
+/// stream they had before faults existed.
+#[derive(Debug, Clone, Copy)]
+pub struct RetryConfig {
+    /// How long an individual request may stay unanswered before the
+    /// compute node declares it timed out and re-issues it.
+    pub timeout: SimDuration,
+    /// Exponential backoff: the timeout doubles per attempt, capped here.
+    pub backoff_cap: SimDuration,
+    /// Re-issue attempts per request before giving up (a gave-up request
+    /// completes its tuple with no output, like a missing row — the run
+    /// still terminates).
+    pub max_retries: u32,
+    /// After a timeout marks a destination down, requests avoid it for
+    /// this long before probing it again.
+    pub down_cooldown: SimDuration,
+}
+
+impl Default for RetryConfig {
+    fn default() -> Self {
+        RetryConfig {
+            timeout: SimDuration::from_secs(1),
+            backoff_cap: SimDuration::from_secs(8),
+            max_retries: 8,
+            down_cooldown: SimDuration::from_secs(2),
+        }
+    }
+}
+
+impl RetryConfig {
+    /// The timeout armed for a request on its `attempt`-th try (0-based):
+    /// capped exponential backoff.
+    pub fn timeout_for(&self, attempt: u32) -> SimDuration {
+        let scaled = self.timeout.0.saturating_mul(1u64 << attempt.min(32));
+        SimDuration::from_nanos(scaled.min(self.backoff_cap.0))
+    }
+}
+
 /// How data nodes notify compute nodes about row updates (§4.2.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NotifyMode {
@@ -137,6 +177,17 @@ mod tests {
         assert_eq!(c.compute_id(3), 3);
         assert_eq!(c.data_id(0), 10);
         assert_eq!(c.controller_id(), 20);
+    }
+
+    #[test]
+    fn retry_backoff_doubles_and_caps() {
+        let r = RetryConfig::default();
+        assert_eq!(r.timeout_for(0), SimDuration::from_secs(1));
+        assert_eq!(r.timeout_for(1), SimDuration::from_secs(2));
+        assert_eq!(r.timeout_for(2), SimDuration::from_secs(4));
+        assert_eq!(r.timeout_for(3), SimDuration::from_secs(8));
+        assert_eq!(r.timeout_for(10), SimDuration::from_secs(8)); // capped
+        assert_eq!(r.timeout_for(u32::MAX), SimDuration::from_secs(8)); // no overflow
     }
 
     #[test]

@@ -53,6 +53,11 @@ pub struct DataNode {
     next_drain: u64,
     version_clock: u64,
     udf_execs: u64,
+    /// Data-node indices whose regions this node also hosts as failover
+    /// replicas (so rerouted requests pass the ownership check).
+    replica_sources: Vec<usize>,
+    /// Crashes survived (process state wiped, on-disk regions kept).
+    crashes: u64,
 }
 
 impl DataNode {
@@ -93,6 +98,40 @@ impl DataNode {
             next_drain: 0,
             version_clock: 1,
             udf_execs: 0,
+            replica_sources: Vec::new(),
+            crashes: 0,
+        }
+    }
+
+    /// Register that this node hosts a failover replica of data node
+    /// `source`'s regions (the runner pairs this with
+    /// [`RegionServer::absorb_replica`]).
+    pub fn add_replica_source(&mut self, source: usize) {
+        self.replica_sources.push(source);
+    }
+
+    /// Whether this node may serve requests addressed to data node
+    /// `server`: it owns them, or holds a failover replica.
+    fn serves_for(&self, server: usize) -> bool {
+        server == self.idx || self.replica_sources.contains(&server)
+    }
+
+    /// Crashes this node has survived.
+    pub fn crashes(&self) -> u64 {
+        self.crashes
+    }
+
+    /// A fault from the kernel. A crash loses every piece of process
+    /// state — the block cache, queued counter drains (their timers died
+    /// with the node), and the load counters — while the on-disk regions
+    /// and the learned per-record service estimates (properties of the
+    /// hardware, not the process) survive into the restart.
+    pub fn on_fault(&mut self, kind: FaultKind) {
+        if kind == FaultKind::Crash {
+            self.crashes += 1;
+            self.block_cache = BlockCache::new(self.spec.block_cache_bytes);
+            self.drains.clear();
+            self.rt.on_crash();
         }
     }
 
@@ -152,7 +191,11 @@ impl DataNode {
             key_bytes += row.len() as u64;
             params_bytes += item.params.len() as u64;
             let (region, server) = self.catalog.locate(*table, row);
-            debug_assert_eq!(server, self.idx, "request routed to wrong server");
+            debug_assert!(
+                self.serves_for(server),
+                "request routed to wrong server: {} is neither owner {server} nor its replica",
+                self.idx
+            );
             match self.server.get(*table, region, row) {
                 Some(v) => {
                     // HBase block cache: hot rows are served from RAM.
@@ -400,7 +443,11 @@ impl DataNode {
         self.version_clock += 1;
         value.version = self.version_clock;
         let (region, server) = self.catalog.locate(table, &key);
-        debug_assert_eq!(server, self.idx, "put routed to wrong server");
+        debug_assert!(
+            self.serves_for(server),
+            "put routed to wrong server: {} is neither owner {server} nor its replica",
+            self.idx
+        );
         // Charge a disk write.
         let svc = self.spec.disk_service(value.size());
         ctx.use_resource(ResourceKind::Disk, ctx.now(), svc);

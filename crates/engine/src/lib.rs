@@ -24,7 +24,7 @@ pub mod verify;
 
 pub use baselines::{run_reduce_side, BaselineReport, ReduceSideKind};
 pub use cluster::{ClusterNode, EKey, Msg, Val};
-pub use config::{ClusterSpec, FeedMode, NotifyMode};
+pub use config::{ClusterSpec, FeedMode, NotifyMode, RetryConfig};
 pub use plan::{JobPlan, JobTuple, StageSpec};
 pub use runner::{build_store, run_job, JobSpec, PolicyFactory, RunReport, SinkFactory};
 pub use shuffle::run_shuffle_multijoin;

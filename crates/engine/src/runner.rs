@@ -2,13 +2,15 @@
 
 use std::sync::Arc;
 
+use rustc_hash::FxHashMap;
+
 use jl_core::{DecisionSink, OptimizerConfig, PlacementPolicy};
 use jl_simkit::prelude::*;
 use jl_store::{Partitioning, RegionMap, RowKey, StoreCluster, StoredValue, UdfRegistry};
 
 use crate::cluster::{ClusterNode, EKey, Msg};
 use crate::compute_node::ComputeNode;
-use crate::config::{ClusterSpec, FeedMode};
+use crate::config::{ClusterSpec, FeedMode, RetryConfig};
 use crate::controller::Controller;
 use crate::data_node::DataNode;
 use crate::plan::{JobPlan, JobTuple};
@@ -44,6 +46,15 @@ pub struct JobSpec {
     pub policy: Option<PolicyFactory>,
     /// Per-node decision-stream observers; `None` installs no sink.
     pub decision_sink: Option<SinkFactory>,
+    /// Injected faults (crashes, lossy links, stragglers); `None` runs a
+    /// perfectly healthy cluster. When crashes are planned, each crashed
+    /// data node's regions are pre-replicated onto a surviving node so
+    /// rerouted requests stay answerable (standing in for HBase's WAL
+    /// replay / region reassignment, which the master would do online).
+    pub faults: Option<FaultPlan>,
+    /// Timeout/retry/failover behavior; `None` disables retry timers
+    /// entirely, preserving the exact fault-free event stream.
+    pub retry: Option<RetryConfig>,
 }
 
 /// Aggregate results of a run.
@@ -73,6 +84,18 @@ pub struct RunReport {
     pub max_data_cpu_util: f64,
     /// Mean per-data-node CPU utilization.
     pub mean_data_cpu_util: f64,
+    /// Requests re-issued after a timeout (0 without faults/retry).
+    pub retries: u64,
+    /// Batches rerouted to a failover replica of a down data node.
+    pub failovers: u64,
+    /// Requests abandoned after exhausting retries (0 = exactly-once
+    /// completion held for every tuple).
+    pub gave_up: u64,
+    /// Messages lost to injected faults.
+    pub dropped_messages: u64,
+    /// 99th-percentile ingest→completion latency across all compute
+    /// nodes (the chaos figures' tail-latency measure).
+    pub p99_latency: SimDuration,
 }
 
 impl RunReport {
@@ -170,8 +193,38 @@ pub fn run_job(
     updates: Vec<UpdateEvent>,
 ) -> RunReport {
     let cluster = &spec.cluster;
-    let (catalog, servers) = store.into_parts();
+    let (catalog, mut servers) = store.into_parts();
     let mut sim: Sim<ClusterNode> = Sim::new(spec.seed, cluster.net);
+
+    // Failover layout: each data node the fault plan will crash gets a
+    // backup — the next surviving data node (ring order) — which absorbs
+    // a replica of its regions before the run starts.
+    let mut backups: FxHashMap<usize, usize> = FxHashMap::default();
+    if let Some(plan) = &spec.faults {
+        let data_idx = |node: usize| {
+            (node >= cluster.n_compute && node < cluster.n_compute + cluster.n_data)
+                .then(|| node - cluster.n_compute)
+        };
+        let crashed: Vec<usize> = plan
+            .crashes()
+            .iter()
+            .filter_map(|c| data_idx(c.node))
+            .collect();
+        for &j in &crashed {
+            let b = (1..cluster.n_data)
+                .map(|k| (j + k) % cluster.n_data)
+                .find(|b| !crashed.contains(b))
+                .expect("fault plan crashes every data node: no survivor can host replicas");
+            backups.insert(j, b);
+        }
+        for j in 0..cluster.n_data {
+            if let Some(&b) = backups.get(&j) {
+                let src = servers[j].clone();
+                servers[b].absorb_replica(&src);
+            }
+        }
+    }
+    let backups = Arc::new(backups);
 
     // Round-robin the input across compute nodes (§3.1: the framework
     // assumes balanced input distribution).
@@ -204,11 +257,13 @@ pub fn run_job(
             node_seed,
             policy,
             sink,
+            spec.retry,
+            Arc::clone(&backups),
         );
         sim.add_node(ClusterNode::Compute(node), cluster.node);
     }
     for (j, server) in servers.into_iter().enumerate() {
-        let node = DataNode::new(
+        let mut node = DataNode::new(
             j,
             spec.optimizer.clone(),
             cluster.clone(),
@@ -219,12 +274,20 @@ pub fn run_job(
             spec.udf_cpu_hint,
             jl_simkit::rng::derive_seed(spec.seed, "data") ^ j as u64,
         );
+        for src in 0..cluster.n_data {
+            if backups.get(&src) == Some(&j) {
+                node.add_replica_source(src);
+            }
+        }
         sim.add_node(ClusterNode::Data(node), cluster.node);
     }
     sim.add_node(
         ClusterNode::Controller(Controller::new(cluster.n_compute)),
         cluster.node,
     );
+    if let Some(plan) = &spec.faults {
+        sim.set_fault_plan(plan.clone());
+    }
 
     // Streaming arrivals. The feed volume is known up front; one reserve
     // call keeps the event heap from reallocating as the stream posts.
@@ -256,6 +319,10 @@ pub fn run_job(
     let mut data = jl_core::DataNodeStats::default();
     let mut completed = 0u64;
     let mut fingerprint = 0u64;
+    let mut retries = 0u64;
+    let mut failovers = 0u64;
+    let mut gave_up = 0u64;
+    let mut all_latency = jl_simkit::stats::DurationHistogram::new();
     let mut data_utils: Vec<f64> = Vec::new();
     for i in 0..cluster.n_compute {
         let n = sim
@@ -266,6 +333,10 @@ pub fn run_job(
         cache = sum_cache(cache, n.cache_stats());
         completed += n.report().completed;
         fingerprint ^= n.report().fingerprint;
+        retries += n.report().retries;
+        failovers += n.report().failovers;
+        gave_up += n.report().gave_up;
+        all_latency.merge(n.latency());
     }
     for j in 0..cluster.n_data {
         let id = cluster.data_id(j);
@@ -348,6 +419,11 @@ pub fn run_job(
         sim_events: sim.events_processed(),
         max_data_cpu_util: max_u,
         mean_data_cpu_util: mean_u,
+        retries,
+        failovers,
+        gave_up,
+        dropped_messages: totals.dropped,
+        p99_latency: all_latency.quantile(0.99),
     }
 }
 
@@ -407,6 +483,8 @@ mod tests {
             udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
             policy: None,
             decision_sink: None,
+            faults: None,
+            retry: None,
         };
         (job, store, udfs, tuples)
     }
@@ -424,6 +502,11 @@ mod tests {
             sim_events: 0,
             max_data_cpu_util: 0.0,
             mean_data_cpu_util: 0.0,
+            retries: 0,
+            failovers: 0,
+            gave_up: 0,
+            dropped_messages: 0,
+            p99_latency: SimDuration::ZERO,
         }
     }
 
@@ -500,6 +583,96 @@ mod tests {
         assert_eq!(a.duration, b.duration);
         assert_eq!(a.fingerprint, b.fingerprint);
         assert_eq!(a.net_bytes, b.net_bytes);
+    }
+
+    /// The runner-test chaos scenario: crash + failover, a straggler, and
+    /// a lossy link, phased against the healthy run's duration. Returns
+    /// the job mutated with faults and retry enabled.
+    fn chaos_job(
+        healthy: &RunReport,
+        strategy: Strategy,
+    ) -> (JobSpec, StoreCluster, UdfRegistry, Vec<JobTuple>) {
+        use jl_simkit::fault::FaultPlan;
+        let (mut job, store, udfs, tuples) = setup(strategy, 1.0);
+        let d = healthy.duration.as_secs_f64();
+        let at = |f: f64| jl_simkit::time::SimTime::ZERO + SimDuration::from_secs_f64(d * f);
+        job.faults = Some(
+            FaultPlan::new(7)
+                .crash(job.cluster.data_id(0), at(0.2), Some(at(0.6)))
+                .straggle(job.cluster.data_id(1), (at(0.1), at(0.7)), 4.0)
+                .drop_link(None, Some(job.cluster.data_id(2)), (at(0.3), at(0.5)), 0.05),
+        );
+        let t = (d * 0.01).clamp(0.05, 1.0);
+        job.retry = Some(crate::config::RetryConfig {
+            timeout: SimDuration::from_secs_f64(t),
+            backoff_cap: SimDuration::from_secs_f64(8.0 * t),
+            max_retries: 8,
+            down_cooldown: SimDuration::from_secs_f64(4.0 * t),
+        });
+        (job, store, udfs, tuples)
+    }
+
+    #[test]
+    fn chaos_run_completes_every_tuple_exactly_once() {
+        let (job, store, udfs, tuples) = setup(Strategy::Full, 1.0);
+        let healthy = run_job(&job, store, udfs, tuples, vec![]);
+        let (job, store, udfs, tuples) = chaos_job(&healthy, Strategy::Full);
+        let chaos = run_job(&job, store, udfs, tuples, vec![]);
+        // Exactly-once: every tuple completes, none twice, and the join
+        // output is byte-identical to the fault-free run — timeouts may
+        // duplicate work, never completions.
+        assert_eq!(
+            chaos.completed, healthy.completed,
+            "tuples lost or duplicated"
+        );
+        assert_eq!(
+            chaos.fingerprint, healthy.fingerprint,
+            "join output changed under faults"
+        );
+        assert_eq!(chaos.gave_up, 0, "no request should exhaust its retries");
+        // The machinery actually engaged: requests timed out and were
+        // re-issued, batches rerouted to the replica, messages were lost.
+        assert!(chaos.retries > 0, "crash produced no re-issues");
+        assert!(chaos.failovers > 0, "no batch rerouted to the replica");
+        assert!(chaos.dropped_messages > 0, "faults dropped no messages");
+        assert!(chaos.duration > healthy.duration, "faults were free");
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let (job, store, udfs, tuples) = setup(Strategy::Full, 1.0);
+        let healthy = run_job(&job, store, udfs, tuples, vec![]);
+        let (job, store, udfs, tuples) = chaos_job(&healthy, Strategy::Full);
+        let a = run_job(&job, store, udfs, tuples, vec![]);
+        let (job, store, udfs, tuples) = chaos_job(&healthy, Strategy::Full);
+        let b = run_job(&job, store, udfs, tuples, vec![]);
+        assert_eq!(a.duration, b.duration);
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.net_bytes, b.net_bytes);
+        assert_eq!(a.retries, b.retries);
+        assert_eq!(a.failovers, b.failovers);
+        assert_eq!(a.dropped_messages, b.dropped_messages);
+    }
+
+    #[test]
+    fn permanent_crash_without_retry_config_still_terminates() {
+        // Faults with no retry machinery: requests to the dead node are
+        // lost and their tuples never finish, but the run must not hang —
+        // the batch job simply ends when the event heap drains.
+        use jl_simkit::fault::FaultPlan;
+        let (mut job, store, udfs, tuples) = setup(Strategy::NoOpt, 1.0);
+        job.faults = Some(FaultPlan::new(3).crash(
+            job.cluster.data_id(0),
+            jl_simkit::time::SimTime(10_000_000),
+            None,
+        ));
+        let r = run_job(&job, store, udfs, tuples, vec![]);
+        assert!(
+            r.completed < 2_000,
+            "a dead node with no retries must lose work"
+        );
+        assert!(r.dropped_messages > 0);
+        assert_eq!(r.retries, 0);
     }
 
     #[test]

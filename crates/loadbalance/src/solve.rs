@@ -80,6 +80,11 @@ pub fn solve_gradient<R: Rng>(model: &LoadModel, rng: &mut R, iterations: u32) -
     let mut d = rng.gen_range(0.0..=b);
     let mut step = b / 2.0;
     let mut best = best_integer_near(model, d);
+    // Stop once the step is too small to cross an integer boundary. The
+    // floor must scale with the batch: a fixed 0.5 would sit at or above
+    // the initial step `b / 2` for b <= 1, ending the descent after a
+    // single iteration and leaving the result at (near) the random start.
+    let step_floor = (b / 8.0).min(0.5);
     for _ in 0..iterations {
         let lines = model.lines();
         let slope = lines[model.argmax(d)].slope;
@@ -92,7 +97,7 @@ pub fn solve_gradient<R: Rng>(model: &LoadModel, rng: &mut R, iterations: u32) -
             best = here;
         }
         step *= 0.7;
-        if step < 0.5 {
+        if step < step_floor {
             break;
         }
     }
@@ -231,6 +236,25 @@ mod tests {
             prop_assert!(e.objective <= bf.objective + 1e-9,
                 "exact {e:?} worse than brute {bf:?}");
             prop_assert!(e.d <= b);
+        }
+
+        /// Small batches have so few integer candidates that the heuristic
+        /// must find the true optimum — this pins the step-floor fix:
+        /// with the old fixed 0.5 floor, b = 1 descended for one iteration
+        /// and b in {2, 3} for two, routinely missing the far endpoint.
+        #[test]
+        fn gradient_is_exact_for_tiny_batches(
+            tcc_ms in 1u64..200, tcd_ms in 1u64..200,
+            sv in 100u64..1_000_000, scv in 10u64..10_000,
+            lp in 0u64..100, dp in 0u64..100,
+            b in 1u64..=3, seed in 0u64..1000,
+        ) {
+            let m = model(tcc_ms as f64 / 1000.0, tcd_ms as f64 / 1000.0, sv, scv, lp, dp, b);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let g = solve_gradient(&m, &mut rng, 60);
+            let bf = solve_brute(&m);
+            prop_assert!(g.objective <= bf.objective + 1e-9,
+                "gradient {g:?} missed brute-force optimum {bf:?} at b={b}");
         }
 
         #[test]

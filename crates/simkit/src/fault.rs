@@ -1,0 +1,372 @@
+//! Deterministic fault injection: crash/restart schedules, lossy and slow
+//! links, and straggler slowdowns.
+//!
+//! A [`FaultPlan`] is a pure description — built once, validated by
+//! [`Sim::set_fault_plan`](crate::sim::Sim::set_fault_plan), and then
+//! consulted by the kernel on every send, delivery, timer and resource
+//! charge. Every probabilistic choice (link drops) is a deterministic
+//! function of the plan seed and a per-message counter, so the same seed
+//! and plan produce the same chaos byte-for-byte at any host thread count.
+
+use crate::rng::splitmix64;
+use crate::sim::NodeId;
+use crate::time::{SimDuration, SimTime};
+
+/// What happened to a node, as reported to
+/// [`Node::on_fault`](crate::sim::Node::on_fault).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The node's process died: volatile state is gone, queued work and
+    /// in-flight messages to/from it are lost.
+    Crash,
+    /// The node's process came back with fresh (empty) resources.
+    Restart,
+}
+
+/// A scheduled node crash, with an optional restart.
+#[derive(Debug, Clone, Copy)]
+pub struct Crash {
+    /// The node that dies.
+    pub node: NodeId,
+    /// When it dies.
+    pub at: SimTime,
+    /// When it comes back; `None` = stays dead for the whole run.
+    pub restart_at: Option<SimTime>,
+}
+
+/// A lossy and/or slow link during a time window. `None` endpoints match
+/// any node, so one entry can degrade everything into (or out of) a node.
+#[derive(Debug, Clone, Copy)]
+pub struct LinkFault {
+    /// Sending node filter (`None` = any sender, including external feeds).
+    pub from: Option<NodeId>,
+    /// Receiving node filter (`None` = any receiver).
+    pub to: Option<NodeId>,
+    /// Active window `[start, end)`.
+    pub window: (SimTime, SimTime),
+    /// Probability a matching message is silently dropped.
+    pub drop_prob: f64,
+    /// Extra one-way delay added to matching messages that survive.
+    pub extra_delay: SimDuration,
+}
+
+/// A service-rate slowdown on one node during a time window: CPU, disk and
+/// NIC service times are multiplied by `factor` (≥ 1.0).
+#[derive(Debug, Clone, Copy)]
+pub struct Straggler {
+    /// The slow node.
+    pub node: NodeId,
+    /// Active window `[start, end)`.
+    pub window: (SimTime, SimTime),
+    /// Service-time multiplier (2.0 = half speed).
+    pub factor: f64,
+}
+
+/// A complete, deterministic fault schedule for one run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultPlan {
+    seed: u64,
+    crashes: Vec<Crash>,
+    links: Vec<LinkFault>,
+    stragglers: Vec<Straggler>,
+}
+
+impl FaultPlan {
+    /// An empty plan whose link-drop coins are derived from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Schedule `node` to crash at `at` and optionally restart.
+    pub fn crash(mut self, node: NodeId, at: SimTime, restart_at: Option<SimTime>) -> Self {
+        self.crashes.push(Crash {
+            node,
+            at,
+            restart_at,
+        });
+        self
+    }
+
+    /// Drop messages matching `(from, to)` with probability `drop_prob`
+    /// during `window`.
+    pub fn drop_link(
+        mut self,
+        from: Option<NodeId>,
+        to: Option<NodeId>,
+        window: (SimTime, SimTime),
+        drop_prob: f64,
+    ) -> Self {
+        self.links.push(LinkFault {
+            from,
+            to,
+            window,
+            drop_prob,
+            extra_delay: SimDuration::ZERO,
+        });
+        self
+    }
+
+    /// Add `extra_delay` to messages matching `(from, to)` during `window`.
+    pub fn delay_link(
+        mut self,
+        from: Option<NodeId>,
+        to: Option<NodeId>,
+        window: (SimTime, SimTime),
+        extra_delay: SimDuration,
+    ) -> Self {
+        self.links.push(LinkFault {
+            from,
+            to,
+            window,
+            drop_prob: 0.0,
+            extra_delay,
+        });
+        self
+    }
+
+    /// Multiply `node`'s service times by `factor` during `window`.
+    pub fn straggle(mut self, node: NodeId, window: (SimTime, SimTime), factor: f64) -> Self {
+        self.stragglers.push(Straggler {
+            node,
+            window,
+            factor,
+        });
+        self
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.crashes.is_empty() && self.links.is_empty() && self.stragglers.is_empty()
+    }
+
+    /// The scheduled crashes (read-only).
+    pub fn crashes(&self) -> &[Crash] {
+        &self.crashes
+    }
+
+    /// Check internal consistency against a simulation of `n_nodes` nodes.
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes, restarts at or before their crash,
+    /// drop probabilities outside `[0, 1]`, non-finite or sub-1.0 straggler
+    /// factors, and inverted windows — all of which would otherwise corrupt
+    /// event times silently.
+    pub fn validate(&self, n_nodes: usize) {
+        for c in &self.crashes {
+            assert!(c.node < n_nodes, "crash of unknown node {}", c.node);
+            if let Some(r) = c.restart_at {
+                assert!(
+                    r > c.at,
+                    "node {} restarts at {r} which is not after its crash at {}",
+                    c.node,
+                    c.at
+                );
+            }
+        }
+        for l in &self.links {
+            if let Some(n) = l.from {
+                assert!(
+                    n < n_nodes || n == crate::sim::EXTERNAL,
+                    "link fault from unknown node {n}"
+                );
+            }
+            if let Some(n) = l.to {
+                assert!(n < n_nodes, "link fault to unknown node {n}");
+            }
+            assert!(
+                (0.0..=1.0).contains(&l.drop_prob),
+                "drop probability {} outside [0, 1]",
+                l.drop_prob
+            );
+            assert!(l.window.0 <= l.window.1, "inverted link-fault window");
+        }
+        for s in &self.stragglers {
+            assert!(s.node < n_nodes, "straggler on unknown node {}", s.node);
+            assert!(
+                s.factor.is_finite() && s.factor >= 1.0,
+                "straggler factor {} must be finite and >= 1.0",
+                s.factor
+            );
+            assert!(s.window.0 <= s.window.1, "inverted straggler window");
+        }
+    }
+
+    /// Every crash/restart transition, for the kernel to schedule as events.
+    pub fn schedule(&self) -> Vec<(SimTime, NodeId, FaultKind)> {
+        let mut out = Vec::new();
+        for c in &self.crashes {
+            out.push((c.at, c.node, FaultKind::Crash));
+            if let Some(r) = c.restart_at {
+                out.push((r, c.node, FaultKind::Restart));
+            }
+        }
+        out.sort_by_key(|&(at, node, kind)| (at, node, kind == FaultKind::Restart));
+        out
+    }
+
+    /// Is `node` down (crashed and not yet restarted) at `t`?
+    pub fn is_down(&self, node: NodeId, t: SimTime) -> bool {
+        self.crashes
+            .iter()
+            .any(|c| c.node == node && t >= c.at && c.restart_at.is_none_or(|r| t < r))
+    }
+
+    /// Combined straggler service-time multiplier for `node` at `t`
+    /// (1.0 = full speed; overlapping windows compound).
+    pub fn slowdown(&self, node: NodeId, t: SimTime) -> f64 {
+        self.stragglers
+            .iter()
+            .filter(|s| s.node == node && t >= s.window.0 && t < s.window.1)
+            .map(|s| s.factor)
+            .product()
+    }
+
+    /// Scale a service demand by `node`'s slowdown at `t`.
+    pub fn scale_service(&self, node: NodeId, t: SimTime, service: SimDuration) -> SimDuration {
+        let f = self.slowdown(node, t);
+        if f == 1.0 {
+            service
+        } else {
+            SimDuration::from_secs_f64(service.as_secs_f64() * f)
+        }
+    }
+
+    /// Total extra delay active on `(from, to)` at send time `t`.
+    pub fn link_delay(&self, from: NodeId, to: NodeId, t: SimTime) -> SimDuration {
+        let mut extra = SimDuration::ZERO;
+        for l in &self.links {
+            if link_matches(l, from, to, t) {
+                extra += l.extra_delay;
+            }
+        }
+        extra
+    }
+
+    /// Should the `counter`-th message, sent on `(from, to)` at `t`, be
+    /// dropped? Deterministic: the coin is `splitmix64(seed, counter)`, so
+    /// the decision depends only on the plan and the message's position in
+    /// the send order — never on host parallelism.
+    pub fn drops_message(&self, from: NodeId, to: NodeId, t: SimTime, counter: u64) -> bool {
+        let mut prob_keep = 1.0f64;
+        let mut any = false;
+        for l in &self.links {
+            if l.drop_prob > 0.0 && link_matches(l, from, to, t) {
+                any = true;
+                prob_keep *= 1.0 - l.drop_prob;
+            }
+        }
+        if !any {
+            return false;
+        }
+        let mut state = self
+            .seed
+            .wrapping_add(counter.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let coin = (splitmix64(&mut state) >> 11) as f64 / (1u64 << 53) as f64;
+        coin >= prob_keep
+    }
+}
+
+fn link_matches(l: &LinkFault, from: NodeId, to: NodeId, t: SimTime) -> bool {
+    l.from.is_none_or(|f| f == from)
+        && l.to.is_none_or(|x| x == to)
+        && t >= l.window.0
+        && t < l.window.1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime(ms * 1_000_000)
+    }
+
+    #[test]
+    fn down_window_respects_restart() {
+        let p = FaultPlan::new(1).crash(3, t(100), Some(t(200)));
+        assert!(!p.is_down(3, t(99)));
+        assert!(p.is_down(3, t(100)));
+        assert!(p.is_down(3, t(199)));
+        assert!(!p.is_down(3, t(200)));
+        assert!(!p.is_down(2, t(150)));
+    }
+
+    #[test]
+    fn crash_without_restart_is_permanent() {
+        let p = FaultPlan::new(1).crash(0, t(50), None);
+        assert!(p.is_down(0, SimTime(u64::MAX)));
+        assert_eq!(p.schedule().len(), 1);
+    }
+
+    #[test]
+    fn slowdown_compounds_and_windows() {
+        let p =
+            FaultPlan::new(1)
+                .straggle(2, (t(0), t(100)), 2.0)
+                .straggle(2, (t(50), t(150)), 3.0);
+        assert_eq!(p.slowdown(2, t(10)), 2.0);
+        assert_eq!(p.slowdown(2, t(60)), 6.0);
+        assert_eq!(p.slowdown(2, t(120)), 3.0);
+        assert_eq!(p.slowdown(2, t(200)), 1.0);
+        assert_eq!(p.slowdown(1, t(60)), 1.0);
+        let svc = SimDuration::from_millis(10);
+        assert_eq!(p.scale_service(2, t(60), svc), SimDuration::from_millis(60));
+        assert_eq!(p.scale_service(1, t(60), svc), svc);
+    }
+
+    #[test]
+    fn drop_coin_is_deterministic_and_respects_window() {
+        let p = FaultPlan::new(7).drop_link(Some(0), Some(1), (t(0), t(100)), 0.5);
+        let a: Vec<bool> = (0..64).map(|c| p.drops_message(0, 1, t(10), c)).collect();
+        let b: Vec<bool> = (0..64).map(|c| p.drops_message(0, 1, t(10), c)).collect();
+        assert_eq!(a, b, "same counter must give the same coin");
+        assert!(a.iter().any(|&x| x) && a.iter().any(|&x| !x));
+        // Outside the window, or on a different link: never dropped.
+        assert!((0..64).all(|c| !p.drops_message(0, 1, t(100), c)));
+        assert!((0..64).all(|c| !p.drops_message(1, 0, t(10), c)));
+    }
+
+    #[test]
+    fn wildcard_links_match_any_endpoint() {
+        let p =
+            FaultPlan::new(7).delay_link(None, Some(4), (t(0), t(10)), SimDuration::from_millis(5));
+        assert_eq!(p.link_delay(0, 4, t(1)), SimDuration::from_millis(5));
+        assert_eq!(p.link_delay(9, 4, t(1)), SimDuration::from_millis(5));
+        assert_eq!(p.link_delay(0, 5, t(1)), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn schedule_orders_transitions() {
+        let p = FaultPlan::new(1)
+            .crash(5, t(300), Some(t(400)))
+            .crash(2, t(100), Some(t(500)));
+        let s = p.schedule();
+        assert_eq!(s[0], (t(100), 2, FaultKind::Crash));
+        assert_eq!(s[1], (t(300), 5, FaultKind::Crash));
+        assert_eq!(s[2], (t(400), 5, FaultKind::Restart));
+        assert_eq!(s[3], (t(500), 2, FaultKind::Restart));
+    }
+
+    #[test]
+    #[should_panic(expected = "not after its crash")]
+    fn restart_before_crash_rejected() {
+        FaultPlan::new(1).crash(0, t(100), Some(t(100))).validate(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn bad_drop_probability_rejected() {
+        FaultPlan::new(1)
+            .drop_link(None, None, (t(0), t(1)), 1.5)
+            .validate(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and >= 1.0")]
+    fn sub_unit_straggler_rejected() {
+        FaultPlan::new(1).straggle(0, (t(0), t(1)), 0.5).validate(2);
+    }
+}

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod resource;
 pub mod rng;
 pub mod sim;
@@ -44,6 +45,7 @@ pub mod time;
 
 /// Convenient glob import of the common kernel types.
 pub mod prelude {
+    pub use crate::fault::{Crash, FaultKind, FaultPlan, LinkFault, Straggler};
     pub use crate::resource::{FifoResource, Grant, NodeResources, ResourceKind};
     pub use crate::sim::{Ctx, NetConfig, Node, NodeId, NodeSpec, Sim, EXTERNAL};
     pub use crate::stats::{DurationHistogram, Moments, TimeWeightedGauge};

@@ -89,10 +89,15 @@ impl FifoResource {
 
     /// When the next server becomes free (lower bound on a new job's start).
     pub fn earliest_free(&self) -> SimTime {
+        // The heap holds exactly `servers` entries (≥ 1 by construction)
+        // at all times: `submit` pops one and pushes one back. An empty
+        // heap means the invariant was broken elsewhere — answering
+        // `SimTime::ZERO` here would silently time-travel the resource, so
+        // fail loudly instead.
         self.free_at
             .peek()
             .map(|Reverse(t)| *t)
-            .unwrap_or(SimTime::ZERO)
+            .expect("FifoResource invariant broken: free_at heap is empty")
     }
 
     /// The instant the last accepted job completes.
@@ -162,7 +167,16 @@ pub struct NodeResources {
 impl NodeResources {
     /// Create the standard bundle: `cores` CPU servers, `disk_channels` disk
     /// servers, one server per NIC direction, `net_bw_bps` bytes/second.
+    ///
+    /// # Panics
+    /// Panics unless `net_bw_bps` is finite and positive: `wire_time`
+    /// divides by it, and a zero/negative/NaN bandwidth would produce
+    /// non-finite transfer times that corrupt every downstream event time.
     pub fn new(cores: usize, disk_channels: usize, net_bw_bps: f64, now: SimTime) -> Self {
+        assert!(
+            net_bw_bps.is_finite() && net_bw_bps > 0.0,
+            "net_bw_bps must be finite and positive, got {net_bw_bps}"
+        );
         NodeResources {
             cpu: FifoResource::new(cores, now),
             disk: FifoResource::new(disk_channels, now),
@@ -304,6 +318,24 @@ mod tests {
         let n = NodeResources::new(8, 1, 1e9, SimTime::ZERO);
         // 1 GB/s -> 1 MB takes 1 ms.
         assert_eq!(n.wire_time(1_000_000), ms(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn zero_bandwidth_rejected() {
+        let _ = NodeResources::new(8, 1, 0.0, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn negative_bandwidth_rejected() {
+        let _ = NodeResources::new(8, 1, -125e6, SimTime::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn nan_bandwidth_rejected() {
+        let _ = NodeResources::new(8, 1, f64::NAN, SimTime::ZERO);
     }
 }
 

@@ -14,6 +14,7 @@ use std::collections::BinaryHeap;
 
 use rand::rngs::StdRng;
 
+use crate::fault::{FaultKind, FaultPlan};
 use crate::resource::{Grant, NodeResources, ResourceKind};
 use crate::rng::indexed_rng;
 use crate::time::{SimDuration, SimTime};
@@ -38,6 +39,13 @@ pub trait Node {
 
     /// Called when a timer set via [`Ctx::set_timer`] fires.
     fn on_timer(&mut self, _tag: u64, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// Called when a scheduled fault transition hits this node: `Crash`
+    /// means the process just died (volatile state should be treated as
+    /// lost), `Restart` means it came back with fresh resources. The
+    /// default ignores faults, which is correct for nodes whose plan never
+    /// touches them.
+    fn on_fault(&mut self, _kind: FaultKind, _ctx: &mut Ctx<'_, Self::Msg>) {}
 }
 
 /// Hardware description of a node.
@@ -87,6 +95,7 @@ struct Event<M> {
 enum EventKind<M> {
     Deliver { from: NodeId, to: NodeId, msg: M },
     Timer { node: NodeId, tag: u64 },
+    Fault { node: NodeId, kind: FaultKind },
 }
 
 impl<M> PartialEq for Event<M> {
@@ -118,6 +127,9 @@ pub struct NetTotals {
     pub messages: u64,
     /// Total payload bytes that crossed the network (self-sends excluded).
     pub bytes: u64,
+    /// Messages lost to injected faults: lossy links, or a crashed sender
+    /// or receiver at delivery time.
+    pub dropped: u64,
 }
 
 /// Everything in the simulation except the nodes themselves; nodes interact
@@ -132,6 +144,12 @@ struct SimInner<M> {
     totals: NetTotals,
     events_processed: u64,
     stopped: bool,
+    faults: Option<FaultPlan>,
+    /// Monotone per-send counter feeding the fault plan's deterministic
+    /// link-drop coin. Advances once per cross-node send while a plan is
+    /// installed, so the coin sequence depends only on the (deterministic)
+    /// event order, never on host parallelism.
+    fault_sends: u64,
 }
 
 impl<M> SimInner<M> {
@@ -150,13 +168,47 @@ impl<M> SimInner<M> {
         let out_done = if from == EXTERNAL {
             ready
         } else {
-            let wire = self.resources[from].wire_time(bytes);
+            let mut wire = self.resources[from].wire_time(bytes);
+            if let Some(plan) = &self.faults {
+                wire = plan.scale_service(from, self.time, wire);
+            }
             self.resources[from].nic_out.submit(ready, wire).done
         };
-        let arrive = out_done + self.net.latency;
-        let wire_in = self.resources[to].wire_time(bytes);
+        let mut arrive = out_done + self.net.latency;
+        let mut wire_in = self.resources[to].wire_time(bytes);
+        if let Some(plan) = &self.faults {
+            arrive += plan.link_delay(from, to, self.time);
+            wire_in = plan.scale_service(to, self.time, wire_in);
+        }
         let delivered = self.resources[to].nic_in.submit(arrive, wire_in).done;
         self.totals.bytes += bytes;
+        delivered
+    }
+
+    /// Route one message through the network model and enqueue its
+    /// delivery. With a fault plan installed, a lossy link may eat the
+    /// message *after* it occupied the wire (loss is charged like a sent
+    /// packet); the returned instant is when it would have arrived.
+    fn send_message(
+        &mut self,
+        ready: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        bytes: u64,
+    ) -> SimTime {
+        let delivered = self.transfer(ready, from, to, bytes);
+        if from != to {
+            if let Some(plan) = &self.faults {
+                let counter = self.fault_sends;
+                self.fault_sends += 1;
+                if plan.drops_message(from, to, self.time, counter) {
+                    self.totals.dropped += 1;
+                    return delivered;
+                }
+            }
+        }
+        self.push(delivered, EventKind::Deliver { from, to, msg });
         delivered
     }
 }
@@ -190,16 +242,7 @@ impl<'a, M> Ctx<'a, M> {
     /// (e.g. after a CPU or disk completion). Returns the delivery time.
     pub fn send_ready_at(&mut self, ready: SimTime, to: NodeId, msg: M, bytes: u64) -> SimTime {
         let ready = ready.max(self.inner.time);
-        let delivered = self.inner.transfer(ready, self.self_id, to, bytes);
-        self.inner.push(
-            delivered,
-            EventKind::Deliver {
-                from: self.self_id,
-                to,
-                msg,
-            },
-        );
-        delivered
+        self.inner.send_message(ready, self.self_id, to, msg, bytes)
     }
 
     /// Charge `service` time on one of this node's resources, becoming ready
@@ -211,6 +254,10 @@ impl<'a, M> Ctx<'a, M> {
         service: SimDuration,
     ) -> Grant {
         let ready = ready.max(self.inner.time);
+        let service = match &self.inner.faults {
+            Some(plan) => plan.scale_service(self.self_id, self.inner.time, service),
+            None => service,
+        };
         self.inner.resources[self.self_id]
             .get_mut(kind)
             .submit(ready, service)
@@ -273,6 +320,9 @@ pub struct Sim<N: Node> {
     inner: SimInner<N::Msg>,
     started: bool,
     seed: u64,
+    /// Hardware specs, retained so a fault-plan restart can rebuild a
+    /// node's resources from scratch.
+    specs: Vec<NodeSpec>,
 }
 
 impl<N: Node> Sim<N> {
@@ -293,9 +343,12 @@ impl<N: Node> Sim<N> {
                 totals: NetTotals::default(),
                 events_processed: 0,
                 stopped: false,
+                faults: None,
+                fault_sends: 0,
             },
             started: false,
             seed,
+            specs: Vec::new(),
         }
     }
 
@@ -312,7 +365,23 @@ impl<N: Node> Sim<N> {
         self.inner
             .rngs
             .push(indexed_rng(self.seed, "node", id as u64));
+        self.specs.push(spec);
         id
+    }
+
+    /// Install a fault plan: schedules every crash/restart transition as a
+    /// kernel event and activates link loss/delay and straggler slowdowns.
+    /// Must be called after all nodes are added and before the first run.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            !self.started,
+            "fault plan must be installed before the simulation starts"
+        );
+        plan.validate(self.nodes.len());
+        for (at, node, kind) in plan.schedule() {
+            self.inner.push(at, EventKind::Fault { node, kind });
+        }
+        self.inner.faults = Some(plan);
     }
 
     /// Number of nodes.
@@ -331,15 +400,7 @@ impl<N: Node> Sim<N> {
     /// through the receiver's inbound NIC.
     pub fn post(&mut self, at: SimTime, to: NodeId, msg: N::Msg, bytes: u64) {
         let at = at.max(self.inner.time);
-        let delivered = self.inner.transfer(at, EXTERNAL, to, bytes);
-        self.inner.push(
-            delivered,
-            EventKind::Deliver {
-                from: EXTERNAL,
-                to,
-                msg,
-            },
-        );
+        self.inner.send_message(at, EXTERNAL, to, msg, bytes);
     }
 
     /// Run until the event heap drains, a node calls [`Ctx::stop`], or
@@ -368,6 +429,18 @@ impl<N: Node> Sim<N> {
             self.inner.events_processed += 1;
             match ev.kind {
                 EventKind::Deliver { from, to, msg } => {
+                    if let Some(plan) = &self.inner.faults {
+                        // A dead receiver loses the message outright; a
+                        // sender that crashed while the message was on the
+                        // wire loses it too (in-flight work dies with the
+                        // process that owned it).
+                        let lost = plan.is_down(to, ev.time)
+                            || (from != EXTERNAL && plan.is_down(from, ev.time));
+                        if lost {
+                            self.inner.totals.dropped += 1;
+                            continue;
+                        }
+                    }
                     self.inner.totals.messages += 1;
                     let mut ctx = Ctx {
                         inner: &mut self.inner,
@@ -376,11 +449,35 @@ impl<N: Node> Sim<N> {
                     self.nodes[to].on_message(from, msg, &mut ctx);
                 }
                 EventKind::Timer { node, tag } => {
+                    if let Some(plan) = &self.inner.faults {
+                        if plan.is_down(node, ev.time) {
+                            // Timers die with the process that armed them.
+                            continue;
+                        }
+                    }
                     let mut ctx = Ctx {
                         inner: &mut self.inner,
                         self_id: node,
                     };
                     self.nodes[node].on_timer(tag, &mut ctx);
+                }
+                EventKind::Fault { node, kind } => {
+                    if kind == FaultKind::Restart {
+                        // The process comes back empty-handed: fresh FIFO
+                        // queues, no memory of pre-crash backlog.
+                        let spec = self.specs[node];
+                        self.inner.resources[node] = NodeResources::new(
+                            spec.cores,
+                            spec.disk_channels,
+                            spec.net_bw_bps,
+                            ev.time,
+                        );
+                    }
+                    let mut ctx = Ctx {
+                        inner: &mut self.inner,
+                        self_id: node,
+                    };
+                    self.nodes[node].on_fault(kind, &mut ctx);
                 }
             }
         }
@@ -623,6 +720,161 @@ mod tests {
         sim.run();
         assert_eq!(sim.node(0).got, Some(SimTime::ZERO));
         assert_eq!(sim.net_totals().bytes, 0);
+    }
+
+    /// Worker/sink node for the fault tests: records every arrival, and
+    /// answers *external* messages with a reply to `sink` after a 1 ms CPU
+    /// charge (internal messages are terminal, so runs always drain).
+    struct Echo {
+        replies: Vec<SimTime>,
+        faults: Vec<FaultKind>,
+        sink: NodeId,
+    }
+    impl Node for Echo {
+        type Msg = u32;
+        fn on_message(&mut self, from: NodeId, msg: u32, ctx: &mut Ctx<'_, u32>) {
+            self.replies.push(ctx.now());
+            if from == EXTERNAL {
+                let done = ctx.use_cpu(SimDuration::from_millis(1)).done;
+                ctx.send_ready_at(done, self.sink, msg, 1000);
+            }
+        }
+        fn on_fault(&mut self, kind: FaultKind, _ctx: &mut Ctx<'_, u32>) {
+            self.faults.push(kind);
+        }
+    }
+    impl Echo {
+        fn sink() -> Echo {
+            Echo {
+                replies: vec![],
+                faults: vec![],
+                sink: 0,
+            }
+        }
+    }
+
+    fn echo_pair() -> Sim<Echo> {
+        let mut sim: Sim<Echo> = Sim::new(3, NetConfig::default());
+        let worker = sim.add_node(
+            Echo {
+                replies: vec![],
+                faults: vec![],
+                sink: 1,
+            },
+            NodeSpec::default(),
+        );
+        let sink = sim.add_node(Echo::sink(), NodeSpec::default());
+        assert_eq!((worker, sink), (0, 1));
+        sim
+    }
+
+    #[test]
+    fn crashed_node_loses_messages_until_restart() {
+        let mut sim = echo_pair();
+        sim.set_fault_plan(FaultPlan::new(9).crash(
+            0,
+            SimTime::ZERO + SimDuration::from_millis(10),
+            Some(SimTime::ZERO + SimDuration::from_millis(30)),
+        ));
+        // One message before the crash, one during, one after restart.
+        for (ms, tag) in [(1u64, 1u32), (15, 2), (40, 3)] {
+            sim.post(SimTime(ms * 1_000_000), 0, tag, 1000);
+        }
+        sim.run();
+        let worker = sim.node(0);
+        assert_eq!(worker.faults, vec![FaultKind::Crash, FaultKind::Restart]);
+        assert_eq!(worker.replies.len(), 2, "mid-outage message must be lost");
+        assert_eq!(sim.node(1).replies.len(), 2);
+        assert_eq!(sim.net_totals().dropped, 1);
+    }
+
+    #[test]
+    fn crash_loses_in_flight_replies_from_the_dead_sender() {
+        let mut sim = echo_pair();
+        // Worker handles the request at ~1.2ms and its reply lands at
+        // ~2.4ms; the worker dies at 2.05ms with the reply on the wire.
+        sim.set_fault_plan(FaultPlan::new(9).crash(
+            0,
+            SimTime(1_050_000) + SimDuration::from_millis(1),
+            None,
+        ));
+        sim.post(SimTime(1_000_000), 0, 7, 1000);
+        sim.run();
+        assert_eq!(sim.node(0).replies.len(), 1, "worker handled the request");
+        assert_eq!(sim.node(1).replies.len(), 0, "reply died with the sender");
+        assert_eq!(sim.net_totals().dropped, 1);
+    }
+
+    #[test]
+    fn restart_resets_resource_backlog() {
+        let mut sim = echo_pair();
+        sim.set_fault_plan(FaultPlan::new(9).crash(
+            0,
+            SimTime::ZERO + SimDuration::from_millis(5),
+            Some(SimTime::ZERO + SimDuration::from_millis(50)),
+        ));
+        // Pile up CPU work before the crash.
+        for i in 0..64 {
+            sim.post(SimTime(i * 1_000), 0, i as u32, 100);
+        }
+        sim.run();
+        let res = sim.resources(0);
+        // Fresh resources created at restart: every pre-crash charge is gone.
+        assert!(res.cpu.drained_at() >= SimTime::ZERO + SimDuration::from_millis(50));
+        assert!(res.cpu.jobs() < 64);
+    }
+
+    #[test]
+    fn straggler_inflates_service_times() {
+        let run = |factor: f64| {
+            let mut sim = echo_pair();
+            if factor > 1.0 {
+                sim.set_fault_plan(FaultPlan::new(9).straggle(
+                    0,
+                    (SimTime::ZERO, SimTime::MAX),
+                    factor,
+                ));
+            }
+            sim.post(SimTime::ZERO, 0, 1, 1000);
+            sim.run()
+        };
+        let normal = run(1.0);
+        let slow = run(4.0);
+        assert!(
+            slow > normal,
+            "4x straggler must finish later ({slow} vs {normal})"
+        );
+    }
+
+    #[test]
+    fn lossy_link_drops_deterministically() {
+        let run = || {
+            let mut sim = echo_pair();
+            sim.set_fault_plan(FaultPlan::new(11).drop_link(
+                Some(EXTERNAL),
+                Some(0),
+                (SimTime::ZERO, SimTime::MAX),
+                0.5,
+            ));
+            for i in 0..100u64 {
+                sim.post(SimTime(i * 1_000_000), 0, i as u32, 1000);
+            }
+            sim.run();
+            (sim.node(0).replies.len(), sim.net_totals().dropped)
+        };
+        let (got_a, dropped_a) = run();
+        let (got_b, dropped_b) = run();
+        assert_eq!((got_a, dropped_a), (got_b, dropped_b), "chaos must replay");
+        assert_eq!(got_a + dropped_a as usize, 100);
+        assert!(got_a > 10 && dropped_a > 10, "p=0.5 should hit both sides");
+    }
+
+    #[test]
+    #[should_panic(expected = "before the simulation starts")]
+    fn fault_plan_after_start_rejected() {
+        let mut sim = echo_pair();
+        sim.run_until(SimTime::ZERO + SimDuration::from_millis(1));
+        sim.set_fault_plan(FaultPlan::new(1));
     }
 
     #[test]

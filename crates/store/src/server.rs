@@ -71,6 +71,16 @@ impl RegionServer {
         }
     }
 
+    /// Absorb a replica of another server's regions, for failover: every
+    /// region `other` hosts that this server does not is cloned in. Regions
+    /// already hosted here are left untouched — a server is never allowed
+    /// to clobber its own (authoritative) data with a replica.
+    pub fn absorb_replica(&mut self, other: &RegionServer) {
+        for (k, region) in &other.regions {
+            self.regions.entry(*k).or_insert_with(|| region.clone());
+        }
+    }
+
     /// Number of regions hosted.
     pub fn region_count(&self) -> usize {
         self.regions.len()
@@ -112,6 +122,21 @@ mod tests {
         assert_eq!(s.bytes(), 24);
         assert_eq!(s.get(0, 0, &RowKey::from_u64(1)).unwrap().data[0], 1);
         assert_eq!(s.get(1, 0, &RowKey::from_u64(1)).unwrap().data[0], 3);
+    }
+
+    #[test]
+    fn absorb_replica_fills_gaps_without_clobbering() {
+        let mut a = RegionServer::new();
+        a.put(0, 0, RowKey::from_u64(1), v(1));
+        let mut b = RegionServer::new();
+        b.put(0, 0, RowKey::from_u64(1), v(9)); // same region, different data
+        b.put(0, 1, RowKey::from_u64(2), v(2)); // region a lacks
+        a.absorb_replica(&b);
+        // a's own copy of region (0,0) is authoritative.
+        assert_eq!(a.get(0, 0, &RowKey::from_u64(1)).unwrap().data[0], 1);
+        // b's extra region was replicated in.
+        assert_eq!(a.get(0, 1, &RowKey::from_u64(2)).unwrap().data[0], 2);
+        assert_eq!(a.region_count(), 2);
     }
 
     #[test]

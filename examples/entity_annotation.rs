@@ -61,6 +61,8 @@ fn main() {
         udf_cpu_hint: 0.002,
         policy: None,
         decision_sink: None,
+        faults: None,
+        retry: None,
     };
     let report = run_job(&job, store, udfs, tuples, vec![]);
     println!(

@@ -79,6 +79,8 @@ fn main() {
         udf_cpu_hint: 1e-5,
         policy: None,
         decision_sink: None,
+        faults: None,
+        retry: None,
     };
     let ours = run_job(&job, store, udfs, tuples, vec![]);
     assert_eq!(ours.fingerprint, reference.fingerprint);

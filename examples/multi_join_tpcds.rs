@@ -88,6 +88,8 @@ fn main() {
         udf_cpu_hint: 3e-6,
         policy: None,
         decision_sink: None,
+        faults: None,
+        retry: None,
     };
     let ours = run_job(&job, store, udfs, tuples, vec![]);
     println!(

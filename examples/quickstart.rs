@@ -54,6 +54,8 @@ fn main() {
             udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
             policy: None,
             decision_sink: None,
+            faults: None,
+            retry: None,
         };
         let report = run_job(&job, store, udfs.clone(), tuples.clone(), vec![]);
         assert_eq!(

@@ -69,6 +69,8 @@ fn main() {
             udf_cpu_hint: 0.002,
             policy: None,
             decision_sink: None,
+            faults: None,
+            retry: None,
         };
         let report = run_job(&job, store2, udfs.clone(), tuples.clone(), vec![]);
         println!(

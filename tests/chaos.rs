@@ -1,0 +1,77 @@
+//! End-to-end guarantees of the fault-injection + recovery path at bench
+//! scale: exactly-once completion under crash-and-recover, the full
+//! optimizer's advantage surviving chaos, and run-to-run reproducibility.
+
+use jl_bench::experiments::run_chaos_report;
+use jl_bench::CHAOS_STRATEGIES;
+use jl_core::Strategy;
+use jl_engine::ClusterSpec;
+use jl_workloads::SyntheticSpec;
+
+fn dh_small() -> SyntheticSpec {
+    let mut spec = SyntheticSpec::dh();
+    spec.n_tuples = ((spec.n_tuples as f64 * 0.05) as u64).max(1000);
+    spec
+}
+
+fn chaos_cluster() -> ClusterSpec {
+    // Same regime as the synthetic figures: block cache off so every
+    // request pays the data node's disk, as in the paper's 200 GB store.
+    ClusterSpec {
+        block_cache_bytes: 0,
+        ..ClusterSpec::default()
+    }
+}
+
+#[test]
+fn every_strategy_survives_chaos_exactly_once() {
+    let spec = dh_small();
+    let cluster = chaos_cluster();
+    for strategy in CHAOS_STRATEGIES {
+        let (healthy, chaos) = run_chaos_report(&spec, strategy, 1.0, &cluster, 32 << 20, 42);
+        assert_eq!(
+            chaos.completed,
+            healthy.completed,
+            "{} lost or duplicated tuples under faults",
+            strategy.label()
+        );
+        assert_eq!(
+            chaos.fingerprint,
+            healthy.fingerprint,
+            "{} changed the join output under faults",
+            strategy.label()
+        );
+        assert_eq!(chaos.gave_up, 0, "{} exhausted retries", strategy.label());
+        assert!(chaos.retries > 0, "{} never re-issued", strategy.label());
+        assert!(
+            chaos.dropped_messages > 0,
+            "{} saw no injected loss",
+            strategy.label()
+        );
+    }
+}
+
+#[test]
+fn full_optimizer_still_wins_under_chaos() {
+    let spec = dh_small();
+    let cluster = chaos_cluster();
+    let chaos_time = |s: Strategy| {
+        run_chaos_report(&spec, s, 1.0, &cluster, 32 << 20, 42)
+            .1
+            .duration
+    };
+    let no = chaos_time(Strategy::NoOpt);
+    let fc = chaos_time(Strategy::ComputeSide);
+    let fo = chaos_time(Strategy::Full);
+    assert!(fo < no, "FO {fo} not faster than NO {no} under chaos");
+    assert!(fo < fc, "FO {fo} not faster than FC {fc} under chaos");
+}
+
+#[test]
+fn chaos_reports_are_reproducible() {
+    let spec = dh_small();
+    let cluster = chaos_cluster();
+    let (_, a) = run_chaos_report(&spec, Strategy::Full, 1.0, &cluster, 32 << 20, 42);
+    let (_, b) = run_chaos_report(&spec, Strategy::Full, 1.0, &cluster, 32 << 20, 42);
+    assert_eq!(format!("{a:?}"), format!("{b:?}"));
+}

@@ -82,6 +82,8 @@ fn all_strategies_and_baselines_agree_with_reference() {
             udf_cpu_hint: 0.002,
             policy: None,
             decision_sink: None,
+            faults: None,
+            retry: None,
         };
         let r = run_job(&job, store, udfs(), ts.clone(), vec![]);
         assert_eq!(r.completed, ts.len() as u64, "{}", strategy.label());
@@ -152,6 +154,8 @@ fn multi_join_pipeline_matches_reference_and_shuffle() {
         udf_cpu_hint: 0.001,
         policy: None,
         decision_sink: None,
+        faults: None,
+        retry: None,
     };
     let ours = run_job(&job, store, udfs(), ts.clone(), vec![]);
     assert_eq!(ours.fingerprint, reference.fingerprint, "framework");
@@ -192,6 +196,8 @@ fn streaming_and_batch_compute_the_same_join() {
         udf_cpu_hint: 0.002,
         policy: None,
         decision_sink: None,
+        faults: None,
+        retry: None,
     };
     let r = run_job(&job, store, udfs(), ts, vec![]);
     assert_eq!(r.completed, 2000, "stream did not drain");
@@ -225,6 +231,8 @@ fn updates_propagate_and_invalidate() {
         udf_cpu_hint: 0.002,
         policy: None,
         decision_sink: None,
+        faults: None,
+        retry: None,
     };
     let r = run_job(&job, store, udfs(), ts, updates);
     assert_eq!(r.completed, 2000);
@@ -267,6 +275,8 @@ fn broadcast_and_targeted_notifications_both_stay_correct() {
             udf_cpu_hint: 0.002,
             policy: None,
             decision_sink: None,
+            faults: None,
+            retry: None,
         };
         let r = run_job(&job, store, udfs(), ts, updates);
         assert_eq!(r.completed, 1500, "{notify:?}");

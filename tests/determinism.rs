@@ -11,7 +11,7 @@
 //! binaries would race on it.
 
 use jl_bench::experiments::{bench_synthetic_report, fig6_stream_report};
-use jl_bench::fig8;
+use jl_bench::{fig8, fig_chaos};
 use jl_core::Strategy;
 use jl_workloads::SyntheticSpec;
 
@@ -49,7 +49,11 @@ fn grid_results_are_thread_count_invariant() {
             .map(|name| format!("{:?}", bench_synthetic_report(name, scale, seed)))
             .collect();
         let (stream, spots) = fig6_stream_report(0.02, seed, Strategy::Full);
-        (table, batch, format!("{stream:?} spots={spots}"))
+        // The chaos grid exercises the whole fault path — crash/failover,
+        // straggler slowdowns, the seeded drop coin, retry timers — whose
+        // injected randomness must also be thread-count invariant.
+        let chaos = fig_chaos(scale, seed).render();
+        (table, batch, format!("{stream:?} spots={spots}"), chaos)
     };
 
     let base = with_threads(1, run_all);
@@ -68,6 +72,10 @@ fn grid_results_are_thread_count_invariant() {
         assert_eq!(
             got.2, base.2,
             "stream RunReport differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            got.3, base.3,
+            "chaos table differs between 1 and {threads} threads"
         );
         assert_eq!(
             fnv1a(format!("{got:?}").as_bytes()),

@@ -58,6 +58,8 @@ fn run(strategy: Strategy, z: f64, udf_ms: u64, value_size: usize, n: u64) -> f6
         udf_cpu_hint: udf_ms as f64 / 1000.0,
         policy: None,
         decision_sink: None,
+        faults: None,
+        retry: None,
     };
     run_job(&job, store, udfs, tuples, vec![])
         .duration
@@ -150,6 +152,8 @@ fn elasticity_more_compute_nodes_help_compute_bound_jobs() {
             udf_cpu_hint: 0.025,
             policy: None,
             decision_sink: None,
+            faults: None,
+            retry: None,
         };
         run_job(&job, store, udfs, tuples, vec![])
             .duration
