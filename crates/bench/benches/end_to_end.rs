@@ -50,6 +50,7 @@ fn bench_run_job(c: &mut Criterion) {
                         decision_sink: None,
                         faults: None,
                         retry: None,
+                        telemetry: None,
                     };
                     run_job(&job, store, udfs, tuples.clone(), vec![])
                 })

@@ -50,6 +50,7 @@ fn main() {
                 decision_sink: None,
                 faults: None,
                 retry: None,
+                telemetry: None,
             };
             let r = run_job(&job, store, udfs, tuples, vec![]);
             vals.push(r.duration.as_secs_f64());
@@ -63,4 +64,5 @@ fn main() {
         rows,
     };
     println!("{}", t.render());
+    jl_bench::write_trace_if_requested(scale, seed);
 }

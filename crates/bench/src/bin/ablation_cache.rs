@@ -139,6 +139,7 @@ fn admission(scale: f64, seed: u64) {
             decision_sink: None,
             faults: None,
             retry: None,
+            telemetry: None,
         };
         let r = run_job(&job, store, udfs, tuples, vec![]);
         rows.push((
@@ -157,4 +158,5 @@ fn admission(scale: f64, seed: u64) {
         rows,
     };
     println!("{}", t.render());
+    jl_bench::write_trace_if_requested(scale, seed);
 }

@@ -61,6 +61,7 @@ fn run(
         decision_sink: None,
         faults: None,
         retry: None,
+        telemetry: None,
     };
     let r = run_job(&job, store, udfs, tuples, vec![]);
     (r.duration.as_secs_f64(), r.decisions.offloaded_hits)
@@ -86,4 +87,5 @@ fn main() {
         rows,
     };
     println!("{}", table.render());
+    jl_bench::write_trace_if_requested(scale, seed);
 }

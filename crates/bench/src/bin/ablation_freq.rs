@@ -158,6 +158,7 @@ fn end_to_end(scale: f64, seed: u64) {
             decision_sink: None,
             faults: None,
             retry: None,
+            telemetry: None,
         };
         let r = run_job(&job, store, udfs, tuples, vec![]);
         rows.push((
@@ -176,4 +177,5 @@ fn end_to_end(scale: f64, seed: u64) {
         rows,
     };
     println!("{}", t.render());
+    jl_bench::write_trace_if_requested(scale, seed);
 }

@@ -50,6 +50,7 @@ fn run(solver: LbSolver, spec: &SyntheticSpec, z: f64, seed: u64) -> f64 {
         decision_sink: None,
         faults: None,
         retry: None,
+        telemetry: None,
     };
     run_job(&job, store, udfs, tuples, vec![])
         .duration
@@ -74,4 +75,5 @@ fn main() {
         rows,
     };
     println!("{}", t.render());
+    jl_bench::write_trace_if_requested(scale, seed);
 }

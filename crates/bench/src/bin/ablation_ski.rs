@@ -53,6 +53,7 @@ fn main() {
             decision_sink: None,
             faults: None,
             retry: None,
+            telemetry: None,
         };
         let r = run_job(&job, store, udfs, tuples, vec![]);
         rows.push((
@@ -71,4 +72,5 @@ fn main() {
         rows,
     };
     println!("{}", t.render());
+    jl_bench::write_trace_if_requested(scale, seed);
 }

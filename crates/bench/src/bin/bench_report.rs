@@ -16,7 +16,7 @@
 use std::time::Instant;
 
 use jl_bench::bench_threads;
-use jl_bench::experiments::{bench_synthetic_report, fig6_stream_report};
+use jl_bench::experiments::{bench_synthetic_report, bench_synthetic_traced, fig6_stream_report};
 use jl_core::Strategy;
 use jl_engine::RunReport;
 
@@ -133,6 +133,30 @@ fn main() {
         });
     }
 
+    // Telemetry overhead: the DH workload re-run with the recorder on.
+    // The untraced DH timing above is the baseline; the ratio tracks what
+    // span recording + the metrics snapshot cost in wall-clock. The traced
+    // run must not perturb the simulation, so its fingerprint is checked
+    // against the untraced one.
+    let telemetry_off_wall = timings[0].wall_secs;
+    let t0 = Instant::now();
+    let (traced_report, tel) = bench_synthetic_traced("DH", synth_scale, seed);
+    let telemetry_on_wall = t0.elapsed().as_secs_f64();
+    assert_eq!(
+        traced_report.fingerprint, timings[0].report.fingerprint,
+        "telemetry recording perturbed the DH simulation"
+    );
+    let overhead = if telemetry_off_wall > 0.0 {
+        telemetry_on_wall / telemetry_off_wall
+    } else {
+        0.0
+    };
+    eprintln!(
+        "bench_report: DH telemetry off={telemetry_off_wall:.3}s on={telemetry_on_wall:.3}s \
+         (x{overhead:.2}, {} trace events)",
+        tel.events.len()
+    );
+
     let total_wall: f64 = timings.iter().map(|t| t.wall_secs).sum();
     let total_events: u64 = timings.iter().map(|t| t.report.sim_events).sum();
 
@@ -164,6 +188,19 @@ fn main() {
         Some(b) => out.push_str(&format!("  \"peak_rss_bytes\": {b},\n")),
         None => out.push_str("  \"peak_rss_bytes\": null,\n"),
     }
+    out.push_str("  \"telemetry\": {\n");
+    out.push_str("    \"workload\": \"DH\",\n");
+    out.push_str(&format!(
+        "    \"off_wall_secs\": {},\n",
+        jf(telemetry_off_wall)
+    ));
+    out.push_str(&format!(
+        "    \"on_wall_secs\": {},\n",
+        jf(telemetry_on_wall)
+    ));
+    out.push_str(&format!("    \"overhead_ratio\": {},\n", jf(overhead)));
+    out.push_str(&format!("    \"trace_events\": {}\n", tel.events.len()));
+    out.push_str("  },\n");
     out.push_str("  \"workloads\": [\n");
     for (idx, t) in timings.iter().enumerate() {
         out.push_str("    {\n");

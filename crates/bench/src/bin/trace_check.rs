@@ -1,0 +1,47 @@
+//! Schema-validate a Chrome trace-event JSON file written by `--trace`.
+//!
+//! Usage: `trace_check <trace.json>`
+//!
+//! Exits non-zero if the file is not valid JSON, violates the trace-event
+//! schema (see `jl_telemetry::json::validate_chrome_trace`), or carries no
+//! spans / no process-name metadata — an empty trace means the recorder
+//! was never wired up, which is exactly what CI should catch.
+
+use std::process::exit;
+
+fn main() {
+    let path = match std::env::args().nth(1) {
+        Some(p) => p,
+        None => {
+            eprintln!("usage: trace_check <trace.json>");
+            exit(2);
+        }
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            exit(2);
+        }
+    };
+    match jl_telemetry::json::validate_chrome_trace(&text) {
+        Ok(check) => {
+            println!(
+                "trace_check: {path}: ok ({} spans, {} instants, {} metadata records)",
+                check.spans, check.instants, check.metadata
+            );
+            if check.spans == 0 {
+                eprintln!("trace_check: {path}: no spans — recorder was not wired up");
+                exit(1);
+            }
+            if check.metadata == 0 {
+                eprintln!("trace_check: {path}: no process-name metadata");
+                exit(1);
+            }
+        }
+        Err(e) => {
+            eprintln!("trace_check: {path}: invalid trace: {e}");
+            exit(1);
+        }
+    }
+}

@@ -14,13 +14,16 @@ use jl_core::{OptimizerConfig, Strategy};
 use jl_engine::baselines::{run_reduce_side, ReduceSideKind};
 use jl_engine::plan::{JobPlan, JobTuple, StageSpec};
 use jl_engine::shuffle::run_shuffle_multijoin;
-use jl_engine::{build_store, run_job, ClusterSpec, FeedMode, JobSpec, RetryConfig, RunReport};
+use jl_engine::{
+    build_store, run_job, run_job_traced, ClusterSpec, FeedMode, JobSpec, RetryConfig, RunReport,
+};
 use jl_simkit::fault::FaultPlan;
 use jl_simkit::rng::stream_rng;
 use jl_simkit::time::{SimDuration, SimTime};
 use jl_store::{
     DigestUdf, Partitioning, RegionMap, RowKey, StoreCluster, StoredValue, UdfRegistry,
 };
+use jl_telemetry::{RunTelemetry, TelemetryConfig};
 use jl_workloads::{AnnotationWorkload, SyntheticSpec, TpcDsLite, TweetStream};
 
 use crate::output::FigTable;
@@ -133,11 +136,13 @@ fn synthetic_tuples(spec: &SyntheticSpec, z: f64, shift_epochs: u64, seed: u64) 
         .collect()
 }
 
-/// Run one synthetic batch job and return its full [`RunReport`] (the
-/// bench harness reads simulated-event counts from it; figures only need
-/// the duration — see [`run_synthetic`]).
+/// Run one synthetic batch job, optionally with telemetry recording, and
+/// return its full [`RunReport`] plus the collected trace/metrics when
+/// tracing was requested. The telemetry-off path is the exact job the
+/// figures run; the recorder never perturbs the simulation (the runner's
+/// tests pin duration/fingerprint equality).
 #[allow(clippy::too_many_arguments)]
-pub fn run_synthetic_report(
+fn run_synthetic_cell(
     spec: &SyntheticSpec,
     strategy: Strategy,
     z: f64,
@@ -146,7 +151,8 @@ pub fn run_synthetic_report(
     cluster: &ClusterSpec,
     mem_cache: u64,
     seed: u64,
-) -> RunReport {
+    telemetry: Option<TelemetryConfig>,
+) -> (RunReport, Option<RunTelemetry>) {
     let store = build_store(cluster, vec![(spec.name.into(), spec.rows(1).collect())]);
     let tuples = synthetic_tuples(spec, z, shift_epochs, seed);
     let mut optimizer = optimizer_for(strategy, mem_cache);
@@ -168,8 +174,9 @@ pub fn run_synthetic_report(
         decision_sink: None,
         faults: None,
         retry: None,
+        telemetry,
     };
-    let report = run_job(
+    let (report, tel) = run_job_traced(
         &job,
         store,
         digest_udfs(spec.output_size as usize),
@@ -182,7 +189,35 @@ pub fn run_synthetic_report(
             spec.name, report.duration, report.decisions, report.cache
         );
     }
-    report
+    (report, tel)
+}
+
+/// Run one synthetic batch job and return its full [`RunReport`] (the
+/// bench harness reads simulated-event counts from it; figures only need
+/// the duration — see [`run_synthetic`]).
+#[allow(clippy::too_many_arguments)]
+pub fn run_synthetic_report(
+    spec: &SyntheticSpec,
+    strategy: Strategy,
+    z: f64,
+    shift_epochs: u64,
+    freeze_frac: Option<f64>,
+    cluster: &ClusterSpec,
+    mem_cache: u64,
+    seed: u64,
+) -> RunReport {
+    run_synthetic_cell(
+        spec,
+        strategy,
+        z,
+        shift_epochs,
+        freeze_frac,
+        cluster,
+        mem_cache,
+        seed,
+        None,
+    )
+    .0
 }
 
 /// Run one synthetic batch job and return its duration in seconds.
@@ -233,6 +268,36 @@ pub fn bench_synthetic_report(spec_name: &str, tuple_scale: f64, seed: u64) -> R
         32 << 20,
         seed,
     )
+}
+
+/// The same pinned kernel workload as [`bench_synthetic_report`], run with
+/// telemetry recording on. `bench_report` times this against the untraced
+/// run to track the observability overhead (spans + metrics snapshot) in
+/// `BENCH_kernel.json`.
+pub fn bench_synthetic_traced(
+    spec_name: &str,
+    tuple_scale: f64,
+    seed: u64,
+) -> (RunReport, RunTelemetry) {
+    let mut spec = match spec_name {
+        "DH" => SyntheticSpec::dh(),
+        "CH" => SyntheticSpec::ch(),
+        "DCH" => SyntheticSpec::dch(),
+        other => panic!("unknown bench workload {other:?} (expected DH, CH or DCH)"),
+    };
+    spec.n_tuples = ((spec.n_tuples as f64 * tuple_scale) as u64).max(1000);
+    let (report, tel) = run_synthetic_cell(
+        &spec,
+        Strategy::Full,
+        1.0,
+        1,
+        None,
+        &synthetic_cluster(),
+        32 << 20,
+        seed,
+        Some(TelemetryConfig::default()),
+    );
+    (report, tel.expect("telemetry was requested"))
 }
 
 /// Figure 8 (a: DH, b: CH, c: DCH): Hadoop-mode synthetic workloads,
@@ -369,6 +434,7 @@ pub fn run_synthetic_stream_report(
         decision_sink: None,
         faults: None,
         retry: None,
+        telemetry: None,
     };
     run_job(
         &job,
@@ -510,6 +576,7 @@ pub fn fig5(doc_scale: f64, seed: u64) -> FigTable {
                 decision_sink: None,
                 faults: None,
                 retry: None,
+                telemetry: None,
             };
             let r = run_job(&job, store, udfs.clone(), tuples.clone(), vec![]);
             if std::env::var("JL_DEBUG").is_ok() {
@@ -590,6 +657,7 @@ fn fig6_run(
         decision_sink: None,
         faults: None,
         retry: None,
+        telemetry: None,
     };
     let r = run_job(&job, store, digest_udfs(96), tuples.to_vec(), vec![]);
     if std::env::var("JL_DEBUG").is_ok() {
@@ -648,7 +716,10 @@ pub const CHAOS_STRATEGIES: [Strategy; 3] =
 ///   (in-flight work on it is lost; its regions fail over to a replica);
 /// * data node 1 runs 4× slow between 10% and 70% (a straggler);
 /// * every message into data node 2 is dropped with probability 3%
-///   between 30% and 50% (a lossy link).
+///   between 30% and 50% (a lossy link);
+/// * every message into data node 2 arrives 5 ms late between 50% and 70%
+///   (a congested link — right after its lossy window, so the same
+///   traffic sees both failure modes).
 pub fn chaos_fault_plan(cluster: &ClusterSpec, baseline: SimDuration, seed: u64) -> FaultPlan {
     assert!(
         cluster.n_data >= 3,
@@ -659,6 +730,12 @@ pub fn chaos_fault_plan(cluster: &ClusterSpec, baseline: SimDuration, seed: u64)
         .crash(cluster.data_id(0), at(0.20), Some(at(0.55)))
         .straggle(cluster.data_id(1), (at(0.10), at(0.70)), 4.0)
         .drop_link(None, Some(cluster.data_id(2)), (at(0.30), at(0.50)), 0.03)
+        .delay_link(
+            None,
+            Some(cluster.data_id(2)),
+            (at(0.50), at(0.70)),
+            SimDuration::from_millis(5),
+        )
 }
 
 /// Retry knobs scaled to the run: the per-request timeout is ~1% of the
@@ -688,6 +765,22 @@ pub fn run_chaos_report(
     mem_cache: u64,
     seed: u64,
 ) -> (RunReport, RunReport) {
+    let (healthy, chaos, _) = run_chaos_cell(spec, strategy, z, cluster, mem_cache, seed, None);
+    (healthy, chaos)
+}
+
+/// The chaos cell with an optional telemetry recorder on the *chaos* run
+/// (the healthy calibration run stays untraced — it only sets the fault
+/// timeline). Shared by [`run_chaos_report`] and [`traced_chaos_run`].
+fn run_chaos_cell(
+    spec: &SyntheticSpec,
+    strategy: Strategy,
+    z: f64,
+    cluster: &ClusterSpec,
+    mem_cache: u64,
+    seed: u64,
+    telemetry: Option<TelemetryConfig>,
+) -> (RunReport, RunReport, Option<RunTelemetry>) {
     let healthy = run_synthetic_report(spec, strategy, z, 1, None, cluster, mem_cache, seed);
     let store = build_store(cluster, vec![(spec.name.into(), spec.rows(1).collect())]);
     let tuples = synthetic_tuples(spec, z, 1, seed);
@@ -704,8 +797,9 @@ pub fn run_chaos_report(
         decision_sink: None,
         faults: Some(chaos_fault_plan(cluster, healthy.duration, seed)),
         retry: Some(chaos_retry(healthy.duration)),
+        telemetry,
     };
-    let chaos = run_job(
+    let (chaos, tel) = run_job_traced(
         &job,
         store,
         digest_udfs(spec.output_size as usize),
@@ -726,7 +820,29 @@ pub fn run_chaos_report(
             chaos.p99_latency
         );
     }
-    (healthy, chaos)
+    (healthy, chaos, tel)
+}
+
+/// The canonical traced run for trace export: the DH workload at z = 1.0
+/// under the chaos scenario with the full optimizer, telemetry recording
+/// on. It exercises every span source at once — per-node resource tracks,
+/// request lifecycles, placement decisions, cache activity, and the
+/// crash/straggler/lossy-link fault path with its retries and failovers.
+/// One single-threaded simulation, so its trace is byte-identical at any
+/// `--threads` count (the determinism suite pins this).
+pub fn traced_chaos_run(tuple_scale: f64, seed: u64) -> (RunReport, RunTelemetry) {
+    let mut spec = SyntheticSpec::dh();
+    spec.n_tuples = ((spec.n_tuples as f64 * tuple_scale) as u64).max(1000);
+    let (_healthy, chaos, tel) = run_chaos_cell(
+        &spec,
+        Strategy::Full,
+        1.0,
+        &synthetic_cluster(),
+        32 << 20,
+        seed,
+        Some(TelemetryConfig::default()),
+    );
+    (chaos, tel.expect("telemetry was requested"))
 }
 
 /// The chaos figure: the DH workload at z = 1.0 under the
@@ -744,6 +860,10 @@ pub fn fig_chaos(tuple_scale: f64, seed: u64) -> FigTable {
         } else {
             0.0
         };
+        // The per-link breakdown localizes the damage: under this scenario
+        // the worst link is the lossy one into data node 2 (plus whatever
+        // was in flight to/from the crashed node 0).
+        let worst_link = chaos.link_faults.iter().map(|&(_, _, d, _)| d).max();
         (
             strategy.label().to_string(),
             vec![
@@ -755,6 +875,8 @@ pub fn fig_chaos(tuple_scale: f64, seed: u64) -> FigTable {
                 chaos.failovers as f64,
                 chaos.gave_up as f64,
                 chaos.dropped_messages as f64,
+                chaos.delayed_messages as f64,
+                worst_link.unwrap_or(0) as f64,
             ],
         )
     });
@@ -770,6 +892,8 @@ pub fn fig_chaos(tuple_scale: f64, seed: u64) -> FigTable {
             "failovers".into(),
             "gave up".into(),
             "dropped".into(),
+            "delayed".into(),
+            "worst link".into(),
         ],
         rows,
     }
@@ -850,6 +974,7 @@ pub fn fig7(fact_scale: f64, seed: u64) -> FigTable {
             decision_sink: None,
             faults: None,
             retry: None,
+            telemetry: None,
         };
         let ours = run_job(&job, store, udfs.clone(), tuples, vec![]);
         if std::env::var("JL_DEBUG").is_ok() {

@@ -13,9 +13,21 @@ pub mod output;
 
 pub use experiments::{
     bench_threads, chaos_fault_plan, chaos_retry, fig11, fig5, fig6, fig7, fig8, fig9, fig_chaos,
-    run_chaos_report, run_grid, CHAOS_STRATEGIES, SKEWS,
+    run_chaos_report, run_grid, traced_chaos_run, CHAOS_STRATEGIES, SKEWS,
 };
 pub use output::FigTable;
+
+/// Arguments shared by the figure binaries.
+pub struct BenchArgs {
+    /// Input-volume scale (1.0 = figure scale).
+    pub scale: f64,
+    /// Base seed for every per-cell RNG stream.
+    pub seed: u64,
+    /// Where to write the Chrome trace-event JSON of the canonical traced
+    /// run ([`traced_chaos_run`]), from `--trace <path>` or the `JL_TRACE`
+    /// environment variable. `None` disables telemetry entirely.
+    pub trace: Option<std::path::PathBuf>,
+}
 
 /// Parse a `--scale X` style argument list: returns (scale, seed).
 ///
@@ -25,8 +37,20 @@ pub use output::FigTable;
 /// are independent seeded simulations collected in input order — so this
 /// is purely a resource-control knob.
 pub fn parse_args(default_scale: f64) -> (f64, u64) {
+    let a = parse_args_full(default_scale);
+    (a.scale, a.seed)
+}
+
+/// [`parse_args`] plus the tracing flags: `--trace <path>` (or the
+/// `JL_TRACE` environment variable, the flag winning when both are set)
+/// selects a Chrome trace-event output file; the metrics snapshot lands
+/// next to it with a `.metrics.json` extension.
+pub fn parse_args_full(default_scale: f64) -> BenchArgs {
     let mut scale = default_scale;
     let mut seed = 42u64;
+    let mut trace: Option<std::path::PathBuf> = std::env::var_os("JL_TRACE")
+        .filter(|v| !v.is_empty())
+        .map(Into::into);
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
     while i < args.len() {
@@ -37,6 +61,10 @@ pub fn parse_args(default_scale: f64) -> (f64, u64) {
             }
             "--seed" if i + 1 < args.len() => {
                 seed = args[i + 1].parse().unwrap_or(42);
+                i += 2;
+            }
+            "--trace" if i + 1 < args.len() => {
+                trace = Some(args[i + 1].clone().into());
                 i += 2;
             }
             "--threads" if i + 1 < args.len() => {
@@ -50,5 +78,38 @@ pub fn parse_args(default_scale: f64) -> (f64, u64) {
             _ => i += 1,
         }
     }
-    (scale, seed)
+    BenchArgs { scale, seed, trace }
+}
+
+/// Run the canonical traced chaos cell and write its Chrome trace-event
+/// JSON to `path` and the metrics snapshot to `path` with a
+/// `.metrics.json` extension. Figure binaries call this when `--trace` /
+/// `JL_TRACE` is set; load the trace in Perfetto (ui.perfetto.dev) or
+/// `chrome://tracing`.
+pub fn write_trace(path: &std::path::Path, scale: f64, seed: u64) {
+    let (report, tel) = traced_chaos_run(scale, seed);
+    std::fs::write(path, tel.to_chrome_json())
+        .unwrap_or_else(|e| panic!("cannot write trace {}: {e}", path.display()));
+    let metrics_path = path.with_extension("metrics.json");
+    std::fs::write(&metrics_path, tel.metrics_json())
+        .unwrap_or_else(|e| panic!("cannot write metrics {}: {e}", metrics_path.display()));
+    eprintln!(
+        "trace: {} events -> {} (metrics -> {}); chaos run: retries={} failovers={} dropped={}",
+        tel.events.len(),
+        path.display(),
+        metrics_path.display(),
+        report.retries,
+        report.failovers,
+        report.dropped_messages,
+    );
+}
+
+/// End-of-run trace hook for binaries that still use the two-value
+/// [`parse_args`]: re-reads the process arguments and writes the canonical
+/// trace if `--trace <path>` / `JL_TRACE` was given, otherwise does
+/// nothing.
+pub fn write_trace_if_requested(scale: f64, seed: u64) {
+    if let Some(path) = parse_args_full(scale).trace {
+        write_trace(&path, scale, seed);
+    }
 }

@@ -145,6 +145,20 @@ pub trait DecisionSink<K> {
     fn on_decision(&mut self, event: &DecisionEvent<'_, K>);
 }
 
+/// Closure adapter for [`DecisionSink`], so harnesses can observe the
+/// decision stream (or tee it into telemetry *and* a user sink) without
+/// defining a named type.
+pub struct FnSink<F>(pub F);
+
+impl<K, F> DecisionSink<K> for FnSink<F>
+where
+    F: FnMut(&DecisionEvent<'_, K>),
+{
+    fn on_decision(&mut self, event: &DecisionEvent<'_, K>) {
+        (self.0)(event);
+    }
+}
+
 /// The paper-strategy policy factory: the only place a [`Strategy`] is
 /// turned into behavior. `seed` feeds [`RandomPolicy`] so runs stay
 /// reproducible.
@@ -157,5 +171,32 @@ where
         Strategy::DataSide | Strategy::BalanceOnly => Box::new(DataSidePolicy),
         Strategy::Random => Box::new(RandomPolicy::new(seed)),
         Strategy::CacheOnly | Strategy::Full => Box::new(SkiRentalPolicy::new(cfg)),
+    }
+}
+
+#[cfg(test)]
+mod fn_sink_tests {
+    use super::*;
+
+    #[test]
+    fn fn_sink_forwards_events() {
+        let ev = DecisionEvent {
+            key: &42u64,
+            dest: 3,
+            placement: Placement::Rent,
+            rent: 1.0,
+            buy: 2.0,
+            rec_mem: 0.1,
+            rent_eff: 1.0,
+            freq_count: 0,
+            frozen: false,
+        };
+        let mut seen: Vec<(u64, usize)> = Vec::new();
+        {
+            let mut sink = FnSink(|ev: &DecisionEvent<'_, u64>| seen.push((*ev.key, ev.dest)));
+            sink.on_decision(&ev);
+            sink.on_decision(&ev);
+        }
+        assert_eq!(seen, vec![(42, 3), (42, 3)]);
     }
 }

@@ -35,7 +35,7 @@ pub mod types;
 pub use batcher::Batcher;
 pub use compute::policy::{
     policy_for, CacheIntent, ComputeSidePolicy, DataSidePolicy, DecisionCtx, DecisionEvent,
-    DecisionSink, Placement, PlacementPolicy, RandomPolicy, SkiRentalPolicy,
+    DecisionSink, FnSink, Placement, PlacementPolicy, RandomPolicy, SkiRentalPolicy,
 };
 pub use compute::{ComputeRuntime, DecisionStats};
 pub use config::{LbSolver, OptimizerConfig, Strategy};

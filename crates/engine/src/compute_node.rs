@@ -14,6 +14,7 @@ use jl_costmodel::NodeCosts;
 use jl_simkit::prelude::*;
 use jl_simkit::sim::NodeId;
 use jl_store::{Catalog, UdfRegistry};
+use jl_telemetry::{TelemetryHandle, TraceEvent, Track};
 
 use crate::cluster::{EKey, Msg, Val, BATCH_OVERHEAD, ITEM_OVERHEAD};
 use crate::config::{ClusterSpec, FeedMode, RetryConfig};
@@ -89,6 +90,11 @@ pub struct ComputeNode {
     /// Per data node: avoid routing to it until this time (set by
     /// timeouts, cleared by replies).
     down_until: Vec<SimTime>,
+    /// Shared recorder, when the run is traced. `None` costs one branch
+    /// per emission site and nothing else.
+    tel: Option<TelemetryHandle>,
+    /// This node's id in the trace (its sim node id).
+    tel_node: u32,
 }
 
 impl ComputeNode {
@@ -147,6 +153,37 @@ impl ComputeNode {
             backups,
             attempts: FxHashMap::default(),
             down_until: vec![SimTime::ZERO; spec_n_data],
+            tel: None,
+            tel_node: 0,
+        }
+    }
+
+    /// Attach a telemetry recorder. `node` is this node's sim id, used as
+    /// the trace process id. Call before the simulation starts.
+    pub fn set_telemetry(&mut self, tel: TelemetryHandle, node: u32) {
+        self.tel = Some(tel);
+        self.tel_node = node;
+    }
+
+    /// Publish the simulated clock to the recorder so downstream sinks
+    /// (e.g. the decision tee) stamp events correctly. Called at every
+    /// kernel-callback entry.
+    fn sync_clock(&self, now: SimTime) {
+        if let Some(t) = &self.tel {
+            t.borrow_mut().set_now(now);
+        }
+    }
+
+    /// Track the in-pipeline tuple count as a time-weighted gauge.
+    fn tel_outstanding(&self, now: SimTime) {
+        if let Some(t) = &self.tel {
+            t.borrow_mut().registry.time_gauge_set(
+                self.tel_node,
+                "pipeline",
+                "outstanding",
+                now,
+                self.outstanding() as f64,
+            );
         }
     }
 
@@ -192,6 +229,7 @@ impl ComputeNode {
 
     /// Called by the kernel at simulation start.
     pub fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.sync_clock(ctx.now());
         if matches!(self.feed, FeedMode::Batch { .. }) {
             self.refill(ctx);
         }
@@ -224,6 +262,7 @@ impl ComputeNode {
         let seq = tuple.seq;
         self.started_at.insert(seq, ctx.now());
         self.live.insert(seq, tuple);
+        self.tel_outstanding(ctx.now());
         self.issue_stage(seq, 0, ctx);
     }
 
@@ -305,6 +344,13 @@ impl ComputeNode {
         if now < self.down_until[dest] {
             if let Some(&b) = self.backups.get(&dest) {
                 self.report.failovers += 1;
+                if let Some(t) = &self.tel {
+                    t.borrow_mut().record(
+                        TraceEvent::instant(self.tel_node, Track::Fault, "failover", now)
+                            .arg("dest", dest as u64)
+                            .arg("backup", b as u64),
+                    );
+                }
                 return self.spec.data_id(b);
             }
         }
@@ -335,10 +381,33 @@ impl ComputeNode {
         };
         self.rt.set_health(old_dest, health);
         let attempt = self.attempts.remove(&req_id).unwrap_or(0) + 1;
+        if let Some(t) = &self.tel {
+            let mut t = t.borrow_mut();
+            if let Some(&t0) = self.sent_at.get(&req_id) {
+                t.record(
+                    TraceEvent::span(
+                        self.tel_node,
+                        Track::Fault,
+                        "timeout",
+                        t0,
+                        ctx.now().since(t0),
+                    )
+                    .arg("req", req_id)
+                    .arg("dest", old_dest as u64)
+                    .arg("attempt", u64::from(attempt)),
+                );
+            }
+        }
         if attempt > rc.max_retries {
             self.rt.abandon(req_id);
             self.sent_at.remove(&req_id);
             self.report.gave_up += 1;
+            if let Some(t) = &self.tel {
+                t.borrow_mut().record(
+                    TraceEvent::instant(self.tel_node, Track::Fault, "gave-up", ctx.now())
+                        .arg("req", req_id),
+                );
+            }
             if let Some((seq, stage)) = self.sent.remove(&req_id) {
                 self.stage_finished(seq, stage, None, ctx);
             }
@@ -352,6 +421,13 @@ impl ComputeNode {
             return;
         };
         self.report.retries += 1;
+        if let Some(t) = &self.tel {
+            t.borrow_mut().record(
+                TraceEvent::instant(self.tel_node, Track::Fault, "retry", ctx.now())
+                    .arg("req", req_id)
+                    .arg("attempt", u64::from(attempt)),
+            );
+        }
         self.attempts.insert(new_id, attempt);
         if let Some(m) = self.sent.remove(&req_id) {
             self.sent.insert(new_id, m);
@@ -382,8 +458,21 @@ impl ComputeNode {
             self.live.remove(&seq);
             if let Some(t0) = self.started_at.remove(&seq) {
                 self.latency.record(ctx.now().since(t0));
+                if let Some(t) = &self.tel {
+                    t.borrow_mut().record(
+                        TraceEvent::span(
+                            self.tel_node,
+                            Track::Lifecycle,
+                            "tuple",
+                            t0,
+                            ctx.now().since(t0),
+                        )
+                        .arg("seq", seq),
+                    );
+                }
             }
             self.report.completed += 1;
+            self.tel_outstanding(ctx.now());
             self.refill(ctx);
         }
     }
@@ -407,6 +496,7 @@ impl ComputeNode {
 
     /// Kernel message dispatch.
     pub fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        self.sync_clock(ctx.now());
         match msg {
             Msg::Tuple(tuple) => {
                 // Streaming arrival: queue it; process under the window.
@@ -435,6 +525,19 @@ impl ComputeNode {
                 for item in &items {
                     if let Some(t0) = self.sent_at.remove(&item.req_id) {
                         self.remote_lat.record(ctx.now().since(t0));
+                        if let Some(t) = &self.tel {
+                            t.borrow_mut().record(
+                                TraceEvent::span(
+                                    self.tel_node,
+                                    Track::Wire,
+                                    "request",
+                                    t0,
+                                    ctx.now().since(t0),
+                                )
+                                .arg("req", item.req_id)
+                                .arg("from_data", from_data as u64),
+                            );
+                        }
                     }
                 }
                 // Outputs computed at the data node complete their stage.
@@ -470,6 +573,7 @@ impl ComputeNode {
     /// Kernel timer dispatch: local UDF completions, batch deadlines, and
     /// per-request retry timeouts.
     pub fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
+        self.sync_clock(ctx.now());
         // DEADLINE_TAG is u64::MAX, which also carries RETRY_BIT — it must
         // be checked first.
         if tag == DEADLINE_TAG {

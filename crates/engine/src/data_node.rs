@@ -13,6 +13,7 @@ use jl_costmodel::{ExpSmoothed, SizeProfile};
 use jl_simkit::prelude::*;
 use jl_simkit::sim::NodeId;
 use jl_store::{BlockCache, Catalog, InterestTracker, RegionServer, StoredValue, UdfRegistry};
+use jl_telemetry::{TelemetryHandle, TraceEvent, Track};
 
 use crate::cluster::{EKey, Msg, Val, BATCH_OVERHEAD, ITEM_OVERHEAD};
 
@@ -58,6 +59,10 @@ pub struct DataNode {
     replica_sources: Vec<usize>,
     /// Crashes survived (process state wiped, on-disk regions kept).
     crashes: u64,
+    /// Shared recorder, when the run is traced.
+    tel: Option<TelemetryHandle>,
+    /// This node's id in the trace (its sim node id).
+    tel_node: u32,
 }
 
 impl DataNode {
@@ -100,6 +105,22 @@ impl DataNode {
             udf_execs: 0,
             replica_sources: Vec::new(),
             crashes: 0,
+            tel: None,
+            tel_node: 0,
+        }
+    }
+
+    /// Attach a telemetry recorder. `node` is this node's sim id, used as
+    /// the trace process id. Call before the simulation starts.
+    pub fn set_telemetry(&mut self, tel: TelemetryHandle, node: u32) {
+        self.tel = Some(tel);
+        self.tel_node = node;
+    }
+
+    /// Publish the simulated clock to the recorder (callback entry).
+    fn sync_clock(&self, now: SimTime) {
+        if let Some(t) = &self.tel {
+            t.borrow_mut().set_now(now);
         }
     }
 
@@ -155,6 +176,15 @@ impl DataNode {
         self.block_cache.hit_ratio()
     }
 
+    /// Block-cache `(hits, misses, evictions)` counters.
+    pub fn block_cache_counts(&self) -> (u64, u64, u64) {
+        (
+            self.block_cache.hits(),
+            self.block_cache.misses(),
+            self.block_cache.evictions(),
+        )
+    }
+
     fn cost_info(&self, v: &StoredValue) -> CostInfo {
         CostInfo {
             value_size: v.size(),
@@ -186,6 +216,7 @@ impl DataNode {
         let mut found_sizes: Vec<u64> = Vec::with_capacity(n_items);
         let mut key_bytes = 0u64;
         let mut params_bytes = 0u64;
+        let mut prev_evictions = self.block_cache.evictions();
         for item in &batch.items {
             let (table, row) = &item.key;
             key_bytes += row.len() as u64;
@@ -200,6 +231,21 @@ impl DataNode {
                 Some(v) => {
                     // HBase block cache: hot rows are served from RAM.
                     let hit = self.block_cache.access(item.key.clone(), v.size());
+                    let evictions = self.block_cache.evictions();
+                    if evictions > prev_evictions {
+                        if let Some(t) = &self.tel {
+                            t.borrow_mut().record(
+                                TraceEvent::instant(
+                                    self.tel_node,
+                                    Track::Decision,
+                                    "cache-evict",
+                                    now,
+                                )
+                                .arg("count", evictions - prev_evictions),
+                            );
+                        }
+                        prev_evictions = evictions;
+                    }
                     let done = if hit {
                         self.rt.observe_disk(0.0);
                         now
@@ -420,6 +466,16 @@ impl DataNode {
             );
         }
 
+        if let Some(t) = &self.tel {
+            t.borrow_mut().record(
+                TraceEvent::span(self.tel_node, Track::Serve, "batch", now, ready.since(now))
+                    .arg("items", n_items as u64)
+                    .arg("executed", executed)
+                    .arg("bounced", n_compute - executed)
+                    .arg("data", n_data),
+            );
+        }
+
         // 6. Drain the queue counters when the batch completes.
         let drain = PendingDrain {
             computed: executed,
@@ -451,6 +507,14 @@ impl DataNode {
         // Charge a disk write.
         let svc = self.spec.disk_service(value.size());
         ctx.use_resource(ResourceKind::Disk, ctx.now(), svc);
+        if let Some(t) = &self.tel {
+            t.borrow_mut().record(TraceEvent::instant(
+                self.tel_node,
+                Track::Serve,
+                "put",
+                ctx.now(),
+            ));
+        }
         self.block_cache.invalidate(&(table, key.clone()));
         self.server.put(table, region, key.clone(), value);
         // Invalidate cached copies at compute nodes (§4.2.3): either only
@@ -473,6 +537,7 @@ impl DataNode {
 
     /// Kernel message dispatch.
     pub fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        self.sync_clock(ctx.now());
         match msg {
             Msg::Request {
                 from_compute,

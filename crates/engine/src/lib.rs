@@ -20,12 +20,16 @@ pub mod data_node;
 pub mod plan;
 pub mod runner;
 pub mod shuffle;
+pub mod telemetry;
 pub mod verify;
 
 pub use baselines::{run_reduce_side, BaselineReport, ReduceSideKind};
 pub use cluster::{ClusterNode, EKey, Msg, Val};
 pub use config::{ClusterSpec, FeedMode, NotifyMode, RetryConfig};
 pub use plan::{JobPlan, JobTuple, StageSpec};
-pub use runner::{build_store, run_job, JobSpec, PolicyFactory, RunReport, SinkFactory};
+pub use runner::{
+    build_store, run_job, run_job_traced, JobSpec, PolicyFactory, RunReport, SinkFactory,
+};
 pub use shuffle::run_shuffle_multijoin;
+pub use telemetry::EngineProbe;
 pub use verify::{reference_run, Reference};

@@ -7,6 +7,7 @@ use rustc_hash::FxHashMap;
 use jl_core::{DecisionSink, OptimizerConfig, PlacementPolicy};
 use jl_simkit::prelude::*;
 use jl_store::{Partitioning, RegionMap, RowKey, StoreCluster, StoredValue, UdfRegistry};
+use jl_telemetry::{MetricsRegistry, RunTelemetry, TelemetryConfig, TelemetryHandle};
 
 use crate::cluster::{ClusterNode, EKey, Msg};
 use crate::compute_node::ComputeNode;
@@ -14,6 +15,7 @@ use crate::config::{ClusterSpec, FeedMode, RetryConfig};
 use crate::controller::Controller;
 use crate::data_node::DataNode;
 use crate::plan::{JobPlan, JobTuple};
+use crate::telemetry::{decision_tee, EngineProbe};
 
 /// Factory building one compute node's placement policy. Called once per
 /// compute node with the run's optimizer config and that node's derived
@@ -55,6 +57,11 @@ pub struct JobSpec {
     /// Timeout/retry/failover behavior; `None` disables retry timers
     /// entirely, preserving the exact fault-free event stream.
     pub retry: Option<RetryConfig>,
+    /// Telemetry configuration. `None` (the default everywhere) records
+    /// nothing: no recorder is allocated, instrumented code paths reduce
+    /// to a single branch, and [`run_job_traced`] returns no
+    /// [`RunTelemetry`].
+    pub telemetry: Option<TelemetryConfig>,
 }
 
 /// Aggregate results of a run.
@@ -93,6 +100,12 @@ pub struct RunReport {
     pub gave_up: u64,
     /// Messages lost to injected faults.
     pub dropped_messages: u64,
+    /// Messages held back by injected link delays (delivered late).
+    pub delayed_messages: u64,
+    /// Per-link fault accounting, `(from, to, dropped, delayed)` in sim
+    /// node ids, ordered by link. Only links the fault plan actually
+    /// touched appear; healthy runs report an empty list.
+    pub link_faults: Vec<(usize, usize, u64, u64)>,
     /// 99th-percentile ingest→completion latency across all compute
     /// nodes (the chaos figures' tail-latency measure).
     pub p99_latency: SimDuration,
@@ -192,7 +205,20 @@ pub fn run_job(
     tuples: Vec<JobTuple>,
     updates: Vec<UpdateEvent>,
 ) -> RunReport {
+    run_job_traced(spec, store, udfs, tuples, updates).0
+}
+
+/// [`run_job`], also returning the run's telemetry when
+/// [`JobSpec::telemetry`] is set (`None` otherwise).
+pub fn run_job_traced(
+    spec: &JobSpec,
+    store: StoreCluster,
+    udfs: UdfRegistry,
+    tuples: Vec<JobTuple>,
+    updates: Vec<UpdateEvent>,
+) -> (RunReport, Option<RunTelemetry>) {
     let cluster = &spec.cluster;
+    let tel: Option<TelemetryHandle> = spec.telemetry.map(jl_telemetry::shared);
     let (catalog, mut servers) = store.into_parts();
     let mut sim: Sim<ClusterNode> = Sim::new(spec.seed, cluster.net);
 
@@ -243,8 +269,11 @@ pub fn run_job(
     for (i, input) in per_node.iter_mut().enumerate() {
         let node_seed = jl_simkit::rng::derive_seed(spec.seed, "compute") ^ i as u64;
         let policy = spec.policy.as_ref().map(|f| f(&spec.optimizer, node_seed));
-        let sink = spec.decision_sink.as_ref().map(|f| f(i));
-        let node = ComputeNode::new(
+        let mut sink = spec.decision_sink.as_ref().map(|f| f(i));
+        if let Some(t) = &tel {
+            sink = Some(decision_tee(t.clone(), cluster.compute_id(i) as u32, sink));
+        }
+        let mut node = ComputeNode::new(
             i,
             spec.optimizer.clone(),
             cluster.clone(),
@@ -260,6 +289,9 @@ pub fn run_job(
             spec.retry,
             Arc::clone(&backups),
         );
+        if let Some(t) = &tel {
+            node.set_telemetry(t.clone(), cluster.compute_id(i) as u32);
+        }
         sim.add_node(ClusterNode::Compute(node), cluster.node);
     }
     for (j, server) in servers.into_iter().enumerate() {
@@ -279,6 +311,9 @@ pub fn run_job(
                 node.add_replica_source(src);
             }
         }
+        if let Some(t) = &tel {
+            node.set_telemetry(t.clone(), cluster.data_id(j) as u32);
+        }
         sim.add_node(ClusterNode::Data(node), cluster.node);
     }
     sim.add_node(
@@ -287,6 +322,9 @@ pub fn run_job(
     );
     if let Some(plan) = &spec.faults {
         sim.set_fault_plan(plan.clone());
+    }
+    if let Some(t) = &tel {
+        sim.set_probe(Box::new(EngineProbe::new(t.clone())));
     }
 
     // Streaming arrivals. The feed volume is known up front; one reserve
@@ -353,61 +391,37 @@ pub fn run_job(
     } else {
         jl_simkit::stats::stable_mean(&data_utils)
     };
-    if std::env::var("JL_UTIL").is_ok() {
-        let n0 = sim
-            .node(cluster.compute_id(0))
-            .as_compute()
-            .expect("compute");
-        let h = n0.latency();
-        eprintln!(
-            "  C0 latency: p50={} p90={} p99={} max={} n={}",
-            h.quantile(0.5),
-            h.quantile(0.9),
-            h.quantile(0.99),
-            h.max(),
-            h.count()
-        );
-        let r = n0.remote_latency();
-        eprintln!(
-            "  C0 remote:  p50={} p90={} p99={} max={} n={}",
-            r.quantile(0.5),
-            r.quantile(0.9),
-            r.quantile(0.99),
-            r.max(),
-            r.count()
-        );
-        let l = n0.local_latency();
-        eprintln!(
-            "  C0 local:   p50={} p90={} p99={} max={} n={}",
-            l.quantile(0.5),
-            l.quantile(0.9),
-            l.quantile(0.99),
-            l.max(),
-            l.count()
-        );
-        for i in 0..cluster.n_compute {
-            let r = sim.resources(cluster.compute_id(i));
-            eprintln!(
-                "  C{i}: cpu={:.2} disk={:.2} in={:.2} out={:.2}",
-                r.cpu.utilization(end),
-                r.disk.utilization(end),
-                r.nic_in.utilization(end),
-                r.nic_out.utilization(end)
-            );
+    // End-of-run metrics snapshot: built into the recorder's registry on
+    // traced runs, or into a throwaway registry when only the verbose
+    // summary wants it. `JL_VERBOSE=1` replaces the old ad-hoc diagnostic
+    // dump with the machine-parseable telemetry summary; the default is
+    // silent.
+    let verbosity = std::env::var("JL_VERBOSE")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(0);
+    if tel.is_some() || verbosity >= 1 {
+        let mut standalone = MetricsRegistry::new();
+        match &tel {
+            Some(t) => snapshot_metrics(&mut t.borrow_mut().registry, &sim, cluster, end),
+            None => snapshot_metrics(&mut standalone, &sim, cluster, end),
         }
-        for j in 0..cluster.n_data {
-            let r = sim.resources(cluster.data_id(j));
-            eprintln!(
-                "  D{j}: cpu={:.2} disk={:.2} in={:.2} out={:.2}",
-                r.cpu.utilization(end),
-                r.disk.utilization(end),
-                r.nic_in.utilization(end),
-                r.nic_out.utilization(end)
-            );
+        if verbosity >= 1 {
+            let names = process_names(cluster);
+            let text = match &tel {
+                Some(t) => jl_telemetry::summary_text(&t.borrow().registry, &names, end),
+                None => jl_telemetry::summary_text(&standalone, &names, end),
+            };
+            eprint!("{text}");
         }
     }
+    let link_faults: Vec<(usize, usize, u64, u64)> = sim
+        .link_stats()
+        .iter()
+        .map(|(&(from, to), ls)| (from, to, ls.dropped, ls.delayed))
+        .collect();
     let totals = sim.net_totals();
-    RunReport {
+    let report = RunReport {
         duration: end.since(SimTime::ZERO),
         completed,
         fingerprint,
@@ -423,7 +437,129 @@ pub fn run_job(
         failovers,
         gave_up,
         dropped_messages: totals.dropped,
+        delayed_messages: totals.delayed,
+        link_faults,
         p99_latency: all_latency.quantile(0.99),
+    };
+    // The nodes and the probe hold clones of the handle; dropping the sim
+    // releases them so the recorder can be unwrapped.
+    drop(sim);
+    let run_tel = tel.map(|h| {
+        let recorder = std::rc::Rc::try_unwrap(h)
+            .unwrap_or_else(|_| panic!("telemetry handle uniquely owned once the sim is dropped"))
+            .into_inner();
+        let (events, registry) = recorder.finish();
+        RunTelemetry {
+            end,
+            events,
+            registry,
+            processes: process_names(cluster),
+        }
+    });
+    (report, run_tel)
+}
+
+/// Trace/summary display names for every sim node of `cluster`.
+fn process_names(cluster: &ClusterSpec) -> Vec<(u32, String)> {
+    let mut names = Vec::with_capacity(cluster.n_compute + cluster.n_data + 1);
+    for i in 0..cluster.n_compute {
+        names.push((cluster.compute_id(i) as u32, format!("C{i}")));
+    }
+    for j in 0..cluster.n_data {
+        names.push((cluster.data_id(j) as u32, format!("D{j}")));
+    }
+    names.push((cluster.controller_id() as u32, "ctrl".to_string()));
+    names
+}
+
+/// Fold the run's end state — per-node latency histograms, pipeline and
+/// retry counters, decision/cache statistics, store and block-cache
+/// counters, resource utilizations and queueing-wait histograms, and
+/// cluster-wide network totals — into `reg`.
+fn snapshot_metrics(
+    reg: &mut MetricsRegistry,
+    sim: &Sim<ClusterNode>,
+    cluster: &ClusterSpec,
+    end: SimTime,
+) {
+    for i in 0..cluster.n_compute {
+        let id = cluster.compute_id(i);
+        let node = id as u32;
+        let n = sim.node(id).as_compute().expect("compute role");
+        reg.hist_merge(node, "latency", "tuple", n.latency());
+        reg.hist_merge(node, "latency", "remote", n.remote_latency());
+        reg.hist_merge(node, "latency", "local", n.local_latency());
+        let r = n.report();
+        reg.counter_add(node, "pipeline", "ingested", r.ingested);
+        reg.counter_add(node, "pipeline", "completed", r.completed);
+        reg.counter_add(node, "retry", "retries", r.retries);
+        reg.counter_add(node, "retry", "failovers", r.failovers);
+        reg.counter_add(node, "retry", "gave_up", r.gave_up);
+        let d = n.decision_stats();
+        reg.counter_add(node, "decision", "compute_requests", d.compute_requests);
+        reg.counter_add(node, "decision", "data_requests", d.data_requests);
+        reg.counter_add(node, "decision", "mem_hits", d.mem_hits);
+        reg.counter_add(node, "decision", "disk_hits", d.disk_hits);
+        reg.counter_add(node, "decision", "bounced_local", d.bounced_local);
+        let c = n.cache_stats();
+        reg.counter_add(node, "cache", "mem_hits", c.mem_hits);
+        reg.counter_add(node, "cache", "disk_hits", c.disk_hits);
+        reg.counter_add(node, "cache", "misses", c.misses);
+        reg.counter_add(node, "cache", "inserts_mem", c.inserts_mem);
+        reg.counter_add(node, "cache", "inserts_disk", c.inserts_disk);
+        reg.counter_add(node, "cache", "invalidations", c.invalidations);
+        snapshot_resources(reg, node, sim.resources(id), end);
+    }
+    for j in 0..cluster.n_data {
+        let id = cluster.data_id(j);
+        let node = id as u32;
+        let n = sim.node(id).as_data().expect("data role");
+        let s = n.stats();
+        reg.counter_add(node, "serve", "batches", s.batches);
+        reg.counter_add(node, "serve", "compute_requests", s.compute_requests);
+        reg.counter_add(node, "serve", "data_requests", s.data_requests);
+        reg.counter_add(node, "serve", "executed_here", s.executed_here);
+        reg.counter_add(node, "serve", "bounced", s.bounced);
+        reg.counter_add(node, "serve", "udf_execs", n.udf_execs());
+        let ss = n.server_stats();
+        reg.counter_add(node, "store", "gets", ss.gets);
+        reg.counter_add(node, "store", "get_misses", ss.get_misses);
+        reg.counter_add(node, "store", "puts", ss.puts);
+        let (hits, misses, evictions) = n.block_cache_counts();
+        reg.counter_add(node, "blockcache", "hits", hits);
+        reg.counter_add(node, "blockcache", "misses", misses);
+        reg.counter_add(node, "blockcache", "evictions", evictions);
+        reg.gauge_set(node, "blockcache", "hit_ratio", n.block_cache_hit_ratio());
+        reg.counter_add(node, "fault", "crashes", n.crashes());
+        snapshot_resources(reg, node, sim.resources(id), end);
+    }
+    let ctrl = cluster.controller_id() as u32;
+    let totals = sim.net_totals();
+    reg.counter_add(ctrl, "net", "messages", totals.messages);
+    reg.counter_add(ctrl, "net", "bytes", totals.bytes);
+    reg.counter_add(ctrl, "net", "dropped", totals.dropped);
+    reg.counter_add(ctrl, "net", "delayed", totals.delayed);
+    // Per-link counts fold onto the receiving node (metric names are
+    // static; the link list itself is surfaced via `RunReport`).
+    for (&(_, to), ls) in sim.link_stats() {
+        reg.counter_add(to as u32, "net", "dropped_in", ls.dropped);
+        reg.counter_add(to as u32, "net", "delayed_in", ls.delayed);
+    }
+}
+
+/// Utilization gauge, job counter, and queueing-wait histogram for each of
+/// one node's four resources.
+fn snapshot_resources(reg: &mut MetricsRegistry, node: u32, res: &NodeResources, end: SimTime) {
+    let all = [
+        ("cpu", &res.cpu),
+        ("disk", &res.disk),
+        ("nic_in", &res.nic_in),
+        ("nic_out", &res.nic_out),
+    ];
+    for (scope, r) in all {
+        reg.gauge_set(node, scope, "utilization", r.utilization(end));
+        reg.counter_add(node, scope, "jobs", r.jobs());
+        reg.hist_merge(node, scope, "wait", r.wait_histogram());
     }
 }
 
@@ -485,6 +621,7 @@ mod tests {
             decision_sink: None,
             faults: None,
             retry: None,
+            telemetry: None,
         };
         (job, store, udfs, tuples)
     }
@@ -506,6 +643,8 @@ mod tests {
             failovers: 0,
             gave_up: 0,
             dropped_messages: 0,
+            delayed_messages: 0,
+            link_faults: Vec::new(),
             p99_latency: SimDuration::ZERO,
         }
     }
@@ -673,6 +812,71 @@ mod tests {
         );
         assert!(r.dropped_messages > 0);
         assert_eq!(r.retries, 0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_and_produces_telemetry() {
+        let (job, store, udfs, tuples) = setup(Strategy::Full, 1.0);
+        let plain = run_job(&job, store, udfs, tuples, vec![]);
+        let (mut job, store, udfs, tuples) = setup(Strategy::Full, 1.0);
+        job.telemetry = Some(jl_telemetry::TelemetryConfig::default());
+        let (traced, tel) = run_job_traced(&job, store, udfs, tuples, vec![]);
+        // Observation must not perturb the simulation.
+        assert_eq!(traced.duration, plain.duration);
+        assert_eq!(traced.fingerprint, plain.fingerprint);
+        assert_eq!(traced.net_bytes, plain.net_bytes);
+        assert_eq!(traced.sim_events, plain.sim_events);
+        let tel = tel.expect("telemetry requested");
+        assert!(!tel.events.is_empty(), "no trace events recorded");
+        assert!(
+            tel.events
+                .iter()
+                .any(|e| e.track == jl_telemetry::Track::Decision),
+            "no placement decisions traced"
+        );
+        assert!(
+            tel.events
+                .iter()
+                .any(|e| e.track == jl_telemetry::Track::Cpu && e.dur.is_some()),
+            "no CPU service spans traced"
+        );
+        assert!(!tel.registry.is_empty(), "metrics registry empty");
+        let trace = tel.to_chrome_json();
+        let check = jl_telemetry::json::validate_chrome_trace(&trace).expect("trace validates");
+        assert!(check.spans > 0 && check.metadata > 0);
+    }
+
+    #[test]
+    fn untraced_run_returns_no_telemetry() {
+        let (job, store, udfs, tuples) = setup(Strategy::Full, 1.0);
+        let (_, tel) = run_job_traced(&job, store, udfs, tuples, vec![]);
+        assert!(tel.is_none());
+    }
+
+    #[test]
+    fn chaos_run_surfaces_per_link_faults() {
+        let (job, store, udfs, tuples) = setup(Strategy::Full, 1.0);
+        let healthy = run_job(&job, store, udfs, tuples, vec![]);
+        assert!(healthy.link_faults.is_empty());
+        assert_eq!(healthy.delayed_messages, 0);
+        let (job, store, udfs, tuples) = chaos_job(&healthy, Strategy::Full);
+        let chaos = run_job(&job, store, udfs, tuples, vec![]);
+        assert!(!chaos.link_faults.is_empty(), "no per-link counts");
+        let total_dropped: u64 = chaos.link_faults.iter().map(|l| l.2).sum();
+        assert_eq!(total_dropped, chaos.dropped_messages);
+        // Drops come from two fault sources only: the lossy link into data
+        // node 2, and messages to/from data node 0 lost during its crash
+        // window. No other link may report drops.
+        let lossy = job.cluster.data_id(2);
+        let crashed = job.cluster.data_id(0);
+        assert!(
+            chaos
+                .link_faults
+                .iter()
+                .all(|&(from, to, d, _)| d == 0 || to == lossy || to == crashed || from == crashed),
+            "drops charged to an untargeted link: {:?}",
+            chaos.link_faults
+        );
     }
 
     #[test]

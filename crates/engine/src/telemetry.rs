@@ -1,0 +1,164 @@
+//! Engine-side telemetry bridge.
+//!
+//! Connects the kernel's [`SimProbe`] hook and the cluster nodes to a
+//! [`jl_telemetry::Telemetry`] recorder. Everything here stamps events with
+//! **simulated** time (the probe callbacks carry it; nodes publish it via
+//! [`jl_telemetry::Telemetry::set_now`] at callback entry), so traces are
+//! byte-identical regardless of how many host threads run the experiment
+//! grid.
+//!
+//! The probe turns every non-trivial resource grant into a complete span on
+//! the matching per-node track (`cpu` / `disk` / `nic-out` / `nic-in`) and
+//! every injected network/node fault into an instant on the `fault` track.
+//! Node-level lifecycle, wire, serve, decision and retry events are emitted
+//! by [`ComputeNode`](crate::compute_node::ComputeNode) and
+//! [`DataNode`](crate::data_node::DataNode) through the same shared handle.
+
+use jl_core::{DecisionEvent, DecisionSink, FnSink, Placement};
+use jl_simkit::prelude::*;
+use jl_telemetry::{TelemetryHandle, TraceEvent, Track};
+
+use crate::cluster::EKey;
+
+/// Kernel probe that records resource grants and fault-plan effects as
+/// trace events. Installed by the runner only when a job asks for
+/// telemetry; an uninstrumented run never constructs one.
+pub struct EngineProbe {
+    tel: TelemetryHandle,
+}
+
+impl EngineProbe {
+    /// Bridge kernel callbacks into `tel`.
+    pub fn new(tel: TelemetryHandle) -> Self {
+        EngineProbe { tel }
+    }
+}
+
+impl SimProbe for EngineProbe {
+    fn on_grant(
+        &mut self,
+        node: NodeId,
+        kind: ResourceKind,
+        ready: SimTime,
+        service: SimDuration,
+        grant: Grant,
+    ) {
+        if service == SimDuration::ZERO {
+            return;
+        }
+        let track = match kind {
+            ResourceKind::Cpu => Track::Cpu,
+            ResourceKind::Disk => Track::Disk,
+            ResourceKind::NicOut => Track::NicOut,
+            ResourceKind::NicIn => Track::NicIn,
+        };
+        let mut t = self.tel.borrow_mut();
+        if !t.spans_enabled() {
+            return;
+        }
+        let wait = grant.start.since(ready);
+        let mut ev = TraceEvent::span(
+            node as u32,
+            track,
+            "service",
+            grant.start,
+            grant.done.since(grant.start),
+        );
+        if wait > SimDuration::ZERO {
+            ev = ev.arg("wait_us", wait.nanos() / 1_000);
+        }
+        t.record(ev);
+    }
+
+    fn on_drop(&mut self, from: NodeId, to: NodeId, at: SimTime) {
+        let mut t = self.tel.borrow_mut();
+        t.record(
+            TraceEvent::instant(to as u32, Track::Fault, "msg-dropped", at)
+                .arg("from", from as u64),
+        );
+    }
+
+    fn on_delay(&mut self, from: NodeId, to: NodeId, at: SimTime, extra: SimDuration) {
+        let mut t = self.tel.borrow_mut();
+        t.record(
+            TraceEvent::instant(to as u32, Track::Fault, "msg-delayed", at)
+                .arg("from", from as u64)
+                .arg("extra_us", extra.nanos() / 1_000),
+        );
+    }
+
+    fn on_fault(&mut self, node: NodeId, kind: FaultKind, at: SimTime) {
+        let name = match kind {
+            FaultKind::Crash => "crash",
+            FaultKind::Restart => "restart",
+        };
+        let mut t = self.tel.borrow_mut();
+        t.record(TraceEvent::instant(node as u32, Track::Fault, name, at));
+    }
+}
+
+/// Build the decision sink for one compute node of a traced run: every
+/// [`DecisionEvent`] becomes an instant on the node's `decision` track
+/// (stamped with the recorder's published sim clock — `DecisionEvent`
+/// itself carries no time, by design) and a per-placement counter, then
+/// flows on to the user's sink, if any. This is how tracing observes the
+/// decision plane without changing its golden-tested event shape.
+pub(crate) fn decision_tee(
+    tel: TelemetryHandle,
+    node: u32,
+    user: Option<Box<dyn DecisionSink<EKey>>>,
+) -> Box<dyn DecisionSink<EKey>> {
+    let mut user = user;
+    Box::new(FnSink(move |ev: &DecisionEvent<'_, EKey>| {
+        {
+            let mut t = tel.borrow_mut();
+            let now = t.now();
+            let name = match ev.placement {
+                Placement::Rent => "rent",
+                Placement::Buy(_) => "buy",
+            };
+            t.record(
+                TraceEvent::instant(node, Track::Decision, name, now)
+                    .arg("dest", ev.dest as u64)
+                    .arg("rent_eff", ev.rent_eff)
+                    .arg("buy", ev.buy)
+                    .arg("freq", ev.freq_count),
+            );
+            t.registry.counter_add(node, "decision", name, 1);
+        }
+        if let Some(u) = user.as_mut() {
+            u.on_decision(ev);
+        }
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jl_telemetry::TelemetryConfig;
+
+    #[test]
+    fn probe_skips_zero_service_grants() {
+        let tel = jl_telemetry::shared(TelemetryConfig::default());
+        let mut p = EngineProbe::new(tel.clone());
+        let g = Grant {
+            start: SimTime(5),
+            done: SimTime(5),
+        };
+        p.on_grant(0, ResourceKind::Cpu, SimTime(5), SimDuration::ZERO, g);
+        let g2 = Grant {
+            start: SimTime(10),
+            done: SimTime(30),
+        };
+        p.on_grant(1, ResourceKind::Disk, SimTime(5), SimDuration(20), g2);
+        p.on_fault(2, FaultKind::Crash, SimTime(40));
+        drop(p);
+        let tel = std::rc::Rc::try_unwrap(tel).ok().unwrap().into_inner();
+        let (events, _) = tel.finish();
+        assert_eq!(events.len(), 2);
+        assert_eq!(events[0].node, 1);
+        assert_eq!(events[0].track, Track::Disk);
+        assert_eq!(events[0].start, SimTime(10));
+        assert_eq!(events[1].name, "crash");
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod probe;
 pub mod resource;
 pub mod rng;
 pub mod sim;
@@ -46,6 +47,7 @@ pub mod time;
 /// Convenient glob import of the common kernel types.
 pub mod prelude {
     pub use crate::fault::{Crash, FaultKind, FaultPlan, LinkFault, Straggler};
+    pub use crate::probe::{LinkStats, SimProbe};
     pub use crate::resource::{FifoResource, Grant, NodeResources, ResourceKind};
     pub use crate::sim::{Ctx, NetConfig, Node, NodeId, NodeSpec, Sim, EXTERNAL};
     pub use crate::stats::{DurationHistogram, Moments, TimeWeightedGauge};

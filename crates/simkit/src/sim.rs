@@ -10,11 +10,12 @@
 //! messages or timers at those instants.
 
 use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use rand::rngs::StdRng;
 
 use crate::fault::{FaultKind, FaultPlan};
+use crate::probe::{LinkStats, SimProbe};
 use crate::resource::{Grant, NodeResources, ResourceKind};
 use crate::rng::indexed_rng;
 use crate::time::{SimDuration, SimTime};
@@ -130,6 +131,9 @@ pub struct NetTotals {
     /// Messages lost to injected faults: lossy links, or a crashed sender
     /// or receiver at delivery time.
     pub dropped: u64,
+    /// Messages delayed beyond the normal network model by an injected
+    /// link fault.
+    pub delayed: u64,
 }
 
 /// Everything in the simulation except the nodes themselves; nodes interact
@@ -150,6 +154,10 @@ struct SimInner<M> {
     /// installed, so the coin sequence depends only on the (deterministic)
     /// event order, never on host parallelism.
     fault_sends: u64,
+    /// Per-link drop/delay accounting; populated only at fault-plan sites,
+    /// so healthy runs never touch it.
+    links: BTreeMap<(NodeId, NodeId), LinkStats>,
+    probe: Option<Box<dyn SimProbe>>,
 }
 
 impl<M> SimInner<M> {
@@ -172,17 +180,32 @@ impl<M> SimInner<M> {
             if let Some(plan) = &self.faults {
                 wire = plan.scale_service(from, self.time, wire);
             }
-            self.resources[from].nic_out.submit(ready, wire).done
+            let grant = self.resources[from].nic_out.submit(ready, wire);
+            if let Some(probe) = &mut self.probe {
+                probe.on_grant(from, ResourceKind::NicOut, ready, wire, grant);
+            }
+            grant.done
         };
         let mut arrive = out_done + self.net.latency;
         let mut wire_in = self.resources[to].wire_time(bytes);
         if let Some(plan) = &self.faults {
-            arrive += plan.link_delay(from, to, self.time);
+            let extra = plan.link_delay(from, to, self.time);
+            if extra > SimDuration::ZERO {
+                self.totals.delayed += 1;
+                self.links.entry((from, to)).or_default().delayed += 1;
+                if let Some(probe) = &mut self.probe {
+                    probe.on_delay(from, to, self.time, extra);
+                }
+            }
+            arrive += extra;
             wire_in = plan.scale_service(to, self.time, wire_in);
         }
-        let delivered = self.resources[to].nic_in.submit(arrive, wire_in).done;
+        let grant = self.resources[to].nic_in.submit(arrive, wire_in);
+        if let Some(probe) = &mut self.probe {
+            probe.on_grant(to, ResourceKind::NicIn, arrive, wire_in, grant);
+        }
         self.totals.bytes += bytes;
-        delivered
+        grant.done
     }
 
     /// Route one message through the network model and enqueue its
@@ -204,6 +227,10 @@ impl<M> SimInner<M> {
                 self.fault_sends += 1;
                 if plan.drops_message(from, to, self.time, counter) {
                     self.totals.dropped += 1;
+                    self.links.entry((from, to)).or_default().dropped += 1;
+                    if let Some(probe) = &mut self.probe {
+                        probe.on_drop(from, to, self.time);
+                    }
                     return delivered;
                 }
             }
@@ -258,9 +285,13 @@ impl<'a, M> Ctx<'a, M> {
             Some(plan) => plan.scale_service(self.self_id, self.inner.time, service),
             None => service,
         };
-        self.inner.resources[self.self_id]
+        let grant = self.inner.resources[self.self_id]
             .get_mut(kind)
-            .submit(ready, service)
+            .submit(ready, service);
+        if let Some(probe) = &mut self.inner.probe {
+            probe.on_grant(self.self_id, kind, ready, service, grant);
+        }
+        grant
     }
 
     /// Charge CPU time starting no earlier than now.
@@ -345,6 +376,8 @@ impl<N: Node> Sim<N> {
                 stopped: false,
                 faults: None,
                 fault_sends: 0,
+                links: BTreeMap::new(),
+                probe: None,
             },
             started: false,
             seed,
@@ -438,6 +471,10 @@ impl<N: Node> Sim<N> {
                             || (from != EXTERNAL && plan.is_down(from, ev.time));
                         if lost {
                             self.inner.totals.dropped += 1;
+                            self.inner.links.entry((from, to)).or_default().dropped += 1;
+                            if let Some(probe) = &mut self.inner.probe {
+                                probe.on_drop(from, to, ev.time);
+                            }
                             continue;
                         }
                     }
@@ -462,6 +499,9 @@ impl<N: Node> Sim<N> {
                     self.nodes[node].on_timer(tag, &mut ctx);
                 }
                 EventKind::Fault { node, kind } => {
+                    if let Some(probe) = &mut self.inner.probe {
+                        probe.on_fault(node, kind, ev.time);
+                    }
                     if kind == FaultKind::Restart {
                         // The process comes back empty-handed: fresh FIFO
                         // queues, no memory of pre-crash backlog.
@@ -499,9 +539,21 @@ impl<N: Node> Sim<N> {
         self.inner.stopped
     }
 
+    /// Install a kernel probe observing grants, drops, delays, and faults.
+    /// At most one probe is active; installing replaces any previous one.
+    pub fn set_probe(&mut self, probe: Box<dyn SimProbe>) {
+        self.inner.probe = Some(probe);
+    }
+
     /// Aggregate network accounting.
     pub fn net_totals(&self) -> NetTotals {
         self.inner.totals
+    }
+
+    /// Per-link drop/delay counts, keyed `(from, to)`. Only fault-plan
+    /// sites populate this, so it is empty for healthy runs.
+    pub fn link_stats(&self) -> &BTreeMap<(NodeId, NodeId), LinkStats> {
+        &self.inner.links
     }
 
     /// Total events (deliveries and timers) popped off the heap so far —

@@ -213,6 +213,13 @@ impl DurationHistogram {
         self.sum += other.sum;
         self.max = self.max.max(other.max);
     }
+
+    /// The raw bucket counts (bucket `i` holds durations in
+    /// `[2^(i-1), 2^i)` nanoseconds; bucket 0 holds zero). Exposed so
+    /// exporters and tests can compare accumulators structurally.
+    pub fn bucket_counts(&self) -> &[u64; 65] {
+        &self.buckets
+    }
 }
 
 /// Order-independent sum: sorts by total order, then accumulates with Kahan
@@ -422,11 +429,109 @@ mod tests {
     }
 
     #[test]
+    fn bucket_counts_expose_structure() {
+        let mut h = DurationHistogram::new();
+        h.record(SimDuration::ZERO);
+        h.record(SimDuration(1));
+        h.record(SimDuration(3));
+        let b = h.bucket_counts();
+        assert_eq!(b[0], 1);
+        assert_eq!(b[1], 1);
+        assert_eq!(b[2], 1);
+        assert_eq!(b.iter().sum::<u64>(), h.count());
+    }
+
+    #[test]
     fn gauge_add() {
         let mut g = TimeWeightedGauge::new(SimTime::ZERO, 1.0);
         g.add(SimTime(500), 2.0);
         assert_eq!(g.value(), 3.0);
         g.add(SimTime(900), -3.0);
         assert_eq!(g.value(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Parallel-merging any split of a sample stream is equivalent to
+        /// recording the concatenated stream sequentially.
+        #[test]
+        fn moments_merge_equals_concatenated_stream(
+            xs in proptest::collection::vec(-1_000_000i64..1_000_000, 0..300),
+            cut in 0usize..300,
+        ) {
+            let xs: Vec<f64> = xs.iter().map(|&i| i as f64 / 128.0).collect();
+            let cut = cut.min(xs.len());
+            let mut whole = Moments::new();
+            for &x in &xs {
+                whole.record(x);
+            }
+            let mut left = Moments::new();
+            let mut right = Moments::new();
+            for &x in &xs[..cut] {
+                left.record(x);
+            }
+            for &x in &xs[cut..] {
+                right.record(x);
+            }
+            left.merge(&right);
+            prop_assert_eq!(left.count(), whole.count());
+            prop_assert_eq!(left.min(), whole.min());
+            prop_assert_eq!(left.max(), whole.max());
+            let scale = 1.0 + whole.mean().abs();
+            prop_assert!((left.mean() - whole.mean()).abs() <= 1e-9 * scale);
+            let vscale = 1.0 + whole.variance().abs();
+            prop_assert!((left.variance() - whole.variance()).abs() <= 1e-6 * vscale);
+        }
+
+        /// Histogram merge is exact: bucket-for-bucket identical to
+        /// recording the concatenated stream.
+        #[test]
+        fn histogram_merge_equals_concatenated_stream(
+            xs in proptest::collection::vec(0u64..u64::MAX / 2, 0..300),
+            cut in 0usize..300,
+        ) {
+            let cut = cut.min(xs.len());
+            let mut whole = DurationHistogram::new();
+            for &x in &xs {
+                whole.record(SimDuration(x));
+            }
+            let mut left = DurationHistogram::new();
+            let mut right = DurationHistogram::new();
+            for &x in &xs[..cut] {
+                left.record(SimDuration(x));
+            }
+            for &x in &xs[cut..] {
+                right.record(SimDuration(x));
+            }
+            left.merge(&right);
+            prop_assert_eq!(left.bucket_counts(), whole.bucket_counts());
+            prop_assert_eq!(left.count(), whole.count());
+            prop_assert_eq!(left.max(), whole.max());
+            prop_assert_eq!(left.mean(), whole.mean());
+        }
+
+        /// Quantiles are monotone in `q` and bounded by the recorded max.
+        #[test]
+        fn histogram_quantile_monotone_in_q(
+            xs in proptest::collection::vec(0u64..10_000_000_000, 1..200),
+        ) {
+            let mut h = DurationHistogram::new();
+            for &x in &xs {
+                h.record(SimDuration(x));
+            }
+            let qs = [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 0.999, 1.0];
+            let mut prev = SimDuration::ZERO;
+            for &q in &qs {
+                let v = h.quantile(q);
+                prop_assert!(v >= prev, "quantile({q}) = {v} < previous {prev}");
+                prop_assert!(v <= h.max());
+                prev = v;
+            }
+        }
     }
 }

@@ -21,6 +21,7 @@ pub struct BlockCache<K: Hash + Eq + Clone> {
     tick: u64,
     hits: u64,
     misses: u64,
+    evictions: u64,
 }
 
 impl<K: Hash + Eq + Clone> BlockCache<K> {
@@ -33,6 +34,7 @@ impl<K: Hash + Eq + Clone> BlockCache<K> {
             tick: 0,
             hits: 0,
             misses: 0,
+            evictions: 0,
         }
     }
 
@@ -61,6 +63,7 @@ impl<K: Hash + Eq + Clone> BlockCache<K> {
             };
             if let Some((s, _)) = self.entries.remove(&victim) {
                 self.used -= s;
+                self.evictions += 1;
             }
         }
         self.entries.insert(key, (size, self.tick));
@@ -100,6 +103,11 @@ impl<K: Hash + Eq + Clone> BlockCache<K> {
         self.misses
     }
 
+    /// Rows evicted under byte-budget pressure (invalidations excluded).
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
     /// Hit ratio over all accesses (0 when none).
     pub fn hit_ratio(&self) -> f64 {
         let total = self.hits + self.misses;
@@ -132,9 +140,19 @@ mod tests {
         c.access("b", 100);
         c.access("a", 100); // refresh a
         c.access("c", 100); // evicts b (LRU)
+        assert_eq!(c.evictions(), 1);
         assert!(c.access("a", 100), "a should survive");
         assert!(!c.access("b", 100), "b was evicted");
         assert!(c.used() <= 250 + 100); // b readmitted may evict others
+        assert!(c.evictions() >= 2, "readmitting b evicted again");
+    }
+
+    #[test]
+    fn invalidations_do_not_count_as_evictions() {
+        let mut c = BlockCache::new(100);
+        c.access("a", 80);
+        c.invalidate(&"a");
+        assert_eq!(c.evictions(), 0);
     }
 
     #[test]

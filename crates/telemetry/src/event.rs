@@ -1,0 +1,191 @@
+//! Trace events: the unit of structured tracing.
+//!
+//! Every event is stamped with **simulated time** (`SimTime`), never
+//! wall-clock, so a trace is a pure function of the simulation inputs and is
+//! byte-identical no matter how many OS threads the bench harness uses.
+
+use jl_simkit::time::{SimDuration, SimTime};
+
+/// A fixed set of per-node tracks. In the Chrome trace-event export each
+/// simulated node becomes a *process* and each track becomes a *thread*
+/// inside it, so Perfetto renders one swim-lane per `(node, track)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Track {
+    /// CPU service at this node (analytic FIFO grants).
+    Cpu,
+    /// Disk service at this node.
+    Disk,
+    /// Outbound NIC serialization.
+    NicOut,
+    /// Inbound NIC serialization.
+    NicIn,
+    /// Tuple lifecycles on compute nodes (ingest -> complete).
+    Lifecycle,
+    /// Remote request round-trips (batch send -> reply).
+    Wire,
+    /// Batch serving on data nodes.
+    Serve,
+    /// Placement-policy decisions and cache admissions.
+    Decision,
+    /// Faults, retries, failovers, give-ups.
+    Fault,
+}
+
+impl Track {
+    /// Stable thread id used in the Chrome export.
+    pub fn tid(self) -> u32 {
+        match self {
+            Track::Cpu => 0,
+            Track::Disk => 1,
+            Track::NicOut => 2,
+            Track::NicIn => 3,
+            Track::Lifecycle => 4,
+            Track::Wire => 5,
+            Track::Serve => 6,
+            Track::Decision => 7,
+            Track::Fault => 8,
+        }
+    }
+
+    /// Human-readable track name (Perfetto thread name).
+    pub fn name(self) -> &'static str {
+        match self {
+            Track::Cpu => "cpu",
+            Track::Disk => "disk",
+            Track::NicOut => "nic-out",
+            Track::NicIn => "nic-in",
+            Track::Lifecycle => "lifecycle",
+            Track::Wire => "wire",
+            Track::Serve => "serve",
+            Track::Decision => "decision",
+            Track::Fault => "fault",
+        }
+    }
+}
+
+/// Argument value attached to a trace event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgVal {
+    /// Unsigned integer payload (counts, ids, bytes).
+    U64(u64),
+    /// Floating payload (ratios, estimates).
+    F64(f64),
+    /// Short string payload (labels).
+    Str(String),
+}
+
+impl From<u64> for ArgVal {
+    fn from(v: u64) -> Self {
+        ArgVal::U64(v)
+    }
+}
+
+impl From<f64> for ArgVal {
+    fn from(v: f64) -> Self {
+        ArgVal::F64(v)
+    }
+}
+
+impl From<&str> for ArgVal {
+    fn from(v: &str) -> Self {
+        ArgVal::Str(v.to_string())
+    }
+}
+
+/// One recorded trace event. `dur == None` marks an *instant* (Chrome `"i"`
+/// phase); `dur == Some(_)` marks a *complete span* (`"X"` phase).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Simulated node the event belongs to (Chrome `pid`).
+    pub node: u32,
+    /// Track within the node (Chrome `tid`).
+    pub track: Track,
+    /// Event name shown on the slice.
+    pub name: &'static str,
+    /// Event start, in simulated time.
+    pub start: SimTime,
+    /// Span duration, or `None` for an instant event.
+    pub dur: Option<SimDuration>,
+    /// Key/value annotations rendered in the Perfetto detail pane.
+    pub args: Vec<(&'static str, ArgVal)>,
+}
+
+impl TraceEvent {
+    /// A complete span on `track` of `node`, covering `[start, start + dur]`.
+    pub fn span(
+        node: u32,
+        track: Track,
+        name: &'static str,
+        start: SimTime,
+        dur: SimDuration,
+    ) -> Self {
+        Self {
+            node,
+            track,
+            name,
+            start,
+            dur: Some(dur),
+            args: Vec::new(),
+        }
+    }
+
+    /// An instant event at `at`.
+    pub fn instant(node: u32, track: Track, name: &'static str, at: SimTime) -> Self {
+        Self {
+            node,
+            track,
+            name,
+            start: at,
+            dur: None,
+            args: Vec::new(),
+        }
+    }
+
+    /// Attach an argument (builder-style).
+    pub fn arg(mut self, key: &'static str, val: impl Into<ArgVal>) -> Self {
+        self.args.push((key, val.into()));
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let ev = TraceEvent::span(
+            3,
+            Track::Cpu,
+            "service",
+            SimTime(10_000),
+            SimDuration::from_micros(5),
+        )
+        .arg("jobs", 4u64)
+        .arg("util", 0.5f64)
+        .arg("kind", "udf");
+        assert_eq!(ev.node, 3);
+        assert_eq!(ev.track.tid(), 0);
+        assert_eq!(ev.args.len(), 3);
+        assert_eq!(ev.args[0], ("jobs", ArgVal::U64(4)));
+    }
+
+    #[test]
+    fn track_ids_distinct() {
+        let all = [
+            Track::Cpu,
+            Track::Disk,
+            Track::NicOut,
+            Track::NicIn,
+            Track::Lifecycle,
+            Track::Wire,
+            Track::Serve,
+            Track::Decision,
+            Track::Fault,
+        ];
+        let mut tids: Vec<u32> = all.iter().map(|t| t.tid()).collect();
+        tids.sort_unstable();
+        tids.dedup();
+        assert_eq!(tids.len(), all.len());
+    }
+}

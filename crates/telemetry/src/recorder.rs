@@ -1,0 +1,179 @@
+//! The telemetry recorder: a per-run collector of trace events and metrics.
+//!
+//! A `Telemetry` instance is shared (via `Rc<RefCell<_>>`) by every actor in
+//! one simulation cell. Each simulation cell is single-threaded — the bench
+//! harness parallelizes across *cells*, never inside one — so no `Send`
+//! bound is needed and sharing a `RefCell` is safe.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use jl_simkit::time::SimTime;
+
+use crate::event::TraceEvent;
+use crate::registry::MetricsRegistry;
+
+/// Destination for recorded trace events. The default [`VecSink`] buffers
+/// them for end-of-run export; a custom sink can stream them elsewhere.
+pub trait TelemetrySink {
+    /// Accept one event.
+    fn record(&mut self, ev: TraceEvent);
+    /// Hand back everything buffered (empty for streaming sinks).
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        Vec::new()
+    }
+}
+
+/// Buffers every event in order of emission.
+#[derive(Debug, Default)]
+pub struct VecSink {
+    events: Vec<TraceEvent>,
+}
+
+impl TelemetrySink for VecSink {
+    fn record(&mut self, ev: TraceEvent) {
+        self.events.push(ev);
+    }
+
+    fn drain(&mut self) -> Vec<TraceEvent> {
+        std::mem::take(&mut self.events)
+    }
+}
+
+/// Discards everything. Useful when only the metrics registry is wanted.
+#[derive(Debug, Default)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {
+    fn record(&mut self, _ev: TraceEvent) {}
+}
+
+/// Configuration for a run's telemetry.
+#[derive(Debug, Clone, Copy)]
+pub struct TelemetryConfig {
+    /// Record span/instant trace events (metrics are always collected once
+    /// telemetry is on).
+    pub spans: bool,
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        TelemetryConfig { spans: true }
+    }
+}
+
+/// Per-run telemetry collector: trace-event sink plus metrics registry,
+/// stamped exclusively with simulated time.
+pub struct Telemetry {
+    sink: Box<dyn TelemetrySink>,
+    /// Metrics cells, keyed `(node, scope, name)`.
+    pub registry: MetricsRegistry,
+    now: SimTime,
+    spans: bool,
+}
+
+impl Telemetry {
+    /// New recorder buffering into a [`VecSink`].
+    pub fn new(config: TelemetryConfig) -> Self {
+        Telemetry {
+            sink: Box::new(VecSink::default()),
+            registry: MetricsRegistry::new(),
+            now: SimTime::ZERO,
+            spans: config.spans,
+        }
+    }
+
+    /// New recorder with a custom sink.
+    pub fn with_sink(config: TelemetryConfig, sink: Box<dyn TelemetrySink>) -> Self {
+        Telemetry {
+            sink,
+            registry: MetricsRegistry::new(),
+            now: SimTime::ZERO,
+            spans: config.spans,
+        }
+    }
+
+    /// Advance the recorder's clock. Actors call this on entry to every
+    /// callback so helpers that lack a `Ctx` (e.g. a `DecisionSink` living
+    /// inside the compute runtime) still stamp events with simulated time.
+    pub fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// The recorder's current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Whether span recording is enabled.
+    pub fn spans_enabled(&self) -> bool {
+        self.spans
+    }
+
+    /// Record a trace event (dropped when spans are disabled).
+    pub fn record(&mut self, ev: TraceEvent) {
+        if self.spans {
+            self.sink.record(ev);
+        }
+    }
+
+    /// Tear down, returning buffered events and the metrics registry.
+    pub fn finish(mut self) -> (Vec<TraceEvent>, MetricsRegistry) {
+        (self.sink.drain(), self.registry)
+    }
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry")
+            .field("now", &self.now)
+            .field("spans", &self.spans)
+            .field("registry_len", &self.registry.len())
+            .finish()
+    }
+}
+
+/// Shared handle to one simulation cell's recorder.
+pub type TelemetryHandle = Rc<RefCell<Telemetry>>;
+
+/// Build a shared recorder handle.
+pub fn shared(config: TelemetryConfig) -> TelemetryHandle {
+    Rc::new(RefCell::new(Telemetry::new(config)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Track;
+
+    #[test]
+    fn records_and_drains() {
+        let mut t = Telemetry::new(TelemetryConfig::default());
+        t.set_now(SimTime(42));
+        t.record(TraceEvent::instant(0, Track::Fault, "crash", t.now()));
+        t.registry.counter_add(0, "fault", "crashes", 1);
+        let (events, registry) = t.finish();
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].start, SimTime(42));
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn spans_disabled_drops_events_but_keeps_metrics() {
+        let mut t = Telemetry::new(TelemetryConfig { spans: false });
+        t.record(TraceEvent::instant(0, Track::Fault, "crash", SimTime::ZERO));
+        t.registry.counter_add(0, "fault", "crashes", 1);
+        assert!(!t.spans_enabled());
+        let (events, registry) = t.finish();
+        assert!(events.is_empty());
+        assert_eq!(registry.len(), 1);
+    }
+
+    #[test]
+    fn shared_handle_is_cloneable() {
+        let h = shared(TelemetryConfig::default());
+        let h2 = h.clone();
+        h.borrow_mut().set_now(SimTime(7));
+        assert_eq!(h2.borrow().now(), SimTime(7));
+    }
+}

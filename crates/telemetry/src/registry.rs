@@ -1,0 +1,282 @@
+//! Metrics registry: counters, time-weighted gauges, histograms, and moment
+//! accumulators keyed by `(node, scope, name)`.
+//!
+//! The registry is a `BTreeMap`, so iteration (and therefore every exporter)
+//! is deterministic regardless of insertion order. All time-based metrics are
+//! advanced with **simulated** timestamps.
+
+use std::collections::BTreeMap;
+
+use jl_simkit::stats::{DurationHistogram, Moments, TimeWeightedGauge};
+use jl_simkit::time::{SimDuration, SimTime};
+
+/// Key of one metric: `(node id, scope, metric name)`. Scope is typically a
+/// resource (`"cpu"`, `"disk"`) or a subsystem (`"cache"`, `"retry"`).
+pub type MetricKey = (u32, &'static str, &'static str);
+
+/// One metric cell.
+#[derive(Debug, Clone)]
+pub enum Metric {
+    /// Monotonic counter.
+    Counter(u64),
+    /// Last-write-wins gauge (e.g. an end-of-run utilization sample).
+    Gauge(f64),
+    /// Time-weighted gauge advanced on simulated time.
+    TimeGauge(TimeWeightedGauge),
+    /// Power-of-two bucket latency histogram. Boxed: the bucket array is
+    /// ~560 bytes, an order of magnitude larger than every other variant,
+    /// and histograms are a minority of cells.
+    Hist(Box<DurationHistogram>),
+    /// Scalar moment accumulator (mean/min/max/stddev).
+    Stats(Moments),
+}
+
+/// Deterministically ordered collection of metrics.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    map: BTreeMap<MetricKey, Metric>,
+}
+
+impl MetricsRegistry {
+    /// New, empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `delta` to the counter at `key`, creating it at zero.
+    pub fn counter_add(&mut self, node: u32, scope: &'static str, name: &'static str, delta: u64) {
+        match self
+            .map
+            .entry((node, scope, name))
+            .or_insert(Metric::Counter(0))
+        {
+            Metric::Counter(c) => *c += delta,
+            _ => panic!("metric ({node}, {scope}, {name}) is not a counter"),
+        }
+    }
+
+    /// Set the plain gauge at `key`.
+    pub fn gauge_set(&mut self, node: u32, scope: &'static str, name: &'static str, value: f64) {
+        self.map.insert((node, scope, name), Metric::Gauge(value));
+    }
+
+    /// Advance the time-weighted gauge at `key` to `value` at simulated `now`.
+    pub fn time_gauge_set(
+        &mut self,
+        node: u32,
+        scope: &'static str,
+        name: &'static str,
+        now: SimTime,
+        value: f64,
+    ) {
+        match self
+            .map
+            .entry((node, scope, name))
+            .or_insert_with(|| Metric::TimeGauge(TimeWeightedGauge::new(SimTime::ZERO, 0.0)))
+        {
+            Metric::TimeGauge(g) => g.set(now, value),
+            _ => panic!("metric ({node}, {scope}, {name}) is not a time gauge"),
+        }
+    }
+
+    /// Record one duration sample into the histogram at `key`.
+    pub fn hist_record(
+        &mut self,
+        node: u32,
+        scope: &'static str,
+        name: &'static str,
+        sample: SimDuration,
+    ) {
+        match self
+            .map
+            .entry((node, scope, name))
+            .or_insert_with(|| Metric::Hist(Box::new(DurationHistogram::new())))
+        {
+            Metric::Hist(h) => h.record(sample),
+            _ => panic!("metric ({node}, {scope}, {name}) is not a histogram"),
+        }
+    }
+
+    /// Merge an already-accumulated histogram into the cell at `key`.
+    pub fn hist_merge(
+        &mut self,
+        node: u32,
+        scope: &'static str,
+        name: &'static str,
+        other: &DurationHistogram,
+    ) {
+        match self
+            .map
+            .entry((node, scope, name))
+            .or_insert_with(|| Metric::Hist(Box::new(DurationHistogram::new())))
+        {
+            Metric::Hist(h) => h.merge(other),
+            _ => panic!("metric ({node}, {scope}, {name}) is not a histogram"),
+        }
+    }
+
+    /// Record one scalar into the moments cell at `key`.
+    pub fn stats_record(&mut self, node: u32, scope: &'static str, name: &'static str, x: f64) {
+        match self
+            .map
+            .entry((node, scope, name))
+            .or_insert_with(|| Metric::Stats(Moments::new()))
+        {
+            Metric::Stats(m) => m.record(x),
+            _ => panic!("metric ({node}, {scope}, {name}) is not a moments cell"),
+        }
+    }
+
+    /// Look up a metric.
+    pub fn get(&self, node: u32, scope: &'static str, name: &'static str) -> Option<&Metric> {
+        self.map.get(&(node, scope, name))
+    }
+
+    /// Deterministic iteration over all cells.
+    pub fn iter(&self) -> impl Iterator<Item = (&MetricKey, &Metric)> {
+        self.map.iter()
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the registry holds no cells.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Render the registry as a JSON snapshot (schema
+    /// `jl-telemetry-metrics/v1`). `end` closes out time-weighted gauges.
+    pub fn to_json(&self, end: SimTime) -> String {
+        let mut out = String::with_capacity(256 + self.map.len() * 96);
+        out.push_str("{\n  \"schema\": \"jl-telemetry-metrics/v1\",\n");
+        out.push_str(&format!("  \"end_secs\": {},\n", jf(end.as_secs_f64())));
+        out.push_str("  \"metrics\": [\n");
+        let mut first = true;
+        for ((node, scope, name), metric) in &self.map {
+            if !first {
+                out.push_str(",\n");
+            }
+            first = false;
+            out.push_str(&format!(
+                "    {{\"node\": {node}, \"scope\": \"{scope}\", \"name\": \"{name}\", "
+            ));
+            match metric {
+                Metric::Counter(c) => {
+                    out.push_str(&format!("\"kind\": \"counter\", \"value\": {c}}}"));
+                }
+                Metric::Gauge(v) => {
+                    out.push_str(&format!("\"kind\": \"gauge\", \"value\": {}}}", jf(*v)));
+                }
+                Metric::TimeGauge(g) => {
+                    out.push_str(&format!(
+                        "\"kind\": \"time_gauge\", \"avg\": {}, \"peak\": {}, \"last\": {}}}",
+                        jf(g.average(end)),
+                        jf(g.peak()),
+                        jf(g.value())
+                    ));
+                }
+                Metric::Hist(h) => {
+                    out.push_str(&format!(
+                        "\"kind\": \"histogram\", \"count\": {}, \"mean_secs\": {}, \
+                         \"p50_secs\": {}, \"p90_secs\": {}, \"p99_secs\": {}, \"max_secs\": {}}}",
+                        h.count(),
+                        jf(h.mean().as_secs_f64()),
+                        jf(h.quantile(0.50).as_secs_f64()),
+                        jf(h.quantile(0.90).as_secs_f64()),
+                        jf(h.quantile(0.99).as_secs_f64()),
+                        jf(h.max().as_secs_f64())
+                    ));
+                }
+                Metric::Stats(m) => {
+                    out.push_str(&format!(
+                        "\"kind\": \"stats\", \"count\": {}, \"mean\": {}, \"min\": {}, \
+                         \"max\": {}, \"stddev\": {}}}",
+                        m.count(),
+                        jf(m.mean()),
+                        jf(m.min()),
+                        jf(m.max()),
+                        jf(m.stddev())
+                    ));
+                }
+            }
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// Format a float for JSON: fixed precision, non-finite mapped to `0.0` so
+/// the output always parses.
+pub(crate) fn jf(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x:.9}")
+    } else {
+        "0.0".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_and_gauges() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add(1, "cache", "hits", 3);
+        r.counter_add(1, "cache", "hits", 2);
+        r.gauge_set(0, "cpu", "util", 0.5);
+        assert!(matches!(
+            r.get(1, "cache", "hits"),
+            Some(Metric::Counter(5))
+        ));
+        assert!(matches!(r.get(0, "cpu", "util"), Some(Metric::Gauge(v)) if *v == 0.5));
+        assert_eq!(r.len(), 2);
+    }
+
+    #[test]
+    fn time_gauge_averages_on_sim_time() {
+        let mut r = MetricsRegistry::new();
+        r.time_gauge_set(0, "rt", "outstanding", SimTime::ZERO, 2.0);
+        r.time_gauge_set(0, "rt", "outstanding", SimTime(1_000_000_000), 4.0);
+        match r.get(0, "rt", "outstanding") {
+            Some(Metric::TimeGauge(g)) => {
+                // 2.0 for 1s then 4.0 for 1s.
+                let avg = g.average(SimTime(2_000_000_000));
+                assert!((avg - 3.0).abs() < 1e-9, "avg = {avg}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn json_snapshot_is_deterministic_and_ordered() {
+        let mut a = MetricsRegistry::new();
+        a.counter_add(2, "net", "dropped", 1);
+        a.hist_record(0, "cpu", "wait", SimDuration::from_micros(5));
+        a.stats_record(1, "lb", "imbalance", 0.25);
+        let mut b = MetricsRegistry::new();
+        // Insert in the opposite order; JSON must match.
+        b.stats_record(1, "lb", "imbalance", 0.25);
+        b.hist_record(0, "cpu", "wait", SimDuration::from_micros(5));
+        b.counter_add(2, "net", "dropped", 1);
+        let end = SimTime(1_000_000_000);
+        assert_eq!(a.to_json(end), b.to_json(end));
+        let j = a.to_json(end);
+        assert!(j.contains("jl-telemetry-metrics/v1"));
+        let cpu = j.find("\"scope\": \"cpu\"").unwrap();
+        let lb = j.find("\"scope\": \"lb\"").unwrap();
+        let net = j.find("\"scope\": \"net\"").unwrap();
+        assert!(cpu < lb && lb < net, "node-major ordering");
+    }
+
+    #[test]
+    #[should_panic(expected = "not a counter")]
+    fn kind_mismatch_panics() {
+        let mut r = MetricsRegistry::new();
+        r.gauge_set(0, "x", "y", 1.0);
+        r.counter_add(0, "x", "y", 1);
+    }
+}

@@ -1,0 +1,95 @@
+//! Compact, machine-parseable text summary of a metrics registry.
+//!
+//! One line per `(node, scope)` group:
+//!
+//! ```text
+//! telemetry node=C0 scope=cache hits=120 misses=30 hit_ratio=0.800000
+//! telemetry node=C0 scope=latency total.p50=0.001920 total.p99=0.003584 total.n=600
+//! ```
+//!
+//! Every token is `key=value`, so the output greps and splits cleanly. This
+//! replaces the engine runner's old ad-hoc `eprintln!` block.
+
+use jl_simkit::time::SimTime;
+
+use crate::registry::{Metric, MetricsRegistry};
+
+/// Render the registry as `telemetry node=... scope=... k=v ...` lines.
+///
+/// `names` maps node id to a display name (falls back to the numeric id).
+pub fn summary_text(registry: &MetricsRegistry, names: &[(u32, String)], end: SimTime) -> String {
+    let display = |node: u32| -> String {
+        names
+            .iter()
+            .find(|(id, _)| *id == node)
+            .map(|(_, n)| n.clone())
+            .unwrap_or_else(|| node.to_string())
+    };
+
+    let mut out = String::new();
+    let mut current: Option<(u32, &'static str)> = None;
+    for ((node, scope, name), metric) in registry.iter() {
+        if current != Some((*node, scope)) {
+            if current.is_some() {
+                out.push('\n');
+            }
+            out.push_str(&format!("telemetry node={} scope={scope}", display(*node)));
+            current = Some((*node, scope));
+        }
+        match metric {
+            Metric::Counter(c) => out.push_str(&format!(" {name}={c}")),
+            Metric::Gauge(v) => out.push_str(&format!(" {name}={v:.6}")),
+            Metric::TimeGauge(g) => out.push_str(&format!(
+                " {name}.avg={:.6} {name}.peak={:.6}",
+                g.average(end),
+                g.peak()
+            )),
+            Metric::Hist(h) => out.push_str(&format!(
+                " {name}.n={} {name}.p50={:.6} {name}.p99={:.6} {name}.max={:.6}",
+                h.count(),
+                h.quantile(0.50).as_secs_f64(),
+                h.quantile(0.99).as_secs_f64(),
+                h.max().as_secs_f64()
+            )),
+            Metric::Stats(m) => out.push_str(&format!(
+                " {name}.n={} {name}.mean={:.6} {name}.min={:.6} {name}.max={:.6}",
+                m.count(),
+                m.mean(),
+                m.min(),
+                m.max()
+            )),
+        }
+    }
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jl_simkit::time::SimDuration;
+
+    #[test]
+    fn groups_by_node_and_scope() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add(0, "cache", "hits", 12);
+        r.counter_add(0, "cache", "misses", 3);
+        r.gauge_set(0, "cpu", "util", 0.75);
+        r.hist_record(1, "latency", "serve", SimDuration::from_micros(100));
+        let names = vec![(0, "C0".to_string()), (1, "D0".to_string())];
+        let s = summary_text(&r, &names, SimTime(1_000_000_000));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(lines[0], "telemetry node=C0 scope=cache hits=12 misses=3");
+        assert_eq!(lines[1], "telemetry node=C0 scope=cpu util=0.750000");
+        assert!(lines[2].starts_with("telemetry node=D0 scope=latency serve.n=1"));
+    }
+
+    #[test]
+    fn empty_registry_is_empty_string() {
+        let r = MetricsRegistry::new();
+        assert_eq!(summary_text(&r, &[], SimTime::ZERO), "");
+    }
+}

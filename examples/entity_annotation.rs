@@ -63,6 +63,7 @@ fn main() {
         decision_sink: None,
         faults: None,
         retry: None,
+        telemetry: None,
     };
     let report = run_job(&job, store, udfs, tuples, vec![]);
     println!(

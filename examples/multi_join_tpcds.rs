@@ -90,6 +90,7 @@ fn main() {
         decision_sink: None,
         faults: None,
         retry: None,
+        telemetry: None,
     };
     let ours = run_job(&job, store, udfs, tuples, vec![]);
     println!(

@@ -56,6 +56,7 @@ fn main() {
             decision_sink: None,
             faults: None,
             retry: None,
+            telemetry: None,
         };
         let report = run_job(&job, store, udfs.clone(), tuples.clone(), vec![]);
         assert_eq!(

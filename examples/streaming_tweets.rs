@@ -71,6 +71,7 @@ fn main() {
             decision_sink: None,
             faults: None,
             retry: None,
+            telemetry: None,
         };
         let report = run_job(&job, store2, udfs.clone(), tuples.clone(), vec![]);
         println!(

@@ -84,6 +84,7 @@ fn all_strategies_and_baselines_agree_with_reference() {
             decision_sink: None,
             faults: None,
             retry: None,
+            telemetry: None,
         };
         let r = run_job(&job, store, udfs(), ts.clone(), vec![]);
         assert_eq!(r.completed, ts.len() as u64, "{}", strategy.label());
@@ -156,6 +157,7 @@ fn multi_join_pipeline_matches_reference_and_shuffle() {
         decision_sink: None,
         faults: None,
         retry: None,
+        telemetry: None,
     };
     let ours = run_job(&job, store, udfs(), ts.clone(), vec![]);
     assert_eq!(ours.fingerprint, reference.fingerprint, "framework");
@@ -198,6 +200,7 @@ fn streaming_and_batch_compute_the_same_join() {
         decision_sink: None,
         faults: None,
         retry: None,
+        telemetry: None,
     };
     let r = run_job(&job, store, udfs(), ts, vec![]);
     assert_eq!(r.completed, 2000, "stream did not drain");
@@ -233,6 +236,7 @@ fn updates_propagate_and_invalidate() {
         decision_sink: None,
         faults: None,
         retry: None,
+        telemetry: None,
     };
     let r = run_job(&job, store, udfs(), ts, updates);
     assert_eq!(r.completed, 2000);
@@ -277,6 +281,7 @@ fn broadcast_and_targeted_notifications_both_stay_correct() {
             decision_sink: None,
             faults: None,
             retry: None,
+            telemetry: None,
         };
         let r = run_job(&job, store, udfs(), ts, updates);
         assert_eq!(r.completed, 1500, "{notify:?}");

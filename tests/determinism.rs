@@ -11,7 +11,7 @@
 //! binaries would race on it.
 
 use jl_bench::experiments::{bench_synthetic_report, fig6_stream_report};
-use jl_bench::{fig8, fig_chaos};
+use jl_bench::{fig8, fig_chaos, traced_chaos_run};
 use jl_core::Strategy;
 use jl_workloads::SyntheticSpec;
 
@@ -53,7 +53,19 @@ fn grid_results_are_thread_count_invariant() {
         // straggler slowdowns, the seeded drop coin, retry timers — whose
         // injected randomness must also be thread-count invariant.
         let chaos = fig_chaos(scale, seed).render();
-        (table, batch, format!("{stream:?} spots={spots}"), chaos)
+        // Telemetry is sampled on simulated time only, so the exported
+        // trace and metrics JSON must be byte-identical too.
+        let (_, tel) = traced_chaos_run(scale, seed);
+        let trace = tel.to_chrome_json();
+        let metrics = tel.metrics_json();
+        (
+            table,
+            batch,
+            format!("{stream:?} spots={spots}"),
+            chaos,
+            trace,
+            metrics,
+        )
     };
 
     let base = with_threads(1, run_all);
@@ -76,6 +88,14 @@ fn grid_results_are_thread_count_invariant() {
         assert_eq!(
             got.3, base.3,
             "chaos table differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            got.4, base.4,
+            "exported trace JSON differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            got.5, base.5,
+            "exported metrics JSON differs between 1 and {threads} threads"
         );
         assert_eq!(
             fnv1a(format!("{got:?}").as_bytes()),

@@ -60,6 +60,7 @@ fn run(strategy: Strategy, z: f64, udf_ms: u64, value_size: usize, n: u64) -> f6
         decision_sink: None,
         faults: None,
         retry: None,
+        telemetry: None,
     };
     run_job(&job, store, udfs, tuples, vec![])
         .duration
@@ -154,6 +155,7 @@ fn elasticity_more_compute_nodes_help_compute_bound_jobs() {
             decision_sink: None,
             faults: None,
             retry: None,
+            telemetry: None,
         };
         run_job(&job, store, udfs, tuples, vec![])
             .duration
