@@ -51,6 +51,8 @@ fn bench_run_job(c: &mut Criterion) {
                         faults: None,
                         retry: None,
                         telemetry: None,
+                        overload: None,
+                        shed_policy: None,
                     };
                     run_job(&job, store, udfs, tuples.clone(), vec![])
                 })

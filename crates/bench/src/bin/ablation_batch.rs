@@ -51,6 +51,8 @@ fn main() {
                 faults: None,
                 retry: None,
                 telemetry: None,
+                overload: None,
+                shed_policy: None,
             };
             let r = run_job(&job, store, udfs, tuples, vec![]);
             vals.push(r.duration.as_secs_f64());

@@ -140,6 +140,8 @@ fn admission(scale: f64, seed: u64) {
             faults: None,
             retry: None,
             telemetry: None,
+            overload: None,
+            shed_policy: None,
         };
         let r = run_job(&job, store, udfs, tuples, vec![]);
         rows.push((

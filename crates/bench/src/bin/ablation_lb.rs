@@ -51,6 +51,8 @@ fn run(solver: LbSolver, spec: &SyntheticSpec, z: f64, seed: u64) -> f64 {
         faults: None,
         retry: None,
         telemetry: None,
+        overload: None,
+        shed_policy: None,
     };
     run_job(&job, store, udfs, tuples, vec![])
         .duration

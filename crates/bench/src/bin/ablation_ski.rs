@@ -54,6 +54,8 @@ fn main() {
             faults: None,
             retry: None,
             telemetry: None,
+            overload: None,
+            shed_policy: None,
         };
         let r = run_job(&job, store, udfs, tuples, vec![]);
         rows.push((

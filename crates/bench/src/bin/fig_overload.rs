@@ -1,0 +1,79 @@
+//! Regenerates the overload figure: offered load × skew, naive unbounded
+//! queues (the pre-overload-protection behavior, instrumented but not
+//! bounded) vs bounded queues with backpressure, deadline budgets, and
+//! load shedding.
+//!
+//! Usage: `fig_overload [--scale F] [--seed N] [--threads N]`
+//!
+//! Besides the table, prints one grep-friendly `OVERLOAD <cell> ...` line
+//! per cell and asserts the protection invariants — nonzero shed in the
+//! bounded overload cells, zero shed in the nominal ones, peak queue
+//! depth within the cap — so CI can run this binary as a smoke test and
+//! rely on its exit status.
+
+use jl_bench::{fig_overload, parse_args};
+
+fn main() {
+    let (scale, seed) = parse_args(1.0);
+    let (table, cells) = fig_overload(scale, seed);
+    println!("{}", table.render());
+
+    let mut failures = Vec::new();
+    for c in &cells {
+        let r = &c.report;
+        println!(
+            "OVERLOAD {} bounded={} nominal={} goodput={:.1} p99_ms={:.3} completed={} shed={} \
+             misses={} peak_queue={} cap={} bp_events={}",
+            c.label.replace(' ', "_"),
+            c.bounded,
+            c.nominal,
+            r.throughput(),
+            r.p99_latency.as_secs_f64() * 1e3,
+            r.completed,
+            r.shed,
+            r.deadline_misses,
+            r.peak_queue_depth,
+            c.cap,
+            r.backpressure_events,
+        );
+        if c.bounded && r.peak_queue_depth > c.cap {
+            failures.push(format!(
+                "{}: peak queue {} exceeds cap {}",
+                c.label, r.peak_queue_depth, c.cap
+            ));
+        }
+        if c.bounded && c.nominal && r.shed != 0 {
+            failures.push(format!(
+                "{}: shed {} tuples at nominal load (protection must be inert)",
+                c.label, r.shed
+            ));
+        }
+        if c.bounded && !c.nominal && r.shed == 0 {
+            failures.push(format!(
+                "{}: shed nothing at 2x load (protection never engaged)",
+                c.label
+            ));
+        }
+    }
+    // Graceful degradation: in each overload column the bounded cell's
+    // tail latency must come in under the naive cell's unbounded-queue
+    // tail.
+    for c in cells.iter().filter(|c| c.bounded && !c.nominal) {
+        let naive_label = c.label.replace("bounded", "naive");
+        if let Some(n) = cells.iter().find(|c| c.label == naive_label) {
+            if c.report.p99_latency >= n.report.p99_latency {
+                failures.push(format!(
+                    "{}: bounded p99 {:?} not below naive p99 {:?}",
+                    c.label, c.report.p99_latency, n.report.p99_latency
+                ));
+            }
+        }
+    }
+    if !failures.is_empty() {
+        for f in &failures {
+            eprintln!("FAIL {f}");
+        }
+        std::process::exit(1);
+    }
+    println!("OVERLOAD_OK cells={}", cells.len());
+}

@@ -1,0 +1,602 @@
+//! Seeded chaos + overload fuzzer: random fault plans layered over random
+//! overload workloads, with per-run invariants reconciled against a
+//! direct reference execution of the same job.
+//!
+//! Usage: `fuzz_chaos [--seed N] [--iters N] [--start K] [--tuples N]
+//!                    [--no-faults] [--no-overload] [--no-deadline]`
+//!
+//! Each iteration derives an independent case from `(seed, index)`: a
+//! skew/offered-load point, an issue window, an overload configuration
+//! (permissive or bounded, with or without a deadline budget, one of the
+//! three shed policies), and optionally a random fault plan (crash with
+//! or without restart, straggler, lossy link, delay) with retries scaled
+//! to a fault-free calibration run of the identical job. Invariants
+//! checked on every run:
+//!
+//! 1. **Accounting** — `completed + shed == n`: every offered tuple
+//!    either completed or was shed, nothing vanished; `gave_up` tuples
+//!    are a subset of completed; the per-tuple outcome log agrees with
+//!    the counters and names each tuple at most once.
+//! 2. **Fingerprint / exactly-once** — the run's output fingerprint
+//!    equals the XOR of the *reference* contributions of exactly the
+//!    tuples that completed with output (all minus shed minus gave-up).
+//!    A lost output breaks the equality, and so does a duplicated one:
+//!    XOR cancels pairs, so a tuple processed twice under retry drops
+//!    out of the fingerprint and is caught, not masked.
+//! 3. **Bounds** — the peak data-node ingest queue depth never exceeds
+//!    `data_queue_cap`.
+//!
+//! On a violation the case is minimized — faults off, then overload
+//! down to permissive, then deadline off, then tuple count halved — and
+//! the smallest still-failing case is printed as a repro command.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use jl_bench::chaos_retry;
+use jl_core::{OptimizerConfig, ShedMode, Strategy};
+use jl_engine::{
+    build_store, reference_run, run_job, ClusterSpec, FeedMode, JobPlan, JobSpec, JobTuple,
+    OverloadConfig, RetryConfig, RunReport, TupleOutcome,
+};
+use jl_simkit::fault::FaultPlan;
+use jl_simkit::rng::{splitmix64, stream_rng};
+use jl_simkit::time::{SimDuration, SimTime};
+use jl_store::{DigestUdf, RowKey, UdfRegistry};
+use jl_workloads::SyntheticSpec;
+use rand::Rng;
+
+const UDF: usize = 0;
+
+/// One fully-derived fuzz case. Every field the minimizer may flip is
+/// explicit here, so a printed case is a complete repro.
+#[derive(Clone)]
+struct Case {
+    /// Per-iteration seed (derived from the root seed and the index).
+    seed: u64,
+    z: f64,
+    /// Offered load as a multiple of the calibrated service rate.
+    load: f64,
+    n_tuples: u64,
+    /// Issue window per compute node, in tuples.
+    window: usize,
+    faults: bool,
+    /// `false` = permissive (measure-only) overload config.
+    bounded: bool,
+    data_cap: u64,
+    compute_cap: usize,
+    shed: ShedMode,
+    /// Deadline budget as a multiple of the healthy run's p99; `None`
+    /// disables deadline propagation.
+    deadline_mult: Option<f64>,
+    nack_backoff: SimDuration,
+    /// Enable retries even without faults (timeouts on healthy traffic
+    /// must never duplicate completions).
+    retry: bool,
+    /// Use hair-trigger retry timeouts (scaled to the healthy p99, few
+    /// attempts) instead of the generous chaos defaults. Premature
+    /// timeouts duplicate work and exhaust retries against stragglers —
+    /// the only realistic route to gave-up tuples, and the sharpest test
+    /// that late replies to abandoned requests never double-complete.
+    aggressive_retry: bool,
+    /// Calibrated fault-free service rate, tuples/sec.
+    mu: f64,
+}
+
+impl Case {
+    fn derive(root: u64, index: u64, mu: f64) -> Self {
+        let mut s = root ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let seed = splitmix64(&mut s);
+        let mut rng = stream_rng(seed, "case");
+        Case {
+            seed,
+            z: [0.0, 0.8, 1.2][rng.gen_range(0..3usize)],
+            load: [0.5, 1.0, 2.0, 3.0][rng.gen_range(0..4usize)],
+            n_tuples: rng.gen_range(150..400),
+            window: [2usize, 4, 8][rng.gen_range(0..3usize)] * 8,
+            faults: rng.gen_bool(0.5),
+            bounded: rng.gen_bool(0.75),
+            data_cap: [8u64, 32, 256][rng.gen_range(0..3usize)],
+            compute_cap: [16, 64, 256][rng.gen_range(0..3usize)],
+            shed: [
+                ShedMode::OldestFirst,
+                ShedMode::DeadlineAware,
+                ShedMode::KeyFreq,
+            ][rng.gen_range(0..3usize)],
+            deadline_mult: rng
+                .gen_bool(0.6)
+                .then(|| [2.0, 6.0][rng.gen_range(0..2usize)]),
+            nack_backoff: SimDuration::from_micros([500u64, 2000][rng.gen_range(0..2usize)]),
+            retry: rng.gen_bool(0.3),
+            aggressive_retry: rng.gen_bool(0.4),
+            mu,
+        }
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "z={} load={}x n={} window={} faults={} overload={} deadline={:?} shed={:?} retry={}",
+            self.z,
+            self.load,
+            self.n_tuples,
+            self.window,
+            self.faults,
+            if self.bounded {
+                format!("cap{}/{}", self.data_cap, self.compute_cap)
+            } else {
+                "permissive".into()
+            },
+            self.deadline_mult,
+            self.shed,
+            match (self.retry || self.faults, self.aggressive_retry) {
+                (false, _) => "off",
+                (true, false) => "chaos",
+                (true, true) => "aggressive",
+            },
+        )
+    }
+}
+
+/// The fuzz workload: small enough that a per-tuple reference pass over
+/// every tuple stays cheap, with value fetches and UDF cost big enough
+/// to congest a 4+4-node cluster at load > 1.
+fn fuzz_spec(n_tuples: u64) -> SyntheticSpec {
+    SyntheticSpec {
+        name: "DH",
+        n_keys: 2000,
+        value_size: 16 * 1024,
+        value_prefix: 64,
+        udf_cpu: SimDuration::from_micros(120),
+        n_tuples,
+        params_size: 128,
+        output_size: 256,
+    }
+}
+
+fn fuzz_cluster() -> ClusterSpec {
+    ClusterSpec {
+        n_compute: 4,
+        n_data: 4,
+        ..ClusterSpec::default()
+    }
+}
+
+fn registry(spec: &SyntheticSpec) -> UdfRegistry {
+    let mut u = UdfRegistry::new();
+    u.register(
+        UDF,
+        Arc::new(DigestUdf {
+            out_bytes: spec.output_size as usize,
+        }),
+    );
+    u
+}
+
+fn make_tuples(spec: &SyntheticSpec, z: f64, seed: u64, gap: SimDuration) -> Vec<JobTuple> {
+    let mut rng = stream_rng(seed, "tuples");
+    let mut at = SimTime::ZERO;
+    spec.tuples(z, 1, &mut rng, seed)
+        .into_iter()
+        .map(|t| {
+            at += gap;
+            JobTuple {
+                seq: t.seq,
+                keys: vec![RowKey::from_u64(t.key)],
+                params_size: t.params_size,
+                arrival: at,
+            }
+        })
+        .collect()
+}
+
+/// Random fault plan over the first three data nodes, with windows as
+/// fractions of the fault-free baseline duration. Always yields at least
+/// one fault.
+fn fault_plan(case: &Case, cluster: &ClusterSpec, baseline: SimDuration) -> FaultPlan {
+    let mut rng = stream_rng(case.seed, "faults");
+    let d = baseline.as_secs_f64();
+    let at = |f: f64| SimTime::ZERO + SimDuration::from_secs_f64(d * f);
+    let mut plan = FaultPlan::new(case.seed);
+    let mut any = false;
+    if rng.gen_bool(0.7) {
+        let start = rng.gen_range(0.05..0.6);
+        let end = start + rng.gen_range(0.05..0.3);
+        let restart = rng.gen_bool(0.7).then(|| at(end));
+        let permanent = restart.is_none();
+        plan = plan.crash(cluster.data_id(0), at(start), restart);
+        // A permanent crash sometimes takes a second node down with it:
+        // with both of a region's homes dead, failover has nowhere to
+        // go and retries must exhaust — the only path that produces
+        // gave-up tuples, which the fingerprint reconciliation must
+        // subtract correctly.
+        if permanent && rng.gen_bool(0.5) {
+            plan = plan.crash(cluster.data_id(3), at(start), None);
+        }
+        any = true;
+    }
+    if rng.gen_bool(0.6) {
+        let start = rng.gen_range(0.05..0.6);
+        let end = start + rng.gen_range(0.05..0.3);
+        let factor = rng.gen_range(2.0..6.0);
+        plan = plan.straggle(cluster.data_id(1), (at(start), at(end)), factor);
+        any = true;
+    }
+    if rng.gen_bool(0.6) {
+        let start = rng.gen_range(0.05..0.6);
+        let end = start + rng.gen_range(0.05..0.3);
+        let p = rng.gen_range(0.01..0.05);
+        plan = plan.drop_link(None, Some(cluster.data_id(2)), (at(start), at(end)), p);
+        any = true;
+    }
+    if rng.gen_bool(0.5) {
+        let start = rng.gen_range(0.05..0.6);
+        let end = start + rng.gen_range(0.05..0.3);
+        let delay = SimDuration::from_millis(rng.gen_range(1u64..8));
+        plan = plan.delay_link(None, Some(cluster.data_id(2)), (at(start), at(end)), delay);
+        any = true;
+    }
+    if !any {
+        plan = plan.crash(cluster.data_id(0), at(0.2), Some(at(0.5)));
+    }
+    plan
+}
+
+/// The case's overload config. Outcome recording is always on — the
+/// fingerprint reconciliation needs to know *which* tuples shed or gave
+/// up, not just how many.
+fn overload_for(case: &Case, healthy_p99: SimDuration) -> OverloadConfig {
+    let mut cfg = if case.bounded {
+        OverloadConfig {
+            data_queue_cap: case.data_cap,
+            high_watermark: (case.data_cap / 2).max(1),
+            low_watermark: (case.data_cap / 4).max(1),
+            compute_queue_cap: case.compute_cap,
+            deadline: case
+                .deadline_mult
+                .map(|m| SimDuration::from_secs_f64((healthy_p99.as_secs_f64() * m).max(2e-3))),
+            nack_backoff: case.nack_backoff,
+            shed: case.shed,
+            record_outcomes: true,
+        }
+    } else {
+        OverloadConfig::permissive()
+    };
+    cfg.record_outcomes = true;
+    cfg.validate();
+    cfg
+}
+
+/// The case's retry knobs: the generous chaos defaults, or hair-trigger
+/// timeouts anchored to the healthy run's p99.
+fn retry_for(case: &Case, healthy: &RunReport) -> RetryConfig {
+    if !case.aggressive_retry {
+        return chaos_retry(healthy.duration);
+    }
+    let mut rng = stream_rng(case.seed, "retry");
+    let t = (healthy.p99_latency.as_secs_f64() * rng.gen_range(0.3f64..1.0)).max(2e-3);
+    RetryConfig {
+        timeout: SimDuration::from_secs_f64(t),
+        backoff_cap: SimDuration::from_secs_f64(t * 4.0),
+        max_retries: rng.gen_range(0..3),
+        down_cooldown: SimDuration::from_secs_f64(t * 2.0),
+    }
+}
+
+fn run_once(
+    case: &Case,
+    spec: &SyntheticSpec,
+    cluster: &ClusterSpec,
+    tuples: Vec<JobTuple>,
+    faults: Option<FaultPlan>,
+    retry: Option<RetryConfig>,
+    overload: OverloadConfig,
+) -> RunReport {
+    let store = build_store(cluster, vec![(spec.name.into(), spec.rows(1).collect())]);
+    let mut optimizer = OptimizerConfig::for_strategy(Strategy::Full);
+    optimizer.batch_max_wait = SimDuration::from_millis(5);
+    let job = JobSpec {
+        cluster: cluster.clone(),
+        optimizer,
+        feed: FeedMode::Stream {
+            horizon: SimDuration::from_secs(100_000),
+            window: case.window,
+        },
+        plan: JobPlan::single(0, UDF),
+        seed: case.seed,
+        udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+        policy: None,
+        decision_sink: None,
+        faults,
+        retry,
+        telemetry: None,
+        overload: Some(overload),
+        shed_policy: None,
+    };
+    run_job(&job, store, registry(spec), tuples, vec![])
+}
+
+/// Reconcile one report against the per-tuple reference fingerprints.
+fn check(r: &RunReport, per_tuple: &HashMap<u64, u64>, data_cap: u64) -> Result<(), String> {
+    let n = per_tuple.len() as u64;
+    if r.completed + r.shed != n {
+        return Err(format!(
+            "accounting: completed {} + shed {} != offered {}",
+            r.completed, r.shed, n
+        ));
+    }
+    if r.gave_up > r.completed {
+        return Err(format!(
+            "accounting: gave_up {} exceeds completed {}",
+            r.gave_up, r.completed
+        ));
+    }
+    let mut seen = HashMap::new();
+    let (mut shed_logged, mut gave_up_logged) = (0u64, 0u64);
+    let mut expected = per_tuple.values().fold(0u64, |acc, fp| acc ^ fp);
+    for &(seq, outcome) in &r.outcomes {
+        let Some(fp) = per_tuple.get(&seq) else {
+            return Err(format!("outcome log names unknown tuple seq {seq}"));
+        };
+        if seen.insert(seq, outcome).is_some() {
+            return Err(format!("outcome log names tuple seq {seq} twice"));
+        }
+        match outcome {
+            TupleOutcome::Shed => shed_logged += 1,
+            TupleOutcome::GaveUp => gave_up_logged += 1,
+        }
+        // Shed tuples never produced output; gave-up tuples completed
+        // empty. Either way their reference contribution is absent.
+        expected ^= fp;
+    }
+    if shed_logged != r.shed {
+        return Err(format!(
+            "outcome log records {} shed tuples, report counts {}",
+            shed_logged, r.shed
+        ));
+    }
+    if gave_up_logged != r.gave_up {
+        return Err(format!(
+            "outcome log records {} gave-up tuples, report counts {}",
+            gave_up_logged, r.gave_up
+        ));
+    }
+    if r.fingerprint != expected {
+        return Err(format!(
+            "fingerprint {:#x} != reference-minus-outcomes {:#x} (lost or duplicated output)",
+            r.fingerprint, expected
+        ));
+    }
+    if r.peak_queue_depth > data_cap {
+        return Err(format!(
+            "peak data queue depth {} exceeds cap {}",
+            r.peak_queue_depth, data_cap
+        ));
+    }
+    Ok(())
+}
+
+/// Run one case end to end: reference pass, fault-free calibration run,
+/// then the fuzzed run, with invariants on both runs.
+fn run_case(case: &Case) -> Result<RunReport, String> {
+    let spec = fuzz_spec(case.n_tuples);
+    let cluster = fuzz_cluster();
+    let gap = SimDuration::from_secs_f64(1.0 / (case.mu * case.load));
+    let tuples = make_tuples(&spec, case.z, case.seed, gap);
+
+    // Reference: the whole job executed directly against the store, and
+    // each tuple's individual contribution for outcome reconciliation.
+    let ref_store = build_store(&cluster, vec![(spec.name.into(), spec.rows(1).collect())]);
+    let udfs = registry(&spec);
+    let plan = JobPlan::single(0, UDF);
+    let reference = reference_run(&ref_store, &udfs, &plan, &tuples);
+    let per_tuple: HashMap<u64, u64> = tuples
+        .iter()
+        .map(|t| {
+            let one = reference_run(&ref_store, &udfs, &plan, std::slice::from_ref(t));
+            (t.seq, one.fingerprint)
+        })
+        .collect();
+    let xor_all = per_tuple.values().fold(0u64, |acc, fp| acc ^ fp);
+    if xor_all != reference.fingerprint {
+        return Err("per-tuple reference contributions do not XOR to the full reference".into());
+    }
+
+    // Fault-free calibration: its duration scales the fault timeline and
+    // retry timeouts, its p99 anchors the deadline budget — and it must
+    // itself reproduce the reference exactly.
+    let healthy = run_once(case, &spec, &cluster, tuples.clone(), None, None, {
+        let mut p = OverloadConfig::permissive();
+        p.record_outcomes = true;
+        p
+    });
+    if healthy.completed != case.n_tuples || healthy.shed != 0 || healthy.gave_up != 0 {
+        return Err(format!(
+            "healthy run: completed {} shed {} gave_up {} (want {} / 0 / 0)",
+            healthy.completed, healthy.shed, healthy.gave_up, case.n_tuples
+        ));
+    }
+    if healthy.fingerprint != reference.fingerprint {
+        return Err(format!(
+            "healthy fingerprint {:#x} != reference {:#x}",
+            healthy.fingerprint, reference.fingerprint
+        ));
+    }
+
+    let overload = overload_for(case, healthy.p99_latency);
+    let data_cap = overload.data_queue_cap;
+    let faults = case
+        .faults
+        .then(|| fault_plan(case, &cluster, healthy.duration));
+    let retry = (case.faults || case.retry).then(|| retry_for(case, &healthy));
+    let r = run_once(case, &spec, &cluster, tuples, faults, retry, overload);
+    check(&r, &per_tuple, data_cap)?;
+    Ok(r)
+}
+
+struct Args {
+    seed: u64,
+    iters: u64,
+    start: u64,
+    tuples: Option<u64>,
+    no_faults: bool,
+    no_overload: bool,
+    no_deadline: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        seed: 7,
+        iters: 100,
+        start: 0,
+        tuples: None,
+        no_faults: false,
+        no_overload: false,
+        no_deadline: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        let mut val = || it.next().expect("flag needs a value").parse().unwrap();
+        match a.as_str() {
+            "--seed" => args.seed = val(),
+            "--iters" => args.iters = val(),
+            "--start" => args.start = val(),
+            "--tuples" => args.tuples = Some(val()),
+            "--no-faults" => args.no_faults = true,
+            "--no-overload" => args.no_overload = true,
+            "--no-deadline" => args.no_deadline = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    args
+}
+
+fn apply_overrides(case: &mut Case, args: &Args) {
+    if let Some(n) = args.tuples {
+        case.n_tuples = n;
+    }
+    if args.no_faults {
+        case.faults = false;
+        case.retry = false;
+    }
+    if args.no_overload {
+        case.bounded = false;
+    }
+    if args.no_deadline {
+        case.deadline_mult = None;
+    }
+}
+
+/// Shrink a failing case: drop faults, drop the bounded config, drop the
+/// deadline, then halve the tuple count — keeping each simplification
+/// only if the case still fails. Returns the minimal case and its error.
+fn minimize(mut case: Case, mut err: String) -> (Case, String, Vec<&'static str>) {
+    type Step = (&'static str, fn(&mut Case));
+    let mut flags = Vec::new();
+    let steps: [Step; 3] = [
+        ("--no-faults", |c| {
+            c.faults = false;
+            c.retry = false;
+        }),
+        ("--no-overload", |c| c.bounded = false),
+        ("--no-deadline", |c| c.deadline_mult = None),
+    ];
+    for (flag, apply) in steps {
+        let mut candidate = case.clone();
+        apply(&mut candidate);
+        if let Err(e) = run_case(&candidate) {
+            case = candidate;
+            err = e;
+            flags.push(flag);
+        }
+    }
+    while case.n_tuples >= 64 {
+        let mut candidate = case.clone();
+        candidate.n_tuples /= 2;
+        match run_case(&candidate) {
+            Err(e) => {
+                case = candidate;
+                err = e;
+            }
+            Ok(_) => break,
+        }
+    }
+    (case, err, flags)
+}
+
+fn main() {
+    let args = parse_args();
+    // One firehose calibration pins the service rate; every case's
+    // offered load is a multiple of it.
+    let mu = {
+        let case = Case {
+            seed: args.seed,
+            z: 0.0,
+            load: 1.0,
+            n_tuples: 400,
+            window: 32,
+            faults: false,
+            bounded: false,
+            data_cap: 0,
+            compute_cap: 0,
+            shed: ShedMode::DeadlineAware,
+            deadline_mult: None,
+            nack_backoff: SimDuration::from_millis(2),
+            retry: false,
+            aggressive_retry: false,
+            mu: 0.0,
+        };
+        let spec = fuzz_spec(case.n_tuples);
+        let cluster = fuzz_cluster();
+        let tuples = make_tuples(&spec, 0.0, args.seed, SimDuration::from_micros(1));
+        let r = run_once(
+            &case,
+            &spec,
+            &cluster,
+            tuples,
+            None,
+            None,
+            OverloadConfig::permissive(),
+        );
+        r.throughput().max(1.0)
+    };
+    println!("FUZZ_CAL mu={mu:.0} tuples/s");
+
+    for i in args.start..args.start + args.iters {
+        let mut case = Case::derive(args.seed, i, mu);
+        apply_overrides(&mut case, &args);
+        match run_case(&case) {
+            Ok(r) => println!(
+                "FUZZ_OK iter={i} {} completed={} shed={} gave_up={} misses={} peak_queue={} \
+                 retries={} failovers={} nacks_bp={}",
+                case.describe(),
+                r.completed,
+                r.shed,
+                r.gave_up,
+                r.deadline_misses,
+                r.peak_queue_depth,
+                r.retries,
+                r.failovers,
+                r.backpressure_events,
+            ),
+            Err(e) => {
+                eprintln!("FUZZ_FAIL iter={i} {}: {e}", case.describe());
+                let (min_case, min_err, flags) = minimize(case, e);
+                eprintln!("FUZZ_MIN {}: {min_err}", min_case.describe());
+                let mut repro = format!(
+                    "cargo run --release -p jl-bench --bin fuzz_chaos -- --seed {} --start {i} --iters 1",
+                    args.seed
+                );
+                if min_case.n_tuples != Case::derive(args.seed, i, mu).n_tuples {
+                    repro.push_str(&format!(" --tuples {}", min_case.n_tuples));
+                }
+                for f in flags {
+                    repro.push(' ');
+                    repro.push_str(f);
+                }
+                eprintln!("REPRO: {repro}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("FUZZ_CHAOS_OK iters={}", args.iters);
+}

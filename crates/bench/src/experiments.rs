@@ -15,7 +15,8 @@ use jl_engine::baselines::{run_reduce_side, ReduceSideKind};
 use jl_engine::plan::{JobPlan, JobTuple, StageSpec};
 use jl_engine::shuffle::run_shuffle_multijoin;
 use jl_engine::{
-    build_store, run_job, run_job_traced, ClusterSpec, FeedMode, JobSpec, RetryConfig, RunReport,
+    build_store, run_job, run_job_traced, ClusterSpec, FeedMode, JobSpec, OverloadConfig,
+    RetryConfig, RunReport,
 };
 use jl_simkit::fault::FaultPlan;
 use jl_simkit::rng::stream_rng;
@@ -175,6 +176,8 @@ fn run_synthetic_cell(
         faults: None,
         retry: None,
         telemetry,
+        overload: None,
+        shed_policy: None,
     };
     let (report, tel) = run_job_traced(
         &job,
@@ -435,6 +438,8 @@ pub fn run_synthetic_stream_report(
         faults: None,
         retry: None,
         telemetry: None,
+        overload: None,
+        shed_policy: None,
     };
     run_job(
         &job,
@@ -577,6 +582,8 @@ pub fn fig5(doc_scale: f64, seed: u64) -> FigTable {
                 faults: None,
                 retry: None,
                 telemetry: None,
+                overload: None,
+                shed_policy: None,
             };
             let r = run_job(&job, store, udfs.clone(), tuples.clone(), vec![]);
             if std::env::var("JL_DEBUG").is_ok() {
@@ -658,6 +665,8 @@ fn fig6_run(
         faults: None,
         retry: None,
         telemetry: None,
+        overload: None,
+        shed_policy: None,
     };
     let r = run_job(&job, store, digest_udfs(96), tuples.to_vec(), vec![]);
     if std::env::var("JL_DEBUG").is_ok() {
@@ -798,6 +807,8 @@ fn run_chaos_cell(
         faults: Some(chaos_fault_plan(cluster, healthy.duration, seed)),
         retry: Some(chaos_retry(healthy.duration)),
         telemetry,
+        overload: None,
+        shed_policy: None,
     };
     let (chaos, tel) = run_job_traced(
         &job,
@@ -873,7 +884,13 @@ pub fn fig_chaos(tuple_scale: f64, seed: u64) -> FigTable {
                 chaos.p99_latency.as_secs_f64() * 1e3,
                 chaos.retries as f64,
                 chaos.failovers as f64,
+                // Disambiguated outcomes: "gave up" exhausted retries and
+                // completed empty; "shed" was dropped by overload
+                // protection (always 0 here — chaos runs carry no
+                // OverloadConfig — the column keeps the two from being
+                // conflated when fig_overload is read side by side).
                 chaos.gave_up as f64,
+                chaos.shed as f64,
                 chaos.dropped_messages as f64,
                 chaos.delayed_messages as f64,
                 worst_link.unwrap_or(0) as f64,
@@ -891,12 +908,228 @@ pub fn fig_chaos(tuple_scale: f64, seed: u64) -> FigTable {
             "retries".into(),
             "failovers".into(),
             "gave up".into(),
+            "shed".into(),
             "dropped".into(),
             "delayed".into(),
             "worst link".into(),
         ],
         rows,
     }
+}
+
+/// One cell of the overload grid: its table row label, whether it ran the
+/// bounded protection or the naive (measure-only) baseline, whether the
+/// offered load was nominal or overload, the bounded config's data-queue
+/// cap, and the full run report.
+pub struct OverloadCell {
+    /// Row label, e.g. `z=1.2 2.0x bounded`.
+    pub label: String,
+    /// `true` = bounded overload protection; `false` = naive baseline
+    /// ([`OverloadConfig::permissive`]: byte-identical to the seed's
+    /// unbounded queues, but measures their depth).
+    pub bounded: bool,
+    /// `true` = offered load under capacity (no protection should fire).
+    pub nominal: bool,
+    /// `data_queue_cap` of the bounded config (also set on the naive cell
+    /// for reference; its own cap is effectively unbounded).
+    pub cap: u64,
+    /// The cell's run report.
+    pub report: RunReport,
+}
+
+/// The bounded overload configuration the figure (and the smoke test)
+/// runs: data-queue cap with 1/2 and 1/4 watermarks, a compute-side
+/// ingest cap scaled to the per-node input, deadline-aware shedding.
+pub fn overload_bounded_config(
+    per_node_input: usize,
+    deadline: Option<SimDuration>,
+) -> OverloadConfig {
+    let cap = 256u64;
+    OverloadConfig {
+        data_queue_cap: cap,
+        high_watermark: cap / 2,
+        low_watermark: cap / 4,
+        compute_queue_cap: (per_node_input / 8).clamp(64, 4096),
+        deadline,
+        nack_backoff: SimDuration::from_millis(2),
+        shed: jl_core::ShedMode::DeadlineAware,
+        record_outcomes: false,
+    }
+}
+
+/// Run one overload stream cell: the synthetic workload offered at a fixed
+/// inter-arrival `gap`, truncated at `horizon`, with the full optimizer
+/// and the given overload protection.
+#[allow(clippy::too_many_arguments)]
+pub fn run_overload_stream(
+    spec: &SyntheticSpec,
+    z: f64,
+    cluster: &ClusterSpec,
+    mem_cache: u64,
+    seed: u64,
+    gap: SimDuration,
+    horizon: SimDuration,
+    overload: Option<OverloadConfig>,
+) -> RunReport {
+    let store = build_store(cluster, vec![(spec.name.into(), spec.rows(1).collect())]);
+    let mut tuples = synthetic_tuples(spec, z, 1, seed);
+    let mut at = SimTime::ZERO;
+    for t in &mut tuples {
+        at += gap;
+        t.arrival = at;
+    }
+    // A small issue window (4 in-flight tuples per core) is the admission
+    // throttle: under overload the excess accumulates in the compute
+    // node's ingest queue — where deadlines age out and the shed policy
+    // picks victims — instead of being strewn across thousands of
+    // in-flight requests nothing can revoke.
+    let window = cluster.node.cores * 4;
+    let job = JobSpec {
+        cluster: cluster.clone(),
+        optimizer: optimizer_for(Strategy::Full, mem_cache),
+        feed: FeedMode::Stream { horizon, window },
+        plan: JobPlan::single(0, UDF),
+        seed,
+        udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+        policy: None,
+        decision_sink: None,
+        faults: None,
+        retry: None,
+        telemetry: None,
+        overload,
+        shed_policy: None,
+    };
+    run_job(
+        &job,
+        store,
+        digest_udfs(spec.output_size as usize),
+        tuples,
+        vec![],
+    )
+}
+
+/// The overload figure: offered load (0.5× and 2.0× the measured drain
+/// capacity) × skew (z = 0.0 and 1.2), naive unbounded queues (the seed
+/// behavior, instrumented via [`OverloadConfig::permissive`]) vs bounded
+/// queues + backpressure + deadline-aware shedding. The claim it records:
+/// under overload the naive queue grows with the run while the bounded
+/// cells keep peak depth ≤ cap and p99 near the deadline budget, shedding
+/// the excess instead of stalling everything.
+pub fn fig_overload(tuple_scale: f64, seed: u64) -> (FigTable, Vec<OverloadCell>) {
+    let mut spec = SyntheticSpec::dh();
+    spec.n_tuples = ((spec.n_tuples as f64 * tuple_scale) as u64).max(1000);
+    let cluster = synthetic_cluster();
+    let mem_cache = 32 << 20;
+    let per_node = spec.n_tuples as usize / cluster.n_compute;
+    let long = SimDuration::from_secs(100_000);
+
+    // Calibration 1 — drain capacity: a firehose stream (1 µs
+    // inter-arrival, far past any plausible capacity) measures the
+    // cluster's true service rate µ as completed/duration; the grid's
+    // load factors are relative to it.
+    let firehose = SimDuration::from_micros(1);
+    let mu = run_overload_stream(&spec, 0.0, &cluster, mem_cache, seed, firehose, long, None)
+        .throughput()
+        .max(1.0);
+    // Calibration 2 — deadline budget: nominal load (0.5×), no protection;
+    // the budget is 2× that run's p99 — comfortably above anything a
+    // healthy cell produces, while an overloaded ingest queue (whose wait
+    // grows linearly with the run, topping out near span/4 at 2× load)
+    // blows through it well before the arrivals end.
+    let nominal_gap = SimDuration::from_secs_f64(2.0 / mu);
+    let span = |gap: SimDuration| SimDuration(gap.0 * spec.n_tuples);
+    let nominal = run_overload_stream(
+        &spec,
+        0.0,
+        &cluster,
+        mem_cache,
+        seed,
+        nominal_gap,
+        long,
+        None,
+    );
+    let deadline = SimDuration::from_secs_f64(nominal.p99_latency.as_secs_f64().max(1e-3) * 2.0);
+    let bounded_cfg = overload_bounded_config(per_node, Some(deadline));
+
+    let cells: Vec<(f64, f64, bool)> = [0.0, 1.2]
+        .into_iter()
+        .flat_map(|z| {
+            [(0.5, false), (0.5, true), (2.0, false), (2.0, true)]
+                .into_iter()
+                .map(move |(load, bounded)| (z, load, bounded))
+        })
+        .collect();
+    let results = run_grid(cells, |(z, load, bounded)| {
+        let gap = SimDuration::from_secs_f64(1.0 / (mu * load));
+        // The horizon runs to 2.5× the arrival span: a 2× offered load
+        // needs ~2× the span to drain, so the naive cell gets to finish
+        // its bloated queue — and its p99 swallows the full backlog wait —
+        // while the bounded cell sheds the doomed tail instead.
+        let horizon = SimDuration((span(gap).0 as f64 * 2.5) as u64);
+        let overload = if bounded {
+            bounded_cfg
+        } else {
+            OverloadConfig::permissive()
+        };
+        let report = run_overload_stream(
+            &spec,
+            z,
+            &cluster,
+            mem_cache,
+            seed,
+            gap,
+            horizon,
+            Some(overload),
+        );
+        OverloadCell {
+            label: format!(
+                "z={z} {load:.1}x {}",
+                if bounded { "bounded" } else { "naive" }
+            ),
+            bounded,
+            nominal: load < 1.0,
+            cap: bounded_cfg.data_queue_cap,
+            report,
+        }
+    });
+
+    let rows = results
+        .iter()
+        .map(|c| {
+            let r = &c.report;
+            (
+                c.label.clone(),
+                vec![
+                    r.throughput(),
+                    r.p99_latency.as_secs_f64() * 1e3,
+                    r.completed as f64,
+                    r.shed as f64,
+                    r.deadline_misses as f64,
+                    r.peak_queue_depth as f64,
+                    r.backpressure_events as f64,
+                ],
+            )
+        })
+        .collect();
+    let table = FigTable {
+        title: format!(
+            "Overload — DH stream, load x skew, naive vs bounded (cap={}, deadline={:.1}ms)",
+            bounded_cfg.data_queue_cap,
+            deadline.as_secs_f64() * 1e3
+        ),
+        row_label: "cell".into(),
+        columns: vec![
+            "goodput/s".into(),
+            "p99 ms".into(),
+            "completed".into(),
+            "shed".into(),
+            "misses".into(),
+            "peak queue".into(),
+            "bp events".into(),
+        ],
+        rows,
+    };
+    (table, results)
 }
 
 /// Figure 7: TPC-DS multi-join queries — shuffle baseline ("Spark SQL") vs
@@ -975,6 +1208,8 @@ pub fn fig7(fact_scale: f64, seed: u64) -> FigTable {
             faults: None,
             retry: None,
             telemetry: None,
+            overload: None,
+            shed_policy: None,
         };
         let ours = run_job(&job, store, udfs.clone(), tuples, vec![]);
         if std::env::var("JL_DEBUG").is_ok() {

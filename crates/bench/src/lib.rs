@@ -13,7 +13,8 @@ pub mod output;
 
 pub use experiments::{
     bench_threads, chaos_fault_plan, chaos_retry, fig11, fig5, fig6, fig7, fig8, fig9, fig_chaos,
-    run_chaos_report, run_grid, traced_chaos_run, CHAOS_STRATEGIES, SKEWS,
+    fig_overload, overload_bounded_config, run_chaos_report, run_grid, run_overload_stream,
+    traced_chaos_run, OverloadCell, CHAOS_STRATEGIES, SKEWS,
 };
 pub use output::FigTable;
 

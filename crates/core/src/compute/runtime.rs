@@ -565,6 +565,13 @@ where
         self.health[dest]
     }
 
+    /// The placement policy's frequency estimate for `key` (0 when the
+    /// policy keeps no counts). Exposed so shedding decisions
+    /// ([`ShedPolicy`](crate::shed::ShedPolicy)) can spare hot cached keys.
+    pub fn key_freq(&self, key: &K) -> u64 {
+        self.policy.freq_count(key)
+    }
+
     /// The destination and kind of an in-flight request, if it is still
     /// unanswered (drivers consult this when a timeout fires: a missing
     /// entry means the response already arrived and the timer is stale).

@@ -29,6 +29,7 @@ pub mod compute;
 pub mod config;
 pub mod data;
 pub mod premap;
+pub mod shed;
 pub mod testsupport;
 pub mod types;
 
@@ -41,6 +42,10 @@ pub use compute::{ComputeRuntime, DecisionStats};
 pub use config::{LbSolver, OptimizerConfig, Strategy};
 pub use data::{DataNodeStats, DataRuntime};
 pub use premap::{pre_post_map, BatchFunction, PreMapConfig, PreMapPool, Ticket};
+pub use shed::{
+    shed_policy_for, DeadlineAwareShed, KeyFreqShed, OldestFirstShed, ShedCandidate, ShedMode,
+    ShedPolicy,
+};
 pub use types::{
     Action, BatchRequest, CacheValue, CostInfo, NodeHealth, ReqKind, RequestItem, ResponseItem,
     ResponsePayload, ValueSource,

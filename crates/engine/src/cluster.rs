@@ -57,6 +57,21 @@ pub enum Msg {
         items: Vec<ResponseItem<EKey, Val>>,
         /// Outputs of UDFs the data node executed, by request id.
         outputs: Vec<(u64, Bytes)>,
+        /// Piggybacked backpressure bit: the sender's ingest queue is over
+        /// its high watermark (always `false` when the run carries no
+        /// [`OverloadConfig`](crate::config::OverloadConfig) — the flag
+        /// adds no wire bytes and compute nodes then ignore it).
+        pressured: bool,
+    },
+    /// Admission refusal: the data node's ingest queue is at its cap, so
+    /// this batch was bounced *before* paying any disk or CPU. The compute
+    /// node re-presents each listed request after its NACK backoff, or
+    /// sheds it if its deadline is already hopeless.
+    Nack {
+        /// Index of the refusing data node.
+        from_data: usize,
+        /// Request ids of the refused batch's items.
+        req_ids: Vec<u64>,
     },
     /// Targeted cache-invalidation notice (§4.2.3).
     Invalidate {

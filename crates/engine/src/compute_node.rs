@@ -16,8 +16,10 @@ use jl_simkit::sim::NodeId;
 use jl_store::{Catalog, UdfRegistry};
 use jl_telemetry::{TelemetryHandle, TraceEvent, Track};
 
+use jl_core::shed::{ShedCandidate, ShedPolicy};
+
 use crate::cluster::{EKey, Msg, Val, BATCH_OVERHEAD, ITEM_OVERHEAD};
-use crate::config::{ClusterSpec, FeedMode, RetryConfig};
+use crate::config::{ClusterSpec, FeedMode, OverloadConfig, RetryConfig};
 use crate::plan::{decode_params, encode_params, output_fingerprint, survives, JobPlan, JobTuple};
 
 /// Timer tag reserved for batch-deadline polling.
@@ -27,6 +29,29 @@ const DEADLINE_TAG: u64 = u64::MAX;
 /// Request ids are sequential and never reach this bit. `DEADLINE_TAG`
 /// also carries the bit, so the deadline check must come first.
 const RETRY_BIT: u64 = 1 << 63;
+
+/// Tag bit marking NACK re-present timers (`NACK_BIT | req_id`). Disjoint
+/// from `RETRY_BIT`; `DEADLINE_TAG` carries both, so it is checked first.
+const NACK_BIT: u64 = 1 << 62;
+
+/// How many queue-head entries the shed policy scans when an arrival
+/// overflows the bounded ingest queue. The head holds the oldest (and
+/// under deadlines, most doomed) tuples, so a bounded slate keeps victim
+/// quality while keeping the per-shed cost O(1) in the queue bound.
+const SHED_SCAN: usize = 64;
+
+/// Why a tuple left the pipeline without completing. Reported per tuple
+/// in [`RunReport::outcomes`](crate::runner::RunReport::outcomes) when
+/// [`OverloadConfig::record_outcomes`] is set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TupleOutcome {
+    /// Dropped by overload protection (queue overflow or hopeless
+    /// deadline). A shed tuple does *not* count as completed.
+    Shed,
+    /// Its request exhausted every retry; the tuple completed with no
+    /// output (counted in both `completed` and `gave_up`).
+    GaveUp,
+}
 
 struct PendingLocal {
     key: EKey,
@@ -49,6 +74,15 @@ pub struct ComputeNodeReport {
     pub failovers: u64,
     /// Requests abandoned after exhausting retries.
     pub gave_up: u64,
+    /// Tuples dropped by overload protection (never counted completed).
+    pub shed: u64,
+    /// Tuples that completed after their deadline budget expired.
+    pub deadline_misses: u64,
+    /// NACK messages received from backpressuring data nodes.
+    pub nacks: u64,
+    /// Deepest the streaming ingest queue ever got (tracked only with
+    /// overload protection on; bounded by `compute_queue_cap`).
+    pub peak_ingest_queue: u64,
 }
 
 /// The compute-node actor state.
@@ -90,6 +124,25 @@ pub struct ComputeNode {
     /// Per data node: avoid routing to it until this time (set by
     /// timeouts, cleared by replies).
     down_until: Vec<SimTime>,
+    /// Overload protection; `None` disables every shed/backpressure path.
+    overload: Option<OverloadConfig>,
+    /// Victim selection under pressure (present iff `overload` is).
+    shed_policy: Option<Box<dyn ShedPolicy<EKey>>>,
+    /// Per-tuple deadline, by seq (populated only when the overload
+    /// config carries a deadline budget).
+    deadlines: FxHashMap<u64, SimTime>,
+    /// Per data node: last piggybacked pressure bit (true between a NACK
+    /// or pressured reply and the next clean reply).
+    pressured_dests: Vec<bool>,
+    /// How many destinations are currently pressured; while nonzero the
+    /// issue window is halved (slow issue instead of unbounded buffering).
+    n_pressured: usize,
+    /// Ingested tuples later shed mid-flight — outstanding() must not
+    /// wait on them.
+    shed_inflight: u64,
+    /// Per-tuple `(seq, outcome)` log, kept only when
+    /// `overload.record_outcomes` is set.
+    outcomes: Vec<(u64, TupleOutcome)>,
     /// Shared recorder, when the run is traced. `None` costs one branch
     /// per emission site and nothing else.
     tel: Option<TelemetryHandle>,
@@ -115,6 +168,8 @@ impl ComputeNode {
         sink: Option<Box<dyn jl_core::DecisionSink<EKey>>>,
         retry: Option<RetryConfig>,
         backups: Arc<FxHashMap<usize, usize>>,
+        overload: Option<OverloadConfig>,
+        shed_policy: Option<Box<dyn ShedPolicy<EKey>>>,
     ) -> Self {
         let my = NodeCosts {
             t_disk: spec.disk_service(64 * 1024).as_secs_f64(),
@@ -153,6 +208,13 @@ impl ComputeNode {
             backups,
             attempts: FxHashMap::default(),
             down_until: vec![SimTime::ZERO; spec_n_data],
+            overload,
+            shed_policy,
+            deadlines: FxHashMap::default(),
+            pressured_dests: vec![false; spec_n_data],
+            n_pressured: 0,
+            shed_inflight: 0,
+            outcomes: Vec::new(),
             tel: None,
             tel_node: 0,
         }
@@ -223,8 +285,89 @@ impl ComputeNode {
         }
     }
 
+    /// The issue window after backpressure: while any destination is
+    /// pressured, issue at half rate instead of buffering unboundedly.
+    fn window_now(&self) -> usize {
+        let w = self.window();
+        if self.n_pressured > 0 {
+            (w / 2).max(1)
+        } else {
+            w
+        }
+    }
+
     fn outstanding(&self) -> u64 {
-        self.report.ingested - self.report.completed
+        self.report.ingested - self.report.completed - self.shed_inflight
+    }
+
+    /// Per-tuple outcome log (`(seq, Shed | GaveUp)`), populated only
+    /// when the overload config sets `record_outcomes`.
+    pub fn outcomes(&self) -> &[(u64, TupleOutcome)] {
+        &self.outcomes
+    }
+
+    /// The deadline a queued (not yet ingested) tuple is racing: its
+    /// arrival plus the budget. Batch tuples carry no arrival timestamp;
+    /// their budget starts at ingest instead, so they never queue-shed.
+    fn queue_deadline(&self, tuple: &JobTuple) -> Option<SimTime> {
+        let budget = self.overload.as_ref()?.deadline?;
+        (tuple.arrival > SimTime::ZERO).then(|| tuple.arrival + budget)
+    }
+
+    fn record_outcome(&mut self, seq: u64, outcome: TupleOutcome) {
+        if self.overload.is_some_and(|ov| ov.record_outcomes) {
+            self.outcomes.push((seq, outcome));
+        }
+    }
+
+    /// The bounded ingest queue overflowed: have the shed policy pick a
+    /// victim from a bounded slate — the queue head (oldest, and under
+    /// deadlines most doomed, tuples) plus the newest arrival — and drop
+    /// it before it was ever ingested.
+    fn shed_from_queue(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        let table = self.plan.stages[0].table;
+        let scan = SHED_SCAN.min(self.input.len());
+        let mut slate: Vec<usize> = (0..scan).collect();
+        if self.input.len() > scan {
+            slate.push(self.input.len() - 1);
+        }
+        let candidates: Vec<ShedCandidate<EKey>> = slate
+            .iter()
+            .map(|&i| {
+                let t = &self.input[i];
+                let key: EKey = (table, t.keys[0].clone());
+                ShedCandidate {
+                    freq: self.rt.key_freq(&key),
+                    deadline: self.queue_deadline(t),
+                    arrival: t.arrival,
+                    key,
+                }
+            })
+            .collect();
+        let pick = self
+            .shed_policy
+            .as_mut()
+            .map(|p| p.choose_victim(ctx.now(), &candidates))
+            .unwrap_or(0)
+            .min(slate.len() - 1);
+        let victim = self
+            .input
+            .remove(slate[pick])
+            .expect("slate index in range");
+        self.note_shed(victim.seq, "queue-overflow", ctx.now());
+    }
+
+    /// Count one shed tuple: counter, outcome log, trace instant.
+    fn note_shed(&mut self, seq: u64, why: &'static str, now: SimTime) {
+        self.report.shed += 1;
+        self.record_outcome(seq, TupleOutcome::Shed);
+        if let Some(t) = &self.tel {
+            t.borrow_mut().record(
+                TraceEvent::instant(self.tel_node, Track::Fault, "shed", now)
+                    .arg("seq", seq)
+                    .arg("why", why),
+            );
+        }
     }
 
     /// Called by the kernel at simulation start.
@@ -240,7 +383,7 @@ impl ComputeNode {
     }
 
     fn refill(&mut self, ctx: &mut Ctx<'_, Msg>) {
-        while (self.outstanding() as usize) < self.window() {
+        while (self.outstanding() as usize) < self.window_now() {
             let Some(tuple) = self.input.pop_front() else {
                 // Batch jobs flush residual batches once the input is
                 // exhausted; streams rely on the max-wait timer because
@@ -252,6 +395,12 @@ impl ComputeNode {
                 }
                 break;
             };
+            // Early shed: a queued tuple already past its deadline is
+            // doomed — drop it before paying any decision or wire cost.
+            if self.queue_deadline(&tuple).is_some_and(|d| ctx.now() >= d) {
+                self.note_shed(tuple.seq, "expired-in-queue", ctx.now());
+                continue;
+            }
             self.start_tuple(tuple, ctx);
         }
         self.maybe_done(ctx);
@@ -260,7 +409,26 @@ impl ComputeNode {
     fn start_tuple(&mut self, tuple: JobTuple, ctx: &mut Ctx<'_, Msg>) {
         self.report.ingested += 1;
         let seq = tuple.seq;
-        self.started_at.insert(seq, ctx.now());
+        if let Some(budget) = self.overload.as_ref().and_then(|ov| ov.deadline) {
+            // Streaming budgets run from arrival (queue wait counts);
+            // batch tuples have no arrival and start their budget here.
+            let base = if tuple.arrival > SimTime::ZERO {
+                tuple.arrival
+            } else {
+                ctx.now()
+            };
+            self.deadlines.insert(seq, base + budget);
+        }
+        // Latency is ingest→completion: a streaming tuple's clock starts
+        // at its arrival — time spent waiting in the ingest queue is
+        // exactly what an overloaded run must answer for — while a batch
+        // tuple (no arrival timestamp) starts when it is issued.
+        let t0 = if tuple.arrival > SimTime::ZERO {
+            tuple.arrival
+        } else {
+            ctx.now()
+        };
+        self.started_at.insert(seq, t0);
         self.live.insert(seq, tuple);
         self.tel_outstanding(ctx.now());
         self.issue_stage(seq, 0, ctx);
@@ -315,7 +483,15 @@ impl ComputeNode {
                     if let Some(rc) = self.retry {
                         for item in &batch.items {
                             let a = self.attempts.get(&item.req_id).copied().unwrap_or(0);
-                            ctx.set_timer_after(rc.timeout_for(a), RETRY_BIT | item.req_id);
+                            let mut to = rc.timeout_for(a);
+                            // The deadline budget is authoritative: a
+                            // retry timer may never be armed past it, so
+                            // backoff cannot extend a tuple's total
+                            // latency beyond its budget.
+                            if let Some(rem) = self.remaining_budget(item.req_id, ctx.now()) {
+                                to = to.min(rem);
+                            }
+                            ctx.set_timer_after(to, RETRY_BIT | item.req_id);
                         }
                     }
                     let to = self.route(dest, ctx.now());
@@ -357,6 +533,105 @@ impl ComputeNode {
         self.spec.data_id(dest)
     }
 
+    /// The deadline of the tuple `req_id` is working for, if both the
+    /// request is known and deadline budgets are on.
+    fn deadline_of_req(&self, req_id: u64) -> Option<SimTime> {
+        let (seq, _) = self.sent.get(&req_id)?;
+        self.deadlines.get(seq).copied()
+    }
+
+    /// Time left in `req_id`'s deadline budget (`ZERO` once expired);
+    /// `None` when no budget applies.
+    fn remaining_budget(&self, req_id: u64, now: SimTime) -> Option<SimDuration> {
+        let dl = self.deadline_of_req(req_id)?;
+        Some(if dl > now {
+            dl.since(now)
+        } else {
+            SimDuration::ZERO
+        })
+    }
+
+    /// Shed an in-flight request whose deadline is hopeless: abandon the
+    /// request, drop the tuple from the pipeline with a `Shed` outcome,
+    /// and free its window slot. The typed counterpart of give-up — but
+    /// *early*, before more CPU/NIC is burnt on doomed work.
+    fn shed_request(&mut self, req_id: u64, why: &'static str, ctx: &mut Ctx<'_, Msg>) {
+        self.rt.abandon(req_id);
+        self.attempts.remove(&req_id);
+        self.sent_at.remove(&req_id);
+        let Some((seq, _stage)) = self.sent.remove(&req_id) else {
+            return;
+        };
+        self.live.remove(&seq);
+        self.deadlines.remove(&seq);
+        self.started_at.remove(&seq);
+        self.shed_inflight += 1;
+        self.note_shed(seq, why, ctx.now());
+        self.tel_outstanding(ctx.now());
+        self.refill(ctx);
+    }
+
+    /// A NACK arrived: the destination's ingest queue refused the batch.
+    /// Treat it like a Degraded signal for the decision plane, then
+    /// re-present each request after the backoff — unless its deadline is
+    /// already hopeless, in which case shed it now.
+    fn handle_nack(&mut self, from_data: usize, req_ids: Vec<u64>, ctx: &mut Ctx<'_, Msg>) {
+        let Some(ov) = self.overload else { return };
+        self.report.nacks += 1;
+        if !self.pressured_dests[from_data] {
+            self.pressured_dests[from_data] = true;
+            self.n_pressured += 1;
+        }
+        self.rt.set_health(from_data, NodeHealth::Degraded);
+        if let Some(t) = &self.tel {
+            t.borrow_mut().record(
+                TraceEvent::instant(self.tel_node, Track::Fault, "nacked", ctx.now())
+                    .arg("from_data", from_data as u64)
+                    .arg("items", req_ids.len() as u64),
+            );
+        }
+        for req_id in req_ids {
+            if self.rt.inflight_info(req_id).is_none() {
+                continue;
+            }
+            if self
+                .remaining_budget(req_id, ctx.now())
+                .is_some_and(|rem| rem == SimDuration::ZERO)
+            {
+                self.shed_request(req_id, "deadline-on-nack", ctx);
+            } else {
+                ctx.set_timer_after(ov.nack_backoff, NACK_BIT | req_id);
+            }
+        }
+    }
+
+    /// A NACK backoff expired: re-present the request to its destination
+    /// (same dest, same kind, no attempt bump — admission refusal is not
+    /// a timeout). Stale timers are no-ops, exactly like retry timers.
+    fn handle_nack_retry(&mut self, req_id: u64, ctx: &mut Ctx<'_, Msg>) {
+        let Some((dest, _)) = self.rt.inflight_info(req_id) else {
+            return;
+        };
+        if self
+            .remaining_budget(req_id, ctx.now())
+            .is_some_and(|rem| rem == SimDuration::ZERO)
+        {
+            self.shed_request(req_id, "deadline-on-represent", ctx);
+            return;
+        }
+        let Some((new_id, action)) = self.rt.reissue(req_id, dest, false) else {
+            return;
+        };
+        if let Some(m) = self.sent.remove(&req_id) {
+            self.sent.insert(new_id, m);
+        }
+        if let Some(a) = self.attempts.remove(&req_id) {
+            self.attempts.insert(new_id, a);
+        }
+        self.sent_at.remove(&req_id);
+        self.handle_actions(vec![action], ctx);
+    }
+
     /// A retry timer fired for `req_id`: if the request is still
     /// unanswered, mark its destination unhealthy and re-issue (or give
     /// up once retries are exhausted). Stale timers — the reply already
@@ -369,6 +644,17 @@ impl ComputeNode {
             self.attempts.remove(&req_id);
             return;
         };
+        // The deadline budget is authoritative over retry timeouts: when
+        // the timer was capped at the remaining budget it fired at budget
+        // expiry, not at a timeout — that is no evidence against the node,
+        // and re-issuing could only finish late. Shed instead.
+        if self
+            .remaining_budget(req_id, ctx.now())
+            .is_some_and(|rem| rem == SimDuration::ZERO)
+        {
+            self.shed_request(req_id, "deadline-on-timeout", ctx);
+            return;
+        }
         // Timeout observed. If the node has a failover replica, treat it
         // as down and reroute; otherwise keep probing it (slow links and
         // stragglers recover on their own) but tell the optimizer it is
@@ -409,6 +695,7 @@ impl ComputeNode {
                 );
             }
             if let Some((seq, stage)) = self.sent.remove(&req_id) {
+                self.record_outcome(seq, TupleOutcome::GaveUp);
                 self.stage_finished(seq, stage, None, ctx);
             }
             return;
@@ -456,6 +743,13 @@ impl ComputeNode {
             self.issue_stage(seq, stage + 1, ctx);
         } else {
             self.live.remove(&seq);
+            // A tuple that completes past its budget is a deadline miss
+            // (late, but not shed — its output still counts).
+            if let Some(dl) = self.deadlines.remove(&seq) {
+                if ctx.now() > dl {
+                    self.report.deadline_misses += 1;
+                }
+            }
             if let Some(t0) = self.started_at.remove(&seq) {
                 self.latency.record(ctx.now().since(t0));
                 if let Some(t) = &self.tel {
@@ -501,12 +795,20 @@ impl ComputeNode {
             Msg::Tuple(tuple) => {
                 // Streaming arrival: queue it; process under the window.
                 self.input.push_back(tuple);
+                if let Some(cap) = self.overload.map(|ov| ov.compute_queue_cap) {
+                    while self.input.len() > cap {
+                        self.shed_from_queue(ctx);
+                    }
+                    self.report.peak_ingest_queue =
+                        self.report.peak_ingest_queue.max(self.input.len() as u64);
+                }
                 self.refill(ctx);
             }
             Msg::Reply {
                 from_data,
                 items,
                 outputs,
+                pressured,
             } => {
                 if self.retry.is_some() {
                     // A reply is proof of life: stop avoiding the sender
@@ -520,6 +822,36 @@ impl ComputeNode {
                     }
                     for (req_id, _) in &outputs {
                         self.attempts.remove(req_id);
+                    }
+                }
+                // Piggybacked backpressure. Applied *after* the retry
+                // plane's proof-of-life Healthy above, so a pressured
+                // reply leaves the sender Degraded for the decision plane
+                // (ski-rental prices rents against it up); a clean reply
+                // clears the mark and restores the full issue window.
+                if self.overload.is_some() {
+                    if pressured != self.pressured_dests[from_data] {
+                        self.pressured_dests[from_data] = pressured;
+                        if pressured {
+                            self.n_pressured += 1;
+                            if let Some(t) = &self.tel {
+                                t.borrow_mut().record(
+                                    TraceEvent::instant(
+                                        self.tel_node,
+                                        Track::Fault,
+                                        "dest-pressured",
+                                        ctx.now(),
+                                    )
+                                    .arg("from_data", from_data as u64),
+                                );
+                            }
+                        } else {
+                            self.n_pressured -= 1;
+                            self.rt.set_health(from_data, NodeHealth::Healthy);
+                        }
+                    }
+                    if pressured {
+                        self.rt.set_health(from_data, NodeHealth::Degraded);
                     }
                 }
                 for item in &items {
@@ -563,6 +895,9 @@ impl ComputeNode {
                 let actions = self.rt.on_batch_response(from_data, value_items);
                 self.handle_actions(actions, ctx);
             }
+            Msg::Nack { from_data, req_ids } => {
+                self.handle_nack(from_data, req_ids, ctx);
+            }
             Msg::Invalidate { key } => {
                 self.rt.on_update_notice(&key);
             }
@@ -583,6 +918,10 @@ impl ComputeNode {
         }
         if tag & RETRY_BIT != 0 {
             self.handle_retry(tag & !RETRY_BIT, ctx);
+            return;
+        }
+        if tag & NACK_BIT != 0 {
+            self.handle_nack_retry(tag & !NACK_BIT, ctx);
             return;
         }
         let Some(p) = self.pending_local.remove(&tag) else {

@@ -129,6 +129,121 @@ impl RetryConfig {
     }
 }
 
+/// Overload protection: bounded queues, wire backpressure, deadline
+/// budgets, and load shedding. `None` in
+/// [`JobSpec`](crate::runner::JobSpec) disables the machinery entirely —
+/// no admission checks, no NACKs, no deadlines — preserving the exact
+/// event stream of the seed build (the overload test suite pins
+/// byte-identity of a shed-free permissive run against `None`).
+///
+/// With it set, each data node bounds its in-flight ingest queue at
+/// `data_queue_cap` *items*: a batch that would push the queue past the
+/// cap is NACKed on the wire without paying any disk or CPU, and the
+/// sending compute node re-presents each NACKed request after
+/// `nack_backoff` (or sheds it once its deadline is hopeless). Between
+/// the watermarks the node *delay-accepts*: it still serves, but flags
+/// every reply `pressured`, and compute nodes react by halving their
+/// issue window and telling the decision plane the node is
+/// [`Degraded`](jl_core::NodeHealth::Degraded) — the paper's
+/// runtime-placement lever applied to overload.
+#[derive(Debug, Clone, Copy)]
+pub struct OverloadConfig {
+    /// Hard admission bound on a data node's in-flight ingest queue,
+    /// in request items. Batches that would exceed it are NACKed.
+    pub data_queue_cap: u64,
+    /// Queue depth at which a data node turns its `pressured` flag on
+    /// (piggybacked on every reply). Must satisfy
+    /// `0 < low_watermark <= high_watermark <= data_queue_cap`.
+    pub high_watermark: u64,
+    /// Queue depth at which the `pressured` flag clears (hysteresis, so
+    /// the signal does not flap batch-by-batch).
+    pub low_watermark: u64,
+    /// Bound on a compute node's streaming ingest queue, in tuples.
+    /// Arrivals past it trigger the shed policy. Batch feeds are
+    /// pull-based and never queue, so the cap does not apply to them.
+    pub compute_queue_cap: usize,
+    /// Per-tuple deadline budget, measured from the tuple's arrival
+    /// (streaming) or its ingest (batch). `None` disables deadline
+    /// propagation: nothing is shed for lateness. The budget is
+    /// authoritative across retries and failover — no retry timer may
+    /// extend a tuple's total latency past it.
+    pub deadline: Option<SimDuration>,
+    /// How long a compute node waits before re-presenting a NACKed
+    /// request to its destination.
+    pub nack_backoff: SimDuration,
+    /// Which queued tuple the shed policy drops under pressure.
+    pub shed: jl_core::ShedMode,
+    /// Record a per-tuple outcome list (`(seq, Shed | GaveUp)`) in the
+    /// [`RunReport`](crate::runner::RunReport), so harnesses (the chaos
+    /// fuzzer) can reconcile the output fingerprint tuple-by-tuple.
+    /// Costs one Vec push per non-completed tuple; off by default.
+    pub record_outcomes: bool,
+}
+
+impl Default for OverloadConfig {
+    fn default() -> Self {
+        OverloadConfig {
+            data_queue_cap: 4096,
+            high_watermark: 2048,
+            low_watermark: 1024,
+            compute_queue_cap: 8192,
+            deadline: None,
+            nack_backoff: SimDuration::from_millis(2),
+            shed: jl_core::ShedMode::DeadlineAware,
+            record_outcomes: false,
+        }
+    }
+}
+
+impl OverloadConfig {
+    /// A measurement-only configuration: caps and watermarks too high to
+    /// ever trigger, no deadline. Behaviorally byte-identical to running
+    /// with no overload config at all, but queue depths are tracked — the
+    /// `fig_overload` "naive/unbounded" baseline uses this to *measure*
+    /// the queue growth the seed build suffers silently.
+    pub fn permissive() -> Self {
+        OverloadConfig {
+            data_queue_cap: u64::MAX / 2,
+            high_watermark: u64::MAX / 2,
+            low_watermark: u64::MAX / 4,
+            compute_queue_cap: usize::MAX / 2,
+            ..OverloadConfig::default()
+        }
+    }
+
+    /// Validate the knobs, panicking on zero or inverted values — the
+    /// same construction-time contract `net_bw_bps` and
+    /// [`FaultPlan`](jl_simkit::fault::FaultPlan) validation follow.
+    /// Called by the runner before the simulation is built.
+    pub fn validate(&self) {
+        assert!(self.data_queue_cap >= 1, "data_queue_cap must be >= 1");
+        assert!(
+            self.compute_queue_cap >= 1,
+            "compute_queue_cap must be >= 1"
+        );
+        assert!(self.low_watermark >= 1, "low_watermark must be >= 1");
+        assert!(
+            self.low_watermark <= self.high_watermark,
+            "inverted watermarks: low {} > high {}",
+            self.low_watermark,
+            self.high_watermark
+        );
+        assert!(
+            self.high_watermark <= self.data_queue_cap,
+            "high_watermark {} exceeds data_queue_cap {}",
+            self.high_watermark,
+            self.data_queue_cap
+        );
+        assert!(
+            self.nack_backoff > SimDuration::ZERO,
+            "nack_backoff must be positive"
+        );
+        if let Some(d) = self.deadline {
+            assert!(d > SimDuration::ZERO, "deadline budget must be positive");
+        }
+    }
+}
+
 /// How data nodes notify compute nodes about row updates (§4.2.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NotifyMode {
@@ -152,10 +267,12 @@ pub enum FeedMode {
         window: usize,
     },
     /// Streaming job: tuples arrive at their timestamps regardless of
-    /// backlog (the ingest queue grows unboundedly under overload, as in
-    /// Muppet's MapUpdatePool), but at most `window` tuples are being
-    /// *processed* concurrently. The run ends at the horizon (or when the
-    /// stream drains) and reports throughput.
+    /// backlog, but at most `window` tuples are being *processed*
+    /// concurrently. Without an [`OverloadConfig`] the ingest queue grows
+    /// unboundedly under overload, as in Muppet's MapUpdatePool; with one,
+    /// the queue is capped and excess tuples are shed by the run's
+    /// [`ShedPolicy`](jl_core::ShedPolicy). The run ends at the horizon
+    /// (or when the stream drains) and reports throughput.
     Stream {
         /// When to stop measuring.
         horizon: SimDuration,
@@ -188,6 +305,55 @@ mod tests {
         assert_eq!(r.timeout_for(3), SimDuration::from_secs(8));
         assert_eq!(r.timeout_for(10), SimDuration::from_secs(8)); // capped
         assert_eq!(r.timeout_for(u32::MAX), SimDuration::from_secs(8)); // no overflow
+    }
+
+    #[test]
+    fn overload_defaults_validate() {
+        OverloadConfig::default().validate();
+        OverloadConfig::permissive().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "data_queue_cap must be >= 1")]
+    fn overload_rejects_zero_cap() {
+        OverloadConfig {
+            data_queue_cap: 0,
+            ..OverloadConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted watermarks")]
+    fn overload_rejects_inverted_watermarks() {
+        OverloadConfig {
+            low_watermark: 2048,
+            high_watermark: 512,
+            ..OverloadConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds data_queue_cap")]
+    fn overload_rejects_watermark_above_cap() {
+        OverloadConfig {
+            data_queue_cap: 100,
+            high_watermark: 200,
+            low_watermark: 50,
+            ..OverloadConfig::default()
+        }
+        .validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "low_watermark must be >= 1")]
+    fn overload_rejects_zero_watermark() {
+        OverloadConfig {
+            low_watermark: 0,
+            ..OverloadConfig::default()
+        }
+        .validate();
     }
 
     #[test]

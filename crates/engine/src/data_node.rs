@@ -27,7 +27,7 @@ type ReplyWave = (
 /// A served item pending wave assembly: item, done time, wire bytes, and
 /// the computed output (for `Computed` payloads only).
 type ServedItem = (ResponseItem<EKey, Val>, SimTime, u64, Option<Bytes>);
-use crate::config::ClusterSpec;
+use crate::config::{ClusterSpec, OverloadConfig};
 use crate::plan::{decode_params, JobPlan};
 
 /// Queue-counter decrements scheduled for a batch's completion time.
@@ -36,6 +36,9 @@ struct PendingDrain {
     bounced: u64,
     data_served: u64,
     responses: u64,
+    /// Items this batch holds in the bounded ingest queue (0 when the run
+    /// carries no overload config).
+    admitted: u64,
 }
 
 /// The data-node actor state.
@@ -59,6 +62,19 @@ pub struct DataNode {
     replica_sources: Vec<usize>,
     /// Crashes survived (process state wiped, on-disk regions kept).
     crashes: u64,
+    /// Overload protection; `None` admits everything (seed behavior).
+    overload: Option<OverloadConfig>,
+    /// Request items currently admitted and not yet drained.
+    queued: u64,
+    /// Hysteresis state: queue crossed the high watermark and has not yet
+    /// fallen back under the low one. Piggybacked on every reply.
+    pressured: bool,
+    /// Deepest the ingest queue ever got (tracked only with overload on).
+    peak_depth: u64,
+    /// Batches refused at the admission check.
+    nacks: u64,
+    /// Pressure-on transitions (low→high watermark crossings).
+    pressure_events: u64,
     /// Shared recorder, when the run is traced.
     tel: Option<TelemetryHandle>,
     /// This node's id in the trace (its sim node id).
@@ -78,6 +94,7 @@ impl DataNode {
         server: RegionServer,
         udf_cpu_hint: f64,
         seed: u64,
+        overload: Option<OverloadConfig>,
     ) -> Self {
         let alpha = cfg.smoothing_alpha;
         let rt = DataRuntime::new(
@@ -105,6 +122,12 @@ impl DataNode {
             udf_execs: 0,
             replica_sources: Vec::new(),
             crashes: 0,
+            overload,
+            queued: 0,
+            pressured: false,
+            peak_depth: 0,
+            nacks: 0,
+            pressure_events: 0,
             tel: None,
             tel_node: 0,
         }
@@ -153,6 +176,11 @@ impl DataNode {
             self.block_cache = BlockCache::new(self.spec.block_cache_bytes);
             self.drains.clear();
             self.rt.on_crash();
+            // The admitted queue died with the process (its drain timers
+            // are gone); the pressure flag resets with it. Peak depth is a
+            // run statistic and survives.
+            self.queued = 0;
+            self.pressured = false;
         }
     }
 
@@ -201,12 +229,84 @@ impl DataNode {
         }
     }
 
+    /// Track the admitted-item queue depth as a time-weighted gauge.
+    fn tel_queue_depth(&self, now: SimTime) {
+        if let Some(t) = &self.tel {
+            t.borrow_mut().registry.time_gauge_set(
+                self.tel_node,
+                "overload",
+                "queue_depth",
+                now,
+                self.queued as f64,
+            );
+        }
+    }
+
+    /// Backpressure counters: `(nacked batches, pressure-on transitions,
+    /// peak ingest-queue depth)`. All zero when the run carries no
+    /// overload config.
+    pub fn overload_stats(&self) -> (u64, u64, u64) {
+        (self.nacks, self.pressure_events, self.peak_depth)
+    }
+
+    /// Admission control (overload runs only): returns `false` — after
+    /// NACKing the batch on the wire, *before* any disk or CPU is paid —
+    /// when the ingest queue cannot take it; otherwise admits the batch's
+    /// items, updating the watermark hysteresis and depth accounting.
+    fn admit(
+        &mut self,
+        from_compute: usize,
+        batch: &BatchRequest<EKey, Bytes>,
+        ctx: &mut Ctx<'_, Msg>,
+    ) -> bool {
+        let Some(ov) = self.overload else { return true };
+        let now = ctx.now();
+        let n = batch.items.len() as u64;
+        if self.queued + n > ov.data_queue_cap {
+            self.nacks += 1;
+            let req_ids: Vec<u64> = batch.items.iter().map(|i| i.req_id).collect();
+            if let Some(t) = &self.tel {
+                t.borrow_mut().record(
+                    TraceEvent::instant(self.tel_node, Track::Fault, "nack", now)
+                        .arg("items", n)
+                        .arg("depth", self.queued),
+                );
+            }
+            ctx.send(
+                self.spec.compute_id(from_compute),
+                Msg::Nack {
+                    from_data: self.idx,
+                    req_ids,
+                },
+                BATCH_OVERHEAD + 8 * n,
+            );
+            return false;
+        }
+        self.queued += n;
+        self.peak_depth = self.peak_depth.max(self.queued);
+        if !self.pressured && self.queued >= ov.high_watermark {
+            self.pressured = true;
+            self.pressure_events += 1;
+            if let Some(t) = &self.tel {
+                t.borrow_mut().record(
+                    TraceEvent::instant(self.tel_node, Track::Fault, "pressure-on", now)
+                        .arg("depth", self.queued),
+                );
+            }
+        }
+        self.tel_queue_depth(now);
+        true
+    }
+
     fn handle_batch(
         &mut self,
         from_compute: usize,
         batch: BatchRequest<EKey, Bytes>,
         ctx: &mut Ctx<'_, Msg>,
     ) {
+        if !self.admit(from_compute, &batch, ctx) {
+            return;
+        }
         let now = ctx.now();
         let n_items = batch.items.len();
 
@@ -461,6 +561,11 @@ impl DataNode {
                     from_data: self.idx,
                     items,
                     outputs,
+                    // Delay-accept signal: the sender throttles while this
+                    // is set. Sampled at serve time — the hysteresis state
+                    // when the batch entered, which is what the sender's
+                    // window should react to.
+                    pressured: self.pressured,
                 },
                 bytes,
             );
@@ -482,6 +587,11 @@ impl DataNode {
             bounced: n_compute - executed,
             data_served: n_data,
             responses: n_data + n_compute,
+            admitted: if self.overload.is_some() {
+                n_items as u64
+            } else {
+                0
+            },
         };
         let tag = self.next_drain;
         self.next_drain += 1;
@@ -549,12 +659,30 @@ impl DataNode {
     }
 
     /// Kernel timer dispatch: batch-completion queue drains.
-    pub fn on_timer(&mut self, tag: u64, _ctx: &mut Ctx<'_, Msg>) {
+    pub fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
         if let Some(d) = self.drains.remove(&tag) {
             self.rt.on_computed(d.computed);
             self.rt.on_bounced(d.bounced);
             self.rt.on_data_served(d.data_served);
             self.rt.on_responses_sent(d.responses);
+            if let Some(ov) = self.overload {
+                self.queued = self.queued.saturating_sub(d.admitted);
+                if self.pressured && self.queued <= ov.low_watermark {
+                    self.pressured = false;
+                    if let Some(t) = &self.tel {
+                        t.borrow_mut().record(
+                            TraceEvent::instant(
+                                self.tel_node,
+                                Track::Fault,
+                                "pressure-off",
+                                ctx.now(),
+                            )
+                            .arg("depth", self.queued),
+                        );
+                    }
+                }
+                self.tel_queue_depth(ctx.now());
+            }
         }
     }
 }

@@ -25,10 +25,12 @@ pub mod verify;
 
 pub use baselines::{run_reduce_side, BaselineReport, ReduceSideKind};
 pub use cluster::{ClusterNode, EKey, Msg, Val};
-pub use config::{ClusterSpec, FeedMode, NotifyMode, RetryConfig};
+pub use compute_node::TupleOutcome;
+pub use config::{ClusterSpec, FeedMode, NotifyMode, OverloadConfig, RetryConfig};
 pub use plan::{JobPlan, JobTuple, StageSpec};
 pub use runner::{
-    build_store, run_job, run_job_traced, JobSpec, PolicyFactory, RunReport, SinkFactory,
+    build_store, run_job, run_job_traced, JobSpec, PolicyFactory, RunReport, ShedFactory,
+    SinkFactory,
 };
 pub use shuffle::run_shuffle_multijoin;
 pub use telemetry::EngineProbe;

@@ -10,8 +10,8 @@ use jl_store::{Partitioning, RegionMap, RowKey, StoreCluster, StoredValue, UdfRe
 use jl_telemetry::{MetricsRegistry, RunTelemetry, TelemetryConfig, TelemetryHandle};
 
 use crate::cluster::{ClusterNode, EKey, Msg};
-use crate::compute_node::ComputeNode;
-use crate::config::{ClusterSpec, FeedMode, RetryConfig};
+use crate::compute_node::{ComputeNode, TupleOutcome};
+use crate::config::{ClusterSpec, FeedMode, OverloadConfig, RetryConfig};
 use crate::controller::Controller;
 use crate::data_node::DataNode;
 use crate::plan::{JobPlan, JobTuple};
@@ -27,6 +27,12 @@ pub type PolicyFactory =
 /// Factory building one compute node's decision sink, by node index. When
 /// absent, no sink is installed.
 pub type SinkFactory = Arc<dyn Fn(usize) -> Box<dyn DecisionSink<EKey>> + Send + Sync>;
+
+/// Factory building one compute node's shed policy, by node index — the
+/// overload plane's analogue of [`PolicyFactory`]. Only consulted when
+/// [`JobSpec::overload`] is set; when absent, each node runs the policy
+/// its [`ShedMode`](jl_core::ShedMode) prescribes.
+pub type ShedFactory = Arc<dyn Fn(usize) -> Box<dyn jl_core::ShedPolicy<EKey>> + Send + Sync>;
 
 /// Everything needed to launch one run.
 pub struct JobSpec {
@@ -62,6 +68,13 @@ pub struct JobSpec {
     /// to a single branch, and [`run_job_traced`] returns no
     /// [`RunTelemetry`].
     pub telemetry: Option<TelemetryConfig>,
+    /// Overload protection: bounded queues, backpressure, deadlines, and
+    /// load shedding. `None` (the default everywhere) disables every one
+    /// of those paths, preserving the exact seed event stream.
+    pub overload: Option<OverloadConfig>,
+    /// Shed-policy override; `None` follows `overload.shed`. Ignored
+    /// entirely when `overload` is `None`.
+    pub shed_policy: Option<ShedFactory>,
 }
 
 /// Aggregate results of a run.
@@ -109,6 +122,23 @@ pub struct RunReport {
     /// 99th-percentile ingest→completion latency across all compute
     /// nodes (the chaos figures' tail-latency measure).
     pub p99_latency: SimDuration,
+    /// Tuples dropped by overload protection (never counted completed;
+    /// 0 without an [`OverloadConfig`]).
+    pub shed: u64,
+    /// Data-side backpressure signals: NACKed batches plus high-watermark
+    /// pressure onsets, summed over all data nodes.
+    pub backpressure_events: u64,
+    /// Tuples that completed after their deadline budget expired.
+    pub deadline_misses: u64,
+    /// Deepest any data-node ingest queue ever got. Bounded by
+    /// `data_queue_cap` when overload protection is on; 0 when it is off
+    /// (the seed's queues are unbounded *and* unmeasured — use
+    /// [`OverloadConfig::permissive`] to measure without bounding).
+    pub peak_queue_depth: u64,
+    /// Per-tuple `(seq, outcome)` for every tuple that shed or gave up,
+    /// sorted by seq. Populated only when `overload.record_outcomes` is
+    /// set (the fuzz harness's per-tuple accounting surface).
+    pub outcomes: Vec<(u64, TupleOutcome)>,
 }
 
 impl RunReport {
@@ -218,6 +248,9 @@ pub fn run_job_traced(
     updates: Vec<UpdateEvent>,
 ) -> (RunReport, Option<RunTelemetry>) {
     let cluster = &spec.cluster;
+    if let Some(ov) = &spec.overload {
+        ov.validate();
+    }
     let tel: Option<TelemetryHandle> = spec.telemetry.map(jl_telemetry::shared);
     let (catalog, mut servers) = store.into_parts();
     let mut sim: Sim<ClusterNode> = Sim::new(spec.seed, cluster.net);
@@ -273,6 +306,10 @@ pub fn run_job_traced(
         if let Some(t) = &tel {
             sink = Some(decision_tee(t.clone(), cluster.compute_id(i) as u32, sink));
         }
+        let shed = spec.overload.map(|ov| match &spec.shed_policy {
+            Some(f) => f(i),
+            None => jl_core::shed_policy_for::<EKey>(ov.shed),
+        });
         let mut node = ComputeNode::new(
             i,
             spec.optimizer.clone(),
@@ -288,6 +325,8 @@ pub fn run_job_traced(
             sink,
             spec.retry,
             Arc::clone(&backups),
+            spec.overload,
+            shed,
         );
         if let Some(t) = &tel {
             node.set_telemetry(t.clone(), cluster.compute_id(i) as u32);
@@ -305,6 +344,7 @@ pub fn run_job_traced(
             server,
             spec.udf_cpu_hint,
             jl_simkit::rng::derive_seed(spec.seed, "data") ^ j as u64,
+            spec.overload,
         );
         for src in 0..cluster.n_data {
             if backups.get(&src) == Some(&j) {
@@ -360,6 +400,11 @@ pub fn run_job_traced(
     let mut retries = 0u64;
     let mut failovers = 0u64;
     let mut gave_up = 0u64;
+    let mut shed = 0u64;
+    let mut deadline_misses = 0u64;
+    let mut backpressure_events = 0u64;
+    let mut peak_queue_depth = 0u64;
+    let mut outcomes: Vec<(u64, TupleOutcome)> = Vec::new();
     let mut all_latency = jl_simkit::stats::DurationHistogram::new();
     let mut data_utils: Vec<f64> = Vec::new();
     for i in 0..cluster.n_compute {
@@ -374,14 +419,23 @@ pub fn run_job_traced(
         retries += n.report().retries;
         failovers += n.report().failovers;
         gave_up += n.report().gave_up;
+        shed += n.report().shed;
+        deadline_misses += n.report().deadline_misses;
+        outcomes.extend_from_slice(n.outcomes());
         all_latency.merge(n.latency());
     }
     for j in 0..cluster.n_data {
         let id = cluster.data_id(j);
         let n = sim.node(id).as_data().expect("data role");
         data = sum_data(data, n.stats());
+        let (nacks, pressure_events, peak) = n.overload_stats();
+        backpressure_events += nacks + pressure_events;
+        peak_queue_depth = peak_queue_depth.max(peak);
         data_utils.push(sim.resources(id).cpu.utilization(end));
     }
+    // Seq assignment is global, so sorting makes the outcome log invariant
+    // to gather order (and to the compute-node round-robin).
+    outcomes.sort_unstable_by_key(|&(seq, _)| seq);
     // Order-independent reductions: max is commutative already, the mean
     // uses a stable (sorted, compensated) sum so the report is bit-identical
     // however the per-node values are gathered.
@@ -440,6 +494,11 @@ pub fn run_job_traced(
         delayed_messages: totals.delayed,
         link_faults,
         p99_latency: all_latency.quantile(0.99),
+        shed,
+        backpressure_events,
+        deadline_misses,
+        peak_queue_depth,
+        outcomes,
     };
     // The nodes and the probe hold clones of the handle; dropping the sim
     // releases them so the recorder can be unwrapped.
@@ -495,6 +554,10 @@ fn snapshot_metrics(
         reg.counter_add(node, "retry", "retries", r.retries);
         reg.counter_add(node, "retry", "failovers", r.failovers);
         reg.counter_add(node, "retry", "gave_up", r.gave_up);
+        reg.counter_add(node, "overload", "shed", r.shed);
+        reg.counter_add(node, "overload", "deadline_misses", r.deadline_misses);
+        reg.counter_add(node, "overload", "nacks_seen", r.nacks);
+        reg.counter_add(node, "overload", "peak_ingest_queue", r.peak_ingest_queue);
         let d = n.decision_stats();
         reg.counter_add(node, "decision", "compute_requests", d.compute_requests);
         reg.counter_add(node, "decision", "data_requests", d.data_requests);
@@ -531,6 +594,10 @@ fn snapshot_metrics(
         reg.counter_add(node, "blockcache", "evictions", evictions);
         reg.gauge_set(node, "blockcache", "hit_ratio", n.block_cache_hit_ratio());
         reg.counter_add(node, "fault", "crashes", n.crashes());
+        let (nacks, pressure_events, peak) = n.overload_stats();
+        reg.counter_add(node, "overload", "nacks_sent", nacks);
+        reg.counter_add(node, "overload", "pressure_events", pressure_events);
+        reg.counter_add(node, "overload", "peak_queue_depth", peak);
         snapshot_resources(reg, node, sim.resources(id), end);
     }
     let ctrl = cluster.controller_id() as u32;
@@ -622,6 +689,8 @@ mod tests {
             faults: None,
             retry: None,
             telemetry: None,
+            overload: None,
+            shed_policy: None,
         };
         (job, store, udfs, tuples)
     }
@@ -646,6 +715,11 @@ mod tests {
             delayed_messages: 0,
             link_faults: Vec::new(),
             p99_latency: SimDuration::ZERO,
+            shed: 0,
+            backpressure_events: 0,
+            deadline_misses: 0,
+            peak_queue_depth: 0,
+            outcomes: Vec::new(),
         }
     }
 

@@ -94,9 +94,28 @@ struct Event<M> {
 }
 
 enum EventKind<M> {
-    Deliver { from: NodeId, to: NodeId, msg: M },
-    Timer { node: NodeId, tag: u64 },
-    Fault { node: NodeId, kind: FaultKind },
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    /// An external message entering the network at its scheduled time: the
+    /// receiver's inbound NIC is charged when this pops, not when the
+    /// message was posted — so a feed posted far in advance cannot reserve
+    /// the NIC ahead of traffic generated during the run.
+    Inject {
+        to: NodeId,
+        msg: M,
+        bytes: u64,
+    },
+    Timer {
+        node: NodeId,
+        tag: u64,
+    },
+    Fault {
+        node: NodeId,
+        kind: FaultKind,
+    },
 }
 
 impl<M> PartialEq for Event<M> {
@@ -429,11 +448,18 @@ impl<N: Node> Sim<N> {
         self.inner.heap.reserve(additional);
     }
 
-    /// Inject a message from outside the simulation, delivered at `at`
-    /// through the receiver's inbound NIC.
+    /// Inject a message from outside the simulation, entering the network
+    /// at `at` and delivered through the receiver's inbound NIC.
+    ///
+    /// The NIC charge happens when simulated time *reaches* `at`, not when
+    /// `post` is called: the inbound NIC is a FIFO station, and charging a
+    /// whole pre-posted arrival stream up front would reserve it through
+    /// the last arrival's timestamp, head-of-line blocking every message
+    /// sent to that node during the run (replies would all be pushed past
+    /// the end of the feed — a non-work-conserving artifact, not queueing).
     pub fn post(&mut self, at: SimTime, to: NodeId, msg: N::Msg, bytes: u64) {
         let at = at.max(self.inner.time);
-        self.inner.send_message(at, EXTERNAL, to, msg, bytes);
+        self.inner.push(at, EventKind::Inject { to, msg, bytes });
     }
 
     /// Run until the event heap drains, a node calls [`Ctx::stop`], or
@@ -484,6 +510,12 @@ impl<N: Node> Sim<N> {
                         self_id: to,
                     };
                     self.nodes[to].on_message(from, msg, &mut ctx);
+                }
+                EventKind::Inject { to, msg, bytes } => {
+                    // The message leaves its external source now; loss and
+                    // dead-receiver checks stay on the Deliver path, where
+                    // in-flight messages are judged for node sends too.
+                    self.inner.send_message(ev.time, EXTERNAL, to, msg, bytes);
                 }
                 EventKind::Timer { node, tag } => {
                     if let Some(plan) = &self.inner.faults {

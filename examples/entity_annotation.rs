@@ -64,6 +64,8 @@ fn main() {
         faults: None,
         retry: None,
         telemetry: None,
+        overload: None,
+        shed_policy: None,
     };
     let report = run_job(&job, store, udfs, tuples, vec![]);
     println!(

@@ -82,6 +82,8 @@ fn main() {
         faults: None,
         retry: None,
         telemetry: None,
+        overload: None,
+        shed_policy: None,
     };
     let ours = run_job(&job, store, udfs, tuples, vec![]);
     assert_eq!(ours.fingerprint, reference.fingerprint);

@@ -91,6 +91,8 @@ fn main() {
         faults: None,
         retry: None,
         telemetry: None,
+        overload: None,
+        shed_policy: None,
     };
     let ours = run_job(&job, store, udfs, tuples, vec![]);
     println!(

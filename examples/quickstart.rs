@@ -57,6 +57,8 @@ fn main() {
             faults: None,
             retry: None,
             telemetry: None,
+            overload: None,
+            shed_policy: None,
         };
         let report = run_job(&job, store, udfs.clone(), tuples.clone(), vec![]);
         assert_eq!(

@@ -72,6 +72,8 @@ fn main() {
             faults: None,
             retry: None,
             telemetry: None,
+            overload: None,
+            shed_policy: None,
         };
         let report = run_job(&job, store2, udfs.clone(), tuples.clone(), vec![]);
         println!(

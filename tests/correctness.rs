@@ -85,6 +85,8 @@ fn all_strategies_and_baselines_agree_with_reference() {
             faults: None,
             retry: None,
             telemetry: None,
+            overload: None,
+            shed_policy: None,
         };
         let r = run_job(&job, store, udfs(), ts.clone(), vec![]);
         assert_eq!(r.completed, ts.len() as u64, "{}", strategy.label());
@@ -158,6 +160,8 @@ fn multi_join_pipeline_matches_reference_and_shuffle() {
         faults: None,
         retry: None,
         telemetry: None,
+        overload: None,
+        shed_policy: None,
     };
     let ours = run_job(&job, store, udfs(), ts.clone(), vec![]);
     assert_eq!(ours.fingerprint, reference.fingerprint, "framework");
@@ -201,6 +205,8 @@ fn streaming_and_batch_compute_the_same_join() {
         faults: None,
         retry: None,
         telemetry: None,
+        overload: None,
+        shed_policy: None,
     };
     let r = run_job(&job, store, udfs(), ts, vec![]);
     assert_eq!(r.completed, 2000, "stream did not drain");
@@ -237,6 +243,8 @@ fn updates_propagate_and_invalidate() {
         faults: None,
         retry: None,
         telemetry: None,
+        overload: None,
+        shed_policy: None,
     };
     let r = run_job(&job, store, udfs(), ts, updates);
     assert_eq!(r.completed, 2000);
@@ -282,6 +290,8 @@ fn broadcast_and_targeted_notifications_both_stay_correct() {
             faults: None,
             retry: None,
             telemetry: None,
+            overload: None,
+            shed_policy: None,
         };
         let r = run_job(&job, store, udfs(), ts, updates);
         assert_eq!(r.completed, 1500, "{notify:?}");

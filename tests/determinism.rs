@@ -11,7 +11,7 @@
 //! binaries would race on it.
 
 use jl_bench::experiments::{bench_synthetic_report, fig6_stream_report};
-use jl_bench::{fig8, fig_chaos, traced_chaos_run};
+use jl_bench::{fig8, fig_chaos, fig_overload, traced_chaos_run};
 use jl_core::Strategy;
 use jl_workloads::SyntheticSpec;
 
@@ -58,6 +58,15 @@ fn grid_results_are_thread_count_invariant() {
         let (_, tel) = traced_chaos_run(scale, seed);
         let trace = tel.to_chrome_json();
         let metrics = tel.metrics_json();
+        // The overload grid adds the protection plane — bounded queues,
+        // NACK backpressure, deadline sheds, the per-tuple outcome log —
+        // whose victim selection must not depend on the thread count.
+        let (ov_table, ov_cells) = fig_overload(scale, seed);
+        let overload = format!(
+            "{}{:?}",
+            ov_table.render(),
+            ov_cells.iter().map(|c| &c.report).collect::<Vec<_>>()
+        );
         (
             table,
             batch,
@@ -65,6 +74,7 @@ fn grid_results_are_thread_count_invariant() {
             chaos,
             trace,
             metrics,
+            overload,
         )
     };
 
@@ -96,6 +106,10 @@ fn grid_results_are_thread_count_invariant() {
         assert_eq!(
             got.5, base.5,
             "exported metrics JSON differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            got.6, base.6,
+            "overload grid differs between 1 and {threads} threads"
         );
         assert_eq!(
             fnv1a(format!("{got:?}").as_bytes()),

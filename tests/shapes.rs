@@ -61,6 +61,8 @@ fn run(strategy: Strategy, z: f64, udf_ms: u64, value_size: usize, n: u64) -> f6
         faults: None,
         retry: None,
         telemetry: None,
+        overload: None,
+        shed_policy: None,
     };
     run_job(&job, store, udfs, tuples, vec![])
         .duration
@@ -156,6 +158,8 @@ fn elasticity_more_compute_nodes_help_compute_bound_jobs() {
             faults: None,
             retry: None,
             telemetry: None,
+            overload: None,
+            shed_policy: None,
         };
         run_job(&job, store, udfs, tuples, vec![])
             .duration
