@@ -3,10 +3,12 @@
 //!
 //! The pinned set is the three §9.3 synthetic workloads (DH / CH / DCH) at
 //! z = 1.0 under the full optimizer, plus the Figure 6 Twitter-stream
-//! annotation workload. For each it records real wall-clock seconds,
-//! simulated events processed, and simulated-events/sec; the file also
-//! carries peak RSS and the thread count so CI runs are comparable over
-//! time.
+//! annotation workload — all on the simulator — plus the DH cell once more
+//! on the wall-clock backend (schema v2: each entry carries a `backend`
+//! tag, and the real-backend fingerprint is asserted equal to the
+//! simulated one). For each it records real wall-clock seconds, simulated
+//! events processed, and simulated-events/sec; the file also carries peak
+//! RSS and the thread count so CI runs are comparable over time.
 //!
 //! Usage: `bench_report [--quick] [--threads N] [--seed N] [--out PATH]`
 //!
@@ -16,13 +18,19 @@
 use std::time::Instant;
 
 use jl_bench::bench_threads;
-use jl_bench::experiments::{bench_synthetic_report, bench_synthetic_traced, fig6_stream_report};
+use jl_bench::experiments::{
+    bench_synthetic_report, bench_synthetic_report_real, bench_synthetic_traced, fig6_stream_report,
+};
 use jl_core::Strategy;
 use jl_engine::RunReport;
 
 /// One timed workload.
 struct Timing {
     name: &'static str,
+    /// Which runtime backend hosted the cell: `"sim"` (virtual time — wall
+    /// seconds measure kernel+engine processing speed) or `"real"` (the
+    /// wall-clock backend — wall seconds include event pacing).
+    backend: &'static str,
     wall_secs: f64,
     report: RunReport,
 }
@@ -99,7 +107,11 @@ fn main() {
     // The pinned workloads run sequentially (each is one simulation; the
     // parallel grid is for figure fan-out), so wall-clock per workload is
     // a clean single-core kernel measurement.
-    let (synth_scale, tweet_scale) = if quick { (0.05, 0.02) } else { (0.5, 0.2) };
+    let (synth_scale, tweet_scale): (f64, f64) = if quick { (0.05, 0.02) } else { (0.5, 0.2) };
+
+    // Warm-up (untimed): fault the binary in, size the allocator, and let
+    // the CPU governor settle before anything is measured.
+    let _ = bench_synthetic_report("DH", (synth_scale * 0.1).max(0.01), seed);
 
     let mut timings: Vec<Timing> = Vec::new();
     for name in ["DH", "CH", "DCH"] {
@@ -113,6 +125,7 @@ fn main() {
         );
         timings.push(Timing {
             name,
+            backend: "sim",
             wall_secs: wall,
             report,
         });
@@ -128,24 +141,57 @@ fn main() {
         );
         timings.push(Timing {
             name: "fig6_stream",
+            backend: "sim",
+            wall_secs: wall,
+            report,
+        });
+    }
+    {
+        // The DH cell again, hosted on the wall-clock backend: wall time
+        // includes real event pacing, and the join result must be the
+        // simulated one exactly (the runtime seam's parity contract).
+        let t0 = Instant::now();
+        let report = bench_synthetic_report_real("DH", synth_scale, seed);
+        let wall = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "bench_report: DH@real wall={wall:.3}s sim_events={} ({:.0} ev/s)",
+            report.sim_events,
+            report.sim_events as f64 / wall.max(1e-9)
+        );
+        assert_eq!(
+            report.fingerprint, timings[0].report.fingerprint,
+            "wall-clock backend changed the DH join result"
+        );
+        timings.push(Timing {
+            name: "DH",
+            backend: "real",
             wall_secs: wall,
             report,
         });
     }
 
-    // Telemetry overhead: the DH workload re-run with the recorder on.
-    // The untraced DH timing above is the baseline; the ratio tracks what
-    // span recording + the metrics snapshot cost in wall-clock. The traced
-    // run must not perturb the simulation, so its fingerprint is checked
+    // Telemetry overhead: the DH workload with the recorder off vs on,
+    // measured back-to-back (adjacent, best-of-three) so the ratio tracks
+    // the marginal cost of span recording + the metrics snapshot rather
+    // than allocator or frequency drift across the report. The traced run
+    // must not perturb the simulation, so its fingerprint is checked
     // against the untraced one.
-    let telemetry_off_wall = timings[0].wall_secs;
-    let t0 = Instant::now();
-    let (traced_report, tel) = bench_synthetic_traced("DH", synth_scale, seed);
-    let telemetry_on_wall = t0.elapsed().as_secs_f64();
-    assert_eq!(
-        traced_report.fingerprint, timings[0].report.fingerprint,
-        "telemetry recording perturbed the DH simulation"
-    );
+    let mut telemetry_off_wall = f64::INFINITY;
+    let mut telemetry_on_wall = f64::INFINITY;
+    let mut tel_events = 0usize;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let off_report = bench_synthetic_report("DH", synth_scale, seed);
+        telemetry_off_wall = telemetry_off_wall.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let (traced_report, tel) = bench_synthetic_traced("DH", synth_scale, seed);
+        telemetry_on_wall = telemetry_on_wall.min(t0.elapsed().as_secs_f64());
+        assert_eq!(
+            traced_report.fingerprint, off_report.fingerprint,
+            "telemetry recording perturbed the DH simulation"
+        );
+        tel_events = tel.events.len();
+    }
     let overhead = if telemetry_off_wall > 0.0 {
         telemetry_on_wall / telemetry_off_wall
     } else {
@@ -153,8 +199,7 @@ fn main() {
     };
     eprintln!(
         "bench_report: DH telemetry off={telemetry_off_wall:.3}s on={telemetry_on_wall:.3}s \
-         (x{overhead:.2}, {} trace events)",
-        tel.events.len()
+         (x{overhead:.2}, {tel_events} trace events)"
     );
 
     let total_wall: f64 = timings.iter().map(|t| t.wall_secs).sum();
@@ -162,7 +207,7 @@ fn main() {
 
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"jl-bench-kernel/v1\",\n");
+    out.push_str("  \"schema\": \"jl-bench-kernel/v2\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -199,12 +244,13 @@ fn main() {
         jf(telemetry_on_wall)
     ));
     out.push_str(&format!("    \"overhead_ratio\": {},\n", jf(overhead)));
-    out.push_str(&format!("    \"trace_events\": {}\n", tel.events.len()));
+    out.push_str(&format!("    \"trace_events\": {tel_events}\n"));
     out.push_str("  },\n");
     out.push_str("  \"workloads\": [\n");
     for (idx, t) in timings.iter().enumerate() {
         out.push_str("    {\n");
         out.push_str(&format!("      \"name\": \"{}\",\n", json_escape(t.name)));
+        out.push_str(&format!("      \"backend\": \"{}\",\n", t.backend));
         out.push_str(&format!("      \"wall_secs\": {},\n", jf(t.wall_secs)));
         out.push_str(&format!("      \"sim_events\": {},\n", t.report.sim_events));
         out.push_str(&format!(

@@ -1,0 +1,111 @@
+//! `jl-serve` — stand up the engine's cluster on the wall-clock backend
+//! and answer a stream of lookup-join requests.
+//!
+//! ```text
+//! jl-serve [--port P] [--once] [--compute N] [--data N] [--rows N]
+//!          [--value-bytes N] [--seed S] [--deadline-ms D]
+//!          [--no-retry] [--no-overload]
+//! ```
+//!
+//! Without `--port`, requests are read from stdin and responses written
+//! to stdout. With `--port P`, the process listens on `127.0.0.1:P` and
+//! serves each accepted connection in turn (forever, or a single
+//! connection with `--once`). The line protocol is documented on
+//! [`jl_bench::serve`]; per-session statistics go to stderr.
+
+use std::io::BufReader;
+use std::net::TcpListener;
+
+use jl_bench::{serve, ServeConfig, ServeStats};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: jl-serve [--port P] [--once] [--compute N] [--data N] [--rows N] \
+         [--value-bytes N] [--seed S] [--deadline-ms D] [--no-retry] [--no-overload]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_config() -> (ServeConfig, Option<u16>, bool) {
+    let mut cfg = ServeConfig::default();
+    let mut port: Option<u16> = None;
+    let mut once = false;
+    let args: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let num = |args: &[String], i: &mut usize| -> u64 {
+        *i += 1;
+        args.get(*i)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage())
+    };
+    while i < args.len() {
+        match args[i].as_str() {
+            "--port" => port = Some(num(&args, &mut i) as u16),
+            "--once" => once = true,
+            "--compute" => cfg.n_compute = num(&args, &mut i).max(1) as usize,
+            "--data" => cfg.n_data = num(&args, &mut i).max(1) as usize,
+            "--rows" => cfg.rows = num(&args, &mut i).max(1),
+            "--value-bytes" => cfg.value_size = num(&args, &mut i),
+            "--seed" => cfg.seed = num(&args, &mut i),
+            "--deadline-ms" => cfg.deadline_ms = Some(num(&args, &mut i)),
+            "--no-retry" => cfg.retry = false,
+            "--no-overload" => cfg.overload = false,
+            _ => usage(),
+        }
+        i += 1;
+    }
+    (cfg, port, once)
+}
+
+fn summarize(stats: &ServeStats) {
+    let r = &stats.report;
+    eprintln!(
+        "jl-serve: served={} malformed={} completed={} shed={} gave_up={} retries={} \
+         failovers={} net_bytes={} p99_latency_ms={:.3} wall_s={:.3}",
+        stats.served,
+        stats.malformed,
+        r.completed,
+        r.shed,
+        r.gave_up,
+        r.retries,
+        r.failovers,
+        r.net_bytes,
+        r.p99_latency.as_secs_f64() * 1e3,
+        r.duration.as_secs_f64(),
+    );
+}
+
+fn main() -> std::io::Result<()> {
+    let (cfg, port, once) = parse_config();
+    match port {
+        None => {
+            let stdin = BufReader::new(std::io::stdin());
+            let stats = serve(stdin, std::io::stdout(), &cfg)?;
+            summarize(&stats);
+        }
+        Some(port) => {
+            let listener = TcpListener::bind(("127.0.0.1", port))?;
+            eprintln!(
+                "jl-serve: listening on {} ({} compute, {} data, {} rows)",
+                listener.local_addr()?,
+                cfg.n_compute,
+                cfg.n_data,
+                cfg.rows
+            );
+            for stream in listener.incoming() {
+                let stream = stream?;
+                stream.set_nodelay(true)?;
+                let reader = BufReader::new(stream.try_clone()?);
+                match serve(reader, stream, &cfg) {
+                    Ok(stats) => summarize(&stats),
+                    // A dropped connection only ends that session.
+                    Err(e) => eprintln!("jl-serve: session error: {e}"),
+                }
+                if once {
+                    break;
+                }
+            }
+        }
+    }
+    Ok(())
+}

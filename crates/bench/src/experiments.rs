@@ -15,8 +15,8 @@ use jl_engine::baselines::{run_reduce_side, ReduceSideKind};
 use jl_engine::plan::{JobPlan, JobTuple, StageSpec};
 use jl_engine::shuffle::run_shuffle_multijoin;
 use jl_engine::{
-    build_store, run_job, run_job_traced, ClusterSpec, FeedMode, JobSpec, OverloadConfig,
-    RetryConfig, RunReport,
+    build_store, run_job, run_job_real_traced, run_job_traced, ClusterSpec, FeedMode, JobSpec,
+    OverloadConfig, RetryConfig, RunReport,
 };
 use jl_simkit::fault::FaultPlan;
 use jl_simkit::rng::stream_rng;
@@ -154,6 +154,36 @@ fn run_synthetic_cell(
     seed: u64,
     telemetry: Option<TelemetryConfig>,
 ) -> (RunReport, Option<RunTelemetry>) {
+    run_synthetic_cell_on(
+        spec,
+        strategy,
+        z,
+        shift_epochs,
+        freeze_frac,
+        cluster,
+        mem_cache,
+        seed,
+        telemetry,
+        false,
+    )
+}
+
+/// [`run_synthetic_cell`] with a backend switch: `real` runs the identical
+/// job on the wall-clock backend ([`run_job_real_traced`]) — same
+/// construction, same policies, join results matching the simulator.
+#[allow(clippy::too_many_arguments)]
+fn run_synthetic_cell_on(
+    spec: &SyntheticSpec,
+    strategy: Strategy,
+    z: f64,
+    shift_epochs: u64,
+    freeze_frac: Option<f64>,
+    cluster: &ClusterSpec,
+    mem_cache: u64,
+    seed: u64,
+    telemetry: Option<TelemetryConfig>,
+    real: bool,
+) -> (RunReport, Option<RunTelemetry>) {
     let store = build_store(cluster, vec![(spec.name.into(), spec.rows(1).collect())]);
     let tuples = synthetic_tuples(spec, z, shift_epochs, seed);
     let mut optimizer = optimizer_for(strategy, mem_cache);
@@ -179,13 +209,12 @@ fn run_synthetic_cell(
         overload: None,
         shed_policy: None,
     };
-    let (report, tel) = run_job_traced(
-        &job,
-        store,
-        digest_udfs(spec.output_size as usize),
-        tuples,
-        vec![],
-    );
+    let udfs = digest_udfs(spec.output_size as usize);
+    let (report, tel) = if real {
+        run_job_real_traced(&job, store, udfs, tuples, vec![])
+    } else {
+        run_job_traced(&job, store, udfs, tuples, vec![])
+    };
     if std::env::var("JL_DEBUG").is_ok() {
         eprintln!(
             "syn {} z={z}: dur={:?} dec={:?} cache={:?}",
@@ -301,6 +330,34 @@ pub fn bench_synthetic_traced(
         Some(TelemetryConfig::default()),
     );
     (report, tel.expect("telemetry was requested"))
+}
+
+/// The same pinned kernel workload as [`bench_synthetic_report`], run on
+/// the wall-clock backend. Wall time here is real elapsed time (the loop
+/// paces modeled events against the host clock), while the join
+/// fingerprint must match the simulated run exactly — `bench_report`
+/// asserts it.
+pub fn bench_synthetic_report_real(spec_name: &str, tuple_scale: f64, seed: u64) -> RunReport {
+    let mut spec = match spec_name {
+        "DH" => SyntheticSpec::dh(),
+        "CH" => SyntheticSpec::ch(),
+        "DCH" => SyntheticSpec::dch(),
+        other => panic!("unknown bench workload {other:?} (expected DH, CH or DCH)"),
+    };
+    spec.n_tuples = ((spec.n_tuples as f64 * tuple_scale) as u64).max(1000);
+    run_synthetic_cell_on(
+        &spec,
+        Strategy::Full,
+        1.0,
+        1,
+        None,
+        &synthetic_cluster(),
+        32 << 20,
+        seed,
+        None,
+        true,
+    )
+    .0
 }
 
 /// Figure 8 (a: DH, b: CH, c: DCH): Hadoop-mode synthetic workloads,

@@ -5,11 +5,15 @@
 //! `fig11_muppet`, plus `figs_all`), ablation binaries, and Criterion
 //! micro-benchmarks over the core data structures. See EXPERIMENTS.md for
 //! paper-vs-measured tables.
+//!
+//! Also home of the [`serve`] layer and its `jl-serve` binary: the same
+//! engine on the wall-clock backend, answering a live request stream.
 
 #![warn(missing_docs)]
 
 pub mod experiments;
 pub mod output;
+pub mod serve;
 
 pub use experiments::{
     bench_threads, chaos_fault_plan, chaos_retry, fig11, fig5, fig6, fig7, fig8, fig9, fig_chaos,
@@ -17,6 +21,7 @@ pub use experiments::{
     traced_chaos_run, OverloadCell, CHAOS_STRATEGIES, SKEWS,
 };
 pub use output::FigTable;
+pub use serve::{serve, ServeConfig, ServeStats};
 
 /// Arguments shared by the figure binaries.
 pub struct BenchArgs {

@@ -1,0 +1,413 @@
+//! The `jl-serve` request/response layer: an in-process cluster on the
+//! wall-clock backend, answering a stream of lookup-join requests.
+//!
+//! This is the runtime seam's end-to-end demonstration: the exact engine
+//! the simulator hosts — same [`ComputeNode`](jl_engine::compute_node),
+//! same placement policies, same retry/backpressure/shedding machinery —
+//! serving live requests in real time. One request per input line, one
+//! response per completed tuple.
+//!
+//! # Wire protocol (newline-delimited text)
+//!
+//! Request lines:
+//!
+//! ```text
+//! <key> [params_size]
+//! ```
+//!
+//! `key` is a u64 (mapped onto the stored table as `key % rows`, so every
+//! request hits); `params_size` is an optional payload size in bytes
+//! (default 128). Blank lines and lines starting with `#` are ignored;
+//! anything else unparseable is counted in
+//! [`ServeStats::malformed`] and skipped.
+//!
+//! Response lines, in completion order (not request order — the engine
+//! pipelines):
+//!
+//! ```text
+//! <seq> <ok|gave_up|shed> <latency_us>
+//! ```
+//!
+//! `seq` numbers accepted requests from 0 in input order. Every accepted
+//! request gets exactly one response; the stream ends (and the cluster
+//! shuts down) once all are answered after input EOF.
+
+use std::io::{BufRead, Write};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use rustc_hash::FxHashMap;
+
+use jl_core::{OptimizerConfig, Strategy};
+use jl_engine::{
+    build_cluster, build_real_runtime, build_store, gather_report, ClusterSpec, FeedMode, JobPlan,
+    JobSpec, JobTuple, Msg, OverloadConfig, RetryConfig, RunReport, TupleFate,
+};
+use jl_simkit::time::{SimDuration, SimTime};
+use jl_store::{DigestUdf, RowKey, UdfRegistry};
+use jl_workloads::SyntheticSpec;
+
+use crate::experiments::overload_bounded_config;
+
+/// The UDF id the serve table registers its digest function under.
+const UDF: usize = 0;
+
+/// Configuration of the served cluster and workload shape.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Compute nodes.
+    pub n_compute: usize,
+    /// Data nodes (region servers).
+    pub n_data: usize,
+    /// Rows in the lookup table (request keys are taken mod this).
+    pub rows: u64,
+    /// Stored value size, bytes.
+    pub value_size: u64,
+    /// Modeled CPU per UDF invocation, microseconds.
+    pub udf_cpu_us: u64,
+    /// Root seed (policies, stores, and RNG streams).
+    pub seed: u64,
+    /// Timeout/retry/failover machinery on (PR 3). No faults are injected
+    /// by `serve`, so this arms the timers without expecting them to fire.
+    pub retry: bool,
+    /// Overload protection on (PR 5): bounded queues, NACK backpressure,
+    /// deadline-aware shedding.
+    pub overload: bool,
+    /// Per-tuple deadline budget, milliseconds (requires `overload`).
+    /// `None` sheds only on queue pressure — the robust default for
+    /// machines with unpredictable scheduling hiccups.
+    pub deadline_ms: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            n_compute: 2,
+            n_data: 2,
+            rows: 2_000,
+            value_size: 16 * 1024,
+            udf_cpu_us: 100,
+            seed: 42,
+            retry: true,
+            overload: true,
+            deadline_ms: None,
+        }
+    }
+}
+
+/// What one `serve` session did.
+#[derive(Debug)]
+pub struct ServeStats {
+    /// Requests accepted (== responses written).
+    pub served: u64,
+    /// Input lines skipped as unparseable.
+    pub malformed: u64,
+    /// The cluster's full run report (wall-clock durations/latencies).
+    pub report: RunReport,
+}
+
+/// Build the [`JobSpec`] a serve session runs: the full optimizer over a
+/// single-stage lookup-join plan, streaming feed, retry and overload
+/// machinery per `cfg`. Exposed so tests can run the identical job shape
+/// on the simulator.
+pub fn serve_job(cfg: &ServeConfig, cluster: &ClusterSpec) -> JobSpec {
+    let mut optimizer = OptimizerConfig::for_strategy(Strategy::Full);
+    optimizer.mem_cache_bytes = 32 << 20;
+    optimizer.batch_size = 64;
+    // Serving is latency-bound: don't hold a partial batch long.
+    optimizer.batch_max_wait = SimDuration::from_millis(2);
+    let overload = cfg.overload.then(|| OverloadConfig {
+        deadline: cfg.deadline_ms.map(SimDuration::from_millis),
+        record_outcomes: true,
+        ..overload_bounded_config(1024, None)
+    });
+    JobSpec {
+        cluster: cluster.clone(),
+        optimizer,
+        feed: FeedMode::Stream {
+            // The horizon is the batch/stream switch for the engine; the
+            // serve loop itself runs until the responder stops it.
+            horizon: SimDuration::from_secs(86_400),
+            window: cluster.node.cores * 4,
+        },
+        plan: JobPlan::single(0, UDF),
+        seed: cfg.seed,
+        udf_cpu_hint: cfg.udf_cpu_us as f64 * 1e-6,
+        policy: None,
+        decision_sink: None,
+        faults: None,
+        retry: cfg.retry.then(RetryConfig::default),
+        telemetry: None,
+        overload,
+        shed_policy: None,
+    }
+}
+
+/// The table a serve session stores: `cfg.rows` deterministic rows of
+/// `cfg.value_size` bytes (same generator as the synthetic workloads).
+fn serve_table(cfg: &ServeConfig) -> (String, SyntheticSpec) {
+    let spec = SyntheticSpec {
+        name: "serve",
+        n_keys: cfg.rows,
+        value_size: cfg.value_size,
+        value_prefix: 64,
+        udf_cpu: SimDuration::from_micros(cfg.udf_cpu_us),
+        n_tuples: 0,
+        params_size: 128,
+        output_size: 256,
+    };
+    ("serve".to_string(), spec)
+}
+
+/// Parse one request line. `Ok(None)` = ignorable (blank / comment).
+fn parse_request(line: &str) -> Result<Option<(u64, u32)>, ()> {
+    let line = line.trim();
+    if line.is_empty() || line.starts_with('#') {
+        return Ok(None);
+    }
+    let mut it = line.split_whitespace();
+    let key: u64 = it.next().ok_or(())?.parse().map_err(|_| ())?;
+    let params: u32 = match it.next() {
+        Some(tok) => tok.parse().map_err(|_| ())?,
+        None => 128,
+    };
+    if it.next().is_some() {
+        return Err(());
+    }
+    Ok(Some((key, params)))
+}
+
+/// Serve `input` until EOF + all responses written, on an in-process
+/// cluster hosted by the wall-clock backend. Three threads cooperate:
+/// the caller's runs the event loop, a reader injects each request line
+/// as a [`Msg::Tuple`] through an ingress [`RealHandle`]
+/// (round-robin across compute nodes, like the runner's feed split), and
+/// a responder turns per-tuple completion hooks into response lines and
+/// stops the loop when everything is answered.
+///
+/// [`RealHandle`]: jl_runtime::RealHandle
+pub fn serve<R, W>(input: R, output: W, cfg: &ServeConfig) -> std::io::Result<ServeStats>
+where
+    R: BufRead + Send,
+    W: Write + Send,
+{
+    let cluster = ClusterSpec {
+        n_compute: cfg.n_compute,
+        n_data: cfg.n_data,
+        block_cache_bytes: 0,
+        ..ClusterSpec::default()
+    };
+    let (table_name, spec) = serve_table(cfg);
+    let store = build_store(&cluster, vec![(table_name, spec.rows(1).collect())]);
+    let mut udfs = UdfRegistry::new();
+    udfs.register(UDF, Arc::new(DigestUdf { out_bytes: 256 }));
+    let job = serve_job(cfg, &cluster);
+
+    let built = build_cluster(&job, store, udfs, vec![], vec![], &None);
+    let mut rt = build_real_runtime(&job, built, &None);
+
+    // Completion fan-in: each compute node's hook reports one
+    // (seq, fate, at) per tuple to the responder.
+    let (done_tx, done_rx) = mpsc::channel::<(u64, TupleFate, SimTime)>();
+    for i in 0..cluster.n_compute {
+        let tx = done_tx.clone();
+        rt.node_mut(cluster.compute_id(i))
+            .as_compute_mut()
+            .expect("compute role")
+            .set_completion_hook(Box::new(move |seq, fate, at| {
+                let _ = tx.send((seq, fate, at));
+            }));
+    }
+    drop(done_tx);
+
+    // Handles must exist before the loop starts (they are the loop's
+    // liveness signal); one for ingress, one for shutdown control.
+    let ingress = rt.handle();
+    let control = rt.handle();
+
+    let arrivals: Arc<std::sync::Mutex<FxHashMap<u64, SimTime>>> =
+        Arc::new(std::sync::Mutex::new(FxHashMap::default()));
+    // u64::MAX = "input not yet exhausted"; the reader publishes the true
+    // request count at EOF and the responder stops once it catches up.
+    let total = Arc::new(AtomicU64::new(u64::MAX));
+    let malformed = Arc::new(AtomicU64::new(0));
+
+    let n_compute = cluster.n_compute;
+    let rows = cfg.rows.max(1);
+    let compute_ids: Vec<usize> = (0..n_compute).map(|i| cluster.compute_id(i)).collect();
+
+    let (served, responded, write_err) = std::thread::scope(|s| {
+        let reader = {
+            let arrivals = Arc::clone(&arrivals);
+            let total = Arc::clone(&total);
+            let malformed = Arc::clone(&malformed);
+            let compute_ids = compute_ids.clone();
+            s.spawn(move || {
+                let mut seq = 0u64;
+                for line in input.lines() {
+                    let Ok(line) = line else { break };
+                    match parse_request(&line) {
+                        Ok(None) => {}
+                        Err(()) => {
+                            malformed.fetch_add(1, Ordering::Relaxed);
+                        }
+                        Ok(Some((key, params_size))) => {
+                            let arrival = ingress.now();
+                            arrivals.lock().expect("arrivals lock").insert(seq, arrival);
+                            let tuple = JobTuple {
+                                seq,
+                                keys: vec![RowKey::from_u64(key % rows)],
+                                params_size,
+                                arrival,
+                            };
+                            // Same round-robin and wire sizing as the
+                            // runner's stream feed.
+                            let to = compute_ids[(seq as usize) % compute_ids.len()];
+                            let bytes = u64::from(params_size) + 64;
+                            if !ingress.send(to, Msg::Tuple(tuple), bytes) {
+                                break;
+                            }
+                            seq += 1;
+                        }
+                    }
+                }
+                total.store(seq, Ordering::Release);
+                seq
+            })
+        };
+
+        let responder = {
+            let arrivals = Arc::clone(&arrivals);
+            let total = Arc::clone(&total);
+            let mut output = output;
+            s.spawn(move || {
+                let mut responded = 0u64;
+                let mut err: Option<std::io::Error> = None;
+                loop {
+                    if total.load(Ordering::Acquire) == responded {
+                        break;
+                    }
+                    match done_rx.recv_timeout(Duration::from_millis(20)) {
+                        Ok((seq, fate, at)) => {
+                            let arrival = arrivals
+                                .lock()
+                                .expect("arrivals lock")
+                                .remove(&seq)
+                                .unwrap_or(at);
+                            let status = match fate {
+                                TupleFate::Done => "ok",
+                                TupleFate::GaveUp => "gave_up",
+                                TupleFate::Shed => "shed",
+                            };
+                            let latency_us = (at.since(arrival).as_secs_f64() * 1e6).round() as u64;
+                            if let Err(e) = writeln!(output, "{seq} {status} {latency_us}") {
+                                err = Some(e);
+                                break;
+                            }
+                            responded += 1;
+                        }
+                        Err(mpsc::RecvTimeoutError::Timeout) => {}
+                        Err(mpsc::RecvTimeoutError::Disconnected) => break,
+                    }
+                }
+                if err.is_none() {
+                    if let Err(e) = output.flush() {
+                        err = Some(e);
+                    }
+                }
+                control.stop();
+                (responded, err)
+            })
+        };
+
+        rt.run();
+        let served = reader.join().expect("reader thread");
+        let (responded, write_err) = responder.join().expect("responder thread");
+        (served, responded, write_err)
+    });
+
+    if let Some(e) = write_err {
+        return Err(e);
+    }
+    debug_assert_eq!(served, responded, "every accepted request is answered");
+    let end = rt.time();
+    let report = gather_report(&rt, &cluster, end);
+    Ok(ServeStats {
+        served,
+        malformed: malformed.load(Ordering::Relaxed),
+        report,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_lines_parse() {
+        assert_eq!(parse_request("17"), Ok(Some((17, 128))));
+        assert_eq!(parse_request("  17 512 "), Ok(Some((17, 512))));
+        assert_eq!(parse_request(""), Ok(None));
+        assert_eq!(parse_request("# comment"), Ok(None));
+        assert_eq!(parse_request("x"), Err(()));
+        assert_eq!(parse_request("1 2 3"), Err(()));
+        assert_eq!(parse_request("1 -2"), Err(()));
+    }
+
+    #[test]
+    fn empty_input_serves_cleanly() {
+        let mut out = Vec::new();
+        let cfg = ServeConfig {
+            rows: 64,
+            value_size: 1024,
+            ..ServeConfig::default()
+        };
+        let stats = serve(&b""[..], &mut out, &cfg).expect("serve");
+        assert_eq!(stats.served, 0);
+        assert_eq!(stats.malformed, 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn answers_every_request_once() {
+        let input = (0..40).map(|k| format!("{k}\n")).collect::<String>();
+        let mut out = Vec::new();
+        let cfg = ServeConfig {
+            rows: 64,
+            value_size: 1024,
+            ..ServeConfig::default()
+        };
+        let stats = serve(input.as_bytes(), &mut out, &cfg).expect("serve");
+        assert_eq!(stats.served, 40);
+        assert_eq!(stats.report.completed, 40);
+        assert_eq!(stats.report.shed, 0);
+        let text = String::from_utf8(out).expect("utf8");
+        let mut seqs: Vec<u64> = Vec::new();
+        for line in text.lines() {
+            let mut it = line.split_whitespace();
+            seqs.push(it.next().expect("seq").parse().expect("seq u64"));
+            assert_eq!(it.next(), Some("ok"));
+            let _latency: u64 = it.next().expect("latency").parse().expect("latency u64");
+            assert_eq!(it.next(), None);
+        }
+        seqs.sort_unstable();
+        assert_eq!(seqs, (0..40).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn malformed_lines_are_counted_not_fatal() {
+        let input = "1\nbogus\n2\n\n# note\n3 99\n";
+        let mut out = Vec::new();
+        let cfg = ServeConfig {
+            rows: 64,
+            value_size: 1024,
+            ..ServeConfig::default()
+        };
+        let stats = serve(input.as_bytes(), &mut out, &cfg).expect("serve");
+        assert_eq!(stats.served, 3);
+        assert_eq!(stats.malformed, 1);
+        assert_eq!(String::from_utf8(out).expect("utf8").lines().count(), 3);
+    }
+}

@@ -1,9 +1,12 @@
-//! The simulated cluster: message type, cacheable value wrapper, and the
-//! role-dispatching node enum.
+//! The cluster: message type, cacheable value wrapper, and the
+//! role-dispatching node enum — written once against the backend-agnostic
+//! [`RuntimeNode`]/[`RuntimeCtx`] seam and hosted on either the simulator
+//! (via the thin [`Node`] delegate below) or the wall-clock backend.
 
 use bytes::Bytes;
 
 use jl_core::types::{BatchRequest, CacheValue, ResponseItem};
+use jl_runtime::{RuntimeCtx, RuntimeNode};
 use jl_simkit::prelude::*;
 use jl_store::{RowKey, StoredValue, TableId};
 
@@ -107,17 +110,17 @@ pub enum ClusterNode {
     Controller(Controller),
 }
 
-impl Node for ClusterNode {
+impl RuntimeNode for ClusterNode {
     type Msg = Msg;
 
-    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn handle_start<C: RuntimeCtx<Msg>>(&mut self, ctx: &mut C) {
         match self {
             ClusterNode::Compute(n) => n.on_start(ctx),
             ClusterNode::Data(_) | ClusterNode::Controller(_) => {}
         }
     }
 
-    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+    fn handle_message<C: RuntimeCtx<Msg>>(&mut self, from: NodeId, msg: Msg, ctx: &mut C) {
         match self {
             ClusterNode::Compute(n) => n.on_message(from, msg, ctx),
             ClusterNode::Data(n) => n.on_message(from, msg, ctx),
@@ -125,7 +128,7 @@ impl Node for ClusterNode {
         }
     }
 
-    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
+    fn handle_timer<C: RuntimeCtx<Msg>>(&mut self, tag: u64, ctx: &mut C) {
         match self {
             ClusterNode::Compute(n) => n.on_timer(tag, ctx),
             ClusterNode::Data(n) => n.on_timer(tag, ctx),
@@ -133,7 +136,7 @@ impl Node for ClusterNode {
         }
     }
 
-    fn on_fault(&mut self, kind: FaultKind, _ctx: &mut Ctx<'_, Msg>) {
+    fn handle_fault<C: RuntimeCtx<Msg>>(&mut self, kind: FaultKind, _ctx: &mut C) {
         match self {
             // Only data nodes model crash recovery: compute nodes and the
             // controller are the job driver's own processes, whose failure
@@ -144,9 +147,41 @@ impl Node for ClusterNode {
     }
 }
 
+// The simulator hosts the same handlers through its own `Node` trait; the
+// delegate is thin enough that the sim path monomorphizes to exactly the
+// pre-seam code (pinned by the determinism digests and golden traces).
+impl Node for ClusterNode {
+    type Msg = Msg;
+
+    fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+        self.handle_start(ctx);
+    }
+
+    fn on_message(&mut self, from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+        self.handle_message(from, msg, ctx);
+    }
+
+    fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
+        self.handle_timer(tag, ctx);
+    }
+
+    fn on_fault(&mut self, kind: FaultKind, ctx: &mut Ctx<'_, Msg>) {
+        self.handle_fault(kind, ctx);
+    }
+}
+
 impl ClusterNode {
     /// The compute node inside, if any.
     pub fn as_compute(&self) -> Option<&ComputeNode> {
+        match self {
+            ClusterNode::Compute(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the compute node inside, if any (attaching
+    /// completion hooks before a run starts).
+    pub fn as_compute_mut(&mut self) -> Option<&mut ComputeNode> {
         match self {
             ClusterNode::Compute(n) => Some(n),
             _ => None,

@@ -11,6 +11,7 @@ use bytes::Bytes;
 use jl_core::compute::ComputeRuntime;
 use jl_core::types::{Action, NodeHealth, ResponseItem, ValueSource};
 use jl_costmodel::NodeCosts;
+use jl_runtime::RuntimeCtx;
 use jl_simkit::prelude::*;
 use jl_simkit::sim::NodeId;
 use jl_store::{Catalog, UdfRegistry};
@@ -52,6 +53,22 @@ pub enum TupleOutcome {
     /// output (counted in both `completed` and `gave_up`).
     GaveUp,
 }
+
+/// How a tuple left the pipeline, as observed by a completion hook.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TupleFate {
+    /// Completed all stages and produced (fingerprinted) output.
+    Done,
+    /// Completed with no output after exhausting every retry.
+    GaveUp,
+    /// Dropped by overload protection before completing.
+    Shed,
+}
+
+/// Observer called once per tuple when its fate is decided:
+/// `(seq, fate, now)`. Used by `jl-serve` to answer requests as they
+/// finish; `None` (every sim path) costs one branch per completion.
+pub type CompletionHook = Box<dyn FnMut(u64, TupleFate, SimTime)>;
 
 struct PendingLocal {
     key: EKey,
@@ -148,6 +165,12 @@ pub struct ComputeNode {
     tel: Option<TelemetryHandle>,
     /// This node's id in the trace (its sim node id).
     tel_node: u32,
+    /// Per-tuple fate observer (request/response serving). Called once
+    /// per tuple, never per event.
+    on_complete: Option<CompletionHook>,
+    /// Seqs whose request gave up — so the completion path can tell a
+    /// give-up apart from a normal finish when reporting fate.
+    gave_up_seqs: rustc_hash::FxHashSet<u64>,
 }
 
 impl ComputeNode {
@@ -217,7 +240,15 @@ impl ComputeNode {
             outcomes: Vec::new(),
             tel: None,
             tel_node: 0,
+            on_complete: None,
+            gave_up_seqs: rustc_hash::FxHashSet::default(),
         }
+    }
+
+    /// Attach a per-tuple fate observer (see [`CompletionHook`]). Call
+    /// before the run starts.
+    pub fn set_completion_hook(&mut self, hook: CompletionHook) {
+        self.on_complete = Some(hook);
     }
 
     /// Attach a telemetry recorder. `node` is this node's sim id, used as
@@ -324,7 +355,7 @@ impl ComputeNode {
     /// victim from a bounded slate — the queue head (oldest, and under
     /// deadlines most doomed, tuples) plus the newest arrival — and drop
     /// it before it was ever ingested.
-    fn shed_from_queue(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn shed_from_queue<C: RuntimeCtx<Msg>>(&mut self, ctx: &mut C) {
         let table = self.plan.stages[0].table;
         let scan = SHED_SCAN.min(self.input.len());
         let mut slate: Vec<usize> = (0..scan).collect();
@@ -357,10 +388,13 @@ impl ComputeNode {
         self.note_shed(victim.seq, "queue-overflow", ctx.now());
     }
 
-    /// Count one shed tuple: counter, outcome log, trace instant.
+    /// Count one shed tuple: counter, outcome log, hook, trace instant.
     fn note_shed(&mut self, seq: u64, why: &'static str, now: SimTime) {
         self.report.shed += 1;
         self.record_outcome(seq, TupleOutcome::Shed);
+        if let Some(hook) = &mut self.on_complete {
+            hook(seq, TupleFate::Shed, now);
+        }
         if let Some(t) = &self.tel {
             t.borrow_mut().record(
                 TraceEvent::instant(self.tel_node, Track::Fault, "shed", now)
@@ -371,7 +405,7 @@ impl ComputeNode {
     }
 
     /// Called by the kernel at simulation start.
-    pub fn on_start(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    pub fn on_start<C: RuntimeCtx<Msg>>(&mut self, ctx: &mut C) {
         self.sync_clock(ctx.now());
         if matches!(self.feed, FeedMode::Batch { .. }) {
             self.refill(ctx);
@@ -382,7 +416,7 @@ impl ComputeNode {
         matches!(self.feed, FeedMode::Batch { .. })
     }
 
-    fn refill(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn refill<C: RuntimeCtx<Msg>>(&mut self, ctx: &mut C) {
         while (self.outstanding() as usize) < self.window_now() {
             let Some(tuple) = self.input.pop_front() else {
                 // Batch jobs flush residual batches once the input is
@@ -406,7 +440,7 @@ impl ComputeNode {
         self.maybe_done(ctx);
     }
 
-    fn start_tuple(&mut self, tuple: JobTuple, ctx: &mut Ctx<'_, Msg>) {
+    fn start_tuple<C: RuntimeCtx<Msg>>(&mut self, tuple: JobTuple, ctx: &mut C) {
         self.report.ingested += 1;
         let seq = tuple.seq;
         if let Some(budget) = self.overload.as_ref().and_then(|ov| ov.deadline) {
@@ -434,7 +468,7 @@ impl ComputeNode {
         self.issue_stage(seq, 0, ctx);
     }
 
-    fn issue_stage(&mut self, seq: u64, stage: u16, ctx: &mut Ctx<'_, Msg>) {
+    fn issue_stage<C: RuntimeCtx<Msg>>(&mut self, seq: u64, stage: u16, ctx: &mut C) {
         let tuple = &self.live[&seq];
         let spec = &self.plan.stages[stage as usize];
         let row = tuple.keys[stage as usize].clone();
@@ -449,7 +483,11 @@ impl ComputeNode {
         self.handle_actions(actions, ctx);
     }
 
-    fn handle_actions(&mut self, actions: Vec<Action<EKey, Bytes, Val>>, ctx: &mut Ctx<'_, Msg>) {
+    fn handle_actions<C: RuntimeCtx<Msg>>(
+        &mut self,
+        actions: Vec<Action<EKey, Bytes, Val>>,
+        ctx: &mut C,
+    ) {
         for action in actions {
             match action {
                 Action::RunLocal {
@@ -555,7 +593,7 @@ impl ComputeNode {
     /// request, drop the tuple from the pipeline with a `Shed` outcome,
     /// and free its window slot. The typed counterpart of give-up — but
     /// *early*, before more CPU/NIC is burnt on doomed work.
-    fn shed_request(&mut self, req_id: u64, why: &'static str, ctx: &mut Ctx<'_, Msg>) {
+    fn shed_request<C: RuntimeCtx<Msg>>(&mut self, req_id: u64, why: &'static str, ctx: &mut C) {
         self.rt.abandon(req_id);
         self.attempts.remove(&req_id);
         self.sent_at.remove(&req_id);
@@ -575,7 +613,12 @@ impl ComputeNode {
     /// Treat it like a Degraded signal for the decision plane, then
     /// re-present each request after the backoff — unless its deadline is
     /// already hopeless, in which case shed it now.
-    fn handle_nack(&mut self, from_data: usize, req_ids: Vec<u64>, ctx: &mut Ctx<'_, Msg>) {
+    fn handle_nack<C: RuntimeCtx<Msg>>(
+        &mut self,
+        from_data: usize,
+        req_ids: Vec<u64>,
+        ctx: &mut C,
+    ) {
         let Some(ov) = self.overload else { return };
         self.report.nacks += 1;
         if !self.pressured_dests[from_data] {
@@ -608,7 +651,7 @@ impl ComputeNode {
     /// A NACK backoff expired: re-present the request to its destination
     /// (same dest, same kind, no attempt bump — admission refusal is not
     /// a timeout). Stale timers are no-ops, exactly like retry timers.
-    fn handle_nack_retry(&mut self, req_id: u64, ctx: &mut Ctx<'_, Msg>) {
+    fn handle_nack_retry<C: RuntimeCtx<Msg>>(&mut self, req_id: u64, ctx: &mut C) {
         let Some((dest, _)) = self.rt.inflight_info(req_id) else {
             return;
         };
@@ -638,7 +681,7 @@ impl ComputeNode {
     /// arrived, or the id was superseded by an earlier re-issue — are
     /// no-ops, which is what makes premature timeouts safe: they can
     /// duplicate work but never completions.
-    fn handle_retry(&mut self, req_id: u64, ctx: &mut Ctx<'_, Msg>) {
+    fn handle_retry<C: RuntimeCtx<Msg>>(&mut self, req_id: u64, ctx: &mut C) {
         let Some(rc) = self.retry else { return };
         let Some((old_dest, _)) = self.rt.inflight_info(req_id) else {
             self.attempts.remove(&req_id);
@@ -696,6 +739,9 @@ impl ComputeNode {
             }
             if let Some((seq, stage)) = self.sent.remove(&req_id) {
                 self.record_outcome(seq, TupleOutcome::GaveUp);
+                if self.on_complete.is_some() {
+                    self.gave_up_seqs.insert(seq);
+                }
                 self.stage_finished(seq, stage, None, ctx);
             }
             return;
@@ -725,12 +771,12 @@ impl ComputeNode {
 
     /// A stage of a tuple produced `output` (or was filtered/missing when
     /// `None`): fingerprint it, advance the pipeline or finish the tuple.
-    fn stage_finished(
+    fn stage_finished<C: RuntimeCtx<Msg>>(
         &mut self,
         seq: u64,
         stage: u16,
         output: Option<&[u8]>,
-        ctx: &mut Ctx<'_, Msg>,
+        ctx: &mut C,
     ) {
         let mut advance = false;
         if let Some(out) = output {
@@ -766,12 +812,20 @@ impl ComputeNode {
                 }
             }
             self.report.completed += 1;
+            if let Some(hook) = &mut self.on_complete {
+                let fate = if self.gave_up_seqs.remove(&seq) {
+                    TupleFate::GaveUp
+                } else {
+                    TupleFate::Done
+                };
+                hook(seq, fate, ctx.now());
+            }
             self.tel_outstanding(ctx.now());
             self.refill(ctx);
         }
     }
 
-    fn maybe_done(&mut self, ctx: &mut Ctx<'_, Msg>) {
+    fn maybe_done<C: RuntimeCtx<Msg>>(&mut self, ctx: &mut C) {
         if self.done_sent || !matches!(self.feed, FeedMode::Batch { .. }) {
             return;
         }
@@ -789,7 +843,7 @@ impl ComputeNode {
     }
 
     /// Kernel message dispatch.
-    pub fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+    pub fn on_message<C: RuntimeCtx<Msg>>(&mut self, _from: NodeId, msg: Msg, ctx: &mut C) {
         self.sync_clock(ctx.now());
         match msg {
             Msg::Tuple(tuple) => {
@@ -907,7 +961,7 @@ impl ComputeNode {
 
     /// Kernel timer dispatch: local UDF completions, batch deadlines, and
     /// per-request retry timeouts.
-    pub fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
+    pub fn on_timer<C: RuntimeCtx<Msg>>(&mut self, tag: u64, ctx: &mut C) {
         self.sync_clock(ctx.now());
         // DEADLINE_TAG is u64::MAX, which also carries RETRY_BIT — it must
         // be checked first.

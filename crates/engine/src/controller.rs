@@ -1,6 +1,7 @@
 //! The run controller: aggregates per-node completion reports and stops the
 //! simulation when every compute node is done (batch jobs).
 
+use jl_runtime::RuntimeCtx;
 use jl_simkit::prelude::*;
 use jl_simkit::sim::NodeId;
 
@@ -28,7 +29,7 @@ impl Controller {
     }
 
     /// Handle a message.
-    pub fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+    pub fn on_message<C: RuntimeCtx<Msg>>(&mut self, _from: NodeId, msg: Msg, ctx: &mut C) {
         if let Msg::Done {
             completed,
             fingerprint,

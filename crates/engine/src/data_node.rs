@@ -10,6 +10,7 @@ use bytes::Bytes;
 use jl_core::data::DataRuntime;
 use jl_core::types::{BatchRequest, CostInfo, ReqKind, ResponseItem, ResponsePayload};
 use jl_costmodel::{ExpSmoothed, SizeProfile};
+use jl_runtime::RuntimeCtx;
 use jl_simkit::prelude::*;
 use jl_simkit::sim::NodeId;
 use jl_store::{BlockCache, Catalog, InterestTracker, RegionServer, StoredValue, UdfRegistry};
@@ -253,11 +254,11 @@ impl DataNode {
     /// NACKing the batch on the wire, *before* any disk or CPU is paid —
     /// when the ingest queue cannot take it; otherwise admits the batch's
     /// items, updating the watermark hysteresis and depth accounting.
-    fn admit(
+    fn admit<C: RuntimeCtx<Msg>>(
         &mut self,
         from_compute: usize,
         batch: &BatchRequest<EKey, Bytes>,
-        ctx: &mut Ctx<'_, Msg>,
+        ctx: &mut C,
     ) -> bool {
         let Some(ov) = self.overload else { return true };
         let now = ctx.now();
@@ -298,11 +299,11 @@ impl DataNode {
         true
     }
 
-    fn handle_batch(
+    fn handle_batch<C: RuntimeCtx<Msg>>(
         &mut self,
         from_compute: usize,
         batch: BatchRequest<EKey, Bytes>,
-        ctx: &mut Ctx<'_, Msg>,
+        ctx: &mut C,
     ) {
         if !self.admit(from_compute, &batch, ctx) {
             return;
@@ -599,12 +600,12 @@ impl DataNode {
         ctx.set_timer(ready, tag);
     }
 
-    fn handle_put(
+    fn handle_put<C: RuntimeCtx<Msg>>(
         &mut self,
         table: jl_store::TableId,
         key: jl_store::RowKey,
         mut value: StoredValue,
-        ctx: &mut Ctx<'_, Msg>,
+        ctx: &mut C,
     ) {
         self.version_clock += 1;
         value.version = self.version_clock;
@@ -646,7 +647,7 @@ impl DataNode {
     }
 
     /// Kernel message dispatch.
-    pub fn on_message(&mut self, _from: NodeId, msg: Msg, ctx: &mut Ctx<'_, Msg>) {
+    pub fn on_message<C: RuntimeCtx<Msg>>(&mut self, _from: NodeId, msg: Msg, ctx: &mut C) {
         self.sync_clock(ctx.now());
         match msg {
             Msg::Request {
@@ -659,7 +660,7 @@ impl DataNode {
     }
 
     /// Kernel timer dispatch: batch-completion queue drains.
-    pub fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, Msg>) {
+    pub fn on_timer<C: RuntimeCtx<Msg>>(&mut self, tag: u64, ctx: &mut C) {
         if let Some(d) = self.drains.remove(&tag) {
             self.rt.on_computed(d.computed);
             self.rt.on_bounced(d.bounced);

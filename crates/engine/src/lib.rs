@@ -7,7 +7,11 @@
 //! shuffle-hash-join baseline for the Spark comparison.
 //!
 //! The data plane is real — every strategy must reproduce the reference
-//! join fingerprint ([`verify::reference_run`]) — while time is simulated.
+//! join fingerprint ([`verify::reference_run`]) — while time is pluggable
+//! through the `jl-runtime` seam: simulated (the deterministic oracle,
+//! [`run_job`]) or wall-clock ([`runner::run_job_real`], and the
+//! `jl-serve` request/response layer built on
+//! [`runner::build_real_runtime`]).
 
 #![warn(missing_docs)]
 
@@ -25,12 +29,13 @@ pub mod verify;
 
 pub use baselines::{run_reduce_side, BaselineReport, ReduceSideKind};
 pub use cluster::{ClusterNode, EKey, Msg, Val};
-pub use compute_node::TupleOutcome;
+pub use compute_node::{CompletionHook, TupleFate, TupleOutcome};
 pub use config::{ClusterSpec, FeedMode, NotifyMode, OverloadConfig, RetryConfig};
 pub use plan::{JobPlan, JobTuple, StageSpec};
 pub use runner::{
-    build_store, run_job, run_job_traced, JobSpec, PolicyFactory, RunReport, ShedFactory,
-    SinkFactory,
+    build_cluster, build_real_runtime, build_store, gather_report, run_job, run_job_real,
+    run_job_real_traced, run_job_traced, BuiltCluster, ClusterHost, JobSpec, PolicyFactory,
+    RunReport, ShedFactory, SinkFactory,
 };
 pub use shuffle::run_shuffle_multijoin;
 pub use telemetry::EngineProbe;

@@ -1,12 +1,15 @@
-//! Building and running a simulated job end-to-end.
+//! Building and running a job end-to-end — on the simulator (the
+//! deterministic oracle) or on the wall-clock backend, through the same
+//! construction and gathering code.
 
 use std::sync::Arc;
 
 use rustc_hash::FxHashMap;
 
 use jl_core::{DecisionSink, OptimizerConfig, PlacementPolicy};
+use jl_runtime::RealRuntime;
 use jl_simkit::prelude::*;
-use jl_store::{Partitioning, RegionMap, RowKey, StoreCluster, StoredValue, UdfRegistry};
+use jl_store::{Catalog, Partitioning, RegionMap, RowKey, StoreCluster, StoredValue, UdfRegistry};
 use jl_telemetry::{MetricsRegistry, RunTelemetry, TelemetryConfig, TelemetryHandle};
 
 use crate::cluster::{ClusterNode, EKey, Msg};
@@ -238,22 +241,31 @@ pub fn run_job(
     run_job_traced(spec, store, udfs, tuples, updates).0
 }
 
-/// [`run_job`], also returning the run's telemetry when
-/// [`JobSpec::telemetry`] is set (`None` otherwise).
-pub fn run_job_traced(
+/// A cluster built for either backend: nodes in sim-id order (computes,
+/// then data nodes, then the controller) plus the pre-run feed posts.
+pub struct BuiltCluster {
+    /// Nodes in id order; add them to a backend in this order.
+    pub nodes: Vec<ClusterNode>,
+    /// External injections `(at, to, msg, bytes)` in post order.
+    pub posts: Vec<(SimTime, usize, Msg, u64)>,
+    /// The shared catalog (e.g. for locating mid-run puts).
+    pub catalog: Arc<Catalog>,
+}
+
+/// Build every node of a job's cluster, backend-agnostically: failover
+/// replica layout, round-robin input split, per-node seeds/policies/sinks,
+/// telemetry attachment, and the pre-run feed (streaming arrivals + store
+/// updates) as a post list.
+pub fn build_cluster(
     spec: &JobSpec,
     store: StoreCluster,
     udfs: UdfRegistry,
     tuples: Vec<JobTuple>,
     updates: Vec<UpdateEvent>,
-) -> (RunReport, Option<RunTelemetry>) {
+    tel: &Option<TelemetryHandle>,
+) -> BuiltCluster {
     let cluster = &spec.cluster;
-    if let Some(ov) = &spec.overload {
-        ov.validate();
-    }
-    let tel: Option<TelemetryHandle> = spec.telemetry.map(jl_telemetry::shared);
     let (catalog, mut servers) = store.into_parts();
-    let mut sim: Sim<ClusterNode> = Sim::new(spec.seed, cluster.net);
 
     // Failover layout: each data node the fault plan will crash gets a
     // backup — the next surviving data node (ring order) — which absorbs
@@ -299,6 +311,7 @@ pub fn run_job_traced(
         }
     }
 
+    let mut nodes: Vec<ClusterNode> = Vec::with_capacity(cluster.n_compute + cluster.n_data + 1);
     for (i, input) in per_node.iter_mut().enumerate() {
         let node_seed = jl_simkit::rng::derive_seed(spec.seed, "compute") ^ i as u64;
         let policy = spec.policy.as_ref().map(|f| f(&spec.optimizer, node_seed));
@@ -331,7 +344,7 @@ pub fn run_job_traced(
         if let Some(t) = &tel {
             node.set_telemetry(t.clone(), cluster.compute_id(i) as u32);
         }
-        sim.add_node(ClusterNode::Compute(node), cluster.node);
+        nodes.push(ClusterNode::Compute(node));
     }
     for (j, server) in servers.into_iter().enumerate() {
         let mut node = DataNode::new(
@@ -354,36 +367,125 @@ pub fn run_job_traced(
         if let Some(t) = &tel {
             node.set_telemetry(t.clone(), cluster.data_id(j) as u32);
         }
-        sim.add_node(ClusterNode::Data(node), cluster.node);
+        nodes.push(ClusterNode::Data(node));
     }
-    sim.add_node(
-        ClusterNode::Controller(Controller::new(cluster.n_compute)),
-        cluster.node,
-    );
+    nodes.push(ClusterNode::Controller(Controller::new(cluster.n_compute)));
+
+    // Streaming arrivals, then store updates — post order is part of the
+    // deterministic event order and must match on both backends.
+    let mut posts: Vec<(SimTime, usize, Msg, u64)> =
+        Vec::with_capacity(stream_feed.len() + updates.len());
+    for (at, node, t) in stream_feed {
+        let bytes = t.params_size as u64 + 64;
+        posts.push((at, cluster.compute_id(node), Msg::Tuple(t), bytes));
+    }
+    for (at, table, key, value) in updates {
+        let (_, server) = catalog.locate(table, &key);
+        let bytes = value.size() + 64;
+        posts.push((
+            at,
+            cluster.data_id(server),
+            Msg::Put { table, key, value },
+            bytes,
+        ));
+    }
+
+    BuiltCluster {
+        nodes,
+        posts,
+        catalog,
+    }
+}
+
+/// What report gathering needs from a backend hosting [`ClusterNode`]s:
+/// node access plus kernel-level accounting. Both the simulator and the
+/// wall-clock [`RealRuntime`] implement it, so [`gather_report`] and the
+/// metrics snapshot observe either backend identically.
+pub trait ClusterHost {
+    /// The node with sim id `id`.
+    fn node(&self, id: usize) -> &ClusterNode;
+    /// That node's (modeled) resources.
+    fn resources(&self, id: usize) -> &NodeResources;
+    /// Aggregate network accounting.
+    fn net_totals(&self) -> jl_simkit::sim::NetTotals;
+    /// Per-link drop/delay counts (fault-touched links only).
+    fn link_stats(
+        &self,
+    ) -> &std::collections::BTreeMap<(usize, usize), jl_simkit::probe::LinkStats>;
+    /// Events dispatched so far.
+    fn events_processed(&self) -> u64;
+}
+
+impl ClusterHost for Sim<ClusterNode> {
+    fn node(&self, id: usize) -> &ClusterNode {
+        Sim::node(self, id)
+    }
+    fn resources(&self, id: usize) -> &NodeResources {
+        Sim::resources(self, id)
+    }
+    fn net_totals(&self) -> jl_simkit::sim::NetTotals {
+        Sim::net_totals(self)
+    }
+    fn link_stats(
+        &self,
+    ) -> &std::collections::BTreeMap<(usize, usize), jl_simkit::probe::LinkStats> {
+        Sim::link_stats(self)
+    }
+    fn events_processed(&self) -> u64 {
+        Sim::events_processed(self)
+    }
+}
+
+impl ClusterHost for RealRuntime<ClusterNode> {
+    fn node(&self, id: usize) -> &ClusterNode {
+        RealRuntime::node(self, id)
+    }
+    fn resources(&self, id: usize) -> &NodeResources {
+        RealRuntime::resources(self, id)
+    }
+    fn net_totals(&self) -> jl_simkit::sim::NetTotals {
+        RealRuntime::net_totals(self)
+    }
+    fn link_stats(
+        &self,
+    ) -> &std::collections::BTreeMap<(usize, usize), jl_simkit::probe::LinkStats> {
+        RealRuntime::link_stats(self)
+    }
+    fn events_processed(&self) -> u64 {
+        RealRuntime::events_processed(self)
+    }
+}
+
+/// [`run_job`], also returning the run's telemetry when
+/// [`JobSpec::telemetry`] is set (`None` otherwise).
+pub fn run_job_traced(
+    spec: &JobSpec,
+    store: StoreCluster,
+    udfs: UdfRegistry,
+    tuples: Vec<JobTuple>,
+    updates: Vec<UpdateEvent>,
+) -> (RunReport, Option<RunTelemetry>) {
+    let cluster = &spec.cluster;
+    if let Some(ov) = &spec.overload {
+        ov.validate();
+    }
+    let tel: Option<TelemetryHandle> = spec.telemetry.map(jl_telemetry::shared);
+    let built = build_cluster(spec, store, udfs, tuples, updates, &tel);
+    let mut sim: Sim<ClusterNode> = Sim::new(spec.seed, cluster.net);
+    for node in built.nodes {
+        sim.add_node(node, cluster.node);
+    }
     if let Some(plan) = &spec.faults {
         sim.set_fault_plan(plan.clone());
     }
     if let Some(t) = &tel {
         sim.set_probe(Box::new(EngineProbe::new(t.clone())));
     }
-
-    // Streaming arrivals. The feed volume is known up front; one reserve
-    // call keeps the event heap from reallocating as the stream posts.
-    sim.reserve_events(stream_feed.len() + updates.len());
-    for (at, node, t) in stream_feed {
-        let bytes = t.params_size as u64 + 64;
-        sim.post(at, cluster.compute_id(node), Msg::Tuple(t), bytes);
-    }
-    // Store updates.
-    for (at, table, key, value) in updates {
-        let (_, server) = catalog.locate(table, &key);
-        let bytes = value.size() + 64;
-        sim.post(
-            at,
-            cluster.data_id(server),
-            Msg::Put { table, key, value },
-            bytes,
-        );
+    // The feed volume is known up front; one reserve call keeps the event
+    // heap from reallocating as the stream posts.
+    sim.reserve_events(built.posts.len());
+    for (at, to, msg, bytes) in built.posts {
+        sim.post(at, to, msg, bytes);
     }
 
     let end = match spec.feed {
@@ -391,7 +493,100 @@ pub fn run_job_traced(
         FeedMode::Stream { horizon, .. } => sim.run_until(SimTime::ZERO + horizon),
     };
 
-    // Gather.
+    let report = gather_report(&sim, cluster, end);
+    snapshot_and_summarize(&sim, cluster, end, &tel);
+    // The nodes and the probe hold clones of the handle; dropping the sim
+    // releases them so the recorder can be unwrapped.
+    drop(sim);
+    let run_tel = tel.map(|h| unwrap_telemetry(h, cluster, end));
+    (report, run_tel)
+}
+
+/// Run a job on the wall-clock backend. Same construction, policies, and
+/// fault/overload machinery as [`run_job`]; time is real nanoseconds, so
+/// durations and latencies reflect the host machine while join results
+/// and tuple accounting match the simulator (the parity tests pin this).
+pub fn run_job_real(
+    spec: &JobSpec,
+    store: StoreCluster,
+    udfs: UdfRegistry,
+    tuples: Vec<JobTuple>,
+    updates: Vec<UpdateEvent>,
+) -> RunReport {
+    run_job_real_traced(spec, store, udfs, tuples, updates).0
+}
+
+/// [`run_job_real`], also returning telemetry when requested — the trace
+/// is stamped in wall-clock nanoseconds but structurally identical to a
+/// simulated trace (same spans, tracks, and metadata).
+pub fn run_job_real_traced(
+    spec: &JobSpec,
+    store: StoreCluster,
+    udfs: UdfRegistry,
+    tuples: Vec<JobTuple>,
+    updates: Vec<UpdateEvent>,
+) -> (RunReport, Option<RunTelemetry>) {
+    let cluster = &spec.cluster;
+    if let Some(ov) = &spec.overload {
+        ov.validate();
+    }
+    let tel: Option<TelemetryHandle> = spec.telemetry.map(jl_telemetry::shared);
+    let built = build_cluster(spec, store, udfs, tuples, updates, &tel);
+    let mut rt = build_real_runtime(spec, built, &tel);
+    let end = match spec.feed {
+        FeedMode::Batch { .. } => rt.run(),
+        FeedMode::Stream { horizon, .. } => rt.run_until(SimTime::ZERO + horizon),
+    };
+    let report = gather_report(&rt, cluster, end);
+    snapshot_and_summarize(&rt, cluster, end, &tel);
+    drop(rt);
+    let run_tel = tel.map(|h| unwrap_telemetry(h, cluster, end));
+    (report, run_tel)
+}
+
+/// Assemble a [`RealRuntime`] from a built cluster: nodes in id order,
+/// fault plan, probe, and the pre-run feed. Exposed (with
+/// [`build_cluster`]) so a serving layer can attach completion hooks and
+/// ingress handles before starting the loop.
+pub fn build_real_runtime(
+    spec: &JobSpec,
+    built: BuiltCluster,
+    tel: &Option<TelemetryHandle>,
+) -> RealRuntime<ClusterNode> {
+    let cluster = &spec.cluster;
+    let mut rt: RealRuntime<ClusterNode> = RealRuntime::new(spec.seed, cluster.net);
+    for node in built.nodes {
+        rt.add_node(node, cluster.node);
+    }
+    if let Some(plan) = &spec.faults {
+        rt.set_fault_plan(plan.clone());
+    }
+    if let Some(t) = tel {
+        rt.set_probe(Box::new(EngineProbe::new(t.clone())));
+    }
+    rt.reserve_events(built.posts.len());
+    for (at, to, msg, bytes) in built.posts {
+        rt.post(at, to, msg, bytes);
+    }
+    rt
+}
+
+/// Unwrap the (now uniquely held) recorder into a [`RunTelemetry`].
+fn unwrap_telemetry(h: TelemetryHandle, cluster: &ClusterSpec, end: SimTime) -> RunTelemetry {
+    let recorder = std::rc::Rc::try_unwrap(h)
+        .unwrap_or_else(|_| panic!("telemetry handle uniquely owned once the host is dropped"))
+        .into_inner();
+    let (events, registry) = recorder.finish();
+    RunTelemetry {
+        end,
+        events,
+        registry,
+        processes: process_names(cluster),
+    }
+}
+
+/// Collect a [`RunReport`] from a finished run on either backend.
+pub fn gather_report<H: ClusterHost>(host: &H, cluster: &ClusterSpec, end: SimTime) -> RunReport {
     let mut decisions = jl_core::DecisionStats::default();
     let mut cache = jl_cache::CacheStats::default();
     let mut data = jl_core::DataNodeStats::default();
@@ -408,7 +603,7 @@ pub fn run_job_traced(
     let mut all_latency = jl_simkit::stats::DurationHistogram::new();
     let mut data_utils: Vec<f64> = Vec::new();
     for i in 0..cluster.n_compute {
-        let n = sim
+        let n = host
             .node(cluster.compute_id(i))
             .as_compute()
             .expect("compute role");
@@ -426,12 +621,12 @@ pub fn run_job_traced(
     }
     for j in 0..cluster.n_data {
         let id = cluster.data_id(j);
-        let n = sim.node(id).as_data().expect("data role");
+        let n = host.node(id).as_data().expect("data role");
         data = sum_data(data, n.stats());
         let (nacks, pressure_events, peak) = n.overload_stats();
         backpressure_events += nacks + pressure_events;
         peak_queue_depth = peak_queue_depth.max(peak);
-        data_utils.push(sim.resources(id).cpu.utilization(end));
+        data_utils.push(host.resources(id).cpu.utilization(end));
     }
     // Seq assignment is global, so sorting makes the outcome log invariant
     // to gather order (and to the compute-node round-robin).
@@ -445,37 +640,13 @@ pub fn run_job_traced(
     } else {
         jl_simkit::stats::stable_mean(&data_utils)
     };
-    // End-of-run metrics snapshot: built into the recorder's registry on
-    // traced runs, or into a throwaway registry when only the verbose
-    // summary wants it. `JL_VERBOSE=1` replaces the old ad-hoc diagnostic
-    // dump with the machine-parseable telemetry summary; the default is
-    // silent.
-    let verbosity = std::env::var("JL_VERBOSE")
-        .ok()
-        .and_then(|v| v.parse::<u32>().ok())
-        .unwrap_or(0);
-    if tel.is_some() || verbosity >= 1 {
-        let mut standalone = MetricsRegistry::new();
-        match &tel {
-            Some(t) => snapshot_metrics(&mut t.borrow_mut().registry, &sim, cluster, end),
-            None => snapshot_metrics(&mut standalone, &sim, cluster, end),
-        }
-        if verbosity >= 1 {
-            let names = process_names(cluster);
-            let text = match &tel {
-                Some(t) => jl_telemetry::summary_text(&t.borrow().registry, &names, end),
-                None => jl_telemetry::summary_text(&standalone, &names, end),
-            };
-            eprint!("{text}");
-        }
-    }
-    let link_faults: Vec<(usize, usize, u64, u64)> = sim
+    let link_faults: Vec<(usize, usize, u64, u64)> = host
         .link_stats()
         .iter()
         .map(|(&(from, to), ls)| (from, to, ls.dropped, ls.delayed))
         .collect();
-    let totals = sim.net_totals();
-    let report = RunReport {
+    let totals = host.net_totals();
+    RunReport {
         duration: end.since(SimTime::ZERO),
         completed,
         fingerprint,
@@ -484,7 +655,7 @@ pub fn run_job_traced(
         data,
         net_bytes: totals.bytes,
         net_messages: totals.messages,
-        sim_events: sim.events_processed(),
+        sim_events: host.events_processed(),
         max_data_cpu_util: max_u,
         mean_data_cpu_util: mean_u,
         retries,
@@ -499,23 +670,38 @@ pub fn run_job_traced(
         deadline_misses,
         peak_queue_depth,
         outcomes,
-    };
-    // The nodes and the probe hold clones of the handle; dropping the sim
-    // releases them so the recorder can be unwrapped.
-    drop(sim);
-    let run_tel = tel.map(|h| {
-        let recorder = std::rc::Rc::try_unwrap(h)
-            .unwrap_or_else(|_| panic!("telemetry handle uniquely owned once the sim is dropped"))
-            .into_inner();
-        let (events, registry) = recorder.finish();
-        RunTelemetry {
-            end,
-            events,
-            registry,
-            processes: process_names(cluster),
+    }
+}
+
+/// End-of-run metrics snapshot: built into the recorder's registry on
+/// traced runs, or into a throwaway registry when only the verbose summary
+/// wants it. `JL_VERBOSE=1` prints the machine-parseable telemetry
+/// summary; the default is silent.
+fn snapshot_and_summarize<H: ClusterHost>(
+    host: &H,
+    cluster: &ClusterSpec,
+    end: SimTime,
+    tel: &Option<TelemetryHandle>,
+) {
+    let verbosity = std::env::var("JL_VERBOSE")
+        .ok()
+        .and_then(|v| v.parse::<u32>().ok())
+        .unwrap_or(0);
+    if tel.is_some() || verbosity >= 1 {
+        let mut standalone = MetricsRegistry::new();
+        match tel {
+            Some(t) => snapshot_metrics(&mut t.borrow_mut().registry, host, cluster, end),
+            None => snapshot_metrics(&mut standalone, host, cluster, end),
         }
-    });
-    (report, run_tel)
+        if verbosity >= 1 {
+            let names = process_names(cluster);
+            let text = match tel {
+                Some(t) => jl_telemetry::summary_text(&t.borrow().registry, &names, end),
+                None => jl_telemetry::summary_text(&standalone, &names, end),
+            };
+            eprint!("{text}");
+        }
+    }
 }
 
 /// Trace/summary display names for every sim node of `cluster`.
@@ -535,16 +721,16 @@ fn process_names(cluster: &ClusterSpec) -> Vec<(u32, String)> {
 /// retry counters, decision/cache statistics, store and block-cache
 /// counters, resource utilizations and queueing-wait histograms, and
 /// cluster-wide network totals — into `reg`.
-fn snapshot_metrics(
+fn snapshot_metrics<H: ClusterHost>(
     reg: &mut MetricsRegistry,
-    sim: &Sim<ClusterNode>,
+    host: &H,
     cluster: &ClusterSpec,
     end: SimTime,
 ) {
     for i in 0..cluster.n_compute {
         let id = cluster.compute_id(i);
         let node = id as u32;
-        let n = sim.node(id).as_compute().expect("compute role");
+        let n = host.node(id).as_compute().expect("compute role");
         reg.hist_merge(node, "latency", "tuple", n.latency());
         reg.hist_merge(node, "latency", "remote", n.remote_latency());
         reg.hist_merge(node, "latency", "local", n.local_latency());
@@ -571,12 +757,12 @@ fn snapshot_metrics(
         reg.counter_add(node, "cache", "inserts_mem", c.inserts_mem);
         reg.counter_add(node, "cache", "inserts_disk", c.inserts_disk);
         reg.counter_add(node, "cache", "invalidations", c.invalidations);
-        snapshot_resources(reg, node, sim.resources(id), end);
+        snapshot_resources(reg, node, host.resources(id), end);
     }
     for j in 0..cluster.n_data {
         let id = cluster.data_id(j);
         let node = id as u32;
-        let n = sim.node(id).as_data().expect("data role");
+        let n = host.node(id).as_data().expect("data role");
         let s = n.stats();
         reg.counter_add(node, "serve", "batches", s.batches);
         reg.counter_add(node, "serve", "compute_requests", s.compute_requests);
@@ -598,17 +784,17 @@ fn snapshot_metrics(
         reg.counter_add(node, "overload", "nacks_sent", nacks);
         reg.counter_add(node, "overload", "pressure_events", pressure_events);
         reg.counter_add(node, "overload", "peak_queue_depth", peak);
-        snapshot_resources(reg, node, sim.resources(id), end);
+        snapshot_resources(reg, node, host.resources(id), end);
     }
     let ctrl = cluster.controller_id() as u32;
-    let totals = sim.net_totals();
+    let totals = host.net_totals();
     reg.counter_add(ctrl, "net", "messages", totals.messages);
     reg.counter_add(ctrl, "net", "bytes", totals.bytes);
     reg.counter_add(ctrl, "net", "dropped", totals.dropped);
     reg.counter_add(ctrl, "net", "delayed", totals.delayed);
     // Per-link counts fold onto the receiving node (metric names are
     // static; the link list itself is surfaced via `RunReport`).
-    for (&(_, to), ls) in sim.link_stats() {
+    for (&(_, to), ls) in host.link_stats() {
         reg.counter_add(to as u32, "net", "dropped_in", ls.dropped);
         reg.counter_add(to as u32, "net", "delayed_in", ls.delayed);
     }

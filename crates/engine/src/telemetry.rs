@@ -25,12 +25,19 @@ use crate::cluster::EKey;
 /// telemetry; an uninstrumented run never constructs one.
 pub struct EngineProbe {
     tel: TelemetryHandle,
+    /// [`Telemetry::spans_enabled`](jl_telemetry::Telemetry::spans_enabled),
+    /// cached at construction: `on_grant` fires for every resource grant of
+    /// the run, and the cached flag turns the spans-off case into a branch
+    /// instead of a `RefCell` borrow. The flag is fixed per run — nothing
+    /// toggles span recording mid-flight.
+    spans: bool,
 }
 
 impl EngineProbe {
     /// Bridge kernel callbacks into `tel`.
     pub fn new(tel: TelemetryHandle) -> Self {
-        EngineProbe { tel }
+        let spans = tel.borrow().spans_enabled();
+        EngineProbe { tel, spans }
     }
 }
 
@@ -43,7 +50,7 @@ impl SimProbe for EngineProbe {
         service: SimDuration,
         grant: Grant,
     ) {
-        if service == SimDuration::ZERO {
+        if !self.spans || service == SimDuration::ZERO {
             return;
         }
         let track = match kind {
@@ -53,9 +60,6 @@ impl SimProbe for EngineProbe {
             ResourceKind::NicIn => Track::NicIn,
         };
         let mut t = self.tel.borrow_mut();
-        if !t.spans_enabled() {
-            return;
-        }
         let wait = grant.start.since(ready);
         let mut ev = TraceEvent::span(
             node as u32,

@@ -1,0 +1,804 @@
+//! The wall-clock backend: the same actors, paced by a real clock.
+//!
+//! One OS thread owns the nodes and runs the event loop; any number of
+//! driver threads (socket readers, request generators) inject messages
+//! through a cloneable [`RealHandle`]. Time is nanoseconds since the run
+//! started, read from a monotonic [`Instant`] — so it is still a
+//! [`SimTime`], and every piece of engine time math works unchanged.
+//!
+//! The hardware model is *emulated in real time*: resource charges and
+//! message transfers go through the same analytic FIFO stations and
+//! latency/bandwidth network model as the simulator, but the loop waits
+//! for the wall clock to reach each completion instant instead of jumping
+//! there. UDFs execute for real inside node callbacks. The scheduling
+//! model below must mirror `jl_simkit::sim::SimInner` exactly — transfer
+//! (out-NIC → latency → link-delay → in-NIC), the post-wire drop coin,
+//! dead-sender/dead-receiver loss at delivery, timers dying with a
+//! crashed process, and restart rebuilding a node's resources — so that a
+//! fixed workload produces the *same join results* on both backends (the
+//! parity tests pin fingerprint equality; latencies are allowed to
+//! differ, and do).
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
+
+use rand::rngs::StdRng;
+
+use jl_simkit::fault::{FaultKind, FaultPlan};
+use jl_simkit::probe::{LinkStats, SimProbe};
+use jl_simkit::resource::{Grant, NodeResources, ResourceKind};
+use jl_simkit::rng::indexed_rng;
+use jl_simkit::sim::{NetConfig, NetTotals, NodeId, NodeSpec, EXTERNAL};
+use jl_simkit::time::{SimDuration, SimTime};
+
+use crate::{RuntimeCtx, RuntimeNode};
+
+/// Shared run clock: `None` until the loop starts, then the anchor every
+/// thread measures against.
+struct ClockShared {
+    start: OnceLock<Instant>,
+}
+
+impl ClockShared {
+    fn now(&self) -> SimTime {
+        match self.start.get() {
+            Some(t0) => SimTime(t0.elapsed().as_nanos() as u64),
+            None => SimTime::ZERO,
+        }
+    }
+}
+
+/// A message injected from outside the loop thread.
+enum Inbound<M> {
+    /// Deliver `msg` to `to` through the network model, entering at the
+    /// time the loop dequeues it (external sends skip the sender NIC,
+    /// like [`EXTERNAL`] injections in the simulator).
+    Msg { to: NodeId, msg: M, bytes: u64 },
+    /// Ask the loop to stop after the current event.
+    Stop,
+}
+
+/// Cloneable ingress handle for driver threads: inject messages, read the
+/// run clock, request a stop. Dropping every handle (and finishing the
+/// pre-posted feed) ends a [`RealRuntime::run`] once the event heap
+/// drains.
+pub struct RealHandle<M> {
+    tx: Sender<Inbound<M>>,
+    clock: Arc<ClockShared>,
+}
+
+impl<M> Clone for RealHandle<M> {
+    fn clone(&self) -> Self {
+        RealHandle {
+            tx: self.tx.clone(),
+            clock: Arc::clone(&self.clock),
+        }
+    }
+}
+
+impl<M> RealHandle<M> {
+    /// Inject a message from outside the cluster (the driver side of the
+    /// wire). Returns `false` if the loop has already shut down.
+    pub fn send(&self, to: NodeId, msg: M, bytes: u64) -> bool {
+        self.tx.send(Inbound::Msg { to, msg, bytes }).is_ok()
+    }
+
+    /// Nanoseconds since the run started (ZERO before it does).
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Ask the loop to stop. Returns `false` if it already has.
+    pub fn stop(&self) -> bool {
+        self.tx.send(Inbound::Stop).is_ok()
+    }
+}
+
+struct Event<M> {
+    time: SimTime,
+    seq: u64,
+    kind: EventKind<M>,
+}
+
+enum EventKind<M> {
+    Deliver {
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+    },
+    /// A pre-posted external message entering the network at its
+    /// scheduled time (the receiver NIC is charged then, not at post).
+    Inject {
+        to: NodeId,
+        msg: M,
+        bytes: u64,
+    },
+    Timer {
+        node: NodeId,
+        tag: u64,
+    },
+    Fault {
+        node: NodeId,
+        kind: FaultKind,
+    },
+}
+
+impl<M> PartialEq for Event<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<M> Eq for Event<M> {}
+impl<M> PartialOrd for Event<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Event<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Earliest-first; insertion order breaks ties, like the sim heap.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// Everything except the nodes; node callbacks reach it through
+/// [`RealCtx`]. Field-for-field this mirrors the simulator's `SimInner`.
+struct RealInner<M> {
+    time: SimTime,
+    seq: u64,
+    heap: BinaryHeap<Event<M>>,
+    resources: Vec<NodeResources>,
+    rngs: Vec<StdRng>,
+    net: NetConfig,
+    totals: NetTotals,
+    events_processed: u64,
+    stopped: bool,
+    faults: Option<FaultPlan>,
+    fault_sends: u64,
+    links: BTreeMap<(NodeId, NodeId), LinkStats>,
+    probe: Option<Box<dyn SimProbe>>,
+}
+
+impl<M> RealInner<M> {
+    fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+        let time = time.max(self.time);
+        let seq = self.seq;
+        self.seq += 1;
+        self.heap.push(Event { time, seq, kind });
+    }
+
+    /// Mirror of `SimInner::transfer`: out-NIC (skipped for EXTERNAL),
+    /// propagation latency, injected link delay, in-NIC.
+    fn transfer(&mut self, ready: SimTime, from: NodeId, to: NodeId, bytes: u64) -> SimTime {
+        if from == to {
+            return ready;
+        }
+        let out_done = if from == EXTERNAL {
+            ready
+        } else {
+            let mut wire = self.resources[from].wire_time(bytes);
+            if let Some(plan) = &self.faults {
+                wire = plan.scale_service(from, self.time, wire);
+            }
+            let grant = self.resources[from].nic_out.submit(ready, wire);
+            if let Some(probe) = &mut self.probe {
+                probe.on_grant(from, ResourceKind::NicOut, ready, wire, grant);
+            }
+            grant.done
+        };
+        let mut arrive = out_done + self.net.latency;
+        let mut wire_in = self.resources[to].wire_time(bytes);
+        if let Some(plan) = &self.faults {
+            let extra = plan.link_delay(from, to, self.time);
+            if extra > SimDuration::ZERO {
+                self.totals.delayed += 1;
+                self.links.entry((from, to)).or_default().delayed += 1;
+                if let Some(probe) = &mut self.probe {
+                    probe.on_delay(from, to, self.time, extra);
+                }
+            }
+            arrive += extra;
+            wire_in = plan.scale_service(to, self.time, wire_in);
+        }
+        let grant = self.resources[to].nic_in.submit(arrive, wire_in);
+        if let Some(probe) = &mut self.probe {
+            probe.on_grant(to, ResourceKind::NicIn, arrive, wire_in, grant);
+        }
+        self.totals.bytes += bytes;
+        grant.done
+    }
+
+    /// Mirror of `SimInner::send_message`: the drop coin fires after the
+    /// wire was occupied (loss is charged like a sent packet).
+    fn send_message(
+        &mut self,
+        ready: SimTime,
+        from: NodeId,
+        to: NodeId,
+        msg: M,
+        bytes: u64,
+    ) -> SimTime {
+        let delivered = self.transfer(ready, from, to, bytes);
+        if from != to {
+            if let Some(plan) = &self.faults {
+                let counter = self.fault_sends;
+                self.fault_sends += 1;
+                if plan.drops_message(from, to, self.time, counter) {
+                    self.totals.dropped += 1;
+                    self.links.entry((from, to)).or_default().dropped += 1;
+                    if let Some(probe) = &mut self.probe {
+                        probe.on_drop(from, to, self.time);
+                    }
+                    return delivered;
+                }
+            }
+        }
+        self.push(delivered, EventKind::Deliver { from, to, msg });
+        delivered
+    }
+}
+
+/// Per-callback context handle of the real backend; implements
+/// [`RuntimeCtx`] over [`RealInner`] exactly as the sim's `Ctx` does over
+/// its kernel state.
+pub struct RealCtx<'a, M> {
+    inner: &'a mut RealInner<M>,
+    self_id: NodeId,
+}
+
+impl<'a, M> RuntimeCtx<M> for RealCtx<'a, M> {
+    fn now(&self) -> SimTime {
+        self.inner.time
+    }
+
+    fn self_id(&self) -> NodeId {
+        self.self_id
+    }
+
+    fn send_ready_at(&mut self, ready: SimTime, to: NodeId, msg: M, bytes: u64) -> SimTime {
+        let ready = ready.max(self.inner.time);
+        self.inner.send_message(ready, self.self_id, to, msg, bytes)
+    }
+
+    fn use_resource(&mut self, kind: ResourceKind, ready: SimTime, service: SimDuration) -> Grant {
+        let ready = ready.max(self.inner.time);
+        let service = match &self.inner.faults {
+            Some(plan) => plan.scale_service(self.self_id, self.inner.time, service),
+            None => service,
+        };
+        let grant = self.inner.resources[self.self_id]
+            .get_mut(kind)
+            .submit(ready, service);
+        if let Some(probe) = &mut self.inner.probe {
+            probe.on_grant(self.self_id, kind, ready, service, grant);
+        }
+        grant
+    }
+
+    fn resources(&self) -> &NodeResources {
+        &self.inner.resources[self.self_id]
+    }
+
+    fn resources_of(&self, node: NodeId) -> &NodeResources {
+        &self.inner.resources[node]
+    }
+
+    fn set_timer(&mut self, at: SimTime, tag: u64) {
+        self.inner.push(
+            at,
+            EventKind::Timer {
+                node: self.self_id,
+                tag,
+            },
+        );
+    }
+
+    fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner.rngs[self.self_id]
+    }
+
+    fn stop(&mut self) {
+        self.inner.stopped = true;
+    }
+}
+
+/// A wall-clock run over nodes of type `N`.
+///
+/// Construction mirrors [`Sim`](jl_simkit::sim::Sim): add nodes, optionally
+/// install a fault plan and a probe, pre-post a feed, then [`run`]
+/// (`run`)(RealRuntime::run) on the thread that owns it while driver
+/// threads feed it through [`handle`](RealRuntime::handle)s.
+pub struct RealRuntime<N: RuntimeNode> {
+    nodes: Vec<N>,
+    inner: RealInner<N::Msg>,
+    started: bool,
+    seed: u64,
+    specs: Vec<NodeSpec>,
+    clock: Arc<ClockShared>,
+    rx: Receiver<Inbound<N::Msg>>,
+    /// Held until the run starts so handles can still be created; dropped
+    /// then, so channel disconnection tracks only *external* handles.
+    tx: Option<Sender<Inbound<N::Msg>>>,
+    disconnected: bool,
+}
+
+impl<N: RuntimeNode> RealRuntime<N> {
+    /// Create an empty runtime with the given root seed and network model.
+    pub fn new(seed: u64, net: NetConfig) -> Self {
+        let (tx, rx) = mpsc::channel();
+        RealRuntime {
+            nodes: Vec::new(),
+            inner: RealInner {
+                time: SimTime::ZERO,
+                seq: 0,
+                heap: BinaryHeap::with_capacity(1024),
+                resources: Vec::new(),
+                rngs: Vec::new(),
+                net,
+                totals: NetTotals::default(),
+                events_processed: 0,
+                stopped: false,
+                faults: None,
+                fault_sends: 0,
+                links: BTreeMap::new(),
+                probe: None,
+            },
+            started: false,
+            seed,
+            specs: Vec::new(),
+            clock: Arc::new(ClockShared {
+                start: OnceLock::new(),
+            }),
+            rx,
+            tx: Some(tx),
+            disconnected: false,
+        }
+    }
+
+    /// Add a node with the given hardware spec; returns its id. Seed
+    /// derivation is identical to the simulator's, so a node draws the
+    /// same random stream on either backend.
+    pub fn add_node(&mut self, node: N, spec: NodeSpec) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(node);
+        self.inner.resources.push(NodeResources::new(
+            spec.cores,
+            spec.disk_channels,
+            spec.net_bw_bps,
+            SimTime::ZERO,
+        ));
+        self.inner
+            .rngs
+            .push(indexed_rng(self.seed, "node", id as u64));
+        self.specs.push(spec);
+        id
+    }
+
+    /// Install a fault plan (before the run starts): crash/restart
+    /// transitions become scheduled events; link loss/delay and straggler
+    /// slowdowns activate, with the same deterministic drop coin as the
+    /// simulator.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        assert!(
+            !self.started,
+            "fault plan must be installed before the run starts"
+        );
+        plan.validate(self.nodes.len());
+        for (at, node, kind) in plan.schedule() {
+            self.inner.push(at, EventKind::Fault { node, kind });
+        }
+        self.inner.faults = Some(plan);
+    }
+
+    /// Install a probe observing grants, drops, delays, and faults (the
+    /// same [`SimProbe`] type the simulator takes, so one telemetry bridge
+    /// serves both backends).
+    pub fn set_probe(&mut self, probe: Box<dyn SimProbe>) {
+        self.inner.probe = Some(probe);
+    }
+
+    /// An ingress handle for driver threads. Must be taken before
+    /// [`run`](RealRuntime::run) is first called.
+    pub fn handle(&self) -> RealHandle<N::Msg> {
+        let tx = self
+            .tx
+            .as_ref()
+            .expect("handles must be created before the run starts")
+            .clone();
+        RealHandle {
+            tx,
+            clock: Arc::clone(&self.clock),
+        }
+    }
+
+    /// Pre-post an external message entering the network at `at` (nanos
+    /// after run start) — the real-clock analogue of the simulator's
+    /// `post`, used to replay a fixed feed for parity runs.
+    pub fn post(&mut self, at: SimTime, to: NodeId, msg: N::Msg, bytes: u64) {
+        let at = at.max(self.inner.time);
+        self.inner.push(at, EventKind::Inject { to, msg, bytes });
+    }
+
+    /// Grow the event heap (known feed volumes avoid mid-run growth).
+    pub fn reserve_events(&mut self, additional: usize) {
+        self.inner.heap.reserve(additional);
+    }
+
+    /// Wall-clock nanoseconds since the run started, monotone with the
+    /// loop's own time.
+    fn observe(&mut self) -> SimTime {
+        let t = self.clock.now();
+        if t > self.inner.time {
+            self.inner.time = t;
+        }
+        self.inner.time
+    }
+
+    fn enqueue(&mut self, inbound: Inbound<N::Msg>) {
+        match inbound {
+            Inbound::Msg { to, msg, bytes } => {
+                let now = self.observe();
+                self.inner.send_message(now, EXTERNAL, to, msg, bytes);
+            }
+            Inbound::Stop => self.inner.stopped = true,
+        }
+    }
+
+    /// Pull everything already waiting on the channel without blocking.
+    fn drain_inbound(&mut self) {
+        loop {
+            match self.rx.try_recv() {
+                Ok(ib) => self.enqueue(ib),
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => {
+                    self.disconnected = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Block until `wake` (wall clock) or an inbound message, whichever
+    /// comes first.
+    fn wait_until(&mut self, wake: SimTime) {
+        let now = self.observe();
+        if wake <= now {
+            return;
+        }
+        let dur = Duration::from_nanos(wake.0 - now.0);
+        if self.disconnected {
+            // No senders left: nothing can arrive, just sleep it off (in
+            // slices so a Stop that raced the disconnect is still seen).
+            std::thread::sleep(dur.min(Duration::from_millis(50)));
+            return;
+        }
+        match self.rx.recv_timeout(dur) {
+            Ok(ib) => self.enqueue(ib),
+            Err(RecvTimeoutError::Timeout) => {}
+            Err(RecvTimeoutError::Disconnected) => self.disconnected = true,
+        }
+    }
+
+    fn dispatch(&mut self, ev: Event<N::Msg>) {
+        self.inner.events_processed += 1;
+        match ev.kind {
+            EventKind::Deliver { from, to, msg } => {
+                if let Some(plan) = &self.inner.faults {
+                    // Dead receiver, or sender that died with the message
+                    // on the wire: the message is lost (sim semantics).
+                    let lost = plan.is_down(to, ev.time)
+                        || (from != EXTERNAL && plan.is_down(from, ev.time));
+                    if lost {
+                        self.inner.totals.dropped += 1;
+                        self.inner.links.entry((from, to)).or_default().dropped += 1;
+                        if let Some(probe) = &mut self.inner.probe {
+                            probe.on_drop(from, to, ev.time);
+                        }
+                        return;
+                    }
+                }
+                self.inner.totals.messages += 1;
+                let mut ctx = RealCtx {
+                    inner: &mut self.inner,
+                    self_id: to,
+                };
+                self.nodes[to].handle_message(from, msg, &mut ctx);
+            }
+            EventKind::Inject { to, msg, bytes } => {
+                let t = ev.time.max(self.inner.time);
+                self.inner.send_message(t, EXTERNAL, to, msg, bytes);
+            }
+            EventKind::Timer { node, tag } => {
+                if let Some(plan) = &self.inner.faults {
+                    if plan.is_down(node, ev.time) {
+                        // Timers die with the process that armed them.
+                        return;
+                    }
+                }
+                let mut ctx = RealCtx {
+                    inner: &mut self.inner,
+                    self_id: node,
+                };
+                self.nodes[node].handle_timer(tag, &mut ctx);
+            }
+            EventKind::Fault { node, kind } => {
+                if let Some(probe) = &mut self.inner.probe {
+                    probe.on_fault(node, kind, ev.time);
+                }
+                if kind == FaultKind::Restart {
+                    let spec = self.specs[node];
+                    self.inner.resources[node] = NodeResources::new(
+                        spec.cores,
+                        spec.disk_channels,
+                        spec.net_bw_bps,
+                        ev.time,
+                    );
+                }
+                let mut ctx = RealCtx {
+                    inner: &mut self.inner,
+                    self_id: node,
+                };
+                self.nodes[node].handle_fault(kind, &mut ctx);
+            }
+        }
+    }
+
+    /// Run until a node calls [`RuntimeCtx::stop`], a handle sends a stop,
+    /// or the event heap drains with every handle dropped — or `horizon`
+    /// nanoseconds of wall clock elapse. Returns the final clock reading.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        if !self.started {
+            self.started = true;
+            // From here on the channel must disconnect when the *external*
+            // handles go away.
+            self.tx = None;
+            let _ = self.clock.start.set(Instant::now());
+            for id in 0..self.nodes.len() {
+                let mut ctx = RealCtx {
+                    inner: &mut self.inner,
+                    self_id: id,
+                };
+                self.nodes[id].handle_start(&mut ctx);
+            }
+        }
+        while !self.inner.stopped {
+            self.drain_inbound();
+            if self.inner.stopped {
+                break;
+            }
+            let now = self.observe();
+            if now >= horizon {
+                break;
+            }
+            match self.inner.heap.peek().map(|e| e.time) {
+                Some(t) if t <= now => {
+                    let ev = self.inner.heap.pop().expect("peeked");
+                    self.dispatch(ev);
+                }
+                Some(t) => self.wait_until(t.min(horizon)),
+                None => {
+                    if self.disconnected {
+                        break;
+                    }
+                    self.wait_until(horizon);
+                }
+            }
+        }
+        self.observe()
+    }
+
+    /// Run with no horizon: until stopped, or drained with all handles
+    /// dropped.
+    pub fn run(&mut self) -> SimTime {
+        self.run_until(SimTime::MAX)
+    }
+
+    /// Current run clock (last observed).
+    pub fn time(&self) -> SimTime {
+        self.inner.time
+    }
+
+    /// True if a stop was requested.
+    pub fn stopped(&self) -> bool {
+        self.inner.stopped
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Aggregate network accounting.
+    pub fn net_totals(&self) -> NetTotals {
+        self.inner.totals
+    }
+
+    /// Per-link drop/delay counts (fault-plan sites only).
+    pub fn link_stats(&self) -> &BTreeMap<(NodeId, NodeId), LinkStats> {
+        &self.inner.links
+    }
+
+    /// Events dispatched so far (deliveries, timers, faults, injections).
+    pub fn events_processed(&self) -> u64 {
+        self.inner.events_processed
+    }
+
+    /// A node's (modeled) resources.
+    pub fn resources(&self, id: NodeId) -> &NodeResources {
+        &self.inner.resources[id]
+    }
+
+    /// Shared access to a node's state.
+    pub fn node(&self, id: NodeId) -> &N {
+        &self.nodes[id]
+    }
+
+    /// Mutable access to a node's state (before or between runs).
+    pub fn node_mut(&mut self, id: NodeId) -> &mut N {
+        &mut self.nodes[id]
+    }
+
+    /// Iterate over all nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &N> {
+        self.nodes.iter()
+    }
+
+    /// Consume the runtime, returning node states for result extraction.
+    pub fn into_nodes(self) -> Vec<N> {
+        self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Counts messages; replies `n-1` to its peer while `n > 0`.
+    struct Relay {
+        peer: NodeId,
+        got: Vec<u64>,
+    }
+
+    impl RuntimeNode for Relay {
+        type Msg = u64;
+        fn handle_message<C: RuntimeCtx<u64>>(&mut self, _from: NodeId, msg: u64, ctx: &mut C) {
+            self.got.push(msg);
+            if msg > 0 {
+                ctx.send(self.peer, msg - 1, 256);
+            }
+        }
+    }
+
+    fn pair() -> RealRuntime<Relay> {
+        let mut rt = RealRuntime::new(7, NetConfig::default());
+        rt.add_node(
+            Relay {
+                peer: 1,
+                got: vec![],
+            },
+            NodeSpec::default(),
+        );
+        rt.add_node(
+            Relay {
+                peer: 0,
+                got: vec![],
+            },
+            NodeSpec::default(),
+        );
+        rt
+    }
+
+    #[test]
+    fn preposted_feed_drains_and_counts() {
+        let mut rt = pair();
+        rt.post(SimTime::ZERO, 0, 4, 256);
+        let end = rt.run();
+        assert!(end > SimTime::ZERO);
+        assert_eq!(rt.node(0).got, vec![4, 2, 0]);
+        assert_eq!(rt.node(1).got, vec![3, 1]);
+        assert_eq!(rt.net_totals().messages, 5);
+    }
+
+    #[test]
+    fn handle_injects_from_another_thread() {
+        let mut rt = pair();
+        let h = rt.handle();
+        let feeder = std::thread::spawn(move || {
+            for v in [2u64, 0] {
+                assert!(h.send(0, v, 128));
+            }
+            // Dropping `h` here lets the loop finish once drained.
+        });
+        let _ = rt.run();
+        feeder.join().unwrap();
+        // Node 0 sees the injected 2 and 0, plus the 0 relayed back by its
+        // peer after the 2 → 1 → 0 countdown.
+        let mut got = rt.node(0).got.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![0, 0, 2]);
+        assert_eq!(rt.node(1).got, vec![1]);
+    }
+
+    #[test]
+    fn stop_from_handle_halts_the_loop() {
+        let mut rt = pair();
+        let h = rt.handle();
+        let stopper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            assert!(h.stop());
+        });
+        let end = rt.run();
+        stopper.join().unwrap();
+        assert!(rt.stopped());
+        assert!(end >= SimTime::ZERO);
+    }
+
+    #[test]
+    fn horizon_bounds_the_run() {
+        struct Idle;
+        impl RuntimeNode for Idle {
+            type Msg = ();
+            fn handle_message<C: RuntimeCtx<()>>(&mut self, _f: NodeId, _m: (), _c: &mut C) {}
+        }
+        let mut rt: RealRuntime<Idle> = RealRuntime::new(0, NetConfig::default());
+        rt.add_node(Idle, NodeSpec::default());
+        let _h = rt.handle(); // keep a sender alive: only the horizon ends it
+        let t0 = Instant::now();
+        rt.run_until(SimTime(20_000_000)); // 20 ms
+        let elapsed = t0.elapsed();
+        assert!(elapsed >= Duration::from_millis(15), "returned too early");
+        assert!(elapsed < Duration::from_secs(5), "horizon ignored");
+    }
+
+    #[test]
+    fn timers_pace_against_the_wall_clock() {
+        struct T {
+            fired: Vec<SimTime>,
+        }
+        impl RuntimeNode for T {
+            type Msg = ();
+            fn handle_start<C: RuntimeCtx<()>>(&mut self, ctx: &mut C) {
+                ctx.set_timer_after(SimDuration::from_millis(10), 1);
+                ctx.set_timer_after(SimDuration::from_millis(20), 2);
+            }
+            fn handle_message<C: RuntimeCtx<()>>(&mut self, _f: NodeId, _m: (), _c: &mut C) {}
+            fn handle_timer<C: RuntimeCtx<()>>(&mut self, tag: u64, ctx: &mut C) {
+                self.fired.push(ctx.now());
+                if tag == 2 {
+                    ctx.stop();
+                }
+            }
+        }
+        let mut rt: RealRuntime<T> = RealRuntime::new(0, NetConfig::default());
+        rt.add_node(T { fired: vec![] }, NodeSpec::default());
+        let t0 = Instant::now();
+        rt.run();
+        assert!(t0.elapsed() >= Duration::from_millis(20));
+        let fired = &rt.node(0).fired;
+        assert_eq!(fired.len(), 2);
+        assert!(fired[0] >= SimTime(10_000_000));
+        assert!(fired[1] >= SimTime(20_000_000));
+    }
+
+    #[test]
+    fn crash_window_loses_messages_like_the_sim() {
+        let mut rt = pair();
+        rt.set_fault_plan(FaultPlan::new(9).crash(
+            0,
+            SimTime(5_000_000),
+            Some(SimTime(30_000_000)),
+        ));
+        rt.post(SimTime::ZERO, 0, 0, 256); // delivered before the crash
+        rt.post(SimTime(10_000_000), 0, 0, 256); // lost mid-outage
+        rt.post(SimTime(40_000_000), 0, 0, 256); // delivered after restart
+        rt.run();
+        assert_eq!(rt.node(0).got.len(), 2, "mid-outage message must be lost");
+        assert_eq!(rt.net_totals().dropped, 1);
+    }
+}

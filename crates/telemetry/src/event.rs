@@ -71,7 +71,7 @@ pub enum ArgVal {
     /// Floating payload (ratios, estimates).
     F64(f64),
     /// Short string payload (labels).
-    Str(String),
+    Str(Box<str>),
 }
 
 impl From<u64> for ArgVal {
@@ -88,7 +88,96 @@ impl From<f64> for ArgVal {
 
 impl From<&str> for ArgVal {
     fn from(v: &str) -> Self {
-        ArgVal::Str(v.to_string())
+        ArgVal::Str(v.into())
+    }
+}
+
+/// One key/value annotation.
+pub type Arg = (&'static str, ArgVal);
+
+/// How many arguments an [`Args`] list holds without touching the heap.
+/// Two covers the high-volume emitters (resource grants, wire round-trips,
+/// lifecycle spans); the occasional wider event (decisions, batch serves)
+/// spills to one boxed `Vec`.
+const INLINE_ARGS: usize = 2;
+
+/// Argument list with inline storage for the common case.
+///
+/// Instrumented runs record hundreds of thousands of events, most carrying
+/// one or two arguments; storing those in a heap `Vec` made the allocator
+/// the dominant telemetry cost. The first [`INLINE_ARGS`] arguments live
+/// inside the event itself (kept small — the event is moved by value
+/// through the builder and into the sink); only wider lists allocate.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Args {
+    len: u8,
+    inline: [Option<Arg>; INLINE_ARGS],
+    // Boxed so the (almost always absent) spill costs one pointer in the
+    // event instead of a full Vec header — every byte here is memcpy'd per
+    // recorded event.
+    #[allow(clippy::box_collection)]
+    spill: Option<Box<Vec<Arg>>>,
+}
+
+impl Args {
+    /// Empty list.
+    pub fn new() -> Self {
+        Args::default()
+    }
+
+    /// Append one argument.
+    #[inline]
+    pub fn push(&mut self, key: &'static str, val: ArgVal) {
+        let i = self.len as usize;
+        if i < INLINE_ARGS {
+            self.inline[i] = Some((key, val));
+            self.len += 1;
+        } else {
+            self.spill
+                .get_or_insert_with(Default::default)
+                .push((key, val));
+        }
+    }
+
+    /// Number of arguments.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len as usize + self.spill.as_ref().map_or(0, |s| s.len())
+    }
+
+    /// Whether the list is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterate the arguments in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Arg> {
+        self.inline
+            .iter()
+            .filter_map(|a| a.as_ref())
+            .chain(self.spill.iter().flat_map(|s| s.iter()))
+    }
+}
+
+impl std::ops::Index<usize> for Args {
+    type Output = Arg;
+
+    fn index(&self, i: usize) -> &Arg {
+        if i < self.len as usize {
+            self.inline[i].as_ref().expect("arg slot populated")
+        } else {
+            &self.spill.as_ref().expect("index in bounds")[i - self.len as usize]
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Args {
+    type Item = &'a Arg;
+    type IntoIter = Box<dyn Iterator<Item = &'a Arg> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new(self.iter())
     }
 }
 
@@ -107,7 +196,7 @@ pub struct TraceEvent {
     /// Span duration, or `None` for an instant event.
     pub dur: Option<SimDuration>,
     /// Key/value annotations rendered in the Perfetto detail pane.
-    pub args: Vec<(&'static str, ArgVal)>,
+    pub args: Args,
 }
 
 impl TraceEvent {
@@ -125,7 +214,7 @@ impl TraceEvent {
             name,
             start,
             dur: Some(dur),
-            args: Vec::new(),
+            args: Args::new(),
         }
     }
 
@@ -137,13 +226,14 @@ impl TraceEvent {
             name,
             start: at,
             dur: None,
-            args: Vec::new(),
+            args: Args::new(),
         }
     }
 
     /// Attach an argument (builder-style).
+    #[inline]
     pub fn arg(mut self, key: &'static str, val: impl Into<ArgVal>) -> Self {
-        self.args.push((key, val.into()));
+        self.args.push(key, val.into());
         self
     }
 }

@@ -31,6 +31,7 @@ pub struct VecSink {
 }
 
 impl TelemetrySink for VecSink {
+    #[inline]
     fn record(&mut self, ev: TraceEvent) {
         self.events.push(ev);
     }
@@ -62,10 +63,18 @@ impl Default for TelemetryConfig {
     }
 }
 
+/// The recorder's event destination: the built-in buffer, stored inline so
+/// the hot [`Telemetry::record`] path is a direct (inlinable) `Vec` push,
+/// or a user-supplied sink behind a virtual call.
+enum SinkImpl {
+    Buffer(Vec<TraceEvent>),
+    Custom(Box<dyn TelemetrySink>),
+}
+
 /// Per-run telemetry collector: trace-event sink plus metrics registry,
 /// stamped exclusively with simulated time.
 pub struct Telemetry {
-    sink: Box<dyn TelemetrySink>,
+    sink: SinkImpl,
     /// Metrics cells, keyed `(node, scope, name)`.
     pub registry: MetricsRegistry,
     now: SimTime,
@@ -73,10 +82,19 @@ pub struct Telemetry {
 }
 
 impl Telemetry {
-    /// New recorder buffering into a [`VecSink`].
+    /// New recorder buffering events internally. With spans on, the buffer
+    /// is pre-sized generously: instrumented runs record hundreds of
+    /// thousands of events, and reserving up front keeps buffer regrowth
+    /// (a multi-megabyte copy by the end of a big run) out of the hot
+    /// path. The reservation is virtual address space — untouched pages
+    /// cost nothing.
     pub fn new(config: TelemetryConfig) -> Self {
+        let mut events = Vec::new();
+        if config.spans {
+            events.reserve(256 * 1024);
+        }
         Telemetry {
-            sink: Box::new(VecSink::default()),
+            sink: SinkImpl::Buffer(events),
             registry: MetricsRegistry::new(),
             now: SimTime::ZERO,
             spans: config.spans,
@@ -86,7 +104,7 @@ impl Telemetry {
     /// New recorder with a custom sink.
     pub fn with_sink(config: TelemetryConfig, sink: Box<dyn TelemetrySink>) -> Self {
         Telemetry {
-            sink,
+            sink: SinkImpl::Custom(sink),
             registry: MetricsRegistry::new(),
             now: SimTime::ZERO,
             spans: config.spans,
@@ -96,30 +114,41 @@ impl Telemetry {
     /// Advance the recorder's clock. Actors call this on entry to every
     /// callback so helpers that lack a `Ctx` (e.g. a `DecisionSink` living
     /// inside the compute runtime) still stamp events with simulated time.
+    #[inline]
     pub fn set_now(&mut self, now: SimTime) {
         self.now = now;
     }
 
     /// The recorder's current simulated time.
+    #[inline]
     pub fn now(&self) -> SimTime {
         self.now
     }
 
     /// Whether span recording is enabled.
+    #[inline]
     pub fn spans_enabled(&self) -> bool {
         self.spans
     }
 
     /// Record a trace event (dropped when spans are disabled).
+    #[inline]
     pub fn record(&mut self, ev: TraceEvent) {
         if self.spans {
-            self.sink.record(ev);
+            match &mut self.sink {
+                SinkImpl::Buffer(events) => events.push(ev),
+                SinkImpl::Custom(sink) => sink.record(ev),
+            }
         }
     }
 
     /// Tear down, returning buffered events and the metrics registry.
-    pub fn finish(mut self) -> (Vec<TraceEvent>, MetricsRegistry) {
-        (self.sink.drain(), self.registry)
+    pub fn finish(self) -> (Vec<TraceEvent>, MetricsRegistry) {
+        let events = match self.sink {
+            SinkImpl::Buffer(events) => events,
+            SinkImpl::Custom(mut sink) => sink.drain(),
+        };
+        (events, self.registry)
     }
 }
 

@@ -1,0 +1,317 @@
+//! Backend parity and `jl-serve` framing tests.
+//!
+//! The runtime seam's contract: the simulator and the wall-clock backend
+//! host the *same* engine, so a fixed workload produces identical join
+//! outputs and tuple-outcome accounting on both — only durations and
+//! latencies may differ (the real backend reads the host's clock). These
+//! tests pin that contract on a DH batch cell and a TPC-DS Q3 multi-join
+//! cell, and smoke-test the `jl-serve` line protocol over a loopback
+//! socket.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+
+use jl_bench::{serve, ServeConfig};
+use jl_core::{OptimizerConfig, ShedMode, Strategy};
+use jl_engine::{
+    build_store, run_job, run_job_real, run_job_real_traced, ClusterSpec, FeedMode, JobPlan,
+    JobSpec, JobTuple, OverloadConfig, RetryConfig, RunReport, StageSpec,
+};
+use jl_simkit::rng::splitmix64;
+use jl_simkit::time::{SimDuration, SimTime};
+use jl_store::{DigestUdf, RowKey, StoreCluster, StoredValue, UdfRegistry};
+use jl_telemetry::TelemetryConfig;
+use jl_workloads::{SyntheticSpec, TpcDsLite};
+
+const UDF: usize = 0;
+
+fn digest_udfs(out_bytes: usize) -> UdfRegistry {
+    let mut u = UdfRegistry::new();
+    u.register(UDF, Arc::new(DigestUdf { out_bytes }));
+    u
+}
+
+/// Generous retry config: the machinery is armed (timers, failover maps)
+/// but a host stall would have to exceed 30 s of wall clock to fire a
+/// spurious retry on the real backend.
+fn lazy_retry() -> RetryConfig {
+    RetryConfig {
+        timeout: SimDuration::from_secs(30),
+        backoff_cap: SimDuration::from_secs(60),
+        max_retries: 8,
+        down_cooldown: SimDuration::from_secs(60),
+    }
+}
+
+/// Overload protection with caps far above what the cell can queue: every
+/// bounded-queue/backpressure/shed code path runs on both backends, but
+/// none triggers — keeping the accounting timing-independent.
+fn headroom_overload() -> OverloadConfig {
+    OverloadConfig {
+        data_queue_cap: 1 << 16,
+        high_watermark: 1 << 15,
+        low_watermark: 1 << 14,
+        compute_queue_cap: 1 << 16,
+        deadline: None,
+        nack_backoff: SimDuration::from_millis(2),
+        shed: ShedMode::DeadlineAware,
+        record_outcomes: true,
+    }
+}
+
+/// A small data-heavy batch cell: big-ish values, tiny UDF, skew-free
+/// key draw. Sized so the wall-clock run finishes in well under a second.
+fn dh_cell() -> (SyntheticSpec, ClusterSpec, Vec<JobTuple>) {
+    let spec = SyntheticSpec {
+        name: "DH-parity",
+        n_keys: 1_500,
+        value_size: 8 * 1024,
+        value_prefix: 64,
+        udf_cpu: SimDuration::from_micros(50),
+        n_tuples: 900,
+        params_size: 128,
+        output_size: 256,
+    };
+    let cluster = ClusterSpec {
+        n_compute: 3,
+        n_data: 3,
+        block_cache_bytes: 0,
+        ..ClusterSpec::default()
+    };
+    let mut state = 0x5EED_0BAD_CAFE_F00Du64;
+    let tuples = (0..spec.n_tuples)
+        .map(|seq| JobTuple {
+            seq,
+            keys: vec![RowKey::from_u64(splitmix64(&mut state) % spec.n_keys)],
+            params_size: spec.params_size,
+            arrival: SimTime::ZERO,
+        })
+        .collect();
+    (spec, cluster, tuples)
+}
+
+fn dh_job(spec: &SyntheticSpec, cluster: &ClusterSpec, telemetry: bool) -> JobSpec {
+    let mut optimizer = OptimizerConfig::for_strategy(Strategy::Full);
+    optimizer.mem_cache_bytes = 8 << 20;
+    optimizer.batch_size = 64;
+    optimizer.batch_max_wait = SimDuration::from_millis(2);
+    JobSpec {
+        cluster: cluster.clone(),
+        optimizer,
+        feed: FeedMode::Batch { window: 32 },
+        plan: JobPlan::single(0, UDF),
+        seed: 7,
+        udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+        policy: None,
+        decision_sink: None,
+        faults: None,
+        retry: Some(lazy_retry()),
+        telemetry: telemetry.then(TelemetryConfig::default),
+        overload: Some(headroom_overload()),
+        shed_policy: None,
+    }
+}
+
+fn dh_store(spec: &SyntheticSpec, cluster: &ClusterSpec) -> StoreCluster {
+    build_store(cluster, vec![(spec.name.into(), spec.rows(1).collect())])
+}
+
+/// The parity contract: join outputs and per-tuple outcome accounting are
+/// identical; timing-derived fields are not compared.
+fn assert_parity(sim: &RunReport, real: &RunReport) {
+    assert_eq!(sim.fingerprint, real.fingerprint, "join output fingerprint");
+    assert_eq!(sim.completed, real.completed, "tuples completed");
+    assert_eq!(sim.gave_up, real.gave_up, "gave-up count");
+    assert_eq!(sim.shed, real.shed, "shed count");
+    assert_eq!(sim.outcomes, real.outcomes, "per-tuple outcome log");
+    assert_eq!(sim.gave_up, 0, "healthy cell gives up nothing");
+    assert_eq!(sim.shed, 0, "headroom overload sheds nothing");
+    assert_eq!(
+        sim.dropped_messages, real.dropped_messages,
+        "no faults injected"
+    );
+}
+
+#[test]
+fn dh_batch_cell_matches_sim_and_real() {
+    let (spec, cluster, tuples) = dh_cell();
+    let job = dh_job(&spec, &cluster, false);
+    let sim = run_job(
+        &job,
+        dh_store(&spec, &cluster),
+        digest_udfs(spec.output_size as usize),
+        tuples.clone(),
+        vec![],
+    );
+    let real = run_job_real(
+        &job,
+        dh_store(&spec, &cluster),
+        digest_udfs(spec.output_size as usize),
+        tuples,
+        vec![],
+    );
+    assert_eq!(sim.completed, spec.n_tuples, "every tuple completes");
+    assert_ne!(sim.fingerprint, 0, "outputs actually produced");
+    assert_parity(&sim, &real);
+}
+
+/// TPC-DS Q3 (date_dim ⋈ item over store_sales), the multi-join pipeline,
+/// on both backends.
+#[test]
+fn q3_multijoin_cell_matches_sim_and_real() {
+    let mut ds = TpcDsLite::scaled_default(11);
+    ds.fact_rows = 1_500;
+    let q = TpcDsLite::queries()
+        .into_iter()
+        .find(|q| q.name == "Q3")
+        .expect("Q3 defined");
+    let cluster = ClusterSpec {
+        n_compute: 3,
+        n_data: 3,
+        block_cache_bytes: 0,
+        ..ClusterSpec::default()
+    };
+    let plan = Arc::new(JobPlan {
+        stages: q
+            .stages
+            .iter()
+            .enumerate()
+            .map(|(i, s)| StageSpec {
+                table: i,
+                udf: UDF,
+                selectivity: s.selectivity,
+            })
+            .collect(),
+    });
+    let tuples: Vec<JobTuple> = ds
+        .sales()
+        .iter()
+        .map(|s| JobTuple {
+            seq: s.seq,
+            keys: q
+                .stages
+                .iter()
+                .map(|st| RowKey::from_u64(s.fk(st.dim)))
+                .collect(),
+            params_size: 64,
+            arrival: SimTime::ZERO,
+        })
+        .collect();
+    let tables: Vec<(String, Vec<(RowKey, StoredValue)>)> = q
+        .stages
+        .iter()
+        .map(|s| (s.dim.name().to_string(), ds.dimension_rows(s.dim).collect()))
+        .collect();
+    let mut optimizer = OptimizerConfig::for_strategy(Strategy::Full);
+    optimizer.mem_cache_bytes = 16 << 20;
+    optimizer.batch_size = 64;
+    optimizer.batch_max_wait = SimDuration::from_millis(2);
+    let job = JobSpec {
+        cluster: cluster.clone(),
+        optimizer,
+        feed: FeedMode::Batch { window: 32 },
+        plan,
+        seed: 11,
+        udf_cpu_hint: 3e-6,
+        policy: None,
+        decision_sink: None,
+        faults: None,
+        retry: Some(lazy_retry()),
+        telemetry: None,
+        overload: Some(headroom_overload()),
+        shed_policy: None,
+    };
+    let udfs = digest_udfs(48);
+    let sim = run_job(
+        &job,
+        build_store(&cluster, tables.clone()),
+        udfs.clone(),
+        tuples.clone(),
+        vec![],
+    );
+    let real = run_job_real(&job, build_store(&cluster, tables), udfs, tuples, vec![]);
+    assert_eq!(sim.completed, ds.fact_rows, "every fact tuple completes");
+    assert_ne!(sim.fingerprint, 0, "outputs actually produced");
+    assert_parity(&sim, &real);
+}
+
+/// A wall-clock run records a structurally valid Chrome trace (the
+/// `trace_check` validator accepts traces from either backend).
+#[test]
+fn real_backend_trace_validates() {
+    let (mut spec, cluster, _) = dh_cell();
+    spec.n_tuples = 200;
+    let mut state = 0xD1CEu64;
+    let tuples: Vec<JobTuple> = (0..spec.n_tuples)
+        .map(|seq| JobTuple {
+            seq,
+            keys: vec![RowKey::from_u64(splitmix64(&mut state) % spec.n_keys)],
+            params_size: spec.params_size,
+            arrival: SimTime::ZERO,
+        })
+        .collect();
+    let job = dh_job(&spec, &cluster, true);
+    let (report, tel) = run_job_real_traced(
+        &job,
+        dh_store(&spec, &cluster),
+        digest_udfs(spec.output_size as usize),
+        tuples,
+        vec![],
+    );
+    assert_eq!(report.completed, spec.n_tuples);
+    let tel = tel.expect("telemetry requested");
+    let check = jl_telemetry::json::validate_chrome_trace(&tel.to_chrome_json())
+        .expect("real-backend trace validates");
+    assert!(check.spans > 0, "trace carries spans");
+}
+
+/// `jl-serve` framing over a real loopback socket: every request line is
+/// answered exactly once, in `seq status latency_us` form, and the
+/// session ends cleanly at EOF.
+#[test]
+fn serve_loopback_answers_every_request() {
+    let cfg = ServeConfig {
+        n_compute: 2,
+        n_data: 2,
+        rows: 128,
+        value_size: 1_024,
+        ..ServeConfig::default()
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || {
+        let (sock, _) = listener.accept().expect("accept");
+        let reader = BufReader::new(sock.try_clone().expect("clone socket"));
+        serve(reader, sock, &cfg).expect("serve session")
+    });
+
+    let n = 25u64;
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    for k in 0..n {
+        writeln!(sock, "{} {}", k * 37, 64 + k).expect("write request");
+    }
+    sock.shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+
+    let mut seqs = Vec::new();
+    for line in BufReader::new(&sock).lines() {
+        let line = line.expect("read response");
+        let mut it = line.split_whitespace();
+        seqs.push(it.next().expect("seq").parse::<u64>().expect("seq u64"));
+        assert_eq!(it.next(), Some("ok"), "healthy lookup completes: {line}");
+        let _latency: u64 = it.next().expect("latency").parse().expect("latency u64");
+        assert_eq!(it.next(), None, "exactly three fields: {line}");
+    }
+    seqs.sort_unstable();
+    assert_eq!(
+        seqs,
+        (0..n).collect::<Vec<u64>>(),
+        "each request answered once"
+    );
+
+    let stats = server.join().expect("server thread");
+    assert_eq!(stats.served, n);
+    assert_eq!(stats.report.completed, n);
+    assert_eq!(stats.report.shed, 0);
+}
