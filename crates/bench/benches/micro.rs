@@ -5,7 +5,7 @@
 use std::collections::HashMap;
 use std::hash::BuildHasher;
 
-use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
 use jl_cache::{LfuDa, SizeMode, TieredCache};
 use jl_core::{Batcher, OptimizerConfig, Strategy};
 use jl_costmodel::{rent_buy_costs, NodeCosts, SizeProfile};
@@ -208,6 +208,61 @@ fn bench_event_heap(c: &mut Criterion) {
     });
 }
 
+fn bench_calendar_vs_heap(c: &mut Criterion) {
+    // The classic hold model over the kernel's two pending-event
+    // structures: pre-fill N events, then repeatedly pop the minimum and
+    // push a successor at `popped + delta` (delta from a splitmix stream,
+    // clustered around the sim's typical µs grain). This isolates the
+    // calendar queue's O(1) bucket operations from the binary heap's
+    // O(log n) sift at each pending-set size the acceptance calls out.
+    use jl_simkit::queue::CalendarQueue;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    let mut group = c.benchmark_group("pending_events_hold");
+    for &n in &[1_000usize, 100_000, 1_000_000] {
+        let deltas: Vec<u64> = {
+            let mut state = 0x5EED_0BAD_CAFE_F00Du64;
+            (0..4096)
+                .map(|_| 1_000 + jl_simkit::rng::splitmix64(&mut state) % 100_000)
+                .collect()
+        };
+        group.bench_with_input(BenchmarkId::new("calendar", n), &n, |b, &n| {
+            let mut q: CalendarQueue<u32> = CalendarQueue::with_capacity(n);
+            let mut seq = 0u64;
+            for i in 0..n {
+                q.push(SimTime(deltas[i % deltas.len()]), seq, 0);
+                seq += 1;
+            }
+            let mut i = 0usize;
+            b.iter(|| {
+                let (t, _, v) = q.pop().unwrap();
+                i = (i + 1) % deltas.len();
+                q.push(SimTime(t.0 + deltas[i]), seq, v);
+                seq += 1;
+                black_box(t)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("binary_heap", n), &n, |b, &n| {
+            let mut q: BinaryHeap<Reverse<(SimTime, u64, u32)>> = BinaryHeap::with_capacity(n);
+            let mut seq = 0u64;
+            for i in 0..n {
+                q.push(Reverse((SimTime(deltas[i % deltas.len()]), seq, 0)));
+                seq += 1;
+            }
+            let mut i = 0usize;
+            b.iter(|| {
+                let Reverse((t, _, v)) = q.pop().unwrap();
+                i = (i + 1) % deltas.len();
+                q.push(Reverse((SimTime(t.0 + deltas[i]), seq, v)));
+                seq += 1;
+                black_box(t)
+            })
+        });
+    }
+    group.finish();
+}
+
 fn bench_key_maps(c: &mut Criterion) {
     // Per-key statistics lookups are the kernel's hottest map accesses;
     // this pins the std `HashMap` (SipHash) vs `FxHashMap` gap that
@@ -278,6 +333,7 @@ criterion_group!(
     bench_zipf,
     bench_simkit,
     bench_event_heap,
+    bench_calendar_vs_heap,
     bench_key_maps,
     bench_rowkey,
     bench_strategy_config,

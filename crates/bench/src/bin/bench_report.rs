@@ -10,16 +10,27 @@
 //! events processed, and simulated-events/sec; the file also carries peak
 //! RSS and the thread count so CI runs are comparable over time.
 //!
-//! Usage: `bench_report [--quick] [--threads N] [--seed N] [--out PATH]`
+//! Schema v3 adds a `"par"` backend cell — the DH workload on the
+//! node-sharded parallel kernel (`Sim::run_parallel`, 8 worker shards),
+//! fingerprint asserted equal to the serial run — and the `--check` gate.
+//!
+//! Usage: `bench_report [--quick] [--threads N] [--seed N] [--out PATH]
+//!         [--check] [--baseline PATH]`
 //!
 //! `--quick` shrinks every workload (CI smoke run); results are labelled
 //! with the scale so quick and full runs are never compared directly.
+//!
+//! `--check` compares the fresh run against a committed baseline file
+//! (`--baseline`, default `BENCH_kernel.json`) and exits non-zero if
+//! `total_events_per_sec` regressed more than 25% below it. Baselines of a
+//! different mode (quick vs full) are skipped with a note, never compared.
 
 use std::time::Instant;
 
 use jl_bench::bench_threads;
 use jl_bench::experiments::{
-    bench_synthetic_report, bench_synthetic_report_real, bench_synthetic_traced, fig6_stream_report,
+    bench_synthetic_report, bench_synthetic_report_parallel, bench_synthetic_report_real,
+    bench_synthetic_traced, fig6_stream_report,
 };
 use jl_core::Strategy;
 use jl_engine::RunReport;
@@ -69,17 +80,55 @@ fn jf(x: f64) -> String {
     }
 }
 
+/// Pull a top-level `"field": <number>` out of a baseline JSON file the
+/// same shape this binary writes. Purpose-built line scanning — the repo
+/// deliberately has no JSON-parsing dependency.
+fn baseline_number(json: &str, field: &str) -> Option<f64> {
+    let needle = format!("\"{field}\":");
+    for line in json.lines() {
+        if let Some(pos) = line.find(&needle) {
+            let rest = line[pos + needle.len()..].trim().trim_end_matches(',');
+            if let Ok(v) = rest.parse::<f64>() {
+                return Some(v);
+            }
+        }
+    }
+    None
+}
+
+/// Pull a top-level `"field": "<string>"` out of a baseline JSON file.
+fn baseline_string(json: &str, field: &str) -> Option<String> {
+    let needle = format!("\"{field}\":");
+    for line in json.lines() {
+        if let Some(pos) = line.find(&needle) {
+            let rest = line[pos + needle.len()..].trim().trim_end_matches(',');
+            return Some(rest.trim_matches('"').to_string());
+        }
+    }
+    None
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut quick = false;
     let mut seed = 42u64;
     let mut out_path = "BENCH_kernel.json".to_string();
+    let mut check = false;
+    let mut baseline_path = "BENCH_kernel.json".to_string();
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
             "--quick" => {
                 quick = true;
                 i += 1;
+            }
+            "--check" => {
+                check = true;
+                i += 1;
+            }
+            "--baseline" if i + 1 < args.len() => {
+                baseline_path = args[i + 1].clone();
+                i += 2;
             }
             "--seed" if i + 1 < args.len() => {
                 seed = args[i + 1].parse().unwrap_or(42);
@@ -169,6 +218,34 @@ fn main() {
             report,
         });
     }
+    {
+        // The DH cell on the parallel kernel: 8 worker shards of
+        // node-sharded conservative PDES. The report must be bit-identical
+        // to the serial cell — same fingerprint, same event count — so the
+        // only thing this row adds is the wall-clock column.
+        let t0 = Instant::now();
+        let report = bench_synthetic_report_parallel("DH", synth_scale, seed, 8);
+        let wall = t0.elapsed().as_secs_f64();
+        eprintln!(
+            "bench_report: DH@par8 wall={wall:.3}s sim_events={} ({:.0} ev/s)",
+            report.sim_events,
+            report.sim_events as f64 / wall.max(1e-9)
+        );
+        assert_eq!(
+            report.fingerprint, timings[0].report.fingerprint,
+            "parallel kernel changed the DH join result"
+        );
+        assert_eq!(
+            report.sim_events, timings[0].report.sim_events,
+            "parallel kernel changed the DH event count"
+        );
+        timings.push(Timing {
+            name: "DH",
+            backend: "par8",
+            wall_secs: wall,
+            report,
+        });
+    }
 
     // Telemetry overhead: the DH workload with the recorder off vs on,
     // measured back-to-back (adjacent, best-of-three) so the ratio tracks
@@ -204,10 +281,22 @@ fn main() {
 
     let total_wall: f64 = timings.iter().map(|t| t.wall_secs).sum();
     let total_events: u64 = timings.iter().map(|t| t.report.sim_events).sum();
+    let total_eps = if total_wall > 0.0 {
+        total_events as f64 / total_wall
+    } else {
+        0.0
+    };
+
+    // Snapshot the committed baseline before (possibly) overwriting it.
+    let baseline = if check {
+        std::fs::read_to_string(&baseline_path).ok()
+    } else {
+        None
+    };
 
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"jl-bench-kernel/v2\",\n");
+    out.push_str("  \"schema\": \"jl-bench-kernel/v3\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -221,14 +310,7 @@ fn main() {
     out.push_str(&format!("  \"tweet_scale\": {},\n", jf(tweet_scale)));
     out.push_str(&format!("  \"total_wall_secs\": {},\n", jf(total_wall)));
     out.push_str(&format!("  \"total_sim_events\": {total_events},\n"));
-    out.push_str(&format!(
-        "  \"total_events_per_sec\": {},\n",
-        jf(if total_wall > 0.0 {
-            total_events as f64 / total_wall
-        } else {
-            0.0
-        })
-    ));
+    out.push_str(&format!("  \"total_events_per_sec\": {},\n", jf(total_eps)));
     match peak_rss_bytes() {
         Some(b) => out.push_str(&format!("  \"peak_rss_bytes\": {b},\n")),
         None => out.push_str("  \"peak_rss_bytes\": null,\n"),
@@ -287,4 +369,39 @@ fn main() {
         timings.len(),
         total_wall
     );
+
+    if check {
+        let Some(base) = baseline else {
+            eprintln!("bench_report: --check: no baseline at {baseline_path}; skipping gate");
+            return;
+        };
+        let base_mode = baseline_string(&base, "mode").unwrap_or_default();
+        let this_mode = if quick { "quick" } else { "full" };
+        if base_mode != this_mode {
+            eprintln!(
+                "bench_report: --check: baseline mode {base_mode:?} != run mode \
+                 {this_mode:?}; skipping gate (quick and full are never compared)"
+            );
+            return;
+        }
+        let Some(base_eps) = baseline_number(&base, "total_events_per_sec") else {
+            eprintln!(
+                "bench_report: --check: {baseline_path} has no total_events_per_sec; \
+                 skipping gate"
+            );
+            return;
+        };
+        let floor = base_eps * 0.75;
+        if total_eps < floor {
+            eprintln!(
+                "bench_report: --check FAILED: {total_eps:.0} events/sec is more than 25% \
+                 below the committed baseline {base_eps:.0} (floor {floor:.0})"
+            );
+            std::process::exit(1);
+        }
+        eprintln!(
+            "bench_report: --check ok: {total_eps:.0} events/sec vs baseline {base_eps:.0} \
+             (floor {floor:.0})"
+        );
+    }
 }

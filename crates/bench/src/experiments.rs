@@ -15,7 +15,8 @@ use jl_engine::baselines::{run_reduce_side, ReduceSideKind};
 use jl_engine::plan::{JobPlan, JobTuple, StageSpec};
 use jl_engine::shuffle::run_shuffle_multijoin;
 use jl_engine::{
-    build_store, run_job, run_job_real_traced, run_job_traced, ClusterSpec, FeedMode, JobSpec,
+    build_store, run_job, run_job_parallel, run_job_real_traced, run_job_traced, ClusterSpec,
+    FeedMode, JobSpec,
     OverloadConfig, RetryConfig, RunReport,
 };
 use jl_simkit::fault::FaultPlan;
@@ -358,6 +359,48 @@ pub fn bench_synthetic_report_real(spec_name: &str, tuple_scale: f64, seed: u64)
         true,
     )
     .0
+}
+
+/// The same pinned kernel workload as [`bench_synthetic_report`], run on
+/// the node-sharded parallel kernel with `threads` worker threads. The
+/// report — join fingerprint included — is bit-identical to the serial
+/// run for any thread count; `bench_report` and the determinism suite
+/// both assert it.
+pub fn bench_synthetic_report_parallel(
+    spec_name: &str,
+    tuple_scale: f64,
+    seed: u64,
+    threads: usize,
+) -> RunReport {
+    let mut spec = match spec_name {
+        "DH" => SyntheticSpec::dh(),
+        "CH" => SyntheticSpec::ch(),
+        "DCH" => SyntheticSpec::dch(),
+        other => panic!("unknown bench workload {other:?} (expected DH, CH or DCH)"),
+    };
+    spec.n_tuples = ((spec.n_tuples as f64 * tuple_scale) as u64).max(1000);
+    let cluster = synthetic_cluster();
+    let store = build_store(&cluster, vec![(spec.name.into(), spec.rows(1).collect())]);
+    let tuples = synthetic_tuples(&spec, 1.0, 1, seed);
+    let job = JobSpec {
+        cluster: cluster.clone(),
+        optimizer: optimizer_for(Strategy::Full, 32 << 20),
+        feed: FeedMode::Batch {
+            window: window_for(Strategy::Full, &cluster, tuples.len() / cluster.n_compute),
+        },
+        plan: JobPlan::single(0, UDF),
+        seed,
+        udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+        policy: None,
+        decision_sink: None,
+        faults: None,
+        retry: None,
+        telemetry: None,
+        overload: None,
+        shed_policy: None,
+    };
+    let udfs = digest_udfs(spec.output_size as usize);
+    run_job_parallel(&job, store, udfs, tuples, vec![], threads)
 }
 
 /// Figure 8 (a: DH, b: CH, c: DCH): Hadoop-mode synthetic workloads,

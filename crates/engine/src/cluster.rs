@@ -168,7 +168,20 @@ impl Node for ClusterNode {
     fn on_fault(&mut self, kind: FaultKind, ctx: &mut Ctx<'_, Msg>) {
         self.handle_fault(kind, ctx);
     }
+
+    fn may_stop(&self) -> bool {
+        // Only the controller ever calls `ctx.stop()`; declaring it here
+        // lets `Sim::run_parallel` pin the controller to the stop shard.
+        matches!(self, ClusterNode::Controller(_))
+    }
 }
+
+// `Sim::run_parallel` moves node state across worker threads; this pin
+// catches any non-`Send` field (e.g. an `Rc` handle) sneaking back in.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<ClusterNode>();
+};
 
 impl ClusterNode {
     /// The compute node inside, if any.

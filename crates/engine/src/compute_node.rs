@@ -68,7 +68,7 @@ pub enum TupleFate {
 /// Observer called once per tuple when its fate is decided:
 /// `(seq, fate, now)`. Used by `jl-serve` to answer requests as they
 /// finish; `None` (every sim path) costs one branch per completion.
-pub type CompletionHook = Box<dyn FnMut(u64, TupleFate, SimTime)>;
+pub type CompletionHook = Box<dyn FnMut(u64, TupleFate, SimTime) + Send>;
 
 struct PendingLocal {
     key: EKey,

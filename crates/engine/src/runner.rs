@@ -502,6 +502,57 @@ pub fn run_job_traced(
     (report, run_tel)
 }
 
+/// Run a job on the parallel simulation kernel: node-sharded conservative
+/// PDES across `threads` worker threads (see [`jl_simkit::par`]). The
+/// [`RunReport`] — fingerprints included — is bit-identical to [`run_job`]
+/// for any thread count; the determinism suite pins this.
+///
+/// Telemetry must be off: probe events replay deterministically through
+/// the commit walk, but node-level trace events are emitted during
+/// speculative shard execution, whose order is shard-local rather than
+/// global. Jobs that want traces run serially.
+///
+/// # Panics
+/// Panics if `spec.telemetry` is set.
+pub fn run_job_parallel(
+    spec: &JobSpec,
+    store: StoreCluster,
+    udfs: UdfRegistry,
+    tuples: Vec<JobTuple>,
+    updates: Vec<UpdateEvent>,
+    threads: usize,
+) -> RunReport {
+    assert!(
+        spec.telemetry.is_none(),
+        "parallel runs do not record traces; use run_job_traced (serial) for telemetry"
+    );
+    let cluster = &spec.cluster;
+    if let Some(ov) = &spec.overload {
+        ov.validate();
+    }
+    let built = build_cluster(spec, store, udfs, tuples, updates, &None);
+    let mut sim: Sim<ClusterNode> = Sim::new(spec.seed, cluster.net);
+    for node in built.nodes {
+        sim.add_node(node, cluster.node);
+    }
+    if let Some(plan) = &spec.faults {
+        sim.set_fault_plan(plan.clone());
+    }
+    sim.reserve_events(built.posts.len());
+    for (at, to, msg, bytes) in built.posts {
+        sim.post(at, to, msg, bytes);
+    }
+
+    let end = match spec.feed {
+        FeedMode::Batch { .. } => sim.run_parallel(threads),
+        FeedMode::Stream { horizon, .. } => {
+            sim.run_parallel_until(SimTime::ZERO + horizon, threads)
+        }
+    };
+
+    gather_report(&sim, cluster, end)
+}
+
 /// Run a job on the wall-clock backend. Same construction, policies, and
 /// fault/overload machinery as [`run_job`]; time is real nanoseconds, so
 /// durations and latencies reflect the host machine while join results
@@ -573,9 +624,7 @@ pub fn build_real_runtime(
 
 /// Unwrap the (now uniquely held) recorder into a [`RunTelemetry`].
 fn unwrap_telemetry(h: TelemetryHandle, cluster: &ClusterSpec, end: SimTime) -> RunTelemetry {
-    let recorder = std::rc::Rc::try_unwrap(h)
-        .unwrap_or_else(|_| panic!("telemetry handle uniquely owned once the host is dropped"))
-        .into_inner();
+    let recorder = h.into_inner();
     let (events, registry) = recorder.finish();
     RunTelemetry {
         end,

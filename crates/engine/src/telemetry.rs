@@ -157,7 +157,7 @@ mod tests {
         p.on_grant(1, ResourceKind::Disk, SimTime(5), SimDuration(20), g2);
         p.on_fault(2, FaultKind::Crash, SimTime(40));
         drop(p);
-        let tel = std::rc::Rc::try_unwrap(tel).ok().unwrap().into_inner();
+        let tel = tel.into_inner();
         let (events, _) = tel.finish();
         assert_eq!(events.len(), 2);
         assert_eq!(events[0].node, 1);

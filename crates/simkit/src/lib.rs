@@ -37,7 +37,9 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod par;
 pub mod probe;
+pub mod queue;
 pub mod resource;
 pub mod rng;
 pub mod sim;

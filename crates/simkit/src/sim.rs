@@ -4,18 +4,28 @@
 //! concrete type `N: Node` (typically an enum over the roles in the cluster),
 //! so dispatch is static and node state is fully typed when the run finishes.
 //!
-//! Time advances only through the event heap. Resource usage (CPU, disk,
-//! NIC) is charged through [`Ctx`], which returns analytic completion times
-//! from [`FifoResource`](crate::resource::FifoResource)s; nodes then schedule
+//! Time advances only through the event queue — a calendar/bucket queue
+//! ([`crate::queue::CalendarQueue`]) with exact `(time, seq)` ordering, so
+//! the schedule is byte-identical to the binary heap it replaced. The run
+//! loop drains all events sharing a timestamp in one pass (batch dispatch).
+//! Resource usage (CPU, disk, NIC) is charged through [`Ctx`], which returns
+//! analytic completion times from
+//! [`FifoResource`](crate::resource::FifoResource)s; nodes then schedule
 //! messages or timers at those instants.
+//!
+//! Two execution modes share this kernel: the serial loop below, and the
+//! deterministic node-sharded parallel loop in [`crate::par`]
+//! (`Sim::run_parallel`), which produces bit-identical results via
+//! conservative-lookahead epochs. [`Ctx`] is a thin enum over the two
+//! backends so node code is oblivious to the mode.
 
-use std::cmp::Ordering;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 
 use rand::rngs::StdRng;
 
 use crate::fault::{FaultKind, FaultPlan};
 use crate::probe::{LinkStats, SimProbe};
+use crate::queue::CalendarQueue;
 use crate::resource::{Grant, NodeResources, ResourceKind};
 use crate::rng::indexed_rng;
 use crate::time::{SimDuration, SimTime};
@@ -47,6 +57,17 @@ pub trait Node {
     /// default ignores faults, which is correct for nodes whose plan never
     /// touches them.
     fn on_fault(&mut self, _kind: FaultKind, _ctx: &mut Ctx<'_, Self::Msg>) {}
+
+    /// Declare whether this node may ever call [`Ctx::stop`]. The serial
+    /// loop ignores this; [`Sim::run_parallel`] executes events of
+    /// stop-capable nodes on the coordinating thread *before* the sharded
+    /// wave of each epoch, so a stop request establishes the exact
+    /// serial-order watermark past which no other shard executes. A node
+    /// that calls `stop` without declaring itself here panics loudly under
+    /// the parallel kernel (and is unaffected in serial runs).
+    fn may_stop(&self) -> bool {
+        false
+    }
 }
 
 /// Hardware description of a node.
@@ -75,7 +96,9 @@ impl Default for NodeSpec {
 /// Network-wide parameters.
 #[derive(Debug, Clone, Copy)]
 pub struct NetConfig {
-    /// One-way propagation + protocol latency per message.
+    /// One-way propagation + protocol latency per message. Also the
+    /// conservative-lookahead window of the parallel kernel: no cross-node
+    /// message can be delivered sooner than `latency` after it is sent.
     pub latency: SimDuration,
 }
 
@@ -87,13 +110,7 @@ impl Default for NetConfig {
     }
 }
 
-struct Event<M> {
-    time: SimTime,
-    seq: u64,
-    kind: EventKind<M>,
-}
-
-enum EventKind<M> {
+pub(crate) enum EventKind<M> {
     Deliver {
         from: NodeId,
         to: NodeId,
@@ -118,28 +135,6 @@ enum EventKind<M> {
     },
 }
 
-impl<M> PartialEq for Event<M> {
-    fn eq(&self, other: &Self) -> bool {
-        self.time == other.time && self.seq == other.seq
-    }
-}
-impl<M> Eq for Event<M> {}
-impl<M> PartialOrd for Event<M> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl<M> Ord for Event<M> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // Reversed: BinaryHeap is a max-heap, we need earliest-first.
-        // Ties break by insertion order (seq), keeping runs deterministic.
-        other
-            .time
-            .cmp(&self.time)
-            .then_with(|| other.seq.cmp(&self.seq))
-    }
-}
-
 /// Aggregate transfer accounting for a run.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NetTotals {
@@ -157,37 +152,43 @@ pub struct NetTotals {
 
 /// Everything in the simulation except the nodes themselves; nodes interact
 /// with it through [`Ctx`].
-struct SimInner<M> {
-    time: SimTime,
-    seq: u64,
-    heap: BinaryHeap<Event<M>>,
-    resources: Vec<NodeResources>,
-    rngs: Vec<StdRng>,
-    net: NetConfig,
-    totals: NetTotals,
-    events_processed: u64,
-    stopped: bool,
-    faults: Option<FaultPlan>,
+pub(crate) struct SimInner<M> {
+    pub(crate) time: SimTime,
+    pub(crate) seq: u64,
+    pub(crate) queue: CalendarQueue<EventKind<M>>,
+    pub(crate) resources: Vec<NodeResources>,
+    pub(crate) rngs: Vec<StdRng>,
+    pub(crate) net: NetConfig,
+    pub(crate) totals: NetTotals,
+    pub(crate) events_processed: u64,
+    pub(crate) stopped: bool,
+    pub(crate) faults: Option<FaultPlan>,
     /// Monotone per-send counter feeding the fault plan's deterministic
     /// link-drop coin. Advances once per cross-node send while a plan is
     /// installed, so the coin sequence depends only on the (deterministic)
     /// event order, never on host parallelism.
-    fault_sends: u64,
+    pub(crate) fault_sends: u64,
     /// Per-link drop/delay accounting; populated only at fault-plan sites,
     /// so healthy runs never touch it.
-    links: BTreeMap<(NodeId, NodeId), LinkStats>,
-    probe: Option<Box<dyn SimProbe>>,
+    pub(crate) links: BTreeMap<(NodeId, NodeId), LinkStats>,
+    pub(crate) probe: Option<Box<dyn SimProbe>>,
 }
 
 impl<M> SimInner<M> {
-    fn push(&mut self, time: SimTime, kind: EventKind<M>) {
+    pub(crate) fn push(&mut self, time: SimTime, kind: EventKind<M>) {
         let time = time.max(self.time);
         let seq = self.seq;
         self.seq += 1;
-        self.heap.push(Event { time, seq, kind });
+        self.queue.push(time, seq, kind);
     }
 
-    fn transfer(&mut self, ready: SimTime, from: NodeId, to: NodeId, bytes: u64) -> SimTime {
+    pub(crate) fn transfer(
+        &mut self,
+        ready: SimTime,
+        from: NodeId,
+        to: NodeId,
+        bytes: u64,
+    ) -> SimTime {
         if from == to {
             // Local hand-off: no NIC, no latency.
             return ready;
@@ -231,7 +232,7 @@ impl<M> SimInner<M> {
     /// delivery. With a fault plan installed, a lossy link may eat the
     /// message *after* it occupied the wire (loss is charged like a sent
     /// packet); the returned instant is when it would have arrived.
-    fn send_message(
+    pub(crate) fn send_message(
         &mut self,
         ready: SimTime,
         from: NodeId,
@@ -259,17 +260,36 @@ impl<M> SimInner<M> {
     }
 }
 
+/// Which execution backend a [`Ctx`] is bound to: the serial kernel
+/// (direct access to the whole simulation) or one shard of the parallel
+/// kernel (node-local state plus an effect journal replayed in serial
+/// order at the epoch commit).
+pub(crate) enum CtxBackend<'a, M> {
+    Serial(&'a mut SimInner<M>),
+    Shard(&'a mut crate::par::ShardCtx<M>),
+}
+
 /// Handle through which a node interacts with the simulation while one of
 /// its callbacks is running.
 pub struct Ctx<'a, M> {
-    inner: &'a mut SimInner<M>,
-    self_id: NodeId,
+    pub(crate) backend: CtxBackend<'a, M>,
+    pub(crate) self_id: NodeId,
 }
 
 impl<'a, M> Ctx<'a, M> {
+    pub(crate) fn serial(inner: &'a mut SimInner<M>, self_id: NodeId) -> Self {
+        Ctx {
+            backend: CtxBackend::Serial(inner),
+            self_id,
+        }
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
-        self.inner.time
+        match &self.backend {
+            CtxBackend::Serial(inner) => inner.time,
+            CtxBackend::Shard(shard) => shard.time,
+        }
     }
 
     /// The node this callback belongs to.
@@ -280,15 +300,28 @@ impl<'a, M> Ctx<'a, M> {
     /// Send `msg` of `bytes` payload to `to`, leaving now. Returns the
     /// delivery time. The transfer occupies this node's outbound NIC and the
     /// receiver's inbound NIC; self-sends bypass the network.
+    ///
+    /// Under [`Sim::run_parallel`] the receiver's inbound NIC is charged at
+    /// the epoch commit (in exact serial order), so the returned instant for
+    /// a *cross-node* send is a lower bound that excludes inbound queueing.
+    /// The engine never branches on this value; code that must not see the
+    /// difference belongs on the serial kernel.
     pub fn send(&mut self, to: NodeId, msg: M, bytes: u64) -> SimTime {
-        self.send_ready_at(self.inner.time, to, msg, bytes)
+        self.send_ready_at(self.now(), to, msg, bytes)
     }
 
     /// Send `msg`, but the payload only becomes available at `ready`
-    /// (e.g. after a CPU or disk completion). Returns the delivery time.
+    /// (e.g. after a CPU or disk completion). Returns the delivery time
+    /// (see [`Ctx::send`] for the parallel-kernel caveat).
     pub fn send_ready_at(&mut self, ready: SimTime, to: NodeId, msg: M, bytes: u64) -> SimTime {
-        let ready = ready.max(self.inner.time);
-        self.inner.send_message(ready, self.self_id, to, msg, bytes)
+        let self_id = self.self_id;
+        match &mut self.backend {
+            CtxBackend::Serial(inner) => {
+                let ready = ready.max(inner.time);
+                inner.send_message(ready, self_id, to, msg, bytes)
+            }
+            CtxBackend::Shard(shard) => shard.send_ready_at(self_id, ready, to, msg, bytes),
+        }
     }
 
     /// Charge `service` time on one of this node's resources, becoming ready
@@ -299,80 +332,110 @@ impl<'a, M> Ctx<'a, M> {
         ready: SimTime,
         service: SimDuration,
     ) -> Grant {
-        let ready = ready.max(self.inner.time);
-        let service = match &self.inner.faults {
-            Some(plan) => plan.scale_service(self.self_id, self.inner.time, service),
-            None => service,
-        };
-        let grant = self.inner.resources[self.self_id]
-            .get_mut(kind)
-            .submit(ready, service);
-        if let Some(probe) = &mut self.inner.probe {
-            probe.on_grant(self.self_id, kind, ready, service, grant);
+        let self_id = self.self_id;
+        match &mut self.backend {
+            CtxBackend::Serial(inner) => {
+                let ready = ready.max(inner.time);
+                let service = match &inner.faults {
+                    Some(plan) => plan.scale_service(self_id, inner.time, service),
+                    None => service,
+                };
+                let grant = inner.resources[self_id].get_mut(kind).submit(ready, service);
+                if let Some(probe) = &mut inner.probe {
+                    probe.on_grant(self_id, kind, ready, service, grant);
+                }
+                grant
+            }
+            CtxBackend::Shard(shard) => shard.use_resource(self_id, kind, ready, service),
         }
-        grant
     }
 
     /// Charge CPU time starting no earlier than now.
     pub fn use_cpu(&mut self, service: SimDuration) -> Grant {
-        self.use_resource(ResourceKind::Cpu, self.inner.time, service)
+        self.use_resource(ResourceKind::Cpu, self.now(), service)
     }
 
     /// Charge disk time starting no earlier than now.
     pub fn use_disk(&mut self, service: SimDuration) -> Grant {
-        self.use_resource(ResourceKind::Disk, self.inner.time, service)
+        self.use_resource(ResourceKind::Disk, self.now(), service)
     }
 
     /// Read-only view of this node's resources (for load introspection).
     pub fn resources(&self) -> &NodeResources {
-        &self.inner.resources[self.self_id]
+        match &self.backend {
+            CtxBackend::Serial(inner) => &inner.resources[self.self_id],
+            CtxBackend::Shard(shard) => shard.resources(self.self_id),
+        }
     }
 
     /// Read-only view of another node's resources. Real systems cannot peek
     /// at remote load; engines use this only for *measurement*, never for
     /// decisions, so the paper's decentralised-information constraint holds.
+    ///
+    /// # Panics
+    /// Panics under [`Sim::run_parallel`]: remote resource state is not
+    /// coherent inside an epoch. Nothing in the engine calls this from a
+    /// callback; measurement happens after the run.
     pub fn resources_of(&self, node: NodeId) -> &NodeResources {
-        &self.inner.resources[node]
+        match &self.backend {
+            CtxBackend::Serial(inner) => &inner.resources[node],
+            CtxBackend::Shard(_) => panic!(
+                "Ctx::resources_of is not available under run_parallel: \
+                 remote resources are only coherent at epoch boundaries"
+            ),
+        }
     }
 
     /// Arrange for `on_timer(tag)` to fire at absolute time `at`
     /// (clamped to now if in the past).
     pub fn set_timer(&mut self, at: SimTime, tag: u64) {
-        self.inner.push(
-            at,
-            EventKind::Timer {
-                node: self.self_id,
-                tag,
-            },
-        );
+        let self_id = self.self_id;
+        match &mut self.backend {
+            CtxBackend::Serial(inner) => {
+                inner.push(at, EventKind::Timer { node: self_id, tag });
+            }
+            CtxBackend::Shard(shard) => shard.set_timer(self_id, at, tag),
+        }
     }
 
     /// Arrange for `on_timer(tag)` to fire after `delay`.
     pub fn set_timer_after(&mut self, delay: SimDuration, tag: u64) {
-        let at = self.inner.time + delay;
+        let at = self.now() + delay;
         self.set_timer(at, tag);
     }
 
     /// This node's deterministic random stream.
     pub fn rng(&mut self) -> &mut StdRng {
-        &mut self.inner.rngs[self.self_id]
+        let self_id = self.self_id;
+        match &mut self.backend {
+            CtxBackend::Serial(inner) => &mut inner.rngs[self_id],
+            CtxBackend::Shard(shard) => shard.rng(self_id),
+        }
     }
 
     /// Request that the simulation stop after the current callback returns.
+    ///
+    /// Under [`Sim::run_parallel`] only nodes declaring
+    /// [`Node::may_stop`] may call this (they execute serially each epoch,
+    /// so the stop point is an exact serial-order watermark); any other
+    /// caller panics.
     pub fn stop(&mut self) {
-        self.inner.stopped = true;
+        match &mut self.backend {
+            CtxBackend::Serial(inner) => inner.stopped = true,
+            CtxBackend::Shard(shard) => shard.stop(),
+        }
     }
 }
 
 /// A discrete-event simulation over nodes of type `N`.
 pub struct Sim<N: Node> {
-    nodes: Vec<N>,
-    inner: SimInner<N::Msg>,
-    started: bool,
-    seed: u64,
+    pub(crate) nodes: Vec<N>,
+    pub(crate) inner: SimInner<N::Msg>,
+    pub(crate) started: bool,
+    pub(crate) seed: u64,
     /// Hardware specs, retained so a fault-plan restart can rebuild a
     /// node's resources from scratch.
-    specs: Vec<NodeSpec>,
+    pub(crate) specs: Vec<NodeSpec>,
 }
 
 impl<N: Node> Sim<N> {
@@ -384,9 +447,9 @@ impl<N: Node> Sim<N> {
             inner: SimInner {
                 time: SimTime::ZERO,
                 seq: 0,
-                // Pre-sized so small simulations never rehash mid-run; big
-                // feeds call `reserve_events` with their real volume.
-                heap: BinaryHeap::with_capacity(1024),
+                // Pre-sized so small simulations never reallocate mid-run;
+                // big feeds call `reserve_events` with their real volume.
+                queue: CalendarQueue::with_capacity(1024),
                 resources: Vec::new(),
                 rngs: Vec::new(),
                 net,
@@ -441,11 +504,12 @@ impl<N: Node> Sim<N> {
         self.nodes.len()
     }
 
-    /// Grow the event heap to hold at least `additional` more events
+    /// Grow the event arena to hold at least `additional` more events
     /// without reallocating. Callers that post a known feed volume (e.g.
-    /// an input stream) use this to avoid repeated heap growth mid-run.
+    /// an input stream) use this to avoid repeated slab growth mid-run;
+    /// the calendar queue's payload arena honors the hint exactly.
     pub fn reserve_events(&mut self, additional: usize) {
-        self.inner.heap.reserve(additional);
+        self.inner.queue.reserve(additional);
     }
 
     /// Inject a message from outside the simulation, entering the network
@@ -462,101 +526,115 @@ impl<N: Node> Sim<N> {
         self.inner.push(at, EventKind::Inject { to, msg, bytes });
     }
 
-    /// Run until the event heap drains, a node calls [`Ctx::stop`], or
-    /// `horizon` is reached. Returns the final simulated time.
-    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+    /// Run all `on_start` callbacks once (idempotent).
+    pub(crate) fn run_starts(&mut self) {
         if !self.started {
             self.started = true;
             for id in 0..self.nodes.len() {
-                let mut ctx = Ctx {
-                    inner: &mut self.inner,
-                    self_id: id,
-                };
+                let mut ctx = Ctx::serial(&mut self.inner, id);
                 self.nodes[id].on_start(&mut ctx);
             }
         }
+    }
+
+    /// Dispatch one already-popped event at its timestamp. Shared by the
+    /// serial loop; the parallel kernel routes events through its shards
+    /// instead but replays the identical semantics.
+    fn dispatch(&mut self, time: SimTime, kind: EventKind<N::Msg>) {
+        match kind {
+            EventKind::Deliver { from, to, msg } => {
+                if let Some(plan) = &self.inner.faults {
+                    // A dead receiver loses the message outright; a
+                    // sender that crashed while the message was on the
+                    // wire loses it too (in-flight work dies with the
+                    // process that owned it).
+                    let lost =
+                        plan.is_down(to, time) || (from != EXTERNAL && plan.is_down(from, time));
+                    if lost {
+                        self.inner.totals.dropped += 1;
+                        self.inner.links.entry((from, to)).or_default().dropped += 1;
+                        if let Some(probe) = &mut self.inner.probe {
+                            probe.on_drop(from, to, time);
+                        }
+                        return;
+                    }
+                }
+                self.inner.totals.messages += 1;
+                let mut ctx = Ctx::serial(&mut self.inner, to);
+                self.nodes[to].on_message(from, msg, &mut ctx);
+            }
+            EventKind::Inject { to, msg, bytes } => {
+                // The message leaves its external source now; loss and
+                // dead-receiver checks stay on the Deliver path, where
+                // in-flight messages are judged for node sends too.
+                self.inner.send_message(time, EXTERNAL, to, msg, bytes);
+            }
+            EventKind::Timer { node, tag } => {
+                if let Some(plan) = &self.inner.faults {
+                    if plan.is_down(node, time) {
+                        // Timers die with the process that armed them.
+                        return;
+                    }
+                }
+                let mut ctx = Ctx::serial(&mut self.inner, node);
+                self.nodes[node].on_timer(tag, &mut ctx);
+            }
+            EventKind::Fault { node, kind } => {
+                if let Some(probe) = &mut self.inner.probe {
+                    probe.on_fault(node, kind, time);
+                }
+                if kind == FaultKind::Restart {
+                    // The process comes back empty-handed: fresh FIFO
+                    // queues, no memory of pre-crash backlog.
+                    let spec = self.specs[node];
+                    self.inner.resources[node] =
+                        NodeResources::new(spec.cores, spec.disk_channels, spec.net_bw_bps, time);
+                }
+                let mut ctx = Ctx::serial(&mut self.inner, node);
+                self.nodes[node].on_fault(kind, &mut ctx);
+            }
+        }
+    }
+
+    /// Run until the event queue drains, a node calls [`Ctx::stop`], or
+    /// `horizon` is reached. Returns the final simulated time.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        self.run_starts();
+        // Reused batch buffer: one queue operation yields every event of
+        // the current timestamp, dispatched back-to-back without touching
+        // the queue's ordering structure again.
+        let mut batch: Vec<(SimTime, u64, EventKind<N::Msg>)> = Vec::new();
         while !self.inner.stopped {
-            let Some(ev) = self.inner.heap.peek() else {
+            let Some(t) = self.inner.queue.next_time() else {
                 break;
             };
-            if ev.time > horizon {
+            if t > horizon {
                 self.inner.time = horizon;
                 break;
             }
-            let ev = self.inner.heap.pop().expect("peeked");
-            self.inner.time = ev.time;
-            self.inner.events_processed += 1;
-            match ev.kind {
-                EventKind::Deliver { from, to, msg } => {
-                    if let Some(plan) = &self.inner.faults {
-                        // A dead receiver loses the message outright; a
-                        // sender that crashed while the message was on the
-                        // wire loses it too (in-flight work dies with the
-                        // process that owned it).
-                        let lost = plan.is_down(to, ev.time)
-                            || (from != EXTERNAL && plan.is_down(from, ev.time));
-                        if lost {
-                            self.inner.totals.dropped += 1;
-                            self.inner.links.entry((from, to)).or_default().dropped += 1;
-                            if let Some(probe) = &mut self.inner.probe {
-                                probe.on_drop(from, to, ev.time);
-                            }
-                            continue;
-                        }
+            self.inner.queue.pop_run(&mut batch);
+            let mut it = batch.drain(..);
+            while let Some((time, seq, kind)) = it.next() {
+                if self.inner.stopped {
+                    // A mid-batch stop: the rest of the run never executes,
+                    // exactly like the per-pop stop check of the old loop.
+                    // Unprocessed events return to the queue with their
+                    // original seqs (observable if the run is resumed).
+                    self.inner.queue.push(time, seq, kind);
+                    for (time, seq, kind) in it {
+                        self.inner.queue.push(time, seq, kind);
                     }
-                    self.inner.totals.messages += 1;
-                    let mut ctx = Ctx {
-                        inner: &mut self.inner,
-                        self_id: to,
-                    };
-                    self.nodes[to].on_message(from, msg, &mut ctx);
+                    break;
                 }
-                EventKind::Inject { to, msg, bytes } => {
-                    // The message leaves its external source now; loss and
-                    // dead-receiver checks stay on the Deliver path, where
-                    // in-flight messages are judged for node sends too.
-                    self.inner.send_message(ev.time, EXTERNAL, to, msg, bytes);
-                }
-                EventKind::Timer { node, tag } => {
-                    if let Some(plan) = &self.inner.faults {
-                        if plan.is_down(node, ev.time) {
-                            // Timers die with the process that armed them.
-                            continue;
-                        }
-                    }
-                    let mut ctx = Ctx {
-                        inner: &mut self.inner,
-                        self_id: node,
-                    };
-                    self.nodes[node].on_timer(tag, &mut ctx);
-                }
-                EventKind::Fault { node, kind } => {
-                    if let Some(probe) = &mut self.inner.probe {
-                        probe.on_fault(node, kind, ev.time);
-                    }
-                    if kind == FaultKind::Restart {
-                        // The process comes back empty-handed: fresh FIFO
-                        // queues, no memory of pre-crash backlog.
-                        let spec = self.specs[node];
-                        self.inner.resources[node] = NodeResources::new(
-                            spec.cores,
-                            spec.disk_channels,
-                            spec.net_bw_bps,
-                            ev.time,
-                        );
-                    }
-                    let mut ctx = Ctx {
-                        inner: &mut self.inner,
-                        self_id: node,
-                    };
-                    self.nodes[node].on_fault(kind, &mut ctx);
-                }
+                self.inner.time = time;
+                self.inner.events_processed += 1;
+                self.dispatch(time, kind);
             }
         }
         self.inner.time
     }
 
-    /// Run until the event heap drains or a node stops the simulation.
+    /// Run until the event queue drains or a node stops the simulation.
     pub fn run(&mut self) -> SimTime {
         self.run_until(SimTime::MAX)
     }
@@ -588,7 +666,7 @@ impl<N: Node> Sim<N> {
         &self.inner.links
     }
 
-    /// Total events (deliveries and timers) popped off the heap so far —
+    /// Total events (deliveries and timers) popped off the queue so far —
     /// the denominator-free work measure the kernel benchmark reports as
     /// simulated-events/sec.
     pub fn events_processed(&self) -> u64 {
@@ -754,6 +832,34 @@ mod tests {
         let end = sim.run();
         assert!(sim.stopped());
         assert_eq!(end, SimTime::ZERO);
+    }
+
+    #[test]
+    fn stop_mid_batch_skips_same_time_events() {
+        // Two timers at the identical instant; the first handler stops the
+        // run, so the second must never fire even though it was popped in
+        // the same batch.
+        struct S {
+            fired: u64,
+        }
+        impl Node for S {
+            type Msg = ();
+            fn on_start(&mut self, ctx: &mut Ctx<'_, ()>) {
+                ctx.set_timer(SimTime(1000), 1);
+                ctx.set_timer(SimTime(1000), 2);
+            }
+            fn on_message(&mut self, _f: NodeId, _m: (), _c: &mut Ctx<'_, ()>) {}
+            fn on_timer(&mut self, tag: u64, ctx: &mut Ctx<'_, ()>) {
+                self.fired += 1;
+                assert_eq!(tag, 1, "second same-time timer fired after stop");
+                ctx.stop();
+            }
+        }
+        let mut sim: Sim<S> = Sim::new(0, NetConfig::default());
+        sim.add_node(S { fired: 0 }, NodeSpec::default());
+        sim.run();
+        assert_eq!(sim.node(0).fired, 1);
+        assert_eq!(sim.events_processed(), 1);
     }
 
     #[test]

@@ -1,12 +1,14 @@
 //! The telemetry recorder: a per-run collector of trace events and metrics.
 //!
-//! A `Telemetry` instance is shared (via `Rc<RefCell<_>>`) by every actor in
-//! one simulation cell. Each simulation cell is single-threaded — the bench
-//! harness parallelizes across *cells*, never inside one — so no `Send`
-//! bound is needed and sharing a `RefCell` is safe.
+//! A `Telemetry` instance is shared (via [`TelemetryHandle`], an
+//! `Arc<Mutex<_>>`) by every actor in one simulation cell. Within a cell the
+//! recorder is only ever touched from one thread at a time — serially under
+//! the serial kernel, and exclusively from the coordinating thread's commit
+//! walk under `Sim::run_parallel` — so the mutex is uncontended; it exists
+//! to make the handle `Send`, which node state must be for the parallel
+//! kernel to move shards across threads.
 
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use jl_simkit::time::SimTime;
 
@@ -15,7 +17,9 @@ use crate::registry::MetricsRegistry;
 
 /// Destination for recorded trace events. The default [`VecSink`] buffers
 /// them for end-of-run export; a custom sink can stream them elsewhere.
-pub trait TelemetrySink {
+/// `Send` so a recorder can live inside node state that crosses threads
+/// under the parallel kernel.
+pub trait TelemetrySink: Send {
     /// Accept one event.
     fn record(&mut self, ev: TraceEvent);
     /// Hand back everything buffered (empty for streaming sinks).
@@ -163,11 +167,64 @@ impl std::fmt::Debug for Telemetry {
 }
 
 /// Shared handle to one simulation cell's recorder.
-pub type TelemetryHandle = Rc<RefCell<Telemetry>>;
+///
+/// Historically `Rc<RefCell<Telemetry>>`; now an `Arc<Mutex<_>>` newtype so
+/// actor state holding a handle is `Send` (required by the parallel
+/// kernel's shard migration). The `borrow`/`borrow_mut` names are kept so
+/// call sites read the same as before; both take the (uncontended) lock.
+#[derive(Clone)]
+pub struct TelemetryHandle(Arc<Mutex<Telemetry>>);
+
+impl TelemetryHandle {
+    /// Wrap a recorder in a shared handle.
+    pub fn new(telemetry: Telemetry) -> Self {
+        TelemetryHandle(Arc::new(Mutex::new(telemetry)))
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Telemetry> {
+        // A panic inside a recording call site must not wedge every later
+        // telemetry access (tests assert on panics mid-run).
+        match self.0.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Shared access to the recorder.
+    pub fn borrow(&self) -> MutexGuard<'_, Telemetry> {
+        self.lock()
+    }
+
+    /// Exclusive access to the recorder.
+    pub fn borrow_mut(&self) -> MutexGuard<'_, Telemetry> {
+        self.lock()
+    }
+
+    /// Unwrap the recorder at end of run.
+    ///
+    /// # Panics
+    /// Panics if other handles are still alive (actors must be dropped
+    /// before the run's telemetry is finalized).
+    pub fn into_inner(self) -> Telemetry {
+        match Arc::try_unwrap(self.0) {
+            Ok(mutex) => match mutex.into_inner() {
+                Ok(t) => t,
+                Err(poisoned) => poisoned.into_inner(),
+            },
+            Err(_) => panic!("telemetry handle still shared at finalization"),
+        }
+    }
+}
+
+impl std::fmt::Debug for TelemetryHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("TelemetryHandle").finish()
+    }
+}
 
 /// Build a shared recorder handle.
 pub fn shared(config: TelemetryConfig) -> TelemetryHandle {
-    Rc::new(RefCell::new(Telemetry::new(config)))
+    TelemetryHandle::new(Telemetry::new(config))
 }
 
 #[cfg(test)]

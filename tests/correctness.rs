@@ -297,3 +297,41 @@ fn broadcast_and_targeted_notifications_both_stay_correct() {
         assert_eq!(r.completed, 1500, "{notify:?}");
     }
 }
+
+/// The tracked kernel benchmark reports the *same* fingerprint for CH and
+/// DCH (`BENCH_kernel.json` pins both at `058b7fb9de31dbbb`). That is not
+/// a copy-paste bug: the two specs differ only in `value_size`, and the
+/// fingerprint is an XOR over `DigestUdf(key, params, value.data)` outputs
+/// where `value.data` is the 64-byte prefix derived from the key alone —
+/// `value_size` contributes padding that moves bytes and time, never
+/// output bits. Both workloads share `n_keys`, `n_tuples`, `params_size`
+/// and `output_size`, so the same seed yields the same tuple stream and
+/// the same outputs. This test pins the coincidence as intentional: equal
+/// fingerprints, *different* physical behavior.
+#[test]
+fn ch_and_dch_fingerprints_coincide_but_runs_differ() {
+    use jl_bench::experiments::bench_synthetic_report;
+
+    let ch = bench_synthetic_report("CH", 0.05, 7);
+    let dch = bench_synthetic_report("DCH", 0.05, 7);
+
+    assert_eq!(
+        ch.fingerprint, dch.fingerprint,
+        "CH/DCH fingerprint coincidence broke: the digest must depend only \
+         on keys, params and value prefixes, which the two specs share"
+    );
+    // The runs themselves must NOT coincide: DCH moves 10x larger values,
+    // so it ships more bytes and takes longer.
+    assert!(
+        dch.net_bytes > ch.net_bytes,
+        "DCH should move more bytes than CH ({} vs {})",
+        dch.net_bytes,
+        ch.net_bytes
+    );
+    assert!(
+        dch.duration > ch.duration,
+        "DCH should take longer than CH ({:?} vs {:?})",
+        dch.duration,
+        ch.duration
+    );
+}

@@ -10,7 +10,9 @@
 //! process-global `JL_BENCH_THREADS` environment variable — parallel test
 //! binaries would race on it.
 
-use jl_bench::experiments::{bench_synthetic_report, fig6_stream_report};
+use jl_bench::experiments::{
+    bench_synthetic_report, bench_synthetic_report_parallel, fig6_stream_report,
+};
 use jl_bench::{fig8, fig_chaos, fig_overload, traced_chaos_run};
 use jl_core::Strategy;
 use jl_workloads::SyntheticSpec;
@@ -116,5 +118,32 @@ fn grid_results_are_thread_count_invariant() {
             base_digest,
             "digest differs between 1 and {threads} threads"
         );
+    }
+}
+
+/// Parallel-kernel invariance: the node-sharded conservative PDES backend
+/// (`Sim::run_parallel`) must reproduce the serial kernel's `RunReport` —
+/// join fingerprint, decision counts, float stats, everything Debug
+/// reaches — bit-for-bit at every worker-shard count. This is the
+/// engine-level counterpart of the simkit `par` unit tests: a full DH
+/// batch job with the real optimizer, store, and controller stop.
+#[test]
+fn parallel_kernel_matches_serial_at_every_shard_count() {
+    let scale = 0.05;
+    let seed = 7;
+
+    let serial = format!("{:?}", bench_synthetic_report("DH", scale, seed));
+    let serial_digest = fnv1a(serial.as_bytes());
+
+    for threads in [1usize, 2, 8] {
+        let par = format!(
+            "{:?}",
+            bench_synthetic_report_parallel("DH", scale, seed, threads)
+        );
+        assert_eq!(
+            par, serial,
+            "parallel RunReport differs from serial at {threads} worker shards"
+        );
+        assert_eq!(fnv1a(par.as_bytes()), serial_digest);
     }
 }
