@@ -15,9 +15,8 @@ use jl_engine::baselines::{run_reduce_side, ReduceSideKind};
 use jl_engine::plan::{JobPlan, JobTuple, StageSpec};
 use jl_engine::shuffle::run_shuffle_multijoin;
 use jl_engine::{
-    build_store, run_job, run_job_parallel, run_job_real_traced, run_job_traced, ClusterSpec,
-    FeedMode, JobSpec,
-    OverloadConfig, RetryConfig, RunReport,
+    build_store, run_job, run_job_parallel, run_job_parallel_traced, run_job_real_traced,
+    run_job_traced, ClusterSpec, FeedMode, JobSpec, OverloadConfig, RetryConfig, RunReport,
 };
 use jl_simkit::fault::FaultPlan;
 use jl_simkit::rng::stream_rng;
@@ -165,13 +164,26 @@ fn run_synthetic_cell(
         mem_cache,
         seed,
         telemetry,
-        false,
+        CellBackend::Sim,
     )
 }
 
-/// [`run_synthetic_cell`] with a backend switch: `real` runs the identical
-/// job on the wall-clock backend ([`run_job_real_traced`]) — same
-/// construction, same policies, join results matching the simulator.
+/// Which runtime hosts a synthetic cell (see [`run_synthetic_cell_on`]).
+#[derive(Clone, Copy)]
+enum CellBackend {
+    /// The serial simulation kernel ([`run_job_traced`]).
+    Sim,
+    /// The wall-clock backend ([`run_job_real_traced`]).
+    Real,
+    /// The node-sharded parallel kernel with this many worker shards
+    /// ([`run_job_parallel_traced`]).
+    Par(usize),
+}
+
+/// [`run_synthetic_cell`] with a backend switch: the identical job hosted
+/// on the serial kernel, the wall-clock backend, or the parallel kernel —
+/// same construction, same policies, join results matching across all
+/// three (the parity and determinism suites pin it).
 #[allow(clippy::too_many_arguments)]
 fn run_synthetic_cell_on(
     spec: &SyntheticSpec,
@@ -183,7 +195,7 @@ fn run_synthetic_cell_on(
     mem_cache: u64,
     seed: u64,
     telemetry: Option<TelemetryConfig>,
-    real: bool,
+    backend: CellBackend,
 ) -> (RunReport, Option<RunTelemetry>) {
     let store = build_store(cluster, vec![(spec.name.into(), spec.rows(1).collect())]);
     let tuples = synthetic_tuples(spec, z, shift_epochs, seed);
@@ -211,10 +223,12 @@ fn run_synthetic_cell_on(
         shed_policy: None,
     };
     let udfs = digest_udfs(spec.output_size as usize);
-    let (report, tel) = if real {
-        run_job_real_traced(&job, store, udfs, tuples, vec![])
-    } else {
-        run_job_traced(&job, store, udfs, tuples, vec![])
+    let (report, tel) = match backend {
+        CellBackend::Sim => run_job_traced(&job, store, udfs, tuples, vec![]),
+        CellBackend::Real => run_job_real_traced(&job, store, udfs, tuples, vec![]),
+        CellBackend::Par(threads) => {
+            run_job_parallel_traced(&job, store, udfs, tuples, vec![], threads)
+        }
     };
     if std::env::var("JL_DEBUG").is_ok() {
         eprintln!(
@@ -333,6 +347,38 @@ pub fn bench_synthetic_traced(
     (report, tel.expect("telemetry was requested"))
 }
 
+/// [`bench_synthetic_traced`] on the node-sharded parallel kernel with
+/// `threads` worker shards. Both the [`RunReport`] and the telemetry —
+/// Chrome trace JSON and metrics snapshot — are byte-identical to the
+/// serial traced run; `bench_report` and the determinism suite assert it.
+pub fn bench_synthetic_traced_parallel(
+    spec_name: &str,
+    tuple_scale: f64,
+    seed: u64,
+    threads: usize,
+) -> (RunReport, RunTelemetry) {
+    let mut spec = match spec_name {
+        "DH" => SyntheticSpec::dh(),
+        "CH" => SyntheticSpec::ch(),
+        "DCH" => SyntheticSpec::dch(),
+        other => panic!("unknown bench workload {other:?} (expected DH, CH or DCH)"),
+    };
+    spec.n_tuples = ((spec.n_tuples as f64 * tuple_scale) as u64).max(1000);
+    let (report, tel) = run_synthetic_cell_on(
+        &spec,
+        Strategy::Full,
+        1.0,
+        1,
+        None,
+        &synthetic_cluster(),
+        32 << 20,
+        seed,
+        Some(TelemetryConfig::default()),
+        CellBackend::Par(threads),
+    );
+    (report, tel.expect("telemetry was requested"))
+}
+
 /// The same pinned kernel workload as [`bench_synthetic_report`], run on
 /// the wall-clock backend. Wall time here is real elapsed time (the loop
 /// paces modeled events against the host clock), while the join
@@ -356,7 +402,7 @@ pub fn bench_synthetic_report_real(spec_name: &str, tuple_scale: f64, seed: u64)
         32 << 20,
         seed,
         None,
-        true,
+        CellBackend::Real,
     )
     .0
 }
@@ -874,13 +920,15 @@ pub fn run_chaos_report(
     mem_cache: u64,
     seed: u64,
 ) -> (RunReport, RunReport) {
-    let (healthy, chaos, _) = run_chaos_cell(spec, strategy, z, cluster, mem_cache, seed, None);
+    let (healthy, chaos, _) =
+        run_chaos_cell(spec, strategy, z, cluster, mem_cache, seed, None, None);
     (healthy, chaos)
 }
 
 /// The chaos cell with an optional telemetry recorder on the *chaos* run
 /// (the healthy calibration run stays untraced — it only sets the fault
 /// timeline). Shared by [`run_chaos_report`] and [`traced_chaos_run`].
+#[allow(clippy::too_many_arguments)]
 fn run_chaos_cell(
     spec: &SyntheticSpec,
     strategy: Strategy,
@@ -889,6 +937,7 @@ fn run_chaos_cell(
     mem_cache: u64,
     seed: u64,
     telemetry: Option<TelemetryConfig>,
+    threads: Option<usize>,
 ) -> (RunReport, RunReport, Option<RunTelemetry>) {
     let healthy = run_synthetic_report(spec, strategy, z, 1, None, cluster, mem_cache, seed);
     let store = build_store(cluster, vec![(spec.name.into(), spec.rows(1).collect())]);
@@ -910,13 +959,11 @@ fn run_chaos_cell(
         overload: None,
         shed_policy: None,
     };
-    let (chaos, tel) = run_job_traced(
-        &job,
-        store,
-        digest_udfs(spec.output_size as usize),
-        tuples,
-        vec![],
-    );
+    let udfs = digest_udfs(spec.output_size as usize);
+    let (chaos, tel) = match threads {
+        None => run_job_traced(&job, store, udfs, tuples, vec![]),
+        Some(n) => run_job_parallel_traced(&job, store, udfs, tuples, vec![], n),
+    };
     if std::env::var("JL_DEBUG").is_ok() {
         eprintln!(
             "chaos {} {}: healthy={:?} chaos={:?} retries={} failovers={} gave_up={} dropped={} p99={}",
@@ -939,8 +986,9 @@ fn run_chaos_cell(
 /// on. It exercises every span source at once — per-node resource tracks,
 /// request lifecycles, placement decisions, cache activity, and the
 /// crash/straggler/lossy-link fault path with its retries and failovers.
-/// One single-threaded simulation, so its trace is byte-identical at any
-/// `--threads` count (the determinism suite pins this).
+/// One single simulation cell, so its trace is byte-identical at any
+/// `--threads` count — and, via [`traced_chaos_run_parallel`], at any
+/// shard count (the determinism suite pins both).
 pub fn traced_chaos_run(tuple_scale: f64, seed: u64) -> (RunReport, RunTelemetry) {
     let mut spec = SyntheticSpec::dh();
     spec.n_tuples = ((spec.n_tuples as f64 * tuple_scale) as u64).max(1000);
@@ -952,6 +1000,31 @@ pub fn traced_chaos_run(tuple_scale: f64, seed: u64) -> (RunReport, RunTelemetry
         32 << 20,
         seed,
         Some(TelemetryConfig::default()),
+        None,
+    );
+    (chaos, tel.expect("telemetry was requested"))
+}
+
+/// [`traced_chaos_run`] hosted on the node-sharded parallel kernel with
+/// `threads` worker shards. The trace and metrics snapshot are
+/// byte-identical to the serial run's; the determinism suite and the CI
+/// telemetry-smoke job both exercise this entry point.
+pub fn traced_chaos_run_parallel(
+    tuple_scale: f64,
+    seed: u64,
+    threads: usize,
+) -> (RunReport, RunTelemetry) {
+    let mut spec = SyntheticSpec::dh();
+    spec.n_tuples = ((spec.n_tuples as f64 * tuple_scale) as u64).max(1000);
+    let (_healthy, chaos, tel) = run_chaos_cell(
+        &spec,
+        Strategy::Full,
+        1.0,
+        &synthetic_cluster(),
+        32 << 20,
+        seed,
+        Some(TelemetryConfig::default()),
+        Some(threads),
     );
     (chaos, tel.expect("telemetry was requested"))
 }

@@ -15,7 +15,7 @@ use jl_runtime::RuntimeCtx;
 use jl_simkit::prelude::*;
 use jl_simkit::sim::NodeId;
 use jl_store::{Catalog, UdfRegistry};
-use jl_telemetry::{TelemetryHandle, TraceEvent, Track};
+use jl_telemetry::{Arg, ArgVal, TelemetryHandle, TraceEvent, Track};
 
 use jl_core::shed::{ShedCandidate, ShedPolicy};
 
@@ -165,6 +165,14 @@ pub struct ComputeNode {
     tel: Option<TelemetryHandle>,
     /// This node's id in the trace (its sim node id).
     tel_node: u32,
+    /// Staging buffer between this node and its staged decision sink,
+    /// installed for every traced run (see
+    /// [`decision_tee_staged`](crate::telemetry::decision_tee_staged)).
+    /// Drained right after every optimizer call that can decide.
+    decision_stage: Option<std::sync::Arc<crate::telemetry::DecisionStage>>,
+    /// In-pipeline tuple count over time, tracked locally per sample and
+    /// adopted into the metrics registry at snapshot (traced runs only).
+    outstanding_gauge: Option<jl_simkit::stats::TimeWeightedGauge>,
     /// Per-tuple fate observer (request/response serving). Called once
     /// per tuple, never per event.
     on_complete: Option<CompletionHook>,
@@ -240,6 +248,8 @@ impl ComputeNode {
             outcomes: Vec::new(),
             tel: None,
             tel_node: 0,
+            decision_stage: None,
+            outstanding_gauge: None,
             on_complete: None,
             gave_up_seqs: rustc_hash::FxHashSet::default(),
         }
@@ -258,26 +268,110 @@ impl ComputeNode {
         self.tel_node = node;
     }
 
-    /// Publish the simulated clock to the recorder so downstream sinks
-    /// (e.g. the decision tee) stamp events correctly. Called at every
-    /// kernel-callback entry.
-    fn sync_clock(&self, now: SimTime) {
-        if let Some(t) = &self.tel {
-            t.borrow_mut().set_now(now);
+    /// Attach the staging buffer shared with this node's staged decision
+    /// sink (traced runs only). Call before the run starts.
+    pub(crate) fn set_decision_stage(
+        &mut self,
+        stage: std::sync::Arc<crate::telemetry::DecisionStage>,
+    ) {
+        self.decision_stage = Some(stage);
+    }
+
+    /// Record one trace event: directly under final-order execution,
+    /// deferred through the shard journal (commit-walk replay in exact
+    /// serial order) when the callback is speculative. The closure only
+    /// runs when a recorder is attached, so untraced runs pay one branch.
+    #[inline]
+    fn tel_record<C: RuntimeCtx<Msg>>(&self, ctx: &mut C, mk: impl FnOnce(SimTime) -> TraceEvent) {
+        let Some(t) = &self.tel else { return };
+        let ev = mk(ctx.now());
+        if ctx.is_speculative() {
+            let t = t.clone();
+            ctx.defer(Box::new(move || t.borrow_mut().record(ev)));
+        } else {
+            t.borrow_mut().record(ev);
         }
     }
 
-    /// Track the in-pipeline tuple count as a time-weighted gauge.
-    fn tel_outstanding(&self, now: SimTime) {
-        if let Some(t) = &self.tel {
-            t.borrow_mut().registry.time_gauge_set(
-                self.tel_node,
-                "pipeline",
-                "outstanding",
-                now,
-                self.outstanding() as f64,
-            );
+    /// [`ComputeNode::tel_record`] for the hottest emitters, from event
+    /// parts: the direct branch records allocation-free (no ~220-byte
+    /// `TraceEvent` built just to be unpacked), the speculative branch
+    /// moves the parts into the journaled closure.
+    #[inline]
+    fn tel_record_parts<C: RuntimeCtx<Msg>, const N: usize>(
+        &self,
+        ctx: &mut C,
+        track: Track,
+        name: &'static str,
+        start: SimTime,
+        dur: Option<SimDuration>,
+        args: [Arg; N],
+    ) {
+        let Some(t) = &self.tel else { return };
+        let node = self.tel_node;
+        if ctx.is_speculative() {
+            let t = t.clone();
+            ctx.defer(Box::new(move || {
+                t.borrow_mut()
+                    .record_parts(node, track, name, start, dur, &args)
+            }));
+        } else {
+            t.borrow_mut()
+                .record_parts(node, track, name, start, dur, &args);
         }
+    }
+
+    /// Drain decisions captured by the staged sink since the last drain
+    /// and record them — directly under final-order execution, deferred
+    /// through the shard journal when speculative (traced runs only; the
+    /// stage is absent elsewhere, and the no-decision fast path is one
+    /// atomic load). Must run right after any `self.rt` call that can
+    /// fire the sink, *before* this node records anything else, so the
+    /// decision lands at the same trace position on every kernel.
+    fn drain_decisions<C: RuntimeCtx<Msg>>(&mut self, ctx: &mut C) {
+        let Some(stage) = &self.decision_stage else {
+            return;
+        };
+        if stage.is_idle() {
+            return;
+        }
+        let Some(t) = &self.tel else { return };
+        let node = self.tel_node;
+        let now = ctx.now();
+        if ctx.is_speculative() {
+            // The batch must outlive this callback to journal through the
+            // commit walk, so take ownership and defer the replay.
+            let Some(batch) = stage.take() else { return };
+            let t = t.clone();
+            ctx.defer(Box::new(move || {
+                crate::telemetry::replay_decisions(&t, node, now, batch);
+            }));
+        } else {
+            stage.replay_serial(t, node, now);
+        }
+    }
+
+    /// Track the in-pipeline tuple count as a time-weighted gauge. The
+    /// gauge is node-local state (like the latency histograms), updated in
+    /// place on every sample — no registry lookup, no recorder lock, and
+    /// under the parallel kernel no deferral, since only this node writes
+    /// it and its callbacks execute in timestamp order on every kernel.
+    /// The runner adopts the finished gauge into the registry at snapshot.
+    fn tel_outstanding<C: RuntimeCtx<Msg>>(&mut self, ctx: &mut C) {
+        if self.tel.is_none() {
+            return;
+        }
+        let now = ctx.now();
+        let v = self.outstanding() as f64;
+        self.outstanding_gauge
+            .get_or_insert_with(|| jl_simkit::stats::TimeWeightedGauge::new(SimTime::ZERO, 0.0))
+            .set(now, v);
+    }
+
+    /// The locally-tracked in-pipeline gauge, if any sample was taken
+    /// (traced runs only). Adopted into the metrics registry at snapshot.
+    pub(crate) fn outstanding_gauge(&self) -> Option<&jl_simkit::stats::TimeWeightedGauge> {
+        self.outstanding_gauge.as_ref()
     }
 
     /// Remote request→reply latency distribution.
@@ -385,28 +479,26 @@ impl ComputeNode {
             .input
             .remove(slate[pick])
             .expect("slate index in range");
-        self.note_shed(victim.seq, "queue-overflow", ctx.now());
+        self.note_shed(victim.seq, "queue-overflow", ctx);
     }
 
     /// Count one shed tuple: counter, outcome log, hook, trace instant.
-    fn note_shed(&mut self, seq: u64, why: &'static str, now: SimTime) {
+    fn note_shed<C: RuntimeCtx<Msg>>(&mut self, seq: u64, why: &'static str, ctx: &mut C) {
         self.report.shed += 1;
         self.record_outcome(seq, TupleOutcome::Shed);
         if let Some(hook) = &mut self.on_complete {
-            hook(seq, TupleFate::Shed, now);
+            hook(seq, TupleFate::Shed, ctx.now());
         }
-        if let Some(t) = &self.tel {
-            t.borrow_mut().record(
-                TraceEvent::instant(self.tel_node, Track::Fault, "shed", now)
-                    .arg("seq", seq)
-                    .arg("why", why),
-            );
-        }
+        let node = self.tel_node;
+        self.tel_record(ctx, |now| {
+            TraceEvent::instant(node, Track::Fault, "shed", now)
+                .arg("seq", seq)
+                .arg("why", why)
+        });
     }
 
     /// Called by the kernel at simulation start.
     pub fn on_start<C: RuntimeCtx<Msg>>(&mut self, ctx: &mut C) {
-        self.sync_clock(ctx.now());
         if matches!(self.feed, FeedMode::Batch { .. }) {
             self.refill(ctx);
         }
@@ -425,6 +517,7 @@ impl ComputeNode {
                 if self.is_batch() && !self.flushed_input {
                     self.flushed_input = true;
                     let actions = self.rt.flush_all();
+                    self.drain_decisions(ctx);
                     self.handle_actions(actions, ctx);
                 }
                 break;
@@ -432,7 +525,7 @@ impl ComputeNode {
             // Early shed: a queued tuple already past its deadline is
             // doomed — drop it before paying any decision or wire cost.
             if self.queue_deadline(&tuple).is_some_and(|d| ctx.now() >= d) {
-                self.note_shed(tuple.seq, "expired-in-queue", ctx.now());
+                self.note_shed(tuple.seq, "expired-in-queue", ctx);
                 continue;
             }
             self.start_tuple(tuple, ctx);
@@ -464,7 +557,7 @@ impl ComputeNode {
         };
         self.started_at.insert(seq, t0);
         self.live.insert(seq, tuple);
-        self.tel_outstanding(ctx.now());
+        self.tel_outstanding(ctx);
         self.issue_stage(seq, 0, ctx);
     }
 
@@ -480,6 +573,7 @@ impl ComputeNode {
         let actions = self
             .rt
             .on_input(ctx.now(), key, params, key_size, params_size, server);
+        self.drain_decisions(ctx);
         self.handle_actions(actions, ctx);
     }
 
@@ -532,7 +626,7 @@ impl ComputeNode {
                             ctx.set_timer_after(to, RETRY_BIT | item.req_id);
                         }
                     }
-                    let to = self.route(dest, ctx.now());
+                    let to = self.route(dest, ctx);
                     ctx.send(
                         to,
                         Msg::Request {
@@ -554,17 +648,16 @@ impl ComputeNode {
     /// cooldown *and* a failover replica exists — the backup holding a
     /// copy of its regions. Nodes without a replica are never rerouted
     /// (the replica is what makes the redirect answerable).
-    fn route(&mut self, dest: usize, now: SimTime) -> usize {
-        if now < self.down_until[dest] {
+    fn route<C: RuntimeCtx<Msg>>(&mut self, dest: usize, ctx: &mut C) -> usize {
+        if ctx.now() < self.down_until[dest] {
             if let Some(&b) = self.backups.get(&dest) {
                 self.report.failovers += 1;
-                if let Some(t) = &self.tel {
-                    t.borrow_mut().record(
-                        TraceEvent::instant(self.tel_node, Track::Fault, "failover", now)
-                            .arg("dest", dest as u64)
-                            .arg("backup", b as u64),
-                    );
-                }
+                let node = self.tel_node;
+                self.tel_record(ctx, |now| {
+                    TraceEvent::instant(node, Track::Fault, "failover", now)
+                        .arg("dest", dest as u64)
+                        .arg("backup", b as u64)
+                });
                 return self.spec.data_id(b);
             }
         }
@@ -595,6 +688,7 @@ impl ComputeNode {
     /// *early*, before more CPU/NIC is burnt on doomed work.
     fn shed_request<C: RuntimeCtx<Msg>>(&mut self, req_id: u64, why: &'static str, ctx: &mut C) {
         self.rt.abandon(req_id);
+        self.drain_decisions(ctx);
         self.attempts.remove(&req_id);
         self.sent_at.remove(&req_id);
         let Some((seq, _stage)) = self.sent.remove(&req_id) else {
@@ -604,8 +698,8 @@ impl ComputeNode {
         self.deadlines.remove(&seq);
         self.started_at.remove(&seq);
         self.shed_inflight += 1;
-        self.note_shed(seq, why, ctx.now());
-        self.tel_outstanding(ctx.now());
+        self.note_shed(seq, why, ctx);
+        self.tel_outstanding(ctx);
         self.refill(ctx);
     }
 
@@ -626,13 +720,13 @@ impl ComputeNode {
             self.n_pressured += 1;
         }
         self.rt.set_health(from_data, NodeHealth::Degraded);
-        if let Some(t) = &self.tel {
-            t.borrow_mut().record(
-                TraceEvent::instant(self.tel_node, Track::Fault, "nacked", ctx.now())
-                    .arg("from_data", from_data as u64)
-                    .arg("items", req_ids.len() as u64),
-            );
-        }
+        let node = self.tel_node;
+        let n_items = req_ids.len() as u64;
+        self.tel_record(ctx, |now| {
+            TraceEvent::instant(node, Track::Fault, "nacked", now)
+                .arg("from_data", from_data as u64)
+                .arg("items", n_items)
+        });
         for req_id in req_ids {
             if self.rt.inflight_info(req_id).is_none() {
                 continue;
@@ -662,7 +756,9 @@ impl ComputeNode {
             self.shed_request(req_id, "deadline-on-represent", ctx);
             return;
         }
-        let Some((new_id, action)) = self.rt.reissue(req_id, dest, false) else {
+        let reissued = self.rt.reissue(req_id, dest, false);
+        self.drain_decisions(ctx);
+        let Some((new_id, action)) = reissued else {
             return;
         };
         if let Some(m) = self.sent.remove(&req_id) {
@@ -710,33 +806,24 @@ impl ComputeNode {
         };
         self.rt.set_health(old_dest, health);
         let attempt = self.attempts.remove(&req_id).unwrap_or(0) + 1;
-        if let Some(t) = &self.tel {
-            let mut t = t.borrow_mut();
-            if let Some(&t0) = self.sent_at.get(&req_id) {
-                t.record(
-                    TraceEvent::span(
-                        self.tel_node,
-                        Track::Fault,
-                        "timeout",
-                        t0,
-                        ctx.now().since(t0),
-                    )
+        if let Some(&t0) = self.sent_at.get(&req_id) {
+            let node = self.tel_node;
+            self.tel_record(ctx, |now| {
+                TraceEvent::span(node, Track::Fault, "timeout", t0, now.since(t0))
                     .arg("req", req_id)
                     .arg("dest", old_dest as u64)
-                    .arg("attempt", u64::from(attempt)),
-                );
-            }
+                    .arg("attempt", u64::from(attempt))
+            });
         }
         if attempt > rc.max_retries {
             self.rt.abandon(req_id);
+            self.drain_decisions(ctx);
             self.sent_at.remove(&req_id);
             self.report.gave_up += 1;
-            if let Some(t) = &self.tel {
-                t.borrow_mut().record(
-                    TraceEvent::instant(self.tel_node, Track::Fault, "gave-up", ctx.now())
-                        .arg("req", req_id),
-                );
-            }
+            let node = self.tel_node;
+            self.tel_record(ctx, |now| {
+                TraceEvent::instant(node, Track::Fault, "gave-up", now).arg("req", req_id)
+            });
             if let Some((seq, stage)) = self.sent.remove(&req_id) {
                 self.record_outcome(seq, TupleOutcome::GaveUp);
                 if self.on_complete.is_some() {
@@ -750,17 +837,18 @@ impl ComputeNode {
         // keeps timing out becomes a fetch (the UDF can run anywhere), a
         // stalled fetch becomes a compute request.
         let flip = attempt == 2;
-        let Some((new_id, action)) = self.rt.reissue(req_id, old_dest, flip) else {
+        let reissued = self.rt.reissue(req_id, old_dest, flip);
+        self.drain_decisions(ctx);
+        let Some((new_id, action)) = reissued else {
             return;
         };
         self.report.retries += 1;
-        if let Some(t) = &self.tel {
-            t.borrow_mut().record(
-                TraceEvent::instant(self.tel_node, Track::Fault, "retry", ctx.now())
-                    .arg("req", req_id)
-                    .arg("attempt", u64::from(attempt)),
-            );
-        }
+        let node = self.tel_node;
+        self.tel_record(ctx, |now| {
+            TraceEvent::instant(node, Track::Fault, "retry", now)
+                .arg("req", req_id)
+                .arg("attempt", u64::from(attempt))
+        });
         self.attempts.insert(new_id, attempt);
         if let Some(m) = self.sent.remove(&req_id) {
             self.sent.insert(new_id, m);
@@ -798,18 +886,14 @@ impl ComputeNode {
             }
             if let Some(t0) = self.started_at.remove(&seq) {
                 self.latency.record(ctx.now().since(t0));
-                if let Some(t) = &self.tel {
-                    t.borrow_mut().record(
-                        TraceEvent::span(
-                            self.tel_node,
-                            Track::Lifecycle,
-                            "tuple",
-                            t0,
-                            ctx.now().since(t0),
-                        )
-                        .arg("seq", seq),
-                    );
-                }
+                self.tel_record_parts(
+                    ctx,
+                    Track::Lifecycle,
+                    "tuple",
+                    t0,
+                    Some(ctx.now().since(t0)),
+                    [("seq", ArgVal::U64(seq))],
+                );
             }
             self.report.completed += 1;
             if let Some(hook) = &mut self.on_complete {
@@ -820,7 +904,7 @@ impl ComputeNode {
                 };
                 hook(seq, fate, ctx.now());
             }
-            self.tel_outstanding(ctx.now());
+            self.tel_outstanding(ctx);
             self.refill(ctx);
         }
     }
@@ -844,7 +928,6 @@ impl ComputeNode {
 
     /// Kernel message dispatch.
     pub fn on_message<C: RuntimeCtx<Msg>>(&mut self, _from: NodeId, msg: Msg, ctx: &mut C) {
-        self.sync_clock(ctx.now());
         match msg {
             Msg::Tuple(tuple) => {
                 // Streaming arrival: queue it; process under the window.
@@ -888,17 +971,11 @@ impl ComputeNode {
                         self.pressured_dests[from_data] = pressured;
                         if pressured {
                             self.n_pressured += 1;
-                            if let Some(t) = &self.tel {
-                                t.borrow_mut().record(
-                                    TraceEvent::instant(
-                                        self.tel_node,
-                                        Track::Fault,
-                                        "dest-pressured",
-                                        ctx.now(),
-                                    )
-                                    .arg("from_data", from_data as u64),
-                                );
-                            }
+                            let node = self.tel_node;
+                            self.tel_record(ctx, |now| {
+                                TraceEvent::instant(node, Track::Fault, "dest-pressured", now)
+                                    .arg("from_data", from_data as u64)
+                            });
                         } else {
                             self.n_pressured -= 1;
                             self.rt.set_health(from_data, NodeHealth::Healthy);
@@ -911,19 +988,17 @@ impl ComputeNode {
                 for item in &items {
                     if let Some(t0) = self.sent_at.remove(&item.req_id) {
                         self.remote_lat.record(ctx.now().since(t0));
-                        if let Some(t) = &self.tel {
-                            t.borrow_mut().record(
-                                TraceEvent::span(
-                                    self.tel_node,
-                                    Track::Wire,
-                                    "request",
-                                    t0,
-                                    ctx.now().since(t0),
-                                )
-                                .arg("req", item.req_id)
-                                .arg("from_data", from_data as u64),
-                            );
-                        }
+                        self.tel_record_parts(
+                            ctx,
+                            Track::Wire,
+                            "request",
+                            t0,
+                            Some(ctx.now().since(t0)),
+                            [
+                                ("req", ArgVal::U64(item.req_id)),
+                                ("from_data", ArgVal::U64(from_data as u64)),
+                            ],
+                        );
                     }
                 }
                 // Outputs computed at the data node complete their stage.
@@ -947,6 +1022,7 @@ impl ComputeNode {
                     }
                 }
                 let actions = self.rt.on_batch_response(from_data, value_items);
+                self.drain_decisions(ctx);
                 self.handle_actions(actions, ctx);
             }
             Msg::Nack { from_data, req_ids } => {
@@ -954,6 +1030,7 @@ impl ComputeNode {
             }
             Msg::Invalidate { key } => {
                 self.rt.on_update_notice(&key);
+                self.drain_decisions(ctx);
             }
             _ => {}
         }
@@ -962,11 +1039,11 @@ impl ComputeNode {
     /// Kernel timer dispatch: local UDF completions, batch deadlines, and
     /// per-request retry timeouts.
     pub fn on_timer<C: RuntimeCtx<Msg>>(&mut self, tag: u64, ctx: &mut C) {
-        self.sync_clock(ctx.now());
         // DEADLINE_TAG is u64::MAX, which also carries RETRY_BIT — it must
         // be checked first.
         if tag == DEADLINE_TAG {
             let actions = self.rt.poll(ctx.now());
+            self.drain_decisions(ctx);
             self.handle_actions(actions, ctx);
             return;
         }
@@ -987,6 +1064,7 @@ impl ComputeNode {
         let out = udf.apply(&p.key.1, &p.params, &p.value.0);
         self.rt
             .on_local_done(tag, p.value.0.udf_cpu().as_secs_f64());
+        self.drain_decisions(ctx);
         self.stage_finished(seq, stage, Some(&out), ctx);
     }
 }

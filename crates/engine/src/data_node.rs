@@ -80,6 +80,9 @@ pub struct DataNode {
     tel: Option<TelemetryHandle>,
     /// This node's id in the trace (its sim node id).
     tel_node: u32,
+    /// Admitted-item queue depth over time, tracked locally per sample and
+    /// adopted into the metrics registry at snapshot (traced runs only).
+    queue_gauge: Option<jl_simkit::stats::TimeWeightedGauge>,
 }
 
 impl DataNode {
@@ -131,20 +134,34 @@ impl DataNode {
             pressure_events: 0,
             tel: None,
             tel_node: 0,
+            queue_gauge: None,
         }
     }
 
     /// Attach a telemetry recorder. `node` is this node's sim id, used as
     /// the trace process id. Call before the simulation starts.
+    ///
+    /// Data nodes do not publish the clock to the recorder: the published
+    /// clock's only reader is the compute-side decision tee, which always
+    /// fires after its own node's callback-entry sync. Every event this
+    /// node records carries an explicit timestamp.
     pub fn set_telemetry(&mut self, tel: TelemetryHandle, node: u32) {
         self.tel = Some(tel);
         self.tel_node = node;
     }
 
-    /// Publish the simulated clock to the recorder (callback entry).
-    fn sync_clock(&self, now: SimTime) {
-        if let Some(t) = &self.tel {
-            t.borrow_mut().set_now(now);
+    /// Record one trace event: directly under final-order execution,
+    /// deferred through the shard journal (commit-walk replay in exact
+    /// serial order) when the callback is speculative.
+    #[inline]
+    fn tel_record<C: RuntimeCtx<Msg>>(&self, ctx: &mut C, mk: impl FnOnce(SimTime) -> TraceEvent) {
+        let Some(t) = &self.tel else { return };
+        let ev = mk(ctx.now());
+        if ctx.is_speculative() {
+            let t = t.clone();
+            ctx.defer(Box::new(move || t.borrow_mut().record(ev)));
+        } else {
+            t.borrow_mut().record(ev);
         }
     }
 
@@ -230,17 +247,26 @@ impl DataNode {
         }
     }
 
-    /// Track the admitted-item queue depth as a time-weighted gauge.
-    fn tel_queue_depth(&self, now: SimTime) {
-        if let Some(t) = &self.tel {
-            t.borrow_mut().registry.time_gauge_set(
-                self.tel_node,
-                "overload",
-                "queue_depth",
-                now,
-                self.queued as f64,
-            );
+    /// Track the admitted-item queue depth as a time-weighted gauge. The
+    /// gauge is node-local state updated in place — no registry lookup, no
+    /// recorder lock, no speculative deferral (only this node writes it,
+    /// and its callbacks execute in timestamp order on every kernel). The
+    /// runner adopts the finished gauge into the registry at snapshot.
+    fn tel_queue_depth<C: RuntimeCtx<Msg>>(&mut self, ctx: &mut C) {
+        if self.tel.is_none() {
+            return;
         }
+        let now = ctx.now();
+        let v = self.queued as f64;
+        self.queue_gauge
+            .get_or_insert_with(|| jl_simkit::stats::TimeWeightedGauge::new(SimTime::ZERO, 0.0))
+            .set(now, v);
+    }
+
+    /// The locally-tracked queue-depth gauge, if any sample was taken
+    /// (traced runs only). Adopted into the metrics registry at snapshot.
+    pub(crate) fn queue_gauge(&self) -> Option<&jl_simkit::stats::TimeWeightedGauge> {
+        self.queue_gauge.as_ref()
     }
 
     /// Backpressure counters: `(nacked batches, pressure-on transitions,
@@ -261,18 +287,17 @@ impl DataNode {
         ctx: &mut C,
     ) -> bool {
         let Some(ov) = self.overload else { return true };
-        let now = ctx.now();
         let n = batch.items.len() as u64;
         if self.queued + n > ov.data_queue_cap {
             self.nacks += 1;
             let req_ids: Vec<u64> = batch.items.iter().map(|i| i.req_id).collect();
-            if let Some(t) = &self.tel {
-                t.borrow_mut().record(
-                    TraceEvent::instant(self.tel_node, Track::Fault, "nack", now)
-                        .arg("items", n)
-                        .arg("depth", self.queued),
-                );
-            }
+            let node = self.tel_node;
+            let depth = self.queued;
+            self.tel_record(ctx, |now| {
+                TraceEvent::instant(node, Track::Fault, "nack", now)
+                    .arg("items", n)
+                    .arg("depth", depth)
+            });
             ctx.send(
                 self.spec.compute_id(from_compute),
                 Msg::Nack {
@@ -288,14 +313,13 @@ impl DataNode {
         if !self.pressured && self.queued >= ov.high_watermark {
             self.pressured = true;
             self.pressure_events += 1;
-            if let Some(t) = &self.tel {
-                t.borrow_mut().record(
-                    TraceEvent::instant(self.tel_node, Track::Fault, "pressure-on", now)
-                        .arg("depth", self.queued),
-                );
-            }
+            let node = self.tel_node;
+            let depth = self.queued;
+            self.tel_record(ctx, |now| {
+                TraceEvent::instant(node, Track::Fault, "pressure-on", now).arg("depth", depth)
+            });
         }
-        self.tel_queue_depth(now);
+        self.tel_queue_depth(ctx);
         true
     }
 
@@ -334,17 +358,11 @@ impl DataNode {
                     let hit = self.block_cache.access(item.key.clone(), v.size());
                     let evictions = self.block_cache.evictions();
                     if evictions > prev_evictions {
-                        if let Some(t) = &self.tel {
-                            t.borrow_mut().record(
-                                TraceEvent::instant(
-                                    self.tel_node,
-                                    Track::Decision,
-                                    "cache-evict",
-                                    now,
-                                )
-                                .arg("count", evictions - prev_evictions),
-                            );
-                        }
+                        let node = self.tel_node;
+                        self.tel_record(ctx, |now| {
+                            TraceEvent::instant(node, Track::Decision, "cache-evict", now)
+                                .arg("count", evictions - prev_evictions)
+                        });
                         prev_evictions = evictions;
                     }
                     let done = if hit {
@@ -572,15 +590,14 @@ impl DataNode {
             );
         }
 
-        if let Some(t) = &self.tel {
-            t.borrow_mut().record(
-                TraceEvent::span(self.tel_node, Track::Serve, "batch", now, ready.since(now))
-                    .arg("items", n_items as u64)
-                    .arg("executed", executed)
-                    .arg("bounced", n_compute - executed)
-                    .arg("data", n_data),
-            );
-        }
+        let node = self.tel_node;
+        self.tel_record(ctx, |_| {
+            TraceEvent::span(node, Track::Serve, "batch", now, ready.since(now))
+                .arg("items", n_items as u64)
+                .arg("executed", executed)
+                .arg("bounced", n_compute - executed)
+                .arg("data", n_data)
+        });
 
         // 6. Drain the queue counters when the batch completes.
         let drain = PendingDrain {
@@ -618,14 +635,10 @@ impl DataNode {
         // Charge a disk write.
         let svc = self.spec.disk_service(value.size());
         ctx.use_resource(ResourceKind::Disk, ctx.now(), svc);
-        if let Some(t) = &self.tel {
-            t.borrow_mut().record(TraceEvent::instant(
-                self.tel_node,
-                Track::Serve,
-                "put",
-                ctx.now(),
-            ));
-        }
+        let node = self.tel_node;
+        self.tel_record(ctx, |now| {
+            TraceEvent::instant(node, Track::Serve, "put", now)
+        });
         self.block_cache.invalidate(&(table, key.clone()));
         self.server.put(table, region, key.clone(), value);
         // Invalidate cached copies at compute nodes (§4.2.3): either only
@@ -648,7 +661,6 @@ impl DataNode {
 
     /// Kernel message dispatch.
     pub fn on_message<C: RuntimeCtx<Msg>>(&mut self, _from: NodeId, msg: Msg, ctx: &mut C) {
-        self.sync_clock(ctx.now());
         match msg {
             Msg::Request {
                 from_compute,
@@ -670,19 +682,14 @@ impl DataNode {
                 self.queued = self.queued.saturating_sub(d.admitted);
                 if self.pressured && self.queued <= ov.low_watermark {
                     self.pressured = false;
-                    if let Some(t) = &self.tel {
-                        t.borrow_mut().record(
-                            TraceEvent::instant(
-                                self.tel_node,
-                                Track::Fault,
-                                "pressure-off",
-                                ctx.now(),
-                            )
-                            .arg("depth", self.queued),
-                        );
-                    }
+                    let node = self.tel_node;
+                    let depth = self.queued;
+                    self.tel_record(ctx, |now| {
+                        TraceEvent::instant(node, Track::Fault, "pressure-off", now)
+                            .arg("depth", depth)
+                    });
                 }
-                self.tel_queue_depth(ctx.now());
+                self.tel_queue_depth(ctx);
             }
         }
     }

@@ -34,9 +34,8 @@ pub use config::{ClusterSpec, FeedMode, NotifyMode, OverloadConfig, RetryConfig}
 pub use plan::{JobPlan, JobTuple, StageSpec};
 pub use runner::{
     build_cluster, build_real_runtime, build_store, gather_report, run_job, run_job_parallel,
-    run_job_real, run_job_real_traced, run_job_traced, BuiltCluster, ClusterHost, JobSpec,
-    PolicyFactory,
-    RunReport, ShedFactory, SinkFactory,
+    run_job_parallel_traced, run_job_real, run_job_real_traced, run_job_traced, BuiltCluster,
+    ClusterHost, JobSpec, PolicyFactory, RunReport, ShedFactory, SinkFactory,
 };
 pub use shuffle::run_shuffle_multijoin;
 pub use telemetry::EngineProbe;

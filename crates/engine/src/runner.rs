@@ -18,7 +18,7 @@ use crate::config::{ClusterSpec, FeedMode, OverloadConfig, RetryConfig};
 use crate::controller::Controller;
 use crate::data_node::DataNode;
 use crate::plan::{JobPlan, JobTuple};
-use crate::telemetry::{decision_tee, EngineProbe};
+use crate::telemetry::EngineProbe;
 
 /// Factory building one compute node's placement policy. Called once per
 /// compute node with the run's optimizer config and that node's derived
@@ -316,8 +316,17 @@ pub fn build_cluster(
         let node_seed = jl_simkit::rng::derive_seed(spec.seed, "compute") ^ i as u64;
         let policy = spec.policy.as_ref().map(|f| f(&spec.optimizer, node_seed));
         let mut sink = spec.decision_sink.as_ref().map(|f| f(i));
-        if let Some(t) = &tel {
-            sink = Some(decision_tee(t.clone(), cluster.compute_id(i) as u32, sink));
+        let mut stage = None;
+        if tel.is_some() {
+            // Traced runs observe the decision plane through a staged tee:
+            // the sink (which has no clock, and under the parallel kernel
+            // runs during speculative shard execution) buffers each
+            // decision, and the node drains the buffer right after the
+            // optimizer call — recording directly when serial, through
+            // the shard journal when speculative.
+            let s: Arc<crate::telemetry::DecisionStage> = Default::default();
+            sink = Some(crate::telemetry::decision_tee_staged(Arc::clone(&s), sink));
+            stage = Some(s);
         }
         let shed = spec.overload.map(|ov| match &spec.shed_policy {
             Some(f) => f(i),
@@ -343,6 +352,9 @@ pub fn build_cluster(
         );
         if let Some(t) = &tel {
             node.set_telemetry(t.clone(), cluster.compute_id(i) as u32);
+        }
+        if let Some(s) = stage {
+            node.set_decision_stage(s);
         }
         nodes.push(ClusterNode::Compute(node));
     }
@@ -507,13 +519,10 @@ pub fn run_job_traced(
 /// [`RunReport`] — fingerprints included — is bit-identical to [`run_job`]
 /// for any thread count; the determinism suite pins this.
 ///
-/// Telemetry must be off: probe events replay deterministically through
-/// the commit walk, but node-level trace events are emitted during
-/// speculative shard execution, whose order is shard-local rather than
-/// global. Jobs that want traces run serially.
-///
-/// # Panics
-/// Panics if `spec.telemetry` is set.
+/// This entry point ignores `spec.telemetry`; use
+/// [`run_job_parallel_traced`] to record a trace on the parallel kernel
+/// (byte-identical to the serial trace — the determinism suite pins that
+/// too).
 pub fn run_job_parallel(
     spec: &JobSpec,
     store: StoreCluster,
@@ -522,10 +531,6 @@ pub fn run_job_parallel(
     updates: Vec<UpdateEvent>,
     threads: usize,
 ) -> RunReport {
-    assert!(
-        spec.telemetry.is_none(),
-        "parallel runs do not record traces; use run_job_traced (serial) for telemetry"
-    );
     let cluster = &spec.cluster;
     if let Some(ov) = &spec.overload {
         ov.validate();
@@ -551,6 +556,62 @@ pub fn run_job_parallel(
     };
 
     gather_report(&sim, cluster, end)
+}
+
+/// [`run_job_parallel`], also returning the run's telemetry when
+/// [`JobSpec::telemetry`] is set (`None` otherwise).
+///
+/// The trace is **byte-identical** to what [`run_job_traced`] produces for
+/// the same spec, at any shard count: probe events (grants, faults, wire
+/// effects) already replay through the commit walk, and node-level trace
+/// events are journaled as deferred effects during speculative shard
+/// execution — interleaved with grants and cross-sends in the order the
+/// callback issued them — then executed on the coordinator at their exact
+/// global serial position. Decision-sink events take the staged tee
+/// (see [`crate::telemetry::decision_tee_staged`]) through the same
+/// journal. The determinism suite pins trace byte-identity at 1/2/8
+/// shards against the serial kernel.
+pub fn run_job_parallel_traced(
+    spec: &JobSpec,
+    store: StoreCluster,
+    udfs: UdfRegistry,
+    tuples: Vec<JobTuple>,
+    updates: Vec<UpdateEvent>,
+    threads: usize,
+) -> (RunReport, Option<RunTelemetry>) {
+    let cluster = &spec.cluster;
+    if let Some(ov) = &spec.overload {
+        ov.validate();
+    }
+    let tel: Option<TelemetryHandle> = spec.telemetry.map(jl_telemetry::shared);
+    let built = build_cluster(spec, store, udfs, tuples, updates, &tel);
+    let mut sim: Sim<ClusterNode> = Sim::new(spec.seed, cluster.net);
+    for node in built.nodes {
+        sim.add_node(node, cluster.node);
+    }
+    if let Some(plan) = &spec.faults {
+        sim.set_fault_plan(plan.clone());
+    }
+    if let Some(t) = &tel {
+        sim.set_probe(Box::new(EngineProbe::new(t.clone())));
+    }
+    sim.reserve_events(built.posts.len());
+    for (at, to, msg, bytes) in built.posts {
+        sim.post(at, to, msg, bytes);
+    }
+
+    let end = match spec.feed {
+        FeedMode::Batch { .. } => sim.run_parallel(threads),
+        FeedMode::Stream { horizon, .. } => {
+            sim.run_parallel_until(SimTime::ZERO + horizon, threads)
+        }
+    };
+
+    let report = gather_report(&sim, cluster, end);
+    snapshot_and_summarize(&sim, cluster, end, &tel);
+    drop(sim);
+    let run_tel = tel.map(|h| unwrap_telemetry(h, cluster, end));
+    (report, run_tel)
 }
 
 /// Run a job on the wall-clock backend. Same construction, policies, and
@@ -783,6 +844,9 @@ fn snapshot_metrics<H: ClusterHost>(
         reg.hist_merge(node, "latency", "tuple", n.latency());
         reg.hist_merge(node, "latency", "remote", n.remote_latency());
         reg.hist_merge(node, "latency", "local", n.local_latency());
+        if let Some(g) = n.outstanding_gauge() {
+            reg.time_gauge_adopt(node, "pipeline", "outstanding", g.clone());
+        }
         let r = n.report();
         reg.counter_add(node, "pipeline", "ingested", r.ingested);
         reg.counter_add(node, "pipeline", "completed", r.completed);
@@ -813,6 +877,9 @@ fn snapshot_metrics<H: ClusterHost>(
         let node = id as u32;
         let n = host.node(id).as_data().expect("data role");
         let s = n.stats();
+        if let Some(g) = n.queue_gauge() {
+            reg.time_gauge_adopt(node, "overload", "queue_depth", g.clone());
+        }
         reg.counter_add(node, "serve", "batches", s.batches);
         reg.counter_add(node, "serve", "compute_requests", s.compute_requests);
         reg.counter_add(node, "serve", "data_requests", s.data_requests);
@@ -1160,6 +1227,50 @@ mod tests {
         let (job, store, udfs, tuples) = setup(Strategy::Full, 1.0);
         let (_, tel) = run_job_traced(&job, store, udfs, tuples, vec![]);
         assert!(tel.is_none());
+    }
+
+    #[test]
+    fn parallel_traced_run_replays_the_serial_trace_byte_for_byte() {
+        // The hard case: chaos armed, so the trace carries fault instants,
+        // retry/timeout spans, failovers, and decision replays — every
+        // journaled-effect path at once.
+        let (job, store, udfs, tuples) = setup(Strategy::Full, 1.0);
+        let healthy = run_job(&job, store, udfs, tuples, vec![]);
+        let traced = |threads: Option<usize>| {
+            let (mut job, store, udfs, tuples) = chaos_job(&healthy, Strategy::Full);
+            job.telemetry = Some(jl_telemetry::TelemetryConfig::default());
+            match threads {
+                None => run_job_traced(&job, store, udfs, tuples, vec![]),
+                Some(n) => run_job_parallel_traced(&job, store, udfs, tuples, vec![], n),
+            }
+        };
+        let (serial, serial_tel) = traced(None);
+        let serial_tel = serial_tel.expect("telemetry requested");
+        let serial_trace = serial_tel.to_chrome_json();
+        let serial_metrics = serial_tel.metrics_json();
+        assert!(!serial_tel.events.is_empty());
+        for threads in [1, 2, 8] {
+            let (par, par_tel) = traced(Some(threads));
+            let par_tel = par_tel.expect("telemetry requested");
+            assert_eq!(par.fingerprint, serial.fingerprint, "threads={threads}");
+            assert_eq!(par.duration, serial.duration, "threads={threads}");
+            assert_eq!(par.sim_events, serial.sim_events, "threads={threads}");
+            assert_eq!(
+                par_tel.events.len(),
+                serial_tel.events.len(),
+                "threads={threads}: event count diverged"
+            );
+            assert_eq!(
+                par_tel.to_chrome_json(),
+                serial_trace,
+                "threads={threads}: trace JSON diverged"
+            );
+            assert_eq!(
+                par_tel.metrics_json(),
+                serial_metrics,
+                "threads={threads}: metrics JSON diverged"
+            );
+        }
     }
 
     #[test]

@@ -109,6 +109,22 @@ pub trait RuntimeCtx<M> {
 
     /// Request that the run stop after the current callback returns.
     fn stop(&mut self);
+
+    /// Whether this callback is executing speculatively (a parallel-kernel
+    /// shard). Both the serial simulator and the real backend run
+    /// callbacks in final order, so the default is `false`.
+    fn is_speculative(&self) -> bool {
+        false
+    }
+
+    /// Run a side effect in exact global serial order: immediately on
+    /// backends that execute in final order (the default), journaled for
+    /// commit-walk replay on the speculative parallel kernel. Actors route
+    /// trace recording and shared-registry updates through this so traced
+    /// parallel runs replay them byte-identically to serial.
+    fn defer(&mut self, f: Box<dyn FnOnce() + Send>) {
+        f();
+    }
 }
 
 impl<'a, M> RuntimeCtx<M> for Ctx<'a, M> {
@@ -175,6 +191,16 @@ impl<'a, M> RuntimeCtx<M> for Ctx<'a, M> {
     #[inline]
     fn stop(&mut self) {
         Ctx::stop(self)
+    }
+
+    #[inline]
+    fn is_speculative(&self) -> bool {
+        Ctx::is_speculative(self)
+    }
+
+    #[inline]
+    fn defer(&mut self, f: Box<dyn FnOnce() + Send>) {
+        Ctx::defer(self, f)
     }
 }
 

@@ -83,6 +83,13 @@ pub(crate) enum Op<M> {
     /// inbound NIC, which only the commit walk may touch. This op wipes it
     /// at the correct serial point relative to other commit-side submits.
     RestartNicIn,
+    /// A deferred side effect journaled by [`Ctx::defer`] (node trace
+    /// events, deferred metric updates). The closure runs on the
+    /// coordinator during the commit walk, at this op's exact serial
+    /// position — interleaved with grants and cross-sends in the order the
+    /// callback issued them — so traced parallel runs replay observability
+    /// effects byte-identically to the serial kernel.
+    Effect(Box<dyn FnOnce() + Send>),
     /// Placeholder left behind once the walk consumes an op.
     Done,
 }
@@ -154,7 +161,7 @@ impl<M> ShardCtx<M> {
         // after the stop (their final seqs exceed the stopper's).
         let runnable = at < self.window_end
             && at <= self.horizon
-            && self.watermark.map_or(true, |(wt, _)| at < wt)
+            && self.watermark.is_none_or(|(wt, _)| at < wt)
             && !self.stopped;
         self.pushed.push(Pushed {
             time: at,
@@ -255,6 +262,11 @@ impl<M> ShardCtx<M> {
     pub(crate) fn rng(&mut self, node: NodeId) -> &mut StdRng {
         let l = self.local(node);
         &mut self.rngs[l]
+    }
+
+    /// Journal a side effect for the commit walk (see [`Op::Effect`]).
+    pub(crate) fn defer(&mut self, f: Box<dyn FnOnce() + Send>) {
+        self.ops.push(Op::Effect(f));
     }
 
     pub(crate) fn stop(&mut self) {
@@ -426,12 +438,8 @@ impl<N: Node> ShardState<N> {
                 if kind == FaultKind::Restart {
                     let l = self.ctx.local(node);
                     let spec = self.ctx.specs[l];
-                    let mut fresh = NodeResources::new(
-                        spec.cores,
-                        spec.disk_channels,
-                        spec.net_bw_bps,
-                        time,
-                    );
+                    let mut fresh =
+                        NodeResources::new(spec.cores, spec.disk_channels, spec.net_bw_bps, time);
                     // The inbound NIC belongs to the commit walk: keep the
                     // old one in place and journal the wipe so it happens
                     // at the right serial point.
@@ -467,7 +475,11 @@ fn commit_recv<N: Node>(
     window_end: SimTime,
 ) {
     let (s, l) = assign[to];
-    let res = &mut shards[s as usize].as_mut().expect("shard home").ctx.resources[l as usize];
+    let res = &mut shards[s as usize]
+        .as_mut()
+        .expect("shard home")
+        .ctx
+        .resources[l as usize];
     let mut arrive = out_done + inner.net.latency;
     let mut wire_in = res.wire_time(bytes);
     if let Some(plan) = &inner.faults {
@@ -507,13 +519,22 @@ fn commit_recv<N: Node>(
     );
     let seq = inner.seq;
     inner.seq += 1;
-    inner.queue.push(grant.done, seq, EventKind::Deliver { from, to, msg });
+    inner
+        .queue
+        .push(grant.done, seq, EventKind::Deliver { from, to, msg });
 }
 
 /// Heap entry payload for the commit walk.
 enum WalkItem<M> {
-    Rec { shard: u32, rec: u32 },
-    Inject { to: NodeId, bytes: u64, msg: Option<M> },
+    Rec {
+        shard: u32,
+        rec: u32,
+    },
+    Inject {
+        to: NodeId,
+        bytes: u64,
+        msg: Option<M>,
+    },
 }
 
 impl<N: Node + Send> Sim<N>
@@ -677,8 +698,9 @@ where
                         other => {
                             let node = match &other {
                                 EventKind::Deliver { to, .. } => *to,
-                                EventKind::Timer { node, .. }
-                                | EventKind::Fault { node, .. } => *node,
+                                EventKind::Timer { node, .. } | EventKind::Fault { node, .. } => {
+                                    *node
+                                }
                                 EventKind::Inject { .. } => unreachable!(),
                             };
                             let s = assign[node].0 as usize;
@@ -778,8 +800,16 @@ where
                             inner.events_processed += 1;
                             epoch_max = epoch_max.max(time);
                             commit_recv(
-                                inner, &mut shards, &assign, time, EXTERNAL, to, time, bytes,
-                                msg, window_end,
+                                inner,
+                                &mut shards,
+                                &assign,
+                                time,
+                                EXTERNAL,
+                                to,
+                                time,
+                                bytes,
+                                msg,
+                                window_end,
                             );
                         }
                         WalkItem::Rec { shard, rec } => {
@@ -829,17 +859,22 @@ where
                                         msg,
                                     } => {
                                         commit_recv(
-                                            inner, &mut shards, &assign, rec.time, rec.node, to,
-                                            out_done, bytes, msg, window_end,
+                                            inner,
+                                            &mut shards,
+                                            &assign,
+                                            rec.time,
+                                            rec.node,
+                                            to,
+                                            out_done,
+                                            bytes,
+                                            msg,
+                                            window_end,
                                         );
                                     }
                                     Op::DeliverDrop { from } => {
                                         inner.totals.dropped += 1;
-                                        inner
-                                            .links
-                                            .entry((from, rec.node))
-                                            .or_default()
-                                            .dropped += 1;
+                                        inner.links.entry((from, rec.node)).or_default().dropped +=
+                                            1;
                                         if let Some(probe) = &mut inner.probe {
                                             probe.on_drop(from, rec.node, rec.time);
                                         }
@@ -849,6 +884,7 @@ where
                                             probe.on_fault(rec.node, kind, rec.time);
                                         }
                                     }
+                                    Op::Effect(f) => f(),
                                     Op::RestartNicIn => {
                                         let (s2, l2) = assign[rec.node];
                                         shards[s2 as usize].as_mut().unwrap().ctx.resources
@@ -876,11 +912,8 @@ where
         for slot in shards {
             let sh = slot.unwrap();
             let ShardState { ids, nodes, ctx } = sh;
-            for (((id, node), res), rng) in ids
-                .into_iter()
-                .zip(nodes)
-                .zip(ctx.resources)
-                .zip(ctx.rngs)
+            for (((id, node), res), rng) in
+                ids.into_iter().zip(nodes).zip(ctx.resources).zip(ctx.rngs)
             {
                 nodes_back[id] = Some(node);
                 res_back[id] = Some(res);
@@ -947,7 +980,7 @@ mod tests {
             } else {
                 ctx.send_ready_at(done, to, hops - 1, 1000 + hops * 7);
             }
-            if hops % 4 == 0 {
+            if hops.is_multiple_of(4) {
                 ctx.set_timer_after(SimDuration::from_micros(cpu_us / 2 + 1), hops);
             }
         }
@@ -1134,10 +1167,7 @@ mod tests {
             serial.time(),
             serial.events_processed(),
             serial.net_totals().messages,
-            serial
-                .nodes()
-                .map(|n| n.seen)
-                .collect::<Vec<_>>(),
+            serial.nodes().map(|n| n.seen).collect::<Vec<_>>(),
         );
         assert!(serial.stopped());
         for threads in [1, 2, 8] {

@@ -238,7 +238,8 @@ impl<T> CalendarQueue<T> {
                 self.ring_len -= self.ring[b].len();
                 self.near.append(&mut self.ring[b]);
                 // Descending, so pops come off the tail cheapest-first.
-                self.near.sort_unstable_by(|a, b| b.key().cmp(&a.key()));
+                self.near
+                    .sort_unstable_by_key(|e| std::cmp::Reverse(e.key()));
             }
             self.cursor += 1;
             self.near_end = self.cursor_time();
@@ -301,10 +302,7 @@ mod tests {
         q.push(SimTime(50), 0, 2);
         q.push(SimTime(10), 3, 3);
         let got = drain(&mut q);
-        assert_eq!(
-            got,
-            vec![(10, 1, 1), (10, 3, 3), (50, 0, 2), (50, 2, 0)]
-        );
+        assert_eq!(got, vec![(10, 1, 1), (10, 3, 3), (50, 0, 2), (50, 2, 0)]);
         assert!(q.is_empty());
     }
 
@@ -376,11 +374,10 @@ mod proptests {
     fn check_script(times: Vec<u64>, pop_every: usize) {
         let mut q: CalendarQueue<u64> = CalendarQueue::with_capacity(16);
         let mut oracle: BinaryHeap<Reverse<(SimTime, u64)>> = BinaryHeap::new();
-        let mut seq = 0u64;
         for (i, t) in times.iter().enumerate() {
+            let seq = i as u64;
             q.push(SimTime(*t), seq, seq);
             oracle.push(Reverse((SimTime(*t), seq)));
-            seq += 1;
             if pop_every > 0 && i % pop_every == 0 {
                 let got = q.pop();
                 let want = oracle.pop();

@@ -340,7 +340,9 @@ impl<'a, M> Ctx<'a, M> {
                     Some(plan) => plan.scale_service(self_id, inner.time, service),
                     None => service,
                 };
-                let grant = inner.resources[self_id].get_mut(kind).submit(ready, service);
+                let grant = inner.resources[self_id]
+                    .get_mut(kind)
+                    .submit(ready, service);
                 if let Some(probe) = &mut inner.probe {
                     probe.on_grant(self_id, kind, ready, service, grant);
                 }
@@ -410,6 +412,29 @@ impl<'a, M> Ctx<'a, M> {
         match &mut self.backend {
             CtxBackend::Serial(inner) => &mut inner.rngs[self_id],
             CtxBackend::Shard(shard) => shard.rng(self_id),
+        }
+    }
+
+    /// Whether this callback is executing speculatively on a parallel-
+    /// kernel shard. Serial execution (including [`Sim::run`] and the
+    /// coordinator-side start callbacks of [`Sim::run_parallel`]) returns
+    /// `false`. Code with globally-ordered side effects (trace recording,
+    /// shared-registry updates) should route them through [`Ctx::defer`]
+    /// when this is `true`.
+    pub fn is_speculative(&self) -> bool {
+        matches!(self.backend, CtxBackend::Shard(_))
+    }
+
+    /// Run a side effect in exact global serial order. Serially the
+    /// closure runs immediately (zero cost beyond the call); under
+    /// [`Sim::run_parallel`] it is journaled on the shard and replayed on
+    /// the coordinator during the epoch's commit walk, interleaved with
+    /// this callback's resource grants and cross-sends in issue order.
+    /// This is how traced parallel runs stay byte-identical to serial.
+    pub fn defer(&mut self, f: Box<dyn FnOnce() + Send>) {
+        match &mut self.backend {
+            CtxBackend::Serial(_) => f(),
+            CtxBackend::Shard(shard) => shard.defer(f),
         }
     }
 

@@ -13,7 +13,7 @@
 
 use std::collections::BTreeSet;
 
-use crate::event::{ArgVal, TraceEvent, Track};
+use crate::event::{ArgVal, EventLog, Track};
 
 /// All tracks, in tid order, for metadata emission.
 const ALL_TRACKS: [Track; 9] = [
@@ -34,9 +34,9 @@ const ALL_TRACKS: [Track; 9] = [
 /// records are emitted for every named process and for every `(pid, track)`
 /// pair that actually carries events, followed by the events in emission
 /// order (which is deterministic because each cell is single-threaded).
-pub fn chrome_trace_json(events: &[TraceEvent], processes: &[(u32, String)]) -> String {
+pub fn chrome_trace_json(events: &EventLog, processes: &[(u32, String)]) -> String {
     let mut used: BTreeSet<(u32, u32)> = BTreeSet::new();
-    for ev in events {
+    for ev in events.iter() {
         used.insert((ev.node, ev.track.tid()));
     }
 
@@ -75,7 +75,7 @@ pub fn chrome_trace_json(events: &[TraceEvent], processes: &[(u32, String)]) -> 
         );
     }
 
-    for ev in events {
+    for ev in events.iter() {
         let pid = ev.node;
         let tid = ev.track.tid();
         let cat = ev.track.name();
@@ -146,6 +146,7 @@ pub(crate) fn json_string(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::event::TraceEvent;
     use jl_simkit::time::{SimDuration, SimTime};
 
     #[test]
@@ -157,7 +158,7 @@ mod tests {
 
     #[test]
     fn export_shape() {
-        let events = vec![
+        let events = EventLog::from(vec![
             TraceEvent::span(
                 0,
                 Track::Cpu,
@@ -167,7 +168,7 @@ mod tests {
             )
             .arg("jobs", 3u64),
             TraceEvent::instant(1, Track::Decision, "buy", SimTime(3_000)).arg("key", "k\"7"),
-        ];
+        ]);
         let procs = vec![(0, "C0".to_string()), (1, "D0".to_string())];
         let j = chrome_trace_json(&events, &procs);
         assert!(j.contains("\"process_name\""));
@@ -185,7 +186,12 @@ mod tests {
 
     #[test]
     fn export_is_deterministic() {
-        let events = vec![TraceEvent::instant(5, Track::Fault, "retry", SimTime(9))];
+        let events = EventLog::from(vec![TraceEvent::instant(
+            5,
+            Track::Fault,
+            "retry",
+            SimTime(9),
+        )]);
         let procs = vec![(5, "C5".to_string())];
         assert_eq!(
             chrome_trace_json(&events, &procs),

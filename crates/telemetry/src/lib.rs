@@ -10,8 +10,12 @@
 //!   Wall-clock never leaks into a trace, so output is a pure function of
 //!   the simulation inputs and byte-identical across `--threads` counts.
 //! * **Cell-local.** A [`Telemetry`] recorder is shared by the actors of one
-//!   simulation cell via [`TelemetryHandle`] (`Rc<RefCell<_>>`). Cells are
-//!   single-threaded; the bench harness parallelizes across cells.
+//!   simulation cell via [`TelemetryHandle`] (an `Arc` over a one-flag
+//!   exclusive cell). Within a cell only one thread touches the recorder at
+//!   a time: serially under the serial kernel, and from the coordinator's
+//!   commit walk under the parallel kernel (shards journal recording as
+//!   deferred effects, replayed in exact serial order). The bench harness
+//!   additionally parallelizes across cells, each with its own recorder.
 //! * **Zero-cost off.** When a run carries no recorder the instrumented code
 //!   paths reduce to a `None` check; determinism digests and throughput are
 //!   unchanged.
@@ -26,7 +30,7 @@ pub mod registry;
 pub mod summary;
 
 pub use chrome::chrome_trace_json;
-pub use event::{ArgVal, TraceEvent, Track};
+pub use event::{Arg, ArgVal, EventLog, EventView, TraceEvent, Track};
 pub use recorder::{
     shared, NoopSink, Telemetry, TelemetryConfig, TelemetryHandle, TelemetrySink, VecSink,
 };
@@ -40,8 +44,8 @@ use jl_simkit::time::SimTime;
 pub struct RunTelemetry {
     /// Simulated end time of the run (closes time-weighted gauges).
     pub end: SimTime,
-    /// Trace events in emission order.
-    pub events: Vec<TraceEvent>,
+    /// Trace events in emission order, packed (see [`EventLog`]).
+    pub events: EventLog,
     /// Final metrics registry.
     pub registry: MetricsRegistry,
     /// Display names for the simulated nodes: `(node id, name)`.

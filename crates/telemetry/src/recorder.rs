@@ -1,18 +1,25 @@
 //! The telemetry recorder: a per-run collector of trace events and metrics.
 //!
-//! A `Telemetry` instance is shared (via [`TelemetryHandle`], an
-//! `Arc<Mutex<_>>`) by every actor in one simulation cell. Within a cell the
-//! recorder is only ever touched from one thread at a time — serially under
-//! the serial kernel, and exclusively from the coordinating thread's commit
-//! walk under `Sim::run_parallel` — so the mutex is uncontended; it exists
-//! to make the handle `Send`, which node state must be for the parallel
-//! kernel to move shards across threads.
+//! A `Telemetry` instance is shared (via [`TelemetryHandle`]) by every
+//! actor in one simulation cell. Within a cell the recorder is only ever
+//! touched from one thread at a time — serially under the serial kernel,
+//! and exclusively from the coordinating thread's commit walk under
+//! `Sim::run_parallel` (shards journal their recording as deferred effects
+//! instead of touching the recorder) — so the handle needs mutual
+//! exclusion only to be *sound*, never to arbitrate real contention. It
+//! therefore uses a single atomic flag plus an `UnsafeCell` rather than a
+//! `Mutex`: one uncontended compare-exchange per access instead of a
+//! pthread lock, which is what keeps the traced hot path (a `record` per
+//! event) cheap.
 
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::cell::UnsafeCell;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 use jl_simkit::time::SimTime;
 
-use crate::event::TraceEvent;
+use crate::event::{Arg, Args, EventLog, TraceEvent};
 use crate::registry::MetricsRegistry;
 
 /// Destination for recorded trace events. The default [`VecSink`] buffers
@@ -67,11 +74,11 @@ impl Default for TelemetryConfig {
     }
 }
 
-/// The recorder's event destination: the built-in buffer, stored inline so
-/// the hot [`Telemetry::record`] path is a direct (inlinable) `Vec` push,
-/// or a user-supplied sink behind a virtual call.
+/// The recorder's event destination: the built-in compact log, stored
+/// inline so the hot [`Telemetry::record`] path is a direct (inlinable)
+/// push, or a user-supplied sink behind a virtual call.
 enum SinkImpl {
-    Buffer(Vec<TraceEvent>),
+    Buffer(EventLog),
     Custom(Box<dyn TelemetrySink>),
 }
 
@@ -86,17 +93,18 @@ pub struct Telemetry {
 }
 
 impl Telemetry {
-    /// New recorder buffering events internally. With spans on, the buffer
+    /// New recorder buffering events internally. With spans on, the log
     /// is pre-sized generously: instrumented runs record hundreds of
     /// thousands of events, and reserving up front keeps buffer regrowth
     /// (a multi-megabyte copy by the end of a big run) out of the hot
     /// path. The reservation is virtual address space — untouched pages
     /// cost nothing.
     pub fn new(config: TelemetryConfig) -> Self {
-        let mut events = Vec::new();
-        if config.spans {
-            events.reserve(256 * 1024);
-        }
+        let events = if config.spans {
+            EventLog::with_capacity(256 * 1024)
+        } else {
+            EventLog::new()
+        };
         Telemetry {
             sink: SinkImpl::Buffer(events),
             registry: MetricsRegistry::new(),
@@ -115,9 +123,11 @@ impl Telemetry {
         }
     }
 
-    /// Advance the recorder's clock. Actors call this on entry to every
-    /// callback so helpers that lack a `Ctx` (e.g. a `DecisionSink` living
-    /// inside the compute runtime) still stamp events with simulated time.
+    /// Advance the recorder's clock for callers that stamp events with
+    /// [`Telemetry::now`]. The engine stamps every event from its own
+    /// callback clock instead (a per-callback `set_now` was measurable
+    /// overhead), so this exists for out-of-band recording — tests,
+    /// ad-hoc tooling — not the hot path.
     #[inline]
     pub fn set_now(&mut self, now: SimTime) {
         self.now = now;
@@ -146,11 +156,49 @@ impl Telemetry {
         }
     }
 
-    /// Tear down, returning buffered events and the metrics registry.
-    pub fn finish(self) -> (Vec<TraceEvent>, MetricsRegistry) {
+    /// Record a trace event from its parts (dropped when spans are
+    /// disabled) — the allocation-free fast path for hot emitters, see
+    /// [`EventLog::push_parts`]. A custom sink still receives a whole
+    /// [`TraceEvent`], assembled here on the cold branch.
+    #[inline]
+    pub fn record_parts(
+        &mut self,
+        node: u32,
+        track: crate::event::Track,
+        name: &'static str,
+        start: SimTime,
+        dur: Option<jl_simkit::time::SimDuration>,
+        args: &[Arg],
+    ) {
+        if !self.spans {
+            return;
+        }
+        match &mut self.sink {
+            SinkImpl::Buffer(events) => events.push_parts(node, track, name, start, dur, args),
+            SinkImpl::Custom(sink) => {
+                let mut list = Args::new();
+                for (key, val) in args {
+                    list.push(key, val.clone());
+                }
+                sink.record(TraceEvent {
+                    node,
+                    track,
+                    name,
+                    start,
+                    dur,
+                    args: list,
+                });
+            }
+        }
+    }
+
+    /// Tear down, returning the buffered event log and the metrics
+    /// registry. A custom sink's drained events are repacked into a log so
+    /// both paths hand back the same shape.
+    pub fn finish(self) -> (EventLog, MetricsRegistry) {
         let events = match self.sink {
             SinkImpl::Buffer(events) => events,
-            SinkImpl::Custom(mut sink) => sink.drain(),
+            SinkImpl::Custom(mut sink) => EventLog::from(sink.drain()),
         };
         (events, self.registry)
     }
@@ -166,37 +214,115 @@ impl std::fmt::Debug for Telemetry {
     }
 }
 
+/// The shared cell behind a [`TelemetryHandle`]: an exclusive-access flag
+/// guarding the recorder. Access is always uncontended by construction
+/// (one thread at a time, see the module docs), so exclusion is a single
+/// compare-exchange; genuine contention — a bug in the calling kernel —
+/// spins, and a double-borrow from one thread panics via the same path a
+/// `RefCell` would (after a bounded spin), instead of deadlocking.
+struct TelemetryCell {
+    busy: AtomicBool,
+    inner: UnsafeCell<Telemetry>,
+}
+
+// SAFETY: `inner` is only reached through `TelemetryGuard`, whose
+// construction wins the `busy` compare-exchange (Acquire) and whose drop
+// releases it (Release) — classic spinlock exclusion.
+unsafe impl Sync for TelemetryCell {}
+unsafe impl Send for TelemetryCell {}
+
+/// Exclusive access to a shared recorder (see [`TelemetryHandle`]).
+pub struct TelemetryGuard<'a> {
+    cell: &'a TelemetryCell,
+}
+
+impl Deref for TelemetryGuard<'_> {
+    type Target = Telemetry;
+    #[inline]
+    fn deref(&self) -> &Telemetry {
+        // SAFETY: the guard holds the `busy` flag.
+        unsafe { &*self.cell.inner.get() }
+    }
+}
+
+impl DerefMut for TelemetryGuard<'_> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut Telemetry {
+        // SAFETY: the guard holds the `busy` flag exclusively.
+        unsafe { &mut *self.cell.inner.get() }
+    }
+}
+
+impl Drop for TelemetryGuard<'_> {
+    #[inline]
+    fn drop(&mut self) {
+        self.cell.busy.store(false, Ordering::Release);
+    }
+}
+
 /// Shared handle to one simulation cell's recorder.
 ///
-/// Historically `Rc<RefCell<Telemetry>>`; now an `Arc<Mutex<_>>` newtype so
-/// actor state holding a handle is `Send` (required by the parallel
-/// kernel's shard migration). The `borrow`/`borrow_mut` names are kept so
-/// call sites read the same as before; both take the (uncontended) lock.
+/// Historically `Rc<RefCell<Telemetry>>`, then `Arc<Mutex<_>>` for the
+/// parallel kernel's `Send` requirement; now an `Arc` over a one-flag
+/// exclusive cell, because the access pattern is single-threaded by
+/// construction and a pthread mutex on the per-event hot path was the bulk
+/// of the traced-run overhead. The `borrow`/`borrow_mut` names are kept so
+/// call sites read the same as the `RefCell` era; both take exclusive
+/// access.
 #[derive(Clone)]
-pub struct TelemetryHandle(Arc<Mutex<Telemetry>>);
+pub struct TelemetryHandle(Arc<TelemetryCell>);
 
 impl TelemetryHandle {
     /// Wrap a recorder in a shared handle.
     pub fn new(telemetry: Telemetry) -> Self {
-        TelemetryHandle(Arc::new(Mutex::new(telemetry)))
+        TelemetryHandle(Arc::new(TelemetryCell {
+            busy: AtomicBool::new(false),
+            inner: UnsafeCell::new(telemetry),
+        }))
     }
 
-    fn lock(&self) -> MutexGuard<'_, Telemetry> {
-        // A panic inside a recording call site must not wedge every later
-        // telemetry access (tests assert on panics mid-run).
-        match self.0.lock() {
-            Ok(guard) => guard,
-            Err(poisoned) => poisoned.into_inner(),
+    #[inline]
+    fn lock(&self) -> TelemetryGuard<'_> {
+        if self
+            .0
+            .busy
+            .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+            .is_err()
+        {
+            self.lock_slow();
         }
+        TelemetryGuard { cell: &self.0 }
+    }
+
+    /// Contended path, kept out of line: spin briefly (another thread is
+    /// mid-record — possible only if the calling kernel broke its
+    /// one-thread-at-a-time contract), then treat a persistent holder as a
+    /// same-thread double borrow and panic like `RefCell` would.
+    #[cold]
+    fn lock_slow(&self) {
+        for _ in 0..1_000_000 {
+            std::hint::spin_loop();
+            if self
+                .0
+                .busy
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+        }
+        panic!("telemetry recorder already borrowed (recursive borrow_mut?)");
     }
 
     /// Shared access to the recorder.
-    pub fn borrow(&self) -> MutexGuard<'_, Telemetry> {
+    #[inline]
+    pub fn borrow(&self) -> TelemetryGuard<'_> {
         self.lock()
     }
 
     /// Exclusive access to the recorder.
-    pub fn borrow_mut(&self) -> MutexGuard<'_, Telemetry> {
+    #[inline]
+    pub fn borrow_mut(&self) -> TelemetryGuard<'_> {
         self.lock()
     }
 
@@ -207,10 +333,7 @@ impl TelemetryHandle {
     /// before the run's telemetry is finalized).
     pub fn into_inner(self) -> Telemetry {
         match Arc::try_unwrap(self.0) {
-            Ok(mutex) => match mutex.into_inner() {
-                Ok(t) => t,
-                Err(poisoned) => poisoned.into_inner(),
-            },
+            Ok(cell) => cell.inner.into_inner(),
             Err(_) => panic!("telemetry handle still shared at finalization"),
         }
     }
@@ -240,7 +363,7 @@ mod tests {
         t.registry.counter_add(0, "fault", "crashes", 1);
         let (events, registry) = t.finish();
         assert_eq!(events.len(), 1);
-        assert_eq!(events[0].start, SimTime(42));
+        assert_eq!(events.iter().next().unwrap().start, SimTime(42));
         assert_eq!(registry.len(), 1);
     }
 

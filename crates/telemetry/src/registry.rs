@@ -79,6 +79,30 @@ impl MetricsRegistry {
         }
     }
 
+    /// Install an already-accumulated time-weighted gauge at `key`. Used
+    /// by actors that track a gauge in node-local state on the hot path
+    /// (no registry lookup per sample) and contribute it at snapshot time,
+    /// the same way histograms arrive via [`MetricsRegistry::hist_merge`].
+    ///
+    /// # Panics
+    /// Panics if the cell already exists — a locally-tracked gauge has
+    /// exactly one producer.
+    pub fn time_gauge_adopt(
+        &mut self,
+        node: u32,
+        scope: &'static str,
+        name: &'static str,
+        gauge: TimeWeightedGauge,
+    ) {
+        let prev = self
+            .map
+            .insert((node, scope, name), Metric::TimeGauge(gauge));
+        assert!(
+            prev.is_none(),
+            "metric ({node}, {scope}, {name}) adopted twice"
+        );
+    }
+
     /// Record one duration sample into the histogram at `key`.
     pub fn hist_record(
         &mut self,

@@ -13,7 +13,7 @@
 use jl_bench::experiments::{
     bench_synthetic_report, bench_synthetic_report_parallel, fig6_stream_report,
 };
-use jl_bench::{fig8, fig_chaos, fig_overload, traced_chaos_run};
+use jl_bench::{fig8, fig_chaos, fig_overload, traced_chaos_run, traced_chaos_run_parallel};
 use jl_core::Strategy;
 use jl_workloads::SyntheticSpec;
 
@@ -145,5 +145,47 @@ fn parallel_kernel_matches_serial_at_every_shard_count() {
             "parallel RunReport differs from serial at {threads} worker shards"
         );
         assert_eq!(fnv1a(par.as_bytes()), serial_digest);
+    }
+}
+
+/// Traced-parallel invariance: with telemetry recording on, the parallel
+/// kernel journals node trace events and decision replays through the
+/// commit walk, so the exported Chrome trace and metrics JSON — and the
+/// chaos run's `RunReport` — must be byte-identical to the serial traced
+/// run at every worker-shard count. Chaos is armed, so the trace carries
+/// the full fault path: crash/restart instants, retry and timeout spans,
+/// failovers, decision instants, queue-depth gauges.
+#[test]
+fn traced_parallel_kernel_replays_the_serial_trace() {
+    let scale = 0.05;
+    let seed = 7;
+
+    let (serial_report, serial_tel) = traced_chaos_run(scale, seed);
+    let serial_report = format!("{serial_report:?}");
+    let serial_trace = serial_tel.to_chrome_json();
+    let serial_metrics = serial_tel.metrics_json();
+    let check = jl_telemetry::json::validate_chrome_trace(&serial_trace)
+        .expect("serial trace must be valid Chrome trace JSON");
+    assert!(check.spans > 0, "trace carries no spans");
+
+    for threads in [1usize, 2, 8] {
+        let (report, tel) = traced_chaos_run_parallel(scale, seed, threads);
+        assert_eq!(
+            format!("{report:?}"),
+            serial_report,
+            "traced-parallel RunReport differs from serial at {threads} worker shards"
+        );
+        let trace = tel.to_chrome_json();
+        assert_eq!(
+            trace, serial_trace,
+            "trace JSON differs from serial at {threads} worker shards"
+        );
+        jl_telemetry::json::validate_chrome_trace(&trace)
+            .expect("parallel trace must be valid Chrome trace JSON");
+        assert_eq!(
+            tel.metrics_json(),
+            serial_metrics,
+            "metrics JSON differs from serial at {threads} worker shards"
+        );
     }
 }
