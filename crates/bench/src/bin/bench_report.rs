@@ -16,6 +16,10 @@
 //! Schema v4 adds the `"par8-traced"` cell: the traced DH workload on the
 //! parallel kernel, its Chrome trace asserted byte-identical to the
 //! serial traced run's.
+//! Schema v5 adds the flight-recorder cell to the `telemetry` block: the
+//! DH workload with the bounded ring armed and the span buffer off (the
+//! always-on serving shape), its marginal cost gated by the same
+//! [`OVERHEAD_CEILING`] as full tracing.
 //!
 //! Usage: `bench_report [--quick] [--threads N] [--seed N] [--out PATH]
 //!         [--check] [--baseline PATH]`
@@ -35,7 +39,8 @@ use std::time::Instant;
 use jl_bench::bench_threads;
 use jl_bench::experiments::{
     bench_synthetic_report, bench_synthetic_report_parallel, bench_synthetic_report_real,
-    bench_synthetic_traced, bench_synthetic_traced_parallel, fig6_stream_report,
+    bench_synthetic_ring, bench_synthetic_traced, bench_synthetic_traced_parallel,
+    fig6_stream_report,
 };
 use jl_core::Strategy;
 use jl_engine::RunReport;
@@ -304,6 +309,42 @@ fn main() {
          (x{overhead:.2}, {tel_events} trace events)"
     );
 
+    // Flight-recorder overhead: the same DH workload with the bounded ring
+    // armed and the span buffer OFF — the always-on serving shape. Timed
+    // the same way (best-of-five against the already-measured untraced
+    // floor); the ring must not perturb the simulation, and its marginal
+    // cost is gated by the same ceiling as full tracing.
+    let mut ring_wall = f64::INFINITY;
+    let mut last_ring = bench_synthetic_ring("DH", synth_scale, seed).1;
+    for _ in 0..5 {
+        drop(last_ring);
+        let t0 = Instant::now();
+        let (ring_report, tel) = bench_synthetic_ring("DH", synth_scale, seed);
+        let on = t0.elapsed().as_secs_f64();
+        ring_wall = ring_wall.min(on);
+        assert_eq!(
+            ring_report.fingerprint, timings[0].report.fingerprint,
+            "flight recorder perturbed the DH simulation"
+        );
+        last_ring = tel;
+    }
+    assert_eq!(
+        last_ring.events.len(),
+        0,
+        "ring-only config must not buffer spans"
+    );
+    let ring_retained = last_ring.flight.as_ref().map(|l| l.len()).unwrap_or(0);
+    assert!(ring_retained > 0, "flight ring retained no events");
+    let ring_overhead = if telemetry_off_wall > 0.0 {
+        ring_wall / telemetry_off_wall
+    } else {
+        0.0
+    };
+    eprintln!(
+        "bench_report: DH flight ring={ring_wall:.3}s (x{ring_overhead:.2}, \
+         {ring_retained} events retained)"
+    );
+
     // The traced DH cell once more on the parallel kernel: trace events
     // journal through the commit walk, so the Chrome trace JSON must be
     // byte-identical to the serial traced run — asserted here on every
@@ -351,7 +392,7 @@ fn main() {
 
     let mut out = String::new();
     out.push_str("{\n");
-    out.push_str("  \"schema\": \"jl-bench-kernel/v4\",\n");
+    out.push_str("  \"schema\": \"jl-bench-kernel/v5\",\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if quick { "quick" } else { "full" }
@@ -381,7 +422,15 @@ fn main() {
         jf(telemetry_on_wall)
     ));
     out.push_str(&format!("    \"overhead_ratio\": {},\n", jf(overhead)));
-    out.push_str(&format!("    \"trace_events\": {tel_events}\n"));
+    out.push_str(&format!("    \"trace_events\": {tel_events},\n"));
+    out.push_str("    \"flight\": {\n");
+    out.push_str(&format!("      \"ring_wall_secs\": {},\n", jf(ring_wall)));
+    out.push_str(&format!(
+        "      \"ring_overhead_ratio\": {},\n",
+        jf(ring_overhead)
+    ));
+    out.push_str(&format!("      \"ring_retained\": {ring_retained}\n"));
+    out.push_str("    }\n");
     out.push_str("  },\n");
     out.push_str("  \"workloads\": [\n");
     for (idx, t) in timings.iter().enumerate() {
@@ -472,6 +521,18 @@ fn main() {
             eprintln!(
                 "bench_report: --check ok: telemetry overhead x{overhead:.2} within the \
                  x{OVERHEAD_CEILING:.2} ceiling"
+            );
+            if ring_overhead > OVERHEAD_CEILING {
+                eprintln!(
+                    "bench_report: --check FAILED: flight-ring overhead x{ring_overhead:.2} \
+                     exceeds the x{OVERHEAD_CEILING:.2} ceiling (off={telemetry_off_wall:.3}s \
+                     ring={ring_wall:.3}s)"
+                );
+                std::process::exit(1);
+            }
+            eprintln!(
+                "bench_report: --check ok: flight-ring overhead x{ring_overhead:.2} within \
+                 the x{OVERHEAD_CEILING:.2} ceiling"
             );
         }
     }

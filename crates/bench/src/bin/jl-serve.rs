@@ -5,6 +5,8 @@
 //! jl-serve [--port P] [--once] [--compute N] [--data N] [--rows N]
 //!          [--value-bytes N] [--seed S] [--deadline-ms D]
 //!          [--no-retry] [--no-overload]
+//!          [--stats-port P] [--flight EVENTS] [--slo-ms D]
+//!          [--dump-path FILE] [--sample-ms MS]
 //! ```
 //!
 //! Without `--port`, requests are read from stdin and responses written
@@ -12,23 +14,43 @@
 //! serves each accepted connection in turn (forever, or a single
 //! connection with `--once`). The line protocol is documented on
 //! [`jl_bench::serve`]; per-session statistics go to stderr.
+//!
+//! Any of the observability flags arm the live plane: a flight recorder
+//! tees the engine's trace events into a bounded ring, a sampler on the
+//! event loop refreshes a metrics snapshot, and the `METRICS`/`STATS`/
+//! `DUMP` commands answer in-band on the request stream. `--stats-port`
+//! additionally opens a second listener that answers the same commands
+//! out-of-band, so a scraper never competes with request traffic.
 
-use std::io::BufReader;
+use std::io::{BufRead, BufReader, Write};
 use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
 
-use jl_bench::{serve, ServeConfig, ServeStats};
+use jl_bench::{serve_observed, ObserveConfig, ServeConfig, ServeShared, ServeStats};
+
+fn help_text() -> &'static str {
+    "usage: jl-serve [--port P] [--once] [--compute N] [--data N] [--rows N]\n\
+     \x20               [--value-bytes N] [--seed S] [--deadline-ms D]\n\
+     \x20               [--no-retry] [--no-overload]\n\
+     \x20               [--stats-port P] [--flight EVENTS] [--slo-ms D]\n\
+     \x20               [--dump-path FILE] [--sample-ms MS]\n\
+     observability: any of the last five flags arm the live plane; with\n\
+     --stats-port, scrape mid-run out-of-band, e.g.:\n\
+     \x20 printf 'METRICS\\n' | nc 127.0.0.1 9901   # Prometheus exposition (ends with '# EOF')\n\
+     \x20 printf 'STATS\\n'   | nc 127.0.0.1 9901   # one-line JSON (jl-serve-stats/v1)\n\
+     \x20 printf 'DUMP\\n'    | nc 127.0.0.1 9901   # flight ring -> --dump-path (Chrome trace)"
+}
 
 fn usage() -> ! {
-    eprintln!(
-        "usage: jl-serve [--port P] [--once] [--compute N] [--data N] [--rows N] \
-         [--value-bytes N] [--seed S] [--deadline-ms D] [--no-retry] [--no-overload]"
-    );
+    eprintln!("{}", help_text());
     std::process::exit(2);
 }
 
-fn parse_config() -> (ServeConfig, Option<u16>, bool) {
+fn parse_config() -> (ServeConfig, Option<u16>, Option<u16>, bool) {
     let mut cfg = ServeConfig::default();
     let mut port: Option<u16> = None;
+    let mut stats_port: Option<u16> = None;
     let mut once = false;
     let args: Vec<String> = std::env::args().collect();
     let mut i = 1;
@@ -38,8 +60,15 @@ fn parse_config() -> (ServeConfig, Option<u16>, bool) {
             .and_then(|v| v.parse().ok())
             .unwrap_or_else(|| usage())
     };
+    fn obs(cfg: &mut ServeConfig) -> &mut ObserveConfig {
+        cfg.observe.get_or_insert_with(ObserveConfig::default)
+    }
     while i < args.len() {
         match args[i].as_str() {
+            "--help" | "-h" => {
+                println!("{}", help_text());
+                std::process::exit(0);
+            }
             "--port" => port = Some(num(&args, &mut i) as u16),
             "--once" => once = true,
             "--compute" => cfg.n_compute = num(&args, &mut i).max(1) as usize,
@@ -50,11 +79,23 @@ fn parse_config() -> (ServeConfig, Option<u16>, bool) {
             "--deadline-ms" => cfg.deadline_ms = Some(num(&args, &mut i)),
             "--no-retry" => cfg.retry = false,
             "--no-overload" => cfg.overload = false,
+            "--stats-port" => {
+                stats_port = Some(num(&args, &mut i) as u16);
+                obs(&mut cfg);
+            }
+            "--flight" => obs(&mut cfg).flight = num(&args, &mut i).max(1) as usize,
+            "--slo-ms" => obs(&mut cfg).slo_p99_ms = Some(num(&args, &mut i)),
+            "--sample-ms" => obs(&mut cfg).sample_ms = num(&args, &mut i).max(1),
+            "--dump-path" => {
+                i += 1;
+                let p = args.get(i).cloned().unwrap_or_else(|| usage());
+                obs(&mut cfg).dump_path = Some(PathBuf::from(p));
+            }
             _ => usage(),
         }
         i += 1;
     }
-    (cfg, port, once)
+    (cfg, port, stats_port, once)
 }
 
 fn summarize(stats: &ServeStats) {
@@ -75,12 +116,51 @@ fn summarize(stats: &ServeStats) {
     );
 }
 
+/// Answer `METRICS`/`STATS`/`DUMP` lines on each accepted connection,
+/// against whatever serve session is currently attached to `shared`.
+fn stats_listener(listener: TcpListener, shared: Arc<ServeShared>) {
+    for stream in listener.incoming() {
+        let Ok(mut stream) = stream else { continue };
+        let _ = stream.set_nodelay(true);
+        let Ok(read_half) = stream.try_clone() else {
+            continue;
+        };
+        let mut reader = BufReader::new(read_half);
+        let mut line = String::new();
+        loop {
+            line.clear();
+            match reader.read_line(&mut line) {
+                Ok(0) | Err(_) => break,
+                Ok(_) => {}
+            }
+            let reply = match line.trim() {
+                "" => continue,
+                "METRICS" => shared.metrics(),
+                "STATS" => shared.stats(),
+                "DUMP" => shared.dump(),
+                other => format!("error unknown command {other}"),
+            };
+            if writeln!(stream, "{}", reply.trim_end()).is_err() {
+                break;
+            }
+            let _ = stream.flush();
+        }
+    }
+}
+
 fn main() -> std::io::Result<()> {
-    let (cfg, port, once) = parse_config();
+    let (cfg, port, stats_port, once) = parse_config();
+    let shared = Arc::new(ServeShared::new());
+    if let Some(sp) = stats_port {
+        let listener = TcpListener::bind(("127.0.0.1", sp))?;
+        eprintln!("jl-serve: stats listener on {}", listener.local_addr()?);
+        let shared = Arc::clone(&shared);
+        std::thread::spawn(move || stats_listener(listener, shared));
+    }
     match port {
         None => {
             let stdin = BufReader::new(std::io::stdin());
-            let stats = serve(stdin, std::io::stdout(), &cfg)?;
+            let stats = serve_observed(stdin, std::io::stdout(), &cfg, Some(&shared))?;
             summarize(&stats);
         }
         Some(port) => {
@@ -96,7 +176,7 @@ fn main() -> std::io::Result<()> {
                 let stream = stream?;
                 stream.set_nodelay(true)?;
                 let reader = BufReader::new(stream.try_clone()?);
-                match serve(reader, stream, &cfg) {
+                match serve_observed(reader, stream, &cfg, Some(&shared)) {
                     Ok(stats) => summarize(&stats),
                     // A dropped connection only ends that session.
                     Err(e) => eprintln!("jl-serve: session error: {e}"),

@@ -1,21 +1,38 @@
-//! Schema-validate a Chrome trace-event JSON file written by `--trace`.
+//! Schema-validate observability artifacts: Chrome traces, flight-recorder
+//! dumps, metrics/stats JSON snapshots, and Prometheus text expositions.
 //!
-//! Usage: `trace_check <trace.json>`
+//! ```text
+//! trace_check [--flight|--metrics|--stats] <file>
+//! ```
 //!
-//! Exits non-zero if the file is not valid JSON, violates the trace-event
-//! schema (see `jl_telemetry::json::validate_chrome_trace`), or carries no
-//! spans / no process-name metadata — an empty trace means the recorder
-//! was never wired up, which is exactly what CI should catch.
+//! * default — a full `--trace` Chrome trace: valid JSON, trace-event
+//!   schema (see `jl_telemetry::json::validate_chrome_trace`), and
+//!   non-empty — no spans or no process-name metadata means the recorder
+//!   was never wired up, which is exactly what CI should catch.
+//! * `--flight` — a flight-recorder dump: same schema, but bounded-ring
+//!   contents may be all-instant or all-span; requires at least one
+//!   event of either kind.
+//! * `--metrics` — a metrics JSON snapshot: parses, and carries a known
+//!   schema tag (`jl-telemetry-metrics/v1` or `jl-serve-stats/v1`).
+//! * `--stats` — a Prometheus text exposition (the `METRICS` reply):
+//!   parses, every `# TYPE` family is in the registry vocabulary, ends
+//!   with `# EOF`.
 
 use std::process::exit;
 
+fn usage() -> ! {
+    eprintln!("usage: trace_check [--flight|--metrics|--stats] <file>");
+    exit(2);
+}
+
 fn main() {
-    let path = match std::env::args().nth(1) {
-        Some(p) => p,
-        None => {
-            eprintln!("usage: trace_check <trace.json>");
-            exit(2);
-        }
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (mode, path) = match args.as_slice() {
+        [path] => ("trace", path.clone()),
+        [flag, path] if flag == "--flight" => ("flight", path.clone()),
+        [flag, path] if flag == "--metrics" => ("metrics", path.clone()),
+        [flag, path] if flag == "--stats" => ("stats", path.clone()),
+        _ => usage(),
     };
     let text = match std::fs::read_to_string(&path) {
         Ok(t) => t,
@@ -24,24 +41,64 @@ fn main() {
             exit(2);
         }
     };
-    match jl_telemetry::json::validate_chrome_trace(&text) {
-        Ok(check) => {
-            println!(
-                "trace_check: {path}: ok ({} spans, {} instants, {} metadata records)",
-                check.spans, check.instants, check.metadata
-            );
-            if check.spans == 0 {
-                eprintln!("trace_check: {path}: no spans — recorder was not wired up");
+    match mode {
+        "metrics" => {
+            let doc = match jl_telemetry::json::parse(&text) {
+                Ok(d) => d,
+                Err(e) => {
+                    eprintln!("trace_check: {path}: invalid JSON: {e}");
+                    exit(1);
+                }
+            };
+            let schema = doc.get("schema").and_then(|s| s.as_str()).unwrap_or("");
+            if schema != "jl-telemetry-metrics/v1" && schema != "jl-serve-stats/v1" {
+                eprintln!("trace_check: {path}: unknown metrics schema {schema:?}");
                 exit(1);
             }
-            if check.metadata == 0 {
-                eprintln!("trace_check: {path}: no process-name metadata");
+            println!("trace_check: {path}: ok ({schema})");
+        }
+        "stats" => match jl_telemetry::validate_exposition(&text) {
+            Ok(check) => {
+                println!(
+                    "trace_check: {path}: ok ({} families, {} samples)",
+                    check.families, check.samples
+                );
+                if check.families == 0 {
+                    eprintln!("trace_check: {path}: empty exposition");
+                    exit(1);
+                }
+            }
+            Err(e) => {
+                eprintln!("trace_check: {path}: invalid exposition: {e}");
                 exit(1);
             }
-        }
-        Err(e) => {
-            eprintln!("trace_check: {path}: invalid trace: {e}");
-            exit(1);
-        }
+        },
+        _ => match jl_telemetry::json::validate_chrome_trace(&text) {
+            Ok(check) => {
+                println!(
+                    "trace_check: {path}: ok ({} spans, {} instants, {} metadata records)",
+                    check.spans, check.instants, check.metadata
+                );
+                if mode == "flight" {
+                    if check.spans + check.instants == 0 {
+                        eprintln!("trace_check: {path}: empty flight dump");
+                        exit(1);
+                    }
+                } else {
+                    if check.spans == 0 {
+                        eprintln!("trace_check: {path}: no spans — recorder was not wired up");
+                        exit(1);
+                    }
+                    if check.metadata == 0 {
+                        eprintln!("trace_check: {path}: no process-name metadata");
+                        exit(1);
+                    }
+                }
+            }
+            Err(e) => {
+                eprintln!("trace_check: {path}: invalid trace: {e}");
+                exit(1);
+            }
+        },
     }
 }

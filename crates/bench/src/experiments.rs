@@ -347,6 +347,40 @@ pub fn bench_synthetic_traced(
     (report, tel.expect("telemetry was requested"))
 }
 
+/// The same pinned kernel workload as [`bench_synthetic_report`], run
+/// with the always-on flight recorder armed and the span buffer *off* —
+/// the long-running-server telemetry shape. `bench_report` times this
+/// against the untraced run to track the ring's marginal cost (it must
+/// stay under the same ceiling as full tracing; in practice it is far
+/// cheaper, since nothing unbounded is buffered).
+pub fn bench_synthetic_ring(
+    spec_name: &str,
+    tuple_scale: f64,
+    seed: u64,
+) -> (RunReport, RunTelemetry) {
+    let mut spec = match spec_name {
+        "DH" => SyntheticSpec::dh(),
+        "CH" => SyntheticSpec::ch(),
+        "DCH" => SyntheticSpec::dch(),
+        other => panic!("unknown bench workload {other:?} (expected DH, CH or DCH)"),
+    };
+    spec.n_tuples = ((spec.n_tuples as f64 * tuple_scale) as u64).max(1000);
+    let (report, tel) = run_synthetic_cell(
+        &spec,
+        Strategy::Full,
+        1.0,
+        1,
+        None,
+        &synthetic_cluster(),
+        32 << 20,
+        seed,
+        Some(TelemetryConfig::flight_only(
+            jl_telemetry::DEFAULT_FLIGHT_CAPACITY,
+        )),
+    );
+    (report, tel.expect("telemetry was requested"))
+}
+
 /// [`bench_synthetic_traced`] on the node-sharded parallel kernel with
 /// `threads` worker shards. Both the [`RunReport`] and the telemetry —
 /// Chrome trace JSON and metrics snapshot — are byte-identical to the
@@ -1025,6 +1059,32 @@ pub fn traced_chaos_run_parallel(
         seed,
         Some(TelemetryConfig::default()),
         Some(threads),
+    );
+    (chaos, tel.expect("telemetry was requested"))
+}
+
+/// [`traced_chaos_run`] / [`traced_chaos_run_parallel`] with an explicit
+/// recorder configuration. The determinism suite uses this to prove that
+/// arming the flight ring is a pure tee: the run report and the buffered
+/// trace/metrics bytes are identical with and without it, serial and at
+/// any shard count, and the ring's tail stitches into a valid dump.
+pub fn traced_chaos_run_with(
+    tuple_scale: f64,
+    seed: u64,
+    telemetry: TelemetryConfig,
+    threads: Option<usize>,
+) -> (RunReport, RunTelemetry) {
+    let mut spec = SyntheticSpec::dh();
+    spec.n_tuples = ((spec.n_tuples as f64 * tuple_scale) as u64).max(1000);
+    let (_healthy, chaos, tel) = run_chaos_cell(
+        &spec,
+        Strategy::Full,
+        1.0,
+        &synthetic_cluster(),
+        32 << 20,
+        seed,
+        Some(telemetry),
+        threads,
     );
     (chaos, tel.expect("telemetry was requested"))
 }

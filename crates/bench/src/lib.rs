@@ -12,16 +12,19 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod observe;
 pub mod output;
 pub mod serve;
 
 pub use experiments::{
     bench_threads, chaos_fault_plan, chaos_retry, fig11, fig5, fig6, fig7, fig8, fig9, fig_chaos,
     fig_overload, overload_bounded_config, run_chaos_report, run_grid, run_overload_stream,
-    traced_chaos_run, traced_chaos_run_parallel, OverloadCell, CHAOS_STRATEGIES, SKEWS,
+    traced_chaos_run, traced_chaos_run_parallel, traced_chaos_run_with, OverloadCell,
+    CHAOS_STRATEGIES, SKEWS,
 };
+pub use observe::{ObserveConfig, ServeLive, ServeShared};
 pub use output::FigTable;
-pub use serve::{serve, ServeConfig, ServeStats};
+pub use serve::{serve, serve_observed, ServeConfig, ServeStats};
 
 /// Arguments shared by the figure binaries.
 pub struct BenchArgs {

@@ -1,0 +1,666 @@
+//! Live observability for a running serve session: windowed latency
+//! quantiles, counter snapshots, Prometheus-style exposition, a JSON
+//! stats document, and flight-recorder dumps.
+//!
+//! Everything here is *read-side*: the serve loop and its reader/responder
+//! threads feed [`ServeLive`] (lock-free counters plus a small mutex
+//! around the sliding windows), the event-loop sampler publishes a
+//! [`LiveSample`] (a fresh metrics registry plus per-node queue state),
+//! and scrapes render whatever was last published. Nothing a scrape does
+//! can perturb the run — the incremental snapshot builds a fresh registry
+//! every beat (`jl_engine::snapshot_delta`), and a flight dump is an O(1)
+//! generation swap under the recorder lock.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use jl_simkit::fault::FaultKind;
+use jl_simkit::probe::SimProbe;
+use jl_simkit::time::{SimDuration, SimTime};
+use jl_telemetry::{
+    chrome_trace_json, flight, ExpoBuilder, MetricsRegistry, TelemetryHandle, WindowSnapshot,
+    WindowedCounter, WindowedHistogram,
+};
+
+/// Observability knobs for a serve session (all optional — a session
+/// without one runs exactly as before, zero overhead).
+#[derive(Debug, Clone)]
+pub struct ObserveConfig {
+    /// Flight-ring capacity per generation (events).
+    pub flight: usize,
+    /// Sliding-window slot count for latency quantiles and rates.
+    pub window_slots: usize,
+    /// Sliding-window slot width, milliseconds.
+    pub slot_ms: u64,
+    /// Event-loop sampling interval, milliseconds (how often the live
+    /// registry snapshot and per-node queue state refresh).
+    pub sample_ms: u64,
+    /// SLO: dump the flight ring when the windowed p99 crosses this many
+    /// milliseconds (checked on the responder as completions stream out;
+    /// re-arms once the p99 drops back under).
+    pub slo_p99_ms: Option<u64>,
+    /// Where breach-triggered and `DUMP`-triggered flight dumps land.
+    pub dump_path: Option<PathBuf>,
+}
+
+impl Default for ObserveConfig {
+    fn default() -> Self {
+        ObserveConfig {
+            flight: jl_telemetry::DEFAULT_FLIGHT_CAPACITY,
+            window_slots: 10,
+            slot_ms: 1_000,
+            sample_ms: 100,
+            slo_p99_ms: None,
+            dump_path: None,
+        }
+    }
+}
+
+/// The event-loop sampler's last publication: a full metrics registry
+/// snapshot plus live per-node state, all read at one instant of the run
+/// clock.
+#[derive(Debug)]
+pub struct LiveSample {
+    /// Run-clock time of the sample.
+    pub at: SimTime,
+    /// Fresh incremental registry (see `jl_engine::snapshot_delta`).
+    pub registry: MetricsRegistry,
+    /// Data nodes: `(node id, name, ingest queue depth, pressured)`.
+    pub queues: Vec<(u32, String, u64, bool)>,
+    /// Compute nodes: `(node id, name, tuples in flight, pressured dests)`.
+    pub pipelines: Vec<(u32, String, u64, u64)>,
+    /// Run-report deltas: tuples completed so far.
+    pub completed: u64,
+    /// Tuples ingested so far.
+    pub ingested: u64,
+    /// Retries so far.
+    pub retries: u64,
+    /// Network messages so far.
+    pub net_messages: u64,
+    /// Network bytes so far.
+    pub net_bytes: u64,
+}
+
+/// Sliding-window state shared by the responder (records) and scrapes
+/// (snapshot). One small mutex: the critical sections are a histogram
+/// insert or a merge over ≤`window_slots` fixed-size histograms.
+struct Windows {
+    latency: WindowedHistogram,
+    accepts: WindowedCounter,
+}
+
+/// Shared live state of one serve session. Counters are plain atomics
+/// bumped where the event happens (reader accepts, responder completes);
+/// windows and the sampler's publication sit behind mutexes.
+pub struct ServeLive {
+    /// Completions by outcome.
+    ok: AtomicU64,
+    gave_up: AtomicU64,
+    shed: AtomicU64,
+    /// Unparseable input lines.
+    malformed: AtomicU64,
+    /// Requests accepted (ingested into the cluster).
+    accepted: AtomicU64,
+    /// Responses written.
+    responded: AtomicU64,
+    win: Mutex<Windows>,
+    sample: Mutex<Option<LiveSample>>,
+}
+
+impl std::fmt::Debug for ServeLive {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeLive")
+            .field("accepted", &self.accepted.load(Ordering::Relaxed))
+            .field("responded", &self.responded.load(Ordering::Relaxed))
+            .finish()
+    }
+}
+
+impl ServeLive {
+    /// Fresh live state with the given window geometry.
+    pub fn new(cfg: &ObserveConfig) -> Self {
+        let width = SimDuration::from_millis(cfg.slot_ms.max(1));
+        ServeLive {
+            ok: AtomicU64::new(0),
+            gave_up: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            malformed: AtomicU64::new(0),
+            accepted: AtomicU64::new(0),
+            responded: AtomicU64::new(0),
+            win: Mutex::new(Windows {
+                latency: WindowedHistogram::new(cfg.window_slots.max(1), width),
+                accepts: WindowedCounter::new(cfg.window_slots.max(1), width),
+            }),
+            sample: Mutex::new(None),
+        }
+    }
+
+    /// Reader-side: one request accepted at run-clock `now`.
+    pub fn on_accept(&self, now: SimTime) {
+        self.accepted.fetch_add(1, Ordering::Relaxed);
+        self.win.lock().expect("windows").accepts.add(now, 1);
+    }
+
+    /// Reader-side: one unparseable line.
+    pub fn on_malformed(&self) {
+        self.malformed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Responder-side: one completion with the given outcome label
+    /// (`"ok"`, `"gave_up"`, `"shed"`) and end-to-end latency, at
+    /// run-clock `now`.
+    pub fn on_complete(&self, now: SimTime, status: &str, latency: SimDuration) {
+        match status {
+            "gave_up" => &self.gave_up,
+            "shed" => &self.shed,
+            _ => &self.ok,
+        }
+        .fetch_add(1, Ordering::Relaxed);
+        self.responded.fetch_add(1, Ordering::Relaxed);
+        self.win
+            .lock()
+            .expect("windows")
+            .latency
+            .record(now, latency);
+    }
+
+    /// Loop-thread sampler: publish a fresh sample (replaces the last).
+    pub fn publish(&self, sample: LiveSample) {
+        *self.sample.lock().expect("sample") = Some(sample);
+    }
+
+    /// Windowed latency quantiles and accept rate as of `now`.
+    pub fn window(&self, now: SimTime) -> (WindowSnapshot, f64) {
+        let mut w = self.win.lock().expect("windows");
+        let snap = w.latency.snapshot(now);
+        let rate = w.accepts.rate_per_sec(now);
+        (snap, rate)
+    }
+
+    /// Current in-flight count (accepted minus responded; saturating —
+    /// the two atomics are bumped on different threads).
+    pub fn inflight(&self) -> u64 {
+        self.accepted
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.responded.load(Ordering::Relaxed))
+    }
+
+    /// Counter snapshot: `(ok, gave_up, shed, malformed, accepted)`.
+    pub fn counters(&self) -> (u64, u64, u64, u64, u64) {
+        (
+            self.ok.load(Ordering::Relaxed),
+            self.gave_up.load(Ordering::Relaxed),
+            self.shed.load(Ordering::Relaxed),
+            self.malformed.load(Ordering::Relaxed),
+            self.accepted.load(Ordering::Relaxed),
+        )
+    }
+}
+
+/// Render the Prometheus-style text exposition for a live session:
+/// serve-layer families first, then (when the sampler has published) the
+/// whole engine registry snapshot. `now` is the run clock; `tel` supplies
+/// flight-ring liveness when armed.
+pub fn render_metrics(live: &ServeLive, tel: Option<&TelemetryHandle>, now: SimTime) -> String {
+    let (ok, gave_up, shed, malformed, _) = live.counters();
+    let (win, rate) = live.window(now);
+    let mut b = ExpoBuilder::new();
+    b.gauge("jl_serve_up", &[], 1.0);
+    b.counter("jl_serve_requests_total", &[("outcome", "ok")], ok);
+    b.counter(
+        "jl_serve_requests_total",
+        &[("outcome", "gave_up")],
+        gave_up,
+    );
+    b.counter("jl_serve_requests_total", &[("outcome", "shed")], shed);
+    b.counter("jl_serve_malformed_total", &[], malformed);
+    b.gauge("jl_serve_inflight", &[], live.inflight() as f64);
+    for (q, v) in [("0.5", win.p50), ("0.9", win.p90), ("0.99", win.p99)] {
+        b.gauge(
+            "jl_serve_latency_window_seconds",
+            &[("quantile", q)],
+            v.as_secs_f64(),
+        );
+    }
+    b.counter("jl_serve_latency_window_seconds_count", &[], win.count);
+    b.gauge("jl_serve_window_rate_per_sec", &[("kind", "accepts")], rate);
+    b.gauge(
+        "jl_serve_window_rate_per_sec",
+        &[("kind", "completions")],
+        win.rate_per_sec,
+    );
+    if let Some(t) = tel {
+        if let Some((recorded, retained)) = t.borrow().flight_stats() {
+            b.counter("jl_flight_recorded_total", &[], recorded);
+            b.gauge("jl_flight_retained", &[], retained as f64);
+        }
+    }
+    if let Some(sample) = live.sample.lock().expect("sample").as_ref() {
+        let names: Vec<(u32, String)> = sample
+            .queues
+            .iter()
+            .map(|(id, name, _, _)| (*id, name.clone()))
+            .chain(
+                sample
+                    .pipelines
+                    .iter()
+                    .map(|(id, name, _, _)| (*id, name.clone())),
+            )
+            .collect();
+        b.add_registry(&sample.registry, &names, sample.at);
+    }
+    b.render()
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render the JSON stats snapshot: serve counters, windowed quantiles,
+/// per-node live queue/pipeline state, and run-report deltas — one
+/// object, schema `jl-serve-stats/v1`. Parseable by
+/// [`jl_telemetry::json::parse`]; `trace_check --metrics` validates it.
+pub fn stats_json(live: &ServeLive, tel: Option<&TelemetryHandle>, now: SimTime) -> String {
+    let (ok, gave_up, shed, malformed, accepted) = live.counters();
+    let (win, rate) = live.window(now);
+    let flight = tel.and_then(|t| t.borrow().flight_stats());
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"schema\":\"jl-serve-stats/v1\"");
+    out.push_str(&format!(",\"now_nanos\":{}", now.nanos()));
+    out.push_str(&format!(
+        ",\"requests\":{{\"accepted\":{accepted},\"ok\":{ok},\"gave_up\":{gave_up},\
+         \"shed\":{shed},\"malformed\":{malformed},\"inflight\":{}}}",
+        live.inflight()
+    ));
+    out.push_str(&format!(
+        ",\"latency_window\":{{\"window_nanos\":{},\"count\":{},\"rate_per_sec\":{:.6},\
+         \"accept_rate_per_sec\":{rate:.6},\"p50_us\":{},\"p90_us\":{},\"p99_us\":{},\"max_us\":{}}}",
+        win.window.nanos(),
+        win.count,
+        win.rate_per_sec,
+        win.p50.nanos() / 1_000,
+        win.p90.nanos() / 1_000,
+        win.p99.nanos() / 1_000,
+        win.max.nanos() / 1_000,
+    ));
+    match flight {
+        Some((recorded, retained)) => out.push_str(&format!(
+            ",\"flight\":{{\"recorded\":{recorded},\"retained\":{retained}}}"
+        )),
+        None => out.push_str(",\"flight\":null"),
+    }
+    let sample = live.sample.lock().expect("sample");
+    match sample.as_ref() {
+        Some(s) => {
+            out.push_str(&format!(",\"sampled_at_nanos\":{}", s.at.nanos()));
+            out.push_str(&format!(
+                ",\"run\":{{\"ingested\":{},\"completed\":{},\"retries\":{},\
+                 \"net_messages\":{},\"net_bytes\":{}}}",
+                s.ingested, s.completed, s.retries, s.net_messages, s.net_bytes
+            ));
+            out.push_str(",\"data_nodes\":[");
+            for (i, (id, name, depth, pressured)) in s.queues.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"node\":{id},\"name\":\"{}\",\"queue_depth\":{depth},\"pressured\":{pressured}}}",
+                    json_escape(name)
+                ));
+            }
+            out.push_str("],\"compute_nodes\":[");
+            for (i, (id, name, outstanding, pressured)) in s.pipelines.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "{{\"node\":{id},\"name\":\"{}\",\"outstanding\":{outstanding},\
+                     \"pressured_dests\":{pressured}}}",
+                    json_escape(name)
+                ));
+            }
+            out.push(']');
+        }
+        None => out.push_str(",\"sampled_at_nanos\":null"),
+    }
+    out.push('}');
+    out
+}
+
+/// Drain the flight ring and write its contents as Chrome trace-event
+/// JSON to `path`. Returns the number of events dumped. The drain is an
+/// O(1) swap under the recorder lock; stitching and serialization happen
+/// on the calling thread.
+pub fn dump_flight(
+    tel: &TelemetryHandle,
+    processes: &[(u32, String)],
+    path: &Path,
+) -> std::io::Result<usize> {
+    let drained = tel.borrow_mut().drain_flight();
+    let log = match drained {
+        Some(pair) => flight::stitch(pair),
+        None => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::Unsupported,
+                "flight recorder not armed",
+            ))
+        }
+    };
+    let n = log.len();
+    std::fs::write(path, chrome_trace_json(&log, processes))?;
+    Ok(n)
+}
+
+/// Probe wrapper that dumps the flight ring on every fault transition
+/// (crash or restart), then forwards all callbacks to the wrapped probe.
+/// The dump lands at `path` with the fault ordinal appended before the
+/// extension (`trace.json` → `trace.fault0.json`), so consecutive faults
+/// don't clobber each other's evidence.
+pub struct FaultDumpProbe {
+    inner: Box<dyn SimProbe>,
+    tel: TelemetryHandle,
+    processes: Vec<(u32, String)>,
+    path: PathBuf,
+    dumps: u64,
+}
+
+impl FaultDumpProbe {
+    /// Wrap `inner`, dumping `tel`'s ring to `path`-derived files.
+    pub fn new(
+        inner: Box<dyn SimProbe>,
+        tel: TelemetryHandle,
+        processes: Vec<(u32, String)>,
+        path: PathBuf,
+    ) -> Self {
+        FaultDumpProbe {
+            inner,
+            tel,
+            processes,
+            path,
+            dumps: 0,
+        }
+    }
+
+    fn fault_path(&self) -> PathBuf {
+        let stem = self
+            .path
+            .file_stem()
+            .and_then(|s| s.to_str())
+            .unwrap_or("flight");
+        let ext = self
+            .path
+            .extension()
+            .and_then(|s| s.to_str())
+            .unwrap_or("json");
+        self.path
+            .with_file_name(format!("{stem}.fault{}.{ext}", self.dumps))
+    }
+}
+
+impl SimProbe for FaultDumpProbe {
+    fn on_grant(
+        &mut self,
+        node: usize,
+        kind: jl_simkit::resource::ResourceKind,
+        ready: SimTime,
+        service: SimDuration,
+        grant: jl_simkit::resource::Grant,
+    ) {
+        self.inner.on_grant(node, kind, ready, service, grant);
+    }
+
+    fn on_drop(&mut self, from: usize, to: usize, at: SimTime) {
+        self.inner.on_drop(from, to, at);
+    }
+
+    fn on_delay(&mut self, from: usize, to: usize, at: SimTime, extra: SimDuration) {
+        self.inner.on_delay(from, to, at, extra);
+    }
+
+    fn on_fault(&mut self, node: usize, kind: FaultKind, at: SimTime) {
+        // Record the transition first so the dump's last event is the
+        // fault itself.
+        self.inner.on_fault(node, kind, at);
+        let path = self.fault_path();
+        if let Ok(n) = dump_flight(&self.tel, &self.processes, &path) {
+            eprintln!(
+                "flight dump (fault {:?} on node {node}): {n} events -> {}",
+                kind,
+                path.display()
+            );
+            self.dumps += 1;
+        }
+    }
+}
+
+/// Hooks one live session registers so an out-of-band scrape surface
+/// (e.g. the `jl-serve --stats-port` listener) can answer while the run
+/// is in flight.
+struct SessionHooks {
+    live: Arc<ServeLive>,
+    tel: Option<TelemetryHandle>,
+    processes: Vec<(u32, String)>,
+    dump_path: Option<PathBuf>,
+    /// Run clock, lent by the runtime's ingress handle.
+    clock: Arc<dyn jl_telemetry::TelemetryClock>,
+}
+
+/// Cross-thread seam between a serve session and an out-of-band scrape
+/// listener: the session installs its hooks at startup and clears them at
+/// teardown; scrapes render whatever session is live (or a down-marker
+/// exposition when none is).
+#[derive(Default)]
+pub struct ServeShared {
+    hooks: Mutex<Option<SessionHooks>>,
+}
+
+impl std::fmt::Debug for ServeShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeShared").finish()
+    }
+}
+
+impl ServeShared {
+    /// Fresh, unattached seam.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a session's hooks (called by `serve_observed` at startup).
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn attach(
+        &self,
+        live: Arc<ServeLive>,
+        tel: Option<TelemetryHandle>,
+        processes: Vec<(u32, String)>,
+        dump_path: Option<PathBuf>,
+        clock: Arc<dyn jl_telemetry::TelemetryClock>,
+    ) {
+        *self.hooks.lock().expect("hooks") = Some(SessionHooks {
+            live,
+            tel,
+            processes,
+            dump_path,
+            clock,
+        });
+    }
+
+    /// Clear the hooks (session teardown).
+    pub(crate) fn detach(&self) {
+        *self.hooks.lock().expect("hooks") = None;
+    }
+
+    /// Prometheus exposition of the live session, or a down-marker when
+    /// no session is attached.
+    pub fn metrics(&self) -> String {
+        let g = self.hooks.lock().expect("hooks");
+        match g.as_ref() {
+            Some(h) => render_metrics(&h.live, h.tel.as_ref(), h.clock.now()),
+            None => {
+                let mut b = ExpoBuilder::new();
+                b.gauge("jl_serve_up", &[], 0.0);
+                b.render()
+            }
+        }
+    }
+
+    /// JSON stats snapshot of the live session, or a stub when none is.
+    pub fn stats(&self) -> String {
+        let g = self.hooks.lock().expect("hooks");
+        match g.as_ref() {
+            Some(h) => stats_json(&h.live, h.tel.as_ref(), h.clock.now()),
+            None => "{\"schema\":\"jl-serve-stats/v1\",\"up\":false}".to_string(),
+        }
+    }
+
+    /// Dump the live session's flight ring to its configured dump path.
+    /// Returns the one-line response for the wire.
+    pub fn dump(&self) -> String {
+        let g = self.hooks.lock().expect("hooks");
+        let Some(h) = g.as_ref() else {
+            return "error no live session".to_string();
+        };
+        let (Some(tel), Some(path)) = (h.tel.as_ref(), h.dump_path.as_ref()) else {
+            return "error flight recorder not armed".to_string();
+        };
+        match dump_flight(tel, &h.processes, path) {
+            Ok(n) => format!("dump {} {n}", path.display()),
+            Err(e) => format!("error {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jl_telemetry::{validate_exposition, TelemetryConfig, Track};
+
+    fn live_with_traffic() -> ServeLive {
+        let live = ServeLive::new(&ObserveConfig::default());
+        for i in 0..20u64 {
+            let now = SimTime(i * 1_000_000);
+            live.on_accept(now);
+            live.on_complete(now, "ok", SimDuration::from_micros(200 + i));
+        }
+        live.on_malformed();
+        live.on_complete(SimTime(21_000_000), "shed", SimDuration::from_micros(90));
+        live
+    }
+
+    #[test]
+    fn exposition_is_valid_and_counts_outcomes() {
+        let live = live_with_traffic();
+        let tel = jl_telemetry::shared(TelemetryConfig::flight_only(64));
+        tel.borrow_mut()
+            .record_parts(0, Track::Serve, "req", SimTime(5), None, &[]);
+        let text = render_metrics(&live, Some(&tel), SimTime(22_000_000));
+        let check = validate_exposition(&text).expect("valid exposition");
+        assert!(check.families >= 7, "families = {}", check.families);
+        assert!(text.contains("jl_serve_requests_total{outcome=\"ok\"} 20"));
+        assert!(text.contains("jl_serve_requests_total{outcome=\"shed\"} 1"));
+        assert!(text.contains("jl_serve_malformed_total 1"));
+        assert!(text.contains("jl_flight_recorded_total 1"));
+        // Windowed p99 over 200..219us traffic is nonzero and sane.
+        let (snap, _) = live.window(SimTime(22_000_000));
+        assert_eq!(snap.count, 21);
+        assert!(snap.p99 >= SimDuration::from_micros(128));
+    }
+
+    #[test]
+    fn stats_json_parses_and_carries_counters() {
+        let live = live_with_traffic();
+        live.publish(LiveSample {
+            at: SimTime(20_000_000),
+            registry: MetricsRegistry::new(),
+            queues: vec![(2, "D0".into(), 3, true)],
+            pipelines: vec![(0, "C0".into(), 5, 1)],
+            completed: 20,
+            ingested: 21,
+            retries: 0,
+            net_messages: 40,
+            net_bytes: 99_999,
+        });
+        let text = stats_json(&live, None, SimTime(22_000_000));
+        jl_telemetry::json::parse(&text).expect("stats JSON parses");
+        assert!(text.contains("\"schema\":\"jl-serve-stats/v1\""));
+        assert!(text.contains("\"ok\":20"));
+        assert!(text.contains("\"shed\":1"));
+        assert!(text.contains("\"malformed\":1"));
+        assert!(text.contains("\"queue_depth\":3"));
+        assert!(text.contains("\"pressured\":true"));
+        assert!(text.contains("\"outstanding\":5"));
+    }
+
+    #[test]
+    fn dump_flight_writes_a_valid_chrome_trace() {
+        let tel = jl_telemetry::shared(TelemetryConfig::flight_only(32));
+        for i in 0..80u64 {
+            tel.borrow_mut().record_parts(
+                0,
+                Track::Serve,
+                "req",
+                SimTime(i * 1_000),
+                Some(SimDuration(500)),
+                &[],
+            );
+        }
+        let dir = std::env::temp_dir().join("jl_observe_dump_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("flight.json");
+        let n = dump_flight(&tel, &[(0, "C0".to_string())], &path).expect("dump");
+        assert!((32..=64).contains(&n), "dumped {n}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let check = jl_telemetry::json::validate_chrome_trace(&text).expect("valid trace");
+        assert_eq!(check.spans, n);
+        // The ring restarts empty and keeps recording.
+        assert_eq!(tel.borrow().flight_stats().unwrap().1, 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn fault_dump_probe_dumps_on_transition() {
+        struct Null;
+        impl SimProbe for Null {}
+        let tel = jl_telemetry::shared(TelemetryConfig::flight_only(16));
+        tel.borrow_mut()
+            .record_parts(1, Track::Fault, "warm", SimTime(1), None, &[]);
+        let dir = std::env::temp_dir().join("jl_observe_fault_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let base = dir.join("flight.json");
+        let mut p = FaultDumpProbe::new(
+            Box::new(Null),
+            tel.clone(),
+            vec![(1, "D0".to_string())],
+            base.clone(),
+        );
+        p.on_fault(1, FaultKind::Crash, SimTime(50));
+        let path = dir.join("flight.fault0.json");
+        let text = std::fs::read_to_string(&path).expect("fault dump exists");
+        let check = jl_telemetry::json::validate_chrome_trace(&text).expect("valid");
+        // The warm-up event plus (via the recorder, not this probe) any
+        // fault instants recorded by the inner probe — here just one.
+        assert!(check.instants >= 1);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn shared_seam_answers_down_when_detached() {
+        let shared = ServeShared::new();
+        let text = shared.metrics();
+        assert!(text.contains("jl_serve_up 0"));
+        validate_exposition(&text).expect("down-marker is valid exposition");
+        assert!(shared.stats().contains("\"up\":false"));
+        assert!(shared.dump().starts_with("error"));
+    }
+}

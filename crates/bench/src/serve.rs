@@ -31,6 +31,23 @@
 //! `seq` numbers accepted requests from 0 in input order. Every accepted
 //! request gets exactly one response; the stream ends (and the cluster
 //! shuts down) once all are answered after input EOF.
+//!
+//! # Observability commands (when [`ServeConfig::observe`] is set)
+//!
+//! Three in-band commands ride the request stream; each produces a reply
+//! on the response stream (in order with the data responses):
+//!
+//! * `METRICS` — Prometheus-style text exposition (multi-line, terminated
+//!   by `# EOF`): serve counters, windowed latency quantiles, and the
+//!   engine's full live metrics snapshot.
+//! * `STATS` — one-line JSON snapshot (`jl-serve-stats/v1`): per-outcome
+//!   counters, window quantiles, per-node queue depth / pressure flags,
+//!   live run-report deltas.
+//! * `DUMP` — drain the flight recorder to the configured dump path as a
+//!   Chrome trace; replies `dump <path> <events>`.
+//!
+//! The same surfaces are reachable out-of-band (from another socket or
+//! thread) through [`ServeShared`](crate::observe::ServeShared).
 
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -42,14 +59,21 @@ use rustc_hash::FxHashMap;
 
 use jl_core::{OptimizerConfig, Strategy};
 use jl_engine::{
-    build_cluster, build_real_runtime, build_store, gather_report, ClusterSpec, FeedMode, JobPlan,
-    JobSpec, JobTuple, Msg, OverloadConfig, RetryConfig, RunReport, TupleFate,
+    build_cluster, build_real_runtime, build_store, gather_report, process_names, snapshot_delta,
+    ClusterNode, ClusterSpec, FeedMode, JobPlan, JobSpec, JobTuple, Msg, OverloadConfig,
+    RetryConfig, RunReport, TupleFate,
 };
+use jl_runtime::RealRuntime;
 use jl_simkit::time::{SimDuration, SimTime};
 use jl_store::{DigestUdf, RowKey, UdfRegistry};
+use jl_telemetry::{FnClock, TelemetryConfig, TelemetryHandle};
 use jl_workloads::SyntheticSpec;
 
 use crate::experiments::overload_bounded_config;
+use crate::observe::{
+    dump_flight, render_metrics, stats_json, FaultDumpProbe, LiveSample, ObserveConfig, ServeLive,
+    ServeShared,
+};
 
 /// The UDF id the serve table registers its digest function under.
 const UDF: usize = 0;
@@ -79,6 +103,10 @@ pub struct ServeConfig {
     /// `None` sheds only on queue pressure — the robust default for
     /// machines with unpredictable scheduling hiccups.
     pub deadline_ms: Option<u64>,
+    /// Live observability plane (PR 9): flight recorder, windowed
+    /// quantiles, `METRICS`/`STATS`/`DUMP` commands, SLO-breach dumps.
+    /// `None` serves exactly as before, with zero added overhead.
+    pub observe: Option<ObserveConfig>,
 }
 
 impl Default for ServeConfig {
@@ -93,6 +121,7 @@ impl Default for ServeConfig {
             retry: true,
             overload: true,
             deadline_ms: None,
+            observe: None,
         }
     }
 }
@@ -179,6 +208,15 @@ fn parse_request(line: &str) -> Result<Option<(u64, u32)>, ()> {
     Ok(Some((key, params)))
 }
 
+/// One item on the single-writer response channel: a tuple completion
+/// from a node hook, or pre-rendered text (a command reply) from the
+/// reader. Funneling both through one channel keeps response ordering a
+/// property of the channel, not of thread timing.
+enum Out {
+    Done(u64, TupleFate, SimTime),
+    Text(String),
+}
+
 /// Serve `input` until EOF + all responses written, on an in-process
 /// cluster hosted by the wall-clock backend. Three threads cooperate:
 /// the caller's runs the event loop, a reader injects each request line
@@ -189,6 +227,22 @@ fn parse_request(line: &str) -> Result<Option<(u64, u32)>, ()> {
 ///
 /// [`RealHandle`]: jl_runtime::RealHandle
 pub fn serve<R, W>(input: R, output: W, cfg: &ServeConfig) -> std::io::Result<ServeStats>
+where
+    R: BufRead + Send,
+    W: Write + Send,
+{
+    serve_observed(input, output, cfg, None)
+}
+
+/// [`serve`], optionally attaching its live state to a [`ServeShared`]
+/// seam so another thread (e.g. a stats listener socket) can scrape
+/// `METRICS`/`STATS` and trigger `DUMP` while the session runs.
+pub fn serve_observed<R, W>(
+    input: R,
+    output: W,
+    cfg: &ServeConfig,
+    shared: Option<&ServeShared>,
+) -> std::io::Result<ServeStats>
 where
     R: BufRead + Send,
     W: Write + Send,
@@ -205,27 +259,134 @@ where
     udfs.register(UDF, Arc::new(DigestUdf { out_bytes: 256 }));
     let job = serve_job(cfg, &cluster);
 
-    let built = build_cluster(&job, store, udfs, vec![], vec![], &None);
-    let mut rt = build_real_runtime(&job, built, &None);
+    // Observability arms a flight-ring-only recorder: the span buffer
+    // stays off (a server cannot buffer its whole trace), the ring tees
+    // every event the engine and probe emit.
+    let tel: Option<TelemetryHandle> = cfg
+        .observe
+        .as_ref()
+        .map(|o| jl_telemetry::shared(TelemetryConfig::flight_only(o.flight.max(1))));
+    let processes = process_names(&cluster);
+
+    let built = build_cluster(&job, store, udfs, vec![], vec![], &tel);
+    let mut rt = build_real_runtime(&job, built, &tel);
 
     // Completion fan-in: each compute node's hook reports one
     // (seq, fate, at) per tuple to the responder.
-    let (done_tx, done_rx) = mpsc::channel::<(u64, TupleFate, SimTime)>();
+    let (done_tx, done_rx) = mpsc::channel::<Out>();
     for i in 0..cluster.n_compute {
         let tx = done_tx.clone();
         rt.node_mut(cluster.compute_id(i))
             .as_compute_mut()
             .expect("compute role")
             .set_completion_hook(Box::new(move |seq, fate, at| {
-                let _ = tx.send((seq, fate, at));
+                let _ = tx.send(Out::Done(seq, fate, at));
             }));
     }
-    drop(done_tx);
 
     // Handles must exist before the loop starts (they are the loop's
     // liveness signal); one for ingress, one for shutdown control.
     let ingress = rt.handle();
     let control = rt.handle();
+
+    // The run clock, lent to telemetry (the wall-clock analogue of the
+    // simulator's manual clock) and to every out-of-band scrape.
+    let clock_handle = rt.handle();
+    let clock: Arc<dyn jl_telemetry::TelemetryClock> = {
+        let h = clock_handle.clone();
+        Arc::new(FnClock::new(move || h.now()))
+    };
+    if let Some(t) = &tel {
+        let h = clock_handle.clone();
+        t.borrow_mut()
+            .set_clock(Box::new(FnClock::new(move || h.now())));
+    }
+
+    let live: Option<Arc<ServeLive>> = cfg.observe.as_ref().map(|o| Arc::new(ServeLive::new(o)));
+
+    // Fault-transition dumps: wrap the engine probe so a crash/restart
+    // snapshots the ring before evidence rotates out. (No fault plan is
+    // installed by `serve` itself, but callers embedding this layer can.)
+    if let (Some(t), Some(o)) = (&tel, &cfg.observe) {
+        if let Some(path) = &o.dump_path {
+            rt.set_probe(Box::new(FaultDumpProbe::new(
+                Box::new(jl_engine::EngineProbe::new(t.clone())),
+                t.clone(),
+                processes.clone(),
+                path.clone(),
+            )));
+        }
+    }
+
+    // The event-loop sampler: every beat, publish a fresh incremental
+    // metrics snapshot plus live per-node queue/pipeline state. Runs on
+    // the loop thread, so it reads node state with no synchronization.
+    if let (Some(l), Some(o)) = (&live, &cfg.observe) {
+        let l = Arc::clone(l);
+        let cl = cluster.clone();
+        let names = processes.clone();
+        let name_of = move |id: u32| -> String {
+            names
+                .iter()
+                .find(|(n, _)| *n == id)
+                .map(|(_, s)| s.clone())
+                .unwrap_or_else(|| id.to_string())
+        };
+        rt.set_live_sampler(
+            SimDuration::from_millis(o.sample_ms.max(1)),
+            move |rt: &RealRuntime<ClusterNode>| {
+                let at = rt.time();
+                let registry = snapshot_delta(rt, &cl, at);
+                let mut queues = Vec::with_capacity(cl.n_data);
+                for j in 0..cl.n_data {
+                    let id = cl.data_id(j);
+                    let n = rt.node(id).as_data().expect("data role");
+                    let (depth, pressured) = n.live_queue();
+                    queues.push((id as u32, name_of(id as u32), depth, pressured));
+                }
+                let mut pipelines = Vec::with_capacity(cl.n_compute);
+                let (mut completed, mut ingested, mut retries) = (0u64, 0u64, 0u64);
+                for i in 0..cl.n_compute {
+                    let id = cl.compute_id(i);
+                    let n = rt.node(id).as_compute().expect("compute role");
+                    let (outstanding, pressured) = n.live_pipeline();
+                    pipelines.push((id as u32, name_of(id as u32), outstanding, pressured));
+                    let r = n.report();
+                    completed += r.completed;
+                    ingested += r.ingested;
+                    retries += r.retries;
+                }
+                let totals = rt.net_totals();
+                l.publish(LiveSample {
+                    at,
+                    registry,
+                    queues,
+                    pipelines,
+                    completed,
+                    ingested,
+                    retries,
+                    net_messages: totals.messages,
+                    net_bytes: totals.bytes,
+                });
+            },
+        );
+    }
+
+    if let (Some(sh), Some(l)) = (shared, &live) {
+        sh.attach(
+            Arc::clone(l),
+            tel.clone(),
+            processes.clone(),
+            cfg.observe.as_ref().and_then(|o| o.dump_path.clone()),
+            Arc::clone(&clock),
+        );
+    }
+
+    // The reader answers in-band commands through the same channel the
+    // completion hooks use, so command replies interleave with data
+    // responses in channel order (single writer, no output races).
+    let cmd_tx = done_tx.clone();
+    drop(done_tx);
 
     let arrivals: Arc<std::sync::Mutex<FxHashMap<u64, SimTime>>> =
         Arc::new(std::sync::Mutex::new(FxHashMap::default()));
@@ -237,6 +398,7 @@ where
     let n_compute = cluster.n_compute;
     let rows = cfg.rows.max(1);
     let compute_ids: Vec<usize> = (0..n_compute).map(|i| cluster.compute_id(i)).collect();
+    let observe = cfg.observe.clone();
 
     let (served, responded, write_err) = std::thread::scope(|s| {
         let reader = {
@@ -244,14 +406,36 @@ where
             let total = Arc::clone(&total);
             let malformed = Arc::clone(&malformed);
             let compute_ids = compute_ids.clone();
+            let live = live.clone();
+            let tel = tel.clone();
+            let processes = processes.clone();
+            let dump_path = observe.as_ref().and_then(|o| o.dump_path.clone());
             s.spawn(move || {
                 let mut seq = 0u64;
                 for line in input.lines() {
                     let Ok(line) = line else { break };
+                    if let Some(l) = &live {
+                        if let Some(reply) = handle_command(
+                            &line,
+                            l,
+                            tel.as_ref(),
+                            &processes,
+                            dump_path.as_deref(),
+                            ingress.now(),
+                        ) {
+                            if cmd_tx.send(Out::Text(reply)).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                    }
                     match parse_request(&line) {
                         Ok(None) => {}
                         Err(()) => {
                             malformed.fetch_add(1, Ordering::Relaxed);
+                            if let Some(l) = &live {
+                                l.on_malformed();
+                            }
                         }
                         Ok(Some((key, params_size))) => {
                             let arrival = ingress.now();
@@ -269,6 +453,9 @@ where
                             if !ingress.send(to, Msg::Tuple(tuple), bytes) {
                                 break;
                             }
+                            if let Some(l) = &live {
+                                l.on_accept(arrival);
+                            }
                             seq += 1;
                         }
                     }
@@ -281,16 +468,31 @@ where
         let responder = {
             let arrivals = Arc::clone(&arrivals);
             let total = Arc::clone(&total);
+            let live = live.clone();
+            let tel = tel.clone();
+            let processes = processes.clone();
+            let observe = observe.clone();
             let mut output = output;
             s.spawn(move || {
                 let mut responded = 0u64;
                 let mut err: Option<std::io::Error> = None;
+                // SLO breach tracking: dump once per excursion over the
+                // threshold, re-arming when the windowed p99 recovers.
+                let mut breached = false;
+                let mut slo_dumps = 0u64;
                 loop {
                     if total.load(Ordering::Acquire) == responded {
                         break;
                     }
                     match done_rx.recv_timeout(Duration::from_millis(20)) {
-                        Ok((seq, fate, at)) => {
+                        Ok(Out::Text(text)) => {
+                            if let Err(e) = writeln!(output, "{text}") {
+                                err = Some(e);
+                                break;
+                            }
+                            let _ = output.flush();
+                        }
+                        Ok(Out::Done(seq, fate, at)) => {
                             let arrival = arrivals
                                 .lock()
                                 .expect("arrivals lock")
@@ -301,12 +503,28 @@ where
                                 TupleFate::GaveUp => "gave_up",
                                 TupleFate::Shed => "shed",
                             };
-                            let latency_us = (at.since(arrival).as_secs_f64() * 1e6).round() as u64;
+                            let latency = at.since(arrival);
+                            let latency_us = (latency.as_secs_f64() * 1e6).round() as u64;
                             if let Err(e) = writeln!(output, "{seq} {status} {latency_us}") {
                                 err = Some(e);
                                 break;
                             }
                             responded += 1;
+                            if let Some(l) = &live {
+                                l.on_complete(at, status, latency);
+                                if let Some(o) = &observe {
+                                    check_slo(
+                                        l,
+                                        o,
+                                        tel.as_ref(),
+                                        &processes,
+                                        at,
+                                        responded,
+                                        &mut breached,
+                                        &mut slo_dumps,
+                                    );
+                                }
+                            }
                         }
                         Err(mpsc::RecvTimeoutError::Timeout) => {}
                         Err(mpsc::RecvTimeoutError::Disconnected) => break,
@@ -328,6 +546,9 @@ where
         (served, responded, write_err)
     });
 
+    if let Some(sh) = shared {
+        sh.detach();
+    }
     if let Some(e) = write_err {
         return Err(e);
     }
@@ -339,6 +560,78 @@ where
         malformed: malformed.load(Ordering::Relaxed),
         report,
     })
+}
+
+/// Reply to an in-band observability command, or `None` if `line` is not
+/// one. `now` is the run clock at receipt. The `METRICS` reply is
+/// multi-line; its final line is the exposition's `# EOF` terminator, so
+/// a client reads until that marker.
+fn handle_command(
+    line: &str,
+    live: &ServeLive,
+    tel: Option<&TelemetryHandle>,
+    processes: &[(u32, String)],
+    dump_path: Option<&std::path::Path>,
+    now: SimTime,
+) -> Option<String> {
+    match line.trim() {
+        "METRICS" => Some(render_metrics(live, tel, now).trim_end().to_string()),
+        "STATS" => Some(stats_json(live, tel, now)),
+        "DUMP" => Some(match (tel, dump_path) {
+            (Some(t), Some(p)) => match dump_flight(t, processes, p) {
+                Ok(n) => format!("dump {} {n}", p.display()),
+                Err(e) => format!("error {e}"),
+            },
+            _ => "error flight recorder not armed".to_string(),
+        }),
+        _ => None,
+    }
+}
+
+/// Responder-side SLO check, sampled every 32 completions: on the
+/// false→true transition of "windowed p99 over threshold", dump the
+/// flight ring to a `.slo<n>`-suffixed sibling of the configured dump
+/// path; re-arm once the p99 recovers.
+#[allow(clippy::too_many_arguments)]
+fn check_slo(
+    live: &ServeLive,
+    observe: &ObserveConfig,
+    tel: Option<&TelemetryHandle>,
+    processes: &[(u32, String)],
+    now: SimTime,
+    responded: u64,
+    breached: &mut bool,
+    slo_dumps: &mut u64,
+) {
+    let Some(slo_ms) = observe.slo_p99_ms else {
+        return;
+    };
+    if !responded.is_multiple_of(32) {
+        return;
+    }
+    let (win, _) = live.window(now);
+    let over = win.count > 0 && win.p99 >= SimDuration::from_millis(slo_ms);
+    if over && !*breached {
+        *breached = true;
+        if let (Some(t), Some(base)) = (tel, observe.dump_path.as_ref()) {
+            let stem = base
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or("flight");
+            let ext = base.extension().and_then(|s| s.to_str()).unwrap_or("json");
+            let path = base.with_file_name(format!("{stem}.slo{slo_dumps}.{ext}"));
+            if let Ok(n) = dump_flight(t, processes, &path) {
+                eprintln!(
+                    "flight dump (SLO breach, window p99 {:.3}ms >= {slo_ms}ms): {n} events -> {}",
+                    win.p99.as_secs_f64() * 1e3,
+                    path.display()
+                );
+                *slo_dumps += 1;
+            }
+        }
+    } else if !over {
+        *breached = false;
+    }
 }
 
 #[cfg(test)]

@@ -374,6 +374,13 @@ impl ComputeNode {
         self.outstanding_gauge.as_ref()
     }
 
+    /// Live pipeline state for mid-run observability: `(tuples in flight,
+    /// destinations currently signalling pressure)`. Plain accounting, no
+    /// side effects.
+    pub fn live_pipeline(&self) -> (u64, u64) {
+        (self.outstanding(), self.n_pressured as u64)
+    }
+
     /// Remote request→reply latency distribution.
     pub fn remote_latency(&self) -> &jl_simkit::stats::DurationHistogram {
         &self.remote_lat

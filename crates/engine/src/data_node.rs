@@ -276,6 +276,13 @@ impl DataNode {
         (self.nacks, self.pressure_events, self.peak_depth)
     }
 
+    /// Live ingest state for mid-run observability: `(current queue
+    /// depth, pressured flag)`. Read by the stats snapshot while the run
+    /// is in flight; both are plain accounting with no side effects.
+    pub fn live_queue(&self) -> (u64, bool) {
+        (self.queued, self.pressured)
+    }
+
     /// Admission control (overload runs only): returns `false` — after
     /// NACKing the batch on the wire, *before* any disk or CPU is paid —
     /// when the ingest queue cannot take it; otherwise admits the batch's

@@ -684,14 +684,22 @@ pub fn build_real_runtime(
 }
 
 /// Unwrap the (now uniquely held) recorder into a [`RunTelemetry`].
-fn unwrap_telemetry(h: TelemetryHandle, cluster: &ClusterSpec, end: SimTime) -> RunTelemetry {
-    let recorder = h.into_inner();
+/// Exposed so a serving layer that builds its runtime by hand can tear
+/// telemetry down the same way the runner does (including the flight
+/// ring's final contents).
+pub fn unwrap_telemetry(h: TelemetryHandle, cluster: &ClusterSpec, end: SimTime) -> RunTelemetry {
+    let mut recorder = h.into_inner();
+    let flight = recorder
+        .drain_flight()
+        .map(jl_telemetry::flight::stitch)
+        .filter(|log| !log.is_empty());
     let (events, registry) = recorder.finish();
     RunTelemetry {
         end,
         events,
         registry,
         processes: process_names(cluster),
+        flight,
     }
 }
 
@@ -815,7 +823,7 @@ fn snapshot_and_summarize<H: ClusterHost>(
 }
 
 /// Trace/summary display names for every sim node of `cluster`.
-fn process_names(cluster: &ClusterSpec) -> Vec<(u32, String)> {
+pub fn process_names(cluster: &ClusterSpec) -> Vec<(u32, String)> {
     let mut names = Vec::with_capacity(cluster.n_compute + cluster.n_data + 1);
     for i in 0..cluster.n_compute {
         names.push((cluster.compute_id(i) as u32, format!("C{i}")));
@@ -825,6 +833,24 @@ fn process_names(cluster: &ClusterSpec) -> Vec<(u32, String)> {
     }
     names.push((cluster.controller_id() as u32, "ctrl".to_string()));
     names
+}
+
+/// Incremental mid-run metrics snapshot: the same fold as the end-of-run
+/// snapshot, but into a **fresh** registry, leaving the host and any
+/// recorder-owned registry untouched. Every underlying read is
+/// observation-only (counters are copied, histograms merged into the new
+/// registry, gauges cloned), so calling this any number of times mid-run
+/// changes nothing about the final summary — a pinned test runs a job
+/// with and without mid-run snapshots and requires identical summaries.
+/// `end` is the read time (closes utilization and time-weighted gauges).
+pub fn snapshot_delta<H: ClusterHost>(
+    host: &H,
+    cluster: &ClusterSpec,
+    end: SimTime,
+) -> MetricsRegistry {
+    let mut reg = MetricsRegistry::new();
+    snapshot_metrics(&mut reg, host, cluster, end);
+    reg
 }
 
 /// Fold the run's end state — per-node latency histograms, pipeline and
@@ -1078,6 +1104,107 @@ mod tests {
 
     fn job0_completed_expect(r: &crate::verify::Reference) -> u64 {
         r.completed
+    }
+
+    /// Every family the runner's metrics snapshot can produce must be in
+    /// the exposition vocabulary ([`jl_telemetry::expo::known_family`]) —
+    /// this is the test the expo module docs promise, keeping the schema
+    /// and the snapshot from drifting apart silently.
+    #[test]
+    fn snapshot_families_are_all_in_the_expo_vocabulary() {
+        let (mut job, store, udfs, tuples) = setup(Strategy::Full, 1.0);
+        job.telemetry = Some(TelemetryConfig::default());
+        let (_, tel) = run_job_traced(&job, store, udfs, tuples, vec![]);
+        let tel = tel.expect("traced run returns telemetry");
+        let mut b = jl_telemetry::ExpoBuilder::new();
+        b.add_registry(&tel.registry, &tel.processes, tel.end);
+        let text = b.render();
+        let check = jl_telemetry::validate_exposition(&text)
+            .unwrap_or_else(|e| panic!("snapshot produced unknown family: {e}"));
+        assert!(check.families > 20, "families = {}", check.families);
+        assert!(check.samples > check.families);
+    }
+
+    /// Arming the flight ring without the span buffer still yields a
+    /// bounded trace of the run's tail, and metrics are unaffected.
+    #[test]
+    fn flight_only_run_retains_a_bounded_tail() {
+        let (mut job, store, udfs, tuples) = setup(Strategy::Full, 1.0);
+        job.telemetry = Some(TelemetryConfig::flight_only(256));
+        let (report, tel) = run_job_traced(&job, store, udfs, tuples, vec![]);
+        let tel = tel.expect("telemetry");
+        assert_eq!(tel.events.len(), 0, "span buffer stays off");
+        let flight = tel.flight.as_ref().expect("ring armed");
+        assert!(
+            !flight.is_empty() && flight.len() <= 512,
+            "{}",
+            flight.len()
+        );
+        let json = tel.flight_chrome_json().unwrap();
+        let check = jl_telemetry::json::validate_chrome_trace(&json).unwrap();
+        assert!(check.instants + check.spans > 0);
+        // Metrics flow regardless of which event sink is on.
+        assert!(report.completed > 0);
+        assert!(!tel.registry.is_empty());
+
+        // And with the full buffer on as well, the ring holds a suffix of
+        // the buffered trace (same packed bytes, fewer of them).
+        let (mut job, store, udfs, tuples) = setup(Strategy::Full, 1.0);
+        job.telemetry = Some(TelemetryConfig::with_flight(256));
+        let (_, tel) = run_job_traced(&job, store, udfs, tuples, vec![]);
+        let tel = tel.unwrap();
+        let flight = tel.flight.as_ref().unwrap();
+        assert!(tel.events.len() > flight.len(), "ring is the tail only");
+        let tail: Vec<_> = tel
+            .events
+            .iter()
+            .skip(tel.events.len() - flight.len())
+            .map(|e| (e.node, e.track, e.name, e.start))
+            .collect();
+        let ring: Vec<_> = flight
+            .iter()
+            .map(|e| (e.node, e.track, e.name, e.start))
+            .collect();
+        assert_eq!(tail, ring);
+    }
+
+    /// The incremental-snapshot pin: taking [`snapshot_delta`] mid-run
+    /// must not reset, reorder, or otherwise perturb any state — the
+    /// final summary (and report) of a run that was snapshotted mid-way
+    /// is byte-identical to one that never was.
+    #[test]
+    fn mid_run_snapshot_delta_does_not_perturb_the_run() {
+        let final_summary = |snapshotted: bool| -> (RunReport, String) {
+            let (job, store, udfs, tuples) = setup(Strategy::Full, 1.0);
+            let built = build_cluster(&job, store, udfs, tuples, vec![], &None);
+            let mut sim: Sim<ClusterNode> = Sim::new(job.seed, job.cluster.net);
+            for node in built.nodes {
+                sim.add_node(node, job.cluster.node);
+            }
+            sim.reserve_events(built.posts.len());
+            for (at, to, msg, bytes) in built.posts {
+                sim.post(at, to, msg, bytes);
+            }
+            if snapshotted {
+                // Pause mid-run and scrape — twice, for good measure.
+                let mid = sim.run_until(SimTime::ZERO + SimDuration::from_millis(40));
+                for _ in 0..2 {
+                    let reg = snapshot_delta(&sim, &job.cluster, mid);
+                    assert!(!reg.is_empty());
+                }
+            }
+            let end = sim.run();
+            let report = gather_report(&sim, &job.cluster, end);
+            let reg = snapshot_delta(&sim, &job.cluster, end);
+            let summary = jl_telemetry::summary_text(&reg, &process_names(&job.cluster), end);
+            (report, summary)
+        };
+        let (ra, sa) = final_summary(false);
+        let (rb, sb) = final_summary(true);
+        assert_eq!(ra.fingerprint, rb.fingerprint);
+        assert_eq!(ra.completed, rb.completed);
+        assert_eq!(ra.duration, rb.duration);
+        assert_eq!(sa, sb, "mid-run snapshots changed the final summary");
     }
 
     #[test]

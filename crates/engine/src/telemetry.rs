@@ -27,19 +27,20 @@ use crate::cluster::EKey;
 /// telemetry; an uninstrumented run never constructs one.
 pub struct EngineProbe {
     tel: TelemetryHandle,
-    /// [`Telemetry::spans_enabled`](jl_telemetry::Telemetry::spans_enabled),
+    /// [`Telemetry::events_enabled`](jl_telemetry::Telemetry::events_enabled),
     /// cached at construction: `on_grant` fires for every resource grant of
-    /// the run, and the cached flag turns the spans-off case into a branch
-    /// instead of a `RefCell` borrow. The flag is fixed per run — nothing
-    /// toggles span recording mid-flight.
-    spans: bool,
+    /// the run, and the cached flag turns the all-sinks-off case into a
+    /// branch instead of a `RefCell` borrow. True when either the span
+    /// buffer or the flight ring wants events (the recorder routes
+    /// internally); fixed per run — nothing toggles recording mid-flight.
+    events: bool,
 }
 
 impl EngineProbe {
     /// Bridge kernel callbacks into `tel`.
     pub fn new(tel: TelemetryHandle) -> Self {
-        let spans = tel.borrow().spans_enabled();
-        EngineProbe { tel, spans }
+        let events = tel.borrow().events_enabled();
+        EngineProbe { tel, events }
     }
 }
 
@@ -52,7 +53,7 @@ impl SimProbe for EngineProbe {
         service: SimDuration,
         grant: Grant,
     ) {
-        if !self.spans || service == SimDuration::ZERO {
+        if !self.events || service == SimDuration::ZERO {
             return;
         }
         let track = match kind {

@@ -308,6 +308,20 @@ impl<'a, M> RuntimeCtx<M> for RealCtx<'a, M> {
     }
 }
 
+/// A periodic mid-run observer installed with
+/// [`RealRuntime::set_live_sampler`]: the loop thread calls it with `&self`
+/// roughly every `interval` of wall clock, between event dispatches. This
+/// is how live observability (stats snapshots, per-node queue depths)
+/// reads node state without any cross-thread access to the nodes.
+/// The sampler callback: boxed so the runtime stays object-safe over it.
+type SamplerFn<N> = Box<dyn FnMut(&RealRuntime<N>) + Send>;
+
+struct Sampler<N: RuntimeNode> {
+    interval: SimDuration,
+    next: SimTime,
+    f: SamplerFn<N>,
+}
+
 /// A wall-clock run over nodes of type `N`.
 ///
 /// Construction mirrors [`Sim`](jl_simkit::sim::Sim): add nodes, optionally
@@ -326,6 +340,7 @@ pub struct RealRuntime<N: RuntimeNode> {
     /// then, so channel disconnection tracks only *external* handles.
     tx: Option<Sender<Inbound<N::Msg>>>,
     disconnected: bool,
+    sampler: Option<Sampler<N>>,
 }
 
 impl<N: RuntimeNode> RealRuntime<N> {
@@ -358,6 +373,7 @@ impl<N: RuntimeNode> RealRuntime<N> {
             rx,
             tx: Some(tx),
             disconnected: false,
+            sampler: None,
         }
     }
 
@@ -401,6 +417,43 @@ impl<N: RuntimeNode> RealRuntime<N> {
     /// serves both backends).
     pub fn set_probe(&mut self, probe: Box<dyn SimProbe>) {
         self.inner.probe = Some(probe);
+    }
+
+    /// Install a live sampler: `f` runs on the loop thread with `&self`
+    /// roughly every `interval` of wall clock, between event dispatches.
+    /// The loop's idle waits are capped at the next sample deadline, so
+    /// sampling stays on schedule even when no events arrive. Panics on a
+    /// zero interval.
+    pub fn set_live_sampler(
+        &mut self,
+        interval: SimDuration,
+        f: impl FnMut(&RealRuntime<N>) + Send + 'static,
+    ) {
+        assert!(
+            interval > SimDuration::ZERO,
+            "sampler interval must be nonzero"
+        );
+        self.sampler = Some(Sampler {
+            interval,
+            next: self.inner.time + interval,
+            f: Box::new(f),
+        });
+    }
+
+    /// Run the sampler if its deadline passed. The sampler is moved out
+    /// for the call so the callback can borrow the whole runtime shared.
+    fn maybe_sample(&mut self, now: SimTime) {
+        let Some(mut s) = self.sampler.take() else {
+            return;
+        };
+        if now >= s.next {
+            (s.f)(self);
+            // Skip missed beats instead of bursting to catch up.
+            while s.next <= now {
+                s.next += s.interval;
+            }
+        }
+        self.sampler = Some(s);
     }
 
     /// An ingress handle for driver threads. Must be taken before
@@ -576,17 +629,22 @@ impl<N: RuntimeNode> RealRuntime<N> {
             if now >= horizon {
                 break;
             }
+            self.maybe_sample(now);
+            let wake_cap = match &self.sampler {
+                Some(s) => s.next.min(horizon),
+                None => horizon,
+            };
             match self.inner.heap.peek().map(|e| e.time) {
                 Some(t) if t <= now => {
                     let ev = self.inner.heap.pop().expect("peeked");
                     self.dispatch(ev);
                 }
-                Some(t) => self.wait_until(t.min(horizon)),
+                Some(t) => self.wait_until(t.min(wake_cap)),
                 None => {
                     if self.disconnected {
                         break;
                     }
-                    self.wait_until(horizon);
+                    self.wait_until(wake_cap);
                 }
             }
         }
@@ -754,6 +812,27 @@ mod tests {
         let elapsed = t0.elapsed();
         assert!(elapsed >= Duration::from_millis(15), "returned too early");
         assert!(elapsed < Duration::from_secs(5), "horizon ignored");
+    }
+
+    #[test]
+    fn live_sampler_fires_while_idle() {
+        struct Idle;
+        impl RuntimeNode for Idle {
+            type Msg = ();
+            fn handle_message<C: RuntimeCtx<()>>(&mut self, _f: NodeId, _m: (), _c: &mut C) {}
+        }
+        let mut rt: RealRuntime<Idle> = RealRuntime::new(0, NetConfig::default());
+        rt.add_node(Idle, NodeSpec::default());
+        let hits = Arc::new(std::sync::atomic::AtomicU64::new(0));
+        let h = Arc::clone(&hits);
+        rt.set_live_sampler(SimDuration::from_millis(5), move |rt| {
+            assert_eq!(rt.node_count(), 1); // the callback sees the runtime
+            h.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        });
+        let _keep = rt.handle(); // keep a sender alive: only the horizon ends it
+        rt.run_until(SimTime(40_000_000)); // 40 ms, no events at all
+        let n = hits.load(std::sync::atomic::Ordering::Relaxed);
+        assert!(n >= 2, "sampler fired {n} times in 40ms at 5ms interval");
     }
 
     #[test]

@@ -1,0 +1,97 @@
+//! The clock seam: where a recorder's "now" comes from.
+//!
+//! Historically the recorder's clock was a bare [`SimTime`] field advanced
+//! by `set_now` — fine for the simulator, where the kernel owns time, but
+//! useless for a long-running wall-clock process whose telemetry must
+//! stamp and window on real time. [`TelemetryClock`] abstracts the source:
+//! the simulator keeps the manual clock (a pure function of sim inputs, so
+//! traces stay byte-identical), while `jl-serve` installs a wall clock
+//! anchored at run start, making `now()` meaningful between callbacks —
+//! which is what sliding-window metrics and mid-run snapshots key off.
+//!
+//! Both backends still *stamp events* with the timestamps their callbacks
+//! carry; the clock only answers "what time is it *now*" for out-of-band
+//! consumers (windowed histograms, live snapshots, SLO checks).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use jl_simkit::time::SimTime;
+
+/// Source of the recorder's current time. `Send + Sync`: a wall clock is
+/// read from scrape/responder threads while the event loop runs.
+pub trait TelemetryClock: Send + Sync {
+    /// The current time, as nanoseconds on the run's own axis.
+    fn now(&self) -> SimTime;
+}
+
+/// Wall clock anchored at construction: `now()` is nanoseconds since the
+/// anchor, the same axis the wall-clock backend's run clock uses.
+#[derive(Debug)]
+pub struct WallClock {
+    start: Instant,
+}
+
+impl WallClock {
+    /// Anchor a wall clock at the current instant.
+    pub fn new() -> Self {
+        WallClock {
+            start: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl TelemetryClock for WallClock {
+    fn now(&self) -> SimTime {
+        SimTime(self.start.elapsed().as_nanos() as u64)
+    }
+}
+
+/// Adapter over any `Fn() -> SimTime` — how a runtime that already owns a
+/// run clock (e.g. `RealHandle::now`) lends it to telemetry without a
+/// dependency edge.
+pub struct FnClock(Arc<dyn Fn() -> SimTime + Send + Sync>);
+
+impl FnClock {
+    /// Wrap a closure as a clock.
+    pub fn new(f: impl Fn() -> SimTime + Send + Sync + 'static) -> Self {
+        FnClock(Arc::new(f))
+    }
+}
+
+impl TelemetryClock for FnClock {
+    fn now(&self) -> SimTime {
+        (self.0)()
+    }
+}
+
+impl std::fmt::Debug for FnClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("FnClock").finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotone() {
+        let c = WallClock::new();
+        let a = c.now();
+        let b = c.now();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn fn_clock_delegates() {
+        let c = FnClock::new(|| SimTime(42));
+        assert_eq!(c.now(), SimTime(42));
+    }
+}

@@ -1,0 +1,438 @@
+//! Prometheus-style text exposition over the metrics registry, plus the
+//! validator `trace_check --stats` and the tests use.
+//!
+//! Hand-rolled on purpose: the exposition format is line-oriented text
+//! (`# TYPE` declarations followed by `name{labels} value` samples,
+//! terminated by `# EOF`), and the repo vendors no HTTP or metrics
+//! libraries. Families are emitted sorted by name with all their samples
+//! grouped, so a scrape is deterministic for a fixed registry state.
+//!
+//! The family vocabulary ([`known_family`]) is the registry schema the
+//! validator checks scraped names against; an engine-side test pins that
+//! every family a run snapshot produces is in the vocabulary, so the two
+//! cannot drift apart silently.
+
+use std::collections::BTreeMap;
+
+use jl_simkit::time::SimTime;
+
+use crate::registry::{jf, Metric, MetricsRegistry};
+
+/// Quantiles exposed for every histogram family.
+const QUANTILES: [(f64, &str); 3] = [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99")];
+
+/// Accumulates samples grouped by family, then renders the exposition.
+#[derive(Debug, Default)]
+pub struct ExpoBuilder {
+    families: BTreeMap<String, FamilyCell>,
+}
+
+#[derive(Debug)]
+struct FamilyCell {
+    kind: &'static str,
+    samples: Vec<(String, String)>, // (rendered label block, rendered value)
+}
+
+impl ExpoBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn sample(&mut self, family: &str, kind: &'static str, labels: &[(&str, &str)], value: String) {
+        let cell = self
+            .families
+            .entry(family.to_string())
+            .or_insert_with(|| FamilyCell {
+                kind,
+                samples: Vec::new(),
+            });
+        debug_assert_eq!(cell.kind, kind, "family {family} redeclared as {kind}");
+        cell.samples.push((render_labels(labels), value));
+    }
+
+    /// Add a counter sample.
+    pub fn counter(&mut self, family: &str, labels: &[(&str, &str)], value: u64) {
+        self.sample(family, "counter", labels, value.to_string());
+    }
+
+    /// Add a gauge sample.
+    pub fn gauge(&mut self, family: &str, labels: &[(&str, &str)], value: f64) {
+        self.sample(family, "gauge", labels, jf(value));
+    }
+
+    /// Fold a whole [`MetricsRegistry`] in: one family per metric kind
+    /// mapping (see the module docs), every sample labeled with its node
+    /// (`names` supplies display names; unnamed nodes fall back to the
+    /// numeric id). `end` closes out time-weighted gauges.
+    pub fn add_registry(&mut self, reg: &MetricsRegistry, names: &[(u32, String)], end: SimTime) {
+        let name_of = |node: u32| -> String {
+            names
+                .iter()
+                .find(|(id, _)| *id == node)
+                .map(|(_, n)| n.clone())
+                .unwrap_or_else(|| node.to_string())
+        };
+        for (&(node, scope, name), metric) in reg.iter() {
+            let node_name = name_of(node);
+            let node_label: &[(&str, &str)] = &[("node", &node_name)];
+            match metric {
+                Metric::Counter(c) => {
+                    self.counter(&format!("jl_{scope}_{name}_total"), node_label, *c);
+                }
+                Metric::Gauge(v) => {
+                    self.gauge(&format!("jl_{scope}_{name}"), node_label, *v);
+                }
+                Metric::TimeGauge(g) => {
+                    let fam = format!("jl_{scope}_{name}");
+                    for (stat, v) in [
+                        ("avg", g.average(end)),
+                        ("peak", g.peak()),
+                        ("last", g.value()),
+                    ] {
+                        self.gauge(&fam, &[("node", &node_name), ("stat", stat)], v);
+                    }
+                }
+                Metric::Hist(h) => {
+                    let fam = format!("jl_{scope}_{name}_seconds");
+                    for (q, qs) in QUANTILES {
+                        self.gauge(
+                            &fam,
+                            &[("node", &node_name), ("quantile", qs)],
+                            h.quantile(q).as_secs_f64(),
+                        );
+                    }
+                    self.counter(&format!("{fam}_count"), node_label, h.count());
+                }
+                Metric::Stats(m) => {
+                    let fam = format!("jl_{scope}_{name}");
+                    for (stat, v) in [
+                        ("mean", m.mean()),
+                        ("min", m.min()),
+                        ("max", m.max()),
+                        ("stddev", m.stddev()),
+                    ] {
+                        self.gauge(&fam, &[("node", &node_name), ("stat", stat)], v);
+                    }
+                    self.counter(&format!("{fam}_count"), node_label, m.count());
+                }
+            }
+        }
+    }
+
+    /// Render the exposition: families sorted by name, each with its
+    /// `# TYPE` line then its samples, terminated by `# EOF`.
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(64 + self.families.len() * 96);
+        for (family, cell) in &self.families {
+            out.push_str(&format!("# TYPE {family} {}\n", cell.kind));
+            for (labels, value) in &cell.samples {
+                out.push_str(family);
+                out.push_str(labels);
+                out.push(' ');
+                out.push_str(value);
+                out.push('\n');
+            }
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+/// Render a label block: `{k="v",…}`, or empty for no labels.
+fn render_labels(labels: &[(&str, &str)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
+/// What [`validate_exposition`] counted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpoCheck {
+    /// `# TYPE`-declared families.
+    pub families: usize,
+    /// Sample lines.
+    pub samples: usize,
+}
+
+/// Validate a Prometheus text exposition: every sample's family must be
+/// `# TYPE`-declared first and present in the registry schema
+/// ([`known_family`]), label blocks and values must parse, and the
+/// document must end with `# EOF`.
+pub fn validate_exposition(text: &str) -> Result<ExpoCheck, String> {
+    let mut declared: BTreeMap<&str, &str> = BTreeMap::new();
+    let mut samples = 0usize;
+    let mut saw_eof = false;
+    for (ln, line) in text.lines().enumerate() {
+        let ln = ln + 1;
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if saw_eof {
+            return Err(format!("line {ln}: content after # EOF"));
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut it = rest.split_whitespace();
+            let (Some(family), Some(kind)) = (it.next(), it.next()) else {
+                return Err(format!("line {ln}: malformed TYPE line"));
+            };
+            if !matches!(kind, "counter" | "gauge") {
+                return Err(format!("line {ln}: unknown metric kind {kind}"));
+            }
+            if it.next().is_some() {
+                return Err(format!("line {ln}: trailing tokens on TYPE line"));
+            }
+            if declared.insert(family, kind).is_some() {
+                return Err(format!("line {ln}: family {family} declared twice"));
+            }
+            if !known_family(family) {
+                return Err(format!(
+                    "line {ln}: family {family} not in the registry schema"
+                ));
+            }
+            continue;
+        }
+        if line == "# EOF" {
+            saw_eof = true;
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // other comments (HELP etc.) are legal
+        }
+        // Sample line: name[{labels}] value
+        let name_end = line
+            .find(['{', ' '])
+            .ok_or_else(|| format!("line {ln}: no value on sample line"))?;
+        let name = &line[..name_end];
+        if !declared.contains_key(name) {
+            return Err(format!("line {ln}: sample for undeclared family {name}"));
+        }
+        let rest = &line[name_end..];
+        let value_str = if let Some(rest) = rest.strip_prefix('{') {
+            let close = rest
+                .find('}')
+                .ok_or_else(|| format!("line {ln}: unterminated label block"))?;
+            let labels = &rest[..close];
+            for pair in labels.split(',').filter(|p| !p.is_empty()) {
+                let (k, v) = pair
+                    .split_once('=')
+                    .ok_or_else(|| format!("line {ln}: malformed label {pair}"))?;
+                if k.is_empty()
+                    || !k.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+                    || !v.starts_with('"')
+                    || !v.ends_with('"')
+                    || v.len() < 2
+                {
+                    return Err(format!("line {ln}: malformed label {pair}"));
+                }
+            }
+            rest[close + 1..].trim_start()
+        } else {
+            rest.trim_start()
+        };
+        value_str
+            .parse::<f64>()
+            .map_err(|_| format!("line {ln}: unparseable value {value_str}"))?;
+        samples += 1;
+    }
+    if !saw_eof {
+        return Err("missing # EOF terminator".to_string());
+    }
+    Ok(ExpoCheck {
+        families: declared.len(),
+        samples,
+    })
+}
+
+/// The serving layer's own families (everything else comes from the
+/// registry schema below).
+const SERVE_FAMILIES: [&str; 9] = [
+    "jl_serve_up",
+    "jl_serve_requests_total",
+    "jl_serve_malformed_total",
+    "jl_serve_inflight",
+    "jl_serve_latency_window_seconds",
+    "jl_serve_latency_window_seconds_count",
+    "jl_serve_window_rate_per_sec",
+    "jl_flight_recorded_total",
+    "jl_flight_retained",
+];
+
+/// Engine registry vocabulary, as `(scope, name, kind)` — the cross
+/// product the runner's metrics snapshot can produce. An engine test pins
+/// this list against an actual snapshot.
+const REGISTRY_VOCAB: [(&str, &str, MetricShape); 57] = [
+    ("latency", "tuple", MetricShape::Hist),
+    ("latency", "remote", MetricShape::Hist),
+    ("latency", "local", MetricShape::Hist),
+    ("pipeline", "outstanding", MetricShape::Gauge),
+    ("pipeline", "ingested", MetricShape::Counter),
+    ("pipeline", "completed", MetricShape::Counter),
+    ("retry", "retries", MetricShape::Counter),
+    ("retry", "failovers", MetricShape::Counter),
+    ("retry", "gave_up", MetricShape::Counter),
+    ("overload", "shed", MetricShape::Counter),
+    ("overload", "deadline_misses", MetricShape::Counter),
+    ("overload", "nacks_seen", MetricShape::Counter),
+    ("overload", "peak_ingest_queue", MetricShape::Counter),
+    ("overload", "nacks_sent", MetricShape::Counter),
+    ("overload", "pressure_events", MetricShape::Counter),
+    ("overload", "peak_queue_depth", MetricShape::Counter),
+    ("overload", "queue_depth", MetricShape::Gauge),
+    ("decision", "compute_requests", MetricShape::Counter),
+    ("decision", "data_requests", MetricShape::Counter),
+    ("decision", "mem_hits", MetricShape::Counter),
+    ("decision", "disk_hits", MetricShape::Counter),
+    ("decision", "bounced_local", MetricShape::Counter),
+    ("decision", "rent", MetricShape::Counter),
+    ("decision", "buy", MetricShape::Counter),
+    ("cache", "mem_hits", MetricShape::Counter),
+    ("cache", "disk_hits", MetricShape::Counter),
+    ("cache", "misses", MetricShape::Counter),
+    ("cache", "inserts_mem", MetricShape::Counter),
+    ("cache", "inserts_disk", MetricShape::Counter),
+    ("cache", "invalidations", MetricShape::Counter),
+    ("serve", "batches", MetricShape::Counter),
+    ("serve", "compute_requests", MetricShape::Counter),
+    ("serve", "data_requests", MetricShape::Counter),
+    ("serve", "executed_here", MetricShape::Counter),
+    ("serve", "bounced", MetricShape::Counter),
+    ("serve", "udf_execs", MetricShape::Counter),
+    ("store", "gets", MetricShape::Counter),
+    ("store", "get_misses", MetricShape::Counter),
+    ("store", "puts", MetricShape::Counter),
+    ("blockcache", "hits", MetricShape::Counter),
+    ("blockcache", "misses", MetricShape::Counter),
+    ("blockcache", "evictions", MetricShape::Counter),
+    ("blockcache", "hit_ratio", MetricShape::Gauge),
+    ("fault", "crashes", MetricShape::Counter),
+    ("net", "messages", MetricShape::Counter),
+    ("net", "bytes", MetricShape::Counter),
+    ("net", "dropped", MetricShape::Counter),
+    ("net", "delayed", MetricShape::Counter),
+    ("net", "dropped_in", MetricShape::Counter),
+    ("net", "delayed_in", MetricShape::Counter),
+    ("cpu", "utilization", MetricShape::Gauge),
+    ("cpu", "jobs", MetricShape::Counter),
+    ("cpu", "wait", MetricShape::Hist),
+    ("disk", "utilization", MetricShape::Gauge),
+    ("disk", "jobs", MetricShape::Counter),
+    ("disk", "wait", MetricShape::Hist),
+    ("nic_in", "utilization", MetricShape::Gauge),
+    // nic_in/nic_out jobs+wait and nic_out utilization are appended via
+    // the NIC expansion in `known_family` to keep this table readable.
+];
+
+/// Shape of a vocabulary entry — what exposition families it expands to.
+#[derive(Debug, Clone, Copy)]
+enum MetricShape {
+    Counter,
+    Gauge,
+    Hist,
+}
+
+/// Whether `family` is part of the exposition schema: a serve-layer
+/// family or an expansion of the engine registry vocabulary.
+pub fn known_family(family: &str) -> bool {
+    if SERVE_FAMILIES.contains(&family) {
+        return true;
+    }
+    let vocab = REGISTRY_VOCAB.iter().copied().chain([
+        ("nic_in", "jobs", MetricShape::Counter),
+        ("nic_in", "wait", MetricShape::Hist),
+        ("nic_out", "utilization", MetricShape::Gauge),
+        ("nic_out", "jobs", MetricShape::Counter),
+        ("nic_out", "wait", MetricShape::Hist),
+    ]);
+    for (scope, name, shape) in vocab {
+        let base = format!("jl_{scope}_{name}");
+        let matched = match shape {
+            MetricShape::Counter => family == format!("{base}_total"),
+            MetricShape::Gauge => family == base,
+            MetricShape::Hist => {
+                family == format!("{base}_seconds") || family == format!("{base}_seconds_count")
+            }
+        };
+        if matched {
+            return true;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jl_simkit::time::SimDuration;
+
+    #[test]
+    fn registry_exposition_round_trips() {
+        let mut reg = MetricsRegistry::new();
+        reg.counter_add(0, "cache", "mem_hits", 7);
+        reg.gauge_set(3, "cpu", "utilization", 0.25);
+        reg.hist_record(0, "latency", "tuple", SimDuration::from_micros(250));
+        reg.time_gauge_set(3, "overload", "queue_depth", SimTime(1_000), 4.0);
+        let mut b = ExpoBuilder::new();
+        b.add_registry(
+            &reg,
+            &[(0, "C0".to_string()), (3, "D0".to_string())],
+            SimTime(2_000),
+        );
+        let text = b.render();
+        assert!(text.contains("# TYPE jl_cache_mem_hits_total counter"));
+        assert!(text.contains("jl_cache_mem_hits_total{node=\"C0\"} 7"));
+        assert!(text.contains("jl_latency_tuple_seconds{node=\"C0\",quantile=\"0.99\"}"));
+        assert!(text.contains("jl_overload_queue_depth{node=\"D0\",stat=\"last\"} 4.000000000"));
+        assert!(text.ends_with("# EOF\n"));
+        let check = validate_exposition(&text).expect("valid exposition");
+        assert_eq!(check.families, 5);
+        assert!(check.samples >= 8);
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_exposition("jl_cache_hits_total 1\n# EOF\n")
+            .unwrap_err()
+            .contains("undeclared"));
+        assert!(validate_exposition("# TYPE jl_bogus_thing gauge\n# EOF\n")
+            .unwrap_err()
+            .contains("not in the registry schema"));
+        assert!(validate_exposition(
+            "# TYPE jl_serve_inflight gauge\njl_serve_inflight x\n# EOF\n"
+        )
+        .unwrap_err()
+        .contains("unparseable value"));
+        assert!(validate_exposition("# TYPE jl_serve_inflight gauge\n")
+            .unwrap_err()
+            .contains("missing # EOF"));
+    }
+
+    #[test]
+    fn serve_families_are_known() {
+        for f in SERVE_FAMILIES {
+            assert!(known_family(f), "{f}");
+        }
+        assert!(known_family("jl_nic_out_wait_seconds_count"));
+        assert!(!known_family("jl_made_up_total"));
+    }
+}

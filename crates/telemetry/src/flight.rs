@@ -1,0 +1,193 @@
+//! The flight recorder: a bounded ring of recent trace events.
+//!
+//! A long-running server cannot buffer its whole trace (PR 8's
+//! [`EventLog`] grows without bound), but post-incident debugging wants
+//! the *recent* past — what the cluster was doing in the seconds before a
+//! fault or an SLO breach. The flight recorder keeps the last `cap` to
+//! `2·cap` events in two [`EventLog`] generations: events append to the
+//! current generation (the same 48-byte packed core and shared argument
+//! arena as a full trace buffer, so the hot path is identical), and when
+//! it fills, the older generation is cleared and the roles swap. Memory
+//! is bounded by the generation capacity; no per-event bookkeeping, no
+//! compaction.
+//!
+//! A dump **drains** the ring: both generations are taken (an O(1)
+//! pointer swap under the recorder lock — never a copy, so a scrape
+//! thread dumping mid-run cannot stall the event loop) and stitched into
+//! one log in emission order. The recorder restarts empty, which is the
+//! semantics you want from an incident snapshot: the next dump covers the
+//! next incident.
+
+use jl_simkit::time::{SimDuration, SimTime};
+
+use crate::event::{Arg, EventLog, Track};
+
+/// Default event capacity per generation (the ring retains between this
+/// and twice this many events).
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 16 * 1024;
+
+/// Fixed-size ring of recent packed trace events. See the module docs.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    /// Older generation (possibly empty right after a swap or a drain).
+    prev: EventLog,
+    /// Current generation; fills to `cap` then swaps.
+    cur: EventLog,
+    cap: usize,
+    /// Events ever offered, including overwritten ones — cheap liveness
+    /// accounting for stats snapshots.
+    recorded: u64,
+}
+
+impl FlightRecorder {
+    /// Ring retaining between `cap` and `2·cap` recent events.
+    ///
+    /// # Panics
+    /// Panics on zero capacity.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "flight recorder capacity must be nonzero");
+        FlightRecorder {
+            prev: EventLog::new(),
+            cur: EventLog::with_capacity(cap.min(DEFAULT_FLIGHT_CAPACITY)),
+            cap,
+            recorded: 0,
+        }
+    }
+
+    /// Append one event from its parts (the same allocation-free shape as
+    /// [`EventLog::push_parts`]).
+    #[inline]
+    pub fn record_parts(
+        &mut self,
+        node: u32,
+        track: Track,
+        name: &'static str,
+        start: SimTime,
+        dur: Option<SimDuration>,
+        args: &[Arg],
+    ) {
+        if self.cur.len() >= self.cap {
+            self.rotate();
+        }
+        self.cur.push_parts(node, track, name, start, dur, args);
+        self.recorded += 1;
+    }
+
+    /// Swap generations: the old `prev` is dropped, `cur` becomes `prev`,
+    /// and recording continues into a fresh current generation. Capacity
+    /// is recycled from the dropped generation's allocation when possible.
+    fn rotate(&mut self) {
+        let fresh = EventLog::with_capacity(self.cap.min(DEFAULT_FLIGHT_CAPACITY));
+        self.prev = std::mem::replace(&mut self.cur, fresh);
+    }
+
+    /// Events currently retained (both generations).
+    pub fn len(&self) -> usize {
+        self.prev.len() + self.cur.len()
+    }
+
+    /// Whether the ring holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Events ever offered to the ring (monotonic, survives drains).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Ring capacity per generation.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Take everything retained, oldest first, leaving the ring empty.
+    /// The takes themselves are O(1) swaps; stitching the two generations
+    /// into one log happens on the *caller's* thread, after the recorder
+    /// lock is released.
+    pub fn drain(&mut self) -> (EventLog, EventLog) {
+        (
+            std::mem::take(&mut self.prev),
+            std::mem::replace(
+                &mut self.cur,
+                EventLog::with_capacity(self.cap.min(DEFAULT_FLIGHT_CAPACITY)),
+            ),
+        )
+    }
+}
+
+/// Stitch a drained pair of generations into one log in emission order.
+/// Runs off the recorder lock (see [`FlightRecorder::drain`]).
+pub fn stitch(generations: (EventLog, EventLog)) -> EventLog {
+    let (prev, cur) = generations;
+    if prev.is_empty() {
+        return cur;
+    }
+    let mut out = EventLog::with_capacity(prev.len() + cur.len());
+    for log in [&prev, &cur] {
+        for ev in log.iter() {
+            out.push_parts(ev.node, ev.track, ev.name, ev.start, ev.dur, ev.args);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::ArgVal;
+
+    fn inst(r: &mut FlightRecorder, i: u64) {
+        r.record_parts(
+            0,
+            Track::Fault,
+            "tick",
+            SimTime(i),
+            None,
+            &[("i", ArgVal::U64(i))],
+        );
+    }
+
+    #[test]
+    fn retains_between_cap_and_two_cap() {
+        let mut r = FlightRecorder::new(8);
+        for i in 0..100 {
+            inst(&mut r, i);
+        }
+        assert!(r.len() >= 8 && r.len() <= 16, "len = {}", r.len());
+        assert_eq!(r.recorded(), 100);
+        let log = stitch(r.drain());
+        // Oldest-first and contiguous up to the newest event.
+        let starts: Vec<u64> = log.iter().map(|e| e.start.nanos()).collect();
+        assert_eq!(*starts.last().unwrap(), 99);
+        assert!(starts.windows(2).all(|w| w[1] == w[0] + 1));
+        assert!(r.is_empty(), "drain empties the ring");
+    }
+
+    #[test]
+    fn drain_preserves_args_and_order() {
+        let mut r = FlightRecorder::new(4);
+        for i in 0..6 {
+            inst(&mut r, i);
+        }
+        let log = stitch(r.drain());
+        let views: Vec<_> = log.iter().collect();
+        assert_eq!(views.len(), 6);
+        let ArgVal::U64(first) = views[0].args[0].1 else {
+            panic!("u64 arg");
+        };
+        for (k, v) in views.iter().enumerate() {
+            assert_eq!(v.args[0].1, ArgVal::U64(first + k as u64));
+        }
+        assert_eq!(views.last().unwrap().args[0].1, ArgVal::U64(5));
+    }
+
+    #[test]
+    fn memory_stays_bounded() {
+        let mut r = FlightRecorder::new(16);
+        for i in 0..10_000 {
+            inst(&mut r, i);
+        }
+        assert!(r.len() <= 32);
+    }
+}

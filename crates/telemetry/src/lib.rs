@@ -23,19 +23,27 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod clock;
 pub mod event;
+pub mod expo;
+pub mod flight;
 pub mod json;
 pub mod recorder;
 pub mod registry;
 pub mod summary;
+pub mod window;
 
 pub use chrome::chrome_trace_json;
+pub use clock::{FnClock, TelemetryClock, WallClock};
 pub use event::{Arg, ArgVal, EventLog, EventView, TraceEvent, Track};
+pub use expo::{validate_exposition, ExpoBuilder, ExpoCheck};
+pub use flight::{FlightRecorder, DEFAULT_FLIGHT_CAPACITY};
 pub use recorder::{
     shared, NoopSink, Telemetry, TelemetryConfig, TelemetryHandle, TelemetrySink, VecSink,
 };
 pub use registry::{Metric, MetricsRegistry};
 pub use summary::summary_text;
+pub use window::{WindowSnapshot, WindowedCounter, WindowedHistogram};
 
 use jl_simkit::time::SimTime;
 
@@ -50,6 +58,9 @@ pub struct RunTelemetry {
     pub registry: MetricsRegistry,
     /// Display names for the simulated nodes: `(node id, name)`.
     pub processes: Vec<(u32, String)>,
+    /// Final flight-recorder contents, when the run armed a ring
+    /// (stitched oldest-first; `None` when the ring was off).
+    pub flight: Option<EventLog>,
 }
 
 impl RunTelemetry {
@@ -66,6 +77,14 @@ impl RunTelemetry {
     /// Machine-parseable text summary of the metrics registry.
     pub fn summary(&self) -> String {
         summary_text(&self.registry, &self.processes, self.end)
+    }
+
+    /// Chrome trace-event JSON of the flight ring's final contents, or
+    /// `None` when the run recorded without a ring.
+    pub fn flight_chrome_json(&self) -> Option<String> {
+        self.flight
+            .as_ref()
+            .map(|log| chrome_trace_json(log, &self.processes))
     }
 }
 
@@ -95,6 +114,7 @@ mod tests {
             events,
             registry,
             processes: vec![(0, "C0".to_string())],
+            flight: None,
         };
         let trace = run.to_chrome_json();
         let check = json::validate_chrome_trace(&trace).unwrap();

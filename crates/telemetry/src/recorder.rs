@@ -19,7 +19,9 @@ use std::sync::Arc;
 
 use jl_simkit::time::SimTime;
 
+use crate::clock::TelemetryClock;
 use crate::event::{Arg, Args, EventLog, TraceEvent};
+use crate::flight::FlightRecorder;
 use crate::registry::MetricsRegistry;
 
 /// Destination for recorded trace events. The default [`VecSink`] buffers
@@ -66,11 +68,40 @@ pub struct TelemetryConfig {
     /// Record span/instant trace events (metrics are always collected once
     /// telemetry is on).
     pub spans: bool,
+    /// Arm the flight recorder with this per-generation event capacity: a
+    /// bounded ring of recent events that every recorded event is teed
+    /// into, dumpable mid-run (see [`crate::flight::FlightRecorder`]).
+    /// Independent of `spans` — a long-running server arms the ring with
+    /// spans *off*, so nothing grows without bound.
+    pub flight: Option<usize>,
 }
 
 impl Default for TelemetryConfig {
     fn default() -> Self {
-        TelemetryConfig { spans: true }
+        TelemetryConfig {
+            spans: true,
+            flight: None,
+        }
+    }
+}
+
+impl TelemetryConfig {
+    /// Default config with the flight recorder armed at `cap` events per
+    /// generation.
+    pub fn with_flight(cap: usize) -> Self {
+        TelemetryConfig {
+            flight: Some(cap),
+            ..Default::default()
+        }
+    }
+
+    /// Ring-only config: no unbounded span buffer, flight recorder armed —
+    /// the always-on serving shape.
+    pub fn flight_only(cap: usize) -> Self {
+        TelemetryConfig {
+            spans: false,
+            flight: Some(cap),
+        }
     }
 }
 
@@ -90,6 +121,11 @@ pub struct Telemetry {
     pub registry: MetricsRegistry,
     now: SimTime,
     spans: bool,
+    /// Bounded ring of recent events, teed from every record when armed.
+    ring: Option<FlightRecorder>,
+    /// Source of [`Telemetry::now`] when installed (wall clock on the real
+    /// backend); `None` keeps the manual `set_now` clock.
+    clock: Option<Box<dyn TelemetryClock>>,
 }
 
 impl Telemetry {
@@ -110,6 +146,8 @@ impl Telemetry {
             registry: MetricsRegistry::new(),
             now: SimTime::ZERO,
             spans: config.spans,
+            ring: config.flight.map(FlightRecorder::new),
+            clock: None,
         }
     }
 
@@ -120,7 +158,17 @@ impl Telemetry {
             registry: MetricsRegistry::new(),
             now: SimTime::ZERO,
             spans: config.spans,
+            ring: config.flight.map(FlightRecorder::new),
+            clock: None,
         }
+    }
+
+    /// Install a clock as the source of [`Telemetry::now`]. The simulator
+    /// never installs one (its traces must be a pure function of sim
+    /// inputs); the wall-clock backend lends its run clock so out-of-band
+    /// consumers — windowed metrics, live snapshots — see real time.
+    pub fn set_clock(&mut self, clock: Box<dyn TelemetryClock>) {
+        self.clock = Some(clock);
     }
 
     /// Advance the recorder's clock for callers that stamp events with
@@ -133,10 +181,15 @@ impl Telemetry {
         self.now = now;
     }
 
-    /// The recorder's current simulated time.
+    /// The recorder's current time: the installed
+    /// [`clock`](Telemetry::set_clock) when present, else the manual
+    /// `set_now` clock.
     #[inline]
     pub fn now(&self) -> SimTime {
-        self.now
+        match &self.clock {
+            Some(c) => c.now(),
+            None => self.now,
+        }
     }
 
     /// Whether span recording is enabled.
@@ -145,9 +198,22 @@ impl Telemetry {
         self.spans
     }
 
-    /// Record a trace event (dropped when spans are disabled).
+    /// Whether recorded events go anywhere: the span buffer/sink, the
+    /// flight ring, or both. Emitters gate on this — with spans off but
+    /// the ring armed, events still flow (into bounded memory).
+    #[inline]
+    pub fn events_enabled(&self) -> bool {
+        self.spans || self.ring.is_some()
+    }
+
+    /// Record a trace event. Teed into the flight ring when armed;
+    /// dropped from the span buffer when spans are disabled.
     #[inline]
     pub fn record(&mut self, ev: TraceEvent) {
+        if let Some(ring) = &mut self.ring {
+            let args: Vec<Arg> = ev.args.iter().cloned().collect();
+            ring.record_parts(ev.node, ev.track, ev.name, ev.start, ev.dur, &args);
+        }
         if self.spans {
             match &mut self.sink {
                 SinkImpl::Buffer(events) => events.push(ev),
@@ -156,10 +222,11 @@ impl Telemetry {
         }
     }
 
-    /// Record a trace event from its parts (dropped when spans are
-    /// disabled) — the allocation-free fast path for hot emitters, see
-    /// [`EventLog::push_parts`]. A custom sink still receives a whole
-    /// [`TraceEvent`], assembled here on the cold branch.
+    /// Record a trace event from its parts — the allocation-free fast
+    /// path for hot emitters, see [`EventLog::push_parts`]. Teed into the
+    /// flight ring when armed; dropped from the span buffer when spans
+    /// are disabled. A custom sink still receives a whole [`TraceEvent`],
+    /// assembled here on the cold branch.
     #[inline]
     pub fn record_parts(
         &mut self,
@@ -170,6 +237,9 @@ impl Telemetry {
         dur: Option<jl_simkit::time::SimDuration>,
         args: &[Arg],
     ) {
+        if let Some(ring) = &mut self.ring {
+            ring.record_parts(node, track, name, start, dur, args);
+        }
         if !self.spans {
             return;
         }
@@ -192,9 +262,25 @@ impl Telemetry {
         }
     }
 
+    /// Drain the flight ring, if armed: both generations, oldest first,
+    /// leaving the ring empty and still recording. O(1) under the
+    /// recorder lock — stitch the generations with
+    /// [`crate::flight::stitch`] *after* releasing the guard.
+    pub fn drain_flight(&mut self) -> Option<(EventLog, EventLog)> {
+        self.ring.as_mut().map(|r| r.drain())
+    }
+
+    /// Flight-ring liveness: `(events ever recorded, events retained)`,
+    /// or `None` when the ring is not armed.
+    pub fn flight_stats(&self) -> Option<(u64, usize)> {
+        self.ring.as_ref().map(|r| (r.recorded(), r.len()))
+    }
+
     /// Tear down, returning the buffered event log and the metrics
     /// registry. A custom sink's drained events are repacked into a log so
-    /// both paths hand back the same shape.
+    /// both paths hand back the same shape. The flight ring, if still
+    /// armed, is dropped — dumps are a mid-run affair
+    /// ([`Telemetry::drain_flight`]).
     pub fn finish(self) -> (EventLog, MetricsRegistry) {
         let events = match self.sink {
             SinkImpl::Buffer(events) => events,
@@ -209,6 +295,7 @@ impl std::fmt::Debug for Telemetry {
         f.debug_struct("Telemetry")
             .field("now", &self.now)
             .field("spans", &self.spans)
+            .field("flight", &self.ring.as_ref().map(|r| r.capacity()))
             .field("registry_len", &self.registry.len())
             .finish()
     }
@@ -369,7 +456,10 @@ mod tests {
 
     #[test]
     fn spans_disabled_drops_events_but_keeps_metrics() {
-        let mut t = Telemetry::new(TelemetryConfig { spans: false });
+        let mut t = Telemetry::new(TelemetryConfig {
+            spans: false,
+            ..Default::default()
+        });
         t.record(TraceEvent::instant(0, Track::Fault, "crash", SimTime::ZERO));
         t.registry.counter_add(0, "fault", "crashes", 1);
         assert!(!t.spans_enabled());

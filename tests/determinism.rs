@@ -13,7 +13,10 @@
 use jl_bench::experiments::{
     bench_synthetic_report, bench_synthetic_report_parallel, fig6_stream_report,
 };
-use jl_bench::{fig8, fig_chaos, fig_overload, traced_chaos_run, traced_chaos_run_parallel};
+use jl_bench::{
+    fig8, fig_chaos, fig_overload, traced_chaos_run, traced_chaos_run_parallel,
+    traced_chaos_run_with,
+};
 use jl_core::Strategy;
 use jl_workloads::SyntheticSpec;
 
@@ -186,6 +189,82 @@ fn traced_parallel_kernel_replays_the_serial_trace() {
             tel.metrics_json(),
             serial_metrics,
             "metrics JSON differs from serial at {threads} worker shards"
+        );
+    }
+}
+
+/// Flight-recorder invariance: the always-on ring is a pure tee off the
+/// recorder's event path, so arming it must change *nothing* about the
+/// run — the `RunReport`, the buffered Chrome trace, and the metrics JSON
+/// all stay byte-identical to the unarmed run, serially and at every
+/// worker-shard count. The ring itself must hold a bounded, non-empty
+/// tail that stitches into a valid Chrome trace, identical across shard
+/// counts (same events, same order — the journaled commit walk feeds it).
+#[test]
+fn flight_recorder_is_a_pure_tee_at_every_shard_count() {
+    let scale = 0.05;
+    let seed = 7;
+    let cap = 2_048;
+
+    let (bare_report, bare_tel) = traced_chaos_run(scale, seed);
+    let bare_report = format!("{bare_report:?}");
+    let bare_trace = bare_tel.to_chrome_json();
+    let bare_metrics = bare_tel.metrics_json();
+    assert!(bare_tel.flight.is_none(), "unarmed run must carry no ring");
+
+    let armed = jl_telemetry::TelemetryConfig::with_flight(cap);
+    let (serial_report, serial_tel) = traced_chaos_run_with(scale, seed, armed, None);
+    assert_eq!(
+        format!("{serial_report:?}"),
+        bare_report,
+        "arming the flight ring changed the serial RunReport"
+    );
+    assert_eq!(
+        serial_tel.to_chrome_json(),
+        bare_trace,
+        "arming the flight ring changed the serial trace bytes"
+    );
+    assert_eq!(
+        serial_tel.metrics_json(),
+        bare_metrics,
+        "arming the flight ring changed the serial metrics bytes"
+    );
+    let serial_flight = serial_tel
+        .flight_chrome_json()
+        .expect("armed run must retain a flight tail");
+    let check = jl_telemetry::json::validate_chrome_trace(&serial_flight)
+        .expect("flight dump must be valid Chrome trace JSON");
+    assert!(
+        check.spans + check.instants > 0,
+        "flight ring retained nothing"
+    );
+    let retained = serial_tel.flight.as_ref().map(|l| l.len()).unwrap_or(0);
+    assert!(
+        retained >= cap && retained <= 2 * cap,
+        "two-generation ring retains cap..=2*cap events, got {retained}"
+    );
+
+    for threads in [1usize, 2, 8] {
+        let (report, tel) = traced_chaos_run_with(scale, seed, armed, Some(threads));
+        assert_eq!(
+            format!("{report:?}"),
+            bare_report,
+            "armed parallel RunReport differs at {threads} worker shards"
+        );
+        assert_eq!(
+            tel.to_chrome_json(),
+            bare_trace,
+            "armed parallel trace differs at {threads} worker shards"
+        );
+        assert_eq!(
+            tel.metrics_json(),
+            bare_metrics,
+            "armed parallel metrics differ at {threads} worker shards"
+        );
+        assert_eq!(
+            tel.flight_chrome_json().as_deref(),
+            Some(serial_flight.as_str()),
+            "flight ring contents differ at {threads} worker shards"
         );
     }
 }

@@ -1,0 +1,198 @@
+//! Live-observability integration tests for the serving layer.
+//!
+//! These drive real `serve_observed` sessions — wall-clock backend, real
+//! threads — and scrape them while tuples are in flight: in-band
+//! `METRICS`/`STATS`/`DUMP` commands on the request stream, the
+//! out-of-band [`ServeShared`] seam the `--stats-port` listener uses, and
+//! the SLO-breach flight dump. Everything asserted here is
+//! timing-independent: reader-side counters are sequenced by input order,
+//! artifacts are schema-validated rather than value-compared.
+
+use std::io::{BufRead, BufReader, Cursor, Write};
+use std::net::{TcpListener, TcpStream};
+
+use jl_bench::{serve_observed, ObserveConfig, ServeConfig, ServeShared};
+use jl_telemetry::validate_exposition;
+
+fn observed_cfg(dump: Option<std::path::PathBuf>) -> ServeConfig {
+    ServeConfig {
+        n_compute: 2,
+        n_data: 2,
+        rows: 128,
+        value_size: 1_024,
+        observe: Some(ObserveConfig {
+            flight: 4_096,
+            window_slots: 5,
+            slot_ms: 200,
+            sample_ms: 5,
+            slo_p99_ms: None,
+            dump_path: dump,
+        }),
+        ..ServeConfig::default()
+    }
+}
+
+/// Split a session's output stream into data responses, exposition lines,
+/// stats JSON lines, and dump replies. Every reply kind is line-atomic
+/// (single-writer responder), so prefix classification is exact.
+fn classify(output: &[u8]) -> (Vec<String>, Vec<String>, Vec<String>, Vec<String>) {
+    let (mut data, mut expo, mut stats, mut dumps) = (vec![], vec![], vec![], vec![]);
+    for line in String::from_utf8_lossy(output).lines() {
+        if line.starts_with('{') {
+            stats.push(line.to_string());
+        } else if line.starts_with("dump ") || line.starts_with("error ") {
+            dumps.push(line.to_string());
+        } else if line.starts_with('#') || line.starts_with("jl_") {
+            expo.push(line.to_string());
+        } else if !line.is_empty() {
+            data.push(line.to_string());
+        }
+    }
+    (data, expo, stats, dumps)
+}
+
+/// In-band commands answer mid-run, interleaved with data responses: the
+/// `METRICS` reply is a valid Prometheus exposition with the windowed
+/// quantile family, `STATS` is parseable JSON whose reader-sequenced
+/// counters are exact, and `DUMP` writes a schema-valid Chrome trace.
+#[test]
+fn in_band_commands_answer_midrun() {
+    let dir = std::env::temp_dir().join("jl_observability_inband");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump_path = dir.join("flight.json");
+    let _ = std::fs::remove_file(&dump_path);
+    let cfg = observed_cfg(Some(dump_path.clone()));
+
+    let mut input = String::new();
+    for k in 0..30u64 {
+        input.push_str(&format!("{} {}\n", k * 37, 64 + k));
+    }
+    input.push_str("not a request\n"); // malformed, counted not fatal
+    input.push_str("METRICS\nSTATS\nDUMP\n");
+    for k in 30..40u64 {
+        input.push_str(&format!("{}\n", k * 37));
+    }
+
+    let mut output: Vec<u8> = Vec::new();
+    let stats = serve_observed(Cursor::new(input), &mut output, &cfg, None).expect("session");
+    assert_eq!(stats.served, 40, "commands are not counted as requests");
+    assert_eq!(stats.malformed, 1);
+
+    let (data, expo, stats_lines, dumps) = classify(&output);
+    assert_eq!(data.len(), 40, "every accepted request answered once");
+
+    // METRICS: valid exposition, serve families + windowed quantiles.
+    let text = format!("{}\n", expo.join("\n"));
+    let check = validate_exposition(&text).expect("mid-run exposition is valid");
+    assert!(check.families >= 7, "families = {}", check.families);
+    assert!(text.contains("jl_serve_up 1"));
+    assert!(text.contains("jl_serve_requests_total{outcome=\"ok\"}"));
+    assert!(text.contains("jl_serve_requests_total{outcome=\"shed\"}"));
+    assert!(text.contains("jl_serve_malformed_total 1"));
+    assert!(text.contains("jl_serve_latency_window_seconds{quantile=\"0.99\"}"));
+    assert!(text.contains("jl_flight_recorded_total"));
+
+    // STATS: parses, and the reader-sequenced counters are exact — the
+    // command was read after exactly 30 accepts and 1 malformed line.
+    assert_eq!(stats_lines.len(), 1);
+    jl_telemetry::json::parse(&stats_lines[0]).expect("stats JSON parses");
+    assert!(stats_lines[0].contains("\"schema\":\"jl-serve-stats/v1\""));
+    assert!(stats_lines[0].contains("\"accepted\":30"));
+    assert!(stats_lines[0].contains("\"malformed\":1"));
+
+    // DUMP: reply names the path and the file is a valid Chrome trace.
+    assert_eq!(dumps.len(), 1);
+    assert!(
+        dumps[0].starts_with(&format!("dump {}", dump_path.display())),
+        "dump reply: {}",
+        dumps[0]
+    );
+    let trace = std::fs::read_to_string(&dump_path).expect("dump file written");
+    jl_telemetry::json::validate_chrome_trace(&trace).expect("dump is a valid Chrome trace");
+    let _ = std::fs::remove_file(&dump_path);
+}
+
+/// The out-of-band seam: while a loopback session is live, a foreign
+/// thread scrapes valid exposition and stats through [`ServeShared`];
+/// once the session ends, the same seam answers with the down-marker.
+#[test]
+fn out_of_band_seam_scrapes_a_live_session() {
+    let cfg = observed_cfg(None);
+    let shared = std::sync::Arc::new(ServeShared::new());
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let server = {
+        let shared = std::sync::Arc::clone(&shared);
+        std::thread::spawn(move || {
+            let (sock, _) = listener.accept().expect("accept");
+            let reader = BufReader::new(sock.try_clone().expect("clone socket"));
+            serve_observed(reader, sock, &cfg, Some(&shared)).expect("serve session")
+        })
+    };
+
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    for k in 0..20u64 {
+        writeln!(sock, "{}", k * 37).expect("write request");
+    }
+    // Any response proves the session is attached (attach happens before
+    // the responder thread starts), so the scrape below is race-free.
+    let mut lines = BufReader::new(sock.try_clone().expect("clone")).lines();
+    let first = lines.next().expect("a response").expect("readable");
+    assert!(first.ends_with("us") || first.contains(' '), "{first}");
+
+    let text = shared.metrics();
+    let check = validate_exposition(&text).expect("live scrape is valid exposition");
+    assert!(check.families >= 6);
+    assert!(text.contains("jl_serve_up 1"));
+    let stats = shared.stats();
+    jl_telemetry::json::parse(&stats).expect("live stats parse");
+    assert!(stats.contains("\"schema\":\"jl-serve-stats/v1\""));
+    // No dump path configured: DUMP reports the recorder seam cleanly.
+    assert!(shared.dump().starts_with("error"));
+
+    sock.shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+    for line in lines {
+        let _ = line.expect("response line");
+    }
+    let stats = server.join().expect("server thread");
+    assert_eq!(stats.served, 20);
+
+    // Detached: the seam answers with the down-marker, still valid.
+    let down = shared.metrics();
+    validate_exposition(&down).expect("down-marker is valid exposition");
+    assert!(down.contains("jl_serve_up 0"));
+    assert!(shared.stats().contains("\"up\":false"));
+}
+
+/// An SLO threshold of 0 ms makes the 32nd completion a guaranteed
+/// breach: the responder dumps the flight ring to a `.slo0`-suffixed
+/// file, which must be a valid, non-empty Chrome trace (the events of
+/// the completed tuples happened-before the completion hooks fired).
+#[test]
+fn slo_breach_dumps_the_flight_ring() {
+    let dir = std::env::temp_dir().join("jl_observability_slo");
+    std::fs::create_dir_all(&dir).unwrap();
+    let dump_path = dir.join("flight.json");
+    let slo_path = dir.join("flight.slo0.json");
+    let _ = std::fs::remove_file(&slo_path);
+    let mut cfg = observed_cfg(Some(dump_path));
+    cfg.observe.as_mut().unwrap().slo_p99_ms = Some(0);
+
+    let mut input = String::new();
+    for k in 0..64u64 {
+        input.push_str(&format!("{}\n", k * 37));
+    }
+    let mut output: Vec<u8> = Vec::new();
+    let stats = serve_observed(Cursor::new(input), &mut output, &cfg, None).expect("session");
+    assert_eq!(stats.served, 64);
+
+    let trace = std::fs::read_to_string(&slo_path).expect("SLO breach dump written");
+    let check =
+        jl_telemetry::json::validate_chrome_trace(&trace).expect("SLO dump is a valid trace");
+    assert!(
+        check.spans + check.instants > 0,
+        "SLO dump carries the ring's tail"
+    );
+    let _ = std::fs::remove_file(&slo_path);
+}
