@@ -53,6 +53,8 @@ fn bench_run_job(c: &mut Criterion) {
                         telemetry: None,
                         overload: None,
                         shed_policy: None,
+                        membership: None,
+                        autoscale_policy: None,
                     };
                     run_job(&job, store, udfs, tuples.clone(), vec![])
                 })

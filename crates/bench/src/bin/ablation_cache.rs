@@ -142,6 +142,8 @@ fn admission(scale: f64, seed: u64) {
             telemetry: None,
             overload: None,
             shed_policy: None,
+            membership: None,
+            autoscale_policy: None,
         };
         let r = run_job(&job, store, udfs, tuples, vec![]);
         rows.push((

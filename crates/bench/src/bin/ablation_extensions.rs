@@ -64,6 +64,8 @@ fn run(
         telemetry: None,
         overload: None,
         shed_policy: None,
+        membership: None,
+        autoscale_policy: None,
     };
     let r = run_job(&job, store, udfs, tuples, vec![]);
     (r.duration.as_secs_f64(), r.decisions.offloaded_hits)

@@ -161,6 +161,8 @@ fn end_to_end(scale: f64, seed: u64) {
             telemetry: None,
             overload: None,
             shed_policy: None,
+            membership: None,
+            autoscale_policy: None,
         };
         let r = run_job(&job, store, udfs, tuples, vec![]);
         rows.push((

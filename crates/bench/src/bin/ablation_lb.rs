@@ -53,6 +53,8 @@ fn run(solver: LbSolver, spec: &SyntheticSpec, z: f64, seed: u64) -> f64 {
         telemetry: None,
         overload: None,
         shed_policy: None,
+        membership: None,
+        autoscale_policy: None,
     };
     run_job(&job, store, udfs, tuples, vec![])
         .duration

@@ -56,6 +56,8 @@ fn main() {
             telemetry: None,
             overload: None,
             shed_policy: None,
+            membership: None,
+            autoscale_policy: None,
         };
         let r = run_job(&job, store, udfs, tuples, vec![]);
         rows.push((

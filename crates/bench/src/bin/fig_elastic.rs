@@ -1,0 +1,42 @@
+//! Regenerates the elastic-membership figure: the same diurnal stream
+//! (trough/peak/trough against the small fleet's measured capacity)
+//! served by a static small fleet, a static large fleet, and an elastic
+//! fleet running the queue-watermark autoscaler over live region
+//! migration and graceful drain.
+//!
+//! Usage: `fig_elastic [--scale F] [--seed N] [--threads N]`
+//!
+//! Self-asserting: after printing the table it checks the figure's claims
+//! (exactly-once output equality across fleets, elastic p99 below
+//! static-small, elastic node-seconds below static-large, and at least
+//! one rent/release/migration) and prints `ELASTIC_OK` only if every one
+//! holds — the CI smoke job greps for that line.
+
+use jl_bench::{check_elastic_invariants, fig_elastic, parse_args};
+
+fn main() {
+    let (scale, seed) = parse_args(1.0);
+    let (table, cells) = fig_elastic(scale, seed);
+    println!("{}", table.render());
+    for c in &cells {
+        let r = &c.report;
+        println!(
+            "ELASTIC {} active={} completed={} fp={:#018x} p99_ms={:.3} node_s={:.3} \
+             migrations={} aborted={} migrated_bytes={} drained={} rents={} releases={}",
+            c.label,
+            c.initial_active,
+            r.completed,
+            r.fingerprint,
+            r.p99_latency.as_secs_f64() * 1e3,
+            r.node_seconds,
+            r.migrations,
+            r.migrations_aborted,
+            r.migrated_bytes,
+            r.drained_nodes,
+            r.autoscale_rents,
+            r.autoscale_releases,
+        );
+    }
+    check_elastic_invariants(&cells);
+    println!("ELASTIC_OK");
+}

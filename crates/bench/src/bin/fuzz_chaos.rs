@@ -3,15 +3,20 @@
 //! direct reference execution of the same job.
 //!
 //! Usage: `fuzz_chaos [--seed N] [--iters N] [--start K] [--tuples N]
-//!                    [--no-faults] [--no-overload] [--no-deadline]`
+//!                    [--no-faults] [--no-overload] [--no-deadline]
+//!                    [--churn] [--no-churn]`
 //!
 //! Each iteration derives an independent case from `(seed, index)`: a
 //! skew/offered-load point, an issue window, an overload configuration
 //! (permissive or bounded, with or without a deadline budget, one of the
-//! three shed policies), and optionally a random fault plan (crash with
+//! three shed policies), optionally a random fault plan (crash with
 //! or without restart, straggler, lossy link, delay) with retries scaled
-//! to a fault-free calibration run of the identical job. Invariants
-//! checked on every run:
+//! to a fault-free calibration run of the identical job, and optionally
+//! a membership-churn plan (start on three of the four data nodes, a
+//! seeded join of the fourth early in the run and a seeded decommission
+//! of a loaded node later — both free to collide with the fault windows,
+//! so crashes land mid-migration and drains retry around dead targets).
+//! Invariants checked on every run:
 //!
 //! 1. **Accounting** — `completed + shed == n`: every offered tuple
 //!    either completed or was shed, nothing vanished; `gave_up` tuples
@@ -24,11 +29,16 @@
 //!    XOR cancels pairs, so a tuple processed twice under retry drops
 //!    out of the fingerprint and is caught, not masked.
 //! 3. **Bounds** — the peak data-node ingest queue depth never exceeds
-//!    `data_queue_cap`.
+//!    `data_queue_cap`. Skipped under churn: a draining node accepts its
+//!    migration handoff past the cap by design.
+//! 4. **Churn liveness** — a churn case must at least attempt a
+//!    migration (completed or aborted); a silently inert membership
+//!    plane would otherwise pass every other check.
 //!
-//! On a violation the case is minimized — faults off, then overload
-//! down to permissive, then deadline off, then tuple count halved — and
-//! the smallest still-failing case is printed as a repro command.
+//! On a violation the case is minimized — churn off, then faults off,
+//! then overload down to permissive, then deadline off, then tuple count
+//! halved — and the smallest still-failing case is printed as a repro
+//! command.
 
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -36,8 +46,9 @@ use std::sync::Arc;
 use jl_bench::chaos_retry;
 use jl_core::{OptimizerConfig, ShedMode, Strategy};
 use jl_engine::{
-    build_store, reference_run, run_job, ClusterSpec, FeedMode, JobPlan, JobSpec, JobTuple,
-    OverloadConfig, RetryConfig, RunReport, TupleOutcome,
+    build_store, build_store_active, reference_run, run_job, ClusterSpec, FeedMode, JobPlan,
+    JobSpec, JobTuple, MembershipConfig, MembershipEvent, OverloadConfig, RetryConfig, RunReport,
+    TupleOutcome,
 };
 use jl_simkit::fault::FaultPlan;
 use jl_simkit::rng::{splitmix64, stream_rng};
@@ -79,6 +90,9 @@ struct Case {
     /// the only realistic route to gave-up tuples, and the sharpest test
     /// that late replies to abandoned requests never double-complete.
     aggressive_retry: bool,
+    /// Layer a seeded membership-churn plan (join + decommission) over
+    /// whatever faults and overload the case already has.
+    churn: bool,
     /// Calibrated fault-free service rate, tuples/sec.
     mu: f64,
 }
@@ -109,18 +123,22 @@ impl Case {
             nack_backoff: SimDuration::from_micros([500u64, 2000][rng.gen_range(0..2usize)]),
             retry: rng.gen_bool(0.3),
             aggressive_retry: rng.gen_bool(0.4),
+            // Drawn last so every earlier field keeps the value it had
+            // before churn existed: old seeds reproduce their old cases.
+            churn: rng.gen_bool(0.4),
             mu,
         }
     }
 
     fn describe(&self) -> String {
         format!(
-            "z={} load={}x n={} window={} faults={} overload={} deadline={:?} shed={:?} retry={}",
+            "z={} load={}x n={} window={} faults={} churn={} overload={} deadline={:?} shed={:?} retry={}",
             self.z,
             self.load,
             self.n_tuples,
             self.window,
             self.faults,
+            self.churn,
             if self.bounded {
                 format!("cap{}/{}", self.data_cap, self.compute_cap)
             } else {
@@ -157,6 +175,11 @@ fn fuzz_cluster() -> ClusterSpec {
     ClusterSpec {
         n_compute: 4,
         n_data: 4,
+        // Fine-grained regions (~0.5 MB at the fuzz value size) keep a
+        // single region migration well under the churn plan's capped
+        // timeout, so low-load churn cases complete migrations while
+        // high-load ones abort — both protocol paths get fuzzed.
+        regions_per_node: 16,
         ..ClusterSpec::default()
     }
 }
@@ -241,6 +264,43 @@ fn fault_plan(case: &Case, cluster: &ClusterSpec, baseline: SimDuration) -> Faul
     plan
 }
 
+/// Seeded membership churn on the 4+4 fuzz cluster: start on three data
+/// nodes, join the fourth early in the run, decommission node 1 or 2
+/// later. The victims are deliberate: node 0 may be crash-faulted
+/// (sometimes permanently) and node 3 is the joiner — and because the
+/// join target itself can be the fault plan's second permanent-crash
+/// victim, joins into dead nodes and drains racing live faults are all
+/// on the menu. Windows are fractions of the fault-free baseline, like
+/// the fault plan's, so churn and faults genuinely overlap.
+///
+/// The join lands by 12% of the baseline and the migration timeout is
+/// capped so the join's first migration provably resolves — completed or
+/// aborted — before the last tuple even arrives, the earliest instant
+/// the run can end. The run cannot end before the arrival span, which is
+/// the baseline compressed by `load` (for load > 1; the baseline itself
+/// otherwise), so the cap scales with 1/load: low-load cases get room
+/// for whole-region transfers to finish, high-load cases become abort
+/// storms — both sides of the protocol get fuzzed, and the
+/// churn-liveness invariant stays checkable: zero attempts means the
+/// membership plane is inert, not that the run was too short.
+fn churn_plan(case: &Case, baseline: SimDuration, timeout: SimDuration) -> MembershipConfig {
+    let mut rng = stream_rng(case.seed, "churn");
+    let d = baseline.as_secs_f64();
+    let at = |f: f64| SimDuration::from_secs_f64(d * f);
+    let join = rng.gen_range(0.02..0.12);
+    let leave = rng.gen_range(0.35..0.6);
+    let victim = rng.gen_range(1..3usize);
+    let cap = d * (1.0 / case.load.max(1.0) - 0.12) * 0.9;
+    let mut m = MembershipConfig::static_active(3);
+    m.min_active = 2;
+    m.migration_timeout = timeout.min(SimDuration::from_secs_f64(cap));
+    m.events = vec![
+        (at(join), MembershipEvent::Join(3)),
+        (at(leave), MembershipEvent::Decommission(victim)),
+    ];
+    m
+}
+
 /// The case's overload config. Outcome recording is always on — the
 /// fingerprint reconciliation needs to know *which* tuples shed or gave
 /// up, not just how many.
@@ -282,6 +342,7 @@ fn retry_for(case: &Case, healthy: &RunReport) -> RetryConfig {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn run_once(
     case: &Case,
     spec: &SyntheticSpec,
@@ -290,8 +351,13 @@ fn run_once(
     faults: Option<FaultPlan>,
     retry: Option<RetryConfig>,
     overload: OverloadConfig,
+    membership: Option<MembershipConfig>,
 ) -> RunReport {
-    let store = build_store(cluster, vec![(spec.name.into(), spec.rows(1).collect())]);
+    let tables = vec![(spec.name.into(), spec.rows(1).collect())];
+    let store = match &membership {
+        Some(m) => build_store_active(cluster, tables, m.initial_active),
+        None => build_store(cluster, tables),
+    };
     let mut optimizer = OptimizerConfig::for_strategy(Strategy::Full);
     optimizer.batch_max_wait = SimDuration::from_millis(5);
     let job = JobSpec {
@@ -311,12 +377,21 @@ fn run_once(
         telemetry: None,
         overload: Some(overload),
         shed_policy: None,
+        membership,
+        autoscale_policy: None,
     };
     run_job(&job, store, registry(spec), tuples, vec![])
 }
 
 /// Reconcile one report against the per-tuple reference fingerprints.
-fn check(r: &RunReport, per_tuple: &HashMap<u64, u64>, data_cap: u64) -> Result<(), String> {
+/// `churn` relaxes the queue-cap bound (drain handoffs admit past it by
+/// design) and instead demands at least one migration attempt.
+fn check(
+    r: &RunReport,
+    per_tuple: &HashMap<u64, u64>,
+    data_cap: u64,
+    churn: bool,
+) -> Result<(), String> {
     let n = per_tuple.len() as u64;
     if r.completed + r.shed != n {
         return Err(format!(
@@ -366,11 +441,14 @@ fn check(r: &RunReport, per_tuple: &HashMap<u64, u64>, data_cap: u64) -> Result<
             r.fingerprint, expected
         ));
     }
-    if r.peak_queue_depth > data_cap {
+    if !churn && r.peak_queue_depth > data_cap {
         return Err(format!(
             "peak data queue depth {} exceeds cap {}",
             r.peak_queue_depth, data_cap
         ));
+    }
+    if churn && r.migrations + r.migrations_aborted == 0 {
+        return Err("churn case never attempted a migration".into());
     }
     Ok(())
 }
@@ -401,14 +479,23 @@ fn run_case(case: &Case) -> Result<RunReport, String> {
         return Err("per-tuple reference contributions do not XOR to the full reference".into());
     }
 
-    // Fault-free calibration: its duration scales the fault timeline and
-    // retry timeouts, its p99 anchors the deadline budget — and it must
-    // itself reproduce the reference exactly.
-    let healthy = run_once(case, &spec, &cluster, tuples.clone(), None, None, {
-        let mut p = OverloadConfig::permissive();
-        p.record_outcomes = true;
-        p
-    });
+    // Fault-free calibration: its duration scales the fault and churn
+    // timelines and the retry timeouts, its p99 anchors the deadline
+    // budget — and it must itself reproduce the reference exactly.
+    let healthy = run_once(
+        case,
+        &spec,
+        &cluster,
+        tuples.clone(),
+        None,
+        None,
+        {
+            let mut p = OverloadConfig::permissive();
+            p.record_outcomes = true;
+            p
+        },
+        None,
+    );
     if healthy.completed != case.n_tuples || healthy.shed != 0 || healthy.gave_up != 0 {
         return Err(format!(
             "healthy run: completed {} shed {} gave_up {} (want {} / 0 / 0)",
@@ -428,8 +515,17 @@ fn run_case(case: &Case) -> Result<RunReport, String> {
         .faults
         .then(|| fault_plan(case, &cluster, healthy.duration));
     let retry = (case.faults || case.retry).then(|| retry_for(case, &healthy));
-    let r = run_once(case, &spec, &cluster, tuples, faults, retry, overload);
-    check(&r, &per_tuple, data_cap)?;
+    let membership = case.churn.then(|| {
+        let timeout = retry
+            .as_ref()
+            .map(|r| r.timeout)
+            .unwrap_or_else(|| chaos_retry(healthy.duration).timeout);
+        churn_plan(case, healthy.duration, timeout)
+    });
+    let r = run_once(
+        case, &spec, &cluster, tuples, faults, retry, overload, membership,
+    );
+    check(&r, &per_tuple, data_cap, case.churn)?;
     Ok(r)
 }
 
@@ -441,6 +537,9 @@ struct Args {
     no_faults: bool,
     no_overload: bool,
     no_deadline: bool,
+    /// `Some(true)` forces churn on every case (the CI membership-churn
+    /// sweep), `Some(false)` forces it off, `None` leaves it to the dice.
+    churn: Option<bool>,
 }
 
 fn parse_args() -> Args {
@@ -452,6 +551,7 @@ fn parse_args() -> Args {
         no_faults: false,
         no_overload: false,
         no_deadline: false,
+        churn: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -464,6 +564,8 @@ fn parse_args() -> Args {
             "--no-faults" => args.no_faults = true,
             "--no-overload" => args.no_overload = true,
             "--no-deadline" => args.no_deadline = true,
+            "--churn" => args.churn = Some(true),
+            "--no-churn" => args.churn = Some(false),
             other => panic!("unknown flag {other}"),
         }
     }
@@ -484,15 +586,20 @@ fn apply_overrides(case: &mut Case, args: &Args) {
     if args.no_deadline {
         case.deadline_mult = None;
     }
+    if let Some(churn) = args.churn {
+        case.churn = churn;
+    }
 }
 
-/// Shrink a failing case: drop faults, drop the bounded config, drop the
-/// deadline, then halve the tuple count — keeping each simplification
-/// only if the case still fails. Returns the minimal case and its error.
+/// Shrink a failing case: drop churn, drop faults, drop the bounded
+/// config, drop the deadline, then halve the tuple count — keeping each
+/// simplification only if the case still fails. Returns the minimal case
+/// and its error.
 fn minimize(mut case: Case, mut err: String) -> (Case, String, Vec<&'static str>) {
     type Step = (&'static str, fn(&mut Case));
     let mut flags = Vec::new();
-    let steps: [Step; 3] = [
+    let steps: [Step; 4] = [
+        ("--no-churn", |c| c.churn = false),
         ("--no-faults", |c| {
             c.faults = false;
             c.retry = false;
@@ -543,6 +650,7 @@ fn main() {
             nack_backoff: SimDuration::from_millis(2),
             retry: false,
             aggressive_retry: false,
+            churn: false,
             mu: 0.0,
         };
         let spec = fuzz_spec(case.n_tuples);
@@ -556,6 +664,7 @@ fn main() {
             None,
             None,
             OverloadConfig::permissive(),
+            None,
         );
         r.throughput().max(1.0)
     };
@@ -567,7 +676,7 @@ fn main() {
         match run_case(&case) {
             Ok(r) => println!(
                 "FUZZ_OK iter={i} {} completed={} shed={} gave_up={} misses={} peak_queue={} \
-                 retries={} failovers={} nacks_bp={}",
+                 retries={} failovers={} nacks_bp={} migrations={} mig_aborted={} drained={}",
                 case.describe(),
                 r.completed,
                 r.shed,
@@ -577,6 +686,9 @@ fn main() {
                 r.retries,
                 r.failovers,
                 r.backpressure_events,
+                r.migrations,
+                r.migrations_aborted,
+                r.drained_nodes,
             ),
             Err(e) => {
                 eprintln!("FUZZ_FAIL iter={i} {}: {e}", case.describe());
@@ -586,8 +698,12 @@ fn main() {
                     "cargo run --release -p jl-bench --bin fuzz_chaos -- --seed {} --start {i} --iters 1",
                     args.seed
                 );
-                if min_case.n_tuples != Case::derive(args.seed, i, mu).n_tuples {
+                let derived = Case::derive(args.seed, i, mu);
+                if min_case.n_tuples != derived.n_tuples {
                     repro.push_str(&format!(" --tuples {}", min_case.n_tuples));
+                }
+                if min_case.churn && !derived.churn {
+                    repro.push_str(" --churn");
                 }
                 for f in flags {
                     repro.push(' ');

@@ -10,13 +10,14 @@ use std::sync::Arc;
 
 use rayon::prelude::*;
 
-use jl_core::{OptimizerConfig, Strategy};
+use jl_core::{AutoscaleMode, OptimizerConfig, Strategy};
 use jl_engine::baselines::{run_reduce_side, ReduceSideKind};
 use jl_engine::plan::{JobPlan, JobTuple, StageSpec};
 use jl_engine::shuffle::run_shuffle_multijoin;
 use jl_engine::{
-    build_store, run_job, run_job_parallel, run_job_parallel_traced, run_job_real_traced,
-    run_job_traced, ClusterSpec, FeedMode, JobSpec, OverloadConfig, RetryConfig, RunReport,
+    build_store, build_store_active, run_job, run_job_parallel, run_job_parallel_traced,
+    run_job_real_traced, run_job_traced, AutoscaleConfig, ClusterSpec, FeedMode, JobSpec,
+    MembershipConfig, MembershipEvent, OverloadConfig, RetryConfig, RunReport,
 };
 use jl_simkit::fault::FaultPlan;
 use jl_simkit::rng::stream_rng;
@@ -221,6 +222,8 @@ fn run_synthetic_cell_on(
         telemetry,
         overload: None,
         shed_policy: None,
+        membership: None,
+        autoscale_policy: None,
     };
     let udfs = digest_udfs(spec.output_size as usize);
     let (report, tel) = match backend {
@@ -478,6 +481,8 @@ pub fn bench_synthetic_report_parallel(
         telemetry: None,
         overload: None,
         shed_policy: None,
+        membership: None,
+        autoscale_policy: None,
     };
     let udfs = digest_udfs(spec.output_size as usize);
     run_job_parallel(&job, store, udfs, tuples, vec![], threads)
@@ -620,6 +625,8 @@ pub fn run_synthetic_stream_report(
         telemetry: None,
         overload: None,
         shed_policy: None,
+        membership: None,
+        autoscale_policy: None,
     };
     run_job(
         &job,
@@ -764,6 +771,8 @@ pub fn fig5(doc_scale: f64, seed: u64) -> FigTable {
                 telemetry: None,
                 overload: None,
                 shed_policy: None,
+                membership: None,
+                autoscale_policy: None,
             };
             let r = run_job(&job, store, udfs.clone(), tuples.clone(), vec![]);
             if std::env::var("JL_DEBUG").is_ok() {
@@ -847,6 +856,8 @@ fn fig6_run(
         telemetry: None,
         overload: None,
         shed_policy: None,
+        membership: None,
+        autoscale_policy: None,
     };
     let r = run_job(&job, store, digest_udfs(96), tuples.to_vec(), vec![]);
     if std::env::var("JL_DEBUG").is_ok() {
@@ -992,6 +1003,8 @@ fn run_chaos_cell(
         telemetry,
         overload: None,
         shed_policy: None,
+        membership: None,
+        autoscale_policy: None,
     };
     let udfs = digest_udfs(spec.output_size as usize);
     let (chaos, tel) = match threads {
@@ -1089,16 +1102,93 @@ pub fn traced_chaos_run_with(
     (chaos, tel.expect("telemetry was requested"))
 }
 
+/// The chaos scenario with a membership-churn overlay on the full
+/// optimizer: the same DH cell and fault plan as the strategy rows, but
+/// the fleet starts two nodes short, the two standbys join at 25% and 45%
+/// of the fault-free baseline, and a mid-fleet node is gracefully
+/// decommissioned at 65% — so live migrations race the crash, the
+/// straggler, and the lossy link. The healthy calibration run stays
+/// static; its fingerprint is the exactly-once reference the churned run
+/// must still reproduce.
+pub fn run_chaos_churn_report(
+    spec: &SyntheticSpec,
+    cluster: &ClusterSpec,
+    mem_cache: u64,
+    seed: u64,
+) -> (RunReport, RunReport) {
+    let healthy =
+        run_synthetic_report(spec, Strategy::Full, 1.0, 1, None, cluster, mem_cache, seed);
+    let active = cluster.n_data - 2;
+    let store = build_store_active(
+        cluster,
+        vec![(spec.name.into(), spec.rows(1).collect())],
+        active,
+    );
+    let tuples = synthetic_tuples(spec, 1.0, 1, seed);
+    let retry = chaos_retry(healthy.duration);
+    let at = |f: f64| SimDuration::from_secs_f64(healthy.duration.as_secs_f64() * f);
+    let mut membership = MembershipConfig::static_active(active);
+    membership.migration_timeout = retry.timeout;
+    membership.events = vec![
+        (at(0.25), MembershipEvent::Join(active)),
+        (at(0.45), MembershipEvent::Join(active + 1)),
+        // Node 3 is none of the faulted nodes (0 crashes, 1 straggles,
+        // 2 sits behind the bad link); its drain lands after node 0 has
+        // restarted, so the decommission has somewhere healthy to go.
+        (at(0.65), MembershipEvent::Decommission(3)),
+    ];
+    let job = JobSpec {
+        cluster: cluster.clone(),
+        optimizer: optimizer_for(Strategy::Full, mem_cache),
+        feed: FeedMode::Batch {
+            window: window_for(Strategy::Full, cluster, tuples.len() / cluster.n_compute),
+        },
+        plan: JobPlan::single(0, UDF),
+        seed,
+        udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+        policy: None,
+        decision_sink: None,
+        faults: Some(chaos_fault_plan(cluster, healthy.duration, seed)),
+        retry: Some(retry),
+        telemetry: None,
+        overload: None,
+        shed_policy: None,
+        membership: Some(membership),
+        autoscale_policy: None,
+    };
+    let udfs = digest_udfs(spec.output_size as usize);
+    let chaos = run_job(&job, store, udfs, tuples, vec![]);
+    (healthy, chaos)
+}
+
 /// The chaos figure: the DH workload at z = 1.0 under the
 /// crash/straggler/lossy-link scenario, per strategy — healthy vs chaos
-/// time, the slowdown ratio, tail latency, and the recovery counters.
+/// time, the slowdown ratio, tail latency, and the recovery counters —
+/// plus a full-optimizer row with membership churn layered on top of the
+/// same faults (live migrations and a graceful drain racing the chaos),
+/// whose migration counters populate the last three columns.
 pub fn fig_chaos(tuple_scale: f64, seed: u64) -> FigTable {
     let mut spec = SyntheticSpec::dh();
     spec.n_tuples = ((spec.n_tuples as f64 * tuple_scale) as u64).max(1000);
     let cluster = synthetic_cluster();
     let mem_cache = 32 << 20;
-    let rows = run_grid(CHAOS_STRATEGIES.to_vec(), |strategy| {
-        let (healthy, chaos) = run_chaos_report(&spec, strategy, 1.0, &cluster, mem_cache, seed);
+    let cells: Vec<Option<Strategy>> = CHAOS_STRATEGIES
+        .iter()
+        .copied()
+        .map(Some)
+        .chain([None]) // the churn overlay row
+        .collect();
+    let rows = run_grid(cells, |cell| {
+        let (label, healthy, chaos) = match cell {
+            Some(strategy) => {
+                let (h, c) = run_chaos_report(&spec, strategy, 1.0, &cluster, mem_cache, seed);
+                (strategy.label().to_string(), h, c)
+            }
+            None => {
+                let (h, c) = run_chaos_churn_report(&spec, &cluster, mem_cache, seed);
+                (format!("{}+churn", Strategy::Full.label()), h, c)
+            }
+        };
         let slowdown = if healthy.duration.as_secs_f64() > 0.0 {
             chaos.duration.as_secs_f64() / healthy.duration.as_secs_f64()
         } else {
@@ -1109,7 +1199,7 @@ pub fn fig_chaos(tuple_scale: f64, seed: u64) -> FigTable {
         // was in flight to/from the crashed node 0).
         let worst_link = chaos.link_faults.iter().map(|&(_, _, d, _)| d).max();
         (
-            strategy.label().to_string(),
+            label,
             vec![
                 healthy.duration.as_secs_f64(),
                 chaos.duration.as_secs_f64(),
@@ -1127,6 +1217,11 @@ pub fn fig_chaos(tuple_scale: f64, seed: u64) -> FigTable {
                 chaos.dropped_messages as f64,
                 chaos.delayed_messages as f64,
                 worst_link.unwrap_or(0) as f64,
+                // Membership counters: zero on the static strategy rows,
+                // live on the churn overlay.
+                chaos.migrations as f64,
+                chaos.migrations_aborted as f64,
+                chaos.drained_nodes as f64,
             ],
         )
     });
@@ -1145,6 +1240,9 @@ pub fn fig_chaos(tuple_scale: f64, seed: u64) -> FigTable {
             "dropped".into(),
             "delayed".into(),
             "worst link".into(),
+            "migrations".into(),
+            "aborted".into(),
+            "drained".into(),
         ],
         rows,
     }
@@ -1231,6 +1329,8 @@ pub fn run_overload_stream(
         telemetry: None,
         overload,
         shed_policy: None,
+        membership: None,
+        autoscale_policy: None,
     };
     run_job(
         &job,
@@ -1365,6 +1465,307 @@ pub fn fig_overload(tuple_scale: f64, seed: u64) -> (FigTable, Vec<OverloadCell>
     (table, results)
 }
 
+/// One cell of the elastic figure: a fleet configuration (static small,
+/// static large, or autoscaled) run over the same diurnal stream.
+pub struct ElasticCell {
+    /// Row label, e.g. `static-3` or `elastic`.
+    pub label: String,
+    /// Data nodes owning regions at build time.
+    pub initial_active: usize,
+    /// `true` = the queue-watermark autoscaler is armed.
+    pub elastic: bool,
+    /// The cell's run report.
+    pub report: RunReport,
+}
+
+/// The elastic workload: DH-shaped but with small values, so a region
+/// handoff costs milliseconds and the figure measures elasticity, not
+/// migration bandwidth. The store stays far bigger than the compute-side
+/// cache, keeping the data nodes the bottleneck capacity scales over.
+fn elastic_spec(tuple_scale: f64) -> SyntheticSpec {
+    SyntheticSpec {
+        name: "EL",
+        n_keys: 4_000,
+        value_size: 2 * 1024,
+        value_prefix: 64,
+        udf_cpu: SimDuration::from_micros(100),
+        // Floored high enough that each diurnal phase lasts hundreds of
+        // milliseconds — long against the autoscaler's reaction time, so
+        // renting during the peak actually serves most of the peak.
+        n_tuples: ((60_000.0 * tuple_scale) as u64).max(24_000),
+        params_size: 128,
+        output_size: 256,
+    }
+}
+
+/// The elastic figure's cluster: six data nodes of which the small fleet
+/// activates three, so the autoscaler has real headroom to rent into.
+fn elastic_cluster() -> ClusterSpec {
+    ClusterSpec {
+        n_compute: 4,
+        n_data: 6,
+        block_cache_bytes: 0,
+        ..ClusterSpec::default()
+    }
+}
+
+/// Run one diurnal elastic cell: uniform-key tuples arriving
+/// trough/peak/trough (the first and last sixth of the stream at
+/// `gap_trough`, the middle two thirds at `gap_peak`), on whatever fleet
+/// `membership` describes. Overload protection is measurement-only
+/// (permissive) — the queue depths it tracks are the autoscaler's input
+/// signal — and the run ends when the stream drains, so `duration` is the
+/// busy span and `node_seconds` the fleet-cost integral over it.
+pub fn run_elastic_stream(
+    spec: &SyntheticSpec,
+    cluster: &ClusterSpec,
+    mem_cache: u64,
+    seed: u64,
+    gap_trough: SimDuration,
+    gap_peak: SimDuration,
+    membership: MembershipConfig,
+) -> RunReport {
+    let store = build_store_active(
+        cluster,
+        vec![(spec.name.into(), spec.rows(1).collect())],
+        membership.initial_active,
+    );
+    let mut tuples = synthetic_tuples(spec, 0.0, 1, seed);
+    let n = tuples.len();
+    let mut at = SimTime::ZERO;
+    for (i, t) in tuples.iter_mut().enumerate() {
+        at += if i < n / 6 || i >= (5 * n) / 6 {
+            gap_trough
+        } else {
+            gap_peak
+        };
+        t.arrival = at;
+    }
+    // A deep issue window, so overload pressure lands on the data-node
+    // ingest queues — the signal the autoscaler's heartbeats carry —
+    // instead of pooling invisibly in the compute nodes' own queues.
+    let window = window_for(Strategy::Full, cluster, n / cluster.n_compute.max(1));
+    let job = JobSpec {
+        cluster: cluster.clone(),
+        optimizer: optimizer_for(Strategy::Full, mem_cache),
+        feed: FeedMode::Stream {
+            horizon: SimDuration::from_secs(100_000),
+            window,
+        },
+        plan: JobPlan::single(0, UDF),
+        seed,
+        udf_cpu_hint: spec.udf_cpu.as_secs_f64(),
+        policy: None,
+        decision_sink: None,
+        faults: None,
+        retry: None,
+        telemetry: None,
+        overload: Some(OverloadConfig::permissive()),
+        shed_policy: None,
+        membership: Some(membership),
+        autoscale_policy: None,
+    };
+    run_job(
+        &job,
+        store,
+        digest_udfs(spec.output_size as usize),
+        tuples,
+        vec![],
+    )
+}
+
+/// Offered load at the diurnal trough / peak, as multiples of the small
+/// fleet's measured service rate: the trough leaves the small fleet
+/// mostly idle, the peak overloads it by 60% — inside the large fleet's
+/// capacity, so an elastic fleet that rents in time serves it cleanly.
+pub const ELASTIC_TROUGH_LOAD: f64 = 0.3;
+/// See [`ELASTIC_TROUGH_LOAD`].
+pub const ELASTIC_PEAK_LOAD: f64 = 1.6;
+
+/// The elastic-membership figure: the same diurnal stream
+/// (trough/peak/trough against the small fleet's measured capacity)
+/// served by a static small fleet, a static large fleet, and an elastic
+/// fleet that starts small with the queue-watermark autoscaler armed.
+/// The claim it records: the elastic fleet matches the static-large p99
+/// at peak (both far below static-small, which queues the whole burst)
+/// while its node-seconds bill stays near static-small's —
+/// capacity follows the load instead of being provisioned for either
+/// extreme. [`check_elastic_invariants`] asserts exactly that, plus
+/// exactly-once output equality across all three fleets.
+pub fn fig_elastic(tuple_scale: f64, seed: u64) -> (FigTable, Vec<ElasticCell>) {
+    let spec = elastic_spec(tuple_scale);
+    let cluster = elastic_cluster();
+    // Small enough that the compute-side cache cannot absorb the store:
+    // the data fleet stays the capacity being scaled.
+    let mem_cache = 64 * 1024;
+    let small = cluster.n_data / 2;
+    let large = cluster.n_data;
+
+    // Calibration: a firehose stream (1 µs inter-arrival) on the small
+    // static fleet measures its true service rate µ; the diurnal loads
+    // are multiples of it.
+    let firehose = SimDuration::from_micros(1);
+    let mu = run_elastic_stream(
+        &spec,
+        &cluster,
+        mem_cache,
+        seed,
+        firehose,
+        firehose,
+        MembershipConfig::static_active(small),
+    )
+    .throughput()
+    .max(1.0);
+    let gap_trough = SimDuration::from_secs_f64(1.0 / (mu * ELASTIC_TROUGH_LOAD));
+    let gap_peak = SimDuration::from_secs_f64(1.0 / (mu * ELASTIC_PEAK_LOAD));
+
+    // The autoscaler's cadence and watermarks, against the signal the
+    // permissive overload config exposes: data-node queue depth. With the
+    // issue window at 4 in-flight tuples per compute core, a saturated
+    // fleet pins ~window/active items per node (far above `rent_above`)
+    // while the trough leaves little more than the requests in service
+    // (below `release_below`) — and the cadence is fast relative to the
+    // peak phase, so renting happens while the burst still matters.
+    let autoscale = AutoscaleConfig {
+        interval: SimDuration::from_millis(10),
+        heartbeat: SimDuration::from_millis(2),
+        mode: AutoscaleMode::QueueWatermark {
+            rent_above: 16.0,
+            release_below: 4.0,
+            cooldown: SimDuration::from_millis(8),
+        },
+    };
+    let mut elastic = MembershipConfig::static_active(small);
+    elastic.min_active = small;
+    elastic.autoscale = Some(autoscale);
+
+    let cells: Vec<(String, MembershipConfig, bool)> = vec![
+        (
+            format!("static-{small}"),
+            MembershipConfig::static_active(small),
+            false,
+        ),
+        (
+            format!("static-{large}"),
+            MembershipConfig::static_active(large),
+            false,
+        ),
+        ("elastic".into(), elastic, true),
+    ];
+    let results = run_grid(cells, |(label, membership, is_elastic)| {
+        let initial_active = membership.initial_active;
+        let report = run_elastic_stream(
+            &spec, &cluster, mem_cache, seed, gap_trough, gap_peak, membership,
+        );
+        ElasticCell {
+            label,
+            initial_active,
+            elastic: is_elastic,
+            report,
+        }
+    });
+
+    let rows = results
+        .iter()
+        .map(|c| {
+            let r = &c.report;
+            (
+                c.label.clone(),
+                vec![
+                    r.duration.as_secs_f64(),
+                    r.p99_latency.as_secs_f64() * 1e3,
+                    r.completed as f64,
+                    r.migrations as f64,
+                    r.migrations_aborted as f64,
+                    r.migrated_bytes as f64 / 1e6,
+                    r.drained_nodes as f64,
+                    r.autoscale_rents as f64,
+                    r.autoscale_releases as f64,
+                    r.node_seconds,
+                ],
+            )
+        })
+        .collect();
+    let table = FigTable {
+        title: format!(
+            "Elastic — diurnal stream ({}x/{}x of µ={:.0}/s), static vs autoscaled fleet",
+            ELASTIC_TROUGH_LOAD, ELASTIC_PEAK_LOAD, mu
+        ),
+        row_label: "fleet".into(),
+        columns: vec![
+            "duration s".into(),
+            "p99 ms".into(),
+            "completed".into(),
+            "migrations".into(),
+            "aborted".into(),
+            "mig MB".into(),
+            "drained".into(),
+            "rents".into(),
+            "releases".into(),
+            "node-s".into(),
+        ],
+        rows,
+    };
+    (table, results)
+}
+
+/// The invariants the elastic figure claims, asserted with the offending
+/// numbers on failure. Shared by the `fig_elastic` binary (the CI smoke
+/// job greps its `ELASTIC_OK`) and the test suite.
+pub fn check_elastic_invariants(cells: &[ElasticCell]) {
+    assert!(cells.len() >= 3, "expected small/large/elastic cells");
+    let small = &cells[0].report;
+    let large = &cells[1].report;
+    let elastic = &cells
+        .iter()
+        .find(|c| c.elastic)
+        .expect("missing elastic cell")
+        .report;
+    // Exactly-once under elasticity: every fleet completes every tuple
+    // and produces byte-identical join output.
+    for c in cells {
+        let r = &c.report;
+        assert_eq!(
+            r.completed, small.completed,
+            "{}: completed {} != {}",
+            c.label, r.completed, small.completed
+        );
+        assert_eq!(r.shed, 0, "{}: shed {}", c.label, r.shed);
+        assert_eq!(r.gave_up, 0, "{}: gave up {}", c.label, r.gave_up);
+        assert_eq!(
+            r.fingerprint, small.fingerprint,
+            "{}: join output differs from the static fleet's",
+            c.label
+        );
+        if !c.elastic {
+            assert_eq!(r.migrations, 0, "{}: static fleet migrated", c.label);
+            assert_eq!(r.autoscale_rents, 0, "{}: static fleet rented", c.label);
+        }
+    }
+    // The autoscaler actually acted, in both directions, through live
+    // migration.
+    assert!(elastic.autoscale_rents >= 1, "the peak never rented a node");
+    assert!(
+        elastic.autoscale_releases >= 1,
+        "the trough never released a node"
+    );
+    assert!(elastic.migrations >= 1, "no region ever migrated");
+    // The headline claims: elastic beats the small fleet's peak p99 and
+    // the large fleet's node-seconds bill.
+    assert!(
+        elastic.p99_latency < small.p99_latency,
+        "elastic p99 {:?} not below static-small {:?}",
+        elastic.p99_latency,
+        small.p99_latency
+    );
+    assert!(
+        elastic.node_seconds < large.node_seconds,
+        "elastic node-seconds {:.3} not below static-large {:.3}",
+        elastic.node_seconds,
+        large.node_seconds
+    );
+}
+
 /// Figure 7: TPC-DS multi-join queries — shuffle baseline ("Spark SQL") vs
 /// our framework, time in minutes.
 pub fn fig7(fact_scale: f64, seed: u64) -> FigTable {
@@ -1443,6 +1844,8 @@ pub fn fig7(fact_scale: f64, seed: u64) -> FigTable {
             telemetry: None,
             overload: None,
             shed_policy: None,
+            membership: None,
+            autoscale_policy: None,
         };
         let ours = run_job(&job, store, udfs.clone(), tuples, vec![]);
         if std::env::var("JL_DEBUG").is_ok() {

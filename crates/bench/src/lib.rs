@@ -17,10 +17,11 @@ pub mod output;
 pub mod serve;
 
 pub use experiments::{
-    bench_threads, chaos_fault_plan, chaos_retry, fig11, fig5, fig6, fig7, fig8, fig9, fig_chaos,
-    fig_overload, overload_bounded_config, run_chaos_report, run_grid, run_overload_stream,
-    traced_chaos_run, traced_chaos_run_parallel, traced_chaos_run_with, OverloadCell,
-    CHAOS_STRATEGIES, SKEWS,
+    bench_threads, chaos_fault_plan, chaos_retry, check_elastic_invariants, fig11, fig5, fig6,
+    fig7, fig8, fig9, fig_chaos, fig_elastic, fig_overload, overload_bounded_config,
+    run_chaos_churn_report, run_chaos_report, run_elastic_stream, run_grid, run_overload_stream,
+    traced_chaos_run, traced_chaos_run_parallel, traced_chaos_run_with, ElasticCell, OverloadCell,
+    CHAOS_STRATEGIES, ELASTIC_PEAK_LOAD, ELASTIC_TROUGH_LOAD, SKEWS,
 };
 pub use observe::{ObserveConfig, ServeLive, ServeShared};
 pub use output::FigTable;

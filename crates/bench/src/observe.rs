@@ -66,8 +66,11 @@ pub struct LiveSample {
     pub at: SimTime,
     /// Fresh incremental registry (see `jl_engine::snapshot_delta`).
     pub registry: MetricsRegistry,
-    /// Data nodes: `(node id, name, ingest queue depth, pressured)`.
-    pub queues: Vec<(u32, String, u64, bool)>,
+    /// Data nodes: `(node id, name, ingest queue depth, pressured,
+    /// membership state)`. The state is `None` on static runs, otherwise
+    /// `"active"`, `"draining"`, or `"standby"` — standby being a
+    /// decommissioned (or not-yet-joined) node, marked down in `STATS`.
+    pub queues: Vec<(u32, String, u64, bool, Option<&'static str>)>,
     /// Compute nodes: `(node id, name, tuples in flight, pressured dests)`.
     pub pipelines: Vec<(u32, String, u64, u64)>,
     /// Run-report deltas: tuples completed so far.
@@ -240,7 +243,7 @@ pub fn render_metrics(live: &ServeLive, tel: Option<&TelemetryHandle>, now: SimT
         let names: Vec<(u32, String)> = sample
             .queues
             .iter()
-            .map(|(id, name, _, _)| (*id, name.clone()))
+            .map(|(id, name, _, _, _)| (*id, name.clone()))
             .chain(
                 sample
                     .pipelines
@@ -310,12 +313,18 @@ pub fn stats_json(live: &ServeLive, tel: Option<&TelemetryHandle>, now: SimTime)
                 s.ingested, s.completed, s.retries, s.net_messages, s.net_bytes
             ));
             out.push_str(",\"data_nodes\":[");
-            for (i, (id, name, depth, pressured)) in s.queues.iter().enumerate() {
+            for (i, (id, name, depth, pressured, state)) in s.queues.iter().enumerate() {
                 if i > 0 {
                     out.push(',');
                 }
+                let state_json = match state {
+                    Some(st) => format!("\"{st}\""),
+                    None => "null".to_string(),
+                };
+                let down = *state == Some("standby");
                 out.push_str(&format!(
-                    "{{\"node\":{id},\"name\":\"{}\",\"queue_depth\":{depth},\"pressured\":{pressured}}}",
+                    "{{\"node\":{id},\"name\":\"{}\",\"queue_depth\":{depth},\"pressured\":{pressured},\
+                     \"state\":{state_json},\"down\":{down}}}",
                     json_escape(name)
                 ));
             }
@@ -583,7 +592,10 @@ mod tests {
         live.publish(LiveSample {
             at: SimTime(20_000_000),
             registry: MetricsRegistry::new(),
-            queues: vec![(2, "D0".into(), 3, true)],
+            queues: vec![
+                (2, "D0".into(), 3, true, Some("draining")),
+                (3, "D1".into(), 0, false, Some("standby")),
+            ],
             pipelines: vec![(0, "C0".into(), 5, 1)],
             completed: 20,
             ingested: 21,
@@ -600,6 +612,9 @@ mod tests {
         assert!(text.contains("\"queue_depth\":3"));
         assert!(text.contains("\"pressured\":true"));
         assert!(text.contains("\"outstanding\":5"));
+        assert!(text.contains("\"state\":\"draining\""));
+        assert!(text.contains("\"state\":\"standby\",\"down\":true"));
+        assert!(text.contains("\"state\":\"draining\",\"down\":false"));
     }
 
     #[test]

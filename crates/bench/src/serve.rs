@@ -48,6 +48,16 @@
 //!
 //! The same surfaces are reachable out-of-band (from another socket or
 //! thread) through [`ServeShared`](crate::observe::ServeShared).
+//!
+//! # Membership commands (always available)
+//!
+//! * `DRAIN <node>` — gracefully decommission data node `<node>`: the
+//!   controller migrates its regions off live (requests keep being
+//!   served throughout) and deactivates it once empty. Replies
+//!   `drain <node> requested`; progress shows in `STATS` (the node's
+//!   `state` walks active → draining → standby, `down` flips true).
+//! * `JOIN <node>` — re-activate a standby data node; the controller
+//!   rebalances regions onto it. Replies `join <node> requested`.
 
 use std::io::{BufRead, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -60,8 +70,8 @@ use rustc_hash::FxHashMap;
 use jl_core::{OptimizerConfig, Strategy};
 use jl_engine::{
     build_cluster, build_real_runtime, build_store, gather_report, process_names, snapshot_delta,
-    ClusterNode, ClusterSpec, FeedMode, JobPlan, JobSpec, JobTuple, Msg, OverloadConfig,
-    RetryConfig, RunReport, TupleFate,
+    ClusterNode, ClusterSpec, FeedMode, JobPlan, JobSpec, JobTuple, MembershipConfig, Msg,
+    OverloadConfig, RetryConfig, RunReport, TupleFate,
 };
 use jl_runtime::RealRuntime;
 use jl_simkit::time::{SimDuration, SimTime};
@@ -171,6 +181,11 @@ pub fn serve_job(cfg: &ServeConfig, cluster: &ClusterSpec) -> JobSpec {
         telemetry: None,
         overload,
         shed_policy: None,
+        // Armed with every data node active and no scripted events: inert
+        // until an in-band `DRAIN`/`JOIN` command asks the controller to
+        // act, at which point regions migrate live under the serve load.
+        membership: Some(MembershipConfig::static_active(cluster.n_data)),
+        autoscale_policy: None,
     }
 }
 
@@ -188,6 +203,19 @@ fn serve_table(cfg: &ServeConfig) -> (String, SyntheticSpec) {
         output_size: 256,
     };
     ("serve".to_string(), spec)
+}
+
+/// Parse an in-band membership command: `DRAIN <node>` or `JOIN <node>`
+/// (`node` a data-node index). Returns `(join, node)`.
+fn parse_member_cmd(line: &str) -> Option<(bool, usize)> {
+    let mut it = line.split_whitespace();
+    let join = match it.next()? {
+        "DRAIN" => false,
+        "JOIN" => true,
+        _ => return None,
+    };
+    let node: usize = it.next()?.parse().ok()?;
+    it.next().is_none().then_some((join, node))
 }
 
 /// Parse one request line. `Ok(None)` = ignorable (blank / comment).
@@ -342,7 +370,13 @@ where
                     let id = cl.data_id(j);
                     let n = rt.node(id).as_data().expect("data role");
                     let (depth, pressured) = n.live_queue();
-                    queues.push((id as u32, name_of(id as u32), depth, pressured));
+                    queues.push((
+                        id as u32,
+                        name_of(id as u32),
+                        depth,
+                        pressured,
+                        n.membership_state(),
+                    ));
                 }
                 let mut pipelines = Vec::with_capacity(cl.n_compute);
                 let (mut completed, mut ingested, mut retries) = (0u64, 0u64, 0u64);
@@ -396,6 +430,8 @@ where
     let malformed = Arc::new(AtomicU64::new(0));
 
     let n_compute = cluster.n_compute;
+    let n_data = cluster.n_data;
+    let controller_id = cluster.controller_id();
     let rows = cfg.rows.max(1);
     let compute_ids: Vec<usize> = (0..n_compute).map(|i| cluster.compute_id(i)).collect();
     let observe = cfg.observe.clone();
@@ -414,6 +450,23 @@ where
                 let mut seq = 0u64;
                 for line in input.lines() {
                     let Ok(line) = line else { break };
+                    if let Some((join, node)) = parse_member_cmd(&line) {
+                        let reply = if node < n_data {
+                            let (verb, msg) = if join {
+                                ("join", Msg::Join { node })
+                            } else {
+                                ("drain", Msg::Decommission { node })
+                            };
+                            ingress.send(controller_id, msg, 64);
+                            format!("{verb} {node} requested")
+                        } else {
+                            format!("error node {node} out of range (n_data {n_data})")
+                        };
+                        if cmd_tx.send(Out::Text(reply)).is_err() {
+                            break;
+                        }
+                        continue;
+                    }
                     if let Some(l) = &live {
                         if let Some(reply) = handle_command(
                             &line,
@@ -647,6 +700,17 @@ mod tests {
         assert_eq!(parse_request("x"), Err(()));
         assert_eq!(parse_request("1 2 3"), Err(()));
         assert_eq!(parse_request("1 -2"), Err(()));
+    }
+
+    #[test]
+    fn member_commands_parse() {
+        assert_eq!(parse_member_cmd("DRAIN 1"), Some((false, 1)));
+        assert_eq!(parse_member_cmd("  JOIN 0 "), Some((true, 0)));
+        assert_eq!(parse_member_cmd("DRAIN"), None);
+        assert_eq!(parse_member_cmd("DRAIN x"), None);
+        assert_eq!(parse_member_cmd("DRAIN 1 2"), None);
+        assert_eq!(parse_member_cmd("drain 1"), None);
+        assert_eq!(parse_member_cmd("17 128"), None);
     }
 
     #[test]

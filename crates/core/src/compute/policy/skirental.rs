@@ -106,10 +106,13 @@ where
                     Placement::Buy(CacheIntent::Disk)
                 };
             }
-            NodeHealth::Degraded | NodeHealth::Healthy => {}
+            NodeHealth::Degraded | NodeHealth::Draining | NodeHealth::Healthy => {}
         }
         let rent_eff = match ctx.dest_health {
-            NodeHealth::Degraded => ctx.rent_eff * DEGRADED_RENT_PENALTY,
+            // A draining node is still correct to rent against, but every
+            // rent keeps it alive longer — price it like a degraded one so
+            // traffic migrates off before the drain barrier.
+            NodeHealth::Degraded | NodeHealth::Draining => ctx.rent_eff * DEGRADED_RENT_PENALTY,
             _ => ctx.rent_eff,
         };
         let mem_policy =

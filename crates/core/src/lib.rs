@@ -24,6 +24,7 @@
 
 #![warn(missing_docs)]
 
+pub mod autoscale;
 pub mod batcher;
 pub mod compute;
 pub mod config;
@@ -33,6 +34,10 @@ pub mod shed;
 pub mod testsupport;
 pub mod types;
 
+pub use autoscale::{
+    autoscale_policy_for, AutoscaleDecision, AutoscaleMode, AutoscalePolicy, AutoscaleSignals,
+    QueueWatermarkScaler,
+};
 pub use batcher::Batcher;
 pub use compute::policy::{
     policy_for, CacheIntent, ComputeSidePolicy, DataSidePolicy, DecisionCtx, DecisionEvent,

@@ -28,6 +28,10 @@ pub enum NodeHealth {
     /// Answering, but slowly enough that recent requests timed out —
     /// rent prices against it should carry a penalty.
     Degraded,
+    /// Being decommissioned: still answering (it must empty its queues),
+    /// but rent prices should carry a penalty so new work steers away
+    /// while the drain completes.
+    Draining,
     /// Requests to it are timing out outright; treat as unavailable until
     /// a reply proves otherwise.
     Down,

@@ -97,6 +97,142 @@ pub enum Msg {
         /// XOR of its output fingerprints.
         fingerprint: u64,
     },
+
+    // ---- membership plane (only sent when the run carries a
+    // `MembershipConfig`; a static run's event stream never contains
+    // these) ----
+    /// Controller -> data node: become active (join). The node arms its
+    /// heartbeat (if autoscaling) and starts accepting migrated regions.
+    Activate {
+        /// Data-node index being activated.
+        node: usize,
+    },
+    /// Controller -> data node: begin graceful drain — keep serving, stop
+    /// NACKing (the queues must empty), expect regions to migrate off.
+    Drain {
+        /// Data-node index being drained.
+        node: usize,
+    },
+    /// Controller -> data node: drain complete, return to standby. The
+    /// node stops heartbeating and reports `standby` in live stats.
+    Deactivate {
+        /// Data-node index being deactivated.
+        node: usize,
+    },
+    /// External (jl-serve `DRAIN`) request to decommission a data node,
+    /// routed to the controller.
+    Decommission {
+        /// Data-node index to decommission.
+        node: usize,
+    },
+    /// External request to activate a standby data node, routed to the
+    /// controller.
+    Join {
+        /// Data-node index to activate.
+        node: usize,
+    },
+    /// Controller -> compute nodes: a data node's health changed by
+    /// membership action (draining starts/stops). Compute nodes pin this
+    /// sticky — reply-driven health resets do not clear it.
+    HealthUpdate {
+        /// Data-node index.
+        node: usize,
+        /// New health.
+        health: jl_core::NodeHealth,
+    },
+    /// Controller -> compute nodes: region ownership changed. Strictly
+    /// newer epochs override older ones; compute nodes route the region's
+    /// requests to `owner` from here on.
+    EpochUpdate {
+        /// Catalog epoch after this change (monotonic).
+        epoch: u64,
+        /// Table of the reassigned region.
+        table: TableId,
+        /// Region index within the table.
+        region: usize,
+        /// Data-node index that now owns it.
+        owner: usize,
+    },
+    /// Data node -> controller: periodic load signal for the autoscaler.
+    Heartbeat {
+        /// Reporting data-node index.
+        from_data: usize,
+        /// Ingest queue depth at send time.
+        queue_depth: u64,
+        /// Whether the node is over its pressure watermark.
+        pressured: bool,
+    },
+
+    // ---- live region migration (snapshot-then-delta handoff) ----
+    /// Controller -> source data node: start migrating one region.
+    MigrateStart {
+        /// Migration id (unique per run).
+        mig_id: u64,
+        /// Table of the region to move.
+        table: TableId,
+        /// Region index within the table.
+        region: usize,
+        /// Destination data-node index.
+        target: usize,
+    },
+    /// Source -> target: the region snapshot. Puts arriving at the source
+    /// after the snapshot are dual-written into a delta log.
+    MigSnapshot {
+        /// Migration id.
+        mig_id: u64,
+        /// Table of the region.
+        table: TableId,
+        /// Region index.
+        region: usize,
+        /// Source data-node index.
+        from_data: usize,
+        /// The snapshot rows.
+        rows: jl_store::Region,
+    },
+    /// Target -> source: snapshot staged; send the delta and freeze.
+    MigFetched {
+        /// Migration id.
+        mig_id: u64,
+    },
+    /// Source -> target: the dual-written delta. From this send until
+    /// `MigCommitAck`, the source freezes puts for the region (buffers
+    /// them) so exactly one node applies writes at any time.
+    MigCommit {
+        /// Migration id.
+        mig_id: u64,
+        /// Rows written at the source since the snapshot.
+        delta: Vec<(RowKey, StoredValue)>,
+    },
+    /// Target -> source: snapshot + delta installed; the target now owns
+    /// the region. The source drops its copy, flushes frozen puts to the
+    /// target, and forwards everything else that still arrives.
+    MigCommitAck {
+        /// Migration id.
+        mig_id: u64,
+    },
+    /// Target -> controller: migration complete; update the ownership map
+    /// and broadcast the new epoch.
+    MigDone {
+        /// Migration id.
+        mig_id: u64,
+        /// Table of the region.
+        table: TableId,
+        /// Region index.
+        region: usize,
+        /// New owner (the reporting target).
+        target: usize,
+        /// Bytes handed over (snapshot + delta), for the run report.
+        bytes: u64,
+    },
+    /// Source or target -> controller: a handoff phase timed out (peer
+    /// crashed mid-migration); the migration is abandoned and the source
+    /// keeps (or reclaims) the region.
+    MigAbort {
+        /// Migration id.
+        mig_id: u64,
+        /// Data-node index reporting the abort.
+        from_data: usize,
+    },
 }
 
 /// A node of the simulated cluster.
@@ -116,7 +252,8 @@ impl RuntimeNode for ClusterNode {
     fn handle_start<C: RuntimeCtx<Msg>>(&mut self, ctx: &mut C) {
         match self {
             ClusterNode::Compute(n) => n.on_start(ctx),
-            ClusterNode::Data(_) | ClusterNode::Controller(_) => {}
+            ClusterNode::Data(n) => n.on_start(ctx),
+            ClusterNode::Controller(n) => n.on_start(ctx),
         }
     }
 
@@ -132,16 +269,16 @@ impl RuntimeNode for ClusterNode {
         match self {
             ClusterNode::Compute(n) => n.on_timer(tag, ctx),
             ClusterNode::Data(n) => n.on_timer(tag, ctx),
-            ClusterNode::Controller(_) => {}
+            ClusterNode::Controller(n) => n.on_timer(tag, ctx),
         }
     }
 
-    fn handle_fault<C: RuntimeCtx<Msg>>(&mut self, kind: FaultKind, _ctx: &mut C) {
+    fn handle_fault<C: RuntimeCtx<Msg>>(&mut self, kind: FaultKind, ctx: &mut C) {
         match self {
             // Only data nodes model crash recovery: compute nodes and the
             // controller are the job driver's own processes, whose failure
             // would abort the job rather than degrade it.
-            ClusterNode::Data(n) => n.on_fault(kind),
+            ClusterNode::Data(n) => n.on_fault(kind, ctx),
             ClusterNode::Compute(_) | ClusterNode::Controller(_) => {}
         }
     }

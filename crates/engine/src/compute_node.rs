@@ -14,7 +14,7 @@ use jl_costmodel::NodeCosts;
 use jl_runtime::RuntimeCtx;
 use jl_simkit::prelude::*;
 use jl_simkit::sim::NodeId;
-use jl_store::{Catalog, UdfRegistry};
+use jl_store::{Catalog, TableId, UdfRegistry};
 use jl_telemetry::{Arg, ArgVal, TelemetryHandle, TraceEvent, Track};
 
 use jl_core::shed::{ShedCandidate, ShedPolicy};
@@ -179,6 +179,22 @@ pub struct ComputeNode {
     /// Seqs whose request gave up — so the completion path can tell a
     /// give-up apart from a normal finish when reporting fate.
     gave_up_seqs: rustc_hash::FxHashSet<u64>,
+    /// Runtime region-ownership overrides from controller `EpochUpdate`s:
+    /// `(table, region) -> (epoch, owner)`. Strictly newer epochs win;
+    /// regions absent here still route by the static catalog. Empty on
+    /// every static run.
+    overrides: FxHashMap<(TableId, usize), (u64, usize)>,
+    /// Sticky per-data-node draining flags from controller
+    /// `HealthUpdate`s: reply-driven health resets restore *this* state,
+    /// not unconditional Healthy, so the rent penalty survives traffic.
+    draining: Vec<bool>,
+    /// Streaming arrivals this node will be posted over the whole run,
+    /// when the runner knows the stream's length up front. Zero means
+    /// open-ended (jl-serve feeds arrivals live): the node never declares
+    /// `Done` and the run ends at its horizon.
+    stream_expected: u64,
+    /// Streaming arrivals seen so far (shed ones included).
+    stream_received: u64,
 }
 
 impl ComputeNode {
@@ -252,6 +268,30 @@ impl ComputeNode {
             outstanding_gauge: None,
             on_complete: None,
             gave_up_seqs: rustc_hash::FxHashSet::default(),
+            overrides: FxHashMap::default(),
+            draining: vec![false; spec_n_data],
+            stream_expected: 0,
+            stream_received: 0,
+        }
+    }
+
+    /// Declare how many streaming arrivals this node will be posted, so a
+    /// stream run can report `Done` (and stop the cluster) once the last
+    /// one resolves instead of idling to its horizon. Call before the run
+    /// starts; leave unset for open-ended feeds (jl-serve).
+    pub fn set_stream_expected(&mut self, n: u64) {
+        self.stream_expected = n;
+    }
+
+    /// A data node's health when nothing is actively wrong with it: Healthy
+    /// normally, Draining while the controller has it mid-decommission.
+    /// Every reply-driven "proof of life" reset restores this instead of
+    /// unconditional Healthy, keeping the drain's rent penalty sticky.
+    fn base_health(&self, j: usize) -> NodeHealth {
+        if self.draining[j] {
+            NodeHealth::Draining
+        } else {
+            NodeHealth::Healthy
         }
     }
 
@@ -574,7 +614,12 @@ impl ComputeNode {
         let row = tuple.keys[stage as usize].clone();
         let params = encode_params(seq, stage, tuple.params_size);
         let key: EKey = (spec.table, row.clone());
-        let (_, server) = self.catalog.locate(spec.table, &row);
+        let (region, mut server) = self.catalog.locate(spec.table, &row);
+        // Live-migrated regions route by the controller's epoch overrides;
+        // the static catalog stays the fallback for everything else.
+        if let Some(&(_, owner)) = self.overrides.get(&(spec.table, region)) {
+            server = owner;
+        }
         let key_size = row.len() as u64 + 8;
         let params_size = params.len() as u64;
         let actions = self
@@ -633,7 +678,7 @@ impl ComputeNode {
                             ctx.set_timer_after(to, RETRY_BIT | item.req_id);
                         }
                     }
-                    let to = self.route(dest, ctx);
+                    let to = self.route(dest, &batch, ctx);
                     ctx.send(
                         to,
                         Msg::Request {
@@ -654,9 +699,26 @@ impl ComputeNode {
     /// the owner itself, or — while the owner is in its post-timeout
     /// cooldown *and* a failover replica exists — the backup holding a
     /// copy of its regions. Nodes without a replica are never rerouted
-    /// (the replica is what makes the redirect answerable).
-    fn route<C: RuntimeCtx<Msg>>(&mut self, dest: usize, ctx: &mut C) -> usize {
+    /// (the replica is what makes the redirect answerable). A batch that
+    /// touches any live-migrated region is never rerouted either: the
+    /// backup absorbed a *build-time* replica of `dest`'s regions, which
+    /// cannot answer for data that migrated in afterward — those requests
+    /// keep probing the owner and fall back to retry/give-up semantics.
+    fn route<C: RuntimeCtx<Msg>>(
+        &mut self,
+        dest: usize,
+        batch: &jl_core::types::BatchRequest<EKey, Bytes>,
+        ctx: &mut C,
+    ) -> usize {
         if ctx.now() < self.down_until[dest] {
+            let replica_safe = self.overrides.is_empty()
+                || batch.items.iter().all(|item| {
+                    let (region, _) = self.catalog.locate(item.key.0, &item.key.1);
+                    !self.overrides.contains_key(&(item.key.0, region))
+                });
+            if !replica_safe {
+                return self.spec.data_id(dest);
+            }
             if let Some(&b) = self.backups.get(&dest) {
                 self.report.failovers += 1;
                 let node = self.tel_node;
@@ -917,10 +979,19 @@ impl ComputeNode {
     }
 
     fn maybe_done<C: RuntimeCtx<Msg>>(&mut self, ctx: &mut C) {
-        if self.done_sent || !matches!(self.feed, FeedMode::Batch { .. }) {
+        if self.done_sent {
             return;
         }
-        if self.input.is_empty() && self.outstanding() == 0 {
+        // Batch feeds drain their pulled input; stream feeds are done once
+        // every declared arrival has been seen — a node with no declared
+        // stream length (jl-serve's live feed) never reports Done.
+        let stream_drained = match self.feed {
+            FeedMode::Batch { .. } => true,
+            FeedMode::Stream { .. } => {
+                self.stream_expected > 0 && self.stream_received >= self.stream_expected
+            }
+        };
+        if stream_drained && self.input.is_empty() && self.outstanding() == 0 {
             self.done_sent = true;
             ctx.send(
                 self.spec.controller_id(),
@@ -938,6 +1009,7 @@ impl ComputeNode {
         match msg {
             Msg::Tuple(tuple) => {
                 // Streaming arrival: queue it; process under the window.
+                self.stream_received += 1;
                 self.input.push_back(tuple);
                 if let Some(cap) = self.overload.map(|ov| ov.compute_queue_cap) {
                     while self.input.len() > cap {
@@ -960,7 +1032,8 @@ impl ComputeNode {
                     // answering for a crashed owner clears only its own
                     // status — the owner stays in cooldown.)
                     self.down_until[from_data] = ctx.now();
-                    self.rt.set_health(from_data, NodeHealth::Healthy);
+                    let h = self.base_health(from_data);
+                    self.rt.set_health(from_data, h);
                     for item in &items {
                         self.attempts.remove(&item.req_id);
                     }
@@ -985,7 +1058,8 @@ impl ComputeNode {
                             });
                         } else {
                             self.n_pressured -= 1;
-                            self.rt.set_health(from_data, NodeHealth::Healthy);
+                            let h = self.base_health(from_data);
+                            self.rt.set_health(from_data, h);
                         }
                     }
                     if pressured {
@@ -1038,6 +1112,39 @@ impl ComputeNode {
             Msg::Invalidate { key } => {
                 self.rt.on_update_notice(&key);
                 self.drain_decisions(ctx);
+            }
+            Msg::HealthUpdate { node, health } => {
+                // Controller-driven membership health: sticky until the
+                // next HealthUpdate (reply-driven resets go through
+                // base_health and preserve the draining mark).
+                self.draining[node] = health == NodeHealth::Draining;
+                self.rt.set_health(node, health);
+                let tn = self.tel_node;
+                self.tel_record(ctx, |now| {
+                    TraceEvent::instant(tn, Track::Fault, "health-update", now)
+                        .arg("data", node as u64)
+                        .arg("draining", u64::from(health == NodeHealth::Draining))
+                });
+            }
+            Msg::EpochUpdate {
+                epoch,
+                table,
+                region,
+                owner,
+            } => {
+                // Strictly newer epochs win; reordered stale updates lose.
+                let slot = self.overrides.entry((table, region)).or_insert((0, 0));
+                if epoch > slot.0 {
+                    *slot = (epoch, owner);
+                    let tn = self.tel_node;
+                    self.tel_record(ctx, |now| {
+                        TraceEvent::instant(tn, Track::Fault, "epoch-update", now)
+                            .arg("epoch", epoch)
+                            .arg("table", table as u64)
+                            .arg("region", region as u64)
+                            .arg("owner", owner as u64)
+                    });
+                }
             }
             _ => {}
         }

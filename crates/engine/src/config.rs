@@ -244,6 +244,124 @@ impl OverloadConfig {
     }
 }
 
+/// One scripted membership change, scheduled at an offset into the run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MembershipEvent {
+    /// Activate standby data node `j` and rebalance a share of regions
+    /// onto it via live migration.
+    Join(usize),
+    /// Gracefully drain data node `j`: rent-penalize it, migrate every
+    /// region it owns off, then deactivate it once empty.
+    Decommission(usize),
+}
+
+/// Elastic-membership configuration. `None` in
+/// [`JobSpec`](crate::runner::JobSpec) disables the membership plane
+/// entirely — no controller ownership map, no epoch broadcasts, no
+/// membership timers — preserving the exact event stream of the static
+/// build. With it set, the cluster starts with `initial_active` of the
+/// spec's `n_data` data nodes owning regions (the rest are standbys),
+/// and the controller drives scripted [`MembershipEvent`]s and/or an
+/// [`AutoscalePolicy`](jl_core::AutoscalePolicy) through the live
+/// migration protocol.
+#[derive(Debug, Clone)]
+pub struct MembershipConfig {
+    /// Data nodes active (owning regions) at build time; the remaining
+    /// `n_data - initial_active` are standbys. Must be in
+    /// `1..=n_data`.
+    pub initial_active: usize,
+    /// Floor on the active count: decommissions and autoscale releases
+    /// below it are refused.
+    pub min_active: usize,
+    /// Scripted membership events, `(offset from start, event)`.
+    pub events: Vec<(SimDuration, MembershipEvent)>,
+    /// Per-phase migration timeout: if a handoff phase (snapshot
+    /// delivery, target install, commit ack) stalls past this, the
+    /// migration aborts and the source reclaims the region.
+    pub migration_timeout: SimDuration,
+    /// Autoscaler cadence; `None` runs scripted events only.
+    pub autoscale: Option<AutoscaleConfig>,
+}
+
+impl MembershipConfig {
+    /// A static-membership baseline: `active` nodes own regions, no
+    /// scripted events, no autoscaler. The building block `fig_elastic`
+    /// cells and tests start from.
+    pub fn static_active(active: usize) -> Self {
+        MembershipConfig {
+            initial_active: active,
+            min_active: 1,
+            events: Vec::new(),
+            migration_timeout: SimDuration::from_secs(5),
+            autoscale: None,
+        }
+    }
+}
+
+/// Autoscaler wiring: how often the controller evaluates the policy and
+/// how often active data nodes heartbeat their load signals to it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AutoscaleConfig {
+    /// Policy evaluation cadence at the controller.
+    pub interval: SimDuration,
+    /// Data-node heartbeat cadence (queue depth + pressured flag).
+    pub heartbeat: SimDuration,
+    /// Built-in policy selector, overridden by the engine's
+    /// `AutoscaleFactory` hook when one is supplied.
+    pub mode: jl_core::AutoscaleMode,
+}
+
+impl Default for AutoscaleConfig {
+    fn default() -> Self {
+        AutoscaleConfig {
+            interval: SimDuration::from_millis(100),
+            heartbeat: SimDuration::from_millis(20),
+            mode: jl_core::AutoscaleMode::default(),
+        }
+    }
+}
+
+impl MembershipConfig {
+    /// Validate against the cluster shape, panicking on impossible
+    /// values — the same construction-time contract
+    /// [`OverloadConfig::validate`] follows. Called by the runner before
+    /// the simulation is built.
+    pub fn validate(&self, cluster: &ClusterSpec) {
+        assert!(
+            self.initial_active >= 1 && self.initial_active <= cluster.n_data,
+            "initial_active {} outside 1..={}",
+            self.initial_active,
+            cluster.n_data
+        );
+        assert!(
+            self.min_active >= 1 && self.min_active <= self.initial_active,
+            "min_active {} outside 1..=initial_active {}",
+            self.min_active,
+            self.initial_active
+        );
+        assert!(
+            self.migration_timeout > SimDuration::ZERO,
+            "migration_timeout must be positive"
+        );
+        for &(_, ev) in &self.events {
+            let j = match ev {
+                MembershipEvent::Join(j) | MembershipEvent::Decommission(j) => j,
+            };
+            assert!(
+                j < cluster.n_data,
+                "membership event names data node {j}, cluster has {}",
+                cluster.n_data
+            );
+        }
+        if let Some(a) = &self.autoscale {
+            assert!(
+                a.interval > SimDuration::ZERO && a.heartbeat > SimDuration::ZERO,
+                "autoscale interval and heartbeat must be positive"
+            );
+        }
+    }
+}
+
 /// How data nodes notify compute nodes about row updates (§4.2.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum NotifyMode {
@@ -354,6 +472,47 @@ mod tests {
             ..OverloadConfig::default()
         }
         .validate();
+    }
+
+    #[test]
+    fn membership_validates_against_cluster_shape() {
+        let c = ClusterSpec {
+            n_compute: 2,
+            n_data: 4,
+            ..ClusterSpec::default()
+        };
+        let mut m = MembershipConfig::static_active(2);
+        m.events = vec![
+            (SimDuration::from_millis(1), MembershipEvent::Join(3)),
+            (
+                SimDuration::from_millis(2),
+                MembershipEvent::Decommission(0),
+            ),
+        ];
+        m.autoscale = Some(AutoscaleConfig::default());
+        m.validate(&c);
+    }
+
+    #[test]
+    #[should_panic(expected = "initial_active")]
+    fn membership_rejects_oversized_active_set() {
+        MembershipConfig::static_active(5).validate(&ClusterSpec {
+            n_compute: 2,
+            n_data: 4,
+            ..ClusterSpec::default()
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "membership event names data node")]
+    fn membership_rejects_out_of_range_event() {
+        let mut m = MembershipConfig::static_active(2);
+        m.events = vec![(SimDuration::from_millis(1), MembershipEvent::Join(9))];
+        m.validate(&ClusterSpec {
+            n_compute: 2,
+            n_data: 4,
+            ..ClusterSpec::default()
+        });
     }
 
     #[test]

@@ -30,13 +30,16 @@ pub mod verify;
 pub use baselines::{run_reduce_side, BaselineReport, ReduceSideKind};
 pub use cluster::{ClusterNode, EKey, Msg, Val};
 pub use compute_node::{CompletionHook, TupleFate, TupleOutcome};
-pub use config::{ClusterSpec, FeedMode, NotifyMode, OverloadConfig, RetryConfig};
+pub use config::{
+    AutoscaleConfig, ClusterSpec, FeedMode, MembershipConfig, MembershipEvent, NotifyMode,
+    OverloadConfig, RetryConfig,
+};
 pub use plan::{JobPlan, JobTuple, StageSpec};
 pub use runner::{
-    build_cluster, build_real_runtime, build_store, gather_report, process_names, run_job,
-    run_job_parallel, run_job_parallel_traced, run_job_real, run_job_real_traced, run_job_traced,
-    snapshot_delta, unwrap_telemetry, BuiltCluster, ClusterHost, JobSpec, PolicyFactory, RunReport,
-    ShedFactory, SinkFactory,
+    build_cluster, build_real_runtime, build_store, build_store_active, gather_report,
+    process_names, run_job, run_job_parallel, run_job_parallel_traced, run_job_real,
+    run_job_real_traced, run_job_traced, snapshot_delta, unwrap_telemetry, AutoscaleFactory,
+    BuiltCluster, ClusterHost, JobSpec, PolicyFactory, RunReport, ShedFactory, SinkFactory,
 };
 pub use shuffle::run_shuffle_multijoin;
 pub use telemetry::EngineProbe;

@@ -14,7 +14,7 @@ use jl_telemetry::{MetricsRegistry, RunTelemetry, TelemetryConfig, TelemetryHand
 
 use crate::cluster::{ClusterNode, EKey, Msg};
 use crate::compute_node::{ComputeNode, TupleOutcome};
-use crate::config::{ClusterSpec, FeedMode, OverloadConfig, RetryConfig};
+use crate::config::{ClusterSpec, FeedMode, MembershipConfig, OverloadConfig, RetryConfig};
 use crate::controller::Controller;
 use crate::data_node::DataNode;
 use crate::plan::{JobPlan, JobTuple};
@@ -36,6 +36,14 @@ pub type SinkFactory = Arc<dyn Fn(usize) -> Box<dyn DecisionSink<EKey>> + Send +
 /// [`JobSpec::overload`] is set; when absent, each node runs the policy
 /// its [`ShedMode`](jl_core::ShedMode) prescribes.
 pub type ShedFactory = Arc<dyn Fn(usize) -> Box<dyn jl_core::ShedPolicy<EKey>> + Send + Sync>;
+
+/// Factory building the controller's autoscale policy — the membership
+/// plane's analogue of [`PolicyFactory`]. Only consulted when
+/// [`JobSpec::membership`] carries an
+/// [`AutoscaleConfig`](crate::config::AutoscaleConfig); when absent, the
+/// controller runs the policy that config's
+/// [`AutoscaleMode`](jl_core::AutoscaleMode) prescribes.
+pub type AutoscaleFactory = Arc<dyn Fn() -> Box<dyn jl_core::AutoscalePolicy> + Send + Sync>;
 
 /// Everything needed to launch one run.
 pub struct JobSpec {
@@ -78,6 +86,15 @@ pub struct JobSpec {
     /// Shed-policy override; `None` follows `overload.shed`. Ignored
     /// entirely when `overload` is `None`.
     pub shed_policy: Option<ShedFactory>,
+    /// Elastic membership: standby nodes, scripted join/decommission
+    /// events, live region migration, and (optionally) an autoscaler.
+    /// `None` (the default everywhere) keeps the cluster topology static
+    /// and preserves the exact seed event stream.
+    pub membership: Option<MembershipConfig>,
+    /// Autoscale-policy override; `None` follows
+    /// `membership.autoscale.mode`. Ignored when `membership` is `None`
+    /// or carries no autoscale config.
+    pub autoscale_policy: Option<AutoscaleFactory>,
 }
 
 /// Aggregate results of a run.
@@ -142,6 +159,23 @@ pub struct RunReport {
     /// sorted by seq. Populated only when `overload.record_outcomes` is
     /// set (the fuzz harness's per-tuple accounting surface).
     pub outcomes: Vec<(u64, TupleOutcome)>,
+    /// Live region migrations completed (0 without a
+    /// [`MembershipConfig`](crate::config::MembershipConfig)).
+    pub migrations: u64,
+    /// Migrations abandoned after a handoff phase timed out.
+    pub migrations_aborted: u64,
+    /// Bytes handed over by completed migrations (snapshot + delta).
+    pub migrated_bytes: u64,
+    /// Data nodes that completed a graceful drain and deactivated.
+    pub drained_nodes: u64,
+    /// Standby nodes the autoscaler rented (activated).
+    pub autoscale_rents: u64,
+    /// Active nodes the autoscaler released (decommissioned).
+    pub autoscale_releases: u64,
+    /// Active-node-seconds integral over the run — the elastic cost
+    /// measure `fig_elastic` compares against a static fleet. A static
+    /// run charges every data node for the full duration.
+    pub node_seconds: f64,
 }
 
 impl RunReport {
@@ -214,12 +248,30 @@ pub fn build_store(
     spec: &ClusterSpec,
     tables: Vec<(String, Vec<(RowKey, StoredValue)>)>,
 ) -> StoreCluster {
+    build_store_active(spec, tables, spec.n_data)
+}
+
+/// [`build_store`], but placing every region on the first `active` data
+/// nodes only — the store layout an elastic run starts from when
+/// [`MembershipConfig::initial_active`] is below `n_data`. The region
+/// *count* is unchanged (`n_data * regions_per_node`), so later joins
+/// rebalance whole regions onto standbys instead of splitting them.
+pub fn build_store_active(
+    spec: &ClusterSpec,
+    tables: Vec<(String, Vec<(RowKey, StoredValue)>)>,
+    active: usize,
+) -> StoreCluster {
+    assert!(
+        (1..=spec.n_data).contains(&active),
+        "active data nodes {active} outside 1..={}",
+        spec.n_data
+    );
     let mut store = StoreCluster::new(spec.n_data);
     for (name, rows) in tables {
         let regions = spec.n_data * spec.regions_per_node;
         let table = store.add_table(
             name,
-            RegionMap::round_robin(Partitioning::Hash { regions }, spec.n_data),
+            RegionMap::round_robin(Partitioning::Hash { regions }, active),
         );
         store.bulk_load(table, rows);
     }
@@ -302,9 +354,11 @@ pub fn build_cluster(
     let mut per_node: Vec<Vec<JobTuple>> = (0..cluster.n_compute).map(|_| Vec::new()).collect();
     let streaming = matches!(spec.feed, FeedMode::Stream { .. });
     let mut stream_feed: Vec<(SimTime, usize, JobTuple)> = Vec::new();
+    let mut stream_counts = vec![0u64; cluster.n_compute];
     for (i, t) in tuples.into_iter().enumerate() {
         let node = i % cluster.n_compute;
         if streaming {
+            stream_counts[node] += 1;
             stream_feed.push((t.arrival, node, t));
         } else {
             per_node[node].push(t);
@@ -350,6 +404,13 @@ pub fn build_cluster(
             spec.overload,
             shed,
         );
+        if streaming {
+            // A pre-counted stream ends: the node reports Done after its
+            // last arrival resolves, so the run stops at the busy span
+            // even when membership timers would otherwise idle to the
+            // horizon. jl-serve passes no tuples here and stays open.
+            node.set_stream_expected(stream_counts[i]);
+        }
         if let Some(t) = &tel {
             node.set_telemetry(t.clone(), cluster.compute_id(i) as u32);
         }
@@ -376,12 +437,39 @@ pub fn build_cluster(
                 node.add_replica_source(src);
             }
         }
+        if let Some(m) = &spec.membership {
+            node.set_membership(
+                j < m.initial_active,
+                m.autoscale.as_ref().map(|a| a.heartbeat),
+                m.migration_timeout,
+            );
+        }
         if let Some(t) = &tel {
             node.set_telemetry(t.clone(), cluster.data_id(j) as u32);
         }
         nodes.push(ClusterNode::Data(node));
     }
-    nodes.push(ClusterNode::Controller(Controller::new(cluster.n_compute)));
+    let mut controller = Controller::new(cluster.n_compute);
+    if let Some(m) = &spec.membership {
+        // Seed the controller's ownership map from the catalog the store
+        // was built with (the epoch-0 layout every node starts from).
+        let mut owners = Vec::new();
+        for t in 0..catalog.table_count() {
+            let map = &catalog.table(t).region_map;
+            for region in 0..map.region_count() {
+                owners.push(((t, region), map.server_of_region(region)));
+            }
+        }
+        let policy = m.autoscale.as_ref().map(|a| match &spec.autoscale_policy {
+            Some(f) => f(),
+            None => jl_core::autoscale_policy_for(a.mode),
+        });
+        controller.set_membership(cluster.clone(), m.clone(), owners, policy);
+    }
+    if let Some(t) = &tel {
+        controller.set_telemetry(t.clone(), cluster.controller_id() as u32);
+    }
+    nodes.push(ClusterNode::Controller(controller));
 
     // Streaming arrivals, then store updates — post order is part of the
     // deterministic event order and must match on both backends.
@@ -481,6 +569,9 @@ pub fn run_job_traced(
     if let Some(ov) = &spec.overload {
         ov.validate();
     }
+    if let Some(m) = &spec.membership {
+        m.validate(&spec.cluster);
+    }
     let tel: Option<TelemetryHandle> = spec.telemetry.map(jl_telemetry::shared);
     let built = build_cluster(spec, store, udfs, tuples, updates, &tel);
     let mut sim: Sim<ClusterNode> = Sim::new(spec.seed, cluster.net);
@@ -535,6 +626,9 @@ pub fn run_job_parallel(
     if let Some(ov) = &spec.overload {
         ov.validate();
     }
+    if let Some(m) = &spec.membership {
+        m.validate(&spec.cluster);
+    }
     let built = build_cluster(spec, store, udfs, tuples, updates, &None);
     let mut sim: Sim<ClusterNode> = Sim::new(spec.seed, cluster.net);
     for node in built.nodes {
@@ -582,6 +676,9 @@ pub fn run_job_parallel_traced(
     let cluster = &spec.cluster;
     if let Some(ov) = &spec.overload {
         ov.validate();
+    }
+    if let Some(m) = &spec.membership {
+        m.validate(&spec.cluster);
     }
     let tel: Option<TelemetryHandle> = spec.telemetry.map(jl_telemetry::shared);
     let built = build_cluster(spec, store, udfs, tuples, updates, &tel);
@@ -641,6 +738,9 @@ pub fn run_job_real_traced(
     let cluster = &spec.cluster;
     if let Some(ov) = &spec.overload {
         ov.validate();
+    }
+    if let Some(m) = &spec.membership {
+        m.validate(&spec.cluster);
     }
     let tel: Option<TelemetryHandle> = spec.telemetry.map(jl_telemetry::shared);
     let built = build_cluster(spec, store, udfs, tuples, updates, &tel);
@@ -763,6 +863,16 @@ pub fn gather_report<H: ClusterHost>(host: &H, cluster: &ClusterSpec, end: SimTi
         .iter()
         .map(|(&(from, to), ls)| (from, to, ls.dropped, ls.delayed))
         .collect();
+    let ctrl = host
+        .node(cluster.controller_id())
+        .as_controller()
+        .expect("controller role");
+    let ms = ctrl.membership_stats();
+    // A static fleet charges every data node for the whole run; the
+    // controller only integrates active-node-seconds when membership is on.
+    let node_seconds = ctrl
+        .node_seconds(end)
+        .unwrap_or_else(|| cluster.n_data as f64 * end.since(SimTime::ZERO).as_secs_f64());
     let totals = host.net_totals();
     RunReport {
         duration: end.since(SimTime::ZERO),
@@ -788,6 +898,13 @@ pub fn gather_report<H: ClusterHost>(host: &H, cluster: &ClusterSpec, end: SimTi
         deadline_misses,
         peak_queue_depth,
         outcomes,
+        migrations: ms.migrations,
+        migrations_aborted: ms.migrations_aborted,
+        migrated_bytes: ms.migrated_bytes,
+        drained_nodes: ms.drained_nodes,
+        autoscale_rents: ms.autoscale_rents,
+        autoscale_releases: ms.autoscale_releases,
+        node_seconds,
     }
 }
 
@@ -922,6 +1039,7 @@ fn snapshot_metrics<H: ClusterHost>(
         reg.counter_add(node, "blockcache", "evictions", evictions);
         reg.gauge_set(node, "blockcache", "hit_ratio", n.block_cache_hit_ratio());
         reg.counter_add(node, "fault", "crashes", n.crashes());
+        reg.counter_add(node, "membership", "handoffs", n.handoffs());
         let (nacks, pressure_events, peak) = n.overload_stats();
         reg.counter_add(node, "overload", "nacks_sent", nacks);
         reg.counter_add(node, "overload", "pressure_events", pressure_events);
@@ -929,6 +1047,27 @@ fn snapshot_metrics<H: ClusterHost>(
         snapshot_resources(reg, node, host.resources(id), end);
     }
     let ctrl = cluster.controller_id() as u32;
+    let ms = host
+        .node(cluster.controller_id())
+        .as_controller()
+        .expect("controller role")
+        .membership_stats();
+    reg.counter_add(ctrl, "membership", "migrations", ms.migrations);
+    reg.counter_add(
+        ctrl,
+        "membership",
+        "migrations_aborted",
+        ms.migrations_aborted,
+    );
+    reg.counter_add(ctrl, "membership", "migrated_bytes", ms.migrated_bytes);
+    reg.counter_add(ctrl, "membership", "drained_nodes", ms.drained_nodes);
+    reg.counter_add(ctrl, "membership", "autoscale_rents", ms.autoscale_rents);
+    reg.counter_add(
+        ctrl,
+        "membership",
+        "autoscale_releases",
+        ms.autoscale_releases,
+    );
     let totals = host.net_totals();
     reg.counter_add(ctrl, "net", "messages", totals.messages);
     reg.counter_add(ctrl, "net", "bytes", totals.bytes);
@@ -1019,6 +1158,8 @@ mod tests {
             telemetry: None,
             overload: None,
             shed_policy: None,
+            membership: None,
+            autoscale_policy: None,
         };
         (job, store, udfs, tuples)
     }
@@ -1048,6 +1189,13 @@ mod tests {
             deadline_misses: 0,
             peak_queue_depth: 0,
             outcomes: Vec::new(),
+            migrations: 0,
+            migrations_aborted: 0,
+            migrated_bytes: 0,
+            drained_nodes: 0,
+            autoscale_rents: 0,
+            autoscale_releases: 0,
+            node_seconds: 0.0,
         }
     }
 

@@ -81,6 +81,37 @@ impl RegionServer {
         }
     }
 
+    /// Remove and return the region `(table, idx)`, for live migration:
+    /// the source server calls this at cutover, after the target has
+    /// acknowledged the installed copy.
+    pub fn take_region(&mut self, table: TableId, idx: usize) -> Option<Region> {
+        self.regions.remove(&(table, idx))
+    }
+
+    /// Install a migrated-in region. Panics if the region is already
+    /// hosted — a migration must never clobber authoritative data; the
+    /// exactly-one-applier protocol guarantees the slot is empty.
+    pub fn install_region(&mut self, table: TableId, idx: usize, region: Region) {
+        let prev = self.regions.insert((table, idx), region);
+        assert!(
+            prev.is_none(),
+            "install_region clobbered hosted region ({table}, {idx})"
+        );
+    }
+
+    /// Whether the region `(table, idx)` is hosted here.
+    pub fn has_region(&self, table: TableId, idx: usize) -> bool {
+        self.regions.contains_key(&(table, idx))
+    }
+
+    /// All hosted region ids, sorted — the deterministic iteration order
+    /// for migration planning (the backing map is a hash map).
+    pub fn region_ids(&self) -> Vec<(TableId, usize)> {
+        let mut ids: Vec<_> = self.regions.keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
     /// Number of regions hosted.
     pub fn region_count(&self) -> usize {
         self.regions.len()
@@ -137,6 +168,38 @@ mod tests {
         // b's extra region was replicated in.
         assert_eq!(a.get(0, 1, &RowKey::from_u64(2)).unwrap().data[0], 2);
         assert_eq!(a.region_count(), 2);
+    }
+
+    #[test]
+    fn take_and_install_move_a_region_between_servers() {
+        let mut a = RegionServer::new();
+        a.put(0, 0, RowKey::from_u64(1), v(1));
+        a.put(0, 1, RowKey::from_u64(2), v(2));
+        let mut b = RegionServer::new();
+        let moved = a.take_region(0, 1).unwrap();
+        assert_eq!(moved.len(), 1);
+        assert!(!a.has_region(0, 1));
+        b.install_region(0, 1, moved);
+        assert!(b.has_region(0, 1));
+        assert_eq!(
+            b.region(0, 1)
+                .unwrap()
+                .get(&RowKey::from_u64(2))
+                .unwrap()
+                .data[0],
+            2
+        );
+        assert_eq!(a.region_ids(), vec![(0, 0)]);
+        assert_eq!(b.region_ids(), vec![(0, 1)]);
+        assert!(a.take_region(0, 9).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "clobbered")]
+    fn install_over_hosted_region_panics() {
+        let mut s = RegionServer::new();
+        s.put(0, 0, RowKey::from_u64(1), v(1));
+        s.install_region(0, 0, Region::default());
     }
 
     #[test]

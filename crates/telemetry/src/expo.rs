@@ -281,7 +281,7 @@ const SERVE_FAMILIES: [&str; 9] = [
 /// Engine registry vocabulary, as `(scope, name, kind)` — the cross
 /// product the runner's metrics snapshot can produce. An engine test pins
 /// this list against an actual snapshot.
-const REGISTRY_VOCAB: [(&str, &str, MetricShape); 57] = [
+const REGISTRY_VOCAB: [(&str, &str, MetricShape); 64] = [
     ("latency", "tuple", MetricShape::Hist),
     ("latency", "remote", MetricShape::Hist),
     ("latency", "local", MetricShape::Hist),
@@ -326,6 +326,13 @@ const REGISTRY_VOCAB: [(&str, &str, MetricShape); 57] = [
     ("blockcache", "evictions", MetricShape::Counter),
     ("blockcache", "hit_ratio", MetricShape::Gauge),
     ("fault", "crashes", MetricShape::Counter),
+    ("membership", "migrations", MetricShape::Counter),
+    ("membership", "migrations_aborted", MetricShape::Counter),
+    ("membership", "migrated_bytes", MetricShape::Counter),
+    ("membership", "drained_nodes", MetricShape::Counter),
+    ("membership", "autoscale_rents", MetricShape::Counter),
+    ("membership", "autoscale_releases", MetricShape::Counter),
+    ("membership", "handoffs", MetricShape::Counter),
     ("net", "messages", MetricShape::Counter),
     ("net", "bytes", MetricShape::Counter),
     ("net", "dropped", MetricShape::Counter),

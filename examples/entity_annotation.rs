@@ -66,6 +66,8 @@ fn main() {
         telemetry: None,
         overload: None,
         shed_policy: None,
+        membership: None,
+        autoscale_policy: None,
     };
     let report = run_job(&job, store, udfs, tuples, vec![]);
     println!(

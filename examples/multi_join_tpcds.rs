@@ -93,6 +93,8 @@ fn main() {
         telemetry: None,
         overload: None,
         shed_policy: None,
+        membership: None,
+        autoscale_policy: None,
     };
     let ours = run_job(&job, store, udfs, tuples, vec![]);
     println!(

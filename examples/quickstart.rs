@@ -59,6 +59,8 @@ fn main() {
             telemetry: None,
             overload: None,
             shed_policy: None,
+            membership: None,
+            autoscale_policy: None,
         };
         let report = run_job(&job, store, udfs.clone(), tuples.clone(), vec![]);
         assert_eq!(

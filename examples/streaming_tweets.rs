@@ -74,6 +74,8 @@ fn main() {
             telemetry: None,
             overload: None,
             shed_policy: None,
+            membership: None,
+            autoscale_policy: None,
         };
         let report = run_job(&job, store2, udfs.clone(), tuples.clone(), vec![]);
         println!(

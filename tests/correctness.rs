@@ -87,6 +87,8 @@ fn all_strategies_and_baselines_agree_with_reference() {
             telemetry: None,
             overload: None,
             shed_policy: None,
+            membership: None,
+            autoscale_policy: None,
         };
         let r = run_job(&job, store, udfs(), ts.clone(), vec![]);
         assert_eq!(r.completed, ts.len() as u64, "{}", strategy.label());
@@ -162,6 +164,8 @@ fn multi_join_pipeline_matches_reference_and_shuffle() {
         telemetry: None,
         overload: None,
         shed_policy: None,
+        membership: None,
+        autoscale_policy: None,
     };
     let ours = run_job(&job, store, udfs(), ts.clone(), vec![]);
     assert_eq!(ours.fingerprint, reference.fingerprint, "framework");
@@ -207,6 +211,8 @@ fn streaming_and_batch_compute_the_same_join() {
         telemetry: None,
         overload: None,
         shed_policy: None,
+        membership: None,
+        autoscale_policy: None,
     };
     let r = run_job(&job, store, udfs(), ts, vec![]);
     assert_eq!(r.completed, 2000, "stream did not drain");
@@ -245,6 +251,8 @@ fn updates_propagate_and_invalidate() {
         telemetry: None,
         overload: None,
         shed_policy: None,
+        membership: None,
+        autoscale_policy: None,
     };
     let r = run_job(&job, store, udfs(), ts, updates);
     assert_eq!(r.completed, 2000);
@@ -292,6 +300,8 @@ fn broadcast_and_targeted_notifications_both_stay_correct() {
             telemetry: None,
             overload: None,
             shed_policy: None,
+            membership: None,
+            autoscale_policy: None,
         };
         let r = run_job(&job, store, udfs(), ts, updates);
         assert_eq!(r.completed, 1500, "{notify:?}");

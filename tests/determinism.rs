@@ -14,7 +14,7 @@ use jl_bench::experiments::{
     bench_synthetic_report, bench_synthetic_report_parallel, fig6_stream_report,
 };
 use jl_bench::{
-    fig8, fig_chaos, fig_overload, traced_chaos_run, traced_chaos_run_parallel,
+    fig8, fig_chaos, fig_elastic, fig_overload, traced_chaos_run, traced_chaos_run_parallel,
     traced_chaos_run_with,
 };
 use jl_core::Strategy;
@@ -72,6 +72,16 @@ fn grid_results_are_thread_count_invariant() {
             ov_table.render(),
             ov_cells.iter().map(|c| &c.report).collect::<Vec<_>>()
         );
+        // The elastic grid adds the membership plane — scripted joins and
+        // decommissions, live region migration, the autoscaler's rent and
+        // release decisions — whose epoch walk and migration interleaving
+        // must also be thread-count invariant.
+        let (el_table, el_cells) = fig_elastic(scale, seed);
+        let elastic = format!(
+            "{}{:?}",
+            el_table.render(),
+            el_cells.iter().map(|c| &c.report).collect::<Vec<_>>()
+        );
         (
             table,
             batch,
@@ -80,6 +90,7 @@ fn grid_results_are_thread_count_invariant() {
             trace,
             metrics,
             overload,
+            elastic,
         )
     };
 
@@ -115,6 +126,10 @@ fn grid_results_are_thread_count_invariant() {
         assert_eq!(
             got.6, base.6,
             "overload grid differs between 1 and {threads} threads"
+        );
+        assert_eq!(
+            got.7, base.7,
+            "elastic grid differs between 1 and {threads} threads"
         );
         assert_eq!(
             fnv1a(format!("{got:?}").as_bytes()),

@@ -110,6 +110,8 @@ fn dh_job(spec: &SyntheticSpec, cluster: &ClusterSpec, telemetry: bool) -> JobSp
         telemetry: telemetry.then(TelemetryConfig::default),
         overload: Some(headroom_overload()),
         shed_policy: None,
+        membership: None,
+        autoscale_policy: None,
     }
 }
 
@@ -221,6 +223,8 @@ fn q3_multijoin_cell_matches_sim_and_real() {
         telemetry: None,
         overload: Some(headroom_overload()),
         shed_policy: None,
+        membership: None,
+        autoscale_policy: None,
     };
     let udfs = digest_udfs(48);
     let sim = run_job(
@@ -314,4 +318,86 @@ fn serve_loopback_answers_every_request() {
     assert_eq!(stats.served, n);
     assert_eq!(stats.report.completed, n);
     assert_eq!(stats.report.shed, 0);
+}
+
+/// In-band `DRAIN <node>` decommissions a data node live: the command is
+/// acknowledged on the response stream, every request before/after it is
+/// still answered exactly once (the drain migrates regions under load
+/// without losing or duplicating a tuple), and the session report counts
+/// the drained node and its migrations.
+#[test]
+fn serve_drain_command_decommissions_live() {
+    let cfg = ServeConfig {
+        n_compute: 2,
+        n_data: 3,
+        rows: 96,
+        value_size: 1_024,
+        // Shedding off: this test is about exactly-once delivery across a
+        // live drain, so the burst of requests must not trip queue caps.
+        overload: false,
+        ..ServeConfig::default()
+    };
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind loopback");
+    let addr = listener.local_addr().expect("local addr");
+    let server = std::thread::spawn(move || {
+        let (sock, _) = listener.accept().expect("accept");
+        let reader = BufReader::new(sock.try_clone().expect("clone socket"));
+        serve(reader, sock, &cfg).expect("serve session")
+    });
+
+    let before = 30u64;
+    let after = 300u64;
+    let mut sock = TcpStream::connect(addr).expect("connect");
+    for k in 0..before {
+        writeln!(sock, "{}", k * 37).expect("write request");
+    }
+    writeln!(sock, "DRAIN 1").expect("write drain");
+    writeln!(sock, "DRAIN 9").expect("write bad drain");
+    for k in before..before + after {
+        writeln!(sock, "{}", k * 37).expect("write request");
+    }
+    sock.shutdown(std::net::Shutdown::Write)
+        .expect("half-close");
+
+    let mut seqs = Vec::new();
+    let (mut acked, mut rejected) = (false, false);
+    for line in BufReader::new(&sock).lines() {
+        let line = line.expect("read response");
+        if line == "drain 1 requested" {
+            acked = true;
+            continue;
+        }
+        if line.starts_with("error node 9 out of range") {
+            rejected = true;
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        seqs.push(it.next().expect("seq").parse::<u64>().expect("seq u64"));
+        assert_eq!(
+            it.next(),
+            Some("ok"),
+            "lookup completes across drain: {line}"
+        );
+        let _latency: u64 = it.next().expect("latency").parse().expect("latency u64");
+        assert_eq!(it.next(), None, "exactly three fields: {line}");
+    }
+    assert!(acked, "DRAIN 1 acknowledged");
+    assert!(rejected, "DRAIN 9 rejected as out of range");
+    seqs.sort_unstable();
+    assert_eq!(
+        seqs,
+        (0..before + after).collect::<Vec<u64>>(),
+        "each request answered once across the drain"
+    );
+
+    let stats = server.join().expect("server thread");
+    assert_eq!(stats.served, before + after);
+    assert_eq!(stats.report.completed, before + after);
+    assert_eq!(stats.report.shed, 0);
+    assert_eq!(stats.report.gave_up, 0);
+    assert_eq!(stats.report.drained_nodes, 1, "node 1 finished draining");
+    assert!(
+        stats.report.migrations >= 1,
+        "the drain moved at least one region"
+    );
 }

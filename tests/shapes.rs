@@ -63,6 +63,8 @@ fn run(strategy: Strategy, z: f64, udf_ms: u64, value_size: usize, n: u64) -> f6
         telemetry: None,
         overload: None,
         shed_policy: None,
+        membership: None,
+        autoscale_policy: None,
     };
     run_job(&job, store, udfs, tuples, vec![])
         .duration
@@ -160,6 +162,8 @@ fn elasticity_more_compute_nodes_help_compute_bound_jobs() {
             telemetry: None,
             overload: None,
             shed_policy: None,
+            membership: None,
+            autoscale_policy: None,
         };
         run_job(&job, store, udfs, tuples, vec![])
             .duration
